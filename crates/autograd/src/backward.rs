@@ -1,0 +1,206 @@
+//! The reverse sweep: seed the loss node with a unit gradient and walk the
+//! tape backwards, accumulating per-node and per-parameter gradients.
+
+use lip_tensor::Tensor;
+
+use crate::graph::Graph;
+use crate::op::Op;
+use crate::{ParamId, ParamStore, Var};
+
+/// Result of [`Graph::backward`]: one optional gradient per tape node, plus a
+/// parameter-id index for convenient accumulation into a [`ParamStore`].
+pub struct Gradients {
+    by_node: Vec<Option<Tensor>>,
+    params: Vec<(ParamId, usize)>,
+}
+
+impl Gradients {
+    /// Gradient of the differentiated output w.r.t. node `v`, if any path
+    /// connected them.
+    pub fn for_var(&self, v: Var) -> Option<&Tensor> {
+        self.by_node.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient w.r.t. parameter `id` (summed across every tape node that
+    /// referenced it), if the parameter participated in the computation.
+    pub fn for_param(&self, id: ParamId) -> Option<Tensor> {
+        let mut acc: Option<Tensor> = None;
+        for &(pid, node) in &self.params {
+            if pid != id {
+                continue;
+            }
+            if let Some(g) = &self.by_node[node] {
+                match &mut acc {
+                    Some(a) => a.add_assign_scaled(g, 1.0),
+                    None => acc = Some(g.clone()),
+                }
+            }
+        }
+        acc
+    }
+
+    /// Accumulate every parameter gradient into `store` (respecting freezes).
+    pub fn apply_to(&self, store: &mut ParamStore) {
+        // A parameter may appear at several tape nodes; sum contributions.
+        for &(pid, node) in &self.params {
+            if let Some(g) = &self.by_node[node] {
+                store.accumulate_grad(pid, g);
+            }
+        }
+    }
+}
+
+impl Graph<'_> {
+    /// Run the reverse sweep from `output`, which is usually (but not
+    /// necessarily) a scalar loss. The seed gradient is all-ones in the
+    /// output's shape.
+    pub fn backward(&self, output: Var) -> Gradients {
+        let n = self.nodes.len();
+        assert!(output.0 < n, "backward target is not on this tape");
+        let mut by_node: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        by_node[output.0] = Some(Tensor::ones(self.nodes[output.0].value.shape()));
+
+        for i in (0..=output.0).rev() {
+            let grad = match by_node[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = &self.nodes[i];
+            if !matches!(node.op, Op::Leaf | Op::Param(_)) {
+                let value_of = |v: Var| self.nodes[v.0].value.clone();
+                for (input, contrib) in node.op.backward(&grad, &node.value, &value_of) {
+                    debug_assert!(
+                        input.0 < i,
+                        "op at node {i} references a later node {}",
+                        input.0
+                    );
+                    match &mut by_node[input.0] {
+                        Some(acc) => acc.add_assign_scaled(&contrib, 1.0),
+                        slot @ None => *slot = Some(contrib),
+                    }
+                }
+            }
+            by_node[i] = Some(grad);
+        }
+
+        let params = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, node)| match node.op {
+                Op::Param(id) => Some((id, i)),
+                _ => None,
+            })
+            .collect();
+        Gradients { by_node, params }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_tensor::Tensor;
+
+    fn scalar_store() -> (ParamStore, ParamId) {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Tensor::from_vec(vec![3.0], &[1]));
+        (s, w)
+    }
+
+    #[test]
+    fn linear_chain_gradient() {
+        // loss = mean((2w)^2) = 4w^2, dloss/dw = 8w = 24
+        let (store, w) = scalar_store();
+        let mut g = Graph::new(&store);
+        let wv = g.param(w);
+        let y = g.mul_scalar(wv, 2.0);
+        let sq = g.square(y);
+        let loss = g.mean(sq);
+        assert_eq!(g.value(loss).item(), 36.0);
+        let grads = g.backward(loss);
+        assert_eq!(grads.for_param(w).unwrap().item(), 24.0);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // loss = w*w reached via two separate uses of the param node
+        let (store, w) = scalar_store();
+        let mut g = Graph::new(&store);
+        let a = g.param(w);
+        let b = g.param(w);
+        let prod = g.mul(a, b);
+        let loss = g.sum(prod);
+        let grads = g.backward(loss);
+        // d(w^2)/dw = 2w = 6, split across two param nodes then summed
+        assert_eq!(grads.for_param(w).unwrap().item(), 6.0);
+    }
+
+    #[test]
+    fn matmul_bias_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = store.add("b", Tensor::zeros(&[2]));
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::from_vec(vec![1.0, 1.0], &[1, 2]));
+        let wv = g.param(w);
+        let bv = g.param(b);
+        let xw = g.matmul(x, wv);
+        let y = g.add(xw, bv);
+        let loss = g.sum(y);
+        let grads = g.backward(loss);
+        // dy/dw = x^T · 1 = all ones
+        assert_eq!(grads.for_param(w).unwrap().to_vec(), vec![1.0; 4]);
+        assert_eq!(grads.for_param(b).unwrap().to_vec(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_gets_no_param_grad() {
+        let (store, w) = scalar_store();
+        let mut g = Graph::new(&store);
+        let c = g.constant(Tensor::scalar(5.0));
+        let loss = g.sum(c);
+        let grads = g.backward(loss);
+        assert!(grads.for_param(w).is_none());
+    }
+
+    #[test]
+    fn disconnected_param_gets_none() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::ones(&[1]));
+        let u = store.add("u", Tensor::ones(&[1]));
+        let mut g = Graph::new(&store);
+        let wv = g.param(w);
+        let _unused = g.param(u);
+        let loss = g.sum(wv);
+        let grads = g.backward(loss);
+        assert!(grads.for_param(w).is_some());
+        assert!(grads.for_param(u).is_none());
+    }
+
+    #[test]
+    fn apply_to_respects_freeze() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::ones(&[1]));
+        let f = store.add("f", Tensor::ones(&[1]));
+        store.freeze(f);
+        let mut g = Graph::new(&store);
+        let wv = g.param(w);
+        let fv = g.param(f);
+        let s = g.add(wv, fv);
+        let loss = g.sum(s);
+        let grads = g.backward(loss);
+        grads.apply_to(&mut store);
+        assert_eq!(store.grad(w).item(), 1.0);
+        assert_eq!(store.grad(f).item(), 0.0);
+    }
+
+    #[test]
+    fn macs_counted_for_matmul() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let a = g.constant(Tensor::ones(&[4, 8]));
+        let b = g.constant(Tensor::ones(&[8, 3]));
+        let _ = g.matmul(a, b);
+        assert_eq!(g.macs(), 4 * 8 * 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Finite-difference gradient checking, used throughout the workspace's test
+//! suites to validate every layer's backward pass.
+
+use crate::{Graph, ParamStore, Var};
+
+/// Compare analytic gradients against central finite differences for every
+/// trainable scalar in `store`.
+///
+/// `build` must deterministically construct the scalar loss from the store's
+/// current parameter values (no fresh randomness between calls — fix dropout
+/// masks beforehand).
+///
+/// Returns `Err` with a description of the first element whose relative error
+/// exceeds `tol`.
+pub fn check_gradients(
+    store: &mut ParamStore,
+    build: &dyn Fn(&mut Graph) -> Var,
+    eps: f32,
+    tol: f32,
+) -> Result<(), String> {
+    // Analytic pass.
+    let analytic: Vec<(crate::ParamId, Option<lip_tensor::Tensor>)> = {
+        let mut g = Graph::new(store);
+        let loss = build(&mut g);
+        assert_eq!(
+            g.value(loss).numel(),
+            1,
+            "gradient check requires a scalar loss"
+        );
+        let grads = g.backward(loss);
+        store
+            .ids()
+            .map(|id| (id, grads.for_param(id)))
+            .collect()
+    };
+
+    for (id, grad) in analytic {
+        if store.is_frozen(id) {
+            continue;
+        }
+        let original = store.value(id).clone();
+        let n = original.numel();
+        for elem in 0..n {
+            let an = grad.as_ref().map_or(0.0, |g| g.data()[elem]);
+
+            let mut plus = original.clone();
+            plus.data_mut()[elem] += eps;
+            store.set_value(id, plus);
+            let lp = eval_loss(store, build);
+
+            let mut minus = original.clone();
+            minus.data_mut()[elem] -= eps;
+            store.set_value(id, minus);
+            let lm = eval_loss(store, build);
+
+            store.set_value(id, original.clone());
+
+            let fd = (lp - lm) / (2.0 * eps);
+            let denom = 1.0f32.max(an.abs()).max(fd.abs());
+            if (an - fd).abs() / denom > tol {
+                return Err(format!(
+                    "param '{}' element {elem}: analytic {an} vs finite-difference {fd}",
+                    store.name(id)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn eval_loss(store: &ParamStore, build: &dyn Fn(&mut Graph) -> Var) -> f32 {
+    let mut g = Graph::new(store);
+    let loss = build(&mut g);
+    g.value(loss).item()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store_with(shapes: &[&[usize]]) -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut s = ParamStore::new();
+        for (i, shape) in shapes.iter().enumerate() {
+            s.add(format!("p{i}"), Tensor::randn(shape, &mut rng).mul_scalar(0.5));
+        }
+        s
+    }
+
+    #[test]
+    fn catches_a_wrong_gradient() {
+        // loss = sum(w); a deliberately wrong build multiplies the value used
+        // for the analytic pass — mismatch must be detected
+        let mut s = store_with(&[&[3]]);
+        let w = crate::ParamId(0);
+        // build: loss = sum(w * w) but we check against analytic of itself,
+        // so instead construct a direct inconsistency via non-determinism:
+        use std::cell::Cell;
+        let flip = Cell::new(false);
+        let res = check_gradients(
+            &mut s,
+            &move |g: &mut Graph| {
+                let wv = g.param(w);
+                let first = !flip.get();
+                flip.set(true);
+                if first {
+                    // analytic pass sees sum(w)
+                    g.sum(wv)
+                } else {
+                    // finite-difference passes see sum(2w)
+                    let d = g.mul_scalar(wv, 2.0);
+                    g.sum(d)
+                }
+            },
+            1e-3,
+            1e-3,
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn passes_on_correct_composite() {
+        let mut s = store_with(&[&[2, 3], &[3]]);
+        let w = crate::ParamId(0);
+        let b = crate::ParamId(1);
+        let ok = check_gradients(
+            &mut s,
+            &|g: &mut Graph| {
+                let x = g.constant(Tensor::from_vec(
+                    vec![0.3, -0.1, 0.7, 0.2, 0.5, -0.4],
+                    &[3, 2],
+                ));
+                let wv = g.param(w);
+                let bv = g.param(b);
+                let h = g.matmul(x, wv);
+                let h = g.add(h, bv);
+                let h = g.tanh(h);
+                g.mean(h)
+            },
+            1e-2,
+            2e-2,
+        );
+        assert!(ok.is_ok(), "{ok:?}");
+    }
+}

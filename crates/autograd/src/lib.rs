@@ -1,0 +1,42 @@
+//! # lip-autograd
+//!
+//! Tape-based reverse-mode automatic differentiation over [`lip_tensor`].
+//!
+//! A [`Graph`] records every forward operation as a node holding its result
+//! tensor and an [`Op`](crate::op::Op) describing how to push gradients back
+//! to its inputs. Model parameters live in a [`ParamStore`]; each forward pass
+//! pulls them into the graph by id (an O(1) `Arc` clone), and
+//! [`Graph::backward`] returns per-parameter gradients that the caller
+//! accumulates back into the store for the optimizer.
+//!
+//! The graph also counts multiply–accumulate operations (MACs) as it builds,
+//! which the evaluation crate uses to reproduce the paper's efficiency
+//! columns.
+//!
+//! ## Example
+//!
+//! ```
+//! use lip_autograd::{Graph, ParamStore};
+//! use lip_tensor::Tensor;
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Tensor::from_vec(vec![2.0], &[1, 1]));
+//!
+//! let mut g = Graph::new(&store);
+//! let x = g.constant(Tensor::from_vec(vec![3.0], &[1, 1]));
+//! let wv = g.param(w);
+//! let y = g.matmul(x, wv);          // y = 6
+//! let loss = g.mean(y);
+//! let grads = g.backward(loss);
+//! assert_eq!(grads.for_param(w).unwrap().item(), 3.0); // dy/dw = x
+//! ```
+
+mod backward;
+pub mod gradcheck;
+mod graph;
+pub mod op;
+mod params;
+
+pub use backward::Gradients;
+pub use graph::{Graph, Var};
+pub use params::{ParamId, ParamStore};

@@ -1,0 +1,248 @@
+//! Trainable-parameter storage shared between forward graphs and optimizers.
+
+use lip_tensor::Tensor;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index (stable for the lifetime of the store).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    /// Frozen parameters keep their value but receive no updates — used when
+    /// the pre-trained Covariate Encoder is attached to the Base Predictor.
+    frozen: bool,
+}
+
+/// Owns every trainable tensor of a model: values, gradient accumulators and
+/// freeze flags. Layers register parameters at construction time and refer to
+/// them by [`ParamId`] during the forward pass.
+#[derive(Default)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter and return its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.shape());
+        self.entries.push(ParamEntry {
+            name: name.into(),
+            value,
+            grad,
+            frozen: false,
+        });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameter tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of trainable scalars (the paper's "parameters" metric).
+    pub fn num_scalars(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| !e.frozen)
+            .map(|e| e.value.numel())
+            .sum()
+    }
+
+    /// Total scalar count including frozen tensors.
+    pub fn num_scalars_total(&self) -> usize {
+        self.entries.iter().map(|e| e.value.numel()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Overwrite a parameter's value (used by optimizers and checkpoint load).
+    pub fn set_value(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            value.shape(),
+            self.entries[id.0].value.shape(),
+            "set_value shape mismatch for '{}'",
+            self.entries[id.0].name
+        );
+        self.entries[id.0].value = value;
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Mark a parameter as frozen: it keeps its value, reports no trainable
+    /// scalars, and optimizers skip it.
+    pub fn freeze(&mut self, id: ParamId) {
+        self.entries[id.0].frozen = true;
+    }
+
+    /// Freeze every currently registered parameter.
+    pub fn freeze_all(&mut self) {
+        for e in &mut self.entries {
+            e.frozen = true;
+        }
+    }
+
+    /// Whether a parameter is frozen.
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.entries[id.0].frozen
+    }
+
+    /// Reset every gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.entries {
+            e.grad = Tensor::zeros(e.value.shape());
+        }
+    }
+
+    /// Add `grad` into the accumulator of `id` (no-op for frozen params).
+    pub fn accumulate_grad(&mut self, id: ParamId, grad: &Tensor) {
+        let e = &mut self.entries[id.0];
+        if e.frozen {
+            return;
+        }
+        e.grad.add_assign_scaled(grad, 1.0);
+    }
+
+    /// Ids of all parameters, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Handle of the parameter registered at `index` (panics out of range).
+    /// Registration order is stable, so `(store.len()` before … `after)`
+    /// ranges identify a sub-module's parameters.
+    pub fn id_at(&self, index: usize) -> ParamId {
+        assert!(index < self.entries.len(), "param index {index} out of range");
+        ParamId(index)
+    }
+
+    /// Ids of trainable (non-frozen) parameters.
+    pub fn trainable_ids(&self) -> Vec<ParamId> {
+        (0..self.entries.len())
+            .filter(|&i| !self.entries[i].frozen)
+            .map(ParamId)
+            .collect()
+    }
+
+    /// Global L2 norm of all trainable gradients (for clipping).
+    pub fn grad_l2_norm(&self) -> f32 {
+        let sq: f32 = self
+            .entries
+            .iter()
+            .filter(|e| !e.frozen)
+            .flat_map(|e| e.grad.data().iter())
+            .map(|&g| g * g)
+            .sum();
+        sq.sqrt()
+    }
+
+    /// Scale every trainable gradient by `factor` (for clipping).
+    pub fn scale_grads(&mut self, factor: f32) {
+        for e in &mut self.entries {
+            if !e.frozen {
+                e.grad = e.grad.mul_scalar(factor);
+            }
+        }
+    }
+
+    /// Snapshot all values (for early-stopping "best model" checkpoints).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.entries.iter().map(|e| e.value.clone()).collect()
+    }
+
+    /// Restore values from a [`ParamStore::snapshot`].
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.entries.len(), "snapshot size mismatch");
+        for (e, v) in self.entries.iter_mut().zip(snapshot) {
+            assert_eq!(e.value.shape(), v.shape(), "snapshot shape mismatch");
+            e.value = v.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_count() {
+        let mut s = ParamStore::new();
+        let a = s.add("w1", Tensor::zeros(&[3, 4]));
+        let b = s.add("b1", Tensor::zeros(&[4]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 16);
+        assert_eq!(s.name(a), "w1");
+        assert_eq!(s.value(b).shape(), &[4]);
+    }
+
+    #[test]
+    fn freeze_excludes_from_counts_and_grads() {
+        let mut s = ParamStore::new();
+        let a = s.add("enc", Tensor::ones(&[2, 2]));
+        s.freeze(a);
+        assert_eq!(s.num_scalars(), 0);
+        assert_eq!(s.num_scalars_total(), 4);
+        s.accumulate_grad(a, &Tensor::ones(&[2, 2]));
+        assert_eq!(s.grad(a).sum().item(), 0.0);
+        assert!(s.trainable_ids().is_empty());
+    }
+
+    #[test]
+    fn grad_accumulation_and_zeroing() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::zeros(&[2]));
+        s.accumulate_grad(a, &Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        s.accumulate_grad(a, &Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(s.grad(a).to_vec(), vec![2.0, 4.0]);
+        assert!((s.grad_l2_norm() - 20.0f32.sqrt()).abs() < 1e-6);
+        s.zero_grad();
+        assert_eq!(s.grad(a).to_vec(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::ones(&[2]));
+        let snap = s.snapshot();
+        s.set_value(a, Tensor::zeros(&[2]));
+        s.restore(&snap);
+        assert_eq!(s.value(a).to_vec(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_value_rejects_wrong_shape() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::ones(&[2]));
+        s.set_value(a, Tensor::ones(&[3]));
+    }
+}

@@ -1,0 +1,319 @@
+//! Numerical gradient checks for every differentiable op on the tape.
+
+use lip_autograd::gradcheck::check_gradients;
+use lip_autograd::{Graph, ParamId, ParamStore, Var};
+use lip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn store1(shape: &[usize], seed: u64) -> (ParamStore, ParamId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = ParamStore::new();
+    let id = s.add("p", Tensor::randn(shape, &mut rng).mul_scalar(0.4));
+    (s, id)
+}
+
+fn store2(sa: &[usize], sb: &[usize], seed: u64) -> (ParamStore, ParamId, ParamId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = ParamStore::new();
+    let a = s.add("a", Tensor::randn(sa, &mut rng).mul_scalar(0.4));
+    let b = s.add("b", Tensor::randn(sb, &mut rng).mul_scalar(0.4).add_scalar(1.5));
+    (s, a, b)
+}
+
+fn check(store: &mut ParamStore, build: impl Fn(&mut Graph) -> Var) {
+    check_gradients(store, &build, 1e-2, 3e-2).unwrap();
+}
+
+#[test]
+fn grad_add_broadcast() {
+    let (mut s, a, b) = store2(&[2, 3], &[3], 1);
+    check(&mut s, |g| {
+        let (av, bv) = (g.param(a), g.param(b));
+        let y = g.add(av, bv);
+        g.mean(y)
+    });
+}
+
+#[test]
+fn grad_sub_broadcast_leading() {
+    let (mut s, a, b) = store2(&[2, 1, 3], &[4, 1], 2);
+    check(&mut s, |g| {
+        let (av, bv) = (g.param(a), g.param(b));
+        let y = g.sub(av, bv);
+        let sq = g.square(y);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_mul_div() {
+    let (mut s, a, b) = store2(&[3, 2], &[3, 2], 3);
+    check(&mut s, |g| {
+        let (av, bv) = (g.param(a), g.param(b));
+        let m = g.mul(av, bv);
+        let d = g.div(m, bv);
+        g.mean(d)
+    });
+}
+
+#[test]
+fn grad_matmul_2d() {
+    let (mut s, a, b) = store2(&[3, 4], &[4, 2], 4);
+    check(&mut s, |g| {
+        let (av, bv) = (g.param(a), g.param(b));
+        let y = g.matmul(av, bv);
+        let sq = g.square(y);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_matmul_batched_broadcast_weights() {
+    let (mut s, a, b) = store2(&[2, 3, 4], &[4, 2], 5);
+    check(&mut s, |g| {
+        let (av, bv) = (g.param(a), g.param(b));
+        let y = g.matmul(av, bv);
+        g.mean(y)
+    });
+}
+
+#[test]
+fn grad_matmul_batched_both() {
+    let (mut s, a, b) = store2(&[2, 3, 4], &[2, 4, 3], 6);
+    check(&mut s, |g| {
+        let (av, bv) = (g.param(a), g.param(b));
+        let y = g.matmul(av, bv);
+        let t = g.tanh(y);
+        g.mean(t)
+    });
+}
+
+#[test]
+fn grad_permute_reshape() {
+    let (mut s, a) = store1(&[2, 3, 4], 7);
+    check(&mut s, |g| {
+        let av = g.param(a);
+        let p = g.permute(av, &[2, 0, 1]);
+        let r = g.reshape(p, &[4, 6]);
+        let sq = g.square(r);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_broadcast_to() {
+    let (mut s, a) = store1(&[1, 3], 8);
+    check(&mut s, |g| {
+        let av = g.param(a);
+        let b = g.broadcast_to(av, &[4, 3]);
+        let sq = g.square(b);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_softmax() {
+    let (mut s, a) = store1(&[2, 5], 9);
+    check(&mut s, |g| {
+        let av = g.param(a);
+        let sm = g.softmax(av);
+        let sq = g.square(sm);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_log_softmax() {
+    let (mut s, a) = store1(&[3, 4], 10);
+    check(&mut s, |g| {
+        let av = g.param(a);
+        let ls = g.log_softmax(av);
+        let sq = g.square(ls);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_activations() {
+    for seed in [11u64, 12, 13] {
+        let (mut s, a) = store1(&[2, 4], seed);
+        check(&mut s, |g| {
+            let av = g.param(a);
+            let r = g.relu(av);
+            let ge = g.gelu(r);
+            let si = g.sigmoid(ge);
+            let th = g.tanh(si);
+            g.mean(th)
+        });
+    }
+}
+
+#[test]
+fn grad_sqrt_exp_ln() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut s = ParamStore::new();
+    // keep values comfortably positive for sqrt/ln
+    let a = s.add("a", Tensor::rand_uniform(&[2, 3], 0.8, 2.0, &mut rng));
+    check(&mut s, |g| {
+        let av = g.param(a);
+        let sq = g.sqrt(av);
+        let e = g.exp(sq);
+        let l = g.ln(e);
+        g.mean(l)
+    });
+}
+
+#[test]
+fn grad_abs_away_from_zero() {
+    let mut s = ParamStore::new();
+    let a = s.add("a", Tensor::from_vec(vec![0.5, -0.7, 1.2, -2.0], &[4]));
+    check(&mut s, |g| {
+        let av = g.param(a);
+        let ab = g.abs(av);
+        g.mean(ab)
+    });
+}
+
+#[test]
+fn grad_dropout_fixed_mask() {
+    let (mut s, a) = store1(&[2, 4], 15);
+    let mask = Tensor::from_vec(vec![2.0, 0.0, 2.0, 0.0, 0.0, 2.0, 2.0, 2.0], &[2, 4]);
+    check(&mut s, move |g| {
+        let av = g.param(a);
+        let d = g.dropout_mask(av, mask.clone());
+        let sq = g.square(d);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_reductions() {
+    let (mut s, a) = store1(&[2, 3, 2], 16);
+    check(&mut s, |g| {
+        let av = g.param(a);
+        let s0 = g.sum_axis(av, 1);
+        let m0 = g.mean_axis(s0, 2);
+        let sq = g.square(m0);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn grad_concat_slice() {
+    let (mut s, a, b) = store2(&[2, 3], &[2, 2], 17);
+    check(&mut s, |g| {
+        let (av, bv) = (g.param(a), g.param(b));
+        let c = g.concat(&[av, bv], 1);
+        let sl = g.slice_axis(c, 1, 1, 4);
+        let sq = g.square(sl);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_gather_rows() {
+    let (mut s, a) = store1(&[5, 3], 18);
+    check(&mut s, |g| {
+        let av = g.param(a);
+        let picked = g.gather_rows(av, &[0, 2, 2, 4]);
+        let sq = g.square(picked);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_mse_mae_losses() {
+    let (mut s, a) = store1(&[2, 3], 19);
+    let target = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6], &[2, 3]);
+    let t2 = target.clone();
+    check(&mut s, move |g| {
+        let av = g.param(a);
+        let t = g.constant(t2.clone());
+        g.mse_loss(av, t)
+    });
+    check(&mut s, move |g| {
+        let av = g.param(a);
+        let t = g.constant(target.clone());
+        g.mae_loss(av, t)
+    });
+}
+
+#[test]
+fn grad_smooth_l1_both_regimes() {
+    // values straddle the beta threshold so both branches are exercised
+    let mut s = ParamStore::new();
+    let a = s.add("a", Tensor::from_vec(vec![0.05, 0.4, -0.03, -0.9], &[4]));
+    let target = Tensor::zeros(&[4]);
+    check(&mut s, move |g| {
+        let av = g.param(a);
+        let t = g.constant(target.clone());
+        g.smooth_l1_loss(av, t, 0.2)
+    });
+}
+
+#[test]
+fn grad_cross_entropy_rows() {
+    let (mut s, a) = store1(&[4, 5], 20);
+    check(&mut s, |g| {
+        let av = g.param(a);
+        g.cross_entropy_rows(av, &[1, 0, 4, 2])
+    });
+}
+
+#[test]
+fn grad_transformer_like_composite() {
+    // A miniature attention block: checks interactions between permute,
+    // matmul, softmax and residual adds — the core of every model here.
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut s = ParamStore::new();
+    let wq = s.add("wq", Tensor::randn(&[4, 4], &mut rng).mul_scalar(0.3));
+    let wk = s.add("wk", Tensor::randn(&[4, 4], &mut rng).mul_scalar(0.3));
+    let wv = s.add("wv", Tensor::randn(&[4, 4], &mut rng).mul_scalar(0.3));
+    let x = Tensor::randn(&[2, 3, 4], &mut rng).mul_scalar(0.5);
+    check(&mut s, move |g| {
+        let xc = g.constant(x.clone());
+        let q = {
+            let w = g.param(wq);
+            g.matmul(xc, w)
+        };
+        let k = {
+            let w = g.param(wk);
+            g.matmul(xc, w)
+        };
+        let v = {
+            let w = g.param(wv);
+            g.matmul(xc, w)
+        };
+        let kt = g.transpose(k, 1, 2);
+        let scores = g.matmul(q, kt);
+        let scaled = g.mul_scalar(scores, 0.5);
+        let attn = g.softmax(scaled);
+        let ctx = g.matmul(attn, v);
+        let res = g.add(ctx, xc);
+        let sq = g.square(res);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn contrastive_symmetric_ce_gradient() {
+    // The paper's dual-encoder pre-training loss: logits = Vt·Vcᵀ·e^t with
+    // symmetric row/column cross-entropy.
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut s = ParamStore::new();
+    let vt = s.add("vt", Tensor::randn(&[3, 4], &mut rng).mul_scalar(0.4));
+    let vc = s.add("vc", Tensor::randn(&[3, 4], &mut rng).mul_scalar(0.4));
+    check(&mut s, |g| {
+        let t = g.param(vt);
+        let c = g.param(vc);
+        let ct = g.transpose(c, 0, 1);
+        let logits = g.matmul(t, ct);
+        let labels: Vec<usize> = (0..3).collect();
+        let row = g.cross_entropy_rows(logits, &labels);
+        let logits_t = g.transpose(logits, 0, 1);
+        let col = g.cross_entropy_rows(logits_t, &labels);
+        let both = g.add(row, col);
+        g.mul_scalar(both, 0.5)
+    });
+}

@@ -1,0 +1,245 @@
+//! Shared building blocks for the baseline models: the classic Transformer
+//! encoder layer (the LN+FFN structure LiPFormer eliminates), statistical
+//! instance normalization (RevIN without affine), and moving-average series
+//! decomposition.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_nn::{Activation, Dropout, FeedForward, LayerNorm, MultiHeadSelfAttention};
+use lip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A post-norm Transformer encoder layer:
+/// `h = LN(x + Attn(x)); out = LN(h + FFN(h))`.
+#[derive(Debug, Clone)]
+pub struct EncoderLayer {
+    attn: MultiHeadSelfAttention,
+    ln1: LayerNorm,
+    ffn: FeedForward,
+    ln2: LayerNorm,
+    dropout: Dropout,
+}
+
+impl EncoderLayer {
+    /// Standard layer with 4× FFN expansion.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        dropout: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        EncoderLayer {
+            attn: MultiHeadSelfAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
+            ffn: FeedForward::new(store, &format!("{name}.ffn"), dim, 4, Activation::Gelu, rng),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
+            dropout: Dropout::new(dropout),
+        }
+    }
+
+    /// Apply to `[b, seq, dim]`.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool, rng: &mut StdRng) -> Var {
+        let a = self.attn.forward(g, x);
+        let a = self.dropout.forward(g, a, rng, training);
+        let r1 = g.add(x, a);
+        let h = self.ln1.forward(g, r1);
+        let f = self.ffn.forward(g, h);
+        let f = self.dropout.forward(g, f, rng, training);
+        let r2 = g.add(h, f);
+        self.ln2.forward(g, r2)
+    }
+}
+
+/// Statistical instance normalization (RevIN without affine parameters):
+/// normalize each window by its per-channel mean/std, and invert after
+/// prediction — PatchTST/iTransformer's treatment of distribution shift.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RevIn;
+
+/// The saved statistics to invert a [`RevIn`] normalization.
+pub struct RevInStats {
+    mean: Var,
+    std: Var,
+}
+
+impl RevIn {
+    /// `x: [b, T, c] → (normalized, stats)`.
+    pub fn normalize(self, g: &mut Graph, x: Var) -> (Var, RevInStats) {
+        let mean = g.mean_axis(x, 1); // [b, 1, c]
+        let centered = g.sub(x, mean);
+        let sq = g.square(centered);
+        let var = g.mean_axis(sq, 1);
+        let var_eps = g.add_scalar(var, 1e-5);
+        let std = g.sqrt(var_eps);
+        let normed = g.div(centered, std);
+        (normed, RevInStats { mean, std })
+    }
+
+    /// Invert on a `[b, L, c]` prediction.
+    pub fn denormalize(self, g: &mut Graph, y: Var, stats: &RevInStats) -> Var {
+        let scaled = g.mul(y, stats.std);
+        g.add(scaled, stats.mean)
+    }
+}
+
+/// Centered moving average along the time axis with replicate padding —
+/// the trend extractor of DLinear/Autoformer/TimeMixer.
+pub fn moving_average(x: &Tensor, window: usize) -> Tensor {
+    assert!(window >= 1, "window must be >= 1");
+    assert_eq!(x.rank(), 3, "moving_average expects [b, T, c]");
+    let (b, t, c) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let half_l = (window - 1) / 2;
+    let mut out = vec![0.0f32; b * t * c];
+    let data = x.data();
+    for bi in 0..b {
+        for ch in 0..c {
+            for ti in 0..t {
+                let mut acc = 0.0f32;
+                for w in 0..window {
+                    // replicate-padded index
+                    let pos = ti as isize + w as isize - half_l as isize;
+                    let idx = pos.clamp(0, t as isize - 1) as usize;
+                    acc += data[(bi * t + idx) * c + ch];
+                }
+                out[(bi * t + ti) * c + ch] = acc / window as f32;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, t, c])
+}
+
+/// Average-pool the time axis by `factor` (TimeMixer's multi-scale
+/// downsampling). The length must be divisible by `factor`.
+pub fn avg_pool_time(x: &Tensor, factor: usize) -> Tensor {
+    assert!(factor >= 1);
+    assert_eq!(x.rank(), 3, "avg_pool_time expects [b, T, c]");
+    let (b, t, c) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert_eq!(t % factor, 0, "length {t} not divisible by pool factor {factor}");
+    let t2 = t / factor;
+    let mut out = vec![0.0f32; b * t2 * c];
+    let data = x.data();
+    for bi in 0..b {
+        for ti in 0..t2 {
+            for w in 0..factor {
+                let src = (bi * t + ti * factor + w) * c;
+                let dst = (bi * t2 + ti) * c;
+                for ch in 0..c {
+                    out[dst + ch] += data[src + ch] / factor as f32;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, t2, c])
+}
+
+/// Real and imaginary DFT matrices of size `n` (explicit, for the FGNN
+/// frequency-domain mixing — no FFT dependency).
+pub fn dft_matrices(n: usize) -> (Tensor, Tensor) {
+    let mut re = vec![0.0f32; n * n];
+    let mut im = vec![0.0f32; n * n];
+    let scale = 1.0 / (n as f32).sqrt();
+    for k in 0..n {
+        for t in 0..n {
+            let angle = -2.0 * std::f32::consts::PI * (k * t) as f32 / n as f32;
+            re[k * n + t] = angle.cos() * scale;
+            im[k * n + t] = angle.sin() * scale;
+        }
+    }
+    (
+        Tensor::from_vec(re, &[n, n]),
+        Tensor::from_vec(im, &[n, n]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::ParamStore;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encoder_layer_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let layer = EncoderLayer::new(&mut store, "e", 8, 2, 0.0, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::randn(&[2, 5, 8], &mut rng));
+        let y = layer.forward(&mut g, x, false, &mut rng);
+        assert_eq!(g.shape(y), &[2, 5, 8]);
+        assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn revin_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = Tensor::randn(&[2, 10, 3], &mut rng).mul_scalar(5.0).add_scalar(7.0);
+        let xv = g.constant(x.clone());
+        let (n, stats) = RevIn.normalize(&mut g, xv);
+        // normalized windows: per-channel mean ≈ 0
+        let back = RevIn.denormalize(&mut g, n, &stats);
+        let d = g.value(back).sub(&x).abs().max_value();
+        assert!(d < 1e-3, "revin roundtrip error {d}");
+    }
+
+    #[test]
+    fn moving_average_flattens_constants_and_smooths() {
+        let x = Tensor::ones(&[1, 8, 1]);
+        let ma = moving_average(&x, 3);
+        assert!(ma.sub(&x).abs().max_value() < 1e-6);
+        // a spike gets spread
+        let mut sp = Tensor::zeros(&[1, 9, 1]);
+        sp.data_mut()[4] = 3.0;
+        let ma2 = moving_average(&sp, 3);
+        assert!((ma2.data()[4] - 1.0).abs() < 1e-6);
+        assert!((ma2.data()[3] - 1.0).abs() < 1e-6);
+        assert!(ma2.data()[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn avg_pool_halves_length() {
+        let x = Tensor::from_vec(vec![1., 3., 5., 7.], &[1, 4, 1]);
+        let p = avg_pool_time(&x, 2);
+        assert_eq!(p.shape(), &[1, 2, 1]);
+        assert_eq!(p.to_vec(), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn dft_matrix_is_orthonormal() {
+        let (re, im) = dft_matrices(8);
+        // Re·Reᵀ + Im·Imᵀ = I for the unitary DFT
+        let gram = re.matmul(&re.t()).add(&im.matmul(&im.t()));
+        for i in 0..8 {
+            for j in 0..8 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((gram.at(&[i, j]) - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn dft_detects_frequency() {
+        // a pure cosine at frequency 2 concentrates spectral energy at bins 2 and n−2
+        let n = 16;
+        let x: Vec<f32> = (0..n)
+            .map(|t| (2.0 * std::f32::consts::TAU * t as f32 / n as f32).cos())
+            .collect();
+        let (re, im) = dft_matrices(n);
+        let xv = Tensor::from_vec(x, &[n, 1]);
+        let xr = re.matmul(&xv);
+        let xi = im.matmul(&xv);
+        let power: Vec<f32> = (0..n)
+            .map(|k| xr.data()[k] * xr.data()[k] + xi.data()[k] * xi.data()[k])
+            .collect();
+        let peak = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak == 2 || peak == n - 2, "peak at {peak}");
+    }
+}

@@ -1,0 +1,181 @@
+//! DLinear (Zeng et al., AAAI 2023): decompose the window into a
+//! moving-average trend and a seasonal remainder, forecast each with one
+//! shared linear layer `T → L`, and sum — the linear challenger whose
+//! insights (trend components, linear sufficiency) LiPFormer builds on.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_data::window::Batch;
+use lip_nn::Linear;
+use lipformer::Forecaster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::moving_average;
+
+/// DLinear with the standard kernel-25 decomposition.
+pub struct DLinear {
+    store: ParamStore,
+    trend_head: Linear,
+    seasonal_head: Linear,
+    seq_len: usize,
+    pred_len: usize,
+    channels: usize,
+    kernel: usize,
+}
+
+impl DLinear {
+    /// Build for a `(seq_len, pred_len, channels)` task.
+    pub fn new(seq_len: usize, pred_len: usize, channels: usize, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trend_head = Linear::new(&mut store, "dlinear.trend", seq_len, pred_len, true, &mut rng);
+        let seasonal_head =
+            Linear::new(&mut store, "dlinear.seasonal", seq_len, pred_len, true, &mut rng);
+        DLinear {
+            store,
+            trend_head,
+            seasonal_head,
+            seq_len,
+            pred_len,
+            channels,
+            kernel: 25.min(seq_len | 1),
+        }
+    }
+}
+
+impl Forecaster for DLinear {
+    fn name(&self) -> &str {
+        "DLinear"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, g: &mut Graph, batch: &Batch, _training: bool, _rng: &mut StdRng) -> Var {
+        let (b, t, c) = (
+            batch.x.shape()[0],
+            batch.x.shape()[1],
+            batch.x.shape()[2],
+        );
+        assert_eq!(t, self.seq_len, "input length mismatch");
+        assert_eq!(c, self.channels, "channel mismatch");
+
+        // decomposition happens on the constant input — no gradient needed
+        let trend = moving_average(&batch.x, self.kernel);
+        let seasonal = batch.x.sub(&trend);
+
+        // channel independence: [b, T, c] → [b·c, T]
+        let reshape_ci = |g: &mut Graph, v: Var| {
+            let p = g.permute(v, &[0, 2, 1]);
+            g.reshape(p, &[b * c, t])
+        };
+        let trend_v = g.constant(trend);
+        let seasonal_v = g.constant(seasonal);
+        let trend_ci = reshape_ci(g, trend_v);
+        let seasonal_ci = reshape_ci(g, seasonal_v);
+
+        let yt = self.trend_head.forward(g, trend_ci);
+        let ys = self.seasonal_head.forward(g, seasonal_ci);
+        let y = g.add(yt, ys); // [b·c, L]
+
+        let split = g.reshape(y, &[b, c, self.pred_len]);
+        g.permute(split, &[0, 2, 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_tensor::Tensor;
+
+    fn batch(b: usize, t: usize, c: usize, rng: &mut StdRng) -> Batch {
+        Batch {
+            x: Tensor::randn(&[b, t, c], rng),
+            y: Tensor::randn(&[b, 4, c], rng),
+            time_feats: Tensor::zeros(&[b, 4, 4]),
+            cov_numerical: None,
+            cov_categorical: None,
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DLinear::new(16, 4, 3, 0);
+        let b = batch(2, 16, 3, &mut rng);
+        let mut g = Graph::new(m.store());
+        let y = m.forward(&mut g, &b, false, &mut rng);
+        assert_eq!(g.shape(y), &[2, 4, 3]);
+    }
+
+    #[test]
+    fn parameter_count_is_two_linears() {
+        let m = DLinear::new(96, 24, 7, 0);
+        // 2 × (96·24 weights + 24 biases), independent of channel count
+        assert_eq!(m.num_parameters(), 2 * (96 * 24 + 24));
+    }
+
+    #[test]
+    fn learns_to_extend_a_line() {
+        // DLinear can represent linear extrapolation exactly; a few Adam
+        // steps on a ramp dataset should cut the loss sharply.
+        use lip_nn::{AdamW, Optimizer};
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = DLinear::new(8, 2, 1, 1);
+        let mut opt = AdamW::new(5e-2, 0.0);
+        let make_batch = |rng: &mut StdRng| {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for _ in 0..16 {
+                let start: f32 = rng.gen_range(-5.0..5.0);
+                let slope: f32 = rng.gen_range(-1.0..1.0);
+                for i in 0..8 {
+                    xs.push(start + slope * i as f32);
+                }
+                for i in 8..10 {
+                    ys.push(start + slope * i as f32);
+                }
+            }
+            Batch {
+                x: Tensor::from_vec(xs, &[16, 8, 1]),
+                y: Tensor::from_vec(ys, &[16, 2, 1]),
+                time_feats: Tensor::zeros(&[16, 2, 4]),
+                cov_numerical: None,
+                cov_categorical: None,
+            }
+        };
+        let loss_of = |m: &DLinear, b: &Batch| {
+            let mut rng2 = StdRng::seed_from_u64(0);
+            let mut g = Graph::new(m.store());
+            let p = m.forward(&mut g, b, false, &mut rng2);
+            let t = g.constant(b.y.clone());
+            let l = g.mse_loss(p, t);
+            g.value(l).item()
+        };
+        let b0 = make_batch(&mut rng);
+        let initial = loss_of(&m, &b0);
+        for _ in 0..60 {
+            let b = make_batch(&mut rng);
+            let grads = {
+                let mut rng2 = StdRng::seed_from_u64(0);
+                let mut g = Graph::new(m.store());
+                let p = m.forward(&mut g, &b, true, &mut rng2);
+                let t = g.constant(b.y.clone());
+                let l = g.mse_loss(p, t);
+                g.backward(l)
+            };
+            grads.apply_to(m.store_mut());
+            opt.step(m.store_mut());
+        }
+        let fin = loss_of(&m, &b0);
+        assert!(fin < initial * 0.2, "ramp fit failed: {initial} → {fin}");
+    }
+}
+
+#[cfg(test)]
+use rand::Rng;

@@ -1,0 +1,178 @@
+//! Informer (Zhou et al., AAAI 2021), simplified encoder: value embedding +
+//! temporal-feature embedding + sinusoidal PE, encoder layers separated by
+//! the distilling operation (halving the token axis by average pooling).
+//! Dense attention stands in for ProbSparse — at CPU-bench lengths the
+//! sparsity approximation changes constants, not the architecture's role as
+//! a PE-carrying heavyweight baseline (see DESIGN.md).
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_data::window::Batch;
+use lip_data::timefeatures;
+use lip_nn::positional::SinusoidalPositionalEncoding;
+use lip_nn::Linear;
+use lipformer::Forecaster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::EncoderLayer;
+
+/// Simplified Informer (encoder + distillation + linear horizon head).
+pub struct Informer {
+    store: ParamStore,
+    value_embed: Linear,
+    time_embed: Linear,
+    pe: SinusoidalPositionalEncoding,
+    layers: Vec<EncoderLayer>,
+    time_head: Linear,
+    out_head: Linear,
+    seq_len: usize,
+    /// Forecast horizon (recorded for introspection / asserts).
+    #[allow(dead_code)]
+    pred_len: usize,
+    channels: usize,
+    distilled_len: usize,
+}
+
+impl Informer {
+    /// Build with width `dim` and two encoder layers around one distill step.
+    pub fn new(seq_len: usize, pred_len: usize, channels: usize, dim: usize, seed: u64) -> Self {
+        assert!(seq_len % 2 == 0, "Informer distillation needs an even length");
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let heads = if dim % 8 == 0 { 8 } else { 4 };
+        let value_embed = Linear::new(&mut store, "informer.value", channels, dim, true, &mut rng);
+        let time_embed = Linear::new(
+            &mut store,
+            "informer.time",
+            timefeatures::NUM_TIME_FEATURES,
+            dim,
+            true,
+            &mut rng,
+        );
+        let layers = (0..2)
+            .map(|i| {
+                EncoderLayer::new(&mut store, &format!("informer.layer{i}"), dim, heads, 0.1, &mut rng)
+            })
+            .collect();
+        let distilled_len = seq_len / 2;
+        let time_head = Linear::new(
+            &mut store,
+            "informer.time_head",
+            distilled_len,
+            pred_len,
+            true,
+            &mut rng,
+        );
+        let out_head = Linear::new(&mut store, "informer.out_head", dim, channels, true, &mut rng);
+        Informer {
+            store,
+            value_embed,
+            time_embed,
+            pe: SinusoidalPositionalEncoding::new(seq_len.max(1024), dim),
+            layers,
+            time_head,
+            out_head,
+            seq_len,
+            pred_len,
+            channels,
+            distilled_len,
+        }
+    }
+
+    /// Distill: average-pool the token axis by 2.
+    fn distill(&self, g: &mut Graph, h: Var) -> Var {
+        let shape = g.shape(h).to_vec();
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        let pairs = g.reshape(h, &[b, t / 2, 2, d]);
+        let summed = g.sum_axis(pairs, 2); // [b, t/2, 1, d]
+        let pooled = g.reshape(summed, &[b, t / 2, d]);
+        g.mul_scalar(pooled, 0.5)
+    }
+}
+
+impl Forecaster for Informer {
+    fn name(&self) -> &str {
+        "Informer"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, g: &mut Graph, batch: &Batch, training: bool, rng: &mut StdRng) -> Var {
+        let (_b, t, c) = (
+            batch.x.shape()[0],
+            batch.x.shape()[1],
+            batch.x.shape()[2],
+        );
+        assert_eq!(t, self.seq_len, "input length mismatch");
+        assert_eq!(c, self.channels, "channel mismatch");
+
+        let x = g.constant(batch.x.clone());
+        let mut h = self.value_embed.forward(g, x);
+        // Informer's temporal embedding: the paper uses *input-side* time
+        // features; our batch carries future features, so embed a zero-padded
+        // version only when widths align — otherwise skip (documented
+        // simplification: the value+positional embedding dominates).
+        if batch.time_feats.shape()[1] == t {
+            let tf = g.constant(batch.time_feats.clone());
+            let te = self.time_embed.forward(g, tf);
+            h = g.add(h, te);
+        }
+        h = self.pe.forward(g, h);
+
+        h = self.layers[0].forward(g, h, training, rng);
+        h = self.distill(g, h); // [b, T/2, d]
+        h = self.layers[1].forward(g, h, training, rng);
+        debug_assert_eq!(g.shape(h)[1], self.distilled_len);
+
+        let swapped = g.transpose(h, 1, 2); // [b, d, T/2]
+        let mapped = self.time_head.forward(g, swapped); // [b, d, L]
+        let back = g.transpose(mapped, 1, 2);
+        self.out_head.forward(g, back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_tensor::Tensor;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Informer::new(16, 4, 2, 8, 0);
+        let b = Batch {
+            x: Tensor::randn(&[2, 16, 2], &mut rng),
+            y: Tensor::randn(&[2, 4, 2], &mut rng),
+            time_feats: Tensor::zeros(&[2, 4, 4]),
+            cov_numerical: None,
+            cov_categorical: None,
+        };
+        let mut g = Graph::new(m.store());
+        let y = m.forward(&mut g, &b, false, &mut rng);
+        assert_eq!(g.shape(y), &[2, 4, 2]);
+    }
+
+    #[test]
+    fn distillation_halves_tokens() {
+        let m = Informer::new(8, 2, 1, 4, 0);
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let h = g.constant(Tensor::arange(16).reshape(&[1, 8, 2]));
+        let d = m.distill(&mut g, h);
+        assert_eq!(g.shape(d), &[1, 4, 2]);
+        // first pooled token = mean of tokens 0 and 1
+        assert_eq!(g.value(d).at(&[0, 0, 0]), 1.0); // (0 + 2)/2
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_length_rejected() {
+        let _ = Informer::new(15, 4, 1, 8, 0);
+    }
+}

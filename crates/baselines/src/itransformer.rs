@@ -1,0 +1,174 @@
+//! iTransformer (Liu et al., ICLR 2024): invert the token axis — each
+//! *variate* (channel) becomes one token embedding its entire history, and
+//! attention runs across channels to exchange multivariate information.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_data::window::Batch;
+use lip_nn::Linear;
+use lipformer::Forecaster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{EncoderLayer, RevIn};
+
+/// Inverted Transformer with variate-wise attention.
+pub struct ITransformer {
+    store: ParamStore,
+    embed: Linear,
+    layers: Vec<EncoderLayer>,
+    head: Linear,
+    seq_len: usize,
+    /// Forecast horizon (recorded for introspection / asserts).
+    #[allow(dead_code)]
+    pred_len: usize,
+    channels: usize,
+}
+
+impl ITransformer {
+    /// Build with width `dim` and `depth` encoder layers.
+    pub fn new(
+        seq_len: usize,
+        pred_len: usize,
+        channels: usize,
+        dim: usize,
+        depth: usize,
+        seed: u64,
+    ) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embed = Linear::new(&mut store, "itransformer.embed", seq_len, dim, true, &mut rng);
+        let heads = if dim % 8 == 0 { 8 } else { 4 };
+        let layers = (0..depth)
+            .map(|i| {
+                EncoderLayer::new(
+                    &mut store,
+                    &format!("itransformer.layer{i}"),
+                    dim,
+                    heads,
+                    0.1,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let head = Linear::new(&mut store, "itransformer.head", dim, pred_len, true, &mut rng);
+        ITransformer {
+            store,
+            embed,
+            layers,
+            head,
+            seq_len,
+            pred_len,
+            channels,
+        }
+    }
+}
+
+impl Forecaster for ITransformer {
+    fn name(&self) -> &str {
+        "iTransformer"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, g: &mut Graph, batch: &Batch, training: bool, rng: &mut StdRng) -> Var {
+        let (_b, t, c) = (
+            batch.x.shape()[0],
+            batch.x.shape()[1],
+            batch.x.shape()[2],
+        );
+        assert_eq!(t, self.seq_len, "input length mismatch");
+        assert_eq!(c, self.channels, "channel mismatch");
+
+        let x = g.constant(batch.x.clone());
+        let (normed, stats) = RevIn.normalize(g, x);
+
+        // variate tokens: [b, c, T] → embed T→d → [b, c, d]
+        let inverted = g.permute(normed, &[0, 2, 1]);
+        let mut h = self.embed.forward(g, inverted);
+        for layer in &self.layers {
+            h = layer.forward(g, h, training, rng); // attention across c tokens
+        }
+        // head d→L per variate: [b, c, L] → [b, L, c]
+        let y = self.head.forward(g, h);
+        let merged = g.permute(y, &[0, 2, 1]);
+        RevIn.denormalize(g, merged, &stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_tensor::Tensor;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = ITransformer::new(16, 4, 3, 8, 2, 0);
+        let b = Batch {
+            x: Tensor::randn(&[2, 16, 3], &mut rng),
+            y: Tensor::randn(&[2, 4, 3], &mut rng),
+            time_feats: Tensor::zeros(&[2, 4, 4]),
+            cov_numerical: None,
+            cov_categorical: None,
+        };
+        let mut g = Graph::new(m.store());
+        let y = m.forward(&mut g, &b, false, &mut rng);
+        assert_eq!(g.shape(y), &[2, 4, 3]);
+    }
+
+    #[test]
+    fn channels_exchange_information() {
+        // unlike channel-independent models, perturbing channel 1 must
+        // change channel 0's forecast — the variate attention at work
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = ITransformer::new(8, 2, 2, 8, 1, 0);
+        let x = Tensor::randn(&[1, 8, 2], &mut rng);
+        let mut x2 = x.clone();
+        // perturb channel 1 with a *pattern* (a constant offset would be
+        // erased by RevIN's per-channel normalization)
+        for ti in 4..8 {
+            x2.data_mut()[ti * 2 + 1] += 3.0;
+        }
+        let run = |input: Tensor| {
+            let mut r = StdRng::seed_from_u64(0);
+            let b = Batch {
+                x: input,
+                y: Tensor::zeros(&[1, 2, 2]),
+                time_feats: Tensor::zeros(&[1, 2, 4]),
+                cov_numerical: None,
+                cov_categorical: None,
+            };
+            let mut g = Graph::new(m.store());
+            let y = m.forward(&mut g, &b, false, &mut r);
+            g.value(y).clone()
+        };
+        let d = (run(x2).at(&[0, 0, 0]) - run(x).at(&[0, 0, 0])).abs();
+        assert!(d > 1e-6, "variate attention should mix channels: {d}");
+    }
+
+    #[test]
+    fn token_count_is_channel_count() {
+        // MACs should grow with channels (tokens) rather than with length²
+        let macs = |c: usize| {
+            let m = ITransformer::new(8, 2, c, 8, 1, 0);
+            let mut rng = StdRng::seed_from_u64(0);
+            let b = Batch {
+                x: Tensor::zeros(&[1, 8, c]),
+                y: Tensor::zeros(&[1, 2, c]),
+                time_feats: Tensor::zeros(&[1, 2, 4]),
+                cov_numerical: None,
+                cov_categorical: None,
+            };
+            let mut g = Graph::new(m.store());
+            let _ = m.forward(&mut g, &b, false, &mut rng);
+            g.macs()
+        };
+        assert!(macs(8) > macs(2));
+    }
+}

@@ -1,0 +1,193 @@
+//! PatchTST (Nie et al., ICLR 2023): RevIN + channel independence +
+//! patching + a standard Transformer encoder (learned positional encoding,
+//! LayerNorm, FFN) + a flatten head — the strongest patch-wise baseline and
+//! LiPFormer's closest comparison point.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_data::window::Batch;
+use lip_nn::positional::LearnedPositionalEncoding;
+use lip_nn::Linear;
+use lipformer::Forecaster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{EncoderLayer, RevIn};
+
+/// PatchTST with non-overlapping patches.
+pub struct PatchTst {
+    store: ParamStore,
+    embed: Linear,
+    pe: LearnedPositionalEncoding,
+    layers: Vec<EncoderLayer>,
+    head: Linear,
+    seq_len: usize,
+    pred_len: usize,
+    channels: usize,
+    patch_len: usize,
+    num_patches: usize,
+    dim: usize,
+}
+
+impl PatchTst {
+    /// Build with model width `dim` and `depth` encoder layers.
+    pub fn new(
+        seq_len: usize,
+        pred_len: usize,
+        channels: usize,
+        dim: usize,
+        depth: usize,
+        seed: u64,
+    ) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let patch_len = lipformer::config::preferred_patch_len(seq_len).min(16);
+        let patch_len = (1..=seq_len)
+            .rev()
+            .find(|pl| seq_len % pl == 0 && *pl <= patch_len)
+            .unwrap_or(1);
+        let num_patches = seq_len / patch_len;
+        let embed = Linear::new(&mut store, "patchtst.embed", patch_len, dim, true, &mut rng);
+        let pe = LearnedPositionalEncoding::new(&mut store, "patchtst", num_patches, dim, &mut rng);
+        let heads = if dim % 8 == 0 { 8 } else { 4 };
+        let layers = (0..depth)
+            .map(|i| EncoderLayer::new(&mut store, &format!("patchtst.layer{i}"), dim, heads, 0.1, &mut rng))
+            .collect();
+        let head = Linear::new(
+            &mut store,
+            "patchtst.head",
+            num_patches * dim,
+            pred_len,
+            true,
+            &mut rng,
+        );
+        PatchTst {
+            store,
+            embed,
+            pe,
+            layers,
+            head,
+            seq_len,
+            pred_len,
+            channels,
+            patch_len,
+            num_patches,
+            dim,
+        }
+    }
+
+    /// Patch length in use.
+    pub fn patch_len(&self) -> usize {
+        self.patch_len
+    }
+}
+
+impl Forecaster for PatchTst {
+    fn name(&self) -> &str {
+        "PatchTST"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, g: &mut Graph, batch: &Batch, training: bool, rng: &mut StdRng) -> Var {
+        let (b, t, c) = (
+            batch.x.shape()[0],
+            batch.x.shape()[1],
+            batch.x.shape()[2],
+        );
+        assert_eq!(t, self.seq_len, "input length mismatch");
+        assert_eq!(c, self.channels, "channel mismatch");
+
+        let x = g.constant(batch.x.clone());
+        let (normed, stats) = RevIn.normalize(g, x);
+
+        // channel independence + patching: [b·c, n, pl]
+        let per_channel = g.permute(normed, &[0, 2, 1]);
+        let patched = g.reshape(per_channel, &[b * c, self.num_patches, self.patch_len]);
+
+        // patch embedding + learned positional encoding
+        let mut h = self.embed.forward(g, patched);
+        h = self.pe.forward(g, h);
+
+        for layer in &self.layers {
+            h = layer.forward(g, h, training, rng);
+        }
+
+        // flatten head: [b·c, n·d] → [b·c, L]
+        let flat = g.reshape(h, &[b * c, self.num_patches * self.dim]);
+        let y = self.head.forward(g, flat);
+
+        let split = g.reshape(y, &[b, c, self.pred_len]);
+        let merged = g.permute(split, &[0, 2, 1]);
+        RevIn.denormalize(g, merged, &stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_tensor::Tensor;
+
+    fn batch(b: usize, t: usize, c: usize, rng: &mut StdRng) -> Batch {
+        Batch {
+            x: Tensor::randn(&[b, t, c], rng),
+            y: Tensor::randn(&[b, 6, c], rng),
+            time_feats: Tensor::zeros(&[b, 6, 4]),
+            cov_numerical: None,
+            cov_categorical: None,
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = PatchTst::new(32, 6, 2, 16, 2, 0);
+        assert_eq!(m.patch_len(), 16);
+        let b = batch(2, 32, 2, &mut rng);
+        let mut g = Graph::new(m.store());
+        let y = m.forward(&mut g, &b, false, &mut rng);
+        assert_eq!(g.shape(y), &[2, 6, 2]);
+        assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn has_ln_and_ffn_params_lipformer_lacks() {
+        // PatchTST carries LayerNorm γ/β and 4× FFN weights — the heavy
+        // components the paper eliminates. Sanity-check the scale gap.
+        let pt = PatchTst::new(96, 24, 7, 64, 2, 0);
+        let spec = lip_data::CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        };
+        let mut cfg = lipformer::LiPFormerConfig::small(96, 24, 7);
+        cfg.hidden = 64;
+        let lip = lipformer::LiPFormer::new(cfg, &spec, 0);
+        assert!(
+            pt.num_parameters() > lip.num_parameters(),
+            "PatchTST {} should out-weigh LiPFormer {}",
+            pt.num_parameters(),
+            lip.num_parameters()
+        );
+    }
+
+    #[test]
+    fn dropout_active_in_training() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = PatchTst::new(16, 4, 1, 8, 1, 0);
+        let b = batch(1, 16, 1, &mut rng);
+        let run = |training: bool, seed: u64| {
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut g = Graph::new(m.store());
+            let y = m.forward(&mut g, &b, training, &mut r);
+            g.value(y).clone()
+        };
+        assert_eq!(run(false, 1), run(false, 2));
+        assert_ne!(run(true, 1), run(true, 2));
+    }
+}

@@ -1,0 +1,291 @@
+//! TiDE (Das et al., 2023): a channel-independent dense encoder–decoder with
+//! residual MLP blocks, a per-step temporal decoder that consumes *future
+//! covariates*, and a highway linear skip — the covariate-aware baseline the
+//! paper singles out on Electri-Price/Cycle.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_data::window::Batch;
+use lip_data::CovariateSpec;
+use lip_nn::{Activation, Dropout, Linear};
+use lipformer::Forecaster;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// TiDE's residual MLP block: `out = skip(x) + drop(W₂ act(W₁ x))`.
+#[derive(Debug, Clone)]
+struct ResidualBlock {
+    up: Linear,
+    down: Linear,
+    skip: Linear,
+    dropout: Dropout,
+}
+
+impl ResidualBlock {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        output: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        ResidualBlock {
+            up: Linear::new(store, &format!("{name}.up"), input, hidden, true, rng),
+            down: Linear::new(store, &format!("{name}.down"), hidden, output, true, rng),
+            skip: Linear::new(store, &format!("{name}.skip"), input, output, true, rng),
+            dropout: Dropout::new(0.1),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, x: Var, training: bool, rng: &mut StdRng) -> Var {
+        let h = self.up.forward(g, x);
+        let h = Activation::Relu.apply(g, h);
+        let h = self.down.forward(g, h);
+        let h = self.dropout.forward(g, h, rng, training);
+        let s = self.skip.forward(g, x);
+        g.add(h, s)
+    }
+}
+
+/// TiDE forecaster. Future covariates (explicit weak labels when present,
+/// implicit temporal features otherwise) are projected per step and consumed
+/// by both the encoder and the temporal decoder.
+pub struct Tide {
+    store: ParamStore,
+    cov_project: Linear,
+    encoder: ResidualBlock,
+    decoder: ResidualBlock,
+    temporal: ResidualBlock,
+    highway: Linear,
+    seq_len: usize,
+    pred_len: usize,
+    channels: usize,
+    cov_width: usize,
+    cov_proj_dim: usize,
+    decoder_width: usize,
+    explicit: bool,
+}
+
+impl Tide {
+    /// Build with internal width `hidden`.
+    pub fn new(
+        seq_len: usize,
+        pred_len: usize,
+        channels: usize,
+        spec: &CovariateSpec,
+        hidden: usize,
+        seed: u64,
+    ) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let explicit = spec.has_explicit();
+        // categorical channels enter as raw codes (cast to f32) — a
+        // simplification of TiDE's feature handling
+        let cov_width = if explicit {
+            spec.numerical + spec.cardinalities.len()
+        } else {
+            spec.time_features
+        };
+        let cov_proj_dim = 4.min(cov_width.max(1));
+        let decoder_width = 8;
+        let cov_project = Linear::new(&mut store, "tide.cov_proj", cov_width, cov_proj_dim, true, &mut rng);
+        let enc_in = seq_len + pred_len * cov_proj_dim;
+        let encoder = ResidualBlock::new(&mut store, "tide.encoder", enc_in, hidden, hidden, &mut rng);
+        let decoder = ResidualBlock::new(
+            &mut store,
+            "tide.decoder",
+            hidden,
+            hidden,
+            decoder_width * pred_len,
+            &mut rng,
+        );
+        let temporal = ResidualBlock::new(
+            &mut store,
+            "tide.temporal",
+            decoder_width + cov_proj_dim,
+            hidden,
+            1,
+            &mut rng,
+        );
+        let highway = Linear::new(&mut store, "tide.highway", seq_len, pred_len, true, &mut rng);
+        Tide {
+            store,
+            cov_project,
+            encoder,
+            decoder,
+            temporal,
+            highway,
+            seq_len,
+            pred_len,
+            channels,
+            cov_width,
+            cov_proj_dim,
+            decoder_width,
+            explicit,
+        }
+    }
+
+    /// Assemble the `[b, L, cov_width]` covariate tensor for a batch.
+    fn covariates(&self, batch: &Batch) -> lip_tensor::Tensor {
+        if !self.explicit {
+            return batch.time_feats.clone();
+        }
+        let numerical = batch
+            .cov_numerical
+            .as_ref()
+            .expect("explicit TiDE requires numerical covariates");
+        let (b, l) = (numerical.shape()[0], numerical.shape()[1]);
+        let mut parts = vec![numerical.clone()];
+        if let Some(cats) = &batch.cov_categorical {
+            for codes in cats {
+                let vals: Vec<f32> = codes.iter().map(|&c| c as f32).collect();
+                parts.push(lip_tensor::Tensor::from_vec(vals, &[b, l, 1]));
+            }
+        }
+        let refs: Vec<&lip_tensor::Tensor> = parts.iter().collect();
+        lip_tensor::Tensor::concat(&refs, 2)
+    }
+}
+
+impl Forecaster for Tide {
+    fn name(&self) -> &str {
+        "TiDE"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, g: &mut Graph, batch: &Batch, training: bool, rng: &mut StdRng) -> Var {
+        let (b, t, c) = (
+            batch.x.shape()[0],
+            batch.x.shape()[1],
+            batch.x.shape()[2],
+        );
+        assert_eq!(t, self.seq_len, "input length mismatch");
+        assert_eq!(c, self.channels, "channel mismatch");
+        let l = self.pred_len;
+
+        // project covariates per future step: [b, L, p]
+        let cov = self.covariates(batch);
+        assert_eq!(cov.shape()[2], self.cov_width, "covariate width mismatch");
+        let cov_v = g.constant(cov);
+        let cov_proj = self.cov_project.forward(g, cov_v);
+
+        // per-channel history: [b·c, T]
+        let x = g.constant(batch.x.clone());
+        let per_channel = g.permute(x, &[0, 2, 1]);
+        let hist = g.reshape(per_channel, &[b * c, t]);
+
+        // flatten covariates and tile across channels: [b·c, L·p]
+        let cov_flat = g.reshape(cov_proj, &[b, l * self.cov_proj_dim]);
+        let cov_tiled = {
+            // [b, 1, L·p] broadcast → [b, c, L·p] → [b·c, L·p]
+            let expanded = g.reshape(cov_flat, &[b, 1, l * self.cov_proj_dim]);
+            let bc = g.broadcast_to(expanded, &[b, c, l * self.cov_proj_dim]);
+            g.reshape(bc, &[b * c, l * self.cov_proj_dim])
+        };
+
+        let enc_in = g.concat(&[hist, cov_tiled], 1);
+        let e = self.encoder.forward(g, enc_in, training, rng);
+        let d = self.decoder.forward(g, e, training, rng); // [b·c, dw·L]
+        let d_steps = g.reshape(d, &[b * c, l, self.decoder_width]);
+
+        // temporal decoder: per-step concat with the projected covariates
+        let cov_steps = {
+            let expanded = g.reshape(cov_proj, &[b, 1, l, self.cov_proj_dim]);
+            let bc = g.broadcast_to(expanded, &[b, c, l, self.cov_proj_dim]);
+            g.reshape(bc, &[b * c, l, self.cov_proj_dim])
+        };
+        let joined = g.concat(&[d_steps, cov_steps], 2);
+        let per_step = self.temporal.forward(g, joined, training, rng); // [b·c, L, 1]
+        let flat = g.reshape(per_step, &[b * c, l]);
+
+        // highway skip from raw history
+        let skip = self.highway.forward(g, hist);
+        let y = g.add(flat, skip);
+
+        let split = g.reshape(y, &[b, c, l]);
+        g.permute(split, &[0, 2, 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_tensor::Tensor;
+
+    fn implicit_spec() -> CovariateSpec {
+        CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        }
+    }
+
+    fn explicit_spec() -> CovariateSpec {
+        CovariateSpec {
+            numerical: 3,
+            cardinalities: vec![2],
+            time_features: 4,
+        }
+    }
+
+    #[test]
+    fn forward_shape_implicit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Tide::new(16, 4, 2, &implicit_spec(), 16, 0);
+        let b = Batch {
+            x: Tensor::randn(&[3, 16, 2], &mut rng),
+            y: Tensor::randn(&[3, 4, 2], &mut rng),
+            time_feats: Tensor::randn(&[3, 4, 4], &mut rng),
+            cov_numerical: None,
+            cov_categorical: None,
+        };
+        let mut g = Graph::new(m.store());
+        let y = m.forward(&mut g, &b, false, &mut rng);
+        assert_eq!(g.shape(y), &[3, 4, 2]);
+    }
+
+    #[test]
+    fn forward_shape_explicit_with_categoricals() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Tide::new(16, 4, 2, &explicit_spec(), 16, 0);
+        let b = Batch {
+            x: Tensor::randn(&[2, 16, 2], &mut rng),
+            y: Tensor::randn(&[2, 4, 2], &mut rng),
+            time_feats: Tensor::randn(&[2, 4, 4], &mut rng),
+            cov_numerical: Some(Tensor::randn(&[2, 4, 3], &mut rng)),
+            cov_categorical: Some(vec![(0..8).map(|i| i % 2).collect()]),
+        };
+        let mut g = Graph::new(m.store());
+        let y = m.forward(&mut g, &b, false, &mut rng);
+        assert_eq!(g.shape(y), &[2, 4, 2]);
+    }
+
+    #[test]
+    fn covariates_influence_prediction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Tide::new(8, 2, 1, &explicit_spec(), 8, 0);
+        let x = Tensor::randn(&[1, 8, 1], &mut rng);
+        let run = |covval: f32| {
+            let mut r = StdRng::seed_from_u64(0);
+            let b = Batch {
+                x: x.clone(),
+                y: Tensor::zeros(&[1, 2, 1]),
+                time_feats: Tensor::zeros(&[1, 2, 4]),
+                cov_numerical: Some(Tensor::full(&[1, 2, 3], covval)),
+                cov_categorical: Some(vec![vec![0, 0]]),
+            };
+            let mut g = Graph::new(m.store());
+            let y = m.forward(&mut g, &b, false, &mut r);
+            g.value(y).clone()
+        };
+        let d = run(0.0).sub(&run(2.0)).abs().max_value();
+        assert!(d > 1e-6, "future covariates must steer TiDE: {d}");
+    }
+}

@@ -1,0 +1,211 @@
+//! TimeMixer (Wang et al., ICLR 2024), simplified: multi-scale series
+//! obtained by average-pooling, per-scale trend/seasonal decomposable mixing
+//! with MLPs along the time axis, and a per-scale future multipredictor whose
+//! outputs are averaged.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_data::window::Batch;
+use lip_nn::{Activation, Linear, Mlp};
+use lipformer::Forecaster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{avg_pool_time, moving_average};
+
+struct ScaleBranch {
+    /// Seasonal mixing MLP along the (downsampled) time axis.
+    season_mix: Mlp,
+    /// Trend mixing MLP along the time axis.
+    trend_mix: Mlp,
+    /// Future predictor `T_s → L`.
+    predictor: Linear,
+    factor: usize,
+    scale_len: usize,
+}
+
+/// Simplified TimeMixer with pooling factors {1, 2, 4}.
+pub struct TimeMixer {
+    store: ParamStore,
+    branches: Vec<ScaleBranch>,
+    seq_len: usize,
+    pred_len: usize,
+    channels: usize,
+}
+
+impl TimeMixer {
+    /// Build with mixing width `hidden`.
+    pub fn new(seq_len: usize, pred_len: usize, channels: usize, hidden: usize, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut branches = Vec::new();
+        for factor in [1usize, 2, 4] {
+            if seq_len % factor != 0 || seq_len / factor < 4 {
+                continue;
+            }
+            let scale_len = seq_len / factor;
+            branches.push(ScaleBranch {
+                season_mix: Mlp::new(
+                    &mut store,
+                    &format!("timemixer.s{factor}.season"),
+                    &[scale_len, hidden, scale_len],
+                    Activation::Gelu,
+                    &mut rng,
+                ),
+                trend_mix: Mlp::new(
+                    &mut store,
+                    &format!("timemixer.s{factor}.trend"),
+                    &[scale_len, hidden, scale_len],
+                    Activation::Gelu,
+                    &mut rng,
+                ),
+                predictor: Linear::new(
+                    &mut store,
+                    &format!("timemixer.s{factor}.pred"),
+                    scale_len,
+                    pred_len,
+                    true,
+                    &mut rng,
+                ),
+                factor,
+                scale_len,
+            });
+        }
+        assert!(!branches.is_empty(), "seq_len too short for TimeMixer");
+        TimeMixer {
+            store,
+            branches,
+            seq_len,
+            pred_len,
+            channels,
+        }
+    }
+
+    /// Number of active scales.
+    pub fn num_scales(&self) -> usize {
+        self.branches.len()
+    }
+}
+
+impl Forecaster for TimeMixer {
+    fn name(&self) -> &str {
+        "TimeMixer"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, g: &mut Graph, batch: &Batch, _training: bool, _rng: &mut StdRng) -> Var {
+        let (b, t, c) = (
+            batch.x.shape()[0],
+            batch.x.shape()[1],
+            batch.x.shape()[2],
+        );
+        assert_eq!(t, self.seq_len, "input length mismatch");
+        assert_eq!(c, self.channels, "channel mismatch");
+
+        let mut scale_preds: Vec<Var> = Vec::with_capacity(self.branches.len());
+        for branch in &self.branches {
+            // downsample + decompose on the constant input
+            let pooled = if branch.factor == 1 {
+                batch.x.clone()
+            } else {
+                avg_pool_time(&batch.x, branch.factor)
+            };
+            let kernel = (branch.scale_len / 4).max(3) | 1;
+            let trend = moving_average(&pooled, kernel);
+            let season = pooled.sub(&trend);
+
+            // channel independence along the time axis: [b·c, T_s]
+            let to_rows = |g: &mut Graph, v: Var| {
+                let p = g.permute(v, &[0, 2, 1]);
+                g.reshape(p, &[b * c, branch.scale_len])
+            };
+            let season_v = g.constant(season);
+            let trend_v = g.constant(trend);
+            let season_rows = to_rows(g, season_v);
+            let trend_rows = to_rows(g, trend_v);
+
+            // decomposable mixing with residuals
+            let sm = branch.season_mix.forward(g, season_rows);
+            let season_mixed = g.add(sm, season_rows);
+            let tm = branch.trend_mix.forward(g, trend_rows);
+            let trend_mixed = g.add(tm, trend_rows);
+
+            let recomposed = g.add(season_mixed, trend_mixed);
+            scale_preds.push(branch.predictor.forward(g, recomposed)); // [b·c, L]
+        }
+
+        // future multipredictor mixing: average the per-scale forecasts
+        let mut sum = scale_preds[0];
+        for &p in &scale_preds[1..] {
+            sum = g.add(sum, p);
+        }
+        let avg = g.mul_scalar(sum, 1.0 / scale_preds.len() as f32);
+
+        let split = g.reshape(avg, &[b, c, self.pred_len]);
+        g.permute(split, &[0, 2, 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_tensor::Tensor;
+
+    #[test]
+    fn forward_shape_and_scales() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = TimeMixer::new(16, 4, 2, 8, 0);
+        assert_eq!(m.num_scales(), 3);
+        let b = Batch {
+            x: Tensor::randn(&[2, 16, 2], &mut rng),
+            y: Tensor::randn(&[2, 4, 2], &mut rng),
+            time_feats: Tensor::zeros(&[2, 4, 4]),
+            cov_numerical: None,
+            cov_categorical: None,
+        };
+        let mut g = Graph::new(m.store());
+        let y = m.forward(&mut g, &b, false, &mut rng);
+        assert_eq!(g.shape(y), &[2, 4, 2]);
+    }
+
+    #[test]
+    fn short_windows_drop_scales() {
+        let m = TimeMixer::new(6, 2, 1, 8, 0);
+        assert_eq!(m.num_scales(), 1); // factors 2 and 4 leave < 4 steps
+    }
+
+    #[test]
+    fn gradient_reaches_all_branches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = TimeMixer::new(8, 2, 1, 4, 0);
+        let b = Batch {
+            x: Tensor::randn(&[2, 8, 1], &mut rng),
+            y: Tensor::randn(&[2, 2, 1], &mut rng),
+            time_feats: Tensor::zeros(&[2, 2, 4]),
+            cov_numerical: None,
+            cov_categorical: None,
+        };
+        let grads = {
+            let mut g = Graph::new(m.store());
+            let p = m.forward(&mut g, &b, true, &mut rng);
+            let t = g.constant(b.y.clone());
+            let l = g.mse_loss(p, t);
+            g.backward(l)
+        };
+        grads.apply_to(m.store_mut());
+        // every parameter tensor should have received some gradient signal
+        let touched = m
+            .store()
+            .trainable_ids()
+            .iter()
+            .filter(|&&id| m.store().grad(id).abs().max_value() > 0.0)
+            .count();
+        assert_eq!(touched, m.store().len(), "all branches must train");
+    }
+}

@@ -1,0 +1,162 @@
+//! The vanilla point-wise Transformer (Vaswani et al., 2017) adapted to
+//! forecasting: every time step is a token, sinusoidal positional encoding,
+//! post-LN encoder stack with `O(T²)` attention — the heavyweight reference
+//! of the paper's efficiency studies (Tables III & VII).
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_data::window::Batch;
+use lip_nn::positional::SinusoidalPositionalEncoding;
+use lip_nn::Linear;
+use lipformer::Forecaster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::EncoderLayer;
+
+/// Encoder-only vanilla Transformer forecaster.
+pub struct VanillaTransformer {
+    store: ParamStore,
+    embed: Linear,
+    pe: SinusoidalPositionalEncoding,
+    layers: Vec<EncoderLayer>,
+    /// Maps the time axis `T → L`.
+    time_head: Linear,
+    /// Maps the feature axis `d → c`.
+    out_head: Linear,
+    seq_len: usize,
+    /// Forecast horizon (recorded for introspection / asserts).
+    #[allow(dead_code)]
+    pred_len: usize,
+    channels: usize,
+    dim: usize,
+}
+
+impl VanillaTransformer {
+    /// Build with width `dim` and `depth` encoder layers.
+    pub fn new(
+        seq_len: usize,
+        pred_len: usize,
+        channels: usize,
+        dim: usize,
+        depth: usize,
+        seed: u64,
+    ) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embed = Linear::new(&mut store, "transformer.embed", channels, dim, true, &mut rng);
+        let pe = SinusoidalPositionalEncoding::new(seq_len.max(1024), dim);
+        let heads = if dim % 8 == 0 { 8 } else { 4 };
+        let layers = (0..depth)
+            .map(|i| {
+                EncoderLayer::new(
+                    &mut store,
+                    &format!("transformer.layer{i}"),
+                    dim,
+                    heads,
+                    0.1,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let time_head = Linear::new(&mut store, "transformer.time_head", seq_len, pred_len, true, &mut rng);
+        let out_head = Linear::new(&mut store, "transformer.out_head", dim, channels, true, &mut rng);
+        VanillaTransformer {
+            store,
+            embed,
+            pe,
+            layers,
+            time_head,
+            out_head,
+            seq_len,
+            pred_len,
+            channels,
+            dim,
+        }
+    }
+}
+
+impl Forecaster for VanillaTransformer {
+    fn name(&self) -> &str {
+        "Transformer"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, g: &mut Graph, batch: &Batch, training: bool, rng: &mut StdRng) -> Var {
+        let (_b, t, c) = (
+            batch.x.shape()[0],
+            batch.x.shape()[1],
+            batch.x.shape()[2],
+        );
+        assert_eq!(t, self.seq_len, "input length mismatch");
+        assert_eq!(c, self.channels, "channel mismatch");
+        let _ = self.dim;
+
+        let x = g.constant(batch.x.clone());
+        let mut h = self.embed.forward(g, x); // [b, T, d]
+        h = self.pe.forward(g, h);
+        for layer in &self.layers {
+            h = layer.forward(g, h, training, rng);
+        }
+        // time head: [b, d, T] → [b, d, L]
+        let swapped = g.transpose(h, 1, 2);
+        let mapped = self.time_head.forward(g, swapped);
+        let back = g.transpose(mapped, 1, 2); // [b, L, d]
+        self.out_head.forward(g, back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_tensor::Tensor;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = VanillaTransformer::new(16, 4, 3, 8, 2, 0);
+        let b = Batch {
+            x: Tensor::randn(&[2, 16, 3], &mut rng),
+            y: Tensor::randn(&[2, 4, 3], &mut rng),
+            time_feats: Tensor::zeros(&[2, 4, 4]),
+            cov_numerical: None,
+            cov_categorical: None,
+        };
+        let mut g = Graph::new(m.store());
+        let y = m.forward(&mut g, &b, false, &mut rng);
+        assert_eq!(g.shape(y), &[2, 4, 3]);
+        assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn attention_cost_grows_quadratically() {
+        // MAC count vs input length should scale super-linearly — the
+        // motivation for patching (paper Challenge 1).
+        let macs_at = |t: usize| {
+            let m = VanillaTransformer::new(t, 4, 1, 8, 1, 0);
+            let mut rng = StdRng::seed_from_u64(0);
+            let b = Batch {
+                x: Tensor::zeros(&[1, t, 1]),
+                y: Tensor::zeros(&[1, 4, 1]),
+                time_feats: Tensor::zeros(&[1, 4, 4]),
+                cov_numerical: None,
+                cov_categorical: None,
+            };
+            let mut g = Graph::new(m.store());
+            let _ = m.forward(&mut g, &b, false, &mut rng);
+            g.macs()
+        };
+        let m64 = macs_at(64);
+        let m256 = macs_at(256);
+        assert!(
+            m256 > 5 * m64,
+            "expected super-linear MAC growth: {m64} → {m256}"
+        );
+    }
+}

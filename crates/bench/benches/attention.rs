@@ -1,0 +1,69 @@
+//! The Table X design choice as a latency ablation: LiPFormer's patch-wise
+//! blocks (no LN, no FFN, no PE) vs the classic Transformer encoder layer at
+//! the same width, plus the individual Cross-/Inter-Patch costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lip_autograd::{Graph, ParamStore};
+use lip_baselines::common::EncoderLayer;
+use lip_tensor::Tensor;
+use lipformer::cross_patch::CrossPatch;
+use lipformer::inter_patch::InterPatch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const TOKENS: usize = 8; // patches
+const PATCH: usize = 12;
+const DIM: usize = 64;
+const ROWS: usize = 64; // b·c channel-independent rows
+
+fn bench_blocks(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("block_forward");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+
+    // LiPFormer blocks
+    let mut store = ParamStore::new();
+    let cross = CrossPatch::new(&mut store, "cp", TOKENS, PATCH, DIM, 4, true, &mut rng);
+    let inter = InterPatch::new(&mut store, "ip", DIM, 4, true, &mut rng);
+    let patched = Tensor::randn(&[ROWS, TOKENS, PATCH], &mut rng);
+    group.bench_function("lipformer_cross_plus_inter", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new(&store);
+            let x = g.constant(patched.clone());
+            let h = cross.forward(&mut g, x);
+            inter.forward(&mut g, h)
+        })
+    });
+    group.bench_function("cross_patch_only", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new(&store);
+            let x = g.constant(patched.clone());
+            cross.forward(&mut g, x)
+        })
+    });
+    let hidden_in = Tensor::randn(&[ROWS, TOKENS, DIM], &mut rng);
+    group.bench_function("inter_patch_only", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new(&store);
+            let x = g.constant(hidden_in.clone());
+            inter.forward(&mut g, x)
+        })
+    });
+
+    // classic encoder layer (attention + LN + 4× FFN) at the same width
+    let mut store2 = ParamStore::new();
+    let classic = EncoderLayer::new(&mut store2, "enc", DIM, 4, 0.0, &mut rng);
+    group.bench_function("classic_attn_ln_ffn", |bench| {
+        bench.iter(|| {
+            let mut r = StdRng::seed_from_u64(0);
+            let mut g = Graph::new(&store2);
+            let x = g.constant(hidden_in.clone());
+            classic.forward(&mut g, x, false, &mut r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocks);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! The Table VII scaling study as a microbenchmark: single-sample inference
+//! latency vs input length, vanilla Transformer vs LiPFormer. The vanilla
+//! model's O(T²) attention should separate sharply from LiPFormer's
+//! O(T²/pl²) patching as T grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lip_autograd::Graph;
+use lip_baselines::VanillaTransformer;
+use lip_bench::synthetic_batch;
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const PRED: usize = 24;
+const CH: usize = 7;
+const DIM: usize = 32;
+
+fn bench_edge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_inference_b1");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &t in &[96usize, 192, 336] {
+        let batch = synthetic_batch(1, t, PRED, CH);
+
+        let mut cfg = LiPFormerConfig::small(t, PRED, CH);
+        cfg.hidden = DIM;
+        let lip = LiPFormer::without_enriching(cfg, 0);
+        group.bench_with_input(BenchmarkId::new("LiPFormer", t), &(), |b, ()| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                let mut g = Graph::new(lip.store());
+                lip.forward(&mut g, &batch, false, &mut rng)
+            })
+        });
+
+        let tf = VanillaTransformer::new(t, PRED, CH, DIM, 2, 0);
+        group.bench_with_input(BenchmarkId::new("Transformer", t), &(), |b, ()| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                let mut g = Graph::new(tf.store());
+                tf.forward(&mut g, &batch, false, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Forward-pass latency of the full model zoo at one bench-scale task —
+//! the inference-time column of Table III in microbenchmark form.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lip_autograd::Graph;
+use lip_baselines::{
+    Autoformer, DLinear, Fgnn, ITransformer, Informer, PatchTst, Tide, TimeMixer,
+    VanillaTransformer,
+};
+use lip_bench::synthetic_batch;
+use lip_data::CovariateSpec;
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const SEQ: usize = 96;
+const PRED: usize = 24;
+const CH: usize = 6;
+const DIM: usize = 32;
+
+fn bench_models(c: &mut Criterion) {
+    let spec = CovariateSpec {
+        numerical: 0,
+        cardinalities: vec![],
+        time_features: 4,
+    };
+    let batch = synthetic_batch(32, SEQ, PRED, CH);
+    let mut cfg = LiPFormerConfig::small(SEQ, PRED, CH);
+    cfg.hidden = DIM;
+    cfg.encoder_hidden = 24;
+
+    let models: Vec<(&str, Box<dyn Forecaster>)> = vec![
+        ("LiPFormer", Box::new(LiPFormer::new(cfg, &spec, 0))),
+        ("DLinear", Box::new(DLinear::new(SEQ, PRED, CH, 0))),
+        ("PatchTST", Box::new(PatchTst::new(SEQ, PRED, CH, DIM, 2, 0))),
+        ("iTransformer", Box::new(ITransformer::new(SEQ, PRED, CH, DIM, 2, 0))),
+        ("TimeMixer", Box::new(TimeMixer::new(SEQ, PRED, CH, DIM, 0))),
+        ("FGNN", Box::new(Fgnn::new(SEQ, PRED, CH, DIM, 0))),
+        ("TiDE", Box::new(Tide::new(SEQ, PRED, CH, &spec, DIM, 0))),
+        ("Transformer", Box::new(VanillaTransformer::new(SEQ, PRED, CH, DIM, 2, 0))),
+        ("Informer", Box::new(Informer::new(SEQ, PRED, CH, DIM, 0))),
+        ("Autoformer", Box::new(Autoformer::new(SEQ, PRED, CH, DIM, 0))),
+    ];
+
+    let mut group = c.benchmark_group("model_forward_b32");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for (name, model) in &models {
+        group.bench_function(*name, |bench| {
+            bench.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                let mut g = Graph::new(model.store());
+                model.forward(&mut g, &batch, false, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

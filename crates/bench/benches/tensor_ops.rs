@@ -1,0 +1,53 @@
+//! Substrate kernel benchmarks: matmul across the shapes the models use,
+//! softmax, and broadcast arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (128, 128, 128), (256, 256, 256)] {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(), |bench, ()| {
+            bench.iter(|| a.matmul(&b))
+        });
+    }
+    // batched: the attention score shape [B, n, d] × [B, d, n]
+    let a = Tensor::randn(&[32, 16, 32], &mut rng);
+    let b = Tensor::randn(&[32, 32, 16], &mut rng);
+    group.bench_function("batched_32x16x32", |bench| bench.iter(|| a.matmul(&b)));
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let t = Tensor::randn(&[64, 96, 96], &mut rng);
+    let mut group = c.benchmark_group("softmax");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group.bench_function("attention_scores_64x96x96", |bench| {
+        bench.iter(|| t.softmax_lastdim())
+    });
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::randn(&[64, 96, 32], &mut rng);
+    let bias = Tensor::randn(&[32], &mut rng);
+    let stats = Tensor::randn(&[64, 1, 32], &mut rng);
+    let mut group = c.benchmark_group("broadcast");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group.bench_function("suffix_bias_add", |bench| bench.iter(|| x.add(&bias)));
+    group.bench_function("middle_axis_sub", |bench| bench.iter(|| x.sub(&stats)));
+    group.bench_function("same_shape_mul", |bench| bench.iter(|| x.mul(&x)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_broadcast);
+criterion_main!(benches);

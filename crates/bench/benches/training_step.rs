@@ -1,0 +1,67 @@
+//! One full training step (forward + Smooth-L1 + backward + AdamW) for the
+//! key models — the train-seconds-per-epoch column of Table III, normalized
+//! to a single mini-batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lip_autograd::Graph;
+use lip_baselines::{DLinear, PatchTst, VanillaTransformer};
+use lip_bench::synthetic_batch;
+use lip_data::CovariateSpec;
+use lip_nn::{AdamW, Optimizer};
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const SEQ: usize = 96;
+const PRED: usize = 24;
+const CH: usize = 6;
+const DIM: usize = 32;
+
+fn step(model: &mut dyn Forecaster, batch: &lip_data::window::Batch, opt: &mut AdamW) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let grads = {
+        let mut g = Graph::new(model.store());
+        let pred = model.forward(&mut g, batch, true, &mut rng);
+        let target = g.constant(batch.y.clone());
+        let loss = g.smooth_l1_loss(pred, target, 1.0);
+        g.backward(loss)
+    };
+    grads.apply_to(model.store_mut());
+    opt.step(model.store_mut());
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let spec = CovariateSpec {
+        numerical: 0,
+        cardinalities: vec![],
+        time_features: 4,
+    };
+    let batch = synthetic_batch(32, SEQ, PRED, CH);
+    let mut group = c.benchmark_group("train_step_b32");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let mut cfg = LiPFormerConfig::small(SEQ, PRED, CH);
+    cfg.hidden = DIM;
+    cfg.encoder_hidden = 24;
+    let mut lip = LiPFormer::new(cfg, &spec, 0);
+    let mut opt = AdamW::new(1e-3, 1e-4);
+    group.bench_function("LiPFormer", |b| b.iter(|| step(&mut lip, &batch, &mut opt)));
+
+    let mut dlinear = DLinear::new(SEQ, PRED, CH, 0);
+    let mut opt2 = AdamW::new(1e-3, 1e-4);
+    group.bench_function("DLinear", |b| b.iter(|| step(&mut dlinear, &batch, &mut opt2)));
+
+    let mut patch = PatchTst::new(SEQ, PRED, CH, DIM, 2, 0);
+    let mut opt3 = AdamW::new(1e-3, 1e-4);
+    group.bench_function("PatchTST", |b| b.iter(|| step(&mut patch, &batch, &mut opt3)));
+
+    let mut tf = VanillaTransformer::new(SEQ, PRED, CH, DIM, 2, 0);
+    let mut opt4 = AdamW::new(1e-3, 1e-4);
+    group.bench_function("Transformer", |b| b.iter(|| step(&mut tf, &batch, &mut opt4)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

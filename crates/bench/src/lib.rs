@@ -1,0 +1,44 @@
+//! # lip-bench
+//!
+//! Criterion benchmarks for the LiPFormer reproduction. The benches mirror
+//! the paper's efficiency narrative:
+//!
+//! * `tensor_ops` — substrate kernels (matmul, softmax, broadcasting),
+//! * `attention` — LiPFormer's FFN-less/LN-less block vs the classic
+//!   Transformer encoder layer at equal width (the Table X design choice),
+//! * `models_inference` — forward latency of the whole model zoo,
+//! * `training_step` — one forward+backward+AdamW step per model,
+//! * `edge_inference` — the Table VII scaling study (latency vs input
+//!   length, LiPFormer vs vanilla Transformer).
+//!
+//! Shared fixtures live here.
+
+use lip_data::window::Batch;
+use lip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic random batch shaped like the bench-scale tasks.
+pub fn synthetic_batch(b: usize, seq_len: usize, pred_len: usize, channels: usize) -> Batch {
+    let mut rng = StdRng::seed_from_u64(7);
+    Batch {
+        x: Tensor::randn(&[b, seq_len, channels], &mut rng),
+        y: Tensor::randn(&[b, pred_len, channels], &mut rng),
+        time_feats: Tensor::randn(&[b, pred_len, 4], &mut rng).mul_scalar(0.2),
+        cov_numerical: None,
+        cov_categorical: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_shapes() {
+        let b = synthetic_batch(4, 96, 24, 3);
+        assert_eq!(b.x.shape(), &[4, 96, 3]);
+        assert_eq!(b.y.shape(), &[4, 24, 3]);
+        assert_eq!(b.time_feats.shape(), &[4, 24, 4]);
+    }
+}

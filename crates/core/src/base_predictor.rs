@@ -1,0 +1,305 @@
+//! The **Base Predictor** backbone (paper §III-C1, Fig. 4): instance
+//! normalization → channel-independent patching → Cross-Patch attention →
+//! Inter-Patch attention → two single-layer MLP heads. No Positional
+//! Encoding, no Layer Normalization, no Feed-Forward Networks — unless the
+//! Table X ablation switches re-insert the latter two.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_nn::{Activation, Dropout, FeedForward, LayerNorm, Linear};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::LiPFormerConfig;
+use crate::cross_patch::CrossPatch;
+use crate::inter_patch::InterPatch;
+use crate::patching::Patching;
+use crate::revin::InstanceNorm;
+
+/// LiPFormer's autoregressive backbone producing `Ŷ_base`.
+#[derive(Debug, Clone)]
+pub struct BasePredictor {
+    config: LiPFormerConfig,
+    patching: Patching,
+    cross: CrossPatch,
+    inter: InterPatch,
+    /// Head stage 1: token axis `n → nt`.
+    head_tokens: Linear,
+    /// Head stage 2: feature axis `hd → pl`.
+    head_features: Linear,
+    dropout: Dropout,
+    /// Table X "+LN" ablation.
+    ln_cross: Option<LayerNorm>,
+    ln_inter: Option<LayerNorm>,
+    /// Table X "+FFNs" ablation.
+    ffn: Option<FeedForward>,
+}
+
+impl BasePredictor {
+    /// Register all backbone parameters in `store`.
+    pub fn new(store: &mut ParamStore, name: &str, config: &LiPFormerConfig, rng: &mut impl Rng) -> Self {
+        config.validate();
+        let n = config.num_patches();
+        let nt = config.num_target_patches();
+        let cross = CrossPatch::new(
+            store,
+            &format!("{name}.cross"),
+            n,
+            config.patch_len,
+            config.hidden,
+            config.heads,
+            config.use_cross_patch,
+            rng,
+        );
+        let inter = InterPatch::new(
+            store,
+            &format!("{name}.inter"),
+            config.hidden,
+            config.heads,
+            config.use_inter_patch,
+            rng,
+        );
+        let head_tokens = Linear::new(store, &format!("{name}.head_tokens"), n, nt, true, rng);
+        let head_features = Linear::new(
+            store,
+            &format!("{name}.head_features"),
+            config.hidden,
+            config.patch_len,
+            true,
+            rng,
+        );
+        // Damp the output projection: with last-value instance normalization
+        // a near-zero head makes the initial forecast the "repeat last
+        // value" naive predictor, a far better starting point than a random
+        // projection of random attention features.
+        for id in head_features.param_ids() {
+            let damped = store.value(id).mul_scalar(0.05);
+            store.set_value(id, damped);
+        }
+        let ln_cross = config
+            .with_layer_norm
+            .then(|| LayerNorm::new(store, &format!("{name}.ln_cross"), config.hidden));
+        let ln_inter = config
+            .with_layer_norm
+            .then(|| LayerNorm::new(store, &format!("{name}.ln_inter"), config.hidden));
+        let ffn = config.with_ffn.then(|| {
+            FeedForward::new(
+                store,
+                &format!("{name}.ffn"),
+                config.hidden,
+                4,
+                Activation::Gelu,
+                rng,
+            )
+        });
+        BasePredictor {
+            patching: Patching {
+                patch_len: config.patch_len,
+            },
+            cross,
+            inter,
+            head_tokens,
+            head_features,
+            dropout: Dropout::new(config.dropout),
+            ln_cross,
+            ln_inter,
+            ffn,
+            config: config.clone(),
+        }
+    }
+
+    /// `x: [b, T, c] → Ŷ_base: [b, L, c]`.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool, rng: &mut StdRng) -> Var {
+        let shape = g.shape(x).to_vec();
+        let (b, c) = (shape[0], shape[2]);
+        assert_eq!(shape[1], self.config.seq_len, "input length mismatch");
+        assert_eq!(c, self.config.channels, "channel count mismatch");
+
+        // instance normalization (re-added at the end)
+        let (normed, anchor) = InstanceNorm.normalize(g, x);
+
+        // channel independence + patching: [b·c, n, pl]
+        let patched = self.patching.apply(g, normed);
+
+        // Cross-Patch trend mixing → [b·c, n, hd]
+        let mut h = self.cross.forward(g, patched);
+        if let Some(ln) = &self.ln_cross {
+            h = ln.forward(g, h);
+        }
+        h = self.dropout.forward(g, h, rng, training);
+
+        // Inter-Patch attention (residual) → [b·c, n, hd]
+        let mut h = self.inter.forward(g, h);
+        if let Some(ffn) = &self.ffn {
+            let f = ffn.forward(g, h);
+            h = g.add(f, h);
+        }
+        if let Some(ln) = &self.ln_inter {
+            h = ln.forward(g, h);
+        }
+        h = self.dropout.forward(g, h, rng, training);
+
+        // head: [b·c, n, hd] → [b·c, hd, n] → n→nt → [b·c, nt, hd] → hd→pl
+        let swapped = g.transpose(h, 1, 2);
+        let tokens = self.head_tokens.forward(g, swapped); // [b·c, hd, nt]
+        let back = g.transpose(tokens, 1, 2); // [b·c, nt, hd]
+        let patches_out = self.head_features.forward(g, back); // [b·c, nt, pl]
+
+        // flatten target patches and trim the horizon
+        let nt = self.config.num_target_patches();
+        let flat = g.reshape(patches_out, &[b * c, nt * self.config.patch_len]);
+        let trimmed = g.slice_axis(flat, 1, 0, self.config.pred_len);
+
+        // back to [b, L, c] and denormalize
+        let merged = self.patching.merge_channels(g, trimmed, b, c);
+        InstanceNorm.denormalize(g, merged, anchor)
+    }
+
+    /// The configuration this backbone was built with.
+    pub fn config(&self) -> &LiPFormerConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::gradcheck::check_gradients;
+    use lip_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn cfg() -> LiPFormerConfig {
+        let mut c = LiPFormerConfig::small(24, 12, 2);
+        c.patch_len = 6;
+        c.hidden = 8;
+        c.heads = 2;
+        c.dropout = 0.0;
+        c
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let bp = BasePredictor::new(&mut store, "bp", &cfg(), &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::randn(&[3, 24, 2], &mut rng));
+        let y = bp.forward(&mut g, x, false, &mut rng);
+        assert_eq!(g.shape(y), &[3, 12, 2]);
+    }
+
+    #[test]
+    fn ablation_variants_all_run() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (ln, ffn, cross, inter) in [
+            (true, false, true, true),
+            (false, true, true, true),
+            (true, true, true, true),
+            (false, false, false, true),
+            (false, false, true, false),
+            (false, false, false, false),
+        ] {
+            let mut c = cfg();
+            c.with_layer_norm = ln;
+            c.with_ffn = ffn;
+            c.use_cross_patch = cross;
+            c.use_inter_patch = inter;
+            let mut store = ParamStore::new();
+            let bp = BasePredictor::new(&mut store, "bp", &c, &mut rng);
+            let mut g = Graph::new(&store);
+            let x = g.constant(Tensor::randn(&[2, 24, 2], &mut rng));
+            let y = bp.forward(&mut g, x, false, &mut rng);
+            assert_eq!(g.shape(y), &[2, 12, 2]);
+            assert!(!g.value(y).has_non_finite());
+        }
+    }
+
+    #[test]
+    fn ffn_ablation_adds_parameters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut plain_store = ParamStore::new();
+        let _ = BasePredictor::new(&mut plain_store, "bp", &cfg(), &mut rng);
+        let mut ffn_store = ParamStore::new();
+        let _ = BasePredictor::new(&mut ffn_store, "bp", &cfg().with_ffns(), &mut rng);
+        assert!(ffn_store.num_scalars() > plain_store.num_scalars());
+        // FFN adds 8·hd² + 5·hd
+        let hd = cfg().hidden;
+        assert_eq!(
+            ffn_store.num_scalars() - plain_store.num_scalars(),
+            8 * hd * hd + 5 * hd
+        );
+    }
+
+    #[test]
+    fn level_shift_equivariance() {
+        // Instance norm makes the backbone equivariant to constant offsets:
+        // predict(x + k) == predict(x) + k.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let bp = BasePredictor::new(&mut store, "bp", &cfg(), &mut rng);
+        let x = Tensor::randn(&[1, 24, 2], &mut rng);
+        let run = |input: Tensor| {
+            let mut rng2 = StdRng::seed_from_u64(0);
+            let mut g = Graph::new(&store);
+            let xv = g.constant(input);
+            let y = bp.forward(&mut g, xv, false, &mut rng2);
+            g.value(y).clone()
+        };
+        let y0 = run(x.clone());
+        let y1 = run(x.add_scalar(100.0));
+        let d = y1.sub(&y0.add_scalar(100.0)).abs().max_value();
+        assert!(d < 1e-2, "level-shift equivariance violated: {d}");
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        // Changing channel 1's history must not affect channel 0's forecast.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let bp = BasePredictor::new(&mut store, "bp", &cfg(), &mut rng);
+        let x = Tensor::randn(&[1, 24, 2], &mut rng);
+        let mut x2 = x.clone();
+        for t in 0..24 {
+            x2.data_mut()[t * 2 + 1] += 7.0; // perturb channel 1 only
+        }
+        let run = |input: Tensor| {
+            let mut rng2 = StdRng::seed_from_u64(0);
+            let mut g = Graph::new(&store);
+            let xv = g.constant(input);
+            let y = bp.forward(&mut g, xv, false, &mut rng2);
+            g.value(y).clone()
+        };
+        let y0 = run(x);
+        let y1 = run(x2);
+        let ch0_diff = (0..12)
+            .map(|t| (y1.at(&[0, t, 0]) - y0.at(&[0, t, 0])).abs())
+            .fold(0.0f32, f32::max);
+        assert!(ch0_diff < 1e-5, "channel independence violated: {ch0_diff}");
+    }
+
+    #[test]
+    fn gradients_check_tiny() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut c = LiPFormerConfig::small(8, 4, 1);
+        c.patch_len = 4;
+        c.hidden = 4;
+        c.heads = 1;
+        c.dropout = 0.0;
+        let mut store = ParamStore::new();
+        let bp = BasePredictor::new(&mut store, "bp", &c, &mut rng);
+        let x = Tensor::randn(&[2, 8, 1], &mut rng).mul_scalar(0.5);
+        let y = Tensor::randn(&[2, 4, 1], &mut rng).mul_scalar(0.5);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let mut rng2 = StdRng::seed_from_u64(0);
+                let xv = g.constant(x.clone());
+                let yv = g.constant(y.clone());
+                let pred = bp.forward(g, xv, false, &mut rng2);
+                g.mse_loss(pred, yv)
+            },
+            1e-2,
+            4e-2,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,245 @@
+//! Single-file model checkpoints: every parameter tensor plus a JSON header
+//! (model configuration, names, freeze flags) in one length-prefixed binary
+//! bundle, so trained models survive process restarts and ship to edge
+//! deployments as one artifact.
+//!
+//! Layout: `magic:u32 | header_len:u32 | header JSON | (frame_len:u32 |
+//! tensor frame)*`, all little-endian; tensor frames are
+//! [`lip_tensor::Tensor::to_bytes`] encodings in registration order.
+
+use std::io::Write;
+use std::path::Path;
+
+use lip_autograd::ParamStore;
+use lip_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::config::LiPFormerConfig;
+
+const MAGIC: u32 = 0x4C49_5043; // "LIPC"
+
+/// Checkpoint metadata stored in the JSON header.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointHeader {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The backbone configuration the parameters belong to.
+    pub config: LiPFormerConfig,
+    /// Registered parameter names, in order.
+    pub param_names: Vec<String>,
+    /// Which parameters were frozen when saved.
+    pub frozen: Vec<bool>,
+}
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    Corrupt(String),
+    /// The checkpoint does not match the model it is being loaded into.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serialize `store` (with `config`) to `path`.
+pub fn save(
+    path: &Path,
+    config: &LiPFormerConfig,
+    store: &ParamStore,
+) -> Result<(), CheckpointError> {
+    let header = CheckpointHeader {
+        version: 1,
+        config: config.clone(),
+        param_names: store.ids().map(|id| store.name(id).to_string()).collect(),
+        frozen: store.ids().map(|id| store.is_frozen(id)).collect(),
+    };
+    let header_json = serde_json::to_vec(&header)
+        .map_err(|e| CheckpointError::Corrupt(format!("header encode: {e}")))?;
+
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    file.write_all(&MAGIC.to_le_bytes())?;
+    file.write_all(&(header_json.len() as u32).to_le_bytes())?;
+    file.write_all(&header_json)?;
+    for id in store.ids() {
+        let frame = store.value(id).to_bytes();
+        file.write_all(&(frame.len() as u32).to_le_bytes())?;
+        file.write_all(&frame)?;
+    }
+    file.flush()?;
+    Ok(())
+}
+
+/// Read a checkpoint's header and parameter tensors.
+pub fn load(path: &Path) -> Result<(CheckpointHeader, Vec<Tensor>), CheckpointError> {
+    let raw = std::fs::read(path)?;
+    let mut cursor = 0usize;
+    let take = |cursor: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
+        if *cursor + n > raw.len() {
+            return Err(CheckpointError::Corrupt("truncated bundle".into()));
+        }
+        let slice = &raw[*cursor..*cursor + n];
+        *cursor += n;
+        Ok(slice)
+    };
+    let magic = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".into()));
+    }
+    let header_len =
+        u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
+    let header: CheckpointHeader = serde_json::from_slice(take(&mut cursor, header_len)?)
+        .map_err(|e| CheckpointError::Corrupt(format!("header decode: {e}")))?;
+    if header.version != 1 {
+        return Err(CheckpointError::Corrupt(format!(
+            "unsupported version {}",
+            header.version
+        )));
+    }
+    let mut tensors = Vec::with_capacity(header.param_names.len());
+    for i in 0..header.param_names.len() {
+        let frame_len =
+            u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
+        let frame = take(&mut cursor, frame_len)?;
+        let t = Tensor::from_bytes(frame)
+            .map_err(|e| CheckpointError::Corrupt(format!("tensor {i}: {e}")))?;
+        tensors.push(t);
+    }
+    Ok((header, tensors))
+}
+
+/// Restore a checkpoint into a model's store, verifying name/shape agreement.
+pub fn restore_into(
+    header: &CheckpointHeader,
+    tensors: &[Tensor],
+    store: &mut ParamStore,
+) -> Result<(), CheckpointError> {
+    if header.param_names.len() != store.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {} params, model has {}",
+            header.param_names.len(),
+            store.len()
+        )));
+    }
+    for (i, id) in store.ids().enumerate().collect::<Vec<_>>() {
+        if store.name(id) != header.param_names[i] {
+            return Err(CheckpointError::Mismatch(format!(
+                "param {i} name '{}' vs checkpoint '{}'",
+                store.name(id),
+                header.param_names[i]
+            )));
+        }
+        if store.value(id).shape() != tensors[i].shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "param '{}' shape {:?} vs checkpoint {:?}",
+                store.name(id),
+                store.value(id).shape(),
+                tensors[i].shape()
+            )));
+        }
+    }
+    for (i, id) in store.ids().enumerate().collect::<Vec<_>>() {
+        store.set_value(id, tensors[i].clone());
+        if header.frozen[i] {
+            store.freeze(id);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::{Forecaster, WeaklySupervised};
+    use crate::model::LiPFormer;
+    use lip_data::CovariateSpec;
+
+    fn spec() -> CovariateSpec {
+        CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lipformer_checkpoint_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let cfg = LiPFormerConfig::small(24, 8, 2);
+        let mut model = LiPFormer::new(cfg.clone(), &spec(), 5);
+        model.freeze_encoders();
+        let path = tmp("roundtrip.ckpt");
+        save(&path, &cfg, model.store()).unwrap();
+
+        let (header, tensors) = load(&path).unwrap();
+        assert_eq!(header.config.seq_len, 24);
+        assert_eq!(header.param_names.len(), model.store().len());
+        assert!(header.frozen.iter().any(|&f| f), "freeze flags preserved");
+
+        let mut fresh = LiPFormer::new(cfg, &spec(), 999);
+        restore_into(&header, &tensors, fresh.store_mut()).unwrap();
+        for (a, b) in model.store().ids().zip(fresh.store().ids()) {
+            assert_eq!(model.store().value(a), fresh.store().value(b));
+            assert_eq!(model.store().is_frozen(a), fresh.store().is_frozen(b));
+        }
+        assert_eq!(model.num_parameters(), fresh.num_parameters());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("badmagic.ckpt");
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        assert!(matches!(load(&path), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let cfg = LiPFormerConfig::small(24, 8, 1);
+        let model = LiPFormer::without_enriching(cfg.clone(), 1);
+        let path = tmp("trunc.ckpt");
+        save(&path, &cfg, model.store()).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.truncate(raw.len() / 2);
+        let path2 = tmp("trunc2.ckpt");
+        std::fs::write(&path2, raw).unwrap();
+        assert!(load(&path2).is_err());
+    }
+
+    #[test]
+    fn architecture_mismatch_rejected() {
+        let cfg_small = LiPFormerConfig::small(24, 8, 1);
+        let model = LiPFormer::without_enriching(cfg_small.clone(), 1);
+        let path = tmp("mismatch.ckpt");
+        save(&path, &cfg_small, model.store()).unwrap();
+        let (header, tensors) = load(&path).unwrap();
+
+        let mut cfg_big = LiPFormerConfig::small(24, 8, 1);
+        cfg_big.hidden = 2 * cfg_small.hidden;
+        let mut other = LiPFormer::without_enriching(cfg_big, 1);
+        assert!(matches!(
+            restore_into(&header, &tensors, other.store_mut()),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,226 @@
+//! LiPFormer hyperparameters (paper §IV-A2) plus the ablation switches used
+//! by Tables X and XI.
+
+use serde::{Deserialize, Serialize};
+
+/// Full model configuration.
+///
+/// Paper defaults: `T = 720`, `pl = 48`, `hd = 512`, batch 256, dropout 0.5.
+/// The reduced presets keep all structural ratios while shrinking widths so
+/// the whole evaluation suite runs on CPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LiPFormerConfig {
+    /// Input (look-back) length `T`. Must be a multiple of `patch_len`.
+    pub seq_len: usize,
+    /// Forecast horizon `L`.
+    pub pred_len: usize,
+    /// Target channels `c`.
+    pub channels: usize,
+    /// Patch length `pl`.
+    pub patch_len: usize,
+    /// Hidden feature width `hd`.
+    pub hidden: usize,
+    /// Attention heads in the patch-wise attentions.
+    pub heads: usize,
+    /// Dropout probability on the hidden representation.
+    pub dropout: f32,
+    /// Smooth-L1 threshold β.
+    pub smooth_l1_beta: f32,
+    /// Hidden width of the dual encoders (weak-data enriching).
+    pub encoder_hidden: usize,
+    /// Embedding width per categorical covariate channel (the paper's
+    /// Eq. 3 uses 1: textual labels concatenate into the `c_f` axis).
+    pub categorical_embed: usize,
+    /// Ablation: keep Cross-Patch attention (Table XI).
+    pub use_cross_patch: bool,
+    /// Ablation: keep Inter-Patch attention (Table XI).
+    pub use_inter_patch: bool,
+    /// Ablation: re-insert Layer Normalization (Table X).
+    pub with_layer_norm: bool,
+    /// Ablation: re-insert Feed-Forward Networks (Table X).
+    pub with_ffn: bool,
+}
+
+impl LiPFormerConfig {
+    /// The paper's default configuration for a `(T=720, L, c)` task.
+    pub fn paper(pred_len: usize, channels: usize) -> Self {
+        LiPFormerConfig {
+            seq_len: 720,
+            pred_len,
+            channels,
+            patch_len: 48,
+            hidden: 512,
+            heads: 8,
+            dropout: 0.5,
+            smooth_l1_beta: 1.0,
+            encoder_hidden: 64,
+            categorical_embed: 1,
+            use_cross_patch: true,
+            use_inter_patch: true,
+            with_layer_norm: false,
+            with_ffn: false,
+        }
+    }
+
+    /// Reduced configuration for CPU-scale experiments: same architecture,
+    /// smaller widths. The patch length keeps the paper's token count
+    /// (`n = T/pl ≈ 8–15`) rather than its absolute `pl = 48`, since the
+    /// patch-wise attentions need enough tokens to act on.
+    pub fn small(seq_len: usize, pred_len: usize, channels: usize) -> Self {
+        let patch_len = patch_len_for_tokens(seq_len, 8);
+        LiPFormerConfig {
+            seq_len,
+            pred_len,
+            channels,
+            patch_len,
+            hidden: 64,
+            heads: 4,
+            dropout: 0.1,
+            smooth_l1_beta: 1.0,
+            encoder_hidden: 32,
+            categorical_embed: 1,
+            use_cross_patch: true,
+            use_inter_patch: true,
+            with_layer_norm: false,
+            with_ffn: false,
+        }
+    }
+
+    /// Number of input patches `n = T / pl`.
+    pub fn num_patches(&self) -> usize {
+        self.validate();
+        self.seq_len / self.patch_len
+    }
+
+    /// Number of target patches `nt = ⌈L / pl⌉` (the head's token width).
+    pub fn num_target_patches(&self) -> usize {
+        self.pred_len.div_ceil(self.patch_len)
+    }
+
+    /// Panic on an inconsistent configuration.
+    pub fn validate(&self) {
+        assert!(self.seq_len > 0 && self.pred_len > 0 && self.channels > 0);
+        assert!(
+            self.patch_len > 0 && self.seq_len % self.patch_len == 0,
+            "patch_len {} must evenly divide seq_len {} (paper §IV-A2)",
+            self.patch_len,
+            self.seq_len
+        );
+        assert!(self.hidden % self.heads == 0, "hidden must divide by heads");
+        assert!((0.0..1.0).contains(&self.dropout));
+        assert!(self.smooth_l1_beta > 0.0);
+    }
+
+    /// Ablation variant: re-add Layer Normalization (Table X "+LN").
+    pub fn with_ln(mut self) -> Self {
+        self.with_layer_norm = true;
+        self
+    }
+
+    /// Ablation variant: re-add FFNs (Table X "+FFNs").
+    pub fn with_ffns(mut self) -> Self {
+        self.with_ffn = true;
+        self
+    }
+
+    /// Ablation variant: drop Cross-Patch attention (Table XI).
+    pub fn without_cross_patch(mut self) -> Self {
+        self.use_cross_patch = false;
+        self
+    }
+
+    /// Ablation variant: drop Inter-Patch attention (Table XI).
+    pub fn without_inter_patch(mut self) -> Self {
+        self.use_inter_patch = false;
+        self
+    }
+}
+
+/// The largest of the paper's patch lengths {6, 12, 24, 48} dividing
+/// `seq_len`, falling back to any divisor.
+pub fn preferred_patch_len(seq_len: usize) -> usize {
+    for pl in [48, 24, 12, 6] {
+        if seq_len % pl == 0 {
+            return pl;
+        }
+    }
+    (1..=seq_len).rev().find(|pl| seq_len % pl == 0).unwrap_or(1)
+}
+
+/// The largest of the paper's patch lengths {6, 12, 24, 48} that divides
+/// `seq_len` *and* yields at least `min_tokens` patches; falls back to
+/// [`preferred_patch_len`] when none does.
+pub fn patch_len_for_tokens(seq_len: usize, min_tokens: usize) -> usize {
+    for pl in [48, 24, 12, 6] {
+        if seq_len % pl == 0 && seq_len / pl >= min_tokens {
+            return pl;
+        }
+    }
+    preferred_patch_len(seq_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = LiPFormerConfig::paper(96, 7);
+        assert_eq!(c.seq_len, 720);
+        assert_eq!(c.patch_len, 48);
+        assert_eq!(c.hidden, 512);
+        assert_eq!(c.num_patches(), 15);
+        assert_eq!(c.num_target_patches(), 2);
+        assert!(!c.with_layer_norm && !c.with_ffn);
+    }
+
+    #[test]
+    fn small_patch_division() {
+        // reduced configs keep the paper's *token count* (n ≥ 8) rather than
+        // its absolute pl = 48
+        let c = LiPFormerConfig::small(96, 24, 3);
+        assert_eq!(c.patch_len, 12);
+        assert_eq!(c.num_patches(), 8);
+        let c2 = LiPFormerConfig::small(720, 96, 3);
+        assert_eq!(c2.patch_len, 48);
+        assert_eq!(c2.num_patches(), 15);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = LiPFormerConfig::small(96, 24, 1)
+            .with_ln()
+            .with_ffns()
+            .without_cross_patch()
+            .without_inter_patch();
+        assert!(c.with_layer_norm && c.with_ffn);
+        assert!(!c.use_cross_patch && !c.use_inter_patch);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn bad_patch_len_rejected() {
+        let mut c = LiPFormerConfig::small(96, 24, 1);
+        c.patch_len = 40;
+        c.validate();
+    }
+
+    #[test]
+    fn target_patches_round_up() {
+        let mut c = LiPFormerConfig::small(96, 24, 1);
+        c.patch_len = 48;
+        assert_eq!(c.num_target_patches(), 1);
+        c.pred_len = 96;
+        assert_eq!(c.num_target_patches(), 2);
+        c.pred_len = 97;
+        assert_eq!(c.num_target_patches(), 3);
+    }
+
+    #[test]
+    fn preferred_patch_prefers_48() {
+        assert_eq!(preferred_patch_len(720), 48);
+        assert_eq!(preferred_patch_len(96), 48);
+        assert_eq!(preferred_patch_len(36), 12);
+        assert_eq!(preferred_patch_len(7), 7);
+    }
+}

@@ -1,0 +1,290 @@
+//! The weak-data-enriching assembly (paper §III-B, Fig. 1 top): dual
+//! encoders + trainable log-temperature + the Vector Mapping that injects the
+//! frozen covariate representation into the final prediction (Eq. 8), and
+//! the CLIP-style symmetric contrastive pre-training objective.
+
+use lip_autograd::{Graph, ParamId, ParamStore, Var};
+use lip_data::window::Batch;
+use lip_data::CovariateSpec;
+use lip_nn::loss::{clip_logits, clip_symmetric_ce};
+use lip_nn::Linear;
+use lip_tensor::Tensor;
+use rand::Rng;
+
+use crate::covariate_encoder::{CovariateEncoder, CovariateInput};
+use crate::target_encoder::TargetEncoder;
+
+/// Dual-encoder weak supervision attached to a base forecaster.
+#[derive(Debug, Clone)]
+pub struct WeakEnriching {
+    covariate: CovariateEncoder,
+    target: TargetEncoder,
+    log_temp: ParamId,
+    /// Vector Mapping (Eq. 8): `[b, L] → [b, L·c]`, learned *with* the Base
+    /// Predictor (it stays trainable after the encoders freeze). Mapping the
+    /// whole representation vector — rather than per step — lets training
+    /// recover the step correspondence the contrastive objective only
+    /// constrains at the whole-vector level.
+    mapping: Linear,
+    horizon: usize,
+    channels: usize,
+    /// Parameter index range of (covariate encoder, target encoder,
+    /// log-temperature) — frozen after pre-training.
+    encoder_params: (usize, usize),
+    /// True when batches carry explicit covariates; false = implicit
+    /// temporal features.
+    explicit: bool,
+}
+
+impl WeakEnriching {
+    /// Register the enriching parameters for a `(L, c)` task described by
+    /// `spec`. Uses explicit covariates when the spec has them, otherwise
+    /// implicit temporal features.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        spec: &CovariateSpec,
+        horizon: usize,
+        channels: usize,
+        hidden: usize,
+        categorical_embed: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let explicit = spec.has_explicit();
+        let start = store.len();
+        let covariate = if explicit {
+            CovariateEncoder::new(
+                store,
+                &format!("{name}.covariate"),
+                spec.numerical,
+                &spec.cardinalities,
+                categorical_embed,
+                horizon,
+                hidden,
+                rng,
+            )
+        } else {
+            CovariateEncoder::new(
+                store,
+                &format!("{name}.covariate"),
+                spec.time_features,
+                &[],
+                categorical_embed,
+                horizon,
+                hidden,
+                rng,
+            )
+        };
+        let target = TargetEncoder::new(store, &format!("{name}.target"), channels, horizon, hidden, rng);
+        // CLIP initializes the logit scale to ln(1/0.07) ≈ 2.66; we start
+        // lower since batches here are small.
+        let log_temp = store.add(format!("{name}.log_temp"), Tensor::scalar(1.0));
+        let end = store.len();
+        let mapping = Linear::new(
+            store,
+            &format!("{name}.mapping"),
+            horizon,
+            horizon * channels,
+            true,
+            rng,
+        );
+        // Near-zero init: the guided prediction starts as Ŷ_base and the
+        // optimizer grows the covariate correction only where it helps —
+        // otherwise a random frozen-encoder projection would swamp the
+        // backbone early in the (short) prediction training.
+        for id in mapping.param_ids() {
+            let damped = store.value(id).mul_scalar(0.01);
+            store.set_value(id, damped);
+        }
+        WeakEnriching {
+            covariate,
+            target,
+            log_temp,
+            mapping,
+            horizon,
+            channels,
+            encoder_params: (start, end),
+            explicit,
+        }
+    }
+
+    /// Whether this enriching consumes explicit covariates.
+    pub fn is_explicit(&self) -> bool {
+        self.explicit
+    }
+
+    fn covariate_input<'a>(&self, batch: &'a Batch) -> CovariateInput<'a> {
+        if self.explicit {
+            CovariateInput {
+                numerical: batch
+                    .cov_numerical
+                    .as_ref()
+                    .expect("explicit enriching needs numerical covariates in the batch"),
+                categorical: batch
+                    .cov_categorical
+                    .as_deref()
+                    .unwrap_or(&[]),
+            }
+        } else {
+            CovariateInput {
+                numerical: &batch.time_feats,
+                categorical: &[],
+            }
+        }
+    }
+
+    /// The pre-training objective `½(CE_rows + CE_cols)` over the batch's
+    /// covariate/target pairs (paper §III-B).
+    pub fn contrastive_loss(&self, g: &mut Graph, batch: &Batch) -> Var {
+        let v_c = self.covariate.forward(g, &self.covariate_input(batch));
+        let y = g.constant(batch.y.clone());
+        let v_t = self.target.forward(g, y);
+        let temp = g.param(self.log_temp);
+        clip_symmetric_ce(g, v_t, v_c, temp)
+    }
+
+    /// The `[b, b]` logits matrix (for the Figure 7 visualization).
+    pub fn logits(&self, g: &mut Graph, batch: &Batch) -> Var {
+        let v_c = self.covariate.forward(g, &self.covariate_input(batch));
+        let y = g.constant(batch.y.clone());
+        let v_t = self.target.forward(g, y);
+        let temp = g.param(self.log_temp);
+        clip_logits(g, v_t, v_c, temp)
+    }
+
+    /// Eq. 8's correction term: map the covariate representation through the
+    /// Vector Mapping to `[b, L, c]` and add it to `y_base`.
+    pub fn guide(&self, g: &mut Graph, y_base: Var, batch: &Batch) -> Var {
+        let v_c = self.covariate.forward(g, &self.covariate_input(batch)); // [b, L]
+        let b = g.shape(v_c)[0];
+        let flat = self.mapping.forward(g, v_c); // [b, L·c]
+        let correction = g.reshape(flat, &[b, self.horizon, self.channels]);
+        g.add(y_base, correction)
+    }
+
+    /// Freeze the dual encoders and temperature (paper: "we freeze the
+    /// parameters of the Covariate Encoder" during prediction training).
+    /// The Vector Mapping stays trainable.
+    pub fn freeze_encoders(&self, store: &mut ParamStore) {
+        let (start, end) = self.encoder_params;
+        for i in start..end {
+            store.freeze(store.id_at(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn implicit_spec() -> CovariateSpec {
+        CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        }
+    }
+
+    fn explicit_spec() -> CovariateSpec {
+        CovariateSpec {
+            numerical: 3,
+            cardinalities: vec![2],
+            time_features: 4,
+        }
+    }
+
+    fn batch(b: usize, l: usize, c: usize, explicit: bool, rng: &mut StdRng) -> Batch {
+        Batch {
+            x: Tensor::randn(&[b, 8, c], rng),
+            y: Tensor::randn(&[b, l, c], rng),
+            time_feats: Tensor::randn(&[b, l, 4], rng).mul_scalar(0.2),
+            cov_numerical: explicit.then(|| Tensor::randn(&[b, l, 3], rng)),
+            cov_categorical: explicit.then(|| vec![(0..b * l).map(|i| i % 2).collect()]),
+        }
+    }
+
+    #[test]
+    fn implicit_contrastive_loss_is_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let we = WeakEnriching::new(&mut store, "we", &implicit_spec(), 6, 2, 8, 1, &mut rng);
+        assert!(!we.is_explicit());
+        let b = batch(4, 6, 2, false, &mut rng);
+        let mut g = Graph::new(&store);
+        let loss = we.contrastive_loss(&mut g, &b);
+        assert!(g.value(loss).item().is_finite());
+        // random embeddings ≈ uniform: loss near ln(b)
+        assert!((g.value(loss).item() - (4.0f32).ln()).abs() < 1.0);
+    }
+
+    #[test]
+    fn explicit_guide_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let we = WeakEnriching::new(&mut store, "we", &explicit_spec(), 6, 2, 8, 1, &mut rng);
+        assert!(we.is_explicit());
+        let b = batch(3, 6, 2, true, &mut rng);
+        let mut g = Graph::new(&store);
+        let y_base = g.constant(Tensor::zeros(&[3, 6, 2]));
+        let out = we.guide(&mut g, y_base, &b);
+        assert_eq!(g.shape(out), &[3, 6, 2]);
+    }
+
+    #[test]
+    fn logits_matrix_is_square() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let we = WeakEnriching::new(&mut store, "we", &implicit_spec(), 5, 1, 8, 1, &mut rng);
+        let b = batch(6, 5, 1, false, &mut rng);
+        let mut g = Graph::new(&store);
+        let logits = we.logits(&mut g, &b);
+        assert_eq!(g.shape(logits), &[6, 6]);
+    }
+
+    #[test]
+    fn freezing_keeps_mapping_trainable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let we = WeakEnriching::new(&mut store, "we", &implicit_spec(), 4, 2, 8, 1, &mut rng);
+        let before = store.num_scalars();
+        we.freeze_encoders(&mut store);
+        let after = store.num_scalars();
+        assert!(after < before, "freezing must reduce trainable scalars");
+        // the Vector Mapping (L=4 → L·c=8 linear: 32 weights + 8 biases)
+        // stays trainable
+        assert_eq!(after, 4 * 8 + 8);
+    }
+
+    #[test]
+    fn pretraining_reduces_contrastive_loss() {
+        // a few AdamW steps on a fixed batch must drive the loss down
+        use lip_nn::{AdamW, Optimizer};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let we = WeakEnriching::new(&mut store, "we", &explicit_spec(), 4, 1, 8, 1, &mut rng);
+        let b = batch(6, 4, 1, true, &mut rng);
+        let mut opt = AdamW::new(5e-3, 0.0);
+        let loss_at = |store: &ParamStore| {
+            let mut g = Graph::new(store);
+            let l = we.contrastive_loss(&mut g, &b);
+            g.value(l).item()
+        };
+        let initial = loss_at(&store);
+        for _ in 0..30 {
+            let grads = {
+                let mut g = Graph::new(&store);
+                let l = we.contrastive_loss(&mut g, &b);
+                g.backward(l)
+            };
+            grads.apply_to(&mut store);
+            opt.step(&mut store);
+        }
+        let fin = loss_at(&store);
+        assert!(
+            fin < initial * 0.8,
+            "contrastive loss failed to drop: {initial} → {fin}"
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! The **Covariate Encoder** (paper §III-C2, Fig. 5, Eq. 3–6): a simplified
+//! Transformer that encodes future weak labels — textual (categorical)
+//! channels embedded then concatenated with numerical channels, lifted to
+//! `hd`, passed through one residual self-attention, flattened, and projected
+//! to an `L`-dimensional representation vector.
+//!
+//! The same module serves both policies of the paper:
+//! * **explicit** weak labels (Electri-Price/Cycle forecasts + categories),
+//! * **implicit** temporal features (hour/day/month encodings) when no
+//!   explicit covariates exist.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_nn::{Embedding, Linear, MultiHeadSelfAttention};
+use rand::Rng;
+
+use crate::cross_patch::compatible_heads;
+
+/// Shared residual-attention trunk of the dual encoders (Eq. 5–6):
+/// `[b, L, hd] → Flat(Attn(F) + F) → [b, L·hd] → MLP → [b, L]`.
+#[derive(Debug, Clone)]
+pub struct EncoderTrunk {
+    attn: MultiHeadSelfAttention,
+    out: Linear,
+    horizon: usize,
+    hidden: usize,
+}
+
+impl EncoderTrunk {
+    /// Build a trunk for horizon `L` and hidden width `hd`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        horizon: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let heads = compatible_heads(hidden, 4);
+        EncoderTrunk {
+            attn: MultiHeadSelfAttention::new(store, &format!("{name}.attn"), hidden, heads, rng),
+            out: Linear::new(
+                store,
+                &format!("{name}.out"),
+                horizon * hidden,
+                horizon,
+                true,
+                rng,
+            ),
+            horizon,
+            hidden,
+        }
+    }
+
+    /// `f: [b, L, hd] → [b, L]`.
+    pub fn forward(&self, g: &mut Graph, f: Var) -> Var {
+        let shape = g.shape(f).to_vec();
+        assert_eq!(shape.len(), 3, "trunk expects [b, L, hd]");
+        assert_eq!(shape[1], self.horizon, "horizon mismatch");
+        assert_eq!(shape[2], self.hidden, "hidden mismatch");
+        let b = shape[0];
+        let attended = self.attn.forward(g, f);
+        let residual = g.add(attended, f);
+        let flat = g.reshape(residual, &[b, self.horizon * self.hidden]);
+        self.out.forward(g, flat)
+    }
+}
+
+/// Weak-label inputs for one batch, already shaped for the encoder.
+pub struct CovariateInput<'a> {
+    /// Numerical covariates `[b, L, c_n]`.
+    pub numerical: &'a lip_tensor::Tensor,
+    /// One flat `[b·L]` code vector per categorical channel.
+    pub categorical: &'a [Vec<usize>],
+}
+
+/// The Covariate Encoder proper.
+#[derive(Debug, Clone)]
+pub struct CovariateEncoder {
+    embeddings: Vec<Embedding>,
+    lift: Linear,
+    trunk: EncoderTrunk,
+    numerical_width: usize,
+    embed_dim: usize,
+    horizon: usize,
+}
+
+impl CovariateEncoder {
+    /// Build for `numerical_width` numerical channels and one embedding per
+    /// categorical cardinality. `embed_dim = 1` matches the paper's
+    /// `c_f = c_n + c_t` concatenation (Eq. 3).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        numerical_width: usize,
+        cardinalities: &[usize],
+        embed_dim: usize,
+        horizon: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            numerical_width + cardinalities.len() > 0,
+            "covariate encoder needs at least one input channel"
+        );
+        let embeddings = cardinalities
+            .iter()
+            .enumerate()
+            .map(|(i, &card)| {
+                Embedding::new(store, &format!("{name}.embed{i}"), card, embed_dim, rng)
+            })
+            .collect::<Vec<_>>();
+        let cf = numerical_width + embeddings.len() * embed_dim;
+        CovariateEncoder {
+            lift: Linear::new(store, &format!("{name}.lift"), cf, hidden, true, rng),
+            trunk: EncoderTrunk::new(store, &format!("{name}.trunk"), horizon, hidden, rng),
+            embeddings,
+            numerical_width,
+            embed_dim,
+            horizon,
+        }
+    }
+
+    /// Encode a batch of future weak labels to `[b, L]` representation
+    /// vectors (Eq. 3–6).
+    pub fn forward(&self, g: &mut Graph, input: &CovariateInput<'_>) -> Var {
+        let shape = input.numerical.shape().to_vec();
+        assert_eq!(shape.len(), 3, "numerical covariates must be [b, L, c_n]");
+        let (b, l) = (shape[0], shape[1]);
+        assert_eq!(l, self.horizon, "covariate horizon mismatch");
+        assert_eq!(shape[2], self.numerical_width, "numerical width mismatch");
+        assert_eq!(
+            input.categorical.len(),
+            self.embeddings.len(),
+            "categorical channel count mismatch"
+        );
+
+        // Eq. 3: Concat(Embed(textual), numerical)
+        let mut parts: Vec<Var> = Vec::with_capacity(1 + self.embeddings.len());
+        if self.numerical_width > 0 {
+            parts.push(g.constant(input.numerical.clone()));
+        }
+        for (emb, codes) in self.embeddings.iter().zip(input.categorical) {
+            assert_eq!(codes.len(), b * l, "flat categorical length must be b·L");
+            let e = emb.forward(g, codes); // [b·L, e]
+            parts.push(g.reshape(e, &[b, l, self.embed_dim]));
+        }
+        let cat = if parts.len() == 1 {
+            parts[0]
+        } else {
+            g.concat(&parts, 2)
+        };
+
+        // Eq. 4–6
+        let lifted = self.lift.forward(g, cat);
+        self.trunk.forward(g, lifted)
+    }
+
+    /// Horizon `L` of the representation vector.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::gradcheck::check_gradients;
+    use lip_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn encoder(store: &mut ParamStore, rng: &mut StdRng) -> CovariateEncoder {
+        CovariateEncoder::new(store, "cov", 3, &[4, 2], 1, 6, 8, rng)
+    }
+
+    #[test]
+    fn output_is_batch_by_horizon() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let enc = encoder(&mut store, &mut rng);
+        let mut g = Graph::new(&store);
+        let numerical = Tensor::randn(&[2, 6, 3], &mut rng);
+        let categorical = vec![vec![0usize; 12], vec![1usize; 12]];
+        let out = enc.forward(
+            &mut g,
+            &CovariateInput {
+                numerical: &numerical,
+                categorical: &categorical,
+            },
+        );
+        assert_eq!(g.shape(out), &[2, 6]);
+    }
+
+    #[test]
+    fn numerical_only_mode() {
+        // the implicit-feature policy: time encodings, no categoricals
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let enc = CovariateEncoder::new(&mut store, "cov", 4, &[], 1, 5, 8, &mut rng);
+        let mut g = Graph::new(&store);
+        let numerical = Tensor::randn(&[3, 5, 4], &mut rng);
+        let out = enc.forward(
+            &mut g,
+            &CovariateInput {
+                numerical: &numerical,
+                categorical: &[],
+            },
+        );
+        assert_eq!(g.shape(out), &[3, 5]);
+    }
+
+    #[test]
+    fn categorical_only_mode() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let enc = CovariateEncoder::new(&mut store, "cov", 0, &[3], 2, 4, 8, &mut rng);
+        let mut g = Graph::new(&store);
+        let numerical = Tensor::zeros(&[2, 4, 0]);
+        let out = enc.forward(
+            &mut g,
+            &CovariateInput {
+                numerical: &numerical,
+                categorical: &[vec![0, 1, 2, 0, 1, 2, 0, 1]],
+            },
+        );
+        assert_eq!(g.shape(out), &[2, 4]);
+    }
+
+    #[test]
+    fn categorical_values_change_output() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let enc = encoder(&mut store, &mut rng);
+        let numerical = Tensor::zeros(&[1, 6, 3]);
+        let run = |code: usize| {
+            let mut g = Graph::new(&store);
+            let categorical = vec![vec![code; 6], vec![0usize; 6]];
+            let out = enc.forward(
+                &mut g,
+                &CovariateInput {
+                    numerical: &numerical,
+                    categorical: &categorical,
+                },
+            );
+            g.value(out).clone()
+        };
+        let d = run(0).sub(&run(3)).abs().max_value();
+        assert!(d > 1e-6, "weak label change must alter the encoding: {d}");
+    }
+
+    #[test]
+    fn gradients_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let enc = CovariateEncoder::new(&mut store, "cov", 2, &[2], 1, 3, 4, &mut rng);
+        let numerical = Tensor::randn(&[2, 3, 2], &mut rng).mul_scalar(0.5);
+        let categorical = vec![vec![0usize, 1, 0, 1, 0, 1]];
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let out = enc.forward(
+                    g,
+                    &CovariateInput {
+                        numerical: &numerical,
+                        categorical: &categorical,
+                    },
+                );
+                let sq = g.square(out);
+                g.mean(sq)
+            },
+            1e-2,
+            3e-2,
+        )
+        .unwrap();
+    }
+}

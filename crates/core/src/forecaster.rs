@@ -1,0 +1,58 @@
+//! The [`Forecaster`] trait — the uniform interface the trainer, evaluator
+//! and benchmark harness use for LiPFormer and every baseline model.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_data::window::Batch;
+use rand::rngs::StdRng;
+
+/// A trainable multivariate forecaster.
+///
+/// Implementations register all parameters in an internal [`ParamStore`] and
+/// record one forward pass per call on the provided tape.
+pub trait Forecaster {
+    /// Display name (used in result tables).
+    fn name(&self) -> &str;
+
+    /// The parameter store backing the model.
+    fn store(&self) -> &ParamStore;
+
+    /// Mutable access for optimizers and checkpointing.
+    fn store_mut(&mut self) -> &mut ParamStore;
+
+    /// Record a forward pass for `batch`, returning the `[b, L, c]`
+    /// prediction node. `training` enables dropout; the RNG drives any
+    /// stochastic layers so runs are reproducible.
+    fn forward(&self, g: &mut Graph, batch: &Batch, training: bool, rng: &mut StdRng) -> Var;
+
+    /// Number of trainable scalars (the paper's "parameters" column).
+    fn num_parameters(&self) -> usize {
+        self.store().num_scalars()
+    }
+}
+
+impl Forecaster for Box<dyn Forecaster> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+    fn store(&self) -> &ParamStore {
+        self.as_ref().store()
+    }
+    fn store_mut(&mut self) -> &mut ParamStore {
+        self.as_mut().store_mut()
+    }
+    fn forward(&self, g: &mut Graph, batch: &Batch, training: bool, rng: &mut StdRng) -> Var {
+        self.as_ref().forward(g, batch, training, rng)
+    }
+}
+
+/// Models that carry the paper's weak-data-enriching dual encoder and can be
+/// contrastively pre-trained (LiPFormer, and any baseline wrapped with
+/// [`crate::plugin::WithCovariateEncoder`]).
+pub trait WeaklySupervised: Forecaster {
+    /// The symmetric contrastive pre-training loss for `batch`.
+    fn contrastive_loss(&self, g: &mut Graph, batch: &Batch) -> Var;
+
+    /// Freeze the dual encoders after pre-training (the Vector Mapping stays
+    /// trainable).
+    fn freeze_encoders(&mut self);
+}

@@ -1,0 +1,179 @@
+//! **Inter-Patch attention** (paper §III-C1, Fig. 3 and Eq. 2): softmax
+//! self-attention across the `n` patch tokens of the `hd`-wide
+//! representation, applied *without any Positional Encoding* — patch order
+//! information is already carried by the Cross-Patch trend mixing.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_nn::{Linear, MultiHeadSelfAttention};
+use rand::Rng;
+
+use crate::cross_patch::compatible_heads;
+
+#[derive(Debug, Clone)]
+enum PatchCore {
+    Attention(MultiHeadSelfAttention),
+    LinearOnly(Linear),
+}
+
+/// Inter-patch attention block (residual) on `[b·c, n, hd]`.
+#[derive(Debug, Clone)]
+pub struct InterPatch {
+    core: PatchCore,
+    hidden: usize,
+}
+
+impl InterPatch {
+    /// `use_attention = false` selects the Table XI ablation (linear layer
+    /// in place of the attention).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        hidden: usize,
+        preferred_heads: usize,
+        use_attention: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let core = if use_attention {
+            let heads = compatible_heads(hidden, preferred_heads);
+            PatchCore::Attention(MultiHeadSelfAttention::new(
+                store,
+                &format!("{name}.patch_attn"),
+                hidden,
+                heads,
+                rng,
+            ))
+        } else {
+            PatchCore::LinearOnly(Linear::new(
+                store,
+                &format!("{name}.patch_linear"),
+                hidden,
+                hidden,
+                true,
+                rng,
+            ))
+        };
+        InterPatch { core, hidden }
+    }
+
+    /// `h: [b·c, n, hd] → [b·c, n, hd]` with a residual connection.
+    pub fn forward(&self, g: &mut Graph, h: Var) -> Var {
+        let shape = g.shape(h).to_vec();
+        assert_eq!(shape.len(), 3, "inter-patch expects [b·c, n, hd]");
+        assert_eq!(shape[2], self.hidden, "hidden width mismatch");
+        let mixed = match &self.core {
+            PatchCore::Attention(attn) => attn.forward(g, h),
+            PatchCore::LinearOnly(lin) => lin.forward(g, h),
+        };
+        g.add(mixed, h)
+    }
+
+    /// True when running the attention (non-ablated) variant.
+    pub fn uses_attention(&self) -> bool {
+        matches!(self.core, PatchCore::Attention(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::gradcheck::check_gradients;
+    use lip_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let ip = InterPatch::new(&mut store, "ip", 8, 4, true, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::randn(&[2, 5, 8], &mut rng));
+        let y = ip.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn residual_dominates_at_zero_weights() {
+        // With random small weights the residual path keeps outputs close to
+        // inputs — the block cannot destroy information at init.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let ip = InterPatch::new(&mut store, "ip", 8, 2, true, &mut rng);
+        let x = Tensor::randn(&[1, 4, 8], &mut rng);
+        let mut g = Graph::new(&store);
+        let xv = g.constant(x.clone());
+        let y = ip.forward(&mut g, xv);
+        let corr_num = g
+            .value(y)
+            .mul(&x)
+            .sum()
+            .item();
+        assert!(corr_num > 0.0, "residual path should correlate with input");
+    }
+
+    #[test]
+    fn patches_exchange_information() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let ip = InterPatch::new(&mut store, "ip", 4, 2, true, &mut rng);
+        let base = Tensor::zeros(&[1, 3, 4]);
+        let mut spiked = base.clone();
+        spiked.data_mut()[0] = 3.0; // token 0 feature 0
+        let run = |input: Tensor| {
+            let mut g = Graph::new(&store);
+            let x = g.constant(input);
+            let y = ip.forward(&mut g, x);
+            g.value(y).clone()
+        };
+        let d = run(spiked)
+            .slice_axis(1, 2, 3)
+            .sub(&run(base).slice_axis(1, 2, 3))
+            .abs()
+            .max_value();
+        assert!(d > 1e-7, "inter-patch attention should mix tokens: {d}");
+    }
+
+    #[test]
+    fn linear_ablation_does_not_mix_tokens() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let ip = InterPatch::new(&mut store, "ip", 4, 2, false, &mut rng);
+        assert!(!ip.uses_attention());
+        let base = Tensor::zeros(&[1, 3, 4]);
+        let mut spiked = base.clone();
+        spiked.data_mut()[0] = 3.0;
+        let run = |input: Tensor| {
+            let mut g = Graph::new(&store);
+            let x = g.constant(input);
+            let y = ip.forward(&mut g, x);
+            g.value(y).clone()
+        };
+        // the pointwise linear variant cannot propagate token 0 to token 2
+        let d = run(spiked)
+            .slice_axis(1, 2, 3)
+            .sub(&run(base).slice_axis(1, 2, 3))
+            .abs()
+            .max_value();
+        assert!(d < 1e-7, "linear ablation must stay token-local: {d}");
+    }
+
+    #[test]
+    fn gradients_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let ip = InterPatch::new(&mut store, "ip", 4, 2, true, &mut rng);
+        let x = Tensor::randn(&[2, 3, 4], &mut rng).mul_scalar(0.5);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let y = ip.forward(g, xv);
+                let sq = g.square(y);
+                g.mean(sq)
+            },
+            1e-2,
+            3e-2,
+        )
+        .unwrap();
+    }
+}

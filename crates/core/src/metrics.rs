@@ -1,0 +1,86 @@
+//! Forecast accuracy metrics (paper §IV-A2: MSE and MAE on the standardized
+//! scale) and batched model evaluation.
+
+use lip_autograd::Graph;
+use lip_data::window::WindowDataset;
+use lip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::forecaster::Forecaster;
+
+/// Mean squared error between equally shaped tensors.
+pub fn mse(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    pred.sub(target).square().mean().item()
+}
+
+/// Mean absolute error between equally shaped tensors.
+pub fn mae(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mae shape mismatch");
+    pred.sub(target).abs().mean().item()
+}
+
+/// Accuracy summary of one evaluation pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastMetrics {
+    pub mse: f32,
+    pub mae: f32,
+    /// Windows evaluated.
+    pub count: usize,
+}
+
+impl ForecastMetrics {
+    /// Evaluate `model` over every window of `ds` in inference mode.
+    pub fn evaluate<M: Forecaster + ?Sized>(model: &M, ds: &WindowDataset, batch_size: usize) -> Self {
+        assert!(!ds.is_empty(), "cannot evaluate on an empty split");
+        let order: Vec<usize> = (0..ds.len()).collect();
+        let mut rng = StdRng::seed_from_u64(0); // unused in eval mode
+        let mut sq_sum = 0.0f64;
+        let mut abs_sum = 0.0f64;
+        let mut n_elems = 0.0f64;
+        for chunk in WindowDataset::batch_indices(&order, batch_size) {
+            let batch = ds.batch(&chunk);
+            let mut g = Graph::new(model.store());
+            let pred = model.forward(&mut g, &batch, false, &mut rng);
+            let p = g.value(pred);
+            let diff = p.sub(&batch.y);
+            sq_sum += diff.data().iter().map(|&d| (d as f64) * d as f64).sum::<f64>();
+            abs_sum += diff.data().iter().map(|&d| d.abs() as f64).sum::<f64>();
+            n_elems += diff.numel() as f64;
+        }
+        ForecastMetrics {
+            mse: (sq_sum / n_elems) as f32,
+            mae: (abs_sum / n_elems) as f32,
+            count: ds.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_mae_known_values() {
+        let p = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let t = Tensor::from_vec(vec![0.0, 2.0, 5.0], &[3]);
+        assert!((mse(&p, &t) - 5.0 / 3.0).abs() < 1e-6);
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero() {
+        let p = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(mse(&p, &p), 0.0);
+        assert_eq!(mae(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn mae_bounds_rmse() {
+        // MAE ≤ RMSE always
+        let p = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[4]);
+        let t = Tensor::zeros(&[4]);
+        assert!(mae(&p, &t) <= mse(&p, &t).sqrt() + 1e-6);
+    }
+}

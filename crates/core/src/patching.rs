@@ -1,0 +1,117 @@
+//! Channel independence + patching (paper §III-C1): each univariate channel
+//! is processed independently under shared weights, and its window is split
+//! into `n = T / pl` non-overlapping patches of length `pl`, reducing the
+//! attention cost from `O(T²)` to `O(T²/pl²)`.
+
+use lip_autograd::{Graph, Var};
+
+/// Patch division for channel-independent patch-wise models.
+#[derive(Debug, Clone, Copy)]
+pub struct Patching {
+    /// Patch length `pl`.
+    pub patch_len: usize,
+}
+
+impl Patching {
+    /// `x: [b, T, c] → [b·c, n, pl]` — flatten channels into the batch
+    /// (channel independence) and cut each series into patches.
+    pub fn apply(self, g: &mut Graph, x: Var) -> Var {
+        let shape = g.shape(x).to_vec();
+        assert_eq!(shape.len(), 3, "patching expects [b, T, c]");
+        let (b, t, c) = (shape[0], shape[1], shape[2]);
+        assert_eq!(
+            t % self.patch_len,
+            0,
+            "seq_len {t} not divisible by patch_len {}",
+            self.patch_len
+        );
+        let n = t / self.patch_len;
+        let per_channel = g.permute(x, &[0, 2, 1]); // [b, c, T]
+        g.reshape(per_channel, &[b * c, n, self.patch_len])
+    }
+
+    /// Inverse bookkeeping for the prediction head:
+    /// `y: [b·c, L] → [b, L, c]`.
+    pub fn merge_channels(self, g: &mut Graph, y: Var, batch: usize, channels: usize) -> Var {
+        let shape = g.shape(y).to_vec();
+        assert_eq!(shape.len(), 2, "merge expects [b·c, L]");
+        assert_eq!(shape[0], batch * channels, "batch/channel mismatch");
+        let l = shape[1];
+        let split = g.reshape(y, &[batch, channels, l]);
+        g.permute(split, &[0, 2, 1])
+    }
+
+    /// Number of patches for a window of `seq_len`.
+    pub fn num_patches(self, seq_len: usize) -> usize {
+        assert_eq!(seq_len % self.patch_len, 0);
+        seq_len / self.patch_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::ParamStore;
+    use lip_tensor::Tensor;
+
+    #[test]
+    fn patch_layout_preserves_channel_series() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        // b=1, T=6, c=2: channel 0 = [0,2,4,6,8,10], channel 1 = [1,3,5,7,9,11]
+        let x = g.constant(Tensor::arange(12).reshape(&[1, 6, 2]));
+        let p = Patching { patch_len: 3 };
+        let out = p.apply(&mut g, x);
+        assert_eq!(g.shape(out), &[2, 2, 3]);
+        let v = g.value(out);
+        // row 0 of channel 0: first patch of the even series
+        assert_eq!(v.slice_axis(0, 0, 1).to_vec(), vec![0., 2., 4., 6., 8., 10.]);
+        assert_eq!(v.slice_axis(0, 1, 2).to_vec(), vec![1., 3., 5., 7., 9., 11.]);
+    }
+
+    #[test]
+    fn merge_channels_inverts_layout() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        // [b·c=4, L=2] with b=2, c=2
+        let y = g.constant(Tensor::arange(8).reshape(&[4, 2]));
+        let p = Patching { patch_len: 1 };
+        let merged = p.merge_channels(&mut g, y, 2, 2);
+        assert_eq!(g.shape(merged), &[2, 2, 2]);
+        let v = g.value(merged);
+        // batch 0, step 0: channel 0 = row0[0] = 0, channel 1 = row1[0] = 2
+        assert_eq!(v.at(&[0, 0, 0]), 0.0);
+        assert_eq!(v.at(&[0, 0, 1]), 2.0);
+        assert_eq!(v.at(&[1, 1, 0]), 5.0);
+        assert_eq!(v.at(&[1, 1, 1]), 7.0);
+    }
+
+    #[test]
+    fn patch_then_merge_roundtrip_univariate() {
+        // With c = 1, patching to [b, n·pl] then merging must reproduce the
+        // original series order.
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::arange(8).reshape(&[2, 4, 1]));
+        let p = Patching { patch_len: 2 };
+        let patched = p.apply(&mut g, x); // [2, 2, 2]
+        let flat = g.reshape(patched, &[2, 4]);
+        let back = p.merge_channels(&mut g, flat, 2, 1);
+        assert_eq!(g.value(back), g.value(x));
+    }
+
+    #[test]
+    fn token_count_matches_complexity_claim() {
+        let p = Patching { patch_len: 48 };
+        assert_eq!(p.num_patches(720), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_window_rejected() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::zeros(&[1, 7, 1]));
+        let _ = Patching { patch_len: 3 }.apply(&mut g, x);
+    }
+}

@@ -1,0 +1,179 @@
+//! Plug-and-play weak data enriching (paper §IV-E6, Table XII): wrap *any*
+//! forecaster with the dual-encoder Covariate Encoder so its predictions are
+//! guided by future weak labels — the transplant experiment that attaches
+//! the module to Informer, Transformer and Autoformer.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_data::window::Batch;
+use lip_data::CovariateSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::contrastive::WeakEnriching;
+use crate::forecaster::{Forecaster, WeaklySupervised};
+
+/// A forecaster augmented with the paper's weak-data-enriching module.
+pub struct WithCovariateEncoder<M: Forecaster> {
+    inner: M,
+    enrich: WeakEnriching,
+    name: String,
+}
+
+impl<M: Forecaster> WithCovariateEncoder<M> {
+    /// Attach a Covariate Encoder to `inner`. The enriching parameters are
+    /// registered in the inner model's store so one optimizer drives both.
+    pub fn new(
+        mut inner: M,
+        spec: &CovariateSpec,
+        horizon: usize,
+        channels: usize,
+        encoder_hidden: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
+        let enrich = WeakEnriching::new(
+            inner.store_mut(),
+            "plugin",
+            spec,
+            horizon,
+            channels,
+            encoder_hidden,
+            1,
+            &mut rng,
+        );
+        let name = format!("{}+CovEnc", inner.name());
+        WithCovariateEncoder {
+            inner,
+            enrich,
+            name,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Forecaster> Forecaster for WithCovariateEncoder<M> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn store(&self) -> &ParamStore {
+        self.inner.store()
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        self.inner.store_mut()
+    }
+
+    fn forward(&self, g: &mut Graph, batch: &Batch, training: bool, rng: &mut StdRng) -> Var {
+        let y_base = self.inner.forward(g, batch, training, rng);
+        self.enrich.guide(g, y_base, batch)
+    }
+}
+
+impl<M: Forecaster> WeaklySupervised for WithCovariateEncoder<M> {
+    fn contrastive_loss(&self, g: &mut Graph, batch: &Batch) -> Var {
+        self.enrich.contrastive_loss(g, batch)
+    }
+
+    fn freeze_encoders(&mut self) {
+        self.enrich.freeze_encoders(self.inner.store_mut());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_tensor::Tensor;
+
+    /// A trivial last-value forecaster used to test the wrapper in isolation.
+    struct Naive {
+        store: ParamStore,
+        pred_len: usize,
+    }
+
+    impl Naive {
+        fn new(pred_len: usize) -> Self {
+            Naive {
+                store: ParamStore::new(),
+                pred_len,
+            }
+        }
+    }
+
+    impl Forecaster for Naive {
+        fn name(&self) -> &str {
+            "Naive"
+        }
+        fn store(&self) -> &ParamStore {
+            &self.store
+        }
+        fn store_mut(&mut self) -> &mut ParamStore {
+            &mut self.store
+        }
+        fn forward(&self, g: &mut Graph, batch: &Batch, _t: bool, _r: &mut StdRng) -> Var {
+            let shape = batch.x.shape().to_vec();
+            let x = g.constant(batch.x.clone());
+            let last = g.slice_axis(x, 1, shape[1] - 1, shape[1]);
+            let b = g.broadcast_to(last, &[shape[0], self.pred_len, shape[2]]);
+            // keep a node so the tape is non-trivial
+            g.mul_scalar(b, 1.0)
+        }
+    }
+
+    fn spec() -> CovariateSpec {
+        CovariateSpec {
+            numerical: 2,
+            cardinalities: vec![3],
+            time_features: 4,
+        }
+    }
+
+    fn batch(b: usize, rng: &mut StdRng) -> Batch {
+        Batch {
+            x: Tensor::randn(&[b, 12, 2], rng),
+            y: Tensor::randn(&[b, 4, 2], rng),
+            time_feats: Tensor::randn(&[b, 4, 4], rng),
+            cov_numerical: Some(Tensor::randn(&[b, 4, 2], rng)),
+            cov_categorical: Some(vec![(0..b * 4).map(|i| i % 3).collect()]),
+        }
+    }
+
+    #[test]
+    fn wrapped_model_changes_predictions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let naive = Naive::new(4);
+        let b = batch(3, &mut rng);
+        let plain = {
+            let mut g = Graph::new(naive.store());
+            let y = naive.forward(&mut g, &b, false, &mut rng);
+            g.value(y).clone()
+        };
+        let wrapped = WithCovariateEncoder::new(naive, &spec(), 4, 2, 8, 1);
+        assert_eq!(wrapped.name(), "Naive+CovEnc");
+        let guided = {
+            let mut g = Graph::new(wrapped.store());
+            let y = wrapped.forward(&mut g, &b, false, &mut rng);
+            g.value(y).clone()
+        };
+        assert_eq!(guided.shape(), plain.shape());
+        assert!(guided.sub(&plain).abs().max_value() > 1e-7);
+    }
+
+    #[test]
+    fn contrastive_loss_and_freeze() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut wrapped = WithCovariateEncoder::new(Naive::new(4), &spec(), 4, 2, 8, 2);
+        let b = batch(4, &mut rng);
+        let mut g = Graph::new(wrapped.store());
+        let loss = wrapped.contrastive_loss(&mut g, &b);
+        assert!(g.value(loss).item().is_finite());
+        drop(g);
+        let before = wrapped.num_parameters();
+        wrapped.freeze_encoders();
+        assert!(wrapped.num_parameters() < before);
+    }
+}

@@ -1,0 +1,92 @@
+//! Instance normalization (paper §III-C1): subtract each channel's **last
+//! observed value** from the input window and re-add it to the prediction —
+//! the lightweight distribution-shift treatment LiPFormer adopts from
+//! DLinear instead of Layer Normalization.
+
+use lip_autograd::{Graph, Var};
+
+/// Last-value instance normalization over `[b, T, c]` windows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InstanceNorm;
+
+impl InstanceNorm {
+    /// Normalize: returns `(x − x_T, x_T)` where `x_T` is the `[b, 1, c]`
+    /// last-step slice that must be re-added after prediction.
+    pub fn normalize(self, g: &mut Graph, x: Var) -> (Var, Var) {
+        let shape = g.shape(x).to_vec();
+        assert_eq!(shape.len(), 3, "instance norm expects [b, T, c]");
+        let t = shape[1];
+        let last = g.slice_axis(x, 1, t - 1, t); // [b, 1, c]
+        let centered = g.sub(x, last);
+        (centered, last)
+    }
+
+    /// Denormalize a prediction `[b, L, c]` by re-adding the anchors.
+    pub fn denormalize(self, g: &mut Graph, y: Var, last: Var) -> Var {
+        g.add(y, last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::ParamStore;
+    use lip_tensor::Tensor;
+
+    #[test]
+    fn last_step_becomes_zero() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::from_vec(
+            vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0],
+            &[1, 3, 2],
+        ));
+        let (normed, last) = InstanceNorm.normalize(&mut g, x);
+        let n = g.value(normed);
+        // last row of the normalized window is zero
+        assert_eq!(n.slice_axis(1, 2, 3).to_vec(), vec![0.0, 0.0]);
+        assert_eq!(g.value(last).to_vec(), vec![3.0, 30.0]);
+    }
+
+    #[test]
+    fn roundtrip_restores_scale() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::from_vec(vec![5.0, 7.0, 9.0], &[1, 3, 1]));
+        let (_, last) = InstanceNorm.normalize(&mut g, x);
+        // a "prediction" of zeros denormalizes to the anchor value
+        let pred = g.constant(Tensor::zeros(&[1, 2, 1]));
+        let out = InstanceNorm.denormalize(&mut g, pred, last);
+        assert_eq!(g.value(out).to_vec(), vec![9.0, 9.0]);
+    }
+
+    #[test]
+    fn shift_invariance() {
+        // Adding a constant offset to the window must not change the
+        // normalized representation — the property that defeats
+        // distribution shift.
+        let store = ParamStore::new();
+        let run = |offset: f32| {
+            let mut g = Graph::new(&store);
+            let x = g.constant(
+                Tensor::from_vec(vec![1.0, 2.0, 4.0, 8.0], &[1, 4, 1]).add_scalar(offset),
+            );
+            let (n, _) = InstanceNorm.normalize(&mut g, x);
+            g.value(n).clone()
+        };
+        assert_eq!(run(0.0), run(1000.0));
+    }
+
+    #[test]
+    fn gradient_flows_through() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::ones(&[1, 3, 1]));
+        let mut g = Graph::new(&store);
+        let wv = g.param(w);
+        let (n, last) = InstanceNorm.normalize(&mut g, wv);
+        let d = InstanceNorm.denormalize(&mut g, n, last);
+        let loss = g.sum(d);
+        let grads = g.backward(loss);
+        assert!(grads.for_param(w).is_some());
+    }
+}

@@ -1,0 +1,110 @@
+//! The **Target Encoder** (paper §III-C2, Eq. 7): encodes ground-truth
+//! future windows (target sequences) to `[b, L]` representation vectors for
+//! the contrastive pre-training. Identical trunk to the Covariate Encoder but
+//! without embedding/concatenation — the input is lifted directly from the
+//! `c` target channels.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use lip_nn::Linear;
+use rand::Rng;
+
+use crate::covariate_encoder::EncoderTrunk;
+
+/// Dual-encoder half that embeds target sequences.
+#[derive(Debug, Clone)]
+pub struct TargetEncoder {
+    lift: Linear,
+    trunk: EncoderTrunk,
+    channels: usize,
+    horizon: usize,
+}
+
+impl TargetEncoder {
+    /// Build for `channels` target channels, horizon `L`, hidden width `hd`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        channels: usize,
+        horizon: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        TargetEncoder {
+            lift: Linear::new(store, &format!("{name}.lift"), channels, hidden, true, rng),
+            trunk: EncoderTrunk::new(store, &format!("{name}.trunk"), horizon, hidden, rng),
+            channels,
+            horizon,
+        }
+    }
+
+    /// `y: [b, L, c] → [b, L]` (Eq. 7 then Eq. 5–6).
+    pub fn forward(&self, g: &mut Graph, y: Var) -> Var {
+        let shape = g.shape(y).to_vec();
+        assert_eq!(shape.len(), 3, "target encoder expects [b, L, c]");
+        assert_eq!(shape[1], self.horizon, "horizon mismatch");
+        assert_eq!(shape[2], self.channels, "channel mismatch");
+        let lifted = self.lift.forward(g, y);
+        self.trunk.forward(g, lifted)
+    }
+
+    /// Horizon of the representation vector.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::gradcheck::check_gradients;
+    use lip_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let enc = TargetEncoder::new(&mut store, "tgt", 3, 8, 8, &mut rng);
+        let mut g = Graph::new(&store);
+        let y = g.constant(Tensor::randn(&[4, 8, 3], &mut rng));
+        let v = enc.forward(&mut g, y);
+        assert_eq!(g.shape(v), &[4, 8]);
+    }
+
+    #[test]
+    fn different_targets_get_different_embeddings() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let enc = TargetEncoder::new(&mut store, "tgt", 1, 6, 8, &mut rng);
+        let run = |y: Tensor| {
+            let mut g = Graph::new(&store);
+            let yv = g.constant(y);
+            let v = enc.forward(&mut g, yv);
+            g.value(v).clone()
+        };
+        let a = run(Tensor::randn(&[1, 6, 1], &mut rng));
+        let b = run(Tensor::randn(&[1, 6, 1], &mut rng));
+        assert!(a.sub(&b).abs().max_value() > 1e-6);
+    }
+
+    #[test]
+    fn gradients_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let enc = TargetEncoder::new(&mut store, "tgt", 2, 3, 4, &mut rng);
+        let y = Tensor::randn(&[2, 3, 2], &mut rng).mul_scalar(0.5);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let yv = g.constant(y.clone());
+                let v = enc.forward(g, yv);
+                let sq = g.square(v);
+                g.mean(sq)
+            },
+            1e-2,
+            3e-2,
+        )
+        .unwrap();
+    }
+}

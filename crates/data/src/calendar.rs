@@ -1,0 +1,207 @@
+//! A minimal proleptic-Gregorian calendar: enough date arithmetic to produce
+//! the temporal weak labels the paper augments (hour of day, day of week,
+//! day of month, month of year, holidays) without a chrono dependency.
+
+use serde::{Deserialize, Serialize};
+
+/// Sampling interval of a time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Frequency {
+    /// 5-minute sampling.
+    Min5,
+    /// 10-minute sampling (Weather).
+    Min10,
+    /// 15-minute sampling (ETTm, Electri-Price).
+    Min15,
+    /// Hourly sampling (ETTh, Electricity, Traffic, Cycle).
+    Hourly,
+    /// Daily sampling.
+    Daily,
+}
+
+impl Frequency {
+    /// Interval length in minutes.
+    pub fn minutes(self) -> u64 {
+        match self {
+            Frequency::Min5 => 5,
+            Frequency::Min10 => 10,
+            Frequency::Min15 => 15,
+            Frequency::Hourly => 60,
+            Frequency::Daily => 1440,
+        }
+    }
+
+    /// Steps per day.
+    pub fn steps_per_day(self) -> usize {
+        (1440 / self.minutes()) as usize
+    }
+}
+
+/// A broken-down timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DateTime {
+    pub year: i32,
+    /// 1..=12
+    pub month: u32,
+    /// 1..=31
+    pub day: u32,
+    /// 0..=23
+    pub hour: u32,
+    /// 0..=59
+    pub minute: u32,
+    /// 0 = Monday … 6 = Sunday
+    pub weekday: u32,
+}
+
+/// Days from civil epoch 1970-01-01 (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = ((m + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+/// A start timestamp plus a sampling frequency: maps step indices to
+/// broken-down timestamps.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Calendar {
+    /// Minutes since the civil epoch of step 0.
+    start_minutes: i64,
+    /// Sampling interval.
+    pub freq: Frequency,
+}
+
+impl Calendar {
+    /// Calendar starting at `year-month-day hour:00` with interval `freq`.
+    pub fn new(year: i32, month: u32, day: u32, hour: u32, freq: Frequency) -> Self {
+        assert!((1..=12).contains(&month), "bad month {month}");
+        assert!((1..=31).contains(&day), "bad day {day}");
+        assert!(hour < 24, "bad hour {hour}");
+        Calendar {
+            start_minutes: days_from_civil(year, month, day) * 1440 + hour as i64 * 60,
+            freq,
+        }
+    }
+
+    /// Default start used by the generators (the ETT datasets begin
+    /// 2016-07-01 00:00).
+    pub fn ett_default(freq: Frequency) -> Self {
+        Calendar::new(2016, 7, 1, 0, freq)
+    }
+
+    /// Timestamp of step `idx`.
+    pub fn at(&self, idx: usize) -> DateTime {
+        let minutes = self.start_minutes + idx as i64 * self.freq.minutes() as i64;
+        let days = minutes.div_euclid(1440);
+        let mins_of_day = minutes.rem_euclid(1440) as u32;
+        let (year, month, day) = civil_from_days(days);
+        // 1970-01-01 was a Thursday (weekday 3 with Monday = 0)
+        let weekday = (days.rem_euclid(7) as u32 + 3) % 7;
+        DateTime {
+            year,
+            month,
+            day,
+            hour: mins_of_day / 60,
+            minute: mins_of_day % 60,
+            weekday,
+        }
+    }
+
+    /// True for Saturday/Sunday.
+    pub fn is_weekend(&self, idx: usize) -> bool {
+        self.at(idx).weekday >= 5
+    }
+
+    /// A simple fixed-date holiday set (New Year, May 1, Oct 1, Dec 25) —
+    /// a stand-in for the holiday weak label of the covariate datasets.
+    pub fn is_holiday(&self, idx: usize) -> bool {
+        let d = self.at(idx);
+        matches!(
+            (d.month, d.day),
+            (1, 1) | (5, 1) | (10, 1) | (12, 25)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_roundtrip() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (2016, 7, 1),
+            (2000, 2, 29),
+            (2023, 12, 31),
+            (1999, 3, 1),
+        ] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn epoch_is_thursday() {
+        let cal = Calendar::new(1970, 1, 1, 0, Frequency::Daily);
+        assert_eq!(cal.at(0).weekday, 3); // Thursday
+        assert_eq!(cal.at(4).weekday, 0); // Monday
+    }
+
+    #[test]
+    fn hourly_stepping_rolls_days() {
+        let cal = Calendar::new(2016, 7, 1, 0, Frequency::Hourly);
+        let t0 = cal.at(0);
+        assert_eq!((t0.year, t0.month, t0.day, t0.hour), (2016, 7, 1, 0));
+        let t = cal.at(25);
+        assert_eq!((t.day, t.hour), (2, 1));
+        // 2016-07-01 was a Friday
+        assert_eq!(t0.weekday, 4);
+    }
+
+    #[test]
+    fn min15_stepping() {
+        let cal = Calendar::new(2021, 1, 1, 0, Frequency::Min15);
+        let t = cal.at(5);
+        assert_eq!((t.hour, t.minute), (1, 15));
+        assert_eq!(Frequency::Min15.steps_per_day(), 96);
+    }
+
+    #[test]
+    fn leap_year_february() {
+        let cal = Calendar::new(2020, 2, 28, 0, Frequency::Daily);
+        let t = cal.at(1);
+        assert_eq!((t.month, t.day), (2, 29));
+        let t2 = cal.at(2);
+        assert_eq!((t2.month, t2.day), (3, 1));
+    }
+
+    #[test]
+    fn weekend_and_holiday_flags() {
+        let cal = Calendar::new(2016, 7, 1, 0, Frequency::Daily); // Friday
+        assert!(!cal.is_weekend(0));
+        assert!(cal.is_weekend(1)); // Saturday
+        assert!(cal.is_weekend(2)); // Sunday
+        assert!(!cal.is_weekend(3));
+        let ny = Calendar::new(2017, 1, 1, 0, Frequency::Daily);
+        assert!(ny.is_holiday(0));
+        assert!(!ny.is_holiday(1));
+    }
+}

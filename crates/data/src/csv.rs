@@ -1,0 +1,112 @@
+//! Minimal CSV import/export for time series (`date,ch0,ch1,...` layout of
+//! the public ETT/Weather files) — no external csv crate.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use lip_tensor::Tensor;
+
+use crate::calendar::Calendar;
+use crate::dataset::TimeSeries;
+
+/// Write a series as `index,ch...` CSV.
+pub fn save_csv(series: &TimeSeries, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write!(w, "idx")?;
+    for name in &series.channels {
+        write!(w, ",{name}")?;
+    }
+    writeln!(w)?;
+    let c = series.num_channels();
+    for (t, row) in series.values.data().chunks_exact(c).enumerate() {
+        write!(w, "{t}")?;
+        for v in row {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Load a CSV written by [`save_csv`] (or any `header + index,values…` file).
+/// The first column is skipped as an index/date column.
+pub fn load_csv(path: &Path, calendar: Calendar) -> std::io::Result<TimeSeries> {
+    let file = std::fs::File::open(path)?;
+    let mut lines = std::io::BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad_data("empty csv"))??;
+    let channels: Vec<String> = header.split(',').skip(1).map(str::to_string).collect();
+    if channels.is_empty() {
+        return Err(bad_data("csv has no value columns"));
+    }
+    let mut data = Vec::new();
+    let mut rows = 0usize;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let _idx = fields.next();
+        let mut width = 0usize;
+        for f in fields {
+            let v: f32 = f
+                .trim()
+                .parse()
+                .map_err(|e| bad_data(&format!("row {rows}: {e}")))?;
+            data.push(v);
+            width += 1;
+        }
+        if width != channels.len() {
+            return Err(bad_data(&format!(
+                "row {rows} has {width} fields, expected {}",
+                channels.len()
+            )));
+        }
+        rows += 1;
+    }
+    Ok(TimeSeries::new(
+        Tensor::from_vec(data, &[rows, channels.len()]),
+        channels,
+        calendar,
+    ))
+}
+
+fn bad_data(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Frequency;
+
+    #[test]
+    fn roundtrip() {
+        let series = TimeSeries::new(
+            Tensor::from_vec(vec![1.0, 2.0, 3.5, -4.0], &[2, 2]),
+            vec!["a".into(), "b".into()],
+            Calendar::ett_default(Frequency::Hourly),
+        );
+        let dir = std::env::temp_dir().join("lip_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        save_csv(&series, &path).unwrap();
+        let back = load_csv(&path, series.calendar).unwrap();
+        assert_eq!(back.values, series.values);
+        assert_eq!(back.channels, series.channels);
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let dir = std::env::temp_dir().join("lip_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "idx,a,b\n0,1.0\n").unwrap();
+        assert!(load_csv(&path, Calendar::ett_default(Frequency::Hourly)).is_err());
+        std::fs::write(&path, "idx,a\n0,not_a_number\n").unwrap();
+        assert!(load_csv(&path, Calendar::ett_default(Frequency::Hourly)).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Dataset containers: a multivariate [`TimeSeries`], an optional explicit
+//! covariate set (numerical + categorical future weak labels), and the
+//! bundled [`BenchmarkDataset`] the generators produce.
+
+use lip_tensor::Tensor;
+
+use crate::calendar::Calendar;
+
+/// A multivariate time series: `values` is `[timestamps, channels]`.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// `[T, c]` observations.
+    pub values: Tensor,
+    /// Channel names, length `c`.
+    pub channels: Vec<String>,
+    /// Timestamp mapping for implicit temporal features.
+    pub calendar: Calendar,
+}
+
+impl TimeSeries {
+    /// Construct, validating dimensions.
+    pub fn new(values: Tensor, channels: Vec<String>, calendar: Calendar) -> Self {
+        assert_eq!(values.rank(), 2, "time series must be [T, c]");
+        assert_eq!(
+            values.shape()[1],
+            channels.len(),
+            "channel-name count must match the value width"
+        );
+        TimeSeries {
+            values,
+            channels,
+            calendar,
+        }
+    }
+
+    /// Number of timestamps.
+    pub fn len(&self) -> usize {
+        self.values.shape()[0]
+    }
+
+    /// True when the series holds no timestamps.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.values.shape()[1]
+    }
+
+    /// A single channel as a `[T, 1]` series (for univariate experiments).
+    pub fn channel(&self, idx: usize) -> TimeSeries {
+        assert!(idx < self.num_channels(), "channel {idx} out of range");
+        TimeSeries {
+            values: self.values.slice_axis(1, idx, idx + 1),
+            channels: vec![self.channels[idx].clone()],
+            calendar: self.calendar,
+        }
+    }
+
+    /// Rows `[start, end)` as a new series (calendar origin is preserved, so
+    /// time features remain aligned via absolute indices).
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        self.values.slice_axis(0, start, end)
+    }
+}
+
+/// Explicit future covariates (the paper's weak labels, Table IV):
+/// numerical channels plus categorical channels with small vocabularies.
+#[derive(Debug, Clone)]
+pub struct CovariateSet {
+    /// `[T, c_n]` numerical covariates (forecasts, temperatures, …).
+    pub numerical: Tensor,
+    /// Per-categorical-channel integer codes, each of length `T`.
+    pub categorical: Vec<Vec<usize>>,
+    /// Vocabulary size of each categorical channel.
+    pub cardinalities: Vec<usize>,
+    /// Names: numerical first, then categorical.
+    pub names: Vec<String>,
+}
+
+impl CovariateSet {
+    /// Validate dimensions.
+    pub fn new(
+        numerical: Tensor,
+        categorical: Vec<Vec<usize>>,
+        cardinalities: Vec<usize>,
+        names: Vec<String>,
+    ) -> Self {
+        assert_eq!(numerical.rank(), 2, "numerical covariates must be [T, c_n]");
+        let t = numerical.shape()[0];
+        assert_eq!(categorical.len(), cardinalities.len());
+        for (ch, (codes, &card)) in categorical.iter().zip(&cardinalities).enumerate() {
+            assert_eq!(codes.len(), t, "categorical channel {ch} length mismatch");
+            assert!(
+                codes.iter().all(|&c| c < card),
+                "categorical channel {ch} has codes outside its cardinality {card}"
+            );
+        }
+        assert_eq!(
+            names.len(),
+            numerical.shape()[1] + categorical.len(),
+            "need one name per covariate channel"
+        );
+        CovariateSet {
+            numerical,
+            categorical,
+            cardinalities,
+            names,
+        }
+    }
+
+    /// Number of timestamps.
+    pub fn len(&self) -> usize {
+        self.numerical.shape()[0]
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Numerical channel count `c_n`.
+    pub fn num_numerical(&self) -> usize {
+        self.numerical.shape()[1]
+    }
+
+    /// Categorical channel count `c_t`.
+    pub fn num_categorical(&self) -> usize {
+        self.categorical.len()
+    }
+
+    /// Total covariate channels `c_f = c_n + c_t`.
+    pub fn num_channels(&self) -> usize {
+        self.num_numerical() + self.num_categorical()
+    }
+}
+
+/// A generated benchmark: target series plus (for Electri-Price and Cycle)
+/// explicit future covariates.
+#[derive(Debug, Clone)]
+pub struct BenchmarkDataset {
+    /// Human-readable dataset name.
+    pub name: String,
+    /// The target multivariate series.
+    pub series: TimeSeries,
+    /// Explicit future weak labels, when the benchmark has them.
+    pub covariates: Option<CovariateSet>,
+    /// The paper's split ratio for this dataset.
+    pub split: crate::split::SplitRatio,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::{Calendar, Frequency};
+
+    fn series(t: usize, c: usize) -> TimeSeries {
+        TimeSeries::new(
+            Tensor::zeros(&[t, c]),
+            (0..c).map(|i| format!("ch{i}")).collect(),
+            Calendar::ett_default(Frequency::Hourly),
+        )
+    }
+
+    #[test]
+    fn dimensions() {
+        let s = series(10, 3);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.num_channels(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn channel_extraction() {
+        let mut vals = Tensor::zeros(&[4, 2]);
+        for (i, v) in vals.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let s = TimeSeries::new(
+            vals,
+            vec!["a".into(), "b".into()],
+            Calendar::ett_default(Frequency::Hourly),
+        );
+        let b = s.channel(1);
+        assert_eq!(b.values.to_vec(), vec![1.0, 3.0, 5.0, 7.0]);
+        assert_eq!(b.channels, vec!["b".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel-name count")]
+    fn name_count_checked() {
+        let _ = TimeSeries::new(
+            Tensor::zeros(&[4, 2]),
+            vec!["only-one".into()],
+            Calendar::ett_default(Frequency::Hourly),
+        );
+    }
+
+    #[test]
+    fn covariate_validation() {
+        let cov = CovariateSet::new(
+            Tensor::zeros(&[5, 2]),
+            vec![vec![0, 1, 2, 0, 1]],
+            vec![3],
+            vec!["n0".into(), "n1".into(), "cat0".into()],
+        );
+        assert_eq!(cov.num_channels(), 3);
+        assert_eq!(cov.num_numerical(), 2);
+        assert_eq!(cov.num_categorical(), 1);
+        assert_eq!(cov.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its cardinality")]
+    fn covariate_code_bounds_checked() {
+        let _ = CovariateSet::new(
+            Tensor::zeros(&[2, 1]),
+            vec![vec![0, 5]],
+            vec![3],
+            vec!["n".into(), "c".into()],
+        );
+    }
+}

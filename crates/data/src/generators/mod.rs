@@ -1,0 +1,279 @@
+//! Seeded synthetic generators calibrated to the paper's nine benchmark
+//! datasets (Table II). Real traces are not redistributable in this
+//! environment; these generators reproduce the *structural properties* each
+//! architecture component targets — multi-scale seasonality (patching),
+//! global trends (Cross-Patch attention), distribution shift (instance
+//! normalization) and covariate-driven dynamics (weak data enriching). See
+//! DESIGN.md §2 for the substitution argument.
+
+mod benchmarks;
+mod covariate_sets;
+mod signal;
+
+pub use signal::SignalBuilder;
+
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::Frequency;
+use crate::dataset::BenchmarkDataset;
+use crate::split::SplitRatio;
+
+/// The nine benchmarks of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetName {
+    ETTh1,
+    ETTh2,
+    ETTm1,
+    ETTm2,
+    Weather,
+    Electricity,
+    Traffic,
+    ElectriPrice,
+    Cycle,
+}
+
+impl DatasetName {
+    /// All nine benchmarks, in the paper's column order.
+    pub fn all() -> [DatasetName; 9] {
+        use DatasetName::*;
+        [
+            ETTh1,
+            ETTh2,
+            ETTm1,
+            ETTm2,
+            Weather,
+            Electricity,
+            Traffic,
+            ElectriPrice,
+            Cycle,
+        ]
+    }
+
+    /// The seven benchmarks without explicit future covariates.
+    pub fn non_covariate() -> [DatasetName; 7] {
+        use DatasetName::*;
+        [ETTh1, ETTh2, ETTm1, ETTm2, Weather, Electricity, Traffic]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DatasetName::ETTh1 => "ETTh1",
+            DatasetName::ETTh2 => "ETTh2",
+            DatasetName::ETTm1 => "ETTm1",
+            DatasetName::ETTm2 => "ETTm2",
+            DatasetName::Weather => "Weather",
+            DatasetName::Electricity => "Electricity",
+            DatasetName::Traffic => "Traffic",
+            DatasetName::ElectriPrice => "Electri-Price",
+            DatasetName::Cycle => "Cycle",
+        }
+    }
+
+    /// Timestamp count in the real dataset (Table II).
+    pub fn paper_len(self) -> usize {
+        match self {
+            DatasetName::ETTh1 | DatasetName::ETTh2 => 17_420,
+            DatasetName::ETTm1 | DatasetName::ETTm2 => 69_680,
+            DatasetName::Weather => 52_696,
+            DatasetName::Electricity => 26_304,
+            DatasetName::Traffic => 17_544,
+            DatasetName::ElectriPrice => 35_808,
+            DatasetName::Cycle => 21_864,
+        }
+    }
+
+    /// Target channel count (Table II; for the covariate datasets this is the
+    /// forecast-target width, with the weak labels counted separately).
+    pub fn paper_channels(self) -> usize {
+        match self {
+            DatasetName::ETTh1
+            | DatasetName::ETTh2
+            | DatasetName::ETTm1
+            | DatasetName::ETTm2 => 7,
+            DatasetName::Weather => 21,
+            DatasetName::Electricity => 321,
+            DatasetName::Traffic => 862,
+            DatasetName::ElectriPrice => 4,
+            DatasetName::Cycle => 2,
+        }
+    }
+
+    /// Sampling frequency.
+    pub fn frequency(self) -> Frequency {
+        match self {
+            DatasetName::ETTm1 | DatasetName::ETTm2 | DatasetName::ElectriPrice => {
+                Frequency::Min15
+            }
+            DatasetName::Weather => Frequency::Min10,
+            _ => Frequency::Hourly,
+        }
+    }
+
+    /// Train:val:test ratio (Table II).
+    pub fn split(self) -> SplitRatio {
+        match self {
+            DatasetName::ETTh1
+            | DatasetName::ETTh2
+            | DatasetName::ETTm1
+            | DatasetName::ETTm2 => SplitRatio::ETT,
+            _ => SplitRatio::LARGE,
+        }
+    }
+
+    /// Whether the benchmark ships explicit future covariates.
+    pub fn has_covariates(self) -> bool {
+        matches!(self, DatasetName::ElectriPrice | DatasetName::Cycle)
+    }
+}
+
+/// Scaling knobs for generation: `Paper` matches Table II sizes; `Bench`
+/// shrinks lengths and caps channel counts so the full experiment suite runs
+/// in CPU-minutes (relative comparisons are unaffected — every model sees the
+/// same data).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// RNG seed (every experiment fixes this).
+    pub seed: u64,
+    /// Multiplier on the paper's timestamp count (0 < scale ≤ 1).
+    pub length_scale: f32,
+    /// Upper bound on generated channels.
+    pub max_channels: usize,
+    /// Upper bound on generated timestamps (after `length_scale`).
+    pub max_len: usize,
+}
+
+impl GeneratorConfig {
+    /// Full Table II sizes.
+    pub fn paper(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            length_scale: 1.0,
+            max_channels: usize::MAX,
+            max_len: usize::MAX,
+        }
+    }
+
+    /// Reduced sizes for the experiment harness.
+    pub fn bench(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            length_scale: 0.25,
+            max_channels: 16,
+            max_len: 4096,
+        }
+    }
+
+    /// Tiny sizes for unit/integration tests.
+    pub fn test(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            length_scale: 0.04,
+            max_channels: 4,
+            max_len: 1024,
+        }
+    }
+
+    /// Effective timestamp count for `name`.
+    pub fn len_for(&self, name: DatasetName) -> usize {
+        assert!(
+            self.length_scale > 0.0 && self.length_scale <= 1.0,
+            "length_scale must be in (0, 1]"
+        );
+        ((name.paper_len() as f32 * self.length_scale) as usize)
+            .min(self.max_len)
+            .max(512)
+    }
+
+    /// Effective channel count for `name`.
+    pub fn channels_for(&self, name: DatasetName) -> usize {
+        name.paper_channels().min(self.max_channels).max(1)
+    }
+}
+
+/// Generate one benchmark dataset.
+pub fn generate(name: DatasetName, config: GeneratorConfig) -> BenchmarkDataset {
+    match name {
+        DatasetName::ElectriPrice => covariate_sets::electri_price(config),
+        DatasetName::Cycle => covariate_sets::cycle(config),
+        other => benchmarks::non_covariate(other, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        assert_eq!(DatasetName::ETTh1.paper_len(), 17_420);
+        assert_eq!(DatasetName::Electricity.paper_channels(), 321);
+        assert_eq!(DatasetName::Traffic.paper_channels(), 862);
+        assert_eq!(DatasetName::Weather.frequency(), Frequency::Min10);
+        assert_eq!(DatasetName::ETTm1.split(), SplitRatio::ETT);
+        assert_eq!(DatasetName::Traffic.split(), SplitRatio::LARGE);
+        assert!(DatasetName::Cycle.has_covariates());
+        assert!(!DatasetName::ETTh2.has_covariates());
+    }
+
+    #[test]
+    fn config_scaling() {
+        let cfg = GeneratorConfig::bench(0);
+        assert_eq!(cfg.channels_for(DatasetName::Traffic), 16);
+        assert_eq!(cfg.channels_for(DatasetName::ETTh1), 7);
+        assert!(cfg.len_for(DatasetName::ETTh1) < 17_420);
+        assert!(cfg.len_for(DatasetName::ETTh1) >= 512);
+    }
+
+    #[test]
+    fn every_benchmark_generates() {
+        let cfg = GeneratorConfig::test(7);
+        for name in DatasetName::all() {
+            let ds = generate(name, cfg);
+            assert_eq!(ds.series.len(), cfg.len_for(name), "{name:?} length");
+            assert_eq!(
+                ds.series.num_channels(),
+                cfg.channels_for(name),
+                "{name:?} channels"
+            );
+            assert!(!ds.series.values.has_non_finite(), "{name:?} has NaN/inf");
+            assert_eq!(ds.covariates.is_some(), name.has_covariates());
+            if let Some(cov) = &ds.covariates {
+                assert_eq!(cov.len(), ds.series.len());
+                assert!(!cov.numerical.has_non_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(DatasetName::ETTh1, GeneratorConfig::test(42));
+        let b = generate(DatasetName::ETTh1, GeneratorConfig::test(42));
+        assert_eq!(a.series.values, b.series.values);
+        let c = generate(DatasetName::ETTh1, GeneratorConfig::test(43));
+        assert_ne!(a.series.values, c.series.values);
+    }
+
+    #[test]
+    fn generated_series_has_daily_periodicity() {
+        // autocorrelation at one day must exceed autocorrelation at an
+        // off-cycle lag — patching and Cross-Patch rely on this structure
+        let ds = generate(DatasetName::ETTh1, GeneratorConfig::test(5));
+        let raw: Vec<f32> = ds.series.values.slice_axis(1, 0, 1).to_vec();
+        // difference to remove the random-walk trend before measuring ACF
+        let x: Vec<f32> = raw.windows(2).map(|w| w[1] - w[0]).collect();
+        let acf = |lag: usize| -> f32 {
+            let n = x.len() - lag;
+            let mean: f32 = x.iter().sum::<f32>() / x.len() as f32;
+            let num: f32 = (0..n).map(|i| (x[i] - mean) * (x[i + lag] - mean)).sum();
+            let den: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum();
+            num / den
+        };
+        assert!(
+            acf(24) > acf(17) + 0.05,
+            "daily ACF {} not above off-cycle ACF {}",
+            acf(24),
+            acf(17)
+        );
+    }
+}

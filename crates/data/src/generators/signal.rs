@@ -1,0 +1,232 @@
+//! Signal-construction primitives shared by every generator: harmonic
+//! seasonality locked to the calendar, AR(2) noise, random-walk trends and
+//! regime shifts.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::calendar::{Calendar, Frequency};
+
+/// Builds one scalar component series at a time; generators sum components.
+pub struct SignalBuilder {
+    pub cal: Calendar,
+    pub len: usize,
+}
+
+impl SignalBuilder {
+    /// Builder over `len` steps of `freq` starting at the ETT epoch.
+    pub fn new(freq: Frequency, len: usize) -> Self {
+        SignalBuilder {
+            cal: Calendar::ett_default(freq),
+            len,
+        }
+    }
+
+    /// Daily harmonic with `harmonics` overtones, phase-shifted by `phase`
+    /// (fraction of a day) — the dominant structure of load/traffic/ETT data.
+    pub fn daily(&self, amplitude: f32, phase: f32, harmonics: usize) -> Vec<f32> {
+        let spd = self.cal.freq.steps_per_day() as f32;
+        (0..self.len)
+            .map(|t| {
+                let day_pos = (t as f32 / spd + phase) * std::f32::consts::TAU;
+                let mut v = 0.0;
+                for h in 1..=harmonics.max(1) {
+                    v += (day_pos * h as f32).sin() / h as f32;
+                }
+                amplitude * v
+            })
+            .collect()
+    }
+
+    /// A commuter double peak (morning + evening), suppressed on weekends by
+    /// `weekend_factor` — the shape of traffic and cycling data.
+    pub fn commuter(&self, amplitude: f32, weekend_factor: f32) -> Vec<f32> {
+        (0..self.len)
+            .map(|t| {
+                let d = self.cal.at(t);
+                let hour = d.hour as f32 + d.minute as f32 / 60.0;
+                let peak = |center: f32, width: f32| {
+                    let z = (hour - center) / width;
+                    (-0.5 * z * z).exp()
+                };
+                let shape = peak(8.0, 1.5) + peak(17.5, 2.0);
+                let scale = if d.weekday >= 5 { weekend_factor } else { 1.0 };
+                amplitude * shape * scale
+            })
+            .collect()
+    }
+
+    /// Weekly harmonic (weekday/weekend modulation).
+    pub fn weekly(&self, amplitude: f32, phase: f32) -> Vec<f32> {
+        let spw = self.cal.freq.steps_per_day() as f32 * 7.0;
+        (0..self.len)
+            .map(|t| amplitude * ((t as f32 / spw + phase) * std::f32::consts::TAU).sin())
+            .collect()
+    }
+
+    /// Daylight bell curve (zero at night) for photovoltaic components.
+    pub fn daylight(&self, amplitude: f32) -> Vec<f32> {
+        (0..self.len)
+            .map(|t| {
+                let d = self.cal.at(t);
+                let hour = d.hour as f32 + d.minute as f32 / 60.0;
+                let z = (hour - 12.5) / 3.0;
+                amplitude * (-0.5 * z * z).exp()
+            })
+            .collect()
+    }
+
+    /// Stationary AR(2) noise: `x_t = φ₁x_{t−1} + φ₂x_{t−2} + ε`, ε∼N(0,σ²).
+    pub fn ar2(&self, phi1: f32, phi2: f32, sigma: f32, rng: &mut StdRng) -> Vec<f32> {
+        assert!(
+            phi2.abs() < 1.0 && phi1.abs() + phi2.abs() < 1.0 + 1e-6,
+            "AR(2) coefficients must be stationary"
+        );
+        let mut out = Vec::with_capacity(self.len);
+        let (mut prev1, mut prev2) = (0.0f32, 0.0f32);
+        for _ in 0..self.len {
+            let x = phi1 * prev1 + phi2 * prev2 + sigma * gauss(rng);
+            out.push(x);
+            prev2 = prev1;
+            prev1 = x;
+        }
+        out
+    }
+
+    /// Slow random-walk trend with per-step drift noise `sigma` — produces
+    /// the distribution shift instance normalization targets.
+    pub fn random_walk_trend(&self, sigma: f32, rng: &mut StdRng) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut level = 0.0f32;
+        for _ in 0..self.len {
+            level += sigma * gauss(rng);
+            out.push(level);
+        }
+        out
+    }
+
+    /// Piecewise-constant regime shifts: roughly `num_shifts` level jumps of
+    /// magnitude ~`magnitude`.
+    pub fn regime_shifts(&self, num_shifts: usize, magnitude: f32, rng: &mut StdRng) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len];
+        let mut level = 0.0f32;
+        let p = num_shifts as f32 / self.len as f32;
+        for v in &mut out {
+            if rng.gen::<f32>() < p {
+                level += magnitude * gauss(rng);
+            }
+            *v = level;
+        }
+        out
+    }
+
+    /// A slowly varying positive amplitude-modulation envelope
+    /// `1 + strength·tanh(slow AR)` — real seasonal/weather-driven loads
+    /// modulate their daily cycle's *amplitude*, a multiplicative structure
+    /// linear `T → L` maps cannot capture but attention models can.
+    pub fn amplitude_envelope(&self, strength: f32, rng: &mut StdRng) -> Vec<f32> {
+        let slow = self.ar2(0.997, 0.0, 0.03, rng);
+        slow.iter().map(|&v| 1.0 + strength * v.tanh()).collect()
+    }
+
+    /// Sparse positive spikes with per-step probability `p` and magnitude
+    /// ~`magnitude` — price-spike behaviour in electricity markets.
+    pub fn spikes(&self, p: f32, magnitude: f32, rng: &mut StdRng) -> Vec<f32> {
+        (0..self.len)
+            .map(|_| {
+                if rng.gen::<f32>() < p {
+                    magnitude * (1.0 + rng.gen::<f32>())
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// Add `src` into `dst` scaled by `w`.
+pub fn mix_into(dst: &mut [f32], src: &[f32], w: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += w * s;
+    }
+}
+
+/// One standard-normal sample (Box–Muller, single value).
+pub fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn daily_repeats_every_day() {
+        let b = SignalBuilder::new(Frequency::Hourly, 100);
+        let d = b.daily(1.0, 0.25, 2);
+        for t in 0..50 {
+            assert!((d[t] - d[t + 24]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn commuter_peaks_at_rush_hour() {
+        let b = SignalBuilder::new(Frequency::Hourly, 24 * 7);
+        let c = b.commuter(1.0, 0.2);
+        // hour 8 of the first (Friday) day should dominate hour 3
+        assert!(c[8] > 4.0 * c[3]);
+        // Saturday (day index 1) 8am far below Friday 8am
+        assert!(c[24 + 8] < 0.5 * c[8]);
+    }
+
+    #[test]
+    fn daylight_zero_at_night() {
+        let b = SignalBuilder::new(Frequency::Hourly, 24);
+        let d = b.daylight(1.0);
+        assert!(d[0] < 1e-3);
+        assert!(d[12] > 0.8);
+    }
+
+    #[test]
+    fn ar2_is_stationary_and_seeded() {
+        let b = SignalBuilder::new(Frequency::Hourly, 5000);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let x = b.ar2(0.6, 0.2, 1.0, &mut r1);
+        let mean: f32 = x.iter().sum::<f32>() / x.len() as f32;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!(x.iter().all(|v| v.is_finite()));
+        let mut r2 = StdRng::seed_from_u64(9);
+        assert_eq!(x, b.ar2(0.6, 0.2, 1.0, &mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "stationary")]
+    fn explosive_ar_rejected() {
+        let b = SignalBuilder::new(Frequency::Hourly, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = b.ar2(1.2, 0.3, 1.0, &mut rng);
+    }
+
+    #[test]
+    fn regime_shifts_are_piecewise_constant() {
+        let b = SignalBuilder::new(Frequency::Hourly, 2000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = b.regime_shifts(5, 2.0, &mut rng);
+        let changes = s.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(changes >= 1 && changes <= 20, "changes {changes}");
+    }
+
+    #[test]
+    fn spikes_are_sparse_and_positive() {
+        let b = SignalBuilder::new(Frequency::Hourly, 10_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = b.spikes(0.01, 5.0, &mut rng);
+        let nonzero = s.iter().filter(|&&v| v > 0.0).count();
+        assert!(nonzero > 20 && nonzero < 300, "nonzero {nonzero}");
+        assert!(s.iter().all(|&v| v >= 0.0));
+    }
+}

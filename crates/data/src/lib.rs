@@ -1,0 +1,35 @@
+//! # lip-data
+//!
+//! The data substrate of the LiPFormer reproduction:
+//!
+//! * a minimal proleptic-Gregorian calendar and [`Frequency`]-stepped
+//!   timestamps (no external chrono dependency),
+//! * Informer-style implicit temporal features (hour-of-day, day-of-week,
+//!   day-of-month, month-of-year) used as weak labels when no explicit
+//!   future covariates exist,
+//! * per-channel standardization fitted on the train split,
+//! * the paper's train/val/test splits (6:2:2 for ETT, 7:1:2 otherwise) with
+//!   look-back overlap, sliding-window sampling and seeded mini-batching,
+//! * seeded synthetic generators calibrated to the nine benchmark datasets
+//!   of Table II (channel counts, lengths, frequencies), including the two
+//!   covariate-rich datasets (Electri-Price, Cycle) where future covariates
+//!   *causally drive* the target — the substitution documented in DESIGN.md,
+//! * simple CSV import/export.
+
+pub mod calendar;
+pub mod csv;
+pub mod dataset;
+pub mod generators;
+pub mod pipeline;
+pub mod scaler;
+pub mod split;
+pub mod timefeatures;
+pub mod window;
+
+pub use calendar::{Calendar, DateTime, Frequency};
+pub use dataset::{BenchmarkDataset, CovariateSet, TimeSeries};
+pub use generators::{generate, DatasetName, GeneratorConfig};
+pub use pipeline::{prepare, to_univariate, CovariateSpec, PreparedData};
+pub use scaler::StandardScaler;
+pub use split::{split_borders, Split, SplitRatio};
+pub use window::{Batch, WindowDataset};

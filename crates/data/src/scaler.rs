@@ -1,0 +1,129 @@
+//! Per-channel standardization, fitted on the train split only (the
+//! convention of the DLinear/PatchTST codebases the paper follows).
+
+use lip_tensor::Tensor;
+
+/// Per-channel mean/std scaler for `[T, c]` series.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fit on `[T, c]` training data.
+    pub fn fit(train: &Tensor) -> Self {
+        assert_eq!(train.rank(), 2, "scaler expects [T, c]");
+        let (t, c) = (train.shape()[0], train.shape()[1]);
+        assert!(t > 0, "cannot fit a scaler on an empty split");
+        let mut mean = vec![0.0f64; c];
+        for row in train.data().chunks_exact(c) {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= t as f64;
+        }
+        let mut var = vec![0.0f64; c];
+        for row in train.data().chunks_exact(c) {
+            for ((s, &v), &m) in var.iter_mut().zip(row).zip(&mean) {
+                let d = v as f64 - m;
+                *s += d * d;
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|&s| ((s / t as f64).sqrt() as f32).max(1e-8))
+            .collect();
+        StandardScaler {
+            mean: mean.into_iter().map(|m| m as f32).collect(),
+            std,
+        }
+    }
+
+    /// `(x - mean) / std`, channel-wise.
+    pub fn transform(&self, x: &Tensor) -> Tensor {
+        self.apply(x, |v, m, s| (v - m) / s)
+    }
+
+    /// `x * std + mean`, channel-wise.
+    pub fn inverse_transform(&self, x: &Tensor) -> Tensor {
+        self.apply(x, |v, m, s| v * s + m)
+    }
+
+    fn apply(&self, x: &Tensor, f: impl Fn(f32, f32, f32) -> f32) -> Tensor {
+        let c = self.mean.len();
+        assert_eq!(
+            *x.shape().last().expect("scaler input needs a channel axis"),
+            c,
+            "scaler channel mismatch"
+        );
+        let mut out = x.to_vec();
+        for row in out.chunks_exact_mut(c) {
+            for ((v, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = f(*v, m, s);
+            }
+        }
+        Tensor::from_vec(out, x.shape())
+    }
+
+    /// Fitted means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Fitted standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_moments() {
+        let x = Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0], &[3, 2]);
+        let sc = StandardScaler::fit(&x);
+        assert!((sc.mean()[0] - 2.0).abs() < 1e-6);
+        assert!((sc.mean()[1] - 20.0).abs() < 1e-6);
+        let z = sc.transform(&x);
+        // standardized columns have mean 0, unit variance
+        for ch in 0..2 {
+            let col: Vec<f32> = (0..3).map(|r| z.at(&[r, ch])).collect();
+            let m: f32 = col.iter().sum::<f32>() / 3.0;
+            let v: f32 = col.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / 3.0;
+            assert!(m.abs() < 1e-6);
+            assert!((v - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x = Tensor::from_vec(vec![5.0, -2.0, 7.0, -4.0], &[2, 2]);
+        let sc = StandardScaler::fit(&x);
+        let back = sc.inverse_transform(&sc.transform(&x));
+        for (a, b) in back.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_channel_does_not_divide_by_zero() {
+        let x = Tensor::from_vec(vec![3.0, 3.0, 3.0], &[3, 1]);
+        let sc = StandardScaler::fit(&x);
+        let z = sc.transform(&x);
+        assert!(!z.has_non_finite());
+    }
+
+    #[test]
+    fn transform_applies_to_3d_batches() {
+        let train = Tensor::from_vec(vec![0.0, 2.0, 4.0, 6.0], &[2, 2]);
+        let sc = StandardScaler::fit(&train);
+        let batch = Tensor::zeros(&[2, 3, 2]); // [b, t, c]
+        let z = sc.transform(&batch);
+        assert_eq!(z.shape(), &[2, 3, 2]);
+    }
+}

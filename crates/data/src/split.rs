@@ -1,0 +1,108 @@
+//! Train/validation/test splitting with the paper's ratios (Table II) and
+//! the Informer-style look-back overlap: validation and test segments begin
+//! `seq_len` steps early so their first windows have full history.
+
+use serde::{Deserialize, Serialize};
+
+/// Which split a window sampler draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Split {
+    Train,
+    Val,
+    Test,
+}
+
+/// A train:val:test ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitRatio {
+    pub train: f32,
+    pub val: f32,
+    pub test: f32,
+}
+
+impl SplitRatio {
+    /// 6:2:2 — the ETT datasets.
+    pub const ETT: SplitRatio = SplitRatio {
+        train: 0.6,
+        val: 0.2,
+        test: 0.2,
+    };
+
+    /// 7:1:2 — Weather, Electricity, Traffic, Electri-Price, Cycle.
+    pub const LARGE: SplitRatio = SplitRatio {
+        train: 0.7,
+        val: 0.1,
+        test: 0.2,
+    };
+
+    /// Validate that the components form a sensible partition.
+    pub fn validate(&self) {
+        assert!(
+            self.train > 0.0 && self.val >= 0.0 && self.test >= 0.0,
+            "split components must be non-negative with train > 0"
+        );
+        let sum = self.train + self.val + self.test;
+        assert!((sum - 1.0).abs() < 1e-4, "split ratio must sum to 1, got {sum}");
+    }
+}
+
+/// Inclusive-exclusive `[start, end)` borders of one split's *sampling range*
+/// in the full series, where `start` is already rolled back by `seq_len` for
+/// val/test so their first forecast windows have full look-back.
+pub fn split_borders(total: usize, ratio: SplitRatio, split: Split, seq_len: usize) -> (usize, usize) {
+    ratio.validate();
+    let n_train = (total as f32 * ratio.train) as usize;
+    let n_test = (total as f32 * ratio.test) as usize;
+    let n_val = total - n_train - n_test;
+    match split {
+        Split::Train => (0, n_train),
+        Split::Val => (n_train.saturating_sub(seq_len), n_train + n_val),
+        Split::Test => ((n_train + n_val).saturating_sub(seq_len), total),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ett_ratio_partitions() {
+        let total = 1000;
+        let (ts, te) = split_borders(total, SplitRatio::ETT, Split::Train, 96);
+        let (vs, ve) = split_borders(total, SplitRatio::ETT, Split::Val, 96);
+        let (xs, xe) = split_borders(total, SplitRatio::ETT, Split::Test, 96);
+        assert_eq!((ts, te), (0, 600));
+        assert_eq!(vs, 600 - 96);
+        assert_eq!(ve, 800);
+        assert_eq!(xs, 800 - 96);
+        assert_eq!(xe, 1000);
+    }
+
+    #[test]
+    fn large_ratio_partitions() {
+        let total = 1000;
+        let (_, te) = split_borders(total, SplitRatio::LARGE, Split::Train, 0);
+        assert_eq!(te, 700);
+        let (vs, ve) = split_borders(total, SplitRatio::LARGE, Split::Val, 0);
+        assert_eq!((vs, ve), (700, 800));
+        let (xs, xe) = split_borders(total, SplitRatio::LARGE, Split::Test, 0);
+        assert_eq!((xs, xe), (800, 1000));
+    }
+
+    #[test]
+    fn lookback_does_not_underflow() {
+        let (vs, _) = split_borders(100, SplitRatio::ETT, Split::Val, 1000);
+        assert_eq!(vs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_ratio_rejected() {
+        SplitRatio {
+            train: 0.5,
+            val: 0.1,
+            test: 0.1,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,73 @@
+//! Implicit temporal weak labels (paper §IV-B1): "hour of the day, day of
+//! the week, day of the month, and month of the year", encoded to
+//! `[-0.5, 0.5]` exactly like Informer's time encoding.
+
+use lip_tensor::Tensor;
+
+use crate::calendar::Calendar;
+
+/// Number of implicit temporal features produced per step.
+pub const NUM_TIME_FEATURES: usize = 4;
+
+/// Encode one step's timestamp to the 4 normalized features.
+pub fn encode_step(cal: &Calendar, idx: usize) -> [f32; NUM_TIME_FEATURES] {
+    let d = cal.at(idx);
+    // fractional hour captures sub-hourly sampling (ETTm, Weather)
+    let hour = d.hour as f32 + d.minute as f32 / 60.0;
+    [
+        hour / 23.0 - 0.5,
+        d.weekday as f32 / 6.0 - 0.5,
+        (d.day - 1) as f32 / 30.0 - 0.5,
+        (d.month - 1) as f32 / 11.0 - 0.5,
+    ]
+}
+
+/// Encode steps `[start, start+len)` into a `[len, 4]` tensor.
+pub fn encode_range(cal: &Calendar, start: usize, len: usize) -> Tensor {
+    let mut data = Vec::with_capacity(len * NUM_TIME_FEATURES);
+    for idx in start..start + len {
+        data.extend_from_slice(&encode_step(cal, idx));
+    }
+    Tensor::from_vec(data, &[len, NUM_TIME_FEATURES])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Frequency;
+
+    #[test]
+    fn features_are_bounded() {
+        let cal = Calendar::ett_default(Frequency::Hourly);
+        let feats = encode_range(&cal, 0, 24 * 40);
+        assert!(feats.min_value() >= -0.5 - 1e-6);
+        assert!(feats.max_value() <= 0.5 + 1e-6);
+        assert_eq!(feats.shape(), &[960, 4]);
+    }
+
+    #[test]
+    fn hour_feature_cycles_daily() {
+        let cal = Calendar::ett_default(Frequency::Hourly);
+        let f0 = encode_step(&cal, 0);
+        let f24 = encode_step(&cal, 24);
+        assert!((f0[0] - f24[0]).abs() < 1e-6);
+        // midnight is -0.5
+        assert!((f0[0] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weekday_feature_cycles_weekly() {
+        let cal = Calendar::ett_default(Frequency::Hourly);
+        let a = encode_step(&cal, 0)[1];
+        let b = encode_step(&cal, 24 * 7)[1];
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subhourly_minutes_visible() {
+        let cal = Calendar::ett_default(Frequency::Min15);
+        let f0 = encode_step(&cal, 0)[0];
+        let f1 = encode_step(&cal, 1)[0];
+        assert!(f1 > f0, "fractional hour must increase within the hour");
+    }
+}

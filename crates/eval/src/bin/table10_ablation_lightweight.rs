@@ -1,0 +1,110 @@
+//! **Table X**: the lightweight-architecture ablation — re-inserting the
+//! eliminated Feed-Forward Networks and/or Layer Normalization into
+//! LiPFormer on ETTh1 and ETTm2. The paper finds both re-insertions *hurt*
+//! accuracy while adding parameters.
+//!
+//! `cargo run --release -p lip-eval --bin table10_ablation_lightweight`
+
+use lip_data::pipeline::prepare;
+use lip_data::{generate, DatasetName};
+use lip_eval::table::{render_table, save_json, Row};
+use lip_eval::RunScale;
+use lipformer::{ForecastMetrics, Forecaster, LiPFormer, LiPFormerConfig, Trainer};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationResult {
+    variant: String,
+    dataset: String,
+    pred_len: usize,
+    mse: f32,
+    mae: f32,
+    params: usize,
+}
+
+fn main() {
+    let scale = RunScale::from_env(2030);
+    println!(
+        "Table X reproduction — ±LN/±FFN, scale '{}' (horizons {:?})\n",
+        scale.name, scale.horizons
+    );
+
+    let variants: [(&str, fn(LiPFormerConfig) -> LiPFormerConfig); 4] = [
+        ("LiPFormer", |c| c),
+        ("+FFNs", LiPFormerConfig::with_ffns),
+        ("+LN", LiPFormerConfig::with_ln),
+        ("+FFNs+LN", |c| c.with_ffns().with_ln()),
+    ];
+    let datasets = [DatasetName::ETTh1, DatasetName::ETTm2];
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+
+    for (name, tweak) in variants {
+        let mut cells = Vec::new();
+        for dataset in datasets {
+            for &h in &scale.horizons {
+                let ds = generate(dataset, scale.gen);
+                let prep = prepare(&ds, scale.seq_len, h);
+                let mut cfg = LiPFormerConfig::small(scale.seq_len, h, prep.channels);
+                cfg.hidden = scale.hidden;
+                cfg.encoder_hidden = scale.encoder_hidden;
+                let cfg = tweak(cfg);
+                let mut model = LiPFormer::new(cfg, &prep.spec, scale.gen.seed);
+                let params = model.num_parameters();
+                let mut trainer = Trainer::new(scale.train.clone());
+                trainer.pretrain(&mut model, &prep.train);
+                trainer.fit(&mut model, &prep.train, &prep.val);
+                let m = ForecastMetrics::evaluate(&model, &prep.test, scale.train.batch_size);
+                eprintln!(
+                    "  {:10} {:>6}/{:>3}: mse {:.3} mae {:.3} ({params} params)",
+                    name,
+                    dataset.as_str(),
+                    h,
+                    m.mse,
+                    m.mae
+                );
+                cells.push(format!("{:.3}/{:.3}", m.mse, m.mae));
+                results.push(AblationResult {
+                    variant: name.to_string(),
+                    dataset: dataset.as_str().into(),
+                    pred_len: h,
+                    mse: m.mse,
+                    mae: m.mae,
+                    params,
+                });
+            }
+        }
+        rows.push(Row {
+            label: name.to_string(),
+            cells,
+        });
+    }
+
+    let header: Vec<String> = datasets
+        .iter()
+        .flat_map(|d| {
+            scale
+                .horizons
+                .iter()
+                .map(move |h| format!("{}/{} MSE/MAE", d.as_str(), h))
+        })
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", render_table("Table X — LN/FFN ablation", &header_refs, &rows));
+
+    // aggregate degradation vs plain LiPFormer
+    let base_mse: f32 = results
+        .iter()
+        .filter(|r| r.variant == "LiPFormer")
+        .map(|r| r.mse)
+        .sum();
+    for name in ["+FFNs", "+LN", "+FFNs+LN"] {
+        let v_mse: f32 = results.iter().filter(|r| r.variant == name).map(|r| r.mse).sum();
+        println!(
+            "{name}: mean MSE change vs LiPFormer = {:+.1}%",
+            100.0 * (v_mse - base_mse) / base_mse
+        );
+    }
+    let path = save_json("table10_ablation_lightweight", &results);
+    println!("raw results → {}", path.display());
+}

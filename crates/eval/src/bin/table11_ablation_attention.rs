@@ -1,0 +1,107 @@
+//! **Table XI**: the patch-wise-attention ablation — replacing Cross-Patch
+//! and/or Inter-Patch attention with linear layers on the four ETT datasets.
+//! The paper's takeaway: the two mechanisms are complementary; only their
+//! combination consistently wins.
+//!
+//! `cargo run --release -p lip-eval --bin table11_ablation_attention`
+
+use lip_data::pipeline::prepare;
+use lip_data::{generate, DatasetName};
+use lip_eval::table::{render_table, save_json, Row};
+use lip_eval::RunScale;
+use lipformer::{ForecastMetrics, LiPFormer, LiPFormerConfig, Trainer};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AttnAblation {
+    variant: String,
+    dataset: String,
+    mse: f32,
+    mae: f32,
+}
+
+fn main() {
+    let scale = RunScale::from_env(2031);
+    let h = scale.horizons[0];
+    println!(
+        "Table XI reproduction — patch-wise attention ablation, scale '{}' (L={h})\n",
+        scale.name
+    );
+
+    let variants: [(&str, fn(LiPFormerConfig) -> LiPFormerConfig); 4] = [
+        ("w/o Cross-Patch", LiPFormerConfig::without_cross_patch),
+        ("w/o Inter-Patch", LiPFormerConfig::without_inter_patch),
+        ("Neither", |c| c.without_cross_patch().without_inter_patch()),
+        ("LiPFormer", |c| c),
+    ];
+    let datasets = [
+        DatasetName::ETTh1,
+        DatasetName::ETTh2,
+        DatasetName::ETTm1,
+        DatasetName::ETTm2,
+    ];
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    for (name, tweak) in variants {
+        let mut cells = Vec::new();
+        for dataset in datasets {
+            let ds = generate(dataset, scale.gen);
+            let prep = prepare(&ds, scale.seq_len, h);
+            let mut cfg = LiPFormerConfig::small(scale.seq_len, h, prep.channels);
+            cfg.hidden = scale.hidden;
+            cfg.encoder_hidden = scale.encoder_hidden;
+            let cfg = tweak(cfg);
+            let mut model = LiPFormer::new(cfg, &prep.spec, scale.gen.seed);
+            let mut trainer = Trainer::new(scale.train.clone());
+            trainer.pretrain(&mut model, &prep.train);
+            trainer.fit(&mut model, &prep.train, &prep.val);
+            let m = ForecastMetrics::evaluate(&model, &prep.test, scale.train.batch_size);
+            eprintln!(
+                "  {:16} {:>6}: mse {:.3} mae {:.3}",
+                name,
+                dataset.as_str(),
+                m.mse,
+                m.mae
+            );
+            cells.push(format!("{:.3}/{:.3}", m.mse, m.mae));
+            results.push(AttnAblation {
+                variant: name.to_string(),
+                dataset: dataset.as_str().into(),
+                mse: m.mse,
+                mae: m.mae,
+            });
+        }
+        rows.push(Row {
+            label: name.to_string(),
+            cells,
+        });
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table XI — attention ablation (MSE/MAE)",
+            &["ETTh1", "ETTh2", "ETTm1", "ETTm2"],
+            &rows
+        )
+    );
+
+    let mean = |name: &str| -> f32 {
+        let v: Vec<f32> = results
+            .iter()
+            .filter(|r| r.variant == name)
+            .map(|r| r.mse)
+            .collect();
+        v.iter().sum::<f32>() / v.len() as f32
+    };
+    let full = mean("LiPFormer");
+    for name in ["w/o Cross-Patch", "w/o Inter-Patch", "Neither"] {
+        println!(
+            "{name}: mean MSE {:.3} vs full {:.3} ({:+.1}%)",
+            mean(name),
+            full,
+            100.0 * (mean(name) - full) / full
+        );
+    }
+    let path = save_json("table11_ablation_attention", &results);
+    println!("raw results → {}", path.display());
+}

@@ -1,0 +1,182 @@
+//! **Table III**: multivariate long-term forecasting across all nine
+//! benchmarks — MSE/MAE per (dataset, horizon) for the seven models, plus
+//! the efficiency columns (train s/epoch, inference s, MACs, params) and the
+//! §IV-B aggregate improvement percentages.
+//!
+//! `cargo run --release -p lip-eval --bin table3_multivariate`
+//! (`LIP_SCALE=smoke|bench|paper` selects sizing.)
+
+use std::collections::BTreeMap;
+
+use lip_data::DatasetName;
+use lip_eval::runner::{format_count, prepare_dataset, run_prepared, RunResult, RunSpec};
+use lip_eval::table::{mark_best, render_table, save_json, Row};
+use lip_eval::{ModelKind, RunScale};
+
+fn main() {
+    let scale = RunScale::from_env(2024);
+    println!(
+        "Table III reproduction — scale '{}' (T={}, horizons {:?})\n",
+        scale.name, scale.seq_len, scale.horizons
+    );
+
+    let models = ModelKind::table3();
+    let mut results: Vec<RunResult> = Vec::new();
+
+    for dataset in DatasetName::all() {
+        for &h in &scale.horizons {
+            let (_, prep) = prepare_dataset(dataset, &scale, h, false);
+            for kind in models {
+                let spec = RunSpec {
+                    kind,
+                    dataset,
+                    pred_len: h,
+                    univariate: false,
+                };
+                let r = run_prepared(&spec, &scale, &prep);
+                eprintln!(
+                    "  {:>13} {:>4} {:12} mse {:.3} mae {:.3} ({:.1}s/epoch)",
+                    r.dataset, r.pred_len, r.model, r.mse, r.mae, r.eff.train_s_per_epoch
+                );
+                results.push(r);
+            }
+        }
+    }
+
+    // ---- accuracy table (best '*', second '_') --------------------------
+    let header: Vec<String> = models
+        .iter()
+        .flat_map(|m| [format!("{} MSE", m.as_str()), "MAE".to_string()])
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for dataset in DatasetName::all() {
+        for &h in &scale.horizons {
+            let group: Vec<&RunResult> = models
+                .iter()
+                .map(|m| {
+                    results
+                        .iter()
+                        .find(|r| {
+                            r.dataset == dataset.as_str()
+                                && r.pred_len == h
+                                && r.model == m.as_str()
+                        })
+                        .expect("complete grid")
+                })
+                .collect();
+            let mses: Vec<f32> = group.iter().map(|r| r.mse).collect();
+            let maes: Vec<f32> = group.iter().map(|r| r.mae).collect();
+            let mse_marked = mark_best(&mses);
+            let mae_marked = mark_best(&maes);
+            let cells = mse_marked
+                .into_iter()
+                .zip(mae_marked)
+                .flat_map(|(a, b)| [a, b])
+                .collect();
+            rows.push(Row {
+                label: format!("{}/{}", dataset.as_str(), h),
+                cells,
+            });
+        }
+    }
+    println!("{}", render_table("Table III — accuracy", &header_refs, &rows));
+
+    // ---- efficiency table (forecast horizon = first rung, per §IV-A2) --
+    let h0 = scale.horizons[0];
+    let mut eff_rows = Vec::new();
+    for dataset in DatasetName::all() {
+        let cells: Vec<String> = models
+            .iter()
+            .flat_map(|m| {
+                let r = results
+                    .iter()
+                    .find(|r| {
+                        r.dataset == dataset.as_str() && r.pred_len == h0 && r.model == m.as_str()
+                    })
+                    .expect("complete grid");
+                [
+                    format!("{:.2}s", r.eff.train_s_per_epoch),
+                    format!("{:.3}s", r.eff.inference_s),
+                    format_count(r.eff.macs as f64),
+                    format_count(r.eff.params as f64),
+                ]
+            })
+            .collect();
+        eff_rows.push(Row {
+            label: dataset.as_str().to_string(),
+            cells,
+        });
+    }
+    let eff_header: Vec<String> = models
+        .iter()
+        .flat_map(|m| {
+            [
+                format!("{} tr/ep", m.as_str()),
+                "inf".to_string(),
+                "MACs".to_string(),
+                "params".to_string(),
+            ]
+        })
+        .collect();
+    let eff_header_refs: Vec<&str> = eff_header.iter().map(String::as_str).collect();
+    println!(
+        "{}",
+        render_table("Table III — efficiency (first horizon)", &eff_header_refs, &eff_rows)
+    );
+
+    // ---- §IV-B aggregate improvements ----------------------------------
+    let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for r in &results {
+        let lip = results
+            .iter()
+            .find(|l| l.dataset == r.dataset && l.pred_len == r.pred_len && l.model == "LiPFormer")
+            .expect("LiPFormer run");
+        if r.model != "LiPFormer" && r.mae > 0.0 {
+            let entry = sums.entry(r.model.clone()).or_insert((0.0, 0));
+            entry.0 += ((r.mae - lip.mae) / r.mae) as f64;
+            entry.1 += 1;
+        }
+    }
+    println!("LiPFormer mean MAE improvement vs baselines (§IV-B):");
+    for (model, (total, n)) in sums {
+        println!("  vs {:12} {:+.1}%", model, 100.0 * total / n as f64);
+    }
+
+    // count of top-2 placements (paper: "top-two rankings in 64/72 metrics")
+    let mut firsts = 0usize;
+    let mut top2 = 0usize;
+    let mut total = 0usize;
+    for dataset in DatasetName::all() {
+        for &h in &scale.horizons {
+            for metric in [0, 1] {
+                let mut vals: Vec<(String, f32)> = models
+                    .iter()
+                    .map(|m| {
+                        let r = results
+                            .iter()
+                            .find(|r| {
+                                r.dataset == dataset.as_str()
+                                    && r.pred_len == h
+                                    && r.model == m.as_str()
+                            })
+                            .expect("grid");
+                        (r.model.clone(), if metric == 0 { r.mse } else { r.mae })
+                    })
+                    .collect();
+                vals.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN"));
+                total += 1;
+                if vals[0].0 == "LiPFormer" {
+                    firsts += 1;
+                    top2 += 1;
+                } else if vals[1].0 == "LiPFormer" {
+                    top2 += 1;
+                }
+            }
+        }
+    }
+    println!("\nLiPFormer top-2 placements: {top2}/{total} ({firsts} firsts)");
+
+    let path = save_json("table3_multivariate", &results);
+    println!("\nraw results → {}", path.display());
+}

@@ -1,0 +1,99 @@
+//! **Table V**: univariate long-term forecasting on the four ETT benchmarks
+//! (last channel, the "OT" convention), seven models, MSE/MAE.
+//!
+//! `cargo run --release -p lip-eval --bin table5_univariate`
+
+use lip_data::DatasetName;
+use lip_eval::runner::{prepare_dataset, run_prepared, RunResult, RunSpec};
+use lip_eval::table::{mark_best, render_table, save_json, Row};
+use lip_eval::{ModelKind, RunScale};
+
+fn main() {
+    let scale = RunScale::from_env(2025);
+    println!(
+        "Table V reproduction — univariate ETT, scale '{}' (T={}, horizons {:?})\n",
+        scale.name, scale.seq_len, scale.horizons
+    );
+
+    let datasets = [
+        DatasetName::ETTh1,
+        DatasetName::ETTh2,
+        DatasetName::ETTm1,
+        DatasetName::ETTm2,
+    ];
+    let models = ModelKind::table3();
+    let mut results: Vec<RunResult> = Vec::new();
+
+    for dataset in datasets {
+        for &h in &scale.horizons {
+            let (_, prep) = prepare_dataset(dataset, &scale, h, true);
+            for kind in models {
+                let spec = RunSpec {
+                    kind,
+                    dataset,
+                    pred_len: h,
+                    univariate: true,
+                };
+                let r = run_prepared(&spec, &scale, &prep);
+                eprintln!(
+                    "  {:>6} {:>4} {:12} mse {:.3} mae {:.3}",
+                    r.dataset, r.pred_len, r.model, r.mse, r.mae
+                );
+                results.push(r);
+            }
+        }
+    }
+
+    let header: Vec<String> = models
+        .iter()
+        .flat_map(|m| [format!("{} MSE", m.as_str()), "MAE".to_string()])
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    let mut firsts = 0usize;
+    let mut top2 = 0usize;
+    let mut total = 0usize;
+    for dataset in datasets {
+        for &h in &scale.horizons {
+            let group: Vec<&RunResult> = models
+                .iter()
+                .map(|m| {
+                    results
+                        .iter()
+                        .find(|r| {
+                            r.dataset == dataset.as_str()
+                                && r.pred_len == h
+                                && r.model == m.as_str()
+                        })
+                        .expect("complete grid")
+                })
+                .collect();
+            let mses: Vec<f32> = group.iter().map(|r| r.mse).collect();
+            let maes: Vec<f32> = group.iter().map(|r| r.mae).collect();
+            for vals in [&mses, &maes] {
+                let mut order: Vec<usize> = (0..vals.len()).collect();
+                order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("NaN"));
+                total += 1;
+                if order[0] == 0 {
+                    firsts += 1;
+                    top2 += 1;
+                } else if order[1] == 0 {
+                    top2 += 1;
+                }
+            }
+            let cells = mark_best(&mses)
+                .into_iter()
+                .zip(mark_best(&maes))
+                .flat_map(|(a, b)| [a, b])
+                .collect();
+            rows.push(Row {
+                label: format!("{}/{}", dataset.as_str(), h),
+                cells,
+            });
+        }
+    }
+    println!("{}", render_table("Table V — univariate accuracy", &header_refs, &rows));
+    println!("LiPFormer top-2 placements: {top2}/{total} ({firsts} firsts)");
+    let path = save_json("table5_univariate", &results);
+    println!("raw results → {}", path.display());
+}

@@ -1,0 +1,85 @@
+//! **Table VI**: forecast results with vs without the contrastive
+//! pre-training of implicit temporal features, on the four ETT datasets at
+//! the first horizon rung (the paper uses L = 96).
+//!
+//! `cargo run --release -p lip-eval --bin table6_pretrain`
+
+use lip_data::DatasetName;
+use lip_eval::runner::{prepare_dataset, run_prepared, RunSpec};
+use lip_eval::table::{render_table, save_json, Row};
+use lip_eval::{ModelKind, RunScale};
+
+fn main() {
+    let scale = RunScale::from_env(2026);
+    let h = scale.horizons[0];
+    println!(
+        "Table VI reproduction — implicit-feature pre-training, scale '{}' (L={h})\n",
+        scale.name
+    );
+
+    let datasets = [
+        DatasetName::ETTh1,
+        DatasetName::ETTh2,
+        DatasetName::ETTm1,
+        DatasetName::ETTm2,
+    ];
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for dataset in datasets {
+        let (_, prep) = prepare_dataset(dataset, &scale, h, false);
+        let without = run_prepared(
+            &RunSpec {
+                kind: ModelKind::LiPFormerBase,
+                dataset,
+                pred_len: h,
+                univariate: false,
+            },
+            &scale,
+            &prep,
+        );
+        let with = run_prepared(
+            &RunSpec {
+                kind: ModelKind::LiPFormer,
+                dataset,
+                pred_len: h,
+                univariate: false,
+            },
+            &scale,
+            &prep,
+        );
+        eprintln!(
+            "  {:>6}: without {:.3}/{:.3}  with {:.3}/{:.3}",
+            dataset.as_str(),
+            without.mse,
+            without.mae,
+            with.mse,
+            with.mae
+        );
+        rows.push(Row {
+            label: dataset.as_str().to_string(),
+            cells: vec![
+                format!("{:.3}", without.mse),
+                format!("{:.3}", without.mae),
+                format!("{:.3}", with.mse),
+                format!("{:.3}", with.mae),
+            ],
+        });
+        results.push((without, with));
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table VI — with/without pre-train",
+            &["w/o MSE", "w/o MAE", "with MSE", "with MAE"],
+            &rows
+        )
+    );
+    let wins = results
+        .iter()
+        .filter(|(without, with)| with.mse <= without.mse)
+        .count();
+    println!("pre-training improves or matches MSE on {wins}/{} datasets", results.len());
+    let flat: Vec<_> = results.iter().flat_map(|(a, b)| [a.clone(), b.clone()]).collect();
+    let path = save_json("table6_pretrain", &flat);
+    println!("raw results → {}", path.display());
+}

@@ -1,0 +1,124 @@
+//! **Table VII**: CPU-only edge-device inference time as the input length
+//! grows — vanilla Transformer vs LiPFormer on ETTh1 and Weather, at the
+//! paper's input lengths {96, 192, 336, 720}. No training: this measures the
+//! architectures' inference scaling (the O(T²) vs O(T²/pl²) claim), with
+//! per-inference wall-clock and MAC counts.
+//!
+//! `cargo run --release -p lip-eval --bin table7_edge`
+
+use std::time::Instant;
+
+use lip_autograd::Graph;
+use lip_data::window::Batch;
+use lip_data::{CovariateSpec, DatasetName};
+use lip_eval::runner::format_count;
+use lip_eval::table::{render_table, save_json, Row};
+use lip_eval::{AnyModel, ModelKind, RunScale};
+use lip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct EdgeResult {
+    dataset: String,
+    model: String,
+    input_len: usize,
+    seconds: f64,
+    macs: u64,
+}
+
+fn main() {
+    let scale = RunScale::from_env(2027);
+    // inference runs at the paper's true input lengths — no training needed
+    let input_lengths = [96usize, 192, 336, 720];
+    let pred_len = 96;
+    println!("Table VII reproduction — CPU inference scaling (L={pred_len}, batch 1)\n");
+
+    let spec = CovariateSpec {
+        numerical: 0,
+        cardinalities: vec![],
+        time_features: 4,
+    };
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    for (dataset, channels) in [(DatasetName::ETTh1, 7usize), (DatasetName::Weather, 21)] {
+        for kind in [ModelKind::Transformer, ModelKind::LiPFormer] {
+            let mut cells = Vec::new();
+            for &t in &input_lengths {
+                let model = AnyModel::build(kind, &scale, t, pred_len, channels, &spec, 7);
+                let f = model.forecaster();
+                let mut rng = StdRng::seed_from_u64(0);
+                let batch = Batch {
+                    x: Tensor::randn(&[1, t, channels], &mut rng),
+                    y: Tensor::zeros(&[1, pred_len, channels]),
+                    time_feats: Tensor::zeros(&[1, pred_len, 4]),
+                    cov_numerical: None,
+                    cov_categorical: None,
+                };
+                // warm-up + MACs
+                let macs = {
+                    let mut g = Graph::new(f.store());
+                    let _ = f.forward(&mut g, &batch, false, &mut rng);
+                    g.macs()
+                };
+                let reps = 5;
+                let started = Instant::now();
+                for _ in 0..reps {
+                    let mut g = Graph::new(f.store());
+                    let _ = f.forward(&mut g, &batch, false, &mut rng);
+                }
+                let secs = started.elapsed().as_secs_f64() / reps as f64;
+                eprintln!(
+                    "  {:>8} {:12} T={:>3}: {:.4}s  {} MACs",
+                    dataset.as_str(),
+                    kind.as_str(),
+                    t,
+                    secs,
+                    format_count(macs as f64)
+                );
+                cells.push(format!("{secs:.4}s"));
+                results.push(EdgeResult {
+                    dataset: dataset.as_str().into(),
+                    model: kind.as_str().into(),
+                    input_len: t,
+                    seconds: secs,
+                    macs,
+                });
+            }
+            rows.push(Row {
+                label: format!("{}/{}", dataset.as_str(), kind.as_str()),
+                cells,
+            });
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table VII — inference seconds vs input length",
+            &["T=96", "T=192", "T=336", "T=720"],
+            &rows
+        )
+    );
+
+    // speedup summary (the paper reports ~10× at T=336 on ETTh1)
+    for dataset in ["ETTh1", "Weather"] {
+        for &t in &input_lengths {
+            let tf = results
+                .iter()
+                .find(|r| r.dataset == dataset && r.model == "Transformer" && r.input_len == t)
+                .expect("transformer row");
+            let lip = results
+                .iter()
+                .find(|r| r.dataset == dataset && r.model == "LiPFormer" && r.input_len == t)
+                .expect("lipformer row");
+            println!(
+                "{dataset} T={t}: LiPFormer {:.1}× faster ({:.0}× fewer MACs)",
+                tf.seconds / lip.seconds,
+                tf.macs as f64 / lip.macs as f64
+            );
+        }
+    }
+    let path = save_json("table7_edge", &results);
+    println!("raw results → {}", path.display());
+}

@@ -1,0 +1,110 @@
+//! **Table IX**: impact of the input (look-back) length. Longer histories
+//! should help models that capture long-term dependencies; the paper sweeps
+//! {96, 192, 336, 720} and reports MSE at the shortest forecast horizon.
+//! At bench scale the ladder is scaled to the look-back budget.
+//!
+//! `cargo run --release -p lip-eval --bin table9_input_length`
+
+use lip_data::DatasetName;
+use lip_eval::runner::{run_one, RunSpec};
+use lip_eval::table::{mark_best, render_table, save_json, Row};
+use lip_eval::{ModelKind, RunScale};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct InputLenResult {
+    dataset: String,
+    model: String,
+    input_len: usize,
+    mse: f32,
+}
+
+fn main() {
+    let base = RunScale::from_env(2029);
+    let input_lengths: Vec<usize> = if base.name == "paper" {
+        vec![96, 192, 336, 720]
+    } else {
+        vec![48, 96, 144, 192]
+    };
+    let h = base.horizons[0];
+    let models = [
+        ModelKind::LiPFormer,
+        ModelKind::PatchTst,
+        ModelKind::DLinear,
+        ModelKind::Tide,
+    ];
+    let datasets = [DatasetName::ETTh1, DatasetName::ETTm2, DatasetName::Weather];
+    println!(
+        "Table IX reproduction — input lengths {input_lengths:?}, L={h}, scale '{}'\n",
+        base.name
+    );
+
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    for dataset in datasets {
+        for &t in &input_lengths {
+            let mut scale = base.clone();
+            scale.seq_len = t;
+            let mses: Vec<f32> = models
+                .iter()
+                .map(|&kind| {
+                    let r = run_one(
+                        &RunSpec {
+                            kind,
+                            dataset,
+                            pred_len: h,
+                            univariate: false,
+                        },
+                        &scale,
+                    );
+                    eprintln!(
+                        "  {:>7} T={:>3} {:10} mse {:.3}",
+                        dataset.as_str(),
+                        t,
+                        r.model,
+                        r.mse
+                    );
+                    results.push(InputLenResult {
+                        dataset: dataset.as_str().into(),
+                        model: r.model.clone(),
+                        input_len: t,
+                        mse: r.mse,
+                    });
+                    r.mse
+                })
+                .collect();
+            rows.push(Row {
+                label: format!("{}/T={}", dataset.as_str(), t),
+                cells: mark_best(&mses),
+            });
+        }
+    }
+    let header: Vec<&str> = models.iter().map(|m| m.as_str()).collect();
+    println!("{}", render_table("Table IX — MSE vs input length", &header, &rows));
+
+    // does LiPFormer improve with longer inputs? (the paper's claim)
+    for dataset in datasets {
+        let series: Vec<f32> = input_lengths
+            .iter()
+            .map(|&t| {
+                results
+                    .iter()
+                    .find(|r| {
+                        r.dataset == dataset.as_str() && r.model == "LiPFormer" && r.input_len == t
+                    })
+                    .expect("grid")
+                    .mse
+            })
+            .collect();
+        let improved = series.last().expect("nonempty") <= series.first().expect("nonempty");
+        println!(
+            "{}: LiPFormer MSE {:.3} → {:.3} with longer input ({})",
+            dataset.as_str(),
+            series.first().expect("nonempty"),
+            series.last().expect("nonempty"),
+            if improved { "improves" } else { "degrades" }
+        );
+    }
+    let path = save_json("table9_input_length", &results);
+    println!("raw results → {}", path.display());
+}

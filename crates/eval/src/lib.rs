@@ -1,0 +1,24 @@
+//! # lip-eval
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! LiPFormer paper's evaluation (§IV). Each exhibit has a dedicated binary in
+//! `src/bin/` (see DESIGN.md §4 for the index); shared machinery lives here:
+//!
+//! * [`scale`] — experiment sizing (smoke / bench / paper) selected with the
+//!   `LIP_SCALE` environment variable,
+//! * [`registry`] — the model zoo keyed by [`registry::ModelKind`],
+//! * [`runner`] — trains a model on a benchmark and measures the paper's
+//!   metric set (MSE, MAE, train s/epoch, inference s, MACs, parameters),
+//! * [`table`] — paper-style table rendering plus JSON result persistence,
+//! * [`heatmap`] — PGM/ASCII dumps for the Figure 7 logits matrices.
+
+pub mod heatmap;
+pub mod registry;
+pub mod runner;
+pub mod scale;
+pub mod table;
+
+pub use registry::{AnyModel, ModelKind};
+pub use runner::{run_one, EffMetrics, RunResult, RunSpec};
+pub use scale::RunScale;
+pub use table::{render_table, save_json, Row};

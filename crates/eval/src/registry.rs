@@ -1,0 +1,232 @@
+//! The model zoo: every forecaster of Table III plus the Table XII
+//! transplant targets, constructed uniformly from a [`RunScale`].
+
+use lip_data::CovariateSpec;
+use lip_baselines::{
+    Autoformer, DLinear, Fgnn, ITransformer, Informer, PatchTst, Tide, TimeMixer,
+    VanillaTransformer,
+};
+use lipformer::{
+    Forecaster, LiPFormer, LiPFormerConfig, TrainReport, Trainer,
+    WithCovariateEncoder,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::scale::RunScale;
+
+/// Every model the harness can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    LiPFormer,
+    /// LiPFormer without the weak-enriching module (Table VI / Fig. 6).
+    LiPFormerBase,
+    ITransformer,
+    TimeMixer,
+    Fgnn,
+    PatchTst,
+    DLinear,
+    Tide,
+    Transformer,
+    Informer,
+    Autoformer,
+}
+
+impl ModelKind {
+    /// Table III's model columns, in paper order.
+    pub fn table3() -> [ModelKind; 7] {
+        [
+            ModelKind::LiPFormer,
+            ModelKind::ITransformer,
+            ModelKind::TimeMixer,
+            ModelKind::Fgnn,
+            ModelKind::PatchTst,
+            ModelKind::DLinear,
+            ModelKind::Tide,
+        ]
+    }
+
+    /// Display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelKind::LiPFormer => "LiPFormer",
+            ModelKind::LiPFormerBase => "LiPFormer-base",
+            ModelKind::ITransformer => "iTransformer",
+            ModelKind::TimeMixer => "TimeMixer",
+            ModelKind::Fgnn => "FGNN",
+            ModelKind::PatchTst => "PatchTST",
+            ModelKind::DLinear => "DLinear",
+            ModelKind::Tide => "TiDE",
+            ModelKind::Transformer => "Transformer",
+            ModelKind::Informer => "Informer",
+            ModelKind::Autoformer => "Autoformer",
+        }
+    }
+}
+
+/// A constructed model: LiPFormer variants keep their concrete type so the
+/// trainer can drive contrastive pre-training.
+pub enum AnyModel {
+    Lip(LiPFormer),
+    Plugin(WithCovariateEncoder<Box<dyn Forecaster>>),
+    Plain(Box<dyn Forecaster>),
+}
+
+impl AnyModel {
+    /// Build `kind` for a `(seq_len, pred_len, channels)` task.
+    pub fn build(
+        kind: ModelKind,
+        scale: &RunScale,
+        seq_len: usize,
+        pred_len: usize,
+        channels: usize,
+        spec: &CovariateSpec,
+        seed: u64,
+    ) -> AnyModel {
+        let hd = scale.hidden;
+        match kind {
+            ModelKind::LiPFormer => {
+                let mut cfg = LiPFormerConfig::small(seq_len, pred_len, channels);
+                cfg.hidden = hd;
+                cfg.encoder_hidden = scale.encoder_hidden;
+                AnyModel::Lip(LiPFormer::new(cfg, spec, seed))
+            }
+            ModelKind::LiPFormerBase => {
+                let mut cfg = LiPFormerConfig::small(seq_len, pred_len, channels);
+                cfg.hidden = hd;
+                cfg.encoder_hidden = scale.encoder_hidden;
+                AnyModel::Lip(LiPFormer::without_enriching(cfg, seed))
+            }
+            ModelKind::ITransformer => AnyModel::Plain(Box::new(ITransformer::new(
+                seq_len, pred_len, channels, hd, 2, seed,
+            ))),
+            ModelKind::TimeMixer => AnyModel::Plain(Box::new(TimeMixer::new(
+                seq_len, pred_len, channels, hd, seed,
+            ))),
+            ModelKind::Fgnn => AnyModel::Plain(Box::new(Fgnn::new(
+                seq_len, pred_len, channels, hd, seed,
+            ))),
+            ModelKind::PatchTst => AnyModel::Plain(Box::new(PatchTst::new(
+                seq_len, pred_len, channels, hd, 2, seed,
+            ))),
+            ModelKind::DLinear => {
+                AnyModel::Plain(Box::new(DLinear::new(seq_len, pred_len, channels, seed)))
+            }
+            ModelKind::Tide => AnyModel::Plain(Box::new(Tide::new(
+                seq_len, pred_len, channels, spec, hd, seed,
+            ))),
+            ModelKind::Transformer => AnyModel::Plain(Box::new(VanillaTransformer::new(
+                seq_len, pred_len, channels, hd, 2, seed,
+            ))),
+            ModelKind::Informer => AnyModel::Plain(Box::new(Informer::new(
+                seq_len, pred_len, channels, hd, seed,
+            ))),
+            ModelKind::Autoformer => AnyModel::Plain(Box::new(Autoformer::new(
+                seq_len, pred_len, channels, hd, seed,
+            ))),
+        }
+    }
+
+    /// Wrap a plain baseline with the Covariate Encoder (Table XII).
+    pub fn with_plugin(
+        self,
+        spec: &CovariateSpec,
+        pred_len: usize,
+        channels: usize,
+        encoder_hidden: usize,
+        seed: u64,
+    ) -> AnyModel {
+        match self {
+            AnyModel::Plain(inner) => AnyModel::Plugin(WithCovariateEncoder::new(
+                inner,
+                spec,
+                pred_len,
+                channels,
+                encoder_hidden,
+                seed,
+            )),
+            other => other,
+        }
+    }
+
+    /// View as a `Forecaster`.
+    pub fn forecaster(&self) -> &dyn Forecaster {
+        match self {
+            AnyModel::Lip(m) => m,
+            AnyModel::Plugin(m) => m,
+            AnyModel::Plain(m) => m.as_ref(),
+        }
+    }
+
+    /// Pre-train (when the model carries the enriching module) and fit.
+    pub fn train(
+        &mut self,
+        trainer: &mut Trainer,
+        train: &lip_data::window::WindowDataset,
+        val: &lip_data::window::WindowDataset,
+    ) -> TrainReport {
+        match self {
+            AnyModel::Lip(m) => {
+                if m.has_enriching() && trainer.config().pretrain_epochs > 0 {
+                    trainer.pretrain(m, train);
+                }
+                trainer.fit(m, train, val)
+            }
+            AnyModel::Plugin(m) => {
+                if trainer.config().pretrain_epochs > 0 {
+                    trainer.pretrain(m, train);
+                }
+                trainer.fit(m, train, val)
+            }
+            AnyModel::Plain(m) => trainer.fit(m.as_mut(), train, val),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CovariateSpec {
+        CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        }
+    }
+
+    #[test]
+    fn every_kind_builds() {
+        let scale = RunScale::smoke(1);
+        for kind in [
+            ModelKind::LiPFormer,
+            ModelKind::LiPFormerBase,
+            ModelKind::ITransformer,
+            ModelKind::TimeMixer,
+            ModelKind::Fgnn,
+            ModelKind::PatchTst,
+            ModelKind::DLinear,
+            ModelKind::Tide,
+            ModelKind::Transformer,
+            ModelKind::Informer,
+            ModelKind::Autoformer,
+        ] {
+            let m = AnyModel::build(kind, &scale, 48, 12, 2, &spec(), 0);
+            assert!(m.forecaster().num_parameters() > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn table3_has_seven_columns_starting_with_lipformer() {
+        let cols = ModelKind::table3();
+        assert_eq!(cols.len(), 7);
+        assert_eq!(cols[0], ModelKind::LiPFormer);
+    }
+
+    #[test]
+    fn plugin_wrapping_changes_name() {
+        let scale = RunScale::smoke(2);
+        let m = AnyModel::build(ModelKind::Transformer, &scale, 48, 12, 2, &spec(), 0);
+        let wrapped = m.with_plugin(&spec(), 12, 2, 16, 0);
+        assert_eq!(wrapped.forecaster().name(), "Transformer+CovEnc");
+    }
+}

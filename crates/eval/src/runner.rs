@@ -1,0 +1,202 @@
+//! Trains one model on one benchmark and measures the paper's full metric
+//! set: MSE/MAE on the test split, training seconds per epoch, inference
+//! seconds, analytic MACs and the trainable-parameter count.
+
+use std::time::Instant;
+
+use lip_autograd::Graph;
+use lip_data::pipeline::{prepare, PreparedData};
+use lip_data::window::WindowDataset;
+use lip_data::{generate, BenchmarkDataset, DatasetName};
+use lipformer::{ForecastMetrics, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::registry::{AnyModel, ModelKind};
+use crate::scale::RunScale;
+
+/// Efficiency measurements (the paper's Table III "Efficiency" columns,
+/// measured with batch 32 per §IV-A2).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EffMetrics {
+    /// Training seconds per epoch.
+    pub train_s_per_epoch: f64,
+    /// Seconds for one batch-32 inference.
+    pub inference_s: f64,
+    /// Multiply–accumulates of one batch-32 forward pass.
+    pub macs: u64,
+    /// Trainable scalar parameters.
+    pub params: usize,
+}
+
+/// One experiment outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    pub model: String,
+    pub dataset: String,
+    pub seq_len: usize,
+    pub pred_len: usize,
+    pub mse: f32,
+    pub mae: f32,
+    pub eff: EffMetrics,
+    pub epochs_run: usize,
+}
+
+/// What to run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    pub kind: ModelKind,
+    pub dataset: DatasetName,
+    pub pred_len: usize,
+    /// Train on a single channel (Table V's univariate protocol).
+    pub univariate: bool,
+}
+
+/// Generate + prepare a benchmark once for a `(seq_len, pred_len)` task.
+pub fn prepare_dataset(
+    name: DatasetName,
+    scale: &RunScale,
+    pred_len: usize,
+    univariate: bool,
+) -> (BenchmarkDataset, PreparedData) {
+    let mut ds = generate(name, scale.gen);
+    if univariate {
+        ds = lip_data::to_univariate(&ds);
+    }
+    let prep = prepare(&ds, scale.seq_len, pred_len);
+    (ds, prep)
+}
+
+/// Run one spec end to end. `prep` may be shared across models for the same
+/// dataset/horizon to avoid regenerating data.
+pub fn run_prepared(spec: &RunSpec, scale: &RunScale, prep: &PreparedData) -> RunResult {
+    let mut model = AnyModel::build(
+        spec.kind,
+        scale,
+        scale.seq_len,
+        spec.pred_len,
+        prep.channels,
+        &prep.spec,
+        scale.gen.seed,
+    );
+    let mut trainer = Trainer::new(scale.train.clone());
+    let report = model.train(&mut trainer, &prep.train, &prep.val);
+    let metrics = ForecastMetrics::evaluate(model.forecaster(), &prep.test, scale.train.batch_size);
+    let eff = measure_efficiency(&model, &prep.test, report.mean_epoch_seconds());
+
+    RunResult {
+        model: spec.kind.as_str().to_string(),
+        dataset: spec.dataset.as_str().to_string(),
+        seq_len: scale.seq_len,
+        pred_len: spec.pred_len,
+        mse: metrics.mse,
+        mae: metrics.mae,
+        eff,
+        epochs_run: report.epochs_run,
+    }
+}
+
+/// Convenience: generate, prepare and run in one call.
+pub fn run_one(spec: &RunSpec, scale: &RunScale) -> RunResult {
+    let (_, prep) = prepare_dataset(spec.dataset, scale, spec.pred_len, spec.univariate);
+    run_prepared(spec, scale, &prep)
+}
+
+/// Time a batch-32 forward pass and count its MACs.
+pub fn measure_efficiency(
+    model: &AnyModel,
+    test: &WindowDataset,
+    train_s_per_epoch: f64,
+) -> EffMetrics {
+    let n = test.len().min(32);
+    assert!(n > 0, "empty test split");
+    let idx: Vec<usize> = (0..n).collect();
+    let batch = test.batch(&idx);
+    let mut rng = StdRng::seed_from_u64(0);
+    let f = model.forecaster();
+
+    // warm-up + MAC count
+    let macs = {
+        let mut g = Graph::new(f.store());
+        let _ = f.forward(&mut g, &batch, false, &mut rng);
+        g.macs()
+    };
+    // timed passes
+    let reps = 3;
+    let started = Instant::now();
+    for _ in 0..reps {
+        let mut g = Graph::new(f.store());
+        let _ = f.forward(&mut g, &batch, false, &mut rng);
+    }
+    let inference_s = started.elapsed().as_secs_f64() / reps as f64;
+
+    EffMetrics {
+        train_s_per_epoch,
+        inference_s,
+        macs,
+        params: f.num_parameters(),
+    }
+}
+
+/// Human-readable MAC count (paper prints K/M/G/T).
+pub fn format_count(value: f64) -> String {
+    let abs = value.abs();
+    if abs >= 1e12 {
+        format!("{:.2}T", value / 1e12)
+    } else if abs >= 1e9 {
+        format!("{:.2}G", value / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.2}M", value / 1e6)
+    } else if abs >= 1e3 {
+        format!("{:.2}K", value / 1e3)
+    } else {
+        format!("{value:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_count_units() {
+        assert_eq!(format_count(512.0), "512");
+        assert_eq!(format_count(66_000.0), "66.00K");
+        assert_eq!(format_count(6_400_000.0), "6.40M");
+        assert_eq!(format_count(18_020_000_000.0), "18.02G");
+        assert_eq!(format_count(1_420_000_000_000.0), "1.42T");
+    }
+
+    #[test]
+    fn smoke_run_produces_finite_metrics() {
+        let scale = RunScale::smoke(3);
+        let spec = RunSpec {
+            kind: ModelKind::DLinear,
+            dataset: DatasetName::ETTh1,
+            pred_len: 12,
+            univariate: false,
+        };
+        let r = run_one(&spec, &scale);
+        assert!(r.mse.is_finite() && r.mse > 0.0);
+        assert!(r.mae.is_finite() && r.mae > 0.0);
+        assert!(r.eff.params > 0);
+        assert!(r.eff.macs > 0);
+        assert!(r.eff.inference_s > 0.0);
+    }
+
+    #[test]
+    fn univariate_runs_single_channel() {
+        let scale = RunScale::smoke(4);
+        let spec = RunSpec {
+            kind: ModelKind::DLinear,
+            dataset: DatasetName::ETTh2,
+            pred_len: 12,
+            univariate: true,
+        };
+        let (_, prep) = prepare_dataset(spec.dataset, &scale, spec.pred_len, true);
+        assert_eq!(prep.channels, 1);
+        let r = run_prepared(&spec, &scale, &prep);
+        assert!(r.mse.is_finite());
+    }
+}

@@ -1,0 +1,127 @@
+//! Experiment sizing. The paper trains at `T = 720`, `hd = 512`, batch 256
+//! on GPUs; this reproduction runs on one CPU core, so the default `bench`
+//! scale shrinks lengths and widths while preserving every structural ratio
+//! (patching factor, horizon ladder, split protocol). Set `LIP_SCALE=paper`
+//! to run the published sizes, `LIP_SCALE=smoke` for CI.
+
+use lip_data::GeneratorConfig;
+use lipformer::TrainConfig;
+use serde::{Deserialize, Serialize};
+
+/// Sizing profile for one experiment suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunScale {
+    /// Profile name recorded in result files.
+    pub name: String,
+    /// Synthetic-data sizing.
+    pub gen: GeneratorConfig,
+    /// Look-back length `T`.
+    pub seq_len: usize,
+    /// Horizon ladder (maps position-wise onto the paper's {96,192,336,720}).
+    pub horizons: Vec<usize>,
+    /// Model hidden width `hd`.
+    pub hidden: usize,
+    /// Dual-encoder hidden width.
+    pub encoder_hidden: usize,
+    /// Training protocol.
+    pub train: TrainConfig,
+}
+
+impl RunScale {
+    /// CI-speed profile (~seconds per training run).
+    pub fn smoke(seed: u64) -> Self {
+        RunScale {
+            name: "smoke".into(),
+            gen: GeneratorConfig {
+                seed,
+                length_scale: 0.04,
+                max_channels: 3,
+                max_len: 700,
+            },
+            seq_len: 48,
+            horizons: vec![12, 24],
+            hidden: 16,
+            encoder_hidden: 16,
+            train: TrainConfig {
+                epochs: 1,
+                pretrain_epochs: 1,
+                batch_size: 64,
+                ..TrainConfig::fast()
+            },
+        }
+    }
+
+    /// Default profile for the experiment binaries: small enough for a
+    /// single CPU core, large enough that model orderings are meaningful.
+    pub fn bench(seed: u64) -> Self {
+        RunScale {
+            name: "bench".into(),
+            gen: GeneratorConfig {
+                seed,
+                length_scale: 0.08,
+                max_channels: 6,
+                max_len: 1500,
+            },
+            seq_len: 96,
+            horizons: vec![24, 48],
+            hidden: 32,
+            encoder_hidden: 24,
+            train: TrainConfig {
+                epochs: 12,
+                pretrain_epochs: 3,
+                batch_size: 64,
+                lr: 1e-2,
+                patience: 4,
+                ..TrainConfig::fast()
+            },
+        }
+    }
+
+    /// The paper's published sizes (GPU-scale; provided for completeness).
+    pub fn paper(seed: u64) -> Self {
+        RunScale {
+            name: "paper".into(),
+            gen: GeneratorConfig::paper(seed),
+            seq_len: 720,
+            horizons: vec![96, 192, 336, 720],
+            hidden: 512,
+            encoder_hidden: 64,
+            train: TrainConfig::paper(),
+        }
+    }
+
+    /// Select by the `LIP_SCALE` environment variable (default `bench`).
+    pub fn from_env(seed: u64) -> Self {
+        match std::env::var("LIP_SCALE").as_deref() {
+            Ok("smoke") => RunScale::smoke(seed),
+            Ok("paper") => RunScale::paper(seed),
+            Ok("bench") | Err(_) => RunScale::bench(seed),
+            Ok(other) => panic!("unknown LIP_SCALE '{other}' (smoke|bench|paper)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_by_size() {
+        let s = RunScale::smoke(0);
+        let b = RunScale::bench(0);
+        let p = RunScale::paper(0);
+        assert!(s.seq_len < b.seq_len && b.seq_len < p.seq_len);
+        assert!(s.hidden < b.hidden && b.hidden < p.hidden);
+        assert_eq!(p.seq_len, 720);
+        assert_eq!(p.horizons, vec![96, 192, 336, 720]);
+    }
+
+    #[test]
+    fn horizon_ladder_matches_paper_positions() {
+        // every profile has the same number of rungs or a prefix of them
+        for profile in [RunScale::smoke(0), RunScale::bench(0)] {
+            assert!(profile.horizons.len() <= 4);
+            assert!(profile.horizons.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

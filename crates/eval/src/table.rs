@@ -1,0 +1,136 @@
+//! Paper-style table rendering (best **bold**, second-best _underlined_ via
+//! markers) and JSON persistence of raw results under `results/`.
+
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// One rendered row: a label plus formatted cells.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub label: String,
+    pub cells: Vec<String>,
+}
+
+/// Render an ASCII table with a header.
+pub fn render_table(title: &str, header: &[&str], rows: &[Row]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let label_width = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(std::iter::once(8))
+        .max()
+        .unwrap_or(8);
+    for row in rows {
+        for (i, cell) in row.cells.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!("{:label_width$}", ""));
+    for (h, w) in header.iter().zip(&widths) {
+        out.push_str(&format!(" | {h:>w$}"));
+    }
+    out.push('\n');
+    let total: usize = label_width + widths.iter().map(|w| w + 3).sum::<usize>();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:label_width$}", row.label));
+        for (c, w) in row.cells.iter().zip(&widths) {
+            out.push_str(&format!(" | {c:>w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Mark the best (`*`) and second-best (`_`) value per metric across a slice
+/// of (value, formatted) pairs — lower is better, mirroring the paper's
+/// bold/underline convention.
+pub fn mark_best(values: &[f32]) -> Vec<String> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN metric"));
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if Some(&i) == idx.first() {
+                format!("*{v:.3}")
+            } else if Some(&i) == idx.get(1) {
+                format!("_{v:.3}")
+            } else {
+                format!("{v:.3}")
+            }
+        })
+        .collect()
+}
+
+/// Results directory (`results/` at the workspace root, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // target dir layout: <root>/target/...; the binaries run from the root
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    let p = Path::new(&manifest);
+    // crates/eval → root
+    p.ancestors()
+        .find(|a| a.join("Cargo.toml").exists() && a.join("crates").exists())
+        .unwrap_or(p)
+        .to_path_buf()
+}
+
+/// Persist a serializable result set to `results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    std::fs::write(&path, json).expect("write results file");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let rows = vec![
+            Row {
+                label: "ETTh1/24".into(),
+                cells: vec!["0.359".into(), "0.379".into()],
+            },
+            Row {
+                label: "long-label-row".into(),
+                cells: vec!["12.000".into(), "0.1".into()],
+            },
+        ];
+        let t = render_table("Demo", &["MSE", "MAE"], &rows);
+        assert!(t.contains("== Demo =="));
+        assert!(t.contains("ETTh1/24"));
+        let lines: Vec<&str> = t.lines().collect();
+        // all data lines share the same length
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn mark_best_orders() {
+        let marked = mark_best(&[0.3, 0.1, 0.2]);
+        assert_eq!(marked, vec!["0.300", "*0.100", "_0.200"]);
+    }
+
+    #[test]
+    fn save_json_roundtrip() {
+        let path = save_json("test_save", &vec![1, 2, 3]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_file(path).ok();
+    }
+}

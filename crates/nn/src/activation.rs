@@ -1,0 +1,82 @@
+//! Activation functions as a small enum so layer configs stay serializable.
+
+use lip_autograd::{Graph, Var};
+use serde::{Deserialize, Serialize};
+
+/// Pointwise nonlinearity selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// Pass-through (purely linear stacks, as in DLinear).
+    Identity,
+    /// Rectified linear unit.
+    #[default]
+    Relu,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Record the activation on the tape.
+    pub fn apply(self, g: &mut Graph, x: Var) -> Var {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => g.relu(x),
+            Activation::Gelu => g.gelu(x),
+            Activation::Tanh => g.tanh(x),
+            Activation::Sigmoid => g.sigmoid(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::ParamStore;
+    use lip_tensor::Tensor;
+
+    #[test]
+    fn identity_is_noop() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let y = Activation::Identity.apply(&mut g, x);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let y = Activation::Relu.apply(&mut g, x);
+        assert_eq!(g.value(y).to_vec(), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn all_variants_preserve_shape() {
+        let store = ParamStore::new();
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Gelu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            let mut g = Graph::new(&store);
+            let x = g.constant(Tensor::ones(&[2, 3]));
+            let y = act.apply(&mut g, x);
+            assert_eq!(g.shape(y), &[2, 3]);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Activation::Gelu).unwrap();
+        let back: Activation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Activation::Gelu);
+    }
+}

@@ -1,0 +1,205 @@
+//! Multi-head scaled dot-product self-attention over `[batch, seq, dim]`.
+//!
+//! Used directly by LiPFormer's Inter-Patch / Cross-Patch mechanisms (with
+//! the vanilla softmax attention of Eq. 2) and by every Transformer baseline.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use rand::Rng;
+
+use crate::Linear;
+
+/// Classic multi-head self-attention with separate Q/K/V projections and an
+/// output projection.
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// `dim` must be divisible by `heads`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(heads > 0 && dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        MultiHeadSelfAttention {
+            wq: Linear::new(store, &format!("{name}.wq"), dim, dim, false, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), dim, dim, false, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), dim, dim, false, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), dim, dim, false, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Self-attention over `x: [batch, seq, dim] → [batch, seq, dim]`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let shape = g.shape(x).to_vec();
+        assert_eq!(shape.len(), 3, "attention expects [batch, seq, dim]");
+        let (b, n, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.dim, "attention width mismatch");
+        let h = self.heads;
+        let dh = d / h;
+
+        let q = self.wq.forward(g, x);
+        let k = self.wk.forward(g, x);
+        let v = self.wv.forward(g, x);
+
+        // [b, n, d] → [b, h, n, dh]
+        let split = |g: &mut Graph, t: Var| {
+            let r = g.reshape(t, &[b, n, h, dh]);
+            g.permute(r, &[0, 2, 1, 3])
+        };
+        let qh = split(g, q);
+        let kh = split(g, k);
+        let vh = split(g, v);
+
+        let kt = g.transpose(kh, 2, 3); // [b, h, dh, n]
+        let scores = g.matmul(qh, kt); // [b, h, n, n]
+        let scaled = g.mul_scalar(scores, 1.0 / (dh as f32).sqrt());
+        let attn = g.softmax(scaled);
+        let ctx = g.matmul(attn, vh); // [b, h, n, dh]
+
+        let merged = g.permute(ctx, &[0, 2, 1, 3]); // [b, n, h, dh]
+        let flat = g.reshape(merged, &[b, n, d]);
+        self.wo.forward(g, flat)
+    }
+
+    /// Attention weights of the first head for introspection/visualization:
+    /// returns the `[batch, heads, seq, seq]` tensor node.
+    pub fn attention_weights(&self, g: &mut Graph, x: Var) -> Var {
+        let shape = g.shape(x).to_vec();
+        let (b, n, d) = (shape[0], shape[1], shape[2]);
+        let (h, dh) = (self.heads, d / self.heads);
+        let q = self.wq.forward(g, x);
+        let k = self.wk.forward(g, x);
+        let split = |g: &mut Graph, t: Var| {
+            let r = g.reshape(t, &[b, n, h, dh]);
+            g.permute(r, &[0, 2, 1, 3])
+        };
+        let qh = split(g, q);
+        let kh = split(g, k);
+        let kt = g.transpose(kh, 2, 3);
+        let scores = g.matmul(qh, kt);
+        let scaled = g.mul_scalar(scores, 1.0 / (dh as f32).sqrt());
+        g.softmax(scaled)
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Head count.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::gradcheck::check_gradients;
+    use lip_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadSelfAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::randn(&[3, 5, 8], &mut rng));
+        let y = attn.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[3, 5, 8]);
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadSelfAttention::new(&mut store, "a", 4, 2, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::randn(&[1, 6, 4], &mut rng));
+        let w = attn.attention_weights(&mut g, x);
+        assert_eq!(g.shape(w), &[1, 2, 6, 6]);
+        for row in g.value(w).data().chunks(6) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn permutation_equivariance() {
+        // Self-attention without positional encoding is equivariant to a
+        // permutation of the sequence axis.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadSelfAttention::new(&mut store, "a", 4, 1, &mut rng);
+        let x = Tensor::randn(&[1, 3, 4], &mut rng);
+        // swap positions 0 and 2
+        let xp = Tensor::concat(
+            &[
+                &x.slice_axis(1, 2, 3),
+                &x.slice_axis(1, 1, 2),
+                &x.slice_axis(1, 0, 1),
+            ],
+            1,
+        );
+        let run = |input: &Tensor| {
+            let mut g = Graph::new(&store);
+            let xv = g.constant(input.clone());
+            let y = attn.forward(&mut g, xv);
+            g.value(y).clone()
+        };
+        let y = run(&x);
+        let yp = run(&xp);
+        let y_expect = Tensor::concat(
+            &[
+                &y.slice_axis(1, 2, 3),
+                &y.slice_axis(1, 1, 2),
+                &y.slice_axis(1, 0, 1),
+            ],
+            1,
+        );
+        let diff = yp.sub(&y_expect).abs().max_value();
+        assert!(diff < 1e-4, "equivariance violated: {diff}");
+    }
+
+    #[test]
+    fn gradients_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadSelfAttention::new(&mut store, "a", 4, 2, &mut rng);
+        let x = Tensor::randn(&[2, 3, 4], &mut rng).mul_scalar(0.5);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let y = attn.forward(g, xv);
+                let sq = g.square(y);
+                g.mean(sq)
+            },
+            1e-2,
+            3e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_bad_heads() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let _ = MultiHeadSelfAttention::new(&mut store, "a", 6, 4, &mut rng);
+    }
+}

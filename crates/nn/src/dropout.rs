@@ -1,0 +1,86 @@
+//! Inverted dropout with caller-owned randomness (reproducible training).
+
+use lip_autograd::{Graph, Var};
+use lip_tensor::Tensor;
+use rand::Rng;
+
+/// Inverted dropout: at train time each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`; at eval time it is the identity.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// `p` is the drop probability, in `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        Dropout { p }
+    }
+
+    /// Apply dropout. `training == false` (or `p == 0`) is a no-op.
+    pub fn forward(&self, g: &mut Graph, x: Var, rng: &mut impl Rng, training: bool) -> Var {
+        if !training || self.p == 0.0 {
+            return x;
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let shape = g.shape(x).to_vec();
+        let n: usize = shape.iter().product();
+        let mask: Vec<f32> = (0..n)
+            .map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale })
+            .collect();
+        g.dropout_mask(x, Tensor::from_vec(mask, &shape))
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::{Graph, ParamStore};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = g.constant(Tensor::ones(&[4, 4]));
+        let y = Dropout::new(0.5).forward(&mut g, x, &mut rng, false);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = g.constant(Tensor::ones(&[100, 100]));
+        let y = Dropout::new(0.3).forward(&mut g, x, &mut rng, true);
+        let mean = g.value(y).mean().item();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn surviving_elements_scaled() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = g.constant(Tensor::ones(&[64]));
+        let y = Dropout::new(0.5).forward(&mut g, x, &mut rng, true);
+        for &v in g.value(y).data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1)")]
+    fn rejects_p_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

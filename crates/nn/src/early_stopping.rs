@@ -1,0 +1,96 @@
+//! Early stopping on validation loss — the paper trains for 10 epochs with
+//! patience 3 and restores the best-validation checkpoint (§IV-A2).
+
+/// Tracks the best validation score and signals when patience is exhausted.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    best: f32,
+    best_epoch: usize,
+    bad_epochs: usize,
+    min_delta: f32,
+}
+
+impl EarlyStopping {
+    /// Stop after `patience` consecutive epochs without improvement.
+    pub fn new(patience: usize) -> Self {
+        EarlyStopping {
+            patience,
+            best: f32::INFINITY,
+            best_epoch: 0,
+            bad_epochs: 0,
+            min_delta: 0.0,
+        }
+    }
+
+    /// Require at least `min_delta` improvement to reset patience.
+    pub fn with_min_delta(mut self, min_delta: f32) -> Self {
+        self.min_delta = min_delta;
+        self
+    }
+
+    /// Report the validation loss of `epoch`. Returns `true` when this is a
+    /// new best (caller should snapshot parameters).
+    pub fn observe(&mut self, epoch: usize, val_loss: f32) -> bool {
+        if val_loss < self.best - self.min_delta {
+            self.best = val_loss;
+            self.best_epoch = epoch;
+            self.bad_epochs = 0;
+            true
+        } else {
+            self.bad_epochs += 1;
+            false
+        }
+    }
+
+    /// True once `patience` epochs have passed without improvement.
+    pub fn should_stop(&self) -> bool {
+        self.bad_epochs >= self.patience
+    }
+
+    /// Best validation loss seen so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+
+    /// Epoch that produced the best loss.
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut es = EarlyStopping::new(2);
+        assert!(es.observe(0, 1.0));
+        assert!(!es.observe(1, 1.5));
+        assert!(es.observe(2, 0.9)); // reset
+        assert!(!es.should_stop());
+        assert!(!es.observe(3, 1.0));
+        assert!(!es.observe(4, 1.0));
+        assert!(es.should_stop());
+        assert_eq!(es.best_epoch(), 2);
+        assert_eq!(es.best(), 0.9);
+    }
+
+    #[test]
+    fn min_delta_requires_real_improvement() {
+        let mut es = EarlyStopping::new(1).with_min_delta(0.1);
+        assert!(es.observe(0, 1.0));
+        // 0.95 improves by < min_delta → does not count
+        assert!(!es.observe(1, 0.95));
+        assert!(es.should_stop());
+    }
+
+    #[test]
+    fn nan_is_never_best() {
+        let mut es = EarlyStopping::new(3);
+        assert!(es.observe(0, 0.5));
+        assert!(!es.observe(1, f32::NAN));
+        assert_eq!(es.best(), 0.5);
+    }
+}

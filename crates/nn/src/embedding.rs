@@ -1,0 +1,131 @@
+//! Categorical embedding table — encodes the paper's *textual* weak labels
+//! (weather condition, wind direction, holiday flags, …) into dense vectors.
+
+use lip_autograd::{Graph, ParamId, ParamStore, Var};
+use lip_tensor::Tensor;
+use rand::Rng;
+
+/// A `[vocab, dim]` lookup table with gradient support via row gather.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Register a normally-initialized embedding table.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(vocab > 0 && dim > 0, "embedding needs vocab > 0 and dim > 0");
+        let table = store.add(
+            format!("{name}.table"),
+            Tensor::randn(&[vocab, dim], rng).mul_scalar(0.02),
+        );
+        Embedding { table, vocab, dim }
+    }
+
+    /// Look up `indices`, producing `[indices.len(), dim]`.
+    pub fn forward(&self, g: &mut Graph, indices: &[usize]) -> Var {
+        for &i in indices {
+            assert!(i < self.vocab, "embedding index {i} out of vocab {}", self.vocab);
+        }
+        let table = g.param(self.table);
+        g.gather_rows(table, indices)
+    }
+
+    /// Look up a batch of index rows, producing `[batch, seq, dim]`.
+    pub fn forward_batch(&self, g: &mut Graph, batch_indices: &[Vec<usize>]) -> Var {
+        let seq = batch_indices.first().map_or(0, Vec::len);
+        let flat: Vec<usize> = batch_indices
+            .iter()
+            .inspect(|row| assert_eq!(row.len(), seq, "ragged embedding batch"))
+            .flatten()
+            .copied()
+            .collect();
+        let gathered = self.forward(g, &flat);
+        g.reshape(gathered, &[batch_indices.len(), seq, self.dim])
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng);
+        let mut g = Graph::new(&store);
+        let out = emb.forward(&mut g, &[1, 3, 3, 9]);
+        assert_eq!(g.shape(out), &[4, 4]);
+    }
+
+    #[test]
+    fn batch_lookup_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 5, 3, &mut rng);
+        let mut g = Graph::new(&store);
+        let out = emb.forward_batch(&mut g, &[vec![0, 1], vec![2, 4]]);
+        assert_eq!(g.shape(out), &[2, 2, 3]);
+    }
+
+    #[test]
+    fn repeated_indices_share_rows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 4, 2, &mut rng);
+        let mut g = Graph::new(&store);
+        let out = emb.forward(&mut g, &[2, 2]);
+        let v = g.value(out);
+        assert_eq!(v.data()[..2], v.data()[2..4]);
+    }
+
+    #[test]
+    fn gradient_accumulates_over_repeats() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 3, 2, &mut rng);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let out = emb.forward(g, &[0, 0, 2]);
+                let sq = g.square(out);
+                g.mean(sq)
+            },
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn rejects_out_of_vocab() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 3, 2, &mut rng);
+        let mut g = Graph::new(&store);
+        let _ = emb.forward(&mut g, &[3]);
+    }
+}

@@ -1,0 +1,93 @@
+//! The classic Transformer position-wise feed-forward block (up-project,
+//! activate, down-project). LiPFormer eliminates this (paper §III-C1); it is
+//! used by the baselines and by the `+FFNs` ablation variants of Table X.
+
+use lip_autograd::{Graph, ParamStore, Var};
+use rand::Rng;
+
+use crate::{Activation, Linear};
+
+/// `y = act(x W₁ + b₁) W₂ + b₂` with an expansion factor (paper counts its
+/// cost as `O(8·hd²)` — i.e. the standard 4× expansion).
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    up: Linear,
+    down: Linear,
+    activation: Activation,
+}
+
+impl FeedForward {
+    /// Standard block with `hidden = expansion * dim`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        expansion: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let hidden = dim * expansion;
+        FeedForward {
+            up: Linear::new(store, &format!("{name}.up"), dim, hidden, true, rng),
+            down: Linear::new(store, &format!("{name}.down"), hidden, dim, true, rng),
+            activation,
+        }
+    }
+
+    /// Apply to the last axis.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let h = self.up.forward(g, x);
+        let h = self.activation.apply(g, h);
+        self.down.forward(g, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::gradcheck::check_gradients;
+    use lip_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let ffn = FeedForward::new(&mut store, "f", 8, 4, Activation::Relu, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::randn(&[2, 3, 8], &mut rng));
+        let y = ffn.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[2, 3, 8]);
+    }
+
+    #[test]
+    fn parameter_count_matches_paper_estimate() {
+        // O(8·hd²): up is d×4d + 4d, down is 4d×d + d → 8d² + 5d
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let d = 16;
+        let _ = FeedForward::new(&mut store, "f", d, 4, Activation::Relu, &mut rng);
+        assert_eq!(store.num_scalars(), 8 * d * d + 5 * d);
+    }
+
+    #[test]
+    fn gradients_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let ffn = FeedForward::new(&mut store, "f", 4, 2, Activation::Gelu, &mut rng);
+        let x = Tensor::randn(&[3, 4], &mut rng).mul_scalar(0.5);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let y = ffn.forward(g, xv);
+                let sq = g.square(y);
+                g.mean(sq)
+            },
+            1e-2,
+            3e-2,
+        )
+        .unwrap();
+    }
+}

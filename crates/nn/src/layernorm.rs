@@ -1,0 +1,111 @@
+//! Layer normalization over the last axis. LiPFormer deliberately *removes*
+//! this from its backbone (paper §III-C1); it exists here for the baseline
+//! Transformers and for the +LN ablation variants (paper Table X).
+
+use lip_autograd::{Graph, ParamId, ParamStore, Var};
+use lip_tensor::Tensor;
+
+/// `y = γ ⊙ (x − μ) / √(σ² + ε) + β`, with μ/σ² over the last axis.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Register γ=1, β=0 parameters of width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.add(format!("{name}.gamma"), Tensor::ones(&[dim]));
+        let beta = store.add(format!("{name}.beta"), Tensor::zeros(&[dim]));
+        LayerNorm {
+            gamma,
+            beta,
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalize the last axis of `x`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let rank = g.shape(x).len();
+        debug_assert_eq!(
+            g.shape(x)[rank - 1],
+            self.dim,
+            "layer norm width mismatch"
+        );
+        let last = rank - 1;
+        let mu = g.mean_axis(x, last);
+        let centered = g.sub(x, mu);
+        let sq = g.square(centered);
+        let var = g.mean_axis(sq, last);
+        let var_eps = g.add_scalar(var, self.eps);
+        let std = g.sqrt(var_eps);
+        let normed = g.div(centered, std);
+        let gamma = g.param(self.gamma);
+        let scaled = g.mul(normed, gamma);
+        let beta = g.param(self.beta);
+        g.add(scaled, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_rows_are_standardized() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, -10.0, 0.0, 10.0, 20.0],
+            &[2, 4],
+        ));
+        let y = ln.forward(&mut g, x);
+        for row in g.value(y).data().chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 2);
+        store.set_value(ln.gamma, Tensor::from_vec(vec![2.0, 2.0], &[2]));
+        store.set_value(ln.beta, Tensor::from_vec(vec![1.0, 1.0], &[2]));
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::from_vec(vec![0.0, 2.0], &[1, 2]));
+        let y = ln.forward(&mut g, x);
+        // normalized row is (-1, 1) → scaled (−2, 2) → shifted (−1, 3)
+        let out = g.value(y).to_vec();
+        assert!((out[0] + 1.0).abs() < 1e-2 && (out[1] - 3.0).abs() < 1e-2, "{out:?}");
+    }
+
+    #[test]
+    fn gradients_check() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 3);
+        let x = Tensor::randn(&[2, 4, 3], &mut rng);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let y = ln.forward(g, xv);
+                let sq = g.square(y);
+                g.mean(sq)
+            },
+            1e-2,
+            3e-2,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,39 @@
+//! # lip-nn
+//!
+//! The neural-network toolkit of the LiPFormer reproduction: layers
+//! (linear, MLP, embedding, dropout, layer norm, multi-head attention,
+//! positional encoding, feed-forward blocks), loss functions (MSE / MAE /
+//! Smooth-L1 / CLIP-style symmetric cross-entropy), optimizers (SGD / Adam /
+//! AdamW), learning-rate schedules, gradient clipping and early stopping.
+//!
+//! Every layer follows one convention: parameters are registered in a shared
+//! [`ParamStore`](lip_autograd::ParamStore) at construction, and
+//! `forward(&self, g: &mut Graph, x: Var) -> Var` records the computation on
+//! the tape. Stochastic layers (dropout) additionally take an explicit RNG
+//! and a `training` flag so runs are reproducible end-to-end.
+
+pub mod activation;
+pub mod attention;
+pub mod dropout;
+pub mod early_stopping;
+pub mod embedding;
+pub mod ffn;
+pub mod layernorm;
+pub mod linear;
+pub mod loss;
+pub mod mlp;
+pub mod optimizer;
+pub mod positional;
+pub mod scheduler;
+
+pub use activation::Activation;
+pub use attention::MultiHeadSelfAttention;
+pub use dropout::Dropout;
+pub use early_stopping::EarlyStopping;
+pub use embedding::Embedding;
+pub use ffn::FeedForward;
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use mlp::Mlp;
+pub use optimizer::{Adam, AdamW, GradClip, Optimizer, Sgd};
+pub use scheduler::LrSchedule;

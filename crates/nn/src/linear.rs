@@ -1,0 +1,147 @@
+//! Fully connected layer `y = x W (+ b)` applied to the last axis.
+
+use lip_autograd::{Graph, ParamId, ParamStore, Var};
+use lip_tensor::Tensor;
+use rand::Rng;
+
+/// Affine map over the last axis of its input: `[.., in] → [.., out]`.
+///
+/// The weight is stored `[in, out]` so the forward pass is a plain (batched)
+/// `x.matmul(w)` without a transpose.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Register a Kaiming-initialized linear layer in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.add(
+            format!("{name}.weight"),
+            Tensor::kaiming_uniform(in_features, out_features, rng),
+        );
+        let b = bias.then(|| {
+            let bound = (1.0 / in_features as f32).sqrt();
+            store.add(
+                format!("{name}.bias"),
+                Tensor::rand_uniform(&[out_features], -bound, bound, rng),
+            )
+        });
+        Linear {
+            w,
+            b,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Apply to `[.., in_features]`, producing `[.., out_features]`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        debug_assert_eq!(
+            *g.shape(x).last().expect("linear input must have an axis"),
+            self.in_features,
+            "linear layer fed wrong feature width"
+        );
+        let w = g.param(self.w);
+        let mut y = g.matmul(x, w);
+        if let Some(b) = self.b {
+            let bv = g.param(b);
+            y = g.add(y, bv);
+        }
+        y
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Parameter handles (weight first, then bias if present).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = vec![self.w];
+        ids.extend(self.b);
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 4, 3, true, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::ones(&[2, 5, 4]));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[2, 5, 3]);
+        assert_eq!(store.num_scalars(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn no_bias_variant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 4, 4, false, &mut rng);
+        assert_eq!(store.num_scalars(), 16);
+        assert_eq!(lin.param_ids().len(), 1);
+    }
+
+    #[test]
+    fn gradients_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 2, true, &mut rng);
+        let x = Tensor::randn(&[4, 3], &mut rng);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let y = lin.forward(g, xv);
+                let sq = g.square(y);
+                g.mean(sq)
+            },
+            1e-2,
+            2e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn linearity_in_input() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 3, false, &mut rng);
+        let x = Tensor::randn(&[2, 3], &mut rng);
+        let run = |input: Tensor| {
+            let mut g = Graph::new(&store);
+            let xv = g.constant(input);
+            let y = lin.forward(&mut g, xv);
+            g.value(y).clone()
+        };
+        let y1 = run(x.clone());
+        let y2 = run(x.mul_scalar(2.0));
+        let diff = y2.sub(&y1.mul_scalar(2.0));
+        assert!(diff.abs().max_value() < 1e-5);
+    }
+}

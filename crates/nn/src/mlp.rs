@@ -1,0 +1,116 @@
+//! Multi-layer perceptron — the paper's workhorse replacement for heavy
+//! Transformer components (single-layer MLPs stand in for FFNs).
+
+use lip_autograd::{Graph, ParamStore, Var};
+use rand::Rng;
+
+use crate::{Activation, Linear};
+
+/// A stack of linear layers with an activation between consecutive layers
+/// (never after the last one).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// `widths` lists every layer boundary: `[in, h1, ..., out]`.
+    /// A two-element `widths` builds the paper's "simplified single-layer
+    /// MLP"; longer lists build deeper stacks.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        widths: &[usize],
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(widths.len() >= 2, "Mlp needs at least [in, out] widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.{i}"), w[0], w[1], true, rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Apply to the last axis of `x`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, h);
+            if i < last {
+                h = self.activation.apply(g, h);
+            }
+        }
+        h
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.layers[0].in_features()
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.layers.last().expect("non-empty").out_features()
+    }
+
+    /// Number of linear layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::gradcheck::check_gradients;
+    use lip_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_layer_is_linear() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[3, 2], Activation::Relu, &mut rng);
+        assert_eq!(mlp.depth(), 1);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::ones(&[4, 3]));
+        let y = mlp.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[4, 2]);
+    }
+
+    #[test]
+    fn deep_stack_shapes_and_grads() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[4, 8, 8, 2], Activation::Gelu, &mut rng);
+        assert_eq!(mlp.depth(), 3);
+        assert_eq!(mlp.in_features(), 4);
+        assert_eq!(mlp.out_features(), 2);
+        let x = Tensor::randn(&[3, 4], &mut rng);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let y = mlp.forward(g, xv);
+                let sq = g.square(y);
+                g.mean(sq)
+            },
+            1e-2,
+            3e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn rejects_single_width() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let _ = Mlp::new(&mut store, "m", &[4], Activation::Relu, &mut rng);
+    }
+}

@@ -1,0 +1,294 @@
+//! First-order optimizers over a [`ParamStore`]: SGD (with momentum), Adam,
+//! and the paper's AdamW (decoupled weight decay), plus global-norm gradient
+//! clipping.
+
+use lip_autograd::{ParamId, ParamStore};
+use lip_tensor::Tensor;
+
+/// Common optimizer interface: consume accumulated gradients and update
+/// parameter values in place (frozen parameters are skipped by the store).
+pub trait Optimizer {
+    /// Apply one update step from the gradients currently accumulated in
+    /// `store`, then zero them.
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Override the learning rate (driven by schedulers).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Plain SGD (`momentum = 0`) or heavy-ball momentum.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "lr must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<ParamId> = store.trainable_ids();
+        self.velocity.resize(store.len(), None);
+        for id in ids {
+            let grad = store.grad(id).clone();
+            let update = if self.momentum > 0.0 {
+                let v = self.velocity[id.index()]
+                    .get_or_insert_with(|| Tensor::zeros(grad.shape()));
+                let mut nv = v.mul_scalar(self.momentum);
+                nv.add_assign_scaled(&grad, 1.0);
+                *v = nv.clone();
+                nv
+            } else {
+                grad
+            };
+            let mut value = store.value(id).clone();
+            value.add_assign_scaled(&update, -self.lr);
+            store.set_value(id, value);
+        }
+        store.zero_grad();
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+struct AdamState {
+    m: Tensor,
+    v: Tensor,
+}
+
+/// Adam (Kingma & Ba). `weight_decay` here is L2-coupled (added to the
+/// gradient), matching the original formulation.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    decoupled: bool,
+    t: u64,
+    state: Vec<Option<AdamState>>,
+}
+
+impl Adam {
+    /// Standard Adam with coupled L2 decay.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            decoupled: false,
+            t: 0,
+            state: Vec::new(),
+        }
+    }
+}
+
+/// AdamW — Adam with *decoupled* weight decay, the optimizer the paper uses
+/// for LiPFormer training (§IV-A2).
+pub struct AdamW(Adam);
+
+impl AdamW {
+    /// AdamW with the given learning rate and decoupled decay.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        let mut inner = Adam::new(lr, weight_decay);
+        inner.decoupled = true;
+        AdamW(inner)
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.0.step(store)
+    }
+    fn lr(&self) -> f32 {
+        self.0.lr()
+    }
+    fn set_lr(&mut self, lr: f32) {
+        self.0.set_lr(lr)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        self.state.resize_with(store.len(), || None);
+        for id in store.trainable_ids() {
+            let mut grad = store.grad(id).clone();
+            let value = store.value(id).clone();
+            if self.weight_decay > 0.0 && !self.decoupled {
+                grad.add_assign_scaled(&value, self.weight_decay);
+            }
+            let st = self.state[id.index()].get_or_insert_with(|| AdamState {
+                m: Tensor::zeros(grad.shape()),
+                v: Tensor::zeros(grad.shape()),
+            });
+            // m ← β₁m + (1−β₁)g ; v ← β₂v + (1−β₂)g²
+            let mut m = st.m.mul_scalar(self.beta1);
+            m.add_assign_scaled(&grad, 1.0 - self.beta1);
+            let mut v = st.v.mul_scalar(self.beta2);
+            v.add_assign_scaled(&grad.square(), 1.0 - self.beta2);
+            st.m = m.clone();
+            st.v = v.clone();
+
+            let mhat = m.mul_scalar(1.0 / bc1);
+            let vhat = v.mul_scalar(1.0 / bc2);
+            let denom = vhat.sqrt().add_scalar(self.eps);
+            let step = mhat.div(&denom);
+
+            let mut new_value = value;
+            if self.weight_decay > 0.0 && self.decoupled {
+                let decayed = new_value.mul_scalar(self.lr * self.weight_decay);
+                new_value.add_assign_scaled(&decayed, -1.0);
+            }
+            new_value.add_assign_scaled(&step, -self.lr);
+            store.set_value(id, new_value);
+        }
+        store.zero_grad();
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Global-norm gradient clipping.
+#[derive(Debug, Clone, Copy)]
+pub struct GradClip {
+    max_norm: f32,
+}
+
+impl GradClip {
+    /// Clip the global gradient norm to `max_norm`.
+    pub fn new(max_norm: f32) -> Self {
+        assert!(max_norm > 0.0);
+        GradClip { max_norm }
+    }
+
+    /// Rescale gradients in `store` if their global norm exceeds the bound.
+    /// Returns the pre-clip norm.
+    pub fn apply(&self, store: &mut ParamStore) -> f32 {
+        let norm = store.grad_l2_norm();
+        if norm > self.max_norm {
+            store.scale_grads(self.max_norm / norm);
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::Graph;
+
+    /// Minimize (w − 3)² and return the final w.
+    fn optimize(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(0.0));
+        for _ in 0..steps {
+            let mut g = Graph::new(&store);
+            let wv = g.param(w);
+            let target = g.constant(Tensor::scalar(3.0));
+            let loss = g.mse_loss(wv, target);
+            let grads = g.backward(loss);
+            grads.apply_to(&mut store);
+            opt.step(&mut store);
+        }
+        store.value(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = optimize(&mut Sgd::new(0.1, 0.0), 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn momentum_converges() {
+        let w = optimize(&mut Sgd::new(0.05, 0.9), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let w = optimize(&mut Adam::new(0.1, 0.0), 300);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adamw_converges() {
+        let w = optimize(&mut AdamW::new(0.1, 0.0), 300);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adamw_decay_shrinks_unused_weights() {
+        // A parameter with zero gradient should decay toward zero under AdamW.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(1.0));
+        let mut opt = AdamW::new(0.1, 0.5);
+        for _ in 0..10 {
+            store.zero_grad(); // zero gradient every step
+            opt.step(&mut store);
+        }
+        let v = store.value(w).item();
+        assert!(v < 0.7 && v > 0.0, "decayed value {v}");
+    }
+
+    #[test]
+    fn frozen_params_not_updated() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(5.0));
+        store.freeze(w);
+        store.accumulate_grad(w, &Tensor::scalar(1.0));
+        Sgd::new(0.5, 0.0).step(&mut store);
+        assert_eq!(store.value(w).item(), 5.0);
+    }
+
+    #[test]
+    fn grad_clip_rescales() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(&[2]));
+        store.accumulate_grad(w, &Tensor::from_vec(vec![3.0, 4.0], &[2])); // norm 5
+        let pre = GradClip::new(1.0).apply(&mut store);
+        assert_eq!(pre, 5.0);
+        assert!((store.grad_l2_norm() - 1.0).abs() < 1e-5);
+        // direction preserved
+        let g = store.grad(w).to_vec();
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lr_setter_roundtrip() {
+        let mut opt = AdamW::new(0.01, 0.0);
+        opt.set_lr(0.005);
+        assert_eq!(opt.lr(), 0.005);
+    }
+}

@@ -1,0 +1,141 @@
+//! Positional encodings. LiPFormer eliminates these (its patch-wise
+//! attentions carry order information); baselines (Informer, Autoformer,
+//! vanilla Transformer) use them, and the `Attn(x + W^PE)` form of the paper
+//! is reproduced by [`LearnedPositionalEncoding`].
+
+use lip_autograd::{Graph, ParamId, ParamStore, Var};
+use lip_tensor::Tensor;
+use rand::Rng;
+
+/// The sinusoidal encoding of "Attention Is All You Need".
+#[derive(Debug, Clone)]
+pub struct SinusoidalPositionalEncoding {
+    table: Tensor, // [max_len, dim]
+    dim: usize,
+}
+
+impl SinusoidalPositionalEncoding {
+    /// Precompute a `[max_len, dim]` table.
+    pub fn new(max_len: usize, dim: usize) -> Self {
+        let mut data = vec![0.0f32; max_len * dim];
+        for pos in 0..max_len {
+            for i in 0..dim {
+                let angle =
+                    pos as f32 / 10_000f32.powf((2 * (i / 2)) as f32 / dim as f32);
+                data[pos * dim + i] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+            }
+        }
+        SinusoidalPositionalEncoding {
+            table: Tensor::from_vec(data, &[max_len, dim]),
+            dim,
+        }
+    }
+
+    /// Add the first `seq` rows to `x: [batch, seq, dim]`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let shape = g.shape(x).to_vec();
+        assert_eq!(shape.len(), 3, "PE expects [batch, seq, dim]");
+        assert_eq!(shape[2], self.dim, "PE width mismatch");
+        assert!(shape[1] <= self.table.shape()[0], "sequence longer than PE table");
+        let pe = self.table.slice_axis(0, 0, shape[1]);
+        let pe = g.constant(pe);
+        g.add(x, pe)
+    }
+}
+
+/// Trainable positional table `W^PE` (the paper's uniform stand-in for the
+/// PE schemes of Informer/Autoformer/FEDformer).
+#[derive(Debug, Clone)]
+pub struct LearnedPositionalEncoding {
+    table: ParamId,
+    max_len: usize,
+    dim: usize,
+}
+
+impl LearnedPositionalEncoding {
+    /// Register a `[max_len, dim]` trainable table.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        max_len: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let table = store.add(
+            format!("{name}.pe"),
+            Tensor::randn(&[max_len, dim], rng).mul_scalar(0.02),
+        );
+        LearnedPositionalEncoding { table, max_len, dim }
+    }
+
+    /// Add the first `seq` rows to `x: [batch, seq, dim]`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let shape = g.shape(x).to_vec();
+        assert_eq!(shape.len(), 3, "PE expects [batch, seq, dim]");
+        assert_eq!(shape[2], self.dim, "PE width mismatch");
+        assert!(shape[1] <= self.max_len, "sequence longer than PE table");
+        let table = g.param(self.table);
+        let pe = g.slice_axis(table, 0, 0, shape[1]);
+        g.add(x, pe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sinusoidal_first_row_is_sin_cos_of_zero() {
+        let pe = SinusoidalPositionalEncoding::new(8, 4);
+        let row0 = pe.table.slice_axis(0, 0, 1);
+        assert_eq!(row0.to_vec(), vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sinusoidal_values_bounded() {
+        let pe = SinusoidalPositionalEncoding::new(64, 16);
+        assert!(pe.table.max_value() <= 1.0 && pe.table.min_value() >= -1.0);
+    }
+
+    #[test]
+    fn sinusoidal_add_shapes() {
+        let store = ParamStore::new();
+        let pe = SinusoidalPositionalEncoding::new(16, 4);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::zeros(&[2, 5, 4]));
+        let y = pe.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[2, 5, 4]);
+        // x was zero, so the output equals the PE rows for both batches
+        let out = g.value(y);
+        assert_eq!(out.data()[..20], out.data()[20..40]);
+    }
+
+    #[test]
+    fn learned_pe_is_trainable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let pe = LearnedPositionalEncoding::new(&mut store, "pe", 8, 4, &mut rng);
+        assert_eq!(store.num_scalars(), 32);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::zeros(&[1, 3, 4]));
+        let y = pe.forward(&mut g, x);
+        let loss = g.sum(y);
+        let grads = g.backward(loss);
+        let gt = grads.for_param(pe.table).unwrap();
+        // first 3 rows get gradient 1, rest none
+        assert_eq!(gt.slice_axis(0, 0, 3).sum().item(), 12.0);
+        assert_eq!(gt.slice_axis(0, 3, 8).sum().item(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than PE table")]
+    fn rejects_overlong_sequence() {
+        let store = ParamStore::new();
+        let pe = SinusoidalPositionalEncoding::new(4, 2);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::zeros(&[1, 5, 2]));
+        let _ = pe.forward(&mut g, x);
+    }
+}

@@ -1,0 +1,74 @@
+//! Learning-rate schedules, driven per epoch by the trainers.
+
+use serde::{Deserialize, Serialize};
+
+/// Learning-rate schedule selector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay { every: usize, gamma: f32 },
+    /// Cosine anneal from the base LR to `min_lr` over `total` epochs.
+    Cosine { total: usize, min_lr: f32 },
+}
+
+impl LrSchedule {
+    /// Learning rate for `epoch` (0-based) given the base rate.
+    pub fn lr_at(&self, base: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every, gamma } => {
+                base * gamma.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Cosine { total, min_lr } => {
+                if total <= 1 {
+                    return base;
+                }
+                let t = (epoch.min(total - 1)) as f32 / (total - 1) as f32;
+                min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.lr_at(0.01, 0), 0.01);
+        assert_eq!(s.lr_at(0.01, 100), 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { every: 2, gamma: 0.5 };
+        assert_eq!(s.lr_at(1.0, 0), 1.0);
+        assert_eq!(s.lr_at(1.0, 1), 1.0);
+        assert_eq!(s.lr_at(1.0, 2), 0.5);
+        assert_eq!(s.lr_at(1.0, 5), 0.25);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine { total: 10, min_lr: 0.001 };
+        assert!((s.lr_at(0.1, 0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(0.1, 9) - 0.001).abs() < 1e-6);
+        // monotone decreasing
+        let mut prev = f32::INFINITY;
+        for e in 0..10 {
+            let lr = s.lr_at(0.1, e);
+            assert!(lr <= prev);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn cosine_past_total_clamps() {
+        let s = LrSchedule::Cosine { total: 5, min_lr: 0.0 };
+        assert_eq!(s.lr_at(0.1, 50), s.lr_at(0.1, 4));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the NN toolkit: optimizer convergence on random
+//! quadratics, layer shape algebra, loss-function identities.
+
+use lip_autograd::{Graph, ParamStore};
+use lip_nn::{Activation, AdamW, Linear, Mlp, Optimizer, Sgd};
+use lip_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sgd_descends_any_convex_quadratic(
+        target in -5.0f32..5.0,
+        start in -5.0f32..5.0,
+    ) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(start));
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..150 {
+            let grads = {
+                let mut g = Graph::new(&store);
+                let wv = g.param(w);
+                let t = g.constant(Tensor::scalar(target));
+                let loss = g.mse_loss(wv, t);
+                g.backward(loss)
+            };
+            grads.apply_to(&mut store);
+            opt.step(&mut store);
+        }
+        prop_assert!((store.value(w).item() - target).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adamw_descends_multidimensional_quadratics(
+        seed in 0u64..300,
+        dim in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = Tensor::randn(&[dim], &mut rng);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::randn(&[dim], &mut rng));
+        let mut opt = AdamW::new(0.1, 0.0);
+        let loss_at = |store: &ParamStore| {
+            let mut g = Graph::new(store);
+            let wv = g.param(w);
+            let t = g.constant(target.clone());
+            let l = g.mse_loss(wv, t);
+            g.value(l).item()
+        };
+        let initial = loss_at(&store);
+        for _ in 0..100 {
+            let grads = {
+                let mut g = Graph::new(&store);
+                let wv = g.param(w);
+                let t = g.constant(target.clone());
+                let l = g.mse_loss(wv, t);
+                g.backward(l)
+            };
+            grads.apply_to(&mut store);
+            opt.step(&mut store);
+        }
+        prop_assert!(loss_at(&store) < initial.max(1e-4), "loss did not fall");
+    }
+
+    #[test]
+    fn linear_preserves_leading_shape(
+        b in 1usize..5,
+        s in 1usize..5,
+        fin in 1usize..6,
+        fout in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", fin, fout, true, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::zeros(&[b, s, fin]));
+        let y = lin.forward(&mut g, x);
+        prop_assert_eq!(g.shape(y), &[b, s, fout]);
+    }
+
+    #[test]
+    fn mlp_composition_matches_widths(
+        widths in prop::collection::vec(1usize..8, 2..5),
+    ) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &widths, Activation::Relu, &mut rng);
+        prop_assert_eq!(mlp.in_features(), widths[0]);
+        prop_assert_eq!(mlp.out_features(), *widths.last().unwrap());
+        prop_assert_eq!(mlp.depth(), widths.len() - 1);
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::zeros(&[3, widths[0]]));
+        let y = mlp.forward(&mut g, x);
+        prop_assert_eq!(g.shape(y), &[3, *widths.last().unwrap()]);
+    }
+
+    #[test]
+    fn smooth_l1_between_mae_halved_and_mse_halved(
+        seed in 0u64..200,
+    ) {
+        // elementwise: ½e²/β ≤ smooth ≤ |e| for β = 1, and smooth → |e|−½ for
+        // large errors; check the loss stays between ½·MSE and MAE
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Tensor::randn(&[24], &mut rng);
+        let t = Tensor::randn(&[24], &mut rng);
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let pv = g.constant(p.clone());
+        let tv = g.constant(t.clone());
+        let smooth = g.smooth_l1_loss(pv, tv, 1.0);
+        let mae = p.sub(&t).abs().mean().item();
+        let mse = p.sub(&t).square().mean().item();
+        let s = g.value(smooth).item();
+        prop_assert!(s <= mae + 1e-5, "smooth {s} > mae {mae}");
+        prop_assert!(s <= 0.5 * mse + mae, "upper bound sanity");
+        prop_assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn grad_clip_never_increases_norm(
+        seed in 0u64..200,
+        max_norm in 0.1f32..10.0,
+    ) {
+        use lip_nn::GradClip;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(&[8]));
+        store.accumulate_grad(w, &Tensor::randn(&[8], &mut rng).mul_scalar(5.0));
+        let before = store.grad_l2_norm();
+        GradClip::new(max_norm).apply(&mut store);
+        let after = store.grad_l2_norm();
+        prop_assert!(after <= before + 1e-5);
+        prop_assert!(after <= max_norm + 1e-4);
+    }
+}

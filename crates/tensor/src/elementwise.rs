@@ -1,0 +1,273 @@
+//! Elementwise arithmetic with NumPy broadcasting, plus unary maps and
+//! scalar ops. Fast paths cover equal shapes and trailing-suffix broadcasts
+//! (the bias-add pattern); the general path walks a strided odometer.
+
+use crate::shape::{broadcast_shapes, broadcast_strides, numel, Odometer2};
+use crate::Tensor;
+
+impl Tensor {
+    /// Apply `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data.iter().map(|&v| f(v)).collect(), &self.shape)
+    }
+
+    /// Combine with `rhs` elementwise under broadcasting.
+    pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        // Fast path 1: identical shapes.
+        if self.shape == rhs.shape {
+            let out: Vec<f32> = self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor::from_vec(out, &self.shape);
+        }
+        // Fast path 2: rhs is a scalar.
+        if rhs.numel() == 1 {
+            let b = rhs.data[0];
+            return self.map(|a| f(a, b));
+        }
+        if self.numel() == 1 {
+            let a = self.data[0];
+            return Tensor {
+                shape: rhs.shape.clone(),
+                data: std::sync::Arc::new(rhs.data.iter().map(|&b| f(a, b)).collect()),
+            };
+        }
+        // Fast path 3: rhs shape is a trailing suffix of lhs (bias pattern).
+        if rhs.rank() <= self.rank()
+            && self.shape[self.rank() - rhs.rank()..] == *rhs.shape()
+        {
+            let chunk = rhs.numel();
+            let mut out = Vec::with_capacity(self.numel());
+            for block in self.data.chunks_exact(chunk) {
+                out.extend(block.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)));
+            }
+            return Tensor::from_vec(out, &self.shape);
+        }
+        // General strided broadcast.
+        let out_shape = broadcast_shapes(&self.shape, &rhs.shape)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let sa = broadcast_strides(&self.shape, &out_shape);
+        let sb = broadcast_strides(&rhs.shape, &out_shape);
+        let mut out = Vec::with_capacity(numel(&out_shape));
+        for (a, b) in Odometer2::new(&out_shape, sa, sb) {
+            out.push(f(self.data[a], rhs.data[b]));
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Elementwise addition (broadcasting).
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction (broadcasting).
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication (broadcasting).
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a * b)
+    }
+
+    /// Elementwise division (broadcasting).
+    pub fn div(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a / b)
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|v| -v)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|v| v * v)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise natural exponent.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|v| 1.0 / (1.0 + (-v).exp()))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as used by GPT-style
+    /// stacks; accurate to ~1e-3 of the exact erf form).
+    pub fn gelu(&self) -> Tensor {
+        self.map(gelu_scalar)
+    }
+
+    /// In-place fused `self += rhs * scale` for equally shaped tensors —
+    /// the gradient-accumulation hot path.
+    pub fn add_assign_scaled(&mut self, rhs: &Tensor, scale: f32) {
+        assert_eq!(self.shape, rhs.shape, "add_assign_scaled shape mismatch");
+        let dst = self.data_mut();
+        for (d, &s) in dst.iter_mut().zip(rhs.data.iter()) {
+            *d += s * scale;
+        }
+    }
+
+    /// Sum-reduce this tensor down to `target` shape — the adjoint of
+    /// broadcasting. `target` must itself broadcast to `self.shape`.
+    pub fn reduce_to_shape(&self, target: &[usize]) -> Tensor {
+        if self.shape == target {
+            return self.clone();
+        }
+        let sa = broadcast_strides(target, &self.shape);
+        let zero = vec![0usize; self.shape.len()];
+        let mut out = vec![0.0f32; numel(target)];
+        for ((t, _), &v) in Odometer2::new(&self.shape, sa, zero).zip(self.data.iter()) {
+            out[t] += v;
+        }
+        Tensor::from_vec(out, target)
+    }
+}
+
+#[inline]
+fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GELU, exposed for the autograd crate.
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    let inner = SQRT_2_OVER_PI * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn add_equal_shapes() {
+        let a = Tensor::from_vec(vec![1., 2., 3.], &[3]);
+        let b = Tensor::from_vec(vec![10., 20., 30.], &[3]);
+        assert_eq!(a.add(&b).to_vec(), vec![11., 22., 33.]);
+    }
+
+    #[test]
+    fn suffix_broadcast_bias() {
+        let x = Tensor::arange(6).reshape(&[2, 3]);
+        let b = Tensor::from_vec(vec![1., 1., 1.], &[3]);
+        assert_eq!(x.add(&b).to_vec(), vec![1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn general_broadcast_middle_axis() {
+        let x = Tensor::ones(&[2, 1, 2]);
+        let y = Tensor::from_vec(vec![1., 2., 3.], &[3, 1]);
+        let z = x.mul(&y);
+        assert_eq!(z.shape(), &[2, 3, 2]);
+        assert_eq!(z.to_vec(), vec![1., 1., 2., 2., 3., 3., 1., 1., 2., 2., 3., 3.]);
+    }
+
+    #[test]
+    fn scalar_both_sides() {
+        let x = Tensor::arange(3);
+        assert_eq!(x.add(&Tensor::scalar(1.0)).to_vec(), vec![1., 2., 3.]);
+        assert_eq!(Tensor::scalar(1.0).sub(&x).to_vec(), vec![1., 0., -1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be broadcast")]
+    fn incompatible_shapes_panic() {
+        let _ = Tensor::ones(&[2, 3]).add(&Tensor::ones(&[4]));
+    }
+
+    #[test]
+    fn reduce_to_shape_is_broadcast_adjoint() {
+        let g = Tensor::ones(&[2, 3]);
+        let r = g.reduce_to_shape(&[3]);
+        assert_eq!(r.to_vec(), vec![2., 2., 2.]);
+        let r2 = g.reduce_to_shape(&[]);
+        assert_eq!(r2.item(), 6.0);
+        let g3 = Tensor::arange(12).reshape(&[2, 3, 2]);
+        let r3 = g3.reduce_to_shape(&[3, 1]);
+        assert_eq!(r3.shape(), &[3, 1]);
+        // axis-0 and axis-2 sums: rows (0+1+6+7, 2+3+8+9, 4+5+10+11)
+        assert_eq!(r3.to_vec(), vec![14., 22., 30.]);
+    }
+
+    #[test]
+    fn unary_maps() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 4.0], &[3]);
+        assert_eq!(x.relu().to_vec(), vec![0., 0., 4.]);
+        assert_eq!(x.abs().to_vec(), vec![1., 0., 4.]);
+        assert_eq!(x.square().to_vec(), vec![1., 0., 16.]);
+        assert!((x.sigmoid().data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_matches_known_values() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]);
+        let y = x.gelu();
+        assert!((y.data()[0]).abs() < 1e-6);
+        assert!((y.data()[1] - 0.8412).abs() < 1e-3);
+        assert!((y.data()[2] + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let eps = 1e-3;
+            let f = |v: f32| Tensor::scalar(v).gelu().item();
+            let fd = (f(x + eps) - f(x - eps)) / (2.0 * eps);
+            let an = super::gelu_grad_scalar(x);
+            assert!((fd - an).abs() < 1e-2, "x={x}: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn add_assign_scaled_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::arange(3);
+        a.add_assign_scaled(&b, 2.0);
+        assert_eq!(a.to_vec(), vec![1., 3., 5.]);
+    }
+}

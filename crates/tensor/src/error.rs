@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced by fallible tensor operations (serialization and explicit
+/// shape checking). Hot-path shape misuse panics instead; see the crate docs.
+#[derive(Debug)]
+pub enum TensorError {
+    /// Two shapes cannot be broadcast together.
+    BroadcastMismatch { lhs: Vec<usize>, rhs: Vec<usize> },
+    /// An element count did not match the requested shape.
+    ShapeMismatch { expected: usize, got: usize },
+    /// A serialized buffer was malformed.
+    Corrupt(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs:?} and {rhs:?} cannot be broadcast together")
+            }
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape expects {expected} elements but data has {got}")
+            }
+            TensorError::Corrupt(msg) => write!(f, "corrupt tensor buffer: {msg}"),
+            TensorError::Io(e) => write!(f, "tensor i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TensorError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io(e)
+    }
+}

@@ -1,0 +1,90 @@
+//! Random tensor initialization. All constructors take an explicit RNG so
+//! every experiment in the workspace is reproducible from a seed.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Standard-normal samples (Box–Muller; no external distribution crate).
+    pub fn randn(shape: &[usize], rng: &mut impl Rng) -> Tensor {
+        let n = crate::shape::numel(shape);
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Uniform samples in `[low, high)`.
+    pub fn rand_uniform(shape: &[usize], low: f32, high: f32, rng: &mut impl Rng) -> Tensor {
+        let n = crate::shape::numel(shape);
+        let data = (0..n).map(|_| rng.gen_range(low..high)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Kaiming-uniform initialization for a weight of shape
+    /// `[fan_in, fan_out]` (as stored by this workspace's `Linear`).
+    pub fn kaiming_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+        let bound = (1.0 / fan_in as f32).sqrt();
+        Tensor::rand_uniform(&[fan_in, fan_out], -bound, bound, rng)
+    }
+
+    /// Xavier/Glorot-uniform initialization for `[fan_in, fan_out]`.
+    pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform(&[fan_in, fan_out], -bound, bound, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[10_000], &mut rng);
+        let mean = t.mean().item();
+        let var = t.sub(&Tensor::scalar(mean)).square().mean().item();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn randn_odd_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Tensor::randn(&[3, 1], &mut rng).numel(), 3);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = Tensor::rand_uniform(&[1000], -2.0, 3.0, &mut rng);
+        assert!(t.min_value() >= -2.0 && t.max_value() < 3.0);
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a = Tensor::randn(&[16], &mut StdRng::seed_from_u64(42));
+        let b = Tensor::randn(&[16], &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Tensor::kaiming_uniform(400, 10, &mut rng);
+        assert!(w.max_value() <= 0.05 + 1e-6);
+        assert_eq!(w.shape(), &[400, 10]);
+    }
+}

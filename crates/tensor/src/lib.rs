@@ -1,0 +1,48 @@
+//! # lip-tensor
+//!
+//! A dense, row-major, `f32` n-dimensional tensor library that underpins the
+//! LiPFormer reproduction. It provides exactly the operations a time-series
+//! deep-learning stack needs — NumPy-style broadcasting, batched matrix
+//! multiplication, axis reductions, softmax, shape manipulation, random
+//! initialization and binary/JSON serialization — with no external
+//! linear-algebra dependency.
+//!
+//! ## Design
+//!
+//! * Storage is a contiguous `Arc<Vec<f32>>`; [`Tensor`] is cheap to clone and
+//!   copy-on-write ([`Tensor::data_mut`] uses `Arc::make_mut`).
+//! * All tensors are contiguous. View-producing operations (`permute`,
+//!   `slice_axis`, …) materialize their result; at the model sizes this
+//!   workspace targets, contiguity buys simpler and faster downstream kernels.
+//! * Shape errors panic with a descriptive message, mirroring `ndarray` and
+//!   PyTorch semantics. Fallible checking is available through
+//!   [`shape::broadcast_shapes`].
+//!
+//! ## Example
+//!
+//! ```
+//! use lip_tensor::Tensor;
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+//! let c = a.add(&b); // broadcast over the last axis
+//! assert_eq!(c.data(), &[11.0, 22.0, 13.0, 24.0]);
+//! let d = a.matmul(&a);
+//! assert_eq!(d.shape(), &[2, 2]);
+//! ```
+
+mod elementwise;
+mod error;
+mod init;
+mod matmul;
+mod reduce;
+mod serialize;
+pub mod shape;
+mod tensor;
+
+pub use elementwise::gelu_grad_scalar;
+pub use error::TensorError;
+pub use serialize::TensorRepr;
+pub use tensor::Tensor;
+
+/// Convenience alias used across the workspace for fallible tensor I/O.
+pub type Result<T> = std::result::Result<T, TensorError>;

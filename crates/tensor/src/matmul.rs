@@ -1,0 +1,223 @@
+//! Batched matrix multiplication with broadcasting over leading axes.
+//!
+//! The inner kernel is a cache-friendly i-k-j loop over row-major operands;
+//! batches are fanned out across threads when the total work is large enough
+//! to amortize spawning.
+
+use crate::shape::{broadcast_shapes, broadcast_strides, numel, Odometer2};
+use crate::Tensor;
+
+/// Work threshold (multiply-accumulates) below which matmul stays
+/// single-threaded.
+const PARALLEL_THRESHOLD: usize = 1 << 20;
+
+impl Tensor {
+    /// Matrix product with broadcasting over leading (batch) axes.
+    ///
+    /// * `[m, k] × [k, n] → [m, n]`
+    /// * `[B.., m, k] × [k, n] → [B.., m, n]` (weights broadcast per batch)
+    /// * `[B.., m, k] × [B.., k, n] → [B.., m, n]`
+    /// * a 1-d lhs or rhs is treated as a row / column vector and the
+    ///   inserted axis is squeezed from the result.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        // Promote vectors to matrices, remembering what to squeeze.
+        let squeeze_front = self.rank() == 1;
+        let squeeze_back = rhs.rank() == 1;
+        let a = if squeeze_front {
+            self.reshape(&[1, self.shape[0]])
+        } else {
+            self.clone()
+        };
+        let b = if squeeze_back {
+            rhs.reshape(&[rhs.shape[0], 1])
+        } else {
+            rhs.clone()
+        };
+        assert!(a.rank() >= 2 && b.rank() >= 2);
+
+        let (m, ka) = (a.shape[a.rank() - 2], a.shape[a.rank() - 1]);
+        let (kb, n) = (b.shape[b.rank() - 2], b.shape[b.rank() - 1]);
+        assert_eq!(
+            ka, kb,
+            "matmul inner-dim mismatch: {:?} × {:?}",
+            self.shape, rhs.shape
+        );
+        let k = ka;
+
+        let batch_a = &a.shape[..a.rank() - 2];
+        let batch_b = &b.shape[..b.rank() - 2];
+        let batch_shape = broadcast_shapes(batch_a, batch_b)
+            .unwrap_or_else(|e| panic!("matmul batch axes: {e}"));
+        let batches = numel(&batch_shape);
+
+        // Flat offsets of each batch's matrix in the two buffers.
+        let sa: Vec<usize> = broadcast_strides(batch_a, &batch_shape)
+            .iter()
+            .map(|s| s * m * k)
+            .collect();
+        let sb: Vec<usize> = broadcast_strides(batch_b, &batch_shape)
+            .iter()
+            .map(|s| s * k * n)
+            .collect();
+        let offsets: Vec<(usize, usize)> = Odometer2::new(&batch_shape, sa, sb).collect();
+        debug_assert_eq!(offsets.len(), batches);
+
+        let mut out = vec![0.0f32; batches * m * n];
+        let work = batches * m * k * n;
+        let threads = available_threads();
+        if work >= PARALLEL_THRESHOLD && batches > 1 && threads > 1 {
+            let per = batches.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (chunk_idx, out_chunk) in out.chunks_mut(per * m * n).enumerate() {
+                    let offs = &offsets[chunk_idx * per..];
+                    let a_data = a.data();
+                    let b_data = b.data();
+                    scope.spawn(move || {
+                        for (bi, dst) in out_chunk.chunks_mut(m * n).enumerate() {
+                            let (oa, ob) = offs[bi];
+                            matmul_2d(
+                                &a_data[oa..oa + m * k],
+                                &b_data[ob..ob + k * n],
+                                m,
+                                k,
+                                n,
+                                dst,
+                            );
+                        }
+                    });
+                }
+            });
+        } else {
+            for (bi, dst) in out.chunks_mut(m * n).enumerate() {
+                let (oa, ob) = offsets[bi];
+                matmul_2d(
+                    &a.data()[oa..oa + m * k],
+                    &b.data()[ob..ob + k * n],
+                    m,
+                    k,
+                    n,
+                    dst,
+                );
+            }
+        }
+
+        let mut out_shape = batch_shape;
+        if !squeeze_front {
+            out_shape.push(m);
+        }
+        if !squeeze_back {
+            out_shape.push(n);
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// `out[m,n] = a[m,k] @ b[k,n]`, all row-major. `out` must be zeroed.
+#[inline]
+fn matmul_2d(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn matmul_2d_known() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        let b = Tensor::from_vec(vec![5., 6., 7., 8.], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::arange(6).reshape(&[2, 3]); // [[0,1,2],[3,4,5]]
+        let b = Tensor::arange(12).reshape(&[3, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 4]);
+        assert_eq!(c.to_vec(), vec![20., 23., 26., 29., 56., 68., 80., 92.]);
+    }
+
+    #[test]
+    fn matmul_batched_shared_weights() {
+        let x = Tensor::arange(12).reshape(&[2, 3, 2]); // batch 2 of [3,2]
+        let w = Tensor::from_vec(vec![1., 0., 0., 1.], &[2, 2]); // identity
+        let y = x.matmul(&w);
+        assert_eq!(y.shape(), &[2, 3, 2]);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn matmul_batched_both_sides() {
+        let a = Tensor::arange(8).reshape(&[2, 2, 2]);
+        let b = Tensor::arange(8).reshape(&[2, 2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        // batch 0: [[0,1],[2,3]]² = [[2,3],[6,11]]
+        assert_eq!(&c.to_vec()[..4], &[2., 3., 6., 11.]);
+        // batch 1: [[4,5],[6,7]]² = [[46,55],[66,79]]
+        assert_eq!(&c.to_vec()[4..], &[46., 55., 66., 79.]);
+    }
+
+    #[test]
+    fn matmul_4d_batch_broadcast() {
+        // [2,1,2,3] x [3,2] -> [2,1,2,2]
+        let a = Tensor::arange(12).reshape(&[2, 1, 2, 3]);
+        let w = Tensor::ones(&[3, 2]);
+        let y = a.matmul(&w);
+        assert_eq!(y.shape(), &[2, 1, 2, 2]);
+        assert_eq!(y.data()[0], 3.0); // 0+1+2
+        assert_eq!(y.data()[7], 30.0); // 9+10+11
+    }
+
+    #[test]
+    fn vector_cases() {
+        let v = Tensor::from_vec(vec![1., 2.], &[2]);
+        let m = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        assert_eq!(v.matmul(&m).shape(), &[2]);
+        assert_eq!(v.matmul(&m).to_vec(), vec![7., 10.]);
+        assert_eq!(m.matmul(&v).to_vec(), vec![5., 11.]);
+        assert_eq!(v.matmul(&v).item(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner-dim mismatch")]
+    fn inner_dim_mismatch_panics() {
+        let _ = Tensor::ones(&[2, 3]).matmul(&Tensor::ones(&[2, 3]));
+    }
+
+    #[test]
+    fn large_parallel_matches_small_path() {
+        // force the threaded path and compare against per-batch 2-d products
+        let a = Tensor::from_vec((0..64 * 32 * 64).map(|i| (i % 7) as f32).collect(), &[64, 32, 64]);
+        let b = Tensor::from_vec((0..64 * 64 * 32).map(|i| (i % 5) as f32).collect(), &[64, 64, 32]);
+        let big = a.matmul(&b);
+        for batch in [0usize, 17, 63] {
+            let a2 = a.slice_axis(0, batch, batch + 1).reshape(&[32, 64]);
+            let b2 = b.slice_axis(0, batch, batch + 1).reshape(&[64, 32]);
+            let expect = a2.matmul(&b2);
+            let got = big.slice_axis(0, batch, batch + 1).reshape(&[32, 32]);
+            assert_eq!(expect, got);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Reductions (full and per-axis), softmax / log-softmax over the last axis,
+//! and argmax. Axis reductions keep the reduced axis as size 1 so results
+//! broadcast back against the input without reshaping.
+
+use crate::shape::split_at_axis;
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements (rank-0 result).
+    pub fn sum(&self) -> Tensor {
+        Tensor::scalar(self.data.iter().sum())
+    }
+
+    /// Mean of all elements (rank-0 result).
+    pub fn mean(&self) -> Tensor {
+        Tensor::scalar(self.data.iter().sum::<f32>() / self.numel() as f32)
+    }
+
+    /// Largest element.
+    pub fn max_value(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element.
+    pub fn min_value(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sum along `axis`, keeping it as size 1.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        let (outer, len, inner) = split_at_axis(&self.shape, axis);
+        let mut out = vec![0.0f32; outer * inner];
+        for o in 0..outer {
+            for l in 0..len {
+                let base = (o * len + l) * inner;
+                let dst = o * inner;
+                for i in 0..inner {
+                    out[dst + i] += self.data[base + i];
+                }
+            }
+        }
+        let mut shape = self.shape.clone();
+        shape[axis] = 1;
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Mean along `axis`, keeping it as size 1.
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let len = self.shape[axis] as f32;
+        self.sum_axis(axis).mul_scalar(1.0 / len)
+    }
+
+    /// Population variance along `axis`, keeping it as size 1.
+    pub fn var_axis(&self, axis: usize) -> Tensor {
+        let mu = self.mean_axis(axis);
+        self.sub(&mu).square().mean_axis(axis)
+    }
+
+    /// Max along `axis`, keeping it as size 1.
+    pub fn max_axis(&self, axis: usize) -> Tensor {
+        let (outer, len, inner) = split_at_axis(&self.shape, axis);
+        let mut out = vec![f32::NEG_INFINITY; outer * inner];
+        for o in 0..outer {
+            for l in 0..len {
+                let base = (o * len + l) * inner;
+                let dst = o * inner;
+                for i in 0..inner {
+                    out[dst + i] = out[dst + i].max(self.data[base + i]);
+                }
+            }
+        }
+        let mut shape = self.shape.clone();
+        shape[axis] = 1;
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Numerically stable softmax over the last axis.
+    pub fn softmax_lastdim(&self) -> Tensor {
+        let width = *self.shape.last().expect("softmax on a scalar");
+        let mut out = Vec::with_capacity(self.numel());
+        for row in self.data.chunks_exact(width) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            let start = out.len();
+            for &v in row {
+                let e = (v - m).exp();
+                sum += e;
+                out.push(e);
+            }
+            let inv = 1.0 / sum;
+            for v in &mut out[start..] {
+                *v *= inv;
+            }
+        }
+        Tensor::from_vec(out, &self.shape)
+    }
+
+    /// Numerically stable log-softmax over the last axis.
+    pub fn log_softmax_lastdim(&self) -> Tensor {
+        let width = *self.shape.last().expect("log_softmax on a scalar");
+        let mut out = Vec::with_capacity(self.numel());
+        for row in self.data.chunks_exact(width) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            out.extend(row.iter().map(|&v| v - lse));
+        }
+        Tensor::from_vec(out, &self.shape)
+    }
+
+    /// Index of the max element in each row of the last axis.
+    pub fn argmax_lastdim(&self) -> Vec<usize> {
+        let width = *self.shape.last().expect("argmax on a scalar");
+        self.data
+            .chunks_exact(width)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in argmax"))
+                    .map(|(i, _)| i)
+                    .expect("empty row")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn full_reductions() {
+        let t = Tensor::arange(4);
+        assert_eq!(t.sum().item(), 6.0);
+        assert_eq!(t.mean().item(), 1.5);
+        assert_eq!(t.max_value(), 3.0);
+        assert_eq!(t.min_value(), 0.0);
+    }
+
+    #[test]
+    fn axis_sum_keeps_dim() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let s0 = t.sum_axis(0);
+        assert_eq!(s0.shape(), &[1, 3]);
+        assert_eq!(s0.to_vec(), vec![3., 5., 7.]);
+        let s1 = t.sum_axis(1);
+        assert_eq!(s1.shape(), &[2, 1]);
+        assert_eq!(s1.to_vec(), vec![3., 12.]);
+    }
+
+    #[test]
+    fn mean_var_axis() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        assert_eq!(t.mean_axis(1).to_vec(), vec![1.5, 3.5]);
+        assert_close(&t.var_axis(1).to_vec(), &[0.25, 0.25], 1e-6);
+    }
+
+    #[test]
+    fn max_axis_works_with_negatives() {
+        let t = Tensor::from_vec(vec![-5., -2., -7., -1.], &[2, 2]);
+        assert_eq!(t.max_axis(1).to_vec(), vec![-2., -1.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 1000., 1001., 1002.], &[2, 3]);
+        let s = t.softmax_lastdim();
+        for row in s.data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // translation invariance: both rows should be identical
+        assert_close(&s.data()[..3], &s.data()[3..], 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.1, -0.4, 2.0], &[1, 3]);
+        let a = t.softmax_lastdim().ln();
+        let b = t.log_softmax_lastdim();
+        assert_close(a.data(), b.data(), 1e-5);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let t = Tensor::from_vec(vec![1., 9., 3., 7., 2., 0.], &[2, 3]);
+        assert_eq!(t.argmax_lastdim(), vec![1, 0]);
+    }
+}

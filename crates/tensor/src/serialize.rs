@@ -1,0 +1,128 @@
+//! Tensor serialization: a compact little-endian binary frame (via `bytes`)
+//! for checkpoints, and a serde-friendly [`TensorRepr`] for JSON configs and
+//! result files.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::{Tensor, TensorError};
+
+const MAGIC: u32 = 0x4C49_5054; // "LIPT"
+
+/// Serde-compatible mirror of [`Tensor`] (owned shape + flat data).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TensorRepr {
+    pub shape: Vec<usize>,
+    pub data: Vec<f32>,
+}
+
+impl From<&Tensor> for TensorRepr {
+    fn from(t: &Tensor) -> Self {
+        TensorRepr {
+            shape: t.shape().to_vec(),
+            data: t.to_vec(),
+        }
+    }
+}
+
+impl From<TensorRepr> for Tensor {
+    fn from(r: TensorRepr) -> Self {
+        Tensor::from_vec(r.data, &r.shape)
+    }
+}
+
+impl Tensor {
+    /// Encode as a self-describing binary frame:
+    /// `magic:u32 | rank:u32 | dims:u64* | f32 data (LE)`.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.rank() * 8 + self.numel() * 4);
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(self.rank() as u32);
+        for &d in self.shape() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in self.data() {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decode a frame produced by [`Tensor::to_bytes`].
+    pub fn from_bytes(mut buf: impl Buf) -> Result<Tensor, TensorError> {
+        if buf.remaining() < 8 {
+            return Err(TensorError::Corrupt("truncated header".into()));
+        }
+        if buf.get_u32_le() != MAGIC {
+            return Err(TensorError::Corrupt("bad magic".into()));
+        }
+        let rank = buf.get_u32_le() as usize;
+        if rank > 16 {
+            return Err(TensorError::Corrupt(format!("implausible rank {rank}")));
+        }
+        if buf.remaining() < rank * 8 {
+            return Err(TensorError::Corrupt("truncated shape".into()));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(buf.get_u64_le() as usize);
+        }
+        let n = crate::shape::numel(&shape);
+        if buf.remaining() < n * 4 {
+            return Err(TensorError::Corrupt(format!(
+                "need {} data bytes, have {}",
+                n * 4,
+                buf.remaining()
+            )));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(buf.get_f32_le());
+        }
+        Ok(Tensor::from_vec(data, &shape))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let b = t.to_bytes();
+        let back = Tensor::from_bytes(b).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let t = Tensor::scalar(-1.25);
+        assert_eq!(Tensor::from_bytes(t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut raw = Tensor::arange(3).to_bytes().to_vec();
+        raw[0] ^= 0xFF;
+        assert!(matches!(
+            Tensor::from_bytes(&raw[..]),
+            Err(TensorError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_data_rejected() {
+        let raw = Tensor::arange(10).to_bytes();
+        let cut = &raw[..raw.len() - 4];
+        assert!(Tensor::from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn json_repr_roundtrip() {
+        let t = Tensor::arange(4).reshape(&[2, 2]);
+        let repr = TensorRepr::from(&t);
+        let json = serde_json::to_string(&repr).unwrap();
+        let back: TensorRepr = serde_json::from_str(&json).unwrap();
+        assert_eq!(Tensor::from(back), t);
+    }
+}

@@ -1,0 +1,181 @@
+//! Shape arithmetic: strides, broadcasting, and an odometer iterator used by
+//! the strided kernels in the rest of the crate.
+
+use crate::TensorError;
+
+/// Row-major strides for `shape`. The stride of a size-1 axis is kept as the
+/// natural contiguous stride; broadcasting zeroes it separately.
+pub fn contiguous_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0usize; shape.len()];
+    let mut acc = 1usize;
+    for (s, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
+        *s = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Number of elements described by `shape` (1 for a scalar / empty shape).
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// NumPy broadcasting: align shapes at the trailing axis; each pair of dims
+/// must be equal or one of them 1.
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, TensorError> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let l = padded_dim(lhs, rank, i);
+        let r = padded_dim(rhs, rank, i);
+        out[i] = if l == r || r == 1 {
+            l
+        } else if l == 1 {
+            r
+        } else {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Dim `i` of `shape` implicitly left-padded with 1s to `rank` axes.
+fn padded_dim(shape: &[usize], rank: usize, i: usize) -> usize {
+    let pad = rank - shape.len();
+    if i < pad {
+        1
+    } else {
+        shape[i - pad]
+    }
+}
+
+/// Strides of `shape` viewed as `out_shape`, with broadcast axes zeroed.
+/// Panics if the shapes are not broadcast compatible (checked by callers).
+pub fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let strides = contiguous_strides(shape);
+    let pad = out_shape.len() - shape.len();
+    let mut out = vec![0usize; out_shape.len()];
+    for i in 0..out_shape.len() {
+        if i < pad {
+            out[i] = 0;
+        } else {
+            let dim = shape[i - pad];
+            debug_assert!(
+                dim == out_shape[i] || dim == 1,
+                "shape {shape:?} does not broadcast to {out_shape:?}"
+            );
+            out[i] = if dim == 1 { 0 } else { strides[i - pad] };
+        }
+    }
+    out
+}
+
+/// An odometer over a multi-dimensional index space that tracks flat offsets
+/// into two strided operands simultaneously. This is the workhorse behind the
+/// generic broadcast kernels.
+pub struct Odometer2 {
+    shape: Vec<usize>,
+    idx: Vec<usize>,
+    strides_a: Vec<usize>,
+    strides_b: Vec<usize>,
+    off_a: usize,
+    off_b: usize,
+    remaining: usize,
+}
+
+impl Odometer2 {
+    pub fn new(out_shape: &[usize], strides_a: Vec<usize>, strides_b: Vec<usize>) -> Self {
+        Odometer2 {
+            shape: out_shape.to_vec(),
+            idx: vec![0; out_shape.len()],
+            strides_a,
+            strides_b,
+            off_a: 0,
+            off_b: 0,
+            remaining: numel(out_shape),
+        }
+    }
+}
+
+impl Iterator for Odometer2 {
+    type Item = (usize, usize);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let item = (self.off_a, self.off_b);
+        self.remaining -= 1;
+        // advance the odometer (row-major, last axis fastest)
+        for ax in (0..self.shape.len()).rev() {
+            self.idx[ax] += 1;
+            self.off_a += self.strides_a[ax];
+            self.off_b += self.strides_b[ax];
+            if self.idx[ax] < self.shape[ax] {
+                break;
+            }
+            self.off_a -= self.strides_a[ax] * self.shape[ax];
+            self.off_b -= self.strides_b[ax] * self.shape[ax];
+            self.idx[ax] = 0;
+        }
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// Split a shape at `axis` into (outer, axis_len, inner) extents — the shape
+/// of the implicit 3-d view used by axis reductions and slicing.
+pub fn split_at_axis(shape: &[usize], axis: usize) -> (usize, usize, usize) {
+    assert!(axis < shape.len(), "axis {axis} out of range for {shape:?}");
+    let outer: usize = shape[..axis].iter().product();
+    let inner: usize = shape[axis + 1..].iter().product();
+    (outer, shape[axis], inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(contiguous_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(contiguous_strides(&[5]), vec![1]);
+        assert_eq!(contiguous_strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1, 4], &[3, 1]).unwrap(), vec![2, 3, 4]);
+        assert_eq!(broadcast_shapes(&[], &[2, 2]).unwrap(), vec![2, 2]);
+        assert!(broadcast_shapes(&[2, 3], &[4]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_unit_axes() {
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[2, 1, 4], &[2, 3, 4]), vec![4, 0, 1]);
+    }
+
+    #[test]
+    fn odometer_walks_broadcast_pairs() {
+        let out = [2usize, 2];
+        let sa = broadcast_strides(&[2, 2], &out);
+        let sb = broadcast_strides(&[2], &out);
+        let pairs: Vec<_> = Odometer2::new(&out, sa, sb).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn split_axis_extents() {
+        assert_eq!(split_at_axis(&[2, 3, 4], 1), (2, 3, 4));
+        assert_eq!(split_at_axis(&[5], 0), (1, 5, 1));
+    }
+}

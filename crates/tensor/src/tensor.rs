@@ -1,0 +1,410 @@
+//! The [`Tensor`] type: contiguous row-major f32 storage plus shape
+//! manipulation (reshape / permute / slice / concat / gather / repeat).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::shape::{contiguous_strides, numel, split_at_axis};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// Cloning is O(1) (shared `Arc` storage); mutation copies on write. All
+/// operations producing a new layout materialize a fresh contiguous buffer.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    pub(crate) shape: Vec<usize>,
+    pub(crate) data: Arc<Vec<f32>>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// Build a tensor from a flat row-major buffer.
+    ///
+    /// Panics if `data.len()` does not match the element count of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: Arc::new(data),
+        }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::from_vec(vec![0.0; numel(shape)], shape)
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::from_vec(vec![1.0; numel(shape)], shape)
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor::from_vec(vec![value; numel(shape)], shape)
+    }
+
+    /// Rank-0 scalar.
+    pub fn scalar(value: f32) -> Self {
+        Tensor::from_vec(vec![value], &[])
+    }
+
+    /// `[0, 1, ..., n-1]` as a 1-d tensor.
+    pub fn arange(n: usize) -> Self {
+        Tensor::from_vec((0..n).map(|i| i as f32).collect(), &[n])
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The tensor's shape (empty slice for a scalar).
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Flat row-major view of the elements.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view; copies the buffer if it is shared.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// The single element of a scalar (or 1-element) tensor.
+    ///
+    /// Panics if the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on tensor of shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Element at a full multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let strides = contiguous_strides(&self.shape);
+        let off: usize = index
+            .iter()
+            .zip(strides.iter())
+            .map(|(&i, &s)| {
+                debug_assert!(i < usize::MAX);
+                i * s
+            })
+            .sum();
+        self.data[off]
+    }
+
+    /// Copy of the data as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data.as_ref().clone()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    // ------------------------------------------------------ shape surgery
+
+    /// Reinterpret the buffer under a new shape with equal element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.numel(),
+            numel(shape),
+            "cannot reshape {:?} ({} elems) to {:?}",
+            self.shape,
+            self.numel(),
+            shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Reorder axes: `out[i_axes[0], i_axes[1], ..] = self[i0, i1, ..]`.
+    /// Materializes a contiguous result.
+    pub fn permute(&self, axes: &[usize]) -> Tensor {
+        assert_eq!(axes.len(), self.rank(), "permute axes rank mismatch");
+        let mut seen = vec![false; axes.len()];
+        for &a in axes {
+            assert!(a < self.rank() && !seen[a], "invalid permutation {axes:?}");
+            seen[a] = true;
+        }
+        let out_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let in_strides = contiguous_strides(&self.shape);
+        // stride of output axis i in the input buffer
+        let walk: Vec<usize> = axes.iter().map(|&a| in_strides[a]).collect();
+        let mut out = vec![0.0f32; self.numel()];
+        let mut idx = vec![0usize; out_shape.len()];
+        let mut src = 0usize;
+        for slot in out.iter_mut() {
+            *slot = self.data[src];
+            for ax in (0..out_shape.len()).rev() {
+                idx[ax] += 1;
+                src += walk[ax];
+                if idx[ax] < out_shape[ax] {
+                    break;
+                }
+                src -= walk[ax] * out_shape[ax];
+                idx[ax] = 0;
+            }
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Swap two axes (materializing).
+    pub fn transpose(&self, a: usize, b: usize) -> Tensor {
+        let mut axes: Vec<usize> = (0..self.rank()).collect();
+        axes.swap(a, b);
+        self.permute(&axes)
+    }
+
+    /// Swap the last two axes — the usual matrix transpose for batched mats.
+    pub fn t(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 2, "t() requires rank >= 2, got {:?}", self.shape);
+        self.transpose(r - 2, r - 1)
+    }
+
+    /// Contiguous sub-range `start..end` along `axis`.
+    pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Tensor {
+        let (outer, len, inner) = split_at_axis(&self.shape, axis);
+        assert!(
+            start <= end && end <= len,
+            "slice {start}..{end} out of bounds for axis {axis} of {:?}",
+            self.shape
+        );
+        let width = end - start;
+        let mut out = Vec::with_capacity(outer * width * inner);
+        for o in 0..outer {
+            let base = o * len * inner + start * inner;
+            out.extend_from_slice(&self.data[base..base + width * inner]);
+        }
+        let mut shape = self.shape.clone();
+        shape[axis] = width;
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Concatenate tensors along `axis`. All other axes must match.
+    pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let rank = parts[0].rank();
+        for p in parts {
+            assert_eq!(p.rank(), rank, "concat rank mismatch");
+            for ax in 0..rank {
+                if ax != axis {
+                    assert_eq!(
+                        p.shape[ax], parts[0].shape[ax],
+                        "concat shape mismatch on axis {ax}"
+                    );
+                }
+            }
+        }
+        let mut shape = parts[0].shape.clone();
+        shape[axis] = parts.iter().map(|p| p.shape[axis]).sum();
+        let (outer, _, inner) = split_at_axis(&shape, axis);
+        let mut out = Vec::with_capacity(numel(&shape));
+        for o in 0..outer {
+            for p in parts {
+                let len = p.shape[axis];
+                let base = o * len * inner;
+                out.extend_from_slice(&p.data[base..base + len * inner]);
+            }
+        }
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Stack equally-shaped tensors along a new leading axis.
+    pub fn stack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack of zero tensors");
+        let mut out = Vec::with_capacity(parts.len() * parts[0].numel());
+        for p in parts {
+            assert_eq!(p.shape, parts[0].shape, "stack shape mismatch");
+            out.extend_from_slice(p.data());
+        }
+        let mut shape = vec![parts.len()];
+        shape.extend_from_slice(&parts[0].shape);
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Gather rows along axis 0: `out[i] = self[indices[i]]`.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        assert!(self.rank() >= 1, "gather_rows on a scalar");
+        let row = self.numel() / self.shape[0];
+        let mut out = Vec::with_capacity(indices.len() * row);
+        for &i in indices {
+            assert!(i < self.shape[0], "gather index {i} out of {}", self.shape[0]);
+            out.extend_from_slice(&self.data[i * row..(i + 1) * row]);
+        }
+        let mut shape = self.shape.clone();
+        shape[0] = indices.len();
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Repeat the whole tensor `times` along a new leading axis and collapse:
+    /// shape `[d0, ...]` becomes `[times * d0, ...]`.
+    pub fn tile_rows(&self, times: usize) -> Tensor {
+        let mut out = Vec::with_capacity(self.numel() * times);
+        for _ in 0..times {
+            out.extend_from_slice(self.data());
+        }
+        let mut shape = self.shape.clone();
+        if shape.is_empty() {
+            shape = vec![times];
+        } else {
+            shape[0] *= times;
+        }
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Materialize this tensor broadcast to `out_shape`.
+    pub fn broadcast_to(&self, out_shape: &[usize]) -> Tensor {
+        use crate::shape::{broadcast_strides, Odometer2};
+        if self.shape == out_shape {
+            return self.clone();
+        }
+        let strides = broadcast_strides(&self.shape, out_shape);
+        let zero = vec![0usize; out_shape.len()];
+        let mut out = Vec::with_capacity(numel(out_shape));
+        for (a, _) in Odometer2::new(out_shape, strides, zero) {
+            out.push(self.data[a]);
+        }
+        Tensor::from_vec(out, out_shape)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor{:?} {:?}{}",
+            self.shape,
+            preview,
+            if self.numel() > 8 { "…" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_access() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_shape_panics() {
+        let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn clone_is_cow() {
+        let a = Tensor::zeros(&[4]);
+        let mut b = a.clone();
+        b.data_mut()[0] = 9.0;
+        assert_eq!(a.data()[0], 0.0);
+        assert_eq!(b.data()[0], 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn permute_2d_is_transpose() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let tt = t.t();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.to_vec(), vec![1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn permute_3d() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), t.at(&[0, 2, 1]));
+        // permute then inverse permute round-trips
+        let back = p.permute(&[1, 2, 0]);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn slice_and_concat_roundtrip() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let a = t.slice_axis(1, 0, 1);
+        let b = t.slice_axis(1, 1, 3);
+        assert_eq!(a.shape(), &[2, 1, 4]);
+        assert_eq!(b.shape(), &[2, 2, 4]);
+        let joined = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(joined, t);
+    }
+
+    #[test]
+    fn stack_adds_axis() {
+        let a = Tensor::arange(3);
+        let b = Tensor::full(&[3], 7.0);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 3]);
+        assert_eq!(s.at(&[1, 1]), 7.0);
+    }
+
+    #[test]
+    fn gather_rows_picks_rows() {
+        let t = Tensor::arange(6).reshape(&[3, 2]);
+        let g = t.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.to_vec(), vec![4., 5., 0., 1., 4., 5.]);
+    }
+
+    #[test]
+    fn broadcast_to_materializes() {
+        let t = Tensor::from_vec(vec![1., 2.], &[2]);
+        let b = t.broadcast_to(&[3, 2]);
+        assert_eq!(b.to_vec(), vec![1., 2., 1., 2., 1., 2.]);
+        let s = Tensor::scalar(5.0).broadcast_to(&[2, 2]);
+        assert_eq!(s.to_vec(), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn tile_rows_repeats() {
+        let t = Tensor::arange(2).reshape(&[1, 2]);
+        let r = t.tile_rows(3);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.to_vec(), vec![0., 1., 0., 1., 0., 1.]);
+    }
+}

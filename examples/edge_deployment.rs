@@ -1,0 +1,125 @@
+//! Edge-device deployment (paper §IV-E1, Table VII): train a LiPFormer,
+//! checkpoint it to disk with the binary tensor format, reload, and compare
+//! single-sample CPU inference latency against a vanilla Transformer across
+//! growing input lengths.
+//!
+//! `cargo run --release -p lip-eval --example edge_deployment`
+
+use std::time::Instant;
+
+use lip_autograd::Graph;
+use lip_baselines::VanillaTransformer;
+use lip_data::pipeline::prepare;
+use lip_data::window::Batch;
+use lip_data::{generate, DatasetName, GeneratorConfig};
+use lip_tensor::Tensor;
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- train a small model on ETTh1-like data --------------------------
+    let dataset = generate(
+        DatasetName::ETTh1,
+        GeneratorConfig {
+            seed: 3,
+            length_scale: 0.08,
+            max_channels: 6,
+            max_len: 1200,
+        },
+    );
+    let (seq_len, pred_len) = (96, 24);
+    let prep = prepare(&dataset, seq_len, pred_len);
+    let mut config = LiPFormerConfig::small(seq_len, pred_len, prep.channels);
+    config.hidden = 32;
+    let mut model = LiPFormer::new(config, &prep.spec, 3);
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 4,
+        pretrain_epochs: 1,
+        lr: 1e-2,
+        ..TrainConfig::fast()
+    });
+    trainer.pretrain(&mut model, &prep.train);
+    trainer.fit(&mut model, &prep.train, &prep.val);
+
+    // --- checkpoint: binary-serialize every parameter tensor -------------
+    let ckpt_dir = std::env::temp_dir().join("lipformer_edge_ckpt");
+    std::fs::create_dir_all(&ckpt_dir).expect("checkpoint dir");
+    let mut bytes_written = 0usize;
+    let snapshot = model.store().snapshot();
+    for (i, tensor) in snapshot.iter().enumerate() {
+        let frame = tensor.to_bytes();
+        bytes_written += frame.len();
+        std::fs::write(ckpt_dir.join(format!("p{i}.bin")), &frame).expect("write param");
+    }
+    println!(
+        "checkpointed {} tensors ({:.1} KiB) to {}",
+        snapshot.len(),
+        bytes_written as f64 / 1024.0,
+        ckpt_dir.display()
+    );
+
+    // --- reload into a fresh model and verify identical predictions ------
+    let mut config2 = LiPFormerConfig::small(seq_len, pred_len, prep.channels);
+    config2.hidden = 32;
+    let mut reloaded = LiPFormer::new(config2, &prep.spec, 3);
+    let restored: Vec<Tensor> = (0..snapshot.len())
+        .map(|i| {
+            let raw = std::fs::read(ckpt_dir.join(format!("p{i}.bin"))).expect("read param");
+            Tensor::from_bytes(&raw[..]).expect("decode param")
+        })
+        .collect();
+    reloaded.store_mut().restore(&restored);
+    let probe = prep.test.batch(&[0]);
+    let mut rng = StdRng::seed_from_u64(0);
+    let original_pred = {
+        let mut g = Graph::new(model.store());
+        let y = model.forward(&mut g, &probe, false, &mut rng);
+        g.value(y).clone()
+    };
+    let reloaded_pred = {
+        let mut g = Graph::new(reloaded.store());
+        let y = reloaded.forward(&mut g, &probe, false, &mut rng);
+        g.value(y).clone()
+    };
+    let drift = original_pred.sub(&reloaded_pred).abs().max_value();
+    println!("checkpoint roundtrip max prediction drift: {drift:e}");
+    assert!(drift < 1e-6, "reload must reproduce the trained model");
+
+    // --- Table VII shape: inference latency vs input length --------------
+    println!("\nsingle-sample CPU inference latency (seconds):");
+    println!("  input |  Transformer |   LiPFormer | speedup");
+    for t in [96usize, 192, 336, 720] {
+        let channels = prep.channels;
+        let lip_cfg = {
+            let mut c = LiPFormerConfig::small(t, pred_len, channels);
+            c.hidden = 32;
+            c
+        };
+        let lip = LiPFormer::without_enriching(lip_cfg, 1);
+        let tf = VanillaTransformer::new(t, pred_len, channels, 32, 2, 1);
+        let batch = Batch {
+            x: Tensor::randn(&[1, t, channels], &mut rng),
+            y: Tensor::zeros(&[1, pred_len, channels]),
+            time_feats: Tensor::zeros(&[1, pred_len, 4]),
+            cov_numerical: None,
+            cov_categorical: None,
+        };
+        let time_of = |m: &dyn Forecaster| {
+            // warm-up
+            let mut r = StdRng::seed_from_u64(0);
+            let mut g = Graph::new(m.store());
+            let _ = m.forward(&mut g, &batch, false, &mut r);
+            let reps = 5;
+            let start = Instant::now();
+            for _ in 0..reps {
+                let mut g = Graph::new(m.store());
+                let _ = m.forward(&mut g, &batch, false, &mut r);
+            }
+            start.elapsed().as_secs_f64() / reps as f64
+        };
+        let t_tf = time_of(&tf);
+        let t_lip = time_of(&lip);
+        println!("  {t:>5} | {t_tf:>11.5}s | {t_lip:>10.5}s | {:>6.1}×", t_tf / t_lip);
+    }
+}

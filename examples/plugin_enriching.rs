@@ -1,0 +1,61 @@
+//! Plug-and-play weak data enriching (paper §IV-E6, Table XII): attach the
+//! dual-encoder Covariate Encoder to a *foreign* model — here the vanilla
+//! Transformer — on the Cycle (Seattle bike counts) benchmark, where weather
+//! forecasts causally drive ridership.
+//!
+//! `cargo run --release -p lip-eval --example plugin_enriching`
+
+use lip_baselines::VanillaTransformer;
+use lip_data::pipeline::prepare;
+use lip_data::{generate, DatasetName, GeneratorConfig};
+use lipformer::{ForecastMetrics, TrainConfig, Trainer, WithCovariateEncoder};
+
+fn main() {
+    let dataset = generate(
+        DatasetName::Cycle,
+        GeneratorConfig {
+            seed: 5,
+            length_scale: 0.08,
+            max_channels: 6,
+            max_len: 1500,
+        },
+    );
+    println!(
+        "Cycle: {} steps, targets {:?}, weak labels: {:?}",
+        dataset.series.len(),
+        dataset.series.channels,
+        dataset.covariates.as_ref().map(|c| c.names.clone()).unwrap_or_default()
+    );
+
+    let (seq_len, pred_len) = (96, 24);
+    let prep = prepare(&dataset, seq_len, pred_len);
+    let train_cfg = TrainConfig {
+        epochs: 6,
+        pretrain_epochs: 2,
+        lr: 5e-3,
+        ..TrainConfig::fast()
+    };
+
+    // plain Transformer
+    let mut plain = VanillaTransformer::new(seq_len, pred_len, prep.channels, 32, 2, 5);
+    let mut t1 = Trainer::new(train_cfg.clone());
+    t1.fit(&mut plain, &prep.train, &prep.val);
+    let m_plain = ForecastMetrics::evaluate(&plain, &prep.test, 64);
+
+    // the same Transformer wrapped with the Covariate Encoder
+    let host: Box<dyn lipformer::Forecaster> =
+        Box::new(VanillaTransformer::new(seq_len, pred_len, prep.channels, 32, 2, 5));
+    let mut enriched = WithCovariateEncoder::new(host, &prep.spec, pred_len, prep.channels, 24, 5);
+    let mut t2 = Trainer::new(train_cfg);
+    t2.pretrain(&mut enriched, &prep.train);
+    t2.fit(&mut enriched, &prep.train, &prep.val);
+    let m_enriched = ForecastMetrics::evaluate(&enriched, &prep.test, 64);
+
+    println!("\n                        MSE      MAE");
+    println!("Transformer           {:.4}   {:.4}", m_plain.mse, m_plain.mae);
+    println!("Transformer+CovEnc    {:.4}   {:.4}", m_enriched.mse, m_enriched.mae);
+    println!(
+        "\ntransplanting the encoder changes MSE by {:+.1}% (paper Table XII: −4% avg)",
+        100.0 * (m_enriched.mse - m_plain.mse) / m_plain.mse
+    );
+}

@@ -1,0 +1,123 @@
+//! Integration coverage of the full model zoo: every forecaster trains on
+//! the same smoke benchmark, produces finite metrics, and the efficiency
+//! relationships the paper claims hold on this substrate.
+
+use lip_data::DatasetName;
+use lip_eval::runner::{prepare_dataset, run_prepared, RunSpec};
+use lip_eval::{ModelKind, RunScale};
+
+const ALL_KINDS: [ModelKind; 10] = [
+    ModelKind::LiPFormer,
+    ModelKind::ITransformer,
+    ModelKind::TimeMixer,
+    ModelKind::Fgnn,
+    ModelKind::PatchTst,
+    ModelKind::DLinear,
+    ModelKind::Tide,
+    ModelKind::Transformer,
+    ModelKind::Informer,
+    ModelKind::Autoformer,
+];
+
+#[test]
+fn all_models_train_on_the_same_benchmark() {
+    let scale = RunScale::smoke(51);
+    let h = scale.horizons[0];
+    let (_, prep) = prepare_dataset(DatasetName::ETTh1, &scale, h, false);
+    for kind in ALL_KINDS {
+        let spec = RunSpec {
+            kind,
+            dataset: DatasetName::ETTh1,
+            pred_len: h,
+            univariate: false,
+        };
+        let r = run_prepared(&spec, &scale, &prep);
+        assert!(
+            r.mse.is_finite() && r.mse > 0.0,
+            "{kind:?}: mse {}",
+            r.mse
+        );
+        assert!(r.eff.inference_s > 0.0, "{kind:?}: timing");
+    }
+}
+
+#[test]
+fn lightweight_claims_hold_on_efficiency_metrics() {
+    // paper Challenge 1: LiPFormer ≪ Transformer in MACs and params; the
+    // patch factor drives the gap
+    let scale = RunScale::smoke(52);
+    let h = scale.horizons[0];
+    let (_, prep) = prepare_dataset(DatasetName::ETTh1, &scale, h, false);
+    let run = |kind| {
+        run_prepared(
+            &RunSpec {
+                kind,
+                dataset: DatasetName::ETTh1,
+                pred_len: h,
+                univariate: false,
+            },
+            &scale,
+            &prep,
+        )
+    };
+    let lip = run(ModelKind::LiPFormer);
+    let tf = run(ModelKind::Transformer);
+    let patch = run(ModelKind::PatchTst);
+    let dlinear = run(ModelKind::DLinear);
+
+    assert!(
+        lip.eff.macs < tf.eff.macs / 2,
+        "LiPFormer MACs {} should be far below Transformer {}",
+        lip.eff.macs,
+        tf.eff.macs
+    );
+    assert!(
+        lip.eff.params < patch.eff.params,
+        "LiPFormer params {} should undercut PatchTST {} (no LN/FFN/PE)",
+        lip.eff.params,
+        patch.eff.params
+    );
+    assert!(
+        dlinear.eff.macs < lip.eff.macs,
+        "DLinear stays the cheapest (paper: 'DLinear slightly leads in efficiency')"
+    );
+}
+
+#[test]
+fn univariate_protocol_runs_for_all_models() {
+    let scale = RunScale::smoke(53);
+    let h = scale.horizons[0];
+    let (_, prep) = prepare_dataset(DatasetName::ETTm1, &scale, h, true);
+    assert_eq!(prep.channels, 1);
+    for kind in [ModelKind::LiPFormer, ModelKind::PatchTst, ModelKind::DLinear] {
+        let r = run_prepared(
+            &RunSpec {
+                kind,
+                dataset: DatasetName::ETTm1,
+                pred_len: h,
+                univariate: true,
+            },
+            &scale,
+            &prep,
+        );
+        assert!(r.mse.is_finite(), "{kind:?}");
+    }
+}
+
+#[test]
+fn ablation_variants_change_parameter_counts() {
+    use lip_data::CovariateSpec;
+    use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+    let spec = CovariateSpec {
+        numerical: 0,
+        cardinalities: vec![],
+        time_features: 4,
+    };
+    let base = LiPFormer::new(LiPFormerConfig::small(48, 12, 2), &spec, 0).num_parameters();
+    let ffn =
+        LiPFormer::new(LiPFormerConfig::small(48, 12, 2).with_ffns(), &spec, 0).num_parameters();
+    let ln = LiPFormer::new(LiPFormerConfig::small(48, 12, 2).with_ln(), &spec, 0).num_parameters();
+    assert!(ffn > base, "+FFNs adds weight");
+    assert!(ln > base, "+LN adds γ/β");
+    assert!(ffn - base > ln - base, "FFNs are the heavier component");
+}
