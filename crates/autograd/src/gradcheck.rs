@@ -78,8 +78,8 @@ fn eval_loss(store: &ParamStore, build: &dyn Fn(&mut Graph) -> Var) -> f32 {
 mod tests {
     use super::*;
     use lip_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     fn store_with(shapes: &[&[usize]]) -> ParamStore {
         let mut rng = StdRng::seed_from_u64(17);

@@ -3,8 +3,8 @@
 use lip_autograd::gradcheck::check_gradients;
 use lip_autograd::{Graph, ParamId, ParamStore, Var};
 use lip_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 fn store1(shape: &[usize], seed: u64) -> (ParamStore, ParamId) {
     let mut rng = StdRng::seed_from_u64(seed);

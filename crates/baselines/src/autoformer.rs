@@ -10,8 +10,8 @@ use lip_data::window::Batch;
 use lip_nn::positional::SinusoidalPositionalEncoding;
 use lip_nn::{LayerNorm, Linear, MultiHeadSelfAttention};
 use lipformer::Forecaster;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lip_rng::rngs::StdRng;
+use lip_rng::{Rng, SeedableRng};
 
 struct DecompBlock {
     attn: MultiHeadSelfAttention,

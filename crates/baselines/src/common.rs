@@ -6,8 +6,8 @@
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_nn::{Activation, Dropout, FeedForward, LayerNorm, MultiHeadSelfAttention};
 use lip_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::Rng;
+use lip_rng::rngs::StdRng;
+use lip_rng::Rng;
 
 /// A post-norm Transformer encoder layer:
 /// `h = LN(x + Attn(x)); out = LN(h + FFN(h))`.
@@ -157,7 +157,7 @@ pub fn dft_matrices(n: usize) -> (Tensor, Tensor) {
 mod tests {
     use super::*;
     use lip_autograd::ParamStore;
-    use rand::SeedableRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn encoder_layer_preserves_shape() {

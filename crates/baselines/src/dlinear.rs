@@ -7,8 +7,8 @@ use lip_autograd::{Graph, ParamStore, Var};
 use lip_data::window::Batch;
 use lip_nn::Linear;
 use lipformer::Forecaster;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 use crate::common::moving_average;
 
@@ -178,4 +178,4 @@ mod tests {
 }
 
 #[cfg(test)]
-use rand::Rng;
+use lip_rng::Rng;

@@ -10,8 +10,8 @@ use lip_data::window::Batch;
 use lip_nn::Linear;
 use lip_tensor::Tensor;
 use lipformer::Forecaster;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 use crate::common::dft_matrices;
 

@@ -8,8 +8,8 @@ use lip_data::window::Batch;
 use lip_data::CovariateSpec;
 use lip_nn::{Activation, Dropout, Linear};
 use lipformer::Forecaster;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lip_rng::rngs::StdRng;
+use lip_rng::{Rng, SeedableRng};
 
 /// TiDE's residual MLP block: `out = skip(x) + drop(W₂ act(W₁ x))`.
 #[derive(Debug, Clone)]

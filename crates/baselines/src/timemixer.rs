@@ -7,8 +7,8 @@ use lip_autograd::{Graph, ParamStore, Var};
 use lip_data::window::Batch;
 use lip_nn::{Activation, Linear, Mlp};
 use lipformer::Forecaster;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 use crate::common::{avg_pool_time, moving_average};
 

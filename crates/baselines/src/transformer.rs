@@ -8,8 +8,8 @@ use lip_data::window::Batch;
 use lip_nn::positional::SinusoidalPositionalEncoding;
 use lip_nn::Linear;
 use lipformer::Forecaster;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 use crate::common::EncoderLayer;
 

@@ -2,14 +2,14 @@
 //! blocks (no LN, no FFN, no PE) vs the classic Transformer encoder layer at
 //! the same width, plus the individual Cross-/Inter-Patch costs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lip_bench::Criterion;
 use lip_autograd::{Graph, ParamStore};
 use lip_baselines::common::EncoderLayer;
 use lip_tensor::Tensor;
 use lipformer::cross_patch::CrossPatch;
 use lipformer::inter_patch::InterPatch;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 use std::time::Duration;
 
 const TOKENS: usize = 8; // patches
@@ -65,5 +65,5 @@ fn bench_blocks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_blocks);
-criterion_main!(benches);
+lip_bench::criterion_group!(benches, bench_blocks);
+lip_bench::criterion_main!(benches);

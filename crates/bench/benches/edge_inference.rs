@@ -3,13 +3,13 @@
 //! model's O(T²) attention should separate sharply from LiPFormer's
 //! O(T²/pl²) patching as T grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lip_bench::{BenchmarkId, Criterion};
 use lip_autograd::Graph;
 use lip_baselines::VanillaTransformer;
 use lip_bench::synthetic_batch;
 use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 use std::time::Duration;
 
 const PRED: usize = 24;
@@ -45,5 +45,5 @@ fn bench_edge(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_edge);
-criterion_main!(benches);
+lip_bench::criterion_group!(benches, bench_edge);
+lip_bench::criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Forward-pass latency of the full model zoo at one bench-scale task —
 //! the inference-time column of Table III in microbenchmark form.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lip_bench::Criterion;
 use lip_autograd::Graph;
 use lip_baselines::{
     Autoformer, DLinear, Fgnn, ITransformer, Informer, PatchTst, Tide, TimeMixer,
@@ -10,8 +10,8 @@ use lip_baselines::{
 use lip_bench::synthetic_batch;
 use lip_data::CovariateSpec;
 use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 use std::time::Duration;
 
 const SEQ: usize = 96;
@@ -57,5 +57,5 @@ fn bench_models(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_models);
-criterion_main!(benches);
+lip_bench::criterion_group!(benches, bench_models);
+lip_bench::criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! Substrate kernel benchmarks: matmul across the shapes the models use,
 //! softmax, and broadcast arithmetic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lip_bench::{BenchmarkId, Criterion};
 use lip_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 use std::time::Duration;
 
 fn bench_matmul(c: &mut Criterion) {
@@ -49,5 +49,5 @@ fn bench_broadcast(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_softmax, bench_broadcast);
-criterion_main!(benches);
+lip_bench::criterion_group!(benches, bench_matmul, bench_softmax, bench_broadcast);
+lip_bench::criterion_main!(benches);

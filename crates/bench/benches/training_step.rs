@@ -2,15 +2,15 @@
 //! key models — the train-seconds-per-epoch column of Table III, normalized
 //! to a single mini-batch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lip_bench::Criterion;
 use lip_autograd::Graph;
 use lip_baselines::{DLinear, PatchTst, VanillaTransformer};
 use lip_bench::synthetic_batch;
 use lip_data::CovariateSpec;
 use lip_nn::{AdamW, Optimizer};
 use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 use std::time::Duration;
 
 const SEQ: usize = 96;
@@ -63,5 +63,5 @@ fn bench_training_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training_step);
-criterion_main!(benches);
+lip_bench::criterion_group!(benches, bench_training_step);
+lip_bench::criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! # lip-bench
 //!
-//! Criterion benchmarks for the LiPFormer reproduction. The benches mirror
-//! the paper's efficiency narrative:
+//! In-tree benchmarks for the LiPFormer reproduction, timed by the
+//! [`timing`] harness (a minimal, criterion-shaped wall-clock measurer).
+//! The benches mirror the paper's efficiency narrative:
 //!
 //! * `tensor_ops` — substrate kernels (matmul, softmax, broadcasting),
 //! * `attention` — LiPFormer's FFN-less/LN-less block vs the classic
@@ -13,10 +14,14 @@
 //!
 //! Shared fixtures live here.
 
+pub mod timing;
+
+pub use timing::{BenchRecord, Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+
 use lip_data::window::Batch;
 use lip_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 /// A deterministic random batch shaped like the bench-scale tasks.
 pub fn synthetic_batch(b: usize, seq_len: usize, pred_len: usize, channels: usize) -> Batch {

@@ -1,0 +1,344 @@
+//! A minimal wall-clock timing harness replacing `criterion` for this
+//! workspace, exposing the same API surface the bench files use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`] /
+//! [`BenchmarkGroup::measurement_time`] / [`BenchmarkGroup::bench_function`]
+//! / [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros.
+//!
+//! Measurement model: one calibration call sizes the per-sample iteration
+//! count so each of the `sample_size` samples roughly fills
+//! `measurement_time / sample_size`; the reported statistic is the
+//! **median** per-iteration wall time (robust to scheduler noise), with the
+//! mean and min recorded alongside. Each group writes a JSON report to
+//! `target/lip-bench/BENCH_<group>.json` via `lip-serde` and prints a
+//! human-readable line per benchmark.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh harness with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            results: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Bench directly at the top level (no group config).
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A benchmark identifier (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// One benchmark's measured statistics, serialized into the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub id: String,
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample's seconds per iteration.
+    pub min_s: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample (calibrated).
+    pub iters_per_sample: usize,
+}
+
+lip_serde::json_struct!(BenchRecord { id, median_s, mean_s, min_s, samples, iters_per_sample });
+
+/// A named set of benchmarks sharing sampling settings (mirrors
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    results: Vec<BenchRecord>,
+    finished: bool,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time `f`, which receives a [`Bencher`] and calls [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        self.record(id.to_string(), bencher);
+        self
+    }
+
+    /// Criterion-compatible input-passing variant; the closure receives the
+    /// bencher and a reference to `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher, input);
+        self.record(id.to_string(), bencher);
+        self
+    }
+
+    fn record(&mut self, id: String, bencher: Bencher) {
+        assert!(
+            !bencher.samples.is_empty(),
+            "benchmark '{id}' never called Bencher::iter"
+        );
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median_s = sorted[sorted.len() / 2];
+        let mean_s = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let rec = BenchRecord {
+            id: format!("{}/{}", self.name, id),
+            median_s,
+            mean_s,
+            min_s: sorted[0],
+            samples: sorted.len(),
+            iters_per_sample: bencher.iters_per_sample,
+        };
+        println!(
+            "bench {:<48} median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            rec.id,
+            format_duration(rec.median_s),
+            format_duration(rec.mean_s),
+            rec.samples,
+            rec.iters_per_sample
+        );
+        self.results.push(rec);
+    }
+
+    /// Write the group's JSON report (`BENCH_<group>.json`).
+    pub fn finish(&mut self) {
+        if self.finished || self.results.is_empty() {
+            self.finished = true;
+            return;
+        }
+        self.finished = true;
+        let dir = report_dir();
+        if std::fs::create_dir_all(&dir).is_err() {
+            return; // reporting is best-effort; timing already printed
+        }
+        let sanitized: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("BENCH_{sanitized}.json"));
+        let json = lip_serde::to_string_pretty(&self.results);
+        let _ = std::fs::write(&path, json);
+        println!("bench report: {}", path.display());
+    }
+}
+
+impl Drop for BenchmarkGroup {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.finish();
+        }
+    }
+}
+
+/// Where reports go: `$CARGO_TARGET_DIR`-aware `target/lip-bench/`.
+fn report_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("lip-bench")
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Per-iteration seconds, one entry per sample.
+    samples: Vec<f64>,
+    iters_per_sample: usize,
+}
+
+impl Bencher {
+    /// Time `f`: one calibration call sizes the batch, then `sample_size`
+    /// timed batches record per-iteration wall seconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // calibration / warmup
+        let started = Instant::now();
+        std::hint::black_box(f());
+        let once = started.elapsed().max(Duration::from_nanos(50));
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (per_sample / once.as_secs_f64()).clamp(1.0, 1e7) as usize;
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let s = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(s.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: bundles bench functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: emits `main` calling each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_positive_medians() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("unit_test_group");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        assert_eq!(group.results.len(), 1);
+        let r = &group.results[0];
+        assert!(r.median_s > 0.0 && r.median_s.is_finite());
+        assert!(r.min_s <= r.median_s);
+        assert_eq!(r.samples, 3);
+        group.finished = true; // skip report I/O in unit tests
+    }
+
+    #[test]
+    fn bench_with_input_passes_reference() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("unit_test_group2");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        let data = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>());
+        });
+        assert_eq!(group.results[0].id, "unit_test_group2/sum/3");
+        group.finished = true;
+    }
+
+    #[test]
+    fn id_display_forms() {
+        assert_eq!(BenchmarkId::new("matmul", 64).to_string(), "matmul/64");
+        assert_eq!(BenchmarkId::from_parameter("64x64").to_string(), "64x64");
+    }
+
+    #[test]
+    fn record_json_roundtrips() {
+        let rec = BenchRecord {
+            id: "g/b".into(),
+            median_s: 1.5e-6,
+            mean_s: 1.6e-6,
+            min_s: 1.4e-6,
+            samples: 10,
+            iters_per_sample: 1000,
+        };
+        let text = lip_serde::to_string(&rec);
+        let back: BenchRecord = lip_serde::from_str(&text).unwrap();
+        assert_eq!(back.id, rec.id);
+        assert_eq!(back.samples, 10);
+        assert!((back.median_s - rec.median_s).abs() < 1e-12);
+    }
+}

@@ -6,8 +6,8 @@
 
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_nn::{Activation, Dropout, FeedForward, LayerNorm, Linear};
-use rand::rngs::StdRng;
-use rand::Rng;
+use lip_rng::rngs::StdRng;
+use lip_rng::Rng;
 
 use crate::config::LiPFormerConfig;
 use crate::cross_patch::CrossPatch;
@@ -165,7 +165,7 @@ mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
     use lip_tensor::Tensor;
-    use rand::SeedableRng;
+    use lip_rng::SeedableRng;
 
     fn cfg() -> LiPFormerConfig {
         let mut c = LiPFormerConfig::small(24, 12, 2);

@@ -12,14 +12,13 @@ use std::path::Path;
 
 use lip_autograd::ParamStore;
 use lip_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 use crate::config::LiPFormerConfig;
 
 const MAGIC: u32 = 0x4C49_5043; // "LIPC"
 
 /// Checkpoint metadata stored in the JSON header.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CheckpointHeader {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -30,6 +29,8 @@ pub struct CheckpointHeader {
     /// Which parameters were frozen when saved.
     pub frozen: Vec<bool>,
 }
+
+lip_serde::json_struct!(CheckpointHeader { version, config, param_names, frozen });
 
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
@@ -70,8 +71,7 @@ pub fn save(
         param_names: store.ids().map(|id| store.name(id).to_string()).collect(),
         frozen: store.ids().map(|id| store.is_frozen(id)).collect(),
     };
-    let header_json = serde_json::to_vec(&header)
-        .map_err(|e| CheckpointError::Corrupt(format!("header encode: {e}")))?;
+    let header_json = lip_serde::to_vec(&header);
 
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
     file.write_all(&MAGIC.to_le_bytes())?;
@@ -104,7 +104,7 @@ pub fn load(path: &Path) -> Result<(CheckpointHeader, Vec<Tensor>), CheckpointEr
     }
     let header_len =
         u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
-    let header: CheckpointHeader = serde_json::from_slice(take(&mut cursor, header_len)?)
+    let header: CheckpointHeader = lip_serde::from_slice(take(&mut cursor, header_len)?)
         .map_err(|e| CheckpointError::Corrupt(format!("header decode: {e}")))?;
     if header.version != 1 {
         return Err(CheckpointError::Corrupt(format!(

@@ -1,14 +1,12 @@
 //! LiPFormer hyperparameters (paper §IV-A2) plus the ablation switches used
 //! by Tables X and XI.
 
-use serde::{Deserialize, Serialize};
-
 /// Full model configuration.
 ///
 /// Paper defaults: `T = 720`, `pl = 48`, `hd = 512`, batch 256, dropout 0.5.
 /// The reduced presets keep all structural ratios while shrinking widths so
 /// the whole evaluation suite runs on CPU.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LiPFormerConfig {
     /// Input (look-back) length `T`. Must be a multiple of `patch_len`.
     pub seq_len: usize,
@@ -40,6 +38,23 @@ pub struct LiPFormerConfig {
     /// Ablation: re-insert Feed-Forward Networks (Table X).
     pub with_ffn: bool,
 }
+
+lip_serde::json_struct!(LiPFormerConfig {
+    seq_len,
+    pred_len,
+    channels,
+    patch_len,
+    hidden,
+    heads,
+    dropout,
+    smooth_l1_beta,
+    encoder_hidden,
+    categorical_embed,
+    use_cross_patch,
+    use_inter_patch,
+    with_layer_norm,
+    with_ffn,
+});
 
 impl LiPFormerConfig {
     /// The paper's default configuration for a `(T=720, L, c)` task.

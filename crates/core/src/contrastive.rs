@@ -9,7 +9,7 @@ use lip_data::CovariateSpec;
 use lip_nn::loss::{clip_logits, clip_symmetric_ce};
 use lip_nn::Linear;
 use lip_tensor::Tensor;
-use rand::Rng;
+use lip_rng::Rng;
 
 use crate::covariate_encoder::{CovariateEncoder, CovariateInput};
 use crate::target_encoder::TargetEncoder;
@@ -176,8 +176,8 @@ impl WeakEnriching {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     fn implicit_spec() -> CovariateSpec {
         CovariateSpec {

@@ -11,7 +11,7 @@
 
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_nn::{Embedding, Linear, MultiHeadSelfAttention};
-use rand::Rng;
+use lip_rng::Rng;
 
 use crate::cross_patch::compatible_heads;
 
@@ -166,8 +166,8 @@ mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
     use lip_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     fn encoder(store: &mut ParamStore, rng: &mut StdRng) -> CovariateEncoder {
         CovariateEncoder::new(store, "cov", 3, &[4, 2], 1, 6, 8, rng)

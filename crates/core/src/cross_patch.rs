@@ -12,7 +12,7 @@
 
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_nn::{Linear, MultiHeadSelfAttention};
-use rand::Rng;
+use lip_rng::Rng;
 
 /// The trend-mixing core: attention in LiPFormer proper, or a plain linear
 /// layer for the Table XI ablation ("use a linear layer instead").
@@ -120,8 +120,8 @@ mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
     use lip_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn output_shape() {

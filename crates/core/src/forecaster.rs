@@ -3,7 +3,7 @@
 
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_data::window::Batch;
-use rand::rngs::StdRng;
+use lip_rng::rngs::StdRng;
 
 /// A trainable multivariate forecaster.
 ///

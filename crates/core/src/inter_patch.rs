@@ -5,7 +5,7 @@
 
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_nn::{Linear, MultiHeadSelfAttention};
-use rand::Rng;
+use lip_rng::Rng;
 
 use crate::cross_patch::compatible_heads;
 
@@ -78,8 +78,8 @@ mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
     use lip_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn preserves_shape() {

@@ -4,8 +4,8 @@
 use lip_autograd::Graph;
 use lip_data::window::WindowDataset;
 use lip_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 use crate::forecaster::Forecaster;
 

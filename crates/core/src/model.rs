@@ -5,8 +5,8 @@ use lip_autograd::{Graph, ParamStore, Var};
 use lip_data::window::Batch;
 use lip_data::CovariateSpec;
 use lip_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 use crate::base_predictor::BasePredictor;
 use crate::config::LiPFormerConfig;

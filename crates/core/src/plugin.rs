@@ -6,8 +6,8 @@
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_data::window::Batch;
 use lip_data::CovariateSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 use crate::contrastive::WeakEnriching;
 use crate::forecaster::{Forecaster, WeaklySupervised};

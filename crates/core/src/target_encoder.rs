@@ -6,7 +6,7 @@
 
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_nn::Linear;
-use rand::Rng;
+use lip_rng::Rng;
 
 use crate::covariate_encoder::EncoderTrunk;
 
@@ -58,8 +58,8 @@ mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
     use lip_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn output_shape() {

@@ -8,15 +8,14 @@ use std::time::Instant;
 use lip_autograd::Graph;
 use lip_data::window::WindowDataset;
 use lip_nn::{AdamW, EarlyStopping, GradClip, LrSchedule, Optimizer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 use crate::forecaster::{Forecaster, WeaklySupervised};
 use crate::metrics::ForecastMetrics;
 
 /// Training hyperparameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainConfig {
     /// Prediction-training epochs (paper: 10 with early stopping).
     pub epochs: usize,
@@ -39,6 +38,19 @@ pub struct TrainConfig {
     /// Learning-rate schedule.
     pub schedule: LrSchedule,
 }
+
+lip_serde::json_struct!(TrainConfig {
+    epochs,
+    pretrain_epochs,
+    batch_size,
+    lr,
+    weight_decay,
+    patience,
+    clip,
+    smooth_l1_beta,
+    seed,
+    schedule,
+});
 
 impl TrainConfig {
     /// The paper's protocol at full scale.
@@ -75,7 +87,7 @@ impl TrainConfig {
 }
 
 /// What happened during one `fit` run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainReport {
     pub epochs_run: usize,
     pub best_epoch: usize,
@@ -89,6 +101,16 @@ pub struct TrainReport {
     /// Mean contrastive loss per pre-training epoch.
     pub pretrain_losses: Vec<f32>,
 }
+
+lip_serde::json_struct!(TrainReport {
+    epochs_run,
+    best_epoch,
+    best_val_loss,
+    train_losses,
+    val_losses,
+    epoch_seconds,
+    pretrain_losses,
+});
 
 impl TrainReport {
     /// Mean seconds per training epoch.

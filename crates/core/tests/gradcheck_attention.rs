@@ -1,0 +1,125 @@
+//! Finite-difference gradient checks for LiPFormer's two attention blocks
+//! (Cross-Patch and Inter-Patch), in both the full-attention configuration
+//! and the Table XI linear-ablation variants.
+//!
+//! Each check builds a deterministic scalar loss (mean of the block output)
+//! over a fixed random input and compares every parameter's analytic
+//! gradient against central finite differences via
+//! [`lip_autograd::gradcheck::check_gradients`].
+
+use lip_autograd::gradcheck::check_gradients;
+use lip_autograd::ParamStore;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
+use lip_tensor::Tensor;
+use lipformer::cross_patch::CrossPatch;
+use lipformer::inter_patch::InterPatch;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+/// `x: [b·c, n, pl]` fixture with modest magnitude so the finite-difference
+/// stencil stays in the well-conditioned regime of softmax.
+fn trend_input(bc: usize, n: usize, pl: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(&[bc, n, pl], &mut rng).mul_scalar(0.5)
+}
+
+#[test]
+fn cross_patch_attention_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let block = CrossPatch::new(&mut store, "cp", 4, 3, 4, 2, true, &mut rng);
+    let x = trend_input(2, 4, 3, 101);
+    check_gradients(
+        &mut store,
+        &move |g| {
+            let xv = g.constant(x.clone());
+            let out = block.forward(g, xv);
+            g.mean(out)
+        },
+        EPS,
+        TOL,
+    )
+    .unwrap();
+}
+
+#[test]
+fn cross_patch_linear_ablation_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut store = ParamStore::new();
+    let block = CrossPatch::new(&mut store, "cp_lin", 4, 3, 4, 2, false, &mut rng);
+    let x = trend_input(2, 4, 3, 102);
+    check_gradients(
+        &mut store,
+        &move |g| {
+            let xv = g.constant(x.clone());
+            let out = block.forward(g, xv);
+            g.mean(out)
+        },
+        EPS,
+        TOL,
+    )
+    .unwrap();
+}
+
+#[test]
+fn inter_patch_attention_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut store = ParamStore::new();
+    let block = InterPatch::new(&mut store, "ip", 4, 2, true, &mut rng);
+    let h = trend_input(2, 4, 4, 103);
+    check_gradients(
+        &mut store,
+        &move |g| {
+            let hv = g.constant(h.clone());
+            let out = block.forward(g, hv);
+            g.mean(out)
+        },
+        EPS,
+        TOL,
+    )
+    .unwrap();
+}
+
+#[test]
+fn inter_patch_linear_ablation_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut store = ParamStore::new();
+    let block = InterPatch::new(&mut store, "ip_lin", 4, 2, false, &mut rng);
+    let h = trend_input(2, 4, 4, 104);
+    check_gradients(
+        &mut store,
+        &move |g| {
+            let hv = g.constant(h.clone());
+            let out = block.forward(g, hv);
+            g.mean(out)
+        },
+        EPS,
+        TOL,
+    )
+    .unwrap();
+}
+
+/// The two blocks composed, as they appear in the model (Eq. 1 then Eq. 2):
+/// Cross-Patch output feeds Inter-Patch; gradients must flow through both.
+#[test]
+fn stacked_cross_then_inter_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(15);
+    let mut store = ParamStore::new();
+    let cross = CrossPatch::new(&mut store, "s.cp", 4, 3, 4, 2, true, &mut rng);
+    let inter = InterPatch::new(&mut store, "s.ip", 4, 2, true, &mut rng);
+    let x = trend_input(2, 4, 3, 105);
+    check_gradients(
+        &mut store,
+        &move |g| {
+            let xv = g.constant(x.clone());
+            let mid = cross.forward(g, xv);
+            let out = inter.forward(g, mid);
+            g.mean(out)
+        },
+        EPS,
+        TOL,
+    )
+    .unwrap();
+}

@@ -1,15 +1,21 @@
-//! Property-based tests on LiPFormer's architectural invariants.
+//! Property-based tests on LiPFormer's architectural invariants, on the
+//! in-tree `lip_rng::prop_check!` harness (fixed seeds, exact replay).
 
 use lip_autograd::Graph;
 use lip_data::window::Batch;
 use lip_data::CovariateSpec;
+use lip_rng::prop_check;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 use lip_tensor::Tensor;
 use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn tiny_config(seq_len: usize, pred_len: usize, channels: usize, patch_len: usize) -> LiPFormerConfig {
+fn tiny_config(
+    seq_len: usize,
+    pred_len: usize,
+    channels: usize,
+    patch_len: usize,
+) -> LiPFormerConfig {
     let mut c = LiPFormerConfig::small(seq_len, pred_len, channels);
     c.patch_len = patch_len;
     c.hidden = 8;
@@ -38,35 +44,33 @@ fn spec() -> CovariateSpec {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn forward_shape_for_any_geometry(
-        n_patches in 2usize..6,
-        patch_len in prop::sample::select(vec![2usize, 3, 4]),
-        pred_len in 1usize..10,
-        channels in 1usize..4,
-        b in 1usize..4,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn forward_shape_for_any_geometry() {
+    prop_check!(cases = 12, seed = 0xC001, |g| {
+        let n_patches = g.usize_in(2, 6);
+        let patch_len = g.pick(&[2usize, 3, 4]);
+        let pred_len = g.usize_in(1, 10);
+        let channels = g.usize_in(1, 4);
+        let b = g.usize_in(1, 4);
+        let seed = g.u64_in(0, 100);
         let seq_len = n_patches * patch_len;
         let cfg = tiny_config(seq_len, pred_len, channels, patch_len);
         let model = LiPFormer::new(cfg.clone(), &spec(), seed);
         let batch = batch_for(&cfg, b, seed);
         let mut rng = StdRng::seed_from_u64(0);
-        let mut g = Graph::new(model.store());
-        let y = model.forward(&mut g, &batch, false, &mut rng);
-        prop_assert_eq!(g.shape(y), &[b, pred_len, channels]);
-        prop_assert!(!g.value(y).has_non_finite());
-    }
+        let mut graph = Graph::new(model.store());
+        let y = model.forward(&mut graph, &batch, false, &mut rng);
+        assert_eq!(graph.shape(y), &[b, pred_len, channels]);
+        assert!(!graph.value(y).has_non_finite());
+    });
+}
 
-    #[test]
-    fn level_shift_equivariance_holds_universally(
-        offset in -50.0f32..50.0,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn level_shift_equivariance_holds_universally() {
+    prop_check!(cases = 12, seed = 0xC002, |g| {
         // instance norm ⇒ predict(x + k) == predict(x) + k for the base model
+        let offset = g.f32_in(-50.0, 50.0);
+        let seed = g.u64_in(0, 100);
         let cfg = tiny_config(12, 6, 2, 3);
         let model = LiPFormer::without_enriching(cfg.clone(), seed);
         let batch = batch_for(&cfg, 2, seed);
@@ -76,57 +80,68 @@ proptest! {
         };
         let run = |b: &Batch| {
             let mut rng = StdRng::seed_from_u64(0);
-            let mut g = Graph::new(model.store());
-            let y = model.forward(&mut g, b, false, &mut rng);
-            g.value(y).clone()
+            let mut graph = Graph::new(model.store());
+            let y = model.forward(&mut graph, b, false, &mut rng);
+            graph.value(y).clone()
         };
         let base = run(&batch);
         let moved = run(&shifted);
         let err = moved.sub(&base.add_scalar(offset)).abs().max_value();
-        prop_assert!(err < 2e-2 * (1.0 + offset.abs()), "equivariance error {err}");
-    }
+        assert!(err < 2e-2 * (1.0 + offset.abs()), "equivariance error {err}");
+    });
+}
 
-    #[test]
-    fn eval_mode_is_deterministic(seed in 0u64..200) {
+#[test]
+fn eval_mode_is_deterministic() {
+    prop_check!(cases = 12, seed = 0xC003, |g| {
+        let seed = g.u64_in(0, 200);
         let cfg = tiny_config(12, 4, 1, 3);
         let model = LiPFormer::new(cfg.clone(), &spec(), seed);
         let batch = batch_for(&cfg, 2, seed);
         let run = |rng_seed: u64| {
             let mut rng = StdRng::seed_from_u64(rng_seed);
-            let mut g = Graph::new(model.store());
-            let y = model.forward(&mut g, &batch, false, &mut rng);
-            g.value(y).clone()
+            let mut graph = Graph::new(model.store());
+            let y = model.forward(&mut graph, &batch, false, &mut rng);
+            graph.value(y).clone()
         };
-        prop_assert_eq!(run(1), run(12345));
-    }
+        assert_eq!(run(1), run(12345));
+    });
+}
 
-    #[test]
-    fn gradients_are_finite_for_any_seed(seed in 0u64..100) {
+#[test]
+fn gradients_are_finite_for_any_seed() {
+    prop_check!(cases = 12, seed = 0xC004, |g| {
+        let seed = g.u64_in(0, 100);
         let cfg = tiny_config(12, 4, 2, 3);
         let model = LiPFormer::new(cfg.clone(), &spec(), seed);
         let batch = batch_for(&cfg, 3, seed);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut g = Graph::new(model.store());
-        let pred = model.forward(&mut g, &batch, true, &mut rng);
-        let target = g.constant(batch.y.clone());
-        let loss = g.smooth_l1_loss(pred, target, 1.0);
-        let grads = g.backward(loss);
+        let mut graph = Graph::new(model.store());
+        let pred = model.forward(&mut graph, &batch, true, &mut rng);
+        let target = graph.constant(batch.y.clone());
+        let loss = graph.smooth_l1_loss(pred, target, 1.0);
+        let grads = graph.backward(loss);
         for id in model.store().ids() {
             if let Some(grad) = grads.for_param(id) {
-                prop_assert!(!grad.has_non_finite(), "non-finite grad on {}", model.store().name(id));
+                assert!(
+                    !grad.has_non_finite(),
+                    "non-finite grad on {}",
+                    model.store().name(id)
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn parameter_count_independent_of_channel_count_in_backbone(
-        c1 in 1usize..4,
-        c2 in 4usize..8,
-    ) {
+#[test]
+fn parameter_count_independent_of_channel_count_in_backbone() {
+    prop_check!(cases = 12, seed = 0xC005, |g| {
         // channel independence: backbone weights are shared across channels,
         // so only the enriching mapping scales with c
+        let c1 = g.usize_in(1, 4);
+        let c2 = g.usize_in(4, 8);
         let base1 = LiPFormer::without_enriching(tiny_config(12, 4, c1, 3), 0);
         let base2 = LiPFormer::without_enriching(tiny_config(12, 4, c2, 3), 0);
-        prop_assert_eq!(base1.num_parameters(), base2.num_parameters());
-    }
+        assert_eq!(base1.num_parameters(), base2.num_parameters());
+    });
 }

@@ -2,10 +2,8 @@
 //! the temporal weak labels the paper augments (hour of day, day of week,
 //! day of month, month of year, holidays) without a chrono dependency.
 
-use serde::{Deserialize, Serialize};
-
 /// Sampling interval of a time series.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Frequency {
     /// 5-minute sampling.
     Min5,
@@ -37,8 +35,16 @@ impl Frequency {
     }
 }
 
+lip_serde::json_unit_enum!(Frequency {
+    Min5,
+    Min10,
+    Min15,
+    Hourly,
+    Daily,
+});
+
 /// A broken-down timestamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DateTime {
     pub year: i32,
     /// 1..=12
@@ -52,6 +58,8 @@ pub struct DateTime {
     /// 0 = Monday … 6 = Sunday
     pub weekday: u32,
 }
+
+lip_serde::json_struct!(DateTime { year, month, day, hour, minute, weekday });
 
 /// Days from civil epoch 1970-01-01 (Howard Hinnant's algorithm).
 fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
@@ -80,13 +88,15 @@ fn civil_from_days(z: i64) -> (i32, u32, u32) {
 
 /// A start timestamp plus a sampling frequency: maps step indices to
 /// broken-down timestamps.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Calendar {
     /// Minutes since the civil epoch of step 0.
     start_minutes: i64,
     /// Sampling interval.
     pub freq: Frequency,
 }
+
+lip_serde::json_struct!(Calendar { start_minutes, freq });
 
 impl Calendar {
     /// Calendar starting at `year-month-day hour:00` with interval `freq`.

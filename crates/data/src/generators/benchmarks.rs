@@ -3,8 +3,8 @@
 //! trend) with channel-private AR(2) noise, with the mixture weights and
 //! noise levels tuned per dataset family.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lip_rng::rngs::StdRng;
+use lip_rng::{Rng, SeedableRng};
 
 use lip_tensor::Tensor;
 

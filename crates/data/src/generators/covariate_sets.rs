@@ -5,8 +5,8 @@
 //! variation (especially sudden changes) that history alone cannot — the
 //! paper's central inductive bias (§I, Challenge 2).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 use lip_tensor::Tensor;
 

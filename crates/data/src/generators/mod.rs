@@ -12,14 +12,12 @@ mod signal;
 
 pub use signal::SignalBuilder;
 
-use serde::{Deserialize, Serialize};
-
 use crate::calendar::Frequency;
 use crate::dataset::BenchmarkDataset;
 use crate::split::SplitRatio;
 
 /// The nine benchmarks of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetName {
     ETTh1,
     ETTh2,
@@ -31,6 +29,18 @@ pub enum DatasetName {
     ElectriPrice,
     Cycle,
 }
+
+lip_serde::json_unit_enum!(DatasetName {
+    ETTh1,
+    ETTh2,
+    ETTm1,
+    ETTm2,
+    Weather,
+    Electricity,
+    Traffic,
+    ElectriPrice,
+    Cycle,
+});
 
 impl DatasetName {
     /// All nine benchmarks, in the paper's column order.
@@ -131,7 +141,7 @@ impl DatasetName {
 /// shrinks lengths and caps channel counts so the full experiment suite runs
 /// in CPU-minutes (relative comparisons are unaffected — every model sees the
 /// same data).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct GeneratorConfig {
     /// RNG seed (every experiment fixes this).
     pub seed: u64,
@@ -142,6 +152,8 @@ pub struct GeneratorConfig {
     /// Upper bound on generated timestamps (after `length_scale`).
     pub max_len: usize,
 }
+
+lip_serde::json_struct!(GeneratorConfig { seed, length_scale, max_channels, max_len });
 
 impl GeneratorConfig {
     /// Full Table II sizes.

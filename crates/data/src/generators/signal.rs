@@ -2,8 +2,8 @@
 //! seasonality locked to the calendar, AR(2) noise, random-walk trends and
 //! regime shifts.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use lip_rng::rngs::StdRng;
+use lip_rng::Rng;
 
 use crate::calendar::{Calendar, Frequency};
 
@@ -152,17 +152,16 @@ pub fn mix_into(dst: &mut [f32], src: &[f32], w: f32) {
     }
 }
 
-/// One standard-normal sample (Box–Muller, single value).
+/// One standard-normal sample (Box–Muller, consolidated in `lip-rng` so
+/// tensor init and signal synthesis share one definition).
 pub fn gauss(rng: &mut StdRng) -> f32 {
-    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-    let u2: f32 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    rng.next_normal_f32()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn daily_repeats_every_day() {

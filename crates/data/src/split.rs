@@ -2,23 +2,25 @@
 //! the Informer-style look-back overlap: validation and test segments begin
 //! `seq_len` steps early so their first windows have full history.
 
-use serde::{Deserialize, Serialize};
-
 /// Which split a window sampler draws from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Split {
     Train,
     Val,
     Test,
 }
 
+lip_serde::json_unit_enum!(Split { Train, Val, Test });
+
 /// A train:val:test ratio.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SplitRatio {
     pub train: f32,
     pub val: f32,
     pub test: f32,
 }
+
+lip_serde::json_struct!(SplitRatio { train, val, test });
 
 impl SplitRatio {
     /// 6:2:2 — the ETT datasets.

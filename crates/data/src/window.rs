@@ -5,8 +5,8 @@
 //! set of windows into the `[b, T, c]` tensors the models consume.
 
 use lip_tensor::Tensor;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use lip_rng::seq::SliceRandom;
+use lip_rng::Rng;
 
 use crate::dataset::CovariateSet;
 
@@ -169,8 +169,8 @@ impl WindowDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     fn toy() -> WindowDataset {
         // values[t, 0] = t, values[t, 1] = 100 + t

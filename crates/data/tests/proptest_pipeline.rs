@@ -1,71 +1,70 @@
-//! Property-based tests on the data pipeline's invariants.
+//! Property-based tests on the data pipeline's invariants, on the in-tree
+//! `lip_rng::prop_check!` harness (fixed seeds, exact replay).
 
 use lip_data::calendar::{Calendar, Frequency};
 use lip_data::scaler::StandardScaler;
 use lip_data::split::{split_borders, Split, SplitRatio};
 use lip_data::timefeatures;
 use lip_data::window::WindowDataset;
+use lip_rng::{prop_assume, prop_check};
 use lip_tensor::Tensor;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn scaler_roundtrip_is_identity(
-        rows in 2usize..20,
-        cols in 1usize..5,
-        seed in 0u64..500,
-    ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let x = Tensor::randn(&[rows, cols], &mut rng).mul_scalar(3.0).add_scalar(5.0);
+#[test]
+fn scaler_roundtrip_is_identity() {
+    prop_check!(cases = 48, seed = 0xD001, |g| {
+        let rows = g.usize_in(2, 20);
+        let cols = g.usize_in(1, 5);
+        let x = Tensor::randn(&[rows, cols], g.rng())
+            .mul_scalar(3.0)
+            .add_scalar(5.0);
         let sc = StandardScaler::fit(&x);
         let back = sc.inverse_transform(&sc.transform(&x));
         for (a, b) in back.data().iter().zip(x.data()) {
-            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+            assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn scaled_train_split_is_standardized(
-        rows in 30usize..100,
-        seed in 0u64..200,
-    ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let x = Tensor::randn(&[rows, 2], &mut rng).mul_scalar(7.0);
+#[test]
+fn scaled_train_split_is_standardized() {
+    prop_check!(cases = 48, seed = 0xD002, |g| {
+        let rows = g.usize_in(30, 100);
+        let x = Tensor::randn(&[rows, 2], g.rng()).mul_scalar(7.0);
         let sc = StandardScaler::fit(&x);
         let z = sc.transform(&x);
         for ch in 0..2 {
             let col: Vec<f32> = (0..rows).map(|r| z.at(&[r, ch])).collect();
             let mean: f32 = col.iter().sum::<f32>() / rows as f32;
-            prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+            assert!(mean.abs() < 1e-3, "mean {mean}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn split_borders_partition_and_overlap(
-        total in 100usize..5000,
-        seq_len in 1usize..50,
-    ) {
+#[test]
+fn split_borders_partition_and_overlap() {
+    prop_check!(cases = 64, seed = 0xD003, |g| {
+        let total = g.usize_in(100, 5000);
+        let seq_len = g.usize_in(1, 50);
         for ratio in [SplitRatio::ETT, SplitRatio::LARGE] {
             let (ts, te) = split_borders(total, ratio, Split::Train, seq_len);
             let (vs, ve) = split_borders(total, ratio, Split::Val, seq_len);
             let (xs, xe) = split_borders(total, ratio, Split::Test, seq_len);
-            prop_assert_eq!(ts, 0);
-            prop_assert_eq!(xe, total);
+            assert_eq!(ts, 0);
+            assert_eq!(xe, total);
             // val/test start exactly seq_len before the previous split's end
-            prop_assert_eq!(vs, te.saturating_sub(seq_len));
-            prop_assert_eq!(xs, ve.saturating_sub(seq_len));
-            prop_assert!(te <= ve && ve <= xe);
+            assert_eq!(vs, te.saturating_sub(seq_len));
+            assert_eq!(xs, ve.saturating_sub(seq_len));
+            assert!(te <= ve && ve <= xe);
         }
-    }
+    });
+}
 
-    #[test]
-    fn window_count_formula(
-        span in 1usize..200,
-        seq_len in 1usize..20,
-        pred_len in 1usize..20,
-    ) {
+#[test]
+fn window_count_formula() {
+    prop_check!(cases = 64, seed = 0xD004, |g| {
+        let span = g.usize_in(1, 200);
+        let seq_len = g.usize_in(1, 20);
+        let pred_len = g.usize_in(1, 20);
         let ds = WindowDataset::new(
             Tensor::zeros(&[span, 1]),
             Tensor::zeros(&[span, 4]),
@@ -75,15 +74,16 @@ proptest! {
             (0, span),
         );
         let expected = span.saturating_sub(seq_len + pred_len - 1);
-        prop_assert_eq!(ds.len(), expected);
-    }
+        assert_eq!(ds.len(), expected);
+    });
+}
 
-    #[test]
-    fn windows_tile_the_series_contiguously(
-        start in 0usize..30,
-        seq_len in 1usize..8,
-        pred_len in 1usize..8,
-    ) {
+#[test]
+fn windows_tile_the_series_contiguously() {
+    prop_check!(cases = 64, seed = 0xD005, |g| {
+        let start = g.usize_in(0, 30);
+        let seq_len = g.usize_in(1, 8);
+        let pred_len = g.usize_in(1, 8);
         let total = 64usize;
         let series: Vec<f32> = (0..total).map(|i| i as f32).collect();
         let ds = WindowDataset::new(
@@ -98,24 +98,22 @@ proptest! {
         for i in [0, ds.len() / 2, ds.len() - 1] {
             let b = ds.batch(&[i]);
             // x begins at (start + i) and y follows immediately
-            prop_assert_eq!(b.x.at(&[0, 0, 0]) as usize, start + i);
-            prop_assert_eq!(
-                b.y.at(&[0, 0, 0]) as usize,
-                start + i + seq_len
-            );
+            assert_eq!(b.x.at(&[0, 0, 0]) as usize, start + i);
+            assert_eq!(b.y.at(&[0, 0, 0]) as usize, start + i + seq_len);
         }
-    }
+    });
+}
 
-    #[test]
-    fn calendar_steps_are_monotone_and_bounded(
-        idx in 0usize..100_000,
-    ) {
+#[test]
+fn calendar_steps_are_monotone_and_bounded() {
+    prop_check!(cases = 64, seed = 0xD006, |g| {
+        let idx = g.usize_in(0, 100_000);
         let cal = Calendar::ett_default(Frequency::Min15);
         let d = cal.at(idx);
-        prop_assert!((1..=12).contains(&d.month));
-        prop_assert!((1..=31).contains(&d.day));
-        prop_assert!(d.hour < 24 && d.minute < 60);
-        prop_assert!(d.weekday < 7);
+        assert!((1..=12).contains(&d.month));
+        assert!((1..=31).contains(&d.day));
+        assert!(d.hour < 24 && d.minute < 60);
+        assert!(d.weekday < 7);
         // next step never goes backwards in (day, hour, minute) encoding
         let n = cal.at(idx + 1);
         let enc = |x: lip_data::calendar::DateTime| {
@@ -125,14 +123,17 @@ proptest! {
                 + (x.hour as i64) * 60
                 + x.minute as i64
         };
-        prop_assert!(enc(n) > enc(d));
-    }
+        assert!(enc(n) > enc(d));
+    });
+}
 
-    #[test]
-    fn time_features_bounded_everywhere(idx in 0usize..200_000) {
+#[test]
+fn time_features_bounded_everywhere() {
+    prop_check!(cases = 64, seed = 0xD007, |g| {
+        let idx = g.usize_in(0, 200_000);
         let cal = Calendar::ett_default(Frequency::Hourly);
         for f in timefeatures::encode_step(&cal, idx) {
-            prop_assert!((-0.5..=0.5).contains(&f), "{f}");
+            assert!((-0.5..=0.5).contains(&f), "{f}");
         }
-    }
+    });
 }

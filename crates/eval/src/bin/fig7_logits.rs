@@ -18,11 +18,8 @@ use lip_eval::heatmap::{ascii_heatmap, diagonal_dominance, dominant_period, save
 use lip_eval::table::{results_dir, save_json};
 use lip_eval::RunScale;
 use lipformer::{LiPFormer, LiPFormerConfig, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 struct LogitsStats {
     panel: String,
     dataset: String,
@@ -31,6 +28,8 @@ struct LogitsStats {
     dominant_period: usize,
     expected_period: usize,
 }
+
+lip_serde::json_struct!(LogitsStats { panel, dataset, batch, diagonal_dominance, dominant_period, expected_period });
 
 fn main() {
     let mut scale = RunScale::from_env(2034);

@@ -23,8 +23,8 @@ use lip_data::pipeline::prepare;
 use lip_data::split::SplitRatio;
 use lipformer::checkpoint;
 use lipformer::{ForecastMetrics, Forecaster, LiPFormer, LiPFormerConfig, TrainConfig, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 struct Args {
     command: String,

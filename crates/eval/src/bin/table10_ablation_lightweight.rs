@@ -10,9 +10,6 @@ use lip_data::{generate, DatasetName};
 use lip_eval::table::{render_table, save_json, Row};
 use lip_eval::RunScale;
 use lipformer::{ForecastMetrics, Forecaster, LiPFormer, LiPFormerConfig, Trainer};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct AblationResult {
     variant: String,
     dataset: String,
@@ -21,6 +18,8 @@ struct AblationResult {
     mae: f32,
     params: usize,
 }
+
+lip_serde::json_struct!(AblationResult { variant, dataset, pred_len, mse, mae, params });
 
 fn main() {
     let scale = RunScale::from_env(2030);

@@ -10,15 +10,14 @@ use lip_data::{generate, DatasetName};
 use lip_eval::table::{render_table, save_json, Row};
 use lip_eval::RunScale;
 use lipformer::{ForecastMetrics, LiPFormer, LiPFormerConfig, Trainer};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct AttnAblation {
     variant: String,
     dataset: String,
     mse: f32,
     mae: f32,
 }
+
+lip_serde::json_struct!(AttnAblation { variant, dataset, mse, mae });
 
 fn main() {
     let scale = RunScale::from_env(2031);

@@ -9,9 +9,6 @@ use lip_eval::runner::prepare_dataset;
 use lip_eval::table::{render_table, save_json, Row};
 use lip_eval::{AnyModel, ModelKind, RunScale};
 use lipformer::{ForecastMetrics, Trainer};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct PluginResult {
     model: String,
     pred_len: usize,
@@ -19,6 +16,8 @@ struct PluginResult {
     mse: f32,
     mae: f32,
 }
+
+lip_serde::json_struct!(PluginResult { model, pred_len, with_encoder, mse, mae });
 
 fn main() {
     let mut scale = RunScale::from_env(2032);

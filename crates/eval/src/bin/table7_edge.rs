@@ -15,11 +15,8 @@ use lip_eval::runner::format_count;
 use lip_eval::table::{render_table, save_json, Row};
 use lip_eval::{AnyModel, ModelKind, RunScale};
 use lip_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 struct EdgeResult {
     dataset: String,
     model: String,
@@ -27,6 +24,8 @@ struct EdgeResult {
     seconds: f64,
     macs: u64,
 }
+
+lip_serde::json_struct!(EdgeResult { dataset, model, input_len, seconds, macs });
 
 fn main() {
     let scale = RunScale::from_env(2027);

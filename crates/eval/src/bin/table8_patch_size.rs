@@ -9,9 +9,6 @@ use lip_data::{generate, DatasetName};
 use lip_eval::table::{render_table, save_json, Row};
 use lip_eval::RunScale;
 use lipformer::{ForecastMetrics, LiPFormer, LiPFormerConfig, Trainer};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct PatchResult {
     dataset: String,
     patch_len: usize,
@@ -19,6 +16,8 @@ struct PatchResult {
     mse: f32,
     mae: f32,
 }
+
+lip_serde::json_struct!(PatchResult { dataset, patch_len, pred_len, mse, mae });
 
 fn main() {
     let scale = RunScale::from_env(2028);

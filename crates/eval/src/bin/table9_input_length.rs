@@ -9,15 +9,14 @@ use lip_data::DatasetName;
 use lip_eval::runner::{run_one, RunSpec};
 use lip_eval::table::{mark_best, render_table, save_json, Row};
 use lip_eval::{ModelKind, RunScale};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct InputLenResult {
     dataset: String,
     model: String,
     input_len: usize,
     mse: f32,
 }
+
+lip_serde::json_struct!(InputLenResult { dataset, model, input_len, mse });
 
 fn main() {
     let base = RunScale::from_env(2029);

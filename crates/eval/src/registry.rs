@@ -10,12 +10,11 @@ use lipformer::{
     Forecaster, LiPFormer, LiPFormerConfig, TrainReport, Trainer,
     WithCovariateEncoder,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::scale::RunScale;
 
 /// Every model the harness can run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     LiPFormer,
     /// LiPFormer without the weak-enriching module (Table VI / Fig. 6).
@@ -30,6 +29,20 @@ pub enum ModelKind {
     Informer,
     Autoformer,
 }
+
+lip_serde::json_unit_enum!(ModelKind {
+    LiPFormer,
+    LiPFormerBase,
+    ITransformer,
+    TimeMixer,
+    Fgnn,
+    PatchTst,
+    DLinear,
+    Tide,
+    Transformer,
+    Informer,
+    Autoformer,
+});
 
 impl ModelKind {
     /// Table III's model columns, in paper order.

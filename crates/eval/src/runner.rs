@@ -9,16 +9,15 @@ use lip_data::pipeline::{prepare, PreparedData};
 use lip_data::window::WindowDataset;
 use lip_data::{generate, BenchmarkDataset, DatasetName};
 use lipformer::{ForecastMetrics, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 use crate::registry::{AnyModel, ModelKind};
 use crate::scale::RunScale;
 
 /// Efficiency measurements (the paper's Table III "Efficiency" columns,
 /// measured with batch 32 per §IV-A2).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct EffMetrics {
     /// Training seconds per epoch.
     pub train_s_per_epoch: f64,
@@ -30,8 +29,10 @@ pub struct EffMetrics {
     pub params: usize,
 }
 
+lip_serde::json_struct!(EffMetrics { train_s_per_epoch, inference_s, macs, params });
+
 /// One experiment outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     pub model: String,
     pub dataset: String,
@@ -42,6 +43,17 @@ pub struct RunResult {
     pub eff: EffMetrics,
     pub epochs_run: usize,
 }
+
+lip_serde::json_struct!(RunResult {
+    model,
+    dataset,
+    seq_len,
+    pred_len,
+    mse,
+    mae,
+    eff,
+    epochs_run,
+});
 
 /// What to run.
 #[derive(Debug, Clone)]

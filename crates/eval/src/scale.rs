@@ -6,10 +6,9 @@
 
 use lip_data::GeneratorConfig;
 use lipformer::TrainConfig;
-use serde::{Deserialize, Serialize};
 
 /// Sizing profile for one experiment suite.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunScale {
     /// Profile name recorded in result files.
     pub name: String,
@@ -26,6 +25,16 @@ pub struct RunScale {
     /// Training protocol.
     pub train: TrainConfig,
 }
+
+lip_serde::json_struct!(RunScale {
+    name,
+    gen,
+    seq_len,
+    horizons,
+    hidden,
+    encoder_hidden,
+    train,
+});
 
 impl RunScale {
     /// CI-speed profile (~seconds per training run).

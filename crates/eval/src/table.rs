@@ -3,7 +3,7 @@
 
 use std::path::{Path, PathBuf};
 
-use serde::Serialize;
+use lip_serde::ToJson;
 
 /// One rendered row: a label plus formatted cells.
 #[derive(Debug, Clone)]
@@ -88,9 +88,9 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Persist a serializable result set to `results/<name>.json`.
-pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+pub fn save_json<T: ToJson>(name: &str, value: &T) -> PathBuf {
     let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    let json = lip_serde::to_string_pretty(value);
     std::fs::write(&path, json).expect("write results file");
     path
 }
@@ -129,7 +129,7 @@ mod tests {
     fn save_json_roundtrip() {
         let path = save_json("test_save", &vec![1, 2, 3]);
         let text = std::fs::read_to_string(&path).unwrap();
-        let back: Vec<i32> = serde_json::from_str(&text).unwrap();
+        let back: Vec<i32> = lip_serde::from_str(&text).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
         std::fs::remove_file(path).ok();
     }

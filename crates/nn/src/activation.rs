@@ -1,10 +1,9 @@
 //! Activation functions as a small enum so layer configs stay serializable.
 
 use lip_autograd::{Graph, Var};
-use serde::{Deserialize, Serialize};
 
 /// Pointwise nonlinearity selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Activation {
     /// Pass-through (purely linear stacks, as in DLinear).
     Identity,
@@ -18,6 +17,14 @@ pub enum Activation {
     /// Logistic sigmoid.
     Sigmoid,
 }
+
+lip_serde::json_unit_enum!(Activation {
+    Identity,
+    Relu,
+    Gelu,
+    Tanh,
+    Sigmoid,
+});
 
 impl Activation {
     /// Record the activation on the tape.
@@ -75,8 +82,9 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let json = serde_json::to_string(&Activation::Gelu).unwrap();
-        let back: Activation = serde_json::from_str(&json).unwrap();
+        let json = lip_serde::to_string(&Activation::Gelu);
+        assert_eq!(json, "\"Gelu\"");
+        let back: Activation = lip_serde::from_str(&json).unwrap();
         assert_eq!(back, Activation::Gelu);
     }
 }

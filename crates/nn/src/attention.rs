@@ -4,7 +4,7 @@
 //! the vanilla softmax attention of Eq. 2) and by every Transformer baseline.
 
 use lip_autograd::{Graph, ParamStore, Var};
-use rand::Rng;
+use lip_rng::Rng;
 
 use crate::Linear;
 
@@ -109,8 +109,8 @@ mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
     use lip_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn forward_preserves_shape() {

@@ -2,7 +2,7 @@
 
 use lip_autograd::{Graph, Var};
 use lip_tensor::Tensor;
-use rand::Rng;
+use lip_rng::Rng;
 
 /// Inverted dropout: at train time each element is zeroed with probability
 /// `p` and survivors are scaled by `1/(1-p)`; at eval time it is the identity.
@@ -42,8 +42,8 @@ impl Dropout {
 mod tests {
     use super::*;
     use lip_autograd::{Graph, ParamStore};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn eval_mode_is_identity() {

@@ -3,7 +3,7 @@
 
 use lip_autograd::{Graph, ParamId, ParamStore, Var};
 use lip_tensor::Tensor;
-use rand::Rng;
+use lip_rng::Rng;
 
 /// A `[vocab, dim]` lookup table with gradient support via row gather.
 #[derive(Debug, Clone)]
@@ -67,8 +67,8 @@ impl Embedding {
 mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn lookup_shapes() {

@@ -3,7 +3,7 @@
 //! used by the baselines and by the `+FFNs` ablation variants of Table X.
 
 use lip_autograd::{Graph, ParamStore, Var};
-use rand::Rng;
+use lip_rng::Rng;
 
 use crate::{Activation, Linear};
 
@@ -47,8 +47,8 @@ mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
     use lip_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn preserves_width() {

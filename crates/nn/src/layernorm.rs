@@ -54,8 +54,8 @@ impl LayerNorm {
 mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn output_rows_are_standardized() {

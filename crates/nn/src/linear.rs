@@ -2,7 +2,7 @@
 
 use lip_autograd::{Graph, ParamId, ParamStore, Var};
 use lip_tensor::Tensor;
-use rand::Rng;
+use lip_rng::Rng;
 
 /// Affine map over the last axis of its input: `[.., in] → [.., out]`.
 ///
@@ -83,8 +83,8 @@ impl Linear {
 mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn forward_shapes() {

@@ -62,8 +62,8 @@ mod tests {
     use lip_autograd::gradcheck::check_gradients;
     use lip_autograd::ParamStore;
     use lip_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn normalized_rows_are_unit() {

@@ -2,7 +2,7 @@
 //! Transformer components (single-layer MLPs stand in for FFNs).
 
 use lip_autograd::{Graph, ParamStore, Var};
-use rand::Rng;
+use lip_rng::Rng;
 
 use crate::{Activation, Linear};
 
@@ -68,8 +68,8 @@ mod tests {
     use super::*;
     use lip_autograd::gradcheck::check_gradients;
     use lip_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn single_layer_is_linear() {

@@ -5,7 +5,7 @@
 
 use lip_autograd::{Graph, ParamId, ParamStore, Var};
 use lip_tensor::Tensor;
-use rand::Rng;
+use lip_rng::Rng;
 
 /// The sinusoidal encoding of "Attention Is All You Need".
 #[derive(Debug, Clone)]
@@ -83,8 +83,8 @@ impl LearnedPositionalEncoding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn sinusoidal_first_row_is_sin_cos_of_zero() {

@@ -1,9 +1,9 @@
 //! Learning-rate schedules, driven per epoch by the trainers.
 
-use serde::{Deserialize, Serialize};
+use lip_serde::{FromJson, Json, JsonError, ToJson};
 
 /// Learning-rate schedule selector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LrSchedule {
     /// Fixed learning rate.
     Constant,
@@ -11,6 +11,54 @@ pub enum LrSchedule {
     StepDecay { every: usize, gamma: f32 },
     /// Cosine anneal from the base LR to `min_lr` over `total` epochs.
     Cosine { total: usize, min_lr: f32 },
+}
+
+// Externally tagged (the representation `serde` used): `"Constant"` for the
+// unit variant, `{"StepDecay":{"every":..,"gamma":..}}` for data variants.
+impl ToJson for LrSchedule {
+    fn to_json(&self) -> Json {
+        match *self {
+            LrSchedule::Constant => Json::Str("Constant".to_string()),
+            LrSchedule::StepDecay { every, gamma } => Json::Object(vec![(
+                "StepDecay".to_string(),
+                Json::Object(vec![
+                    ("every".to_string(), every.to_json()),
+                    ("gamma".to_string(), gamma.to_json()),
+                ]),
+            )]),
+            LrSchedule::Cosine { total, min_lr } => Json::Object(vec![(
+                "Cosine".to_string(),
+                Json::Object(vec![
+                    ("total".to_string(), total.to_json()),
+                    ("min_lr".to_string(), min_lr.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for LrSchedule {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Ok(tag) = v.as_str() {
+            return match tag {
+                "Constant" => Ok(LrSchedule::Constant),
+                other => Err(JsonError::new(format!("unknown LrSchedule '{other}'"))),
+            };
+        }
+        if let Some(body) = v.get("StepDecay") {
+            return Ok(LrSchedule::StepDecay {
+                every: body.field("every")?,
+                gamma: body.field("gamma")?,
+            });
+        }
+        if let Some(body) = v.get("Cosine") {
+            return Ok(LrSchedule::Cosine {
+                total: body.field("total")?,
+                min_lr: body.field("min_lr")?,
+            });
+        }
+        Err(JsonError::new("unrecognized LrSchedule value"))
+    }
 }
 
 impl LrSchedule {
@@ -70,5 +118,19 @@ mod tests {
     fn cosine_past_total_clamps() {
         let s = LrSchedule::Cosine { total: 5, min_lr: 0.0 };
         assert_eq!(s.lr_at(0.1, 50), s.lr_at(0.1, 4));
+    }
+
+    #[test]
+    fn json_roundtrip_all_variants() {
+        for s in [
+            LrSchedule::Constant,
+            LrSchedule::StepDecay { every: 3, gamma: 0.5 },
+            LrSchedule::Cosine { total: 10, min_lr: 0.001 },
+        ] {
+            let text = lip_serde::to_string(&s);
+            let back: LrSchedule = lip_serde::from_str(&text).unwrap();
+            assert_eq!(back, s, "{text}");
+        }
+        assert_eq!(lip_serde::to_string(&LrSchedule::Constant), "\"Constant\"");
     }
 }

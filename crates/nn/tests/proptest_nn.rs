@@ -1,21 +1,17 @@
 //! Property-based tests for the NN toolkit: optimizer convergence on random
-//! quadratics, layer shape algebra, loss-function identities.
+//! quadratics, layer shape algebra, loss-function identities. Ported to the
+//! in-tree `lip_rng::prop_check!` harness (fixed seeds, exact replay).
 
 use lip_autograd::{Graph, ParamStore};
 use lip_nn::{Activation, AdamW, Linear, Mlp, Optimizer, Sgd};
+use lip_rng::prop_check;
 use lip_tensor::Tensor;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn sgd_descends_any_convex_quadratic(
-        target in -5.0f32..5.0,
-        start in -5.0f32..5.0,
-    ) {
+#[test]
+fn sgd_descends_any_convex_quadratic() {
+    prop_check!(cases = 16, seed = 0xA001, |g| {
+        let target = g.f32_in(-5.0, 5.0);
+        let start = g.f32_in(-5.0, 5.0);
         let mut store = ParamStore::new();
         let w = store.add("w", Tensor::scalar(start));
         let mut opt = Sgd::new(0.1, 0.0);
@@ -30,18 +26,17 @@ proptest! {
             grads.apply_to(&mut store);
             opt.step(&mut store);
         }
-        prop_assert!((store.value(w).item() - target).abs() < 1e-2);
-    }
+        assert!((store.value(w).item() - target).abs() < 1e-2);
+    });
+}
 
-    #[test]
-    fn adamw_descends_multidimensional_quadratics(
-        seed in 0u64..300,
-        dim in 1usize..6,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let target = Tensor::randn(&[dim], &mut rng);
+#[test]
+fn adamw_descends_multidimensional_quadratics() {
+    prop_check!(cases = 16, seed = 0xA002, |g| {
+        let dim = g.usize_in(1, 6);
+        let target = Tensor::randn(&[dim], g.rng());
         let mut store = ParamStore::new();
-        let w = store.add("w", Tensor::randn(&[dim], &mut rng));
+        let w = store.add("w", Tensor::randn(&[dim], g.rng()));
         let mut opt = AdamW::new(0.1, 0.0);
         let loss_at = |store: &ParamStore| {
             let mut g = Graph::new(store);
@@ -62,77 +57,76 @@ proptest! {
             grads.apply_to(&mut store);
             opt.step(&mut store);
         }
-        prop_assert!(loss_at(&store) < initial.max(1e-4), "loss did not fall");
-    }
+        assert!(loss_at(&store) < initial.max(1e-4), "loss did not fall");
+    });
+}
 
-    #[test]
-    fn linear_preserves_leading_shape(
-        b in 1usize..5,
-        s in 1usize..5,
-        fin in 1usize..6,
-        fout in 1usize..6,
-    ) {
-        let mut rng = StdRng::seed_from_u64(1);
+#[test]
+fn linear_preserves_leading_shape() {
+    prop_check!(cases = 16, seed = 0xA003, |g| {
+        let b = g.usize_in(1, 5);
+        let s = g.usize_in(1, 5);
+        let fin = g.usize_in(1, 6);
+        let fout = g.usize_in(1, 6);
         let mut store = ParamStore::new();
-        let lin = Linear::new(&mut store, "l", fin, fout, true, &mut rng);
-        let mut g = Graph::new(&store);
-        let x = g.constant(Tensor::zeros(&[b, s, fin]));
-        let y = lin.forward(&mut g, x);
-        prop_assert_eq!(g.shape(y), &[b, s, fout]);
-    }
+        let lin = Linear::new(&mut store, "l", fin, fout, true, g.rng());
+        let mut graph = Graph::new(&store);
+        let x = graph.constant(Tensor::zeros(&[b, s, fin]));
+        let y = lin.forward(&mut graph, x);
+        assert_eq!(graph.shape(y), &[b, s, fout]);
+    });
+}
 
-    #[test]
-    fn mlp_composition_matches_widths(
-        widths in prop::collection::vec(1usize..8, 2..5),
-    ) {
-        let mut rng = StdRng::seed_from_u64(2);
+#[test]
+fn mlp_composition_matches_widths() {
+    prop_check!(cases = 16, seed = 0xA004, |g| {
+        let depth = g.usize_in(2, 5);
+        let widths = g.vec_usize(depth, 1, 8);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, "m", &widths, Activation::Relu, &mut rng);
-        prop_assert_eq!(mlp.in_features(), widths[0]);
-        prop_assert_eq!(mlp.out_features(), *widths.last().unwrap());
-        prop_assert_eq!(mlp.depth(), widths.len() - 1);
-        let mut g = Graph::new(&store);
-        let x = g.constant(Tensor::zeros(&[3, widths[0]]));
-        let y = mlp.forward(&mut g, x);
-        prop_assert_eq!(g.shape(y), &[3, *widths.last().unwrap()]);
-    }
+        let mlp = Mlp::new(&mut store, "m", &widths, Activation::Relu, g.rng());
+        assert_eq!(mlp.in_features(), widths[0]);
+        assert_eq!(mlp.out_features(), *widths.last().unwrap());
+        assert_eq!(mlp.depth(), widths.len() - 1);
+        let mut graph = Graph::new(&store);
+        let x = graph.constant(Tensor::zeros(&[3, widths[0]]));
+        let y = mlp.forward(&mut graph, x);
+        assert_eq!(graph.shape(y), &[3, *widths.last().unwrap()]);
+    });
+}
 
-    #[test]
-    fn smooth_l1_between_mae_halved_and_mse_halved(
-        seed in 0u64..200,
-    ) {
+#[test]
+fn smooth_l1_between_mae_halved_and_mse_halved() {
+    prop_check!(cases = 16, seed = 0xA005, |g| {
         // elementwise: ½e²/β ≤ smooth ≤ |e| for β = 1, and smooth → |e|−½ for
         // large errors; check the loss stays between ½·MSE and MAE
-        let mut rng = StdRng::seed_from_u64(seed);
-        let p = Tensor::randn(&[24], &mut rng);
-        let t = Tensor::randn(&[24], &mut rng);
+        let p = Tensor::randn(&[24], g.rng());
+        let t = Tensor::randn(&[24], g.rng());
         let store = ParamStore::new();
-        let mut g = Graph::new(&store);
-        let pv = g.constant(p.clone());
-        let tv = g.constant(t.clone());
-        let smooth = g.smooth_l1_loss(pv, tv, 1.0);
+        let mut graph = Graph::new(&store);
+        let pv = graph.constant(p.clone());
+        let tv = graph.constant(t.clone());
+        let smooth = graph.smooth_l1_loss(pv, tv, 1.0);
         let mae = p.sub(&t).abs().mean().item();
         let mse = p.sub(&t).square().mean().item();
-        let s = g.value(smooth).item();
-        prop_assert!(s <= mae + 1e-5, "smooth {s} > mae {mae}");
-        prop_assert!(s <= 0.5 * mse + mae, "upper bound sanity");
-        prop_assert!(s >= 0.0);
-    }
+        let s = graph.value(smooth).item();
+        assert!(s <= mae + 1e-5, "smooth {s} > mae {mae}");
+        assert!(s <= 0.5 * mse + mae, "upper bound sanity");
+        assert!(s >= 0.0);
+    });
+}
 
-    #[test]
-    fn grad_clip_never_increases_norm(
-        seed in 0u64..200,
-        max_norm in 0.1f32..10.0,
-    ) {
+#[test]
+fn grad_clip_never_increases_norm() {
+    prop_check!(cases = 16, seed = 0xA006, |g| {
         use lip_nn::GradClip;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let max_norm = g.f32_in(0.1, 10.0);
         let mut store = ParamStore::new();
         let w = store.add("w", Tensor::zeros(&[8]));
-        store.accumulate_grad(w, &Tensor::randn(&[8], &mut rng).mul_scalar(5.0));
+        store.accumulate_grad(w, &Tensor::randn(&[8], g.rng()).mul_scalar(5.0));
         let before = store.grad_l2_norm();
         GradClip::new(max_norm).apply(&mut store);
         let after = store.grad_l2_norm();
-        prop_assert!(after <= before + 1e-5);
-        prop_assert!(after <= max_norm + 1e-4);
-    }
+        assert!(after <= before + 1e-5);
+        assert!(after <= max_norm + 1e-4);
+    });
 }

@@ -1,0 +1,310 @@
+//! # lip-rng
+//!
+//! Deterministic, dependency-free pseudo-randomness for the whole workspace.
+//!
+//! The crate deliberately mirrors the slice of the `rand` crate API that the
+//! workspace used before going hermetic, so call sites migrate mechanically:
+//!
+//! * [`rngs::StdRng`] — the workspace's standard generator
+//!   (xoshiro256\*\* seeded through SplitMix64),
+//! * [`SeedableRng::seed_from_u64`] — one `u64` seed → a full 256-bit state,
+//! * [`Rng`] — the sampling trait (`next_u64`, `gen`, `gen_range`,
+//!   `gen_bool`, `fill_f32`, Box–Muller normals),
+//! * [`seq::SliceRandom`] — Fisher–Yates shuffling.
+//!
+//! Everything is reproducible: the same seed yields the same byte stream on
+//! every platform (the core is pure integer arithmetic; float conversion
+//! uses fixed 24-/53-bit mantissa scaling).
+//!
+//! The [`prop`] module hosts the in-tree property-testing harness (the
+//! [`prop_check!`] macro) used by the `proptest_*.rs` suites.
+
+pub mod prop;
+pub mod seq;
+
+mod splitmix;
+mod xoshiro;
+
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256StarStar;
+
+/// `rand`-compatible module path for the workspace's standard generator.
+pub mod rngs {
+    /// The workspace's standard RNG: xoshiro256\*\* behind SplitMix64 seeding.
+    pub type StdRng = super::Xoshiro256StarStar;
+}
+
+/// Construction from a single `u64` seed (SplitMix64 state expansion).
+pub trait SeedableRng: Sized {
+    /// Expand `seed` into the generator's full state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling of a primitive from an RNG's raw `u64` stream.
+pub trait Sample: Sized {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with a full 24-bit mantissa.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with a full 53-bit mantissa.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types usable as `gen_range(low..high)` bounds.
+pub trait SampleRange: Copy + PartialOrd {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low < high, "empty gen_range");
+                let span = (high as i128 - low as i128) as u128;
+                // Lemire-style widening multiply: unbiased enough for any
+                // span below 2^64 and branch-free.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (low as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(usize, u64, u32, i64, i32, u8, u16, i8, i16);
+
+impl SampleRange for f32 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let r: f32 = f32::sample(rng);
+        let v = low + r * (high - low);
+        // guard against `low + r*(high-low)` rounding up to `high`
+        if v >= high {
+            f32::from_bits(high.to_bits().wrapping_sub(1))
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let r: f64 = f64::sample(rng);
+        let v = low + r * (high - low);
+        if v >= high {
+            f64::from_bits(high.to_bits().wrapping_sub(1))
+        } else {
+            v
+        }
+    }
+}
+
+/// The sampling trait. One required method — everything else derives from
+/// the raw `u64` stream, so any generator stays drop-in swappable.
+pub trait Rng {
+    /// The next 64 raw bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a primitive uniformly (`f32`/`f64` land in `[0, 1)`).
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from `[low, high)` (half-open, like `rand`).
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+
+    /// Fill `dst` with uniform `[0, 1)` samples.
+    fn fill_f32(&mut self, dst: &mut [f32])
+    where
+        Self: Sized,
+    {
+        for v in dst.iter_mut() {
+            *v = f32::sample(self);
+        }
+    }
+
+    /// One standard-normal sample (Box–Muller; the sine partner is
+    /// discarded, so use [`Rng::fill_normal_f32`] for bulk generation).
+    fn next_normal_f32(&mut self) -> f32
+    where
+        Self: Sized,
+    {
+        box_muller(self).0
+    }
+
+    /// Fill `dst` with standard-normal samples, consuming Box–Muller pairs.
+    fn fill_normal_f32(&mut self, dst: &mut [f32])
+    where
+        Self: Sized,
+    {
+        let mut i = 0;
+        while i < dst.len() {
+            let (a, b) = box_muller(self);
+            dst[i] = a;
+            if i + 1 < dst.len() {
+                dst[i + 1] = b;
+            }
+            i += 2;
+        }
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// One Box–Muller transform: two independent standard normals from two
+/// uniforms. Consolidated here so tensor init and the synthetic-signal
+/// generators share one definition (and one RNG-consumption pattern).
+#[inline]
+pub fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> (f32, f32) {
+    let u1 = f32::sample(rng).max(f32::EPSILON); // keep ln() finite
+    let u2 = f32::sample(rng);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_stream_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        // SplitMix64 expansion must never hand xoshiro an all-zero state
+        let mut r = StdRng::seed_from_u64(0);
+        assert!((0..8).any(|_| r.next_u64() != 0));
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f32 = r.gen();
+            assert!((0.0..1.0).contains(&x), "{x}");
+            let y: f64 = r.gen();
+            assert!((0.0..1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-5.0f32..5.0);
+            assert!((-5.0..5.0).contains(&v));
+            let i = r.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_int_span() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mut buf = vec![0.0f32; 50_000];
+        r.fill_f32(&mut buf);
+        let mean: f32 = buf.iter().sum::<f32>() / buf.len() as f32;
+        assert!((mean - 0.5).abs() < 5e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn normals_have_unit_variance() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut buf = vec![0.0f32; 50_000];
+        r.fill_normal_f32(&mut buf);
+        let mean: f32 = buf.iter().sum::<f32>() / buf.len() as f32;
+        let var: f32 =
+            buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / buf.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(8);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn rng_usable_through_mut_reference() {
+        fn takes_rng(rng: &mut impl Rng) -> f32 {
+            rng.gen_range(0.0f32..1.0)
+        }
+        let mut r = StdRng::seed_from_u64(9);
+        let by_ref = &mut r;
+        let v = takes_rng(by_ref);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

@@ -1,0 +1,194 @@
+//! A tiny, seeded property-testing harness replacing `proptest` for this
+//! workspace.
+//!
+//! Differences from proptest, by design:
+//!
+//! * **no shrinking** — every case derives its RNG stream from
+//!   `SplitMix64::derive(suite_seed, case_index)`, so a failure report
+//!   (`case i, seed s`) is already a minimal, exactly-replayable repro;
+//! * **fixed seeds** — suites pass an explicit seed, so CI runs are
+//!   bit-identical across machines and time;
+//! * **generators are methods** on [`Gen`] instead of combinator strategies.
+//!
+//! ```
+//! use lip_rng::prop_check;
+//!
+//! prop_check!(cases = 64, seed = 0xC0FFEE, |g| {
+//!     let n = g.usize_in(1, 10);
+//!     let v = g.vec_f32(n, -1.0, 1.0);
+//!     assert_eq!(v.len(), n);
+//! });
+//! ```
+
+use crate::rngs::StdRng;
+use crate::{Rng, SeedableRng, SplitMix64};
+
+/// Per-case random-input generator handed to the `prop_check!` body.
+pub struct Gen {
+    rng: StdRng,
+    /// Which case of the suite this is (0-based).
+    pub case: usize,
+    /// The derived seed this case's stream started from.
+    pub case_seed: u64,
+}
+
+impl Gen {
+    fn new(case: usize, case_seed: u64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(case_seed),
+            case,
+            case_seed,
+        }
+    }
+
+    /// The case's underlying RNG, for APIs that take `&mut impl Rng`.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// A vector of `n` uniform `f32`s in `[lo, hi)`.
+    pub fn vec_f32(&mut self, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..n).map(|_| self.rng.gen_range(lo..hi)).collect()
+    }
+
+    /// A vector of `n` uniform `usize`s in `[lo, hi)`.
+    pub fn vec_usize(&mut self, n: usize, lo: usize, hi: usize) -> Vec<usize> {
+        (0..n).map(|_| self.rng.gen_range(lo..hi)).collect()
+    }
+
+    /// A random tensor shape: rank in `[min_rank, max_rank)`, each dim in
+    /// `[1, max_dim)`.
+    pub fn shape(&mut self, min_rank: usize, max_rank: usize, max_dim: usize) -> Vec<usize> {
+        let rank = self.usize_in(min_rank, max_rank);
+        self.vec_usize(rank, 1, max_dim)
+    }
+
+    /// A uniformly chosen element of `choices`.
+    pub fn pick<T: Copy>(&mut self, choices: &[T]) -> T {
+        assert!(!choices.is_empty(), "pick from empty slice");
+        choices[self.usize_in(0, choices.len())]
+    }
+}
+
+/// Drive `body` over `cases` independent cases. On panic, re-raises with the
+/// case index and derived seed so the failure replays exactly.
+pub fn run_cases<F>(cases: usize, seed: u64, mut body: F)
+where
+    F: FnMut(&mut Gen),
+{
+    assert!(cases > 0, "prop_check needs at least one case");
+    for case in 0..cases {
+        let case_seed = SplitMix64::derive(seed, case as u64);
+        let mut g = Gen::new(case, case_seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut g)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "property failed at case {case}/{cases} (replay seed {case_seed:#x}): {msg}"
+            );
+        }
+    }
+}
+
+/// Run a property over many seeded random cases.
+///
+/// `cases` and `seed` are required; the body is a closure over a [`Gen`].
+/// Use ordinary `assert!`/`assert_eq!` inside the body, and
+/// [`prop_assume!`](crate::prop_assume) to skip vacuous cases.
+#[macro_export]
+macro_rules! prop_check {
+    (cases = $cases:expr, seed = $seed:expr, |$g:ident| $body:block) => {
+        $crate::prop::run_cases($cases, $seed, |$g: &mut $crate::prop::Gen| $body)
+    };
+}
+
+/// Skip the current case when a precondition does not hold (the closure
+/// returns early; the case still counts toward the total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bodies_run_for_every_case() {
+        let mut count = 0usize;
+        crate::prop_check!(cases = 17, seed = 1, |g| {
+            let _ = g.usize_in(0, 10);
+            count += 1;
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn cases_draw_distinct_streams() {
+        let mut firsts = Vec::new();
+        crate::prop_check!(cases = 8, seed = 2, |g| {
+            firsts.push(g.u64_in(0, u64::MAX));
+        });
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 8, "independent case streams");
+    }
+
+    #[test]
+    fn failure_reports_case_and_seed() {
+        let r = std::panic::catch_unwind(|| {
+            crate::prop_check!(cases = 5, seed = 3, |g| {
+                assert!(g.case < 3, "boom at case {}", g.case);
+            });
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("case 3/5"), "{msg}");
+        assert!(msg.contains("replay seed"), "{msg}");
+        assert!(msg.contains("boom at case 3"), "{msg}");
+    }
+
+    #[test]
+    fn assume_skips_but_continues() {
+        let mut ran = 0usize;
+        crate::prop_check!(cases = 20, seed = 4, |g| {
+            let n = g.usize_in(0, 10);
+            crate::prop_assume!(n % 2 == 0);
+            ran += 1;
+            assert!(n % 2 == 0);
+        });
+        assert!(ran > 0 && ran < 20, "some cases skipped, some ran: {ran}");
+    }
+
+    #[test]
+    fn suite_is_replayable() {
+        let collect = || {
+            let mut v = Vec::new();
+            crate::prop_check!(cases = 6, seed = 9, |g| {
+                v.push((g.case_seed, g.f32_in(-1.0, 1.0)));
+            });
+            v
+        };
+        assert_eq!(collect(), collect());
+    }
+}

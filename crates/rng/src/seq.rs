@@ -1,0 +1,87 @@
+//! Sequence-level randomness: Fisher–Yates shuffling and uniform element
+//! choice, mirroring the `rand` crate's `SliceRandom` for the methods the
+//! workspace uses.
+
+use crate::Rng;
+
+/// Shuffling and element choice on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// In-place Fisher–Yates shuffle (uniform over all permutations).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        // classic downward Fisher–Yates: swap i with a uniform j in [0, i]
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0usize..i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0usize..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "virtually impossible");
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<usize> = (0..32).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn choose_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn singleton_and_empty_shuffle_are_noops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut one = [7];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [7]);
+        let mut none: [i32; 0] = [];
+        none.shuffle(&mut rng);
+    }
+}

@@ -1,0 +1,86 @@
+//! xoshiro256\*\* — Blackman & Vigna's all-purpose 256-bit generator
+//! (public-domain reference: <https://prng.di.unimi.it/xoshiro256starstar.c>).
+//! Period 2^256 − 1, passes BigCrush, four words of state, ~1 ns per call.
+
+use crate::{Rng, SeedableRng, SplitMix64};
+
+/// The workspace's standard generator (exposed as [`crate::rngs::StdRng`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Build from a full 256-bit state. At least one word must be non-zero.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+        Xoshiro256StarStar { s }
+    }
+
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    /// SplitMix64 state expansion, as recommended by the xoshiro authors.
+    /// SplitMix64 is equidistributed, so the four words can never all be
+    /// zero — every `u64` (including 0) is a valid seed.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [sm.next(), sm.next(), sm.next(), sm.next()],
+        }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector() {
+        // from the reference C implementation: state {1,2,3,4} produces
+        // 11520, 0, 1509978240, 1215971899390074240 ...
+        let mut r = Xoshiro256StarStar::from_state([1, 2, 3, 4]);
+        assert_eq!(r.next_u64(), 11520);
+        assert_eq!(r.next_u64(), 0);
+        assert_eq!(r.next_u64(), 1509978240);
+        assert_eq!(r.next_u64(), 1215971899390074240);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_state_rejected() {
+        Xoshiro256StarStar::from_state([0; 4]);
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(99);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

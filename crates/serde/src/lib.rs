@@ -1,0 +1,530 @@
+//! # lip-serde
+//!
+//! Minimal, dependency-free JSON for the workspace: checkpoint headers,
+//! layer/config round-trips and the `results/*.json` tables all go through
+//! this crate instead of `serde`/`serde_json`.
+//!
+//! Three pieces:
+//!
+//! * [`Json`] — an owned JSON value (objects preserve insertion order, so
+//!   written files are stable and diffable),
+//! * [`ToJson`] / [`FromJson`] — derive-free conversion traits, with the
+//!   [`json_struct!`] and [`json_unit_enum!`] macros generating impls for
+//!   plain named-field structs and unit-variant enums,
+//! * [`to_string`] / [`to_string_pretty`] / [`to_vec`] / [`from_str`] /
+//!   [`from_slice`] — the `serde_json`-shaped entry points.
+//!
+//! Intentional limits (documented, not accidental): numbers are `u64`/`i64`/
+//! `f64` (no arbitrary precision), non-finite floats serialize as `null`,
+//! and decoding is strict about types but lenient about extra object keys —
+//! the forward-compatibility behaviour checkpoints rely on.
+
+mod parse;
+mod write;
+
+pub use parse::parse;
+
+/// An owned JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(Num),
+    Str(String),
+    Array(Vec<Json>),
+    /// Key–value pairs in insertion order (no map: order stability matters
+    /// more than lookup speed at these sizes).
+    Object(Vec<(String, Json)>),
+}
+
+/// A JSON number, kept in its narrowest faithful representation so `u64`
+/// seeds and MAC counts survive beyond the 2^53 float window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+/// Decode / encode failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Object lookup by key (None on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Decode a required object field.
+    pub fn field<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field '{key}'")))?;
+        T::from_json(v).map_err(|e| JsonError::new(format!("field '{key}': {}", e.msg)))
+    }
+
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(type_err("bool", other)),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(type_err("string", other)),
+        }
+    }
+
+    pub fn as_array(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Array(v) => Ok(v),
+            other => Err(type_err("array", other)),
+        }
+    }
+
+    pub fn as_object(&self) -> Result<&[(String, Json)], JsonError> {
+        match self {
+            Json::Object(v) => Ok(v),
+            other => Err(type_err("object", other)),
+        }
+    }
+
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(Num::F(f)) => Ok(*f),
+            Json::Num(Num::U(u)) => Ok(*u as f64),
+            Json::Num(Num::I(i)) => Ok(*i as f64),
+            other => Err(type_err("number", other)),
+        }
+    }
+
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::Num(Num::U(u)) => Ok(*u),
+            Json::Num(Num::I(i)) if *i >= 0 => Ok(*i as u64),
+            Json::Num(Num::F(f)) if *f >= 0.0 && f.fract() == 0.0 && *f < 2f64.powi(53) => {
+                Ok(*f as u64)
+            }
+            other => Err(type_err("unsigned integer", other)),
+        }
+    }
+
+    pub fn as_i64(&self) -> Result<i64, JsonError> {
+        match self {
+            Json::Num(Num::I(i)) => Ok(*i),
+            Json::Num(Num::U(u)) if *u <= i64::MAX as u64 => Ok(*u as i64),
+            Json::Num(Num::F(f)) if f.fract() == 0.0 && f.abs() < 2f64.powi(53) => Ok(*f as i64),
+            other => Err(type_err("integer", other)),
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        write::write_compact(self, &mut out);
+        out
+    }
+
+    /// Indented multi-line rendering (2 spaces, `serde_json`-style).
+    pub fn dump_pretty(&self) -> String {
+        let mut out = String::new();
+        write::write_pretty(self, 0, &mut out);
+        out
+    }
+}
+
+fn type_err(wanted: &str, got: &Json) -> JsonError {
+    let kind = match got {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Array(_) => "array",
+        Json::Object(_) => "object",
+    };
+    JsonError::new(format!("expected {wanted}, found {kind}"))
+}
+
+/// Encode `self` as a [`Json`] value.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+/// Decode `Self` from a [`Json`] value.
+pub trait FromJson: Sized {
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool()
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+macro_rules! json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json { Json::Num(Num::U(*self as u64)) }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let u = v.as_u64()?;
+                <$t>::try_from(u).map_err(|_| JsonError::new(
+                    format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json { Json::Num(Num::I(*self as i64)) }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let i = v.as_i64()?;
+                <$t>::try_from(i).map_err(|_| JsonError::new(
+                    format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+json_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(Num::F(*self))
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        // shortest decimal that round-trips the f32, parsed as f64: keeps
+        // files human-readable ("0.1", not "0.10000000149011612") while
+        // `as f32` on decode restores the exact bits
+        let shortest: f64 = format!("{self:?}").parse().unwrap_or(f64::from(*self));
+        Json::Num(Num::F(shortest))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+// ------------------------------------------------------------- entry points
+
+/// Compact encoding, `serde_json::to_string`-shaped.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().dump()
+}
+
+/// Pretty (2-space indented) encoding.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().dump_pretty()
+}
+
+/// Compact encoding as UTF-8 bytes.
+pub fn to_vec<T: ToJson + ?Sized>(value: &T) -> Vec<u8> {
+    to_string(value).into_bytes()
+}
+
+/// Parse and decode from a `&str`.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(s)?)
+}
+
+/// Parse and decode from UTF-8 bytes.
+pub fn from_slice<T: FromJson>(bytes: &[u8]) -> Result<T, JsonError> {
+    let s = std::str::from_utf8(bytes).map_err(|e| JsonError::new(format!("not utf-8: {e}")))?;
+    from_str(s)
+}
+
+// ------------------------------------------------------------------- macros
+
+/// Generate [`ToJson`] + [`FromJson`] for a named-field struct. Decoding
+/// ignores unknown keys (forward compatible) and requires every listed field.
+///
+/// ```
+/// #[derive(Debug, PartialEq)]
+/// struct Point { x: f32, y: f32, label: String }
+/// lip_serde::json_struct!(Point { x, y, label });
+///
+/// let p = Point { x: 1.0, y: -2.5, label: "a".into() };
+/// let back: Point = lip_serde::from_str(&lip_serde::to_string(&p)).unwrap();
+/// assert_eq!(back, p);
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Object(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $name {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok(Self { $($field: v.field(stringify!($field))?,)+ })
+            }
+        }
+    };
+}
+
+/// Generate [`ToJson`] + [`FromJson`] for a unit-variant enum, encoded as
+/// the variant name string (the representation `serde` used for these
+/// enums, so existing result files stay readable).
+///
+/// ```
+/// #[derive(Debug, PartialEq, Clone, Copy)]
+/// enum Color { Red, Green }
+/// lip_serde::json_unit_enum!(Color { Red, Green });
+///
+/// assert_eq!(lip_serde::to_string(&Color::Red), "\"Red\"");
+/// let c: Color = lip_serde::from_str("\"Green\"").unwrap();
+/// assert_eq!(c, Color::Green);
+/// ```
+#[macro_export]
+macro_rules! json_unit_enum {
+    ($name:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Str(match self {
+                    $($name::$variant => stringify!($variant).to_string(),)+
+                })
+            }
+        }
+        impl $crate::FromJson for $name {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                match v.as_str()? {
+                    $(stringify!($variant) => Ok($name::$variant),)+
+                    other => Err($crate::JsonError::new(format!(
+                        "unknown {} variant '{other}'", stringify!($name)))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(to_string(&-7i32), "-7");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&"hi"), "\"hi\"");
+        assert_eq!(from_str::<bool>("false").unwrap(), false);
+        assert_eq!(from_str::<usize>("123").unwrap(), 123);
+        assert_eq!(from_str::<f32>("0.25").unwrap(), 0.25);
+        assert_eq!(from_str::<String>("\"x\\ny\"").unwrap(), "x\ny");
+    }
+
+    #[test]
+    fn f32_stays_short_and_exact() {
+        let v = 0.1f32;
+        let s = to_string(&v);
+        assert_eq!(s, "0.1");
+        assert_eq!(from_str::<f32>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let seed = u64::MAX - 3;
+        let s = to_string(&seed);
+        assert_eq!(from_str::<u64>(&s).unwrap(), seed);
+    }
+
+    #[test]
+    fn vec_and_option() {
+        let v = vec![1usize, 2, 3];
+        assert_eq!(to_string(&v), "[1,2,3]");
+        assert_eq!(from_str::<Vec<usize>>("[1,2,3]").unwrap(), v);
+        assert_eq!(to_string(&Option::<u32>::None), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("9").unwrap(), Some(9));
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        n: usize,
+        name: String,
+        ratio: f32,
+        flags: Vec<bool>,
+    }
+    json_struct!(Demo { n, name, ratio, flags });
+
+    #[test]
+    fn struct_macro_roundtrip() {
+        let d = Demo {
+            n: 8,
+            name: "patch".into(),
+            ratio: 0.5,
+            flags: vec![true, false],
+        };
+        let s = to_string(&d);
+        assert_eq!(s, r#"{"n":8,"name":"patch","ratio":0.5,"flags":[true,false]}"#);
+        assert_eq!(from_str::<Demo>(&s).unwrap(), d);
+    }
+
+    #[test]
+    fn struct_decode_ignores_unknown_keys() {
+        let s = r#"{"n":1,"name":"x","ratio":2.0,"flags":[],"future_field":99}"#;
+        assert_eq!(from_str::<Demo>(s).unwrap().n, 1);
+    }
+
+    #[test]
+    fn struct_decode_reports_missing_field() {
+        let e = from_str::<Demo>(r#"{"n":1}"#).unwrap_err();
+        assert!(e.to_string().contains("missing field 'name'"), "{e}");
+    }
+
+    #[derive(Debug, PartialEq, Clone, Copy)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+    json_unit_enum!(Mode { Fast, Slow });
+
+    #[test]
+    fn enum_macro_roundtrip() {
+        assert_eq!(to_string(&Mode::Fast), "\"Fast\"");
+        assert_eq!(from_str::<Mode>("\"Slow\"").unwrap(), Mode::Slow);
+        assert!(from_str::<Mode>("\"Medium\"").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let d = Demo {
+            n: 2,
+            name: "p".into(),
+            ratio: 1.0,
+            flags: vec![true],
+        };
+        let pretty = to_string_pretty(&d);
+        assert!(pretty.contains("\n  \"n\": 2"), "{pretty}");
+        assert_eq!(from_str::<Demo>(&pretty).unwrap(), d);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&f64::INFINITY), "null");
+    }
+}

@@ -1,25 +1,18 @@
 //! Random tensor initialization. All constructors take an explicit RNG so
 //! every experiment in the workspace is reproducible from a seed.
 
-use rand::Rng;
+use lip_rng::Rng;
 
 use crate::Tensor;
 
 impl Tensor {
-    /// Standard-normal samples (Box–Muller; no external distribution crate).
+    /// Standard-normal samples (Box–Muller, consolidated in
+    /// [`lip_rng::Rng::fill_normal_f32`] so every normal sampler in the
+    /// workspace shares one definition and one RNG-consumption pattern).
     pub fn randn(shape: &[usize], rng: &mut impl Rng) -> Tensor {
         let n = crate::shape::numel(shape);
-        let mut data = Vec::with_capacity(n);
-        while data.len() < n {
-            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-            let u2: f32 = rng.gen_range(0.0..1.0);
-            let r = (-2.0 * u1.ln()).sqrt();
-            let theta = 2.0 * std::f32::consts::PI * u2;
-            data.push(r * theta.cos());
-            if data.len() < n {
-                data.push(r * theta.sin());
-            }
-        }
+        let mut data = vec![0.0f32; n];
+        rng.fill_normal_f32(&mut data);
         Tensor::from_vec(data, shape)
     }
 
@@ -47,8 +40,8 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lip_rng::rngs::StdRng;
+    use lip_rng::SeedableRng;
 
     #[test]
     fn randn_moments() {

@@ -1,20 +1,21 @@
-//! Tensor serialization: a compact little-endian binary frame (via `bytes`)
-//! for checkpoints, and a serde-friendly [`TensorRepr`] for JSON configs and
-//! result files.
+//! Tensor serialization: a compact little-endian binary frame for
+//! checkpoints, and a JSON-friendly [`TensorRepr`] for configs and result
+//! files (via `lip-serde`).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
+use lip_serde::{FromJson, Json, JsonError, ToJson};
 
 use crate::{Tensor, TensorError};
 
 const MAGIC: u32 = 0x4C49_5054; // "LIPT"
 
-/// Serde-compatible mirror of [`Tensor`] (owned shape + flat data).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+/// JSON-compatible mirror of [`Tensor`] (owned shape + flat data).
+#[derive(Debug, Clone, PartialEq)]
 pub struct TensorRepr {
     pub shape: Vec<usize>,
     pub data: Vec<f32>,
 }
+
+lip_serde::json_struct!(TensorRepr { shape, data });
 
 impl From<&Tensor> for TensorRepr {
     fn from(t: &Tensor) -> Self {
@@ -31,54 +32,106 @@ impl From<TensorRepr> for Tensor {
     }
 }
 
+impl ToJson for Tensor {
+    fn to_json(&self) -> Json {
+        TensorRepr::from(self).to_json()
+    }
+}
+
+impl FromJson for Tensor {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let repr = TensorRepr::from_json(v)?;
+        if repr.data.len() != crate::shape::numel(&repr.shape) {
+            return Err(JsonError::new(format!(
+                "tensor data length {} does not match shape {:?}",
+                repr.data.len(),
+                repr.shape
+            )));
+        }
+        Ok(Tensor::from(repr))
+    }
+}
+
 impl Tensor {
     /// Encode as a self-describing binary frame:
     /// `magic:u32 | rank:u32 | dims:u64* | f32 data (LE)`.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(8 + self.rank() * 8 + self.numel() * 4);
-        buf.put_u32_le(MAGIC);
-        buf.put_u32_le(self.rank() as u32);
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + self.rank() * 8 + self.numel() * 4);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(self.rank() as u32).to_le_bytes());
         for &d in self.shape() {
-            buf.put_u64_le(d as u64);
+            buf.extend_from_slice(&(d as u64).to_le_bytes());
         }
         for &v in self.data() {
-            buf.put_f32_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Decode a frame produced by [`Tensor::to_bytes`].
-    pub fn from_bytes(mut buf: impl Buf) -> Result<Tensor, TensorError> {
-        if buf.remaining() < 8 {
+    pub fn from_bytes(buf: impl AsRef<[u8]>) -> Result<Tensor, TensorError> {
+        let buf = buf.as_ref();
+        let mut cursor = Cursor { buf, pos: 0 };
+        if cursor.remaining() < 8 {
             return Err(TensorError::Corrupt("truncated header".into()));
         }
-        if buf.get_u32_le() != MAGIC {
+        if cursor.get_u32_le() != MAGIC {
             return Err(TensorError::Corrupt("bad magic".into()));
         }
-        let rank = buf.get_u32_le() as usize;
+        let rank = cursor.get_u32_le() as usize;
         if rank > 16 {
             return Err(TensorError::Corrupt(format!("implausible rank {rank}")));
         }
-        if buf.remaining() < rank * 8 {
+        if cursor.remaining() < rank * 8 {
             return Err(TensorError::Corrupt("truncated shape".into()));
         }
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
-            shape.push(buf.get_u64_le() as usize);
+            shape.push(cursor.get_u64_le() as usize);
         }
         let n = crate::shape::numel(&shape);
-        if buf.remaining() < n * 4 {
+        if cursor.remaining() / 4 < n {
             return Err(TensorError::Corrupt(format!(
                 "need {} data bytes, have {}",
-                n * 4,
-                buf.remaining()
+                n.saturating_mul(4),
+                cursor.remaining()
             )));
         }
         let mut data = Vec::with_capacity(n);
         for _ in 0..n {
-            data.push(buf.get_f32_le());
+            data.push(f32::from_le_bytes(
+                cursor.take(4).try_into().expect("4 bytes"),
+            ));
         }
         Ok(Tensor::from_vec(data, &shape))
+    }
+}
+
+/// Tiny little-endian reader over a byte slice (replaces the `bytes` crate's
+/// `Buf` for the three widths this format uses). Bounds are checked by the
+/// callers above before every read.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
     }
 }
 
@@ -102,7 +155,7 @@ mod tests {
 
     #[test]
     fn corrupt_magic_rejected() {
-        let mut raw = Tensor::arange(3).to_bytes().to_vec();
+        let mut raw = Tensor::arange(3).to_bytes();
         raw[0] ^= 0xFF;
         assert!(matches!(
             Tensor::from_bytes(&raw[..]),
@@ -118,11 +171,43 @@ mod tests {
     }
 
     #[test]
+    fn truncated_shape_rejected() {
+        let raw = Tensor::arange(4).reshape(&[2, 2]).to_bytes();
+        assert!(Tensor::from_bytes(&raw[..10]).is_err());
+    }
+
+    #[test]
+    fn huge_declared_shape_rejected_without_allocation() {
+        // magic + rank 1 + a dim claiming u64::MAX elements
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC.to_le_bytes());
+        raw.extend_from_slice(&1u32.to_le_bytes());
+        raw.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Tensor::from_bytes(&raw[..]),
+            Err(TensorError::Corrupt(_))
+        ));
+    }
+
+    #[test]
     fn json_repr_roundtrip() {
         let t = Tensor::arange(4).reshape(&[2, 2]);
         let repr = TensorRepr::from(&t);
-        let json = serde_json::to_string(&repr).unwrap();
-        let back: TensorRepr = serde_json::from_str(&json).unwrap();
+        let json = lip_serde::to_string(&repr);
+        let back: TensorRepr = lip_serde::from_str(&json).unwrap();
         assert_eq!(Tensor::from(back), t);
+    }
+
+    #[test]
+    fn json_direct_tensor_roundtrip() {
+        let t = Tensor::arange(6).reshape(&[3, 2]);
+        let back: Tensor = lip_serde::from_str(&lip_serde::to_string(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_shape_data_mismatch_rejected() {
+        let r = lip_serde::from_str::<Tensor>(r#"{"shape":[2,2],"data":[1.0,2.0]}"#);
+        assert!(r.is_err());
     }
 }

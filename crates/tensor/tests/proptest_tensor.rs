@@ -1,20 +1,16 @@
-//! Property-based tests for the tensor crate's algebraic invariants.
+//! Property-based tests for the tensor crate's algebraic invariants, on the
+//! in-tree `lip_rng::prop_check!` harness (fixed seeds, exact replay).
 
+use lip_rng::prop::Gen;
+use lip_rng::{prop_assume, prop_check};
 use lip_tensor::Tensor;
-use proptest::prelude::*;
 
-fn small_shape() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..5, 0..4)
-}
-
-fn tensor_of(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+/// A random tensor with rank 0..4, dims 1..5, data in [-100, 100).
+fn arb_tensor(g: &mut Gen) -> Tensor {
+    let shape = g.shape(0, 4, 5);
     let n: usize = shape.iter().product();
-    prop::collection::vec(-100.0f32..100.0, n..=n)
-        .prop_map(move |data| Tensor::from_vec(data, &shape))
-}
-
-fn arb_tensor() -> impl Strategy<Value = Tensor> {
-    small_shape().prop_flat_map(tensor_of)
+    let data = g.vec_f32(n, -100.0, 100.0);
+    Tensor::from_vec(data, &shape)
 }
 
 fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
@@ -25,100 +21,123 @@ fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
             .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
 }
 
-proptest! {
-    #[test]
-    fn add_commutes(t in arb_tensor()) {
+#[test]
+fn add_commutes() {
+    prop_check!(cases = 64, seed = 0x7E01, |g| {
+        let t = arb_tensor(g);
         let u = t.mul_scalar(0.5).add_scalar(1.0);
-        prop_assert!(close(&t.add(&u), &u.add(&t), 1e-6));
-    }
+        assert!(close(&t.add(&u), &u.add(&t), 1e-6));
+    });
+}
 
-    #[test]
-    fn add_zero_is_identity(t in arb_tensor()) {
+#[test]
+fn add_zero_is_identity() {
+    prop_check!(cases = 64, seed = 0x7E02, |g| {
+        let t = arb_tensor(g);
         let z = Tensor::zeros(t.shape());
-        prop_assert!(close(&t.add(&z), &t, 0.0));
-    }
+        assert!(close(&t.add(&z), &t, 0.0));
+    });
+}
 
-    #[test]
-    fn mul_distributes_over_add(t in arb_tensor()) {
+#[test]
+fn mul_distributes_over_add() {
+    prop_check!(cases = 64, seed = 0x7E03, |g| {
+        let t = arb_tensor(g);
         let u = t.map(|v| v.sin());
         let w = t.map(|v| v.cos());
         let lhs = t.mul(&u.add(&w));
         let rhs = t.mul(&u).add(&t.mul(&w));
-        prop_assert!(close(&lhs, &rhs, 1e-4));
-    }
+        assert!(close(&lhs, &rhs, 1e-4));
+    });
+}
 
-    #[test]
-    fn reshape_roundtrip(t in arb_tensor()) {
+#[test]
+fn reshape_roundtrip() {
+    prop_check!(cases = 64, seed = 0x7E04, |g| {
+        let t = arb_tensor(g);
         let n = t.numel();
         let flat = t.reshape(&[n]);
         let back = flat.reshape(t.shape());
-        prop_assert_eq!(back, t);
-    }
+        assert_eq!(back, t);
+    });
+}
 
-    #[test]
-    fn double_transpose_is_identity(
-        data in prop::collection::vec(-10.0f32..10.0, 12..=12)
-    ) {
+#[test]
+fn double_transpose_is_identity() {
+    prop_check!(cases = 64, seed = 0x7E05, |g| {
+        let data = g.vec_f32(12, -10.0, 10.0);
         let t = Tensor::from_vec(data, &[3, 4]);
-        prop_assert_eq!(t.t().t(), t);
-    }
+        assert_eq!(t.t().t(), t);
+    });
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(
-        data in prop::collection::vec(-30.0f32..30.0, 12..=12)
-    ) {
+#[test]
+fn softmax_rows_are_distributions() {
+    prop_check!(cases = 64, seed = 0x7E06, |g| {
+        let data = g.vec_f32(12, -30.0, 30.0);
         let t = Tensor::from_vec(data, &[3, 4]);
         let s = t.softmax_lastdim();
         for row in s.data().chunks(4) {
             let sum: f32 = row.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!((sum - 1.0).abs() < 1e-4);
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn sum_axis_total_matches_full_sum(t in arb_tensor()) {
+#[test]
+fn sum_axis_total_matches_full_sum() {
+    prop_check!(cases = 64, seed = 0x7E07, |g| {
+        let t = arb_tensor(g);
         prop_assume!(t.rank() >= 1);
         let per_axis = t.sum_axis(0).sum().item();
         let full = t.sum().item();
-        prop_assert!((per_axis - full).abs() < 1e-2 * (1.0 + full.abs()));
-    }
+        assert!((per_axis - full).abs() < 1e-2 * (1.0 + full.abs()));
+    });
+}
 
-    #[test]
-    fn broadcast_then_reduce_scales_by_copies(
-        data in prop::collection::vec(-10.0f32..10.0, 4..=4),
-        reps in 1usize..5,
-    ) {
+#[test]
+fn broadcast_then_reduce_scales_by_copies() {
+    prop_check!(cases = 64, seed = 0x7E08, |g| {
+        let data = g.vec_f32(4, -10.0, 10.0);
+        let reps = g.usize_in(1, 5);
         let t = Tensor::from_vec(data, &[4]);
         let b = t.broadcast_to(&[reps, 4]);
         let r = b.reduce_to_shape(&[4]);
-        prop_assert!(close(&r, &t.mul_scalar(reps as f32), 1e-5));
-    }
+        assert!(close(&r, &t.mul_scalar(reps as f32), 1e-5));
+    });
+}
 
-    #[test]
-    fn matmul_identity(rows in 1usize..5, cols in 1usize..5, seed in 0u64..1000) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let a = Tensor::randn(&[rows, cols], &mut rng);
+#[test]
+fn matmul_identity() {
+    prop_check!(cases = 64, seed = 0x7E09, |g| {
+        let rows = g.usize_in(1, 5);
+        let cols = g.usize_in(1, 5);
+        let a = Tensor::randn(&[rows, cols], g.rng());
         let mut eye = Tensor::zeros(&[cols, cols]);
-        for i in 0..cols { eye.data_mut()[i * cols + i] = 1.0; }
-        prop_assert!(close(&a.matmul(&eye), &a, 1e-6));
-    }
+        for i in 0..cols {
+            eye.data_mut()[i * cols + i] = 1.0;
+        }
+        assert!(close(&a.matmul(&eye), &a, 1e-6));
+    });
+}
 
-    #[test]
-    fn matmul_associates_with_scalar(seed in 0u64..1000) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let a = Tensor::randn(&[3, 4], &mut rng);
-        let b = Tensor::randn(&[4, 2], &mut rng);
+#[test]
+fn matmul_associates_with_scalar() {
+    prop_check!(cases = 64, seed = 0x7E0A, |g| {
+        let a = Tensor::randn(&[3, 4], g.rng());
+        let b = Tensor::randn(&[4, 2], g.rng());
         let lhs = a.mul_scalar(2.0).matmul(&b);
         let rhs = a.matmul(&b).mul_scalar(2.0);
-        prop_assert!(close(&lhs, &rhs, 1e-4));
-    }
+        assert!(close(&lhs, &rhs, 1e-4));
+    });
+}
 
-    #[test]
-    fn serialization_roundtrip(t in arb_tensor()) {
+#[test]
+fn serialization_roundtrip() {
+    prop_check!(cases = 64, seed = 0x7E0B, |g| {
+        let t = arb_tensor(g);
         let back = Tensor::from_bytes(t.to_bytes()).unwrap();
-        prop_assert_eq!(back, t);
-    }
+        assert_eq!(back, t);
+    });
 }

@@ -10,8 +10,8 @@ use lip_data::pipeline::prepare;
 use lip_data::{generate, DatasetName, GeneratorConfig};
 use lip_nn::MultiHeadSelfAttention;
 use lip_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 fn ascii(matrix: &Tensor) -> String {
     let (h, w) = (matrix.shape()[0], matrix.shape()[1]);

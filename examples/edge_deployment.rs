@@ -14,8 +14,8 @@ use lip_data::window::Batch;
 use lip_data::{generate, DatasetName, GeneratorConfig};
 use lip_tensor::Tensor;
 use lipformer::{Forecaster, LiPFormer, LiPFormerConfig, TrainConfig, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 fn main() {
     // --- train a small model on ETTh1-like data --------------------------

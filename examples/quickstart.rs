@@ -8,8 +8,8 @@ use lip_autograd::Graph;
 use lip_data::pipeline::prepare;
 use lip_data::{generate, DatasetName, GeneratorConfig};
 use lipformer::{ForecastMetrics, Forecaster, LiPFormer, LiPFormerConfig, TrainConfig, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
 
 fn main() {
     // 1. Data: a seeded synthetic stand-in for ETTh1 (see DESIGN.md §2).

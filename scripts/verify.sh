@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Hermetic verification gate: the whole workspace must build and test
+# offline (no registry, no network) — every dependency is an in-tree
+# lip-* path crate.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> verify: only lip-* path dependencies in Cargo.tomls"
+if grep -rhE '^[a-zA-Z0-9_-]+ *= *[{"]' Cargo.toml crates/*/Cargo.toml \
+    | grep -vE '^(lip-[a-z]+|lipformer) *=' \
+    | grep -vE '^(name|version|edition|path|test|harness|members|resolver|description|license|repository|lto) *='; then
+  echo "FAIL: non lip-* dependency found above" >&2
+  exit 1
+fi
+
+echo "OK: offline build + tests green, zero external dependencies"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attention-166e41e011d6fb12.d: crates/bench/benches/attention.rs
+
+/root/repo/target/debug/deps/attention-166e41e011d6fb12: crates/bench/benches/attention.rs
+
+crates/bench/benches/attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpointing-f4bc1c2ee06bb634.d: crates/eval/../../tests/checkpointing.rs
+
+/root/repo/target/debug/deps/checkpointing-f4bc1c2ee06bb634: crates/eval/../../tests/checkpointing.rs
+
+crates/eval/../../tests/checkpointing.rs:

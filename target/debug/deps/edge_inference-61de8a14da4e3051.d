@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_inference-61de8a14da4e3051.d: crates/bench/benches/edge_inference.rs
+
+/root/repo/target/debug/deps/edge_inference-61de8a14da4e3051: crates/bench/benches/edge_inference.rs
+
+crates/bench/benches/edge_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7e1dd1d2cf5ad2ed.d: crates/eval/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7e1dd1d2cf5ad2ed: crates/eval/../../tests/end_to_end.rs
+
+crates/eval/../../tests/end_to_end.rs:

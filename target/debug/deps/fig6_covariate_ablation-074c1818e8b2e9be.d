@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_covariate_ablation-074c1818e8b2e9be.d: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+/root/repo/target/debug/deps/fig6_covariate_ablation-074c1818e8b2e9be: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+crates/eval/src/bin/fig6_covariate_ablation.rs:

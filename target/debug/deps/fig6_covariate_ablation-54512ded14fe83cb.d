@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_covariate_ablation-54512ded14fe83cb.d: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+/root/repo/target/debug/deps/fig6_covariate_ablation-54512ded14fe83cb: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+crates/eval/src/bin/fig6_covariate_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_logits-94f364781850990a.d: crates/eval/src/bin/fig7_logits.rs
+
+/root/repo/target/debug/deps/fig7_logits-94f364781850990a: crates/eval/src/bin/fig7_logits.rs
+
+crates/eval/src/bin/fig7_logits.rs:

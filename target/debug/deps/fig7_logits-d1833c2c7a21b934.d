@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_logits-d1833c2c7a21b934.d: crates/eval/src/bin/fig7_logits.rs
+
+/root/repo/target/debug/deps/fig7_logits-d1833c2c7a21b934: crates/eval/src/bin/fig7_logits.rs
+
+crates/eval/src/bin/fig7_logits.rs:

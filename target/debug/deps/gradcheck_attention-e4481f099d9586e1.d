@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck_attention-e4481f099d9586e1.d: crates/core/tests/gradcheck_attention.rs
+
+/root/repo/target/debug/deps/gradcheck_attention-e4481f099d9586e1: crates/core/tests/gradcheck_attention.rs
+
+crates/core/tests/gradcheck_attention.rs:

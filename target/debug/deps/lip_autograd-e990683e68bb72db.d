@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lip_autograd-e990683e68bb72db.d: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+/root/repo/target/debug/deps/liblip_autograd-e990683e68bb72db.rlib: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+/root/repo/target/debug/deps/liblip_autograd-e990683e68bb72db.rmeta: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/backward.rs:
+crates/autograd/src/gradcheck.rs:
+crates/autograd/src/graph.rs:
+crates/autograd/src/op.rs:
+crates/autograd/src/params.rs:

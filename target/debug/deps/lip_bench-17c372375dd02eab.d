@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lip_bench-17c372375dd02eab.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/liblip_bench-17c372375dd02eab.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/liblip_bench-17c372375dd02eab.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lip_bench-add88d6af037de0b.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/lip_bench-add88d6af037de0b: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lip_eval-1ac5646588ba19b0.d: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/liblip_eval-1ac5646588ba19b0.rlib: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/liblip_eval-1ac5646588ba19b0.rmeta: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/heatmap.rs:
+crates/eval/src/registry.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/scale.rs:
+crates/eval/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lip_rng-c578a400356043e8.d: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/debug/deps/lip_rng-c578a400356043e8: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/prop.rs:
+crates/rng/src/seq.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/xoshiro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lip_serde-d0e542880fb539f4.d: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+/root/repo/target/debug/deps/liblip_serde-d0e542880fb539f4.rlib: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+/root/repo/target/debug/deps/liblip_serde-d0e542880fb539f4.rmeta: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+crates/serde/src/lib.rs:
+crates/serde/src/parse.rs:
+crates/serde/src/write.rs:

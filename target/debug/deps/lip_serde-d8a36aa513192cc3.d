@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lip_serde-d8a36aa513192cc3.d: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+/root/repo/target/debug/deps/lip_serde-d8a36aa513192cc3: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+crates/serde/src/lib.rs:
+crates/serde/src/parse.rs:
+crates/serde/src/write.rs:

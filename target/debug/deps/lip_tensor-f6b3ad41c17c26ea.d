@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lip_tensor-f6b3ad41c17c26ea.d: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/liblip_tensor-f6b3ad41c17c26ea.rlib: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/liblip_tensor-f6b3ad41c17c26ea.rmeta: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/elementwise.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

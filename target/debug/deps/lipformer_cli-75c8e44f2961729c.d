@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lipformer_cli-75c8e44f2961729c.d: crates/eval/src/bin/lipformer_cli.rs
+
+/root/repo/target/debug/deps/lipformer_cli-75c8e44f2961729c: crates/eval/src/bin/lipformer_cli.rs
+
+crates/eval/src/bin/lipformer_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lipformer_cli-c16a736b55136210.d: crates/eval/src/bin/lipformer_cli.rs
+
+/root/repo/target/debug/deps/lipformer_cli-c16a736b55136210: crates/eval/src/bin/lipformer_cli.rs
+
+crates/eval/src/bin/lipformer_cli.rs:

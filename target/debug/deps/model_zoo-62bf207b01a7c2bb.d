@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_zoo-62bf207b01a7c2bb.d: crates/eval/../../tests/model_zoo.rs
+
+/root/repo/target/debug/deps/model_zoo-62bf207b01a7c2bb: crates/eval/../../tests/model_zoo.rs
+
+crates/eval/../../tests/model_zoo.rs:

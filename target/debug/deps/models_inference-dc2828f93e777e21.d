@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/models_inference-dc2828f93e777e21.d: crates/bench/benches/models_inference.rs
+
+/root/repo/target/debug/deps/models_inference-dc2828f93e777e21: crates/bench/benches/models_inference.rs
+
+crates/bench/benches/models_inference.rs:

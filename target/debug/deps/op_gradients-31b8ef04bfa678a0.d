@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/op_gradients-31b8ef04bfa678a0.d: crates/autograd/tests/op_gradients.rs
+
+/root/repo/target/debug/deps/op_gradients-31b8ef04bfa678a0: crates/autograd/tests/op_gradients.rs
+
+crates/autograd/tests/op_gradients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_model-360c97702c471abc.d: crates/core/tests/proptest_model.rs
+
+/root/repo/target/debug/deps/proptest_model-360c97702c471abc: crates/core/tests/proptest_model.rs
+
+crates/core/tests/proptest_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_nn-39aed5bb1d942622.d: crates/nn/tests/proptest_nn.rs
+
+/root/repo/target/debug/deps/proptest_nn-39aed5bb1d942622: crates/nn/tests/proptest_nn.rs
+
+crates/nn/tests/proptest_nn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-69b4b6f9a3066eca.d: crates/data/tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-69b4b6f9a3066eca: crates/data/tests/proptest_pipeline.rs
+
+crates/data/tests/proptest_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_tensor-8a187bbf8d830b10.d: crates/tensor/tests/proptest_tensor.rs
+
+/root/repo/target/debug/deps/proptest_tensor-8a187bbf8d830b10: crates/tensor/tests/proptest_tensor.rs
+
+crates/tensor/tests/proptest_tensor.rs:

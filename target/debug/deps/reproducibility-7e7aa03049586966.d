@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproducibility-7e7aa03049586966.d: crates/eval/../../tests/reproducibility.rs
+
+/root/repo/target/debug/deps/reproducibility-7e7aa03049586966: crates/eval/../../tests/reproducibility.rs
+
+crates/eval/../../tests/reproducibility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10_ablation_lightweight-719c582a3ca3b19b.d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+/root/repo/target/debug/deps/table10_ablation_lightweight-719c582a3ca3b19b: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+crates/eval/src/bin/table10_ablation_lightweight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10_ablation_lightweight-a93aa31c6de23876.d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+/root/repo/target/debug/deps/table10_ablation_lightweight-a93aa31c6de23876: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+crates/eval/src/bin/table10_ablation_lightweight.rs:

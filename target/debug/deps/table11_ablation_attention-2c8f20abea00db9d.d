@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11_ablation_attention-2c8f20abea00db9d.d: crates/eval/src/bin/table11_ablation_attention.rs
+
+/root/repo/target/debug/deps/table11_ablation_attention-2c8f20abea00db9d: crates/eval/src/bin/table11_ablation_attention.rs
+
+crates/eval/src/bin/table11_ablation_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11_ablation_attention-b06d867c486d9f97.d: crates/eval/src/bin/table11_ablation_attention.rs
+
+/root/repo/target/debug/deps/table11_ablation_attention-b06d867c486d9f97: crates/eval/src/bin/table11_ablation_attention.rs
+
+crates/eval/src/bin/table11_ablation_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12_plugin-cca6ee887f150158.d: crates/eval/src/bin/table12_plugin.rs
+
+/root/repo/target/debug/deps/table12_plugin-cca6ee887f150158: crates/eval/src/bin/table12_plugin.rs
+
+crates/eval/src/bin/table12_plugin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12_plugin-e086196ff31dfd6e.d: crates/eval/src/bin/table12_plugin.rs
+
+/root/repo/target/debug/deps/table12_plugin-e086196ff31dfd6e: crates/eval/src/bin/table12_plugin.rs
+
+crates/eval/src/bin/table12_plugin.rs:

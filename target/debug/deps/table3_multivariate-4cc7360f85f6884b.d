@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_multivariate-4cc7360f85f6884b.d: crates/eval/src/bin/table3_multivariate.rs
+
+/root/repo/target/debug/deps/table3_multivariate-4cc7360f85f6884b: crates/eval/src/bin/table3_multivariate.rs
+
+crates/eval/src/bin/table3_multivariate.rs:

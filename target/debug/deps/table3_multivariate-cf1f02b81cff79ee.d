@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_multivariate-cf1f02b81cff79ee.d: crates/eval/src/bin/table3_multivariate.rs
+
+/root/repo/target/debug/deps/table3_multivariate-cf1f02b81cff79ee: crates/eval/src/bin/table3_multivariate.rs
+
+crates/eval/src/bin/table3_multivariate.rs:

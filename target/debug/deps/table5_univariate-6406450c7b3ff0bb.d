@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_univariate-6406450c7b3ff0bb.d: crates/eval/src/bin/table5_univariate.rs
+
+/root/repo/target/debug/deps/table5_univariate-6406450c7b3ff0bb: crates/eval/src/bin/table5_univariate.rs
+
+crates/eval/src/bin/table5_univariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_univariate-9410036726a9808a.d: crates/eval/src/bin/table5_univariate.rs
+
+/root/repo/target/debug/deps/table5_univariate-9410036726a9808a: crates/eval/src/bin/table5_univariate.rs
+
+crates/eval/src/bin/table5_univariate.rs:

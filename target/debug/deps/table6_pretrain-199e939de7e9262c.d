@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_pretrain-199e939de7e9262c.d: crates/eval/src/bin/table6_pretrain.rs
+
+/root/repo/target/debug/deps/table6_pretrain-199e939de7e9262c: crates/eval/src/bin/table6_pretrain.rs
+
+crates/eval/src/bin/table6_pretrain.rs:

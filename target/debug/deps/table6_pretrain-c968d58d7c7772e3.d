@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_pretrain-c968d58d7c7772e3.d: crates/eval/src/bin/table6_pretrain.rs
+
+/root/repo/target/debug/deps/table6_pretrain-c968d58d7c7772e3: crates/eval/src/bin/table6_pretrain.rs
+
+crates/eval/src/bin/table6_pretrain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_edge-750233fd0b1e663a.d: crates/eval/src/bin/table7_edge.rs
+
+/root/repo/target/debug/deps/table7_edge-750233fd0b1e663a: crates/eval/src/bin/table7_edge.rs
+
+crates/eval/src/bin/table7_edge.rs:

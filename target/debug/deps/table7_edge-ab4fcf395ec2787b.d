@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_edge-ab4fcf395ec2787b.d: crates/eval/src/bin/table7_edge.rs
+
+/root/repo/target/debug/deps/table7_edge-ab4fcf395ec2787b: crates/eval/src/bin/table7_edge.rs
+
+crates/eval/src/bin/table7_edge.rs:

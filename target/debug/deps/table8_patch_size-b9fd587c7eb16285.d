@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_patch_size-b9fd587c7eb16285.d: crates/eval/src/bin/table8_patch_size.rs
+
+/root/repo/target/debug/deps/table8_patch_size-b9fd587c7eb16285: crates/eval/src/bin/table8_patch_size.rs
+
+crates/eval/src/bin/table8_patch_size.rs:

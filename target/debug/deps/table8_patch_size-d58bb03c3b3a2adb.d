@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_patch_size-d58bb03c3b3a2adb.d: crates/eval/src/bin/table8_patch_size.rs
+
+/root/repo/target/debug/deps/table8_patch_size-d58bb03c3b3a2adb: crates/eval/src/bin/table8_patch_size.rs
+
+crates/eval/src/bin/table8_patch_size.rs:

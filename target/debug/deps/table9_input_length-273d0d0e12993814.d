@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_input_length-273d0d0e12993814.d: crates/eval/src/bin/table9_input_length.rs
+
+/root/repo/target/debug/deps/table9_input_length-273d0d0e12993814: crates/eval/src/bin/table9_input_length.rs
+
+crates/eval/src/bin/table9_input_length.rs:

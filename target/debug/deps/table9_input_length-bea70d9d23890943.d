@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_input_length-bea70d9d23890943.d: crates/eval/src/bin/table9_input_length.rs
+
+/root/repo/target/debug/deps/table9_input_length-bea70d9d23890943: crates/eval/src/bin/table9_input_length.rs
+
+crates/eval/src/bin/table9_input_length.rs:

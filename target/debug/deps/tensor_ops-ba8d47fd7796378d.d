@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tensor_ops-ba8d47fd7796378d.d: crates/bench/benches/tensor_ops.rs
+
+/root/repo/target/debug/deps/tensor_ops-ba8d47fd7796378d: crates/bench/benches/tensor_ops.rs
+
+crates/bench/benches/tensor_ops.rs:

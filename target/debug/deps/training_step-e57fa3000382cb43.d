@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training_step-e57fa3000382cb43.d: crates/bench/benches/training_step.rs
+
+/root/repo/target/debug/deps/training_step-e57fa3000382cb43: crates/bench/benches/training_step.rs
+
+crates/bench/benches/training_step.rs:

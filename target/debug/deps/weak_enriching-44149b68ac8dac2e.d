@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weak_enriching-44149b68ac8dac2e.d: crates/eval/../../tests/weak_enriching.rs
+
+/root/repo/target/debug/deps/weak_enriching-44149b68ac8dac2e: crates/eval/../../tests/weak_enriching.rs
+
+crates/eval/../../tests/weak_enriching.rs:

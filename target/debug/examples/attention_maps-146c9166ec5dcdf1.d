@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attention_maps-146c9166ec5dcdf1.d: crates/eval/../../examples/attention_maps.rs
+
+/root/repo/target/debug/examples/attention_maps-146c9166ec5dcdf1: crates/eval/../../examples/attention_maps.rs
+
+crates/eval/../../examples/attention_maps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_deployment-df8e48b3e8c237da.d: crates/eval/../../examples/edge_deployment.rs
+
+/root/repo/target/debug/examples/edge_deployment-df8e48b3e8c237da: crates/eval/../../examples/edge_deployment.rs
+
+crates/eval/../../examples/edge_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/electricity_price-ba4eabc4c446ce9a.d: crates/eval/../../examples/electricity_price.rs
+
+/root/repo/target/debug/examples/electricity_price-ba4eabc4c446ce9a: crates/eval/../../examples/electricity_price.rs
+
+crates/eval/../../examples/electricity_price.rs:

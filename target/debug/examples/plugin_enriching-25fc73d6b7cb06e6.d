@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plugin_enriching-25fc73d6b7cb06e6.d: crates/eval/../../examples/plugin_enriching.rs
+
+/root/repo/target/debug/examples/plugin_enriching-25fc73d6b7cb06e6: crates/eval/../../examples/plugin_enriching.rs
+
+crates/eval/../../examples/plugin_enriching.rs:

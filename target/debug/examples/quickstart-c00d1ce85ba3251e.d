@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c00d1ce85ba3251e.d: crates/eval/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c00d1ce85ba3251e: crates/eval/../../examples/quickstart.rs
+
+crates/eval/../../examples/quickstart.rs:

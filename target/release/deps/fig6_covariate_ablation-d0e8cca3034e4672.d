@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_covariate_ablation-d0e8cca3034e4672.d: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+/root/repo/target/release/deps/fig6_covariate_ablation-d0e8cca3034e4672: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+crates/eval/src/bin/fig6_covariate_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_logits-1203b6ef38eea4cf.d: crates/eval/src/bin/fig7_logits.rs
+
+/root/repo/target/release/deps/fig7_logits-1203b6ef38eea4cf: crates/eval/src/bin/fig7_logits.rs
+
+crates/eval/src/bin/fig7_logits.rs:

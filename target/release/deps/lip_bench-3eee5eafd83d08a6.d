@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lip_bench-3eee5eafd83d08a6.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/liblip_bench-3eee5eafd83d08a6.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/liblip_bench-3eee5eafd83d08a6.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lip_rng-256f9514e0c2b0ce.d: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/release/deps/liblip_rng-256f9514e0c2b0ce.rlib: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/release/deps/liblip_rng-256f9514e0c2b0ce.rmeta: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/prop.rs:
+crates/rng/src/seq.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/xoshiro.rs:

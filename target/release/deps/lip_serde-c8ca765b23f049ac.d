@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lip_serde-c8ca765b23f049ac.d: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+/root/repo/target/release/deps/liblip_serde-c8ca765b23f049ac.rlib: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+/root/repo/target/release/deps/liblip_serde-c8ca765b23f049ac.rmeta: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+crates/serde/src/lib.rs:
+crates/serde/src/parse.rs:
+crates/serde/src/write.rs:

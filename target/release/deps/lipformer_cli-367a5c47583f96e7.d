@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lipformer_cli-367a5c47583f96e7.d: crates/eval/src/bin/lipformer_cli.rs
+
+/root/repo/target/release/deps/lipformer_cli-367a5c47583f96e7: crates/eval/src/bin/lipformer_cli.rs
+
+crates/eval/src/bin/lipformer_cli.rs:

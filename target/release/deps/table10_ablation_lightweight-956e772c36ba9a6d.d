@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10_ablation_lightweight-956e772c36ba9a6d.d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+/root/repo/target/release/deps/table10_ablation_lightweight-956e772c36ba9a6d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+crates/eval/src/bin/table10_ablation_lightweight.rs:

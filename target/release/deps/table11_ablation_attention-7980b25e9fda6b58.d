@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table11_ablation_attention-7980b25e9fda6b58.d: crates/eval/src/bin/table11_ablation_attention.rs
+
+/root/repo/target/release/deps/table11_ablation_attention-7980b25e9fda6b58: crates/eval/src/bin/table11_ablation_attention.rs
+
+crates/eval/src/bin/table11_ablation_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_multivariate-90bed5b2475f25bc.d: crates/eval/src/bin/table3_multivariate.rs
+
+/root/repo/target/release/deps/table3_multivariate-90bed5b2475f25bc: crates/eval/src/bin/table3_multivariate.rs
+
+crates/eval/src/bin/table3_multivariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_univariate-2ced7e9dae5c625b.d: crates/eval/src/bin/table5_univariate.rs
+
+/root/repo/target/release/deps/table5_univariate-2ced7e9dae5c625b: crates/eval/src/bin/table5_univariate.rs
+
+crates/eval/src/bin/table5_univariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_pretrain-5c3d289a7315f811.d: crates/eval/src/bin/table6_pretrain.rs
+
+/root/repo/target/release/deps/table6_pretrain-5c3d289a7315f811: crates/eval/src/bin/table6_pretrain.rs
+
+crates/eval/src/bin/table6_pretrain.rs:

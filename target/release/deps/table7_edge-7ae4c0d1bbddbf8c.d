@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_edge-7ae4c0d1bbddbf8c.d: crates/eval/src/bin/table7_edge.rs
+
+/root/repo/target/release/deps/table7_edge-7ae4c0d1bbddbf8c: crates/eval/src/bin/table7_edge.rs
+
+crates/eval/src/bin/table7_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_patch_size-3ffb4f8e0778cc12.d: crates/eval/src/bin/table8_patch_size.rs
+
+/root/repo/target/release/deps/table8_patch_size-3ffb4f8e0778cc12: crates/eval/src/bin/table8_patch_size.rs
+
+crates/eval/src/bin/table8_patch_size.rs:

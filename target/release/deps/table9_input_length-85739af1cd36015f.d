@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9_input_length-85739af1cd36015f.d: crates/eval/src/bin/table9_input_length.rs
+
+/root/repo/target/release/deps/table9_input_length-85739af1cd36015f: crates/eval/src/bin/table9_input_length.rs
+
+crates/eval/src/bin/table9_input_length.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tensor_ops-51dd1cb065c97f6b.d: crates/bench/benches/tensor_ops.rs
+
+/root/repo/target/release/deps/tensor_ops-51dd1cb065c97f6b: crates/bench/benches/tensor_ops.rs
+
+crates/bench/benches/tensor_ops.rs:

@@ -2,10 +2,14 @@
 //! training — is a pure function of the seeds.
 
 use lip_data::pipeline::prepare;
-use lip_data::{generate, DatasetName, GeneratorConfig};
+use lip_data::window::Batch;
+use lip_data::{generate, CovariateSpec, DatasetName, GeneratorConfig};
 use lip_eval::runner::{run_one, RunSpec};
 use lip_eval::{ModelKind, RunScale};
-use lipformer::{ForecastMetrics, LiPFormer, LiPFormerConfig, TrainConfig, Trainer};
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
+use lip_tensor::Tensor;
+use lipformer::{Forecaster, ForecastMetrics, LiPFormer, LiPFormerConfig, TrainConfig, Trainer};
 
 #[test]
 fn identical_seeds_give_identical_runs() {
@@ -89,4 +93,105 @@ fn dropout_seed_controls_training_stochasticity() {
     // shuffle order differ)
     assert_eq!(train(5).to_bits(), train(5).to_bits());
     assert_ne!(train(5).to_bits(), train(6).to_bits());
+}
+
+#[test]
+fn seeded_initializers_are_byte_identical() {
+    // randn: same seed → identical binary frames
+    let a = Tensor::randn(&[32, 8], &mut StdRng::seed_from_u64(99)).to_bytes();
+    let b = Tensor::randn(&[32, 8], &mut StdRng::seed_from_u64(99)).to_bytes();
+    assert_eq!(a, b, "randn must be byte-identical per seed");
+    assert_ne!(
+        a,
+        Tensor::randn(&[32, 8], &mut StdRng::seed_from_u64(100)).to_bytes(),
+        "different seeds must differ"
+    );
+    // kaiming: same seed → identical binary frames
+    let k1 = Tensor::kaiming_uniform(64, 16, &mut StdRng::seed_from_u64(5)).to_bytes();
+    let k2 = Tensor::kaiming_uniform(64, 16, &mut StdRng::seed_from_u64(5)).to_bytes();
+    assert_eq!(k1, k2, "kaiming_uniform must be byte-identical per seed");
+}
+
+#[test]
+fn same_seed_gives_identical_forward_logits() {
+    let spec = CovariateSpec {
+        numerical: 0,
+        cardinalities: vec![],
+        time_features: 4,
+    };
+    let mut cfg = LiPFormerConfig::small(24, 8, 2);
+    cfg.hidden = 16;
+    cfg.encoder_hidden = 16;
+    let batch = {
+        let mut rng = StdRng::seed_from_u64(3);
+        Batch {
+            x: Tensor::randn(&[4, 24, 2], &mut rng),
+            y: Tensor::randn(&[4, 8, 2], &mut rng),
+            time_feats: Tensor::randn(&[4, 8, 4], &mut rng).mul_scalar(0.2),
+            cov_numerical: None,
+            cov_categorical: None,
+        }
+    };
+    let logits = || {
+        let model = LiPFormer::new(cfg.clone(), &spec, 1234);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = lip_autograd::Graph::new(model.store());
+        let y = model.forward(&mut g, &batch, false, &mut rng);
+        g.value(y).to_bytes()
+    };
+    assert_eq!(
+        logits(),
+        logits(),
+        "two fresh models from the same seed must emit bit-identical logits"
+    );
+}
+
+/// Checkpoint files must be byte-identical across *separate processes* for
+/// the same seed. The test re-execs itself (libtest filter + env marker) so
+/// each checkpoint is produced by a genuinely fresh process: fresh ASLR,
+/// fresh allocator, fresh global state.
+#[test]
+fn checkpoint_files_identical_across_fresh_processes() {
+    let write_checkpoint = |path: &std::path::Path| {
+        let spec = CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        };
+        let mut cfg = LiPFormerConfig::small(24, 8, 2);
+        cfg.hidden = 16;
+        cfg.encoder_hidden = 16;
+        let model = LiPFormer::new(cfg.clone(), &spec, 4242);
+        lipformer::checkpoint::save(path, &cfg, model.store()).unwrap();
+    };
+
+    if let Ok(out) = std::env::var("LIP_REPRO_CHILD_OUT") {
+        // child mode: write the checkpoint and stop
+        write_checkpoint(std::path::Path::new(&out));
+        return;
+    }
+
+    let dir = std::env::temp_dir().join("lipformer_repro_proc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = [dir.join("run_a.ckpt"), dir.join("run_b.ckpt")];
+    let exe = std::env::current_exe().expect("test binary path");
+    for p in &paths {
+        let status = std::process::Command::new(&exe)
+            .args([
+                "checkpoint_files_identical_across_fresh_processes",
+                "--exact",
+                "--nocapture",
+            ])
+            .env("LIP_REPRO_CHILD_OUT", p)
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "child process failed");
+    }
+    let a = std::fs::read(&paths[0]).unwrap();
+    let b = std::fs::read(&paths[1]).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "checkpoint bytes must match across fresh processes");
+    for p in &paths {
+        std::fs::remove_file(p).ok();
+    }
 }
