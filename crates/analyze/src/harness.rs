@@ -1,0 +1,246 @@
+//! End-to-end model check: build the model, record both training tapes with
+//! the numerical sanitizer armed, validate every node's shape, compare the
+//! recorded tapes against the symbolic plan node-by-node, run the lints, and
+//! surface any NaN/Inf eruption with provenance — all from a configuration
+//! and one (possibly synthetic) batch.
+
+use lipformer::analysis::{batch_contract, record_contrastive, record_forward_loss};
+use lipformer::{LiPFormer, LiPFormerConfig};
+use lip_data::window::Batch;
+use lip_data::CovariateSpec;
+use lip_tensor::Tensor;
+
+use crate::infer::validate_graph;
+use crate::lint::lint_graphs;
+use crate::plan::{plan_contrastive, plan_forward_loss, ForwardPlan, SymTape};
+use crate::sym::eval_shape;
+
+/// Outcome of one model check.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// What was checked (dataset or config-file label).
+    pub label: String,
+    /// Nodes on the forecasting (forward + loss) tape.
+    pub forward_nodes: usize,
+    /// Nodes on the contrastive tape.
+    pub contrastive_nodes: usize,
+    /// Forward-pass MAC plan as a polynomial in the batch size `B`.
+    pub forward_macs: String,
+    /// Every problem found, already formatted. Empty = model is clean.
+    pub findings: Vec<String>,
+}
+
+impl CheckReport {
+    /// True when the model passed every check.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// A deterministic batch satisfying `config` + `spec`'s contract, for
+/// checking a configuration without any dataset (`--check-model conf.json`).
+/// Values are small and varied so every kernel sees non-degenerate data.
+pub fn synthetic_batch(config: &LiPFormerConfig, spec: &CovariateSpec, b: usize) -> Batch {
+    let fill = |shape: &[usize], phase: f32| {
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n)
+            .map(|i| ((i as f32 * 0.37 + phase).sin()) * 0.5)
+            .collect();
+        Tensor::from_vec(data, shape)
+    };
+    let (tl, l, c) = (config.seq_len, config.pred_len, config.channels);
+    Batch {
+        x: fill(&[b, tl, c], 0.0),
+        y: fill(&[b, l, c], 1.0),
+        time_feats: fill(&[b, l, spec.time_features], 2.0),
+        cov_numerical: (spec.numerical > 0).then(|| fill(&[b, l, spec.numerical], 3.0)),
+        cov_categorical: (!spec.cardinalities.is_empty()).then(|| {
+            spec.cardinalities
+                .iter()
+                .map(|&card| (0..b * l).map(|i| i % card).collect())
+                .collect()
+        }),
+    }
+}
+
+fn parity_findings(
+    tape: &SymTape,
+    g: &lip_autograd::Graph,
+    b: usize,
+    label: &str,
+    findings: &mut Vec<String>,
+) {
+    if tape.len() != g.len() {
+        findings.push(format!(
+            "{label}: plan has {} nodes but runtime recorded {}",
+            tape.len(),
+            g.len()
+        ));
+        return;
+    }
+    for (i, node) in tape.nodes().iter().enumerate() {
+        let rop = g.op_at(i).name();
+        if node.op != rop {
+            findings.push(format!(
+                "{label}: node {i} planned as {} but recorded as {rop}",
+                node.op
+            ));
+            return; // ops diverged; later shape mismatches are noise
+        }
+        let planned = eval_shape(&node.shape, b);
+        if planned != g.shape_at(i) {
+            findings.push(format!(
+                "{label}: node {i} ({rop}) planned shape {planned:?} but recorded {:?}",
+                g.shape_at(i)
+            ));
+        }
+    }
+    let planned_macs = tape.macs().eval(b as u64);
+    if planned_macs != g.macs() {
+        findings.push(format!(
+            "{label}: planned {planned_macs} MACs at B={b} but runtime counted {}",
+            g.macs()
+        ));
+    }
+}
+
+/// Run the complete static + recorded-tape check for one model
+/// configuration against one batch.
+pub fn check_model(
+    config: &LiPFormerConfig,
+    spec: &CovariateSpec,
+    batch: &Batch,
+    label: &str,
+) -> CheckReport {
+    let mut findings = Vec::new();
+
+    // 1. Static plan: rejects inconsistent configurations (e.g. a patch_len
+    //    that does not divide seq_len) before any tensor is allocated.
+    let plan: Option<ForwardPlan> = match plan_forward_loss(config, spec, true) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            findings.push(e.to_string());
+            None
+        }
+    };
+    let cplan = match plan_contrastive(config, spec) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            findings.push(e.to_string());
+            None
+        }
+    };
+    let forward_macs = plan
+        .as_ref()
+        .map(|p| p.tape.macs().to_string())
+        .unwrap_or_else(|| "-".into());
+    findings.dedup(); // both plans reject a bad config with the same message
+    let (Some(plan), Some(cplan)) = (plan, cplan) else {
+        return CheckReport {
+            label: label.into(),
+            forward_nodes: 0,
+            contrastive_nodes: 0,
+            forward_macs,
+            findings,
+        };
+    };
+
+    // 2. Batch contract.
+    if let Err(e) = batch_contract(config, spec).check(batch) {
+        findings.push(format!("batch contract: {e}"));
+        return CheckReport {
+            label: label.into(),
+            forward_nodes: 0,
+            contrastive_nodes: 0,
+            forward_macs,
+            findings,
+        };
+    }
+    let b = batch.x.shape()[0];
+
+    // 3. Record both training tapes with the sanitizer armed.
+    let model = LiPFormer::new(config.clone(), spec, 7);
+    let (g, _pred, loss) =
+        record_forward_loss(&model, batch, config.smooth_l1_beta, true, 11);
+    let (gc, closs) = record_contrastive(&model, batch);
+
+    // 4. Per-node shape validation of what was actually recorded.
+    for (graph, name) in [(&g, "forecast"), (&gc, "contrastive")] {
+        if let Err(violations) = validate_graph(graph) {
+            for v in violations {
+                findings.push(format!("{name} tape: {v}"));
+            }
+        }
+    }
+
+    // 5. Plan ↔ runtime parity, node by node.
+    parity_findings(&plan.tape, &g, b, "forecast parity", &mut findings);
+    parity_findings(&cplan.tape, &gc, b, "contrastive parity", &mut findings);
+
+    // 6. Lints over both tapes (dead params are judged across the union).
+    for f in lint_graphs(&[(&g, loss, "forecast"), (&gc, closs, "contrastive")]) {
+        findings.push(f.to_string());
+    }
+
+    // 7. Sanitizer eruptions with provenance.
+    for (graph, name) in [(&g, "forecast"), (&gc, "contrastive")] {
+        for r in graph.sanitizer_reports() {
+            findings.push(format!("{name} tape: {r}"));
+        }
+    }
+
+    CheckReport {
+        label: label.into(),
+        forward_nodes: g.len(),
+        contrastive_nodes: gc.len(),
+        forward_macs,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn implicit_spec() -> CovariateSpec {
+        CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        }
+    }
+
+    #[test]
+    fn synthetic_batch_passes_its_own_contract() {
+        let config = LiPFormerConfig::small(48, 24, 3);
+        let spec = CovariateSpec {
+            numerical: 2,
+            cardinalities: vec![5],
+            time_features: 4,
+        };
+        let batch = synthetic_batch(&config, &spec, 3);
+        batch_contract(&config, &spec).check(&batch).unwrap();
+    }
+
+    #[test]
+    fn clean_model_checks_clean() {
+        let config = LiPFormerConfig::small(48, 24, 2);
+        let spec = implicit_spec();
+        let batch = synthetic_batch(&config, &spec, 2);
+        let report = check_model(&config, &spec, &batch, "unit");
+        assert!(report.clean(), "unexpected findings: {:#?}", report.findings);
+        assert!(report.forward_nodes > 0);
+        assert!(report.contrastive_nodes > 0);
+    }
+
+    #[test]
+    fn bad_patch_len_is_a_config_finding() {
+        let mut config = LiPFormerConfig::small(48, 24, 2);
+        config.patch_len += 1;
+        let spec = implicit_spec();
+        let batch = synthetic_batch(&config, &spec, 2);
+        let report = check_model(&config, &spec, &batch, "unit");
+        assert!(!report.clean());
+        assert!(report.findings[0].contains("plan rejected at config"));
+    }
+}

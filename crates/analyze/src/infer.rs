@@ -1,0 +1,256 @@
+//! Tape validation: replay the shape-transfer rules over a *recorded*
+//! [`Graph`] and cross-check every node's shape (and the MAC total) against
+//! what the runtime actually produced. Touches no tensor data — only
+//! metadata — so it is cheap enough to run on every training step in debug
+//! builds.
+
+use lip_autograd::{Graph, Op};
+
+use crate::rules;
+use crate::sym::{fixed_shape, SymPoly};
+
+/// One disagreement between the analyzer and the recorded tape.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Tape index of the offending node.
+    pub node: usize,
+    /// Op variant name.
+    pub op: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {} ({}): {}", self.node, self.op, self.message)
+    }
+}
+
+/// Summary of a successfully validated tape.
+#[derive(Debug, Clone)]
+pub struct TapeSummary {
+    /// Node count.
+    pub nodes: usize,
+    /// MACs recomputed from shapes alone — equals `Graph::macs()` on a
+    /// valid tape.
+    pub macs: u64,
+    /// Trainable-parameter leaves on the tape.
+    pub param_nodes: usize,
+}
+
+/// Validate every node of a recorded tape: each op's inferred output shape
+/// must equal the recorded one, parameter leaves must match the store, and
+/// the recomputed MAC total must match the graph's counter.
+pub fn validate_graph(g: &Graph) -> Result<TapeSummary, Vec<Violation>> {
+    let mut violations = Vec::new();
+    let mut macs = SymPoly::zero();
+    let mut param_nodes = 0usize;
+
+    for i in 0..g.len() {
+        let op = g.op_at(i);
+        let recorded = g.shape_at(i).to_vec();
+        let shape_of = |v: lip_autograd::Var| fixed_shape(g.shape_at(v.index()));
+        let inputs = op.inputs();
+
+        // Inputs must precede the node — tape order is topological order.
+        if let Some(bad) = inputs.iter().find(|v| v.index() >= i) {
+            violations.push(Violation {
+                node: i,
+                op: op.name(),
+                message: format!("input node {} does not precede it", bad.index()),
+            });
+            continue;
+        }
+
+        let expected = match op {
+            Op::Leaf => Ok(fixed_shape(&recorded)),
+            Op::Param(id) => {
+                param_nodes += 1;
+                Ok(fixed_shape(g.store().value(*id).shape()))
+            }
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b) => {
+                rules::broadcast_join(&shape_of(*a), &shape_of(*b))
+            }
+            Op::AddScalar(a)
+            | Op::MulScalar(a, _)
+            | Op::Neg(a)
+            | Op::Softmax(a)
+            | Op::LogSoftmax(a)
+            | Op::Relu(a)
+            | Op::Gelu(a)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Sqrt(a)
+            | Op::Exp(a)
+            | Op::Ln(a)
+            | Op::Square(a)
+            | Op::Abs(a) => Ok(shape_of(*a)),
+            Op::Dropout(a, mask) => {
+                let s = shape_of(*a);
+                if mask.shape() != g.shape_at(a.index()) {
+                    Err(format!(
+                        "dropout mask shape {:?} does not match input {:?}",
+                        mask.shape(),
+                        g.shape_at(a.index())
+                    ))
+                } else {
+                    Ok(s)
+                }
+            }
+            Op::MatMul(a, b) => {
+                rules::matmul_rule(&shape_of(*a), &shape_of(*b)).map(|(out, _)| out)
+            }
+            Op::Permute(a, axes) => rules::permute_rule(&shape_of(*a), axes),
+            Op::Reshape(a, target) => rules::reshape_rule(&shape_of(*a), &fixed_shape(target)),
+            Op::BroadcastTo(a, target) => {
+                rules::broadcast_to_rule(&shape_of(*a), &fixed_shape(target))
+            }
+            Op::Sum(a) | Op::Mean(a) => {
+                let _ = a;
+                Ok(vec![])
+            }
+            Op::SumAxis(a, axis) | Op::MeanAxis(a, axis) => {
+                rules::reduce_axis_rule(&shape_of(*a), *axis)
+            }
+            Op::Concat(parts, axis) => {
+                let shapes: Vec<_> = parts.iter().map(|p| shape_of(*p)).collect();
+                rules::concat_rule(&shapes, *axis)
+            }
+            Op::SliceAxis(a, axis, start, end) => {
+                rules::slice_rule(&shape_of(*a), *axis, *start, *end)
+            }
+            Op::GatherRows(table, indices) => {
+                let vocab = g.shape_at(table.index()).first().copied().unwrap_or(0);
+                if let Some(&bad) = indices.iter().find(|&&ix| ix >= vocab) {
+                    Err(format!("gather index {bad} out of vocab {vocab}"))
+                } else {
+                    rules::gather_rows_rule(
+                        &shape_of(*table),
+                        crate::sym::SymDim::fixed(indices.len()),
+                    )
+                }
+            }
+            Op::MseLoss(p, t) | Op::MaeLoss(p, t) => {
+                rules::paired_loss_rule(&shape_of(*p), &shape_of(*t))
+            }
+            Op::SmoothL1(p, t, beta) => {
+                if *beta <= 0.0 {
+                    Err(format!("smooth_l1 beta {beta} must be positive"))
+                } else {
+                    rules::paired_loss_rule(&shape_of(*p), &shape_of(*t))
+                }
+            }
+            Op::CrossEntropyRows(logits, labels) => {
+                let ls = shape_of(*logits);
+                let rule = rules::cross_entropy_rule(&ls);
+                match rule {
+                    Ok(out) => {
+                        if ls[0].fixed != labels.len() {
+                            Err(format!(
+                                "{} labels for {} logits rows",
+                                labels.len(),
+                                ls[0].fixed
+                            ))
+                        } else {
+                            Ok(out)
+                        }
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        };
+
+        match expected {
+            Ok(shape) => {
+                let concrete: Vec<usize> = shape.iter().map(|d| d.fixed).collect();
+                if concrete != recorded {
+                    violations.push(Violation {
+                        node: i,
+                        op: op.name(),
+                        message: format!(
+                            "inferred shape {concrete:?} but tape recorded {recorded:?}"
+                        ),
+                    });
+                } else {
+                    // Only count MACs for nodes whose shape checks out.
+                    match op {
+                        Op::MatMul(a, _) => {
+                            let k = *g.shape_at(a.index()).last().unwrap_or(&1);
+                            macs.add_assign(&rules::mac_cost(
+                                "MatMul",
+                                &shape,
+                                Some(crate::sym::SymDim::fixed(k)),
+                            ));
+                        }
+                        Op::CrossEntropyRows(logits, _) => {
+                            macs.add_assign(&rules::cross_entropy_mac(&fixed_shape(
+                                g.shape_at(logits.index()),
+                            )));
+                        }
+                        _ => macs.add_assign(&rules::mac_cost(op.name(), &shape, None)),
+                    }
+                }
+            }
+            Err(message) => violations.push(Violation {
+                node: i,
+                op: op.name(),
+                message,
+            }),
+        }
+    }
+
+    let macs = macs.eval(1);
+    if violations.is_empty() && macs != g.macs() {
+        violations.push(Violation {
+            node: g.len(),
+            op: "<tape>",
+            message: format!(
+                "recomputed MAC total {macs} does not match graph counter {}",
+                g.macs()
+            ),
+        });
+    }
+
+    if violations.is_empty() {
+        Ok(TapeSummary {
+            nodes: g.len(),
+            macs,
+            param_nodes,
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::ParamStore;
+    use lip_tensor::Tensor;
+
+    #[test]
+    fn clean_tape_validates_with_matching_macs() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::ones(&[3, 4]));
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::ones(&[2, 3]));
+        let wv = g.param(w);
+        let y = g.matmul(x, wv);
+        let a = g.relu(y);
+        let _ = g.mean(a);
+        let summary = validate_graph(&g).expect("tape must validate");
+        assert_eq!(summary.nodes, 5);
+        assert_eq!(summary.param_nodes, 1);
+        assert_eq!(summary.macs, g.macs());
+    }
+
+    #[test]
+    fn validates_full_loss_graph() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let p = g.constant(Tensor::ones(&[2, 4]));
+        let t = g.constant(Tensor::zeros(&[2, 4]));
+        let _ = g.smooth_l1_loss(p, t, 1.0);
+        assert!(validate_graph(&g).is_ok());
+    }
+}

@@ -1,0 +1,36 @@
+//! `lip-analyze` — static analysis for recorded LiPFormer graphs.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * **Symbolic shape inference** ([`sym`], [`rules`], [`plan`]): shape
+//!   transfer functions for every tape op over dimensions affine in a
+//!   symbolic batch size `B`, and a planner that replays the entire
+//!   LiPFormer forward + loss and contrastive graphs from a configuration
+//!   alone — node-for-node identical to what the runtime records — yielding
+//!   the shape and MAC plan (a polynomial in `B`) without touching tensor
+//!   data. Inconsistent configurations are rejected here, before any kernel.
+//! * **Tape validation and lints** ([`infer`], [`lint`]): re-derive every
+//!   recorded node's shape and the MAC total from the rules and diff them
+//!   against the tape, then hunt structural smells — dead parameters,
+//!   detached subgraphs, silent rank-promoting broadcasts, reused dropout
+//!   masks.
+//! * **The harness** ([`harness`]): one call that plans, records (with the
+//!   NaN/Inf sanitizer armed), validates, diffs plan against runtime, and
+//!   lints — the engine behind the `lip-analyze` binary and the
+//!   `scripts/verify.sh` gate.
+
+pub mod harness;
+pub mod infer;
+pub mod lint;
+pub mod plan;
+pub mod rules;
+pub mod sym;
+
+pub use harness::{check_model, synthetic_batch, CheckReport};
+pub use infer::{validate_graph, TapeSummary, Violation};
+pub use lint::{lint_graphs, LintFinding, LintKind};
+pub use plan::{
+    plan_contrastive, plan_forward_loss, validate_config, ContrastivePlan, ForwardPlan,
+    PlanError, PlanVar, SymNode, SymTape,
+};
+pub use sym::{eval_shape, fixed_shape, shape_to_string, SymDim, SymPoly, SymShape};

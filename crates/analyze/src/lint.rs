@@ -1,0 +1,279 @@
+//! Tape lints: structural smells on recorded graphs that shape checking
+//! alone cannot see — parameters no graph ever reads, subgraphs detached
+//! from the loss, silent rank-promoting broadcasts, and reused dropout
+//! masks.
+
+use std::collections::{HashMap, HashSet};
+
+use lip_autograd::{Graph, Op, ParamId, Var};
+
+/// Lint category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// A parameter in the store that no analyzed graph reaches from its
+    /// root — it will never receive a gradient.
+    DeadParam,
+    /// A recorded node the root does not depend on: wasted forward compute,
+    /// and a hint that a branch was dropped by mistake.
+    DetachedSubgraph,
+    /// An elementwise binary op whose lower-rank operand is not a plain
+    /// trailing-suffix broadcast — ranks were promoted silently.
+    SuspiciousBroadcast,
+    /// Two dropout nodes sharing one mask tensor: the "independent noise"
+    /// assumption is violated.
+    DropoutMaskReuse,
+}
+
+impl LintKind {
+    /// Stable lint code for CLI output.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintKind::DeadParam => "dead-param",
+            LintKind::DetachedSubgraph => "detached-subgraph",
+            LintKind::SuspiciousBroadcast => "suspicious-broadcast",
+            LintKind::DropoutMaskReuse => "dropout-mask-reuse",
+        }
+    }
+}
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// Category.
+    pub kind: LintKind,
+    /// Offending tape index, when the finding is about a node.
+    pub node: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "[{}] node {}: {}", self.kind.code(), n, self.message),
+            None => write!(f, "[{}] {}", self.kind.code(), self.message),
+        }
+    }
+}
+
+/// Nodes reachable (backwards through op inputs) from `root`.
+fn reachable(g: &Graph, root: Var) -> Vec<bool> {
+    let mut seen = vec![false; g.len()];
+    let mut stack = vec![root.index()];
+    while let Some(i) = stack.pop() {
+        if seen[i] {
+            continue;
+        }
+        seen[i] = true;
+        for v in g.op_at(i).inputs() {
+            stack.push(v.index());
+        }
+    }
+    seen
+}
+
+/// Parameter ids whose leaves are reachable from `root`.
+fn live_params(g: &Graph, root: Var) -> HashSet<ParamId> {
+    let seen = reachable(g, root);
+    (0..g.len())
+        .filter(|&i| seen[i])
+        .filter_map(|i| match g.op_at(i) {
+            Op::Param(id) => Some(*id),
+            _ => None,
+        })
+        .collect()
+}
+
+/// True when `small` broadcasts as a plain trailing suffix of `out` —
+/// the shape every intentional bias/scale broadcast in this codebase has.
+fn is_trailing_suffix(small: &[usize], out: &[usize]) -> bool {
+    small.len() <= out.len() && out[out.len() - small.len()..] == *small
+}
+
+fn lint_one_graph(g: &Graph, root: Var, label: &str, findings: &mut Vec<LintFinding>) {
+    let seen = reachable(g, root);
+
+    // Consumers: a detached node is only *reported* at its sinks, so one
+    // forgotten branch yields one finding, not one per node.
+    let mut consumed = vec![false; g.len()];
+    for i in 0..g.len() {
+        for v in g.op_at(i).inputs() {
+            consumed[v.index()] = true;
+        }
+    }
+    for i in 0..g.len() {
+        if !seen[i] && !consumed[i] {
+            findings.push(LintFinding {
+                kind: LintKind::DetachedSubgraph,
+                node: Some(i),
+                message: format!(
+                    "{} ({}): sink not reachable from the {label} root — \
+                     forward work with no gradient path",
+                    g.op_at(i).name(),
+                    format_shape(g.shape_at(i)),
+                ),
+            });
+        }
+    }
+
+    // Suspicious broadcasts on elementwise binaries.
+    for i in 0..g.len() {
+        let (a, b) = match g.op_at(i) {
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b) => (*a, *b),
+            _ => continue,
+        };
+        let (sa, sb) = (g.shape_at(a.index()), g.shape_at(b.index()));
+        if sa.len() == sb.len() {
+            continue; // same-rank broadcasts (e.g. [b,1,c]) are deliberate here
+        }
+        let small = if sa.len() < sb.len() { sa } else { sb };
+        if small.is_empty() {
+            continue; // scalar against anything is always fine
+        }
+        if !is_trailing_suffix(small, g.shape_at(i)) {
+            findings.push(LintFinding {
+                kind: LintKind::SuspiciousBroadcast,
+                node: Some(i),
+                message: format!(
+                    "{}: operand {} is rank-promoted against {} without being a \
+                     trailing suffix of the result {}",
+                    g.op_at(i).name(),
+                    format_shape(small),
+                    format_shape(if sa.len() < sb.len() { sb } else { sa }),
+                    format_shape(g.shape_at(i)),
+                ),
+            });
+        }
+    }
+
+    // Dropout mask reuse: masks must be freshly sampled per site.
+    let mut masks: HashMap<usize, usize> = HashMap::new();
+    for i in 0..g.len() {
+        if let Op::Dropout(_, mask) = g.op_at(i) {
+            if let Some(&first) = masks.get(&mask.storage_ptr()) {
+                findings.push(LintFinding {
+                    kind: LintKind::DropoutMaskReuse,
+                    node: Some(i),
+                    message: format!(
+                        "dropout mask storage is shared with node {first} — \
+                         noise is correlated across sites"
+                    ),
+                });
+            } else {
+                masks.insert(mask.storage_ptr(), i);
+            }
+        }
+    }
+}
+
+fn format_shape(shape: &[usize]) -> String {
+    let dims: Vec<String> = shape.iter().map(|d| d.to_string()).collect();
+    format!("[{}]", dims.join(", "))
+}
+
+/// Run every lint over a set of recorded graphs that share one parameter
+/// store. Dead-parameter analysis unions reachability across *all* graphs:
+/// LiPFormer's target encoder and temperature only appear on the
+/// contrastive tape, so linting the forecasting tape alone would
+/// false-flag them.
+pub fn lint_graphs(graphs: &[(&Graph, Var, &str)]) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    if graphs.is_empty() {
+        return findings;
+    }
+
+    let store = graphs[0].0.store();
+    let mut live: HashSet<ParamId> = HashSet::new();
+    for &(g, root, label) in graphs {
+        live.extend(live_params(g, root));
+        lint_one_graph(g, root, label, &mut findings);
+    }
+    for id in store.ids() {
+        if !live.contains(&id) {
+            findings.push(LintFinding {
+                kind: LintKind::DeadParam,
+                node: None,
+                message: format!(
+                    "parameter '{}' {} is not reachable from any analyzed loss — \
+                     it will never train",
+                    store.name(id),
+                    format_shape(store.value(id).shape()),
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_autograd::ParamStore;
+    use lip_tensor::Tensor;
+
+    #[test]
+    fn dead_param_and_detached_sink_flagged() {
+        let mut store = ParamStore::new();
+        let used = store.add("used", Tensor::ones(&[3, 3]));
+        let _dead = store.add("dead", Tensor::ones(&[2]));
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::ones(&[2, 3]));
+        let w = g.param(used);
+        let y = g.matmul(x, w);
+        let detached = g.relu(y); // never feeds the loss
+        let _ = detached;
+        let loss = g.mean(y);
+        let findings = lint_graphs(&[(&g, loss, "test")]);
+        assert!(findings
+            .iter()
+            .any(|f| f.kind == LintKind::DeadParam && f.message.contains("'dead'")));
+        assert!(findings
+            .iter()
+            .any(|f| f.kind == LintKind::DetachedSubgraph));
+        assert!(!findings
+            .iter()
+            .any(|f| f.kind == LintKind::DeadParam && f.message.contains("'used'")));
+    }
+
+    #[test]
+    fn union_across_graphs_clears_contrastive_only_params() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::ones(&[2, 2]));
+        let b = store.add("b", Tensor::ones(&[2, 2]));
+        let mut g1 = Graph::new(&store);
+        let x = g1.constant(Tensor::ones(&[1, 2]));
+        let av = g1.param(a);
+        let y1 = g1.matmul(x, av);
+        let l1 = g1.mean(y1);
+        let mut g2 = Graph::new(&store);
+        let x2 = g2.constant(Tensor::ones(&[1, 2]));
+        let bv = g2.param(b);
+        let y2 = g2.matmul(x2, bv);
+        let l2 = g2.mean(y2);
+        let joint = lint_graphs(&[(&g1, l1, "fwd"), (&g2, l2, "ctr")]);
+        assert!(!joint.iter().any(|f| f.kind == LintKind::DeadParam));
+        let solo = lint_graphs(&[(&g1, l1, "fwd")]);
+        assert!(solo
+            .iter()
+            .any(|f| f.kind == LintKind::DeadParam && f.message.contains("'b'")));
+    }
+
+    #[test]
+    fn rank_promoting_broadcast_flagged_but_bias_clean() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::ones(&[2, 3, 4]));
+        let bias = g.constant(Tensor::ones(&[4]));
+        let ok = g.add(x, bias); // [4] is a trailing suffix — idiomatic bias
+        let odd = g.constant(Tensor::ones(&[1]));
+        let bad = g.mul(ok, odd); // [1] is not the suffix [4]
+        let loss = g.mean(bad);
+        let findings = lint_graphs(&[(&g, loss, "test")]);
+        let sus: Vec<_> = findings
+            .iter()
+            .filter(|f| f.kind == LintKind::SuspiciousBroadcast)
+            .collect();
+        assert_eq!(sus.len(), 1);
+        assert_eq!(sus[0].node, Some(bad.index()));
+    }
+}

@@ -1,0 +1,227 @@
+//! `lip-analyze` — static analysis CLI for LiPFormer graphs.
+//!
+//! ```text
+//! lip-analyze --plan                      # symbolic shape/MAC plan (batch B)
+//! lip-analyze --lint                      # tape lints over recorded graphs
+//! lip-analyze --check-model               # full check, nine-benchmark sweep
+//! lip-analyze --check-model conf.json     # full check of one configuration
+//! ```
+//!
+//! Exit code 0 means zero findings; 1 means at least one finding; 2 means a
+//! usage or input error. `scripts/verify.sh` runs `--lint --check-model` as
+//! a regression gate.
+
+use std::process::ExitCode;
+
+use lip_analyze::harness::{check_model, synthetic_batch};
+use lip_analyze::lint::lint_graphs;
+use lip_analyze::plan::plan_forward_loss;
+use lip_analyze::sym::shape_to_string;
+use lipformer::analysis::{record_contrastive, record_forward_loss};
+use lipformer::{LiPFormer, LiPFormerConfig};
+use lip_data::pipeline::{prepare, CovariateSpec};
+use lip_data::window::Batch;
+use lip_data::{generate, DatasetName, GeneratorConfig};
+
+const USAGE: &str = "\
+usage:
+  lip-analyze [--plan] [--lint] [--check-model [CONFIG.json]] [--batch N]
+
+modes (combine freely; at least one is required):
+  --plan                 print the symbolic shape/MAC plan, batch size B
+  --lint                 run tape lints over recorded training graphs
+  --check-model [FILE]   full static check: config validation, per-node
+                         shape inference, plan/runtime parity, lints, and
+                         the NaN/Inf sanitizer. FILE is a LiPFormerConfig
+                         JSON; without it the nine synthetic benchmarks
+                         are swept with their standard (48, 24) setup.
+options:
+  --batch N              batch size for recorded tapes (default 2, min 2)";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+struct Options {
+    plan: bool,
+    lint: bool,
+    check: bool,
+    config_path: Option<String>,
+    batch: usize,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        plan: false,
+        lint: false,
+        check: false,
+        config_path: None,
+        batch: 2,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--plan" => opts.plan = true,
+            "--lint" => opts.lint = true,
+            "--check-model" => {
+                opts.check = true;
+                if let Some(next) = it.peek() {
+                    if !next.starts_with("--") {
+                        opts.config_path = it.next();
+                    }
+                }
+            }
+            "--batch" => {
+                let v = it.next().unwrap_or_else(|| die("--batch expects a number"));
+                opts.batch = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--batch expects a number"));
+                if opts.batch < 2 {
+                    die("--batch must be at least 2 (the contrastive loss needs pairs)");
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0)
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    if !(opts.plan || opts.lint || opts.check) {
+        die("pick at least one of --plan, --lint, --check-model");
+    }
+    opts
+}
+
+/// One model to analyze: configuration, covariate spec, a concrete batch,
+/// and a display label.
+struct Target {
+    config: LiPFormerConfig,
+    spec: CovariateSpec,
+    batch: Batch,
+    label: String,
+}
+
+fn targets(opts: &Options) -> Vec<Target> {
+    if let Some(path) = &opts.config_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let config: LiPFormerConfig = lip_serde::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        let spec = CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        };
+        let batch = synthetic_batch(&config, &spec, opts.batch);
+        return vec![Target {
+            config,
+            spec,
+            batch,
+            label: path.clone(),
+        }];
+    }
+    DatasetName::all()
+        .into_iter()
+        .map(|name| {
+            let ds = generate(name, GeneratorConfig::test(3));
+            let prep = prepare(&ds, 48, 24);
+            let config = LiPFormerConfig::small(48, 24, prep.channels);
+            let indices: Vec<usize> = (0..opts.batch.min(prep.train.len())).collect();
+            Target {
+                config,
+                batch: prep.train.batch(&indices),
+                spec: prep.spec,
+                label: format!("{name:?}"),
+            }
+        })
+        .collect()
+}
+
+fn print_plan(t: &Target, full: bool) -> usize {
+    match plan_forward_loss(&t.config, &t.spec, true) {
+        Ok(plan) => {
+            println!(
+                "{}: {} nodes, MAC plan = {}",
+                t.label,
+                plan.tape.len(),
+                plan.tape.macs()
+            );
+            if full {
+                for (i, node) in plan.tape.nodes().iter().enumerate() {
+                    println!("  {i:>4}  {:<16} {}", node.op, shape_to_string(&node.shape));
+                }
+            }
+            0
+        }
+        Err(e) => {
+            println!("{}: {e}", t.label);
+            1
+        }
+    }
+}
+
+fn lint_only(t: &Target) -> usize {
+    let model = LiPFormer::new(t.config.clone(), &t.spec, 7);
+    let (g, _pred, loss) =
+        record_forward_loss(&model, &t.batch, t.config.smooth_l1_beta, true, 11);
+    let (gc, closs) = record_contrastive(&model, &t.batch);
+    let findings = lint_graphs(&[(&g, loss, "forecast"), (&gc, closs, "contrastive")]);
+    if findings.is_empty() {
+        println!("{}: lints clean ({} + {} nodes)", t.label, g.len(), gc.len());
+    } else {
+        for f in &findings {
+            println!("{}: {f}", t.label);
+        }
+    }
+    findings.len()
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let targets = targets(&opts);
+    let mut findings = 0usize;
+
+    if opts.plan {
+        println!("== symbolic plan (forward + loss, training mode) ==");
+        let full = targets.len() == 1;
+        for t in &targets {
+            findings += print_plan(t, full);
+        }
+    }
+
+    if opts.check {
+        println!("== model check (batch size {}) ==", opts.batch);
+        for t in &targets {
+            let report = check_model(&t.config, &t.spec, &t.batch, &t.label);
+            if report.clean() {
+                println!(
+                    "{}: clean — {} forecast + {} contrastive nodes, MACs {}",
+                    report.label,
+                    report.forward_nodes,
+                    report.contrastive_nodes,
+                    report.forward_macs
+                );
+            } else {
+                for f in &report.findings {
+                    println!("{}: {f}", report.label);
+                }
+                findings += report.findings.len();
+            }
+        }
+    } else if opts.lint {
+        println!("== tape lints (batch size {}) ==", opts.batch);
+        for t in &targets {
+            findings += lint_only(t);
+        }
+    }
+
+    if findings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        println!("{findings} finding(s)");
+        ExitCode::FAILURE
+    }
+}

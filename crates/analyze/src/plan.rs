@@ -1,0 +1,735 @@
+//! The symbolic forward plan: build LiPFormer's *entire* tape — forward +
+//! Smooth-L1 loss, and the contrastive pre-training graph — from a
+//! [`LiPFormerConfig`] and [`CovariateSpec`] alone, with a symbolic batch
+//! size and zero tensor data. The plan replays the exact op sequence the
+//! model records at runtime (the parity tests compare node-by-node), so a
+//! configuration error surfaces here, before any tensor kernel runs, with
+//! the failing stage named.
+
+use lipformer::cross_patch::compatible_heads;
+use lipformer::LiPFormerConfig;
+use lip_data::CovariateSpec;
+
+use crate::rules;
+use crate::sym::{shape_to_string, SymDim, SymPoly, SymShape};
+
+/// Handle to a node of a [`SymTape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanVar(pub usize);
+
+/// One planned node: the op the runtime will record and its symbolic shape.
+#[derive(Debug, Clone)]
+pub struct SymNode {
+    /// Op variant name, exactly as `lip_autograd::Op::name` reports it.
+    pub op: &'static str,
+    /// Symbolic output shape.
+    pub shape: SymShape,
+}
+
+/// A configuration error or shape inconsistency found while planning,
+/// annotated with the model stage being built.
+#[derive(Debug, Clone)]
+pub struct PlanError {
+    /// Model stage (e.g. "cross_patch", "head", "covariate_encoder").
+    pub stage: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl PlanError {
+    fn new(stage: &str, message: impl Into<String>) -> Self {
+        PlanError {
+            stage: stage.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan rejected at {}: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The symbolic tape: mirrors `lip_autograd::Graph`'s recording API over
+/// [`SymShape`]s, accumulating the MAC plan as a polynomial in `B`.
+#[derive(Debug, Default)]
+pub struct SymTape {
+    nodes: Vec<SymNode>,
+    macs: SymPoly,
+    stage: String,
+}
+
+impl SymTape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        SymTape {
+            nodes: Vec::with_capacity(128),
+            macs: SymPoly::zero(),
+            stage: "input".into(),
+        }
+    }
+
+    /// Name the model stage under construction — failures report it.
+    pub fn stage(&mut self, name: &str) {
+        self.stage = name.into();
+    }
+
+    /// Planned nodes, in tape order.
+    pub fn nodes(&self) -> &[SymNode] {
+        &self.nodes
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been planned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The multiply–accumulate plan as a polynomial in the batch size.
+    pub fn macs(&self) -> &SymPoly {
+        &self.macs
+    }
+
+    /// Symbolic shape at `v`.
+    pub fn shape(&self, v: PlanVar) -> &SymShape {
+        &self.nodes[v.0].shape
+    }
+
+    fn push(&mut self, op: &'static str, shape: SymShape) -> PlanVar {
+        self.macs.add_assign(&rules::mac_cost(op, &shape, None));
+        self.nodes.push(SymNode { op, shape });
+        PlanVar(self.nodes.len() - 1)
+    }
+
+    fn err(&self, message: impl Into<String>) -> PlanError {
+        PlanError::new(&self.stage, message)
+    }
+
+    // ------------------------------------------------------------- leaves
+
+    /// Constant leaf of known symbolic shape.
+    pub fn leaf(&mut self, shape: SymShape) -> PlanVar {
+        self.push("Leaf", shape)
+    }
+
+    /// Trainable-parameter leaf (parameters never depend on the batch).
+    pub fn param(&mut self, shape: &[usize]) -> PlanVar {
+        self.push("Param", crate::sym::fixed_shape(shape))
+    }
+
+    // -------------------------------------------------------- arithmetic
+
+    fn binary(&mut self, op: &'static str, a: PlanVar, b: PlanVar) -> Result<PlanVar, PlanError> {
+        let shape = rules::broadcast_join(self.shape(a), self.shape(b))
+            .map_err(|e| self.err(e))?;
+        Ok(self.push(op, shape))
+    }
+
+    /// Elementwise `a + b` with broadcasting.
+    pub fn add(&mut self, a: PlanVar, b: PlanVar) -> Result<PlanVar, PlanError> {
+        self.binary("Add", a, b)
+    }
+
+    /// Elementwise `a - b` with broadcasting.
+    pub fn sub(&mut self, a: PlanVar, b: PlanVar) -> Result<PlanVar, PlanError> {
+        self.binary("Sub", a, b)
+    }
+
+    /// Elementwise `a * b` with broadcasting.
+    pub fn mul(&mut self, a: PlanVar, b: PlanVar) -> Result<PlanVar, PlanError> {
+        self.binary("Mul", a, b)
+    }
+
+    /// Elementwise `a / b` with broadcasting.
+    pub fn div(&mut self, a: PlanVar, b: PlanVar) -> Result<PlanVar, PlanError> {
+        self.binary("Div", a, b)
+    }
+
+    /// `a + s`.
+    pub fn add_scalar(&mut self, a: PlanVar) -> PlanVar {
+        let s = self.shape(a).clone();
+        self.push("AddScalar", s)
+    }
+
+    /// `a * s`.
+    pub fn mul_scalar(&mut self, a: PlanVar) -> PlanVar {
+        let s = self.shape(a).clone();
+        self.push("MulScalar", s)
+    }
+
+    /// Batched matrix product.
+    pub fn matmul(&mut self, a: PlanVar, b: PlanVar) -> Result<PlanVar, PlanError> {
+        let (shape, k) = rules::matmul_rule(self.shape(a), self.shape(b))
+            .map_err(|e| self.err(e))?;
+        self.macs
+            .add_assign(&rules::mac_cost("MatMul", &shape, Some(k)));
+        self.nodes.push(SymNode { op: "MatMul", shape });
+        Ok(PlanVar(self.nodes.len() - 1))
+    }
+
+    // ------------------------------------------------------ shape surgery
+
+    /// Axis reorder.
+    pub fn permute(&mut self, a: PlanVar, axes: &[usize]) -> Result<PlanVar, PlanError> {
+        let shape = rules::permute_rule(self.shape(a), axes).map_err(|e| self.err(e))?;
+        Ok(self.push("Permute", shape))
+    }
+
+    /// Swap two axes (records a Permute, as the runtime does).
+    pub fn transpose(&mut self, a: PlanVar, d0: usize, d1: usize) -> Result<PlanVar, PlanError> {
+        let mut axes: Vec<usize> = (0..self.shape(a).len()).collect();
+        if d0 >= axes.len() || d1 >= axes.len() {
+            return Err(self.err(format!("transpose axes ({d0}, {d1}) out of rank")));
+        }
+        axes.swap(d0, d1);
+        self.permute(a, &axes)
+    }
+
+    /// Reinterpret under a symbolic target shape.
+    pub fn reshape(&mut self, a: PlanVar, target: SymShape) -> Result<PlanVar, PlanError> {
+        let shape = rules::reshape_rule(self.shape(a), &target).map_err(|e| self.err(e))?;
+        Ok(self.push("Reshape", shape))
+    }
+
+    /// Contiguous sub-range along an axis.
+    pub fn slice_axis(
+        &mut self,
+        a: PlanVar,
+        axis: usize,
+        start: usize,
+        end: usize,
+    ) -> Result<PlanVar, PlanError> {
+        let shape = rules::slice_rule(self.shape(a), axis, start, end)
+            .map_err(|e| self.err(e))?;
+        Ok(self.push("SliceAxis", shape))
+    }
+
+    /// Concatenate along an axis.
+    pub fn concat(&mut self, parts: &[PlanVar], axis: usize) -> Result<PlanVar, PlanError> {
+        let shapes: Vec<SymShape> = parts.iter().map(|p| self.shape(*p).clone()).collect();
+        let shape = rules::concat_rule(&shapes, axis).map_err(|e| self.err(e))?;
+        Ok(self.push("Concat", shape))
+    }
+
+    /// Row gather with a symbolic lookup count.
+    pub fn gather_rows(&mut self, table: PlanVar, count: SymDim) -> Result<PlanVar, PlanError> {
+        let shape = rules::gather_rows_rule(self.shape(table), count)
+            .map_err(|e| self.err(e))?;
+        Ok(self.push("GatherRows", shape))
+    }
+
+    // ------------------------------------------------------- nonlinearity
+
+    fn unary(&mut self, op: &'static str, a: PlanVar) -> PlanVar {
+        let s = self.shape(a).clone();
+        self.push(op, s)
+    }
+
+    /// Softmax over the last axis.
+    pub fn softmax(&mut self, a: PlanVar) -> PlanVar {
+        self.unary("Softmax", a)
+    }
+
+    /// GELU.
+    pub fn gelu(&mut self, a: PlanVar) -> PlanVar {
+        self.unary("Gelu", a)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: PlanVar) -> PlanVar {
+        self.unary("Relu", a)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: PlanVar) -> PlanVar {
+        self.unary("Square", a)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: PlanVar) -> PlanVar {
+        self.unary("Sqrt", a)
+    }
+
+    /// Elementwise exponent.
+    pub fn exp(&mut self, a: PlanVar) -> PlanVar {
+        self.unary("Exp", a)
+    }
+
+    /// Inverted-dropout mask application.
+    pub fn dropout(&mut self, a: PlanVar) -> PlanVar {
+        self.unary("Dropout", a)
+    }
+
+    // --------------------------------------------------------- reductions
+
+    /// Sum along `axis` (kept as size 1).
+    pub fn sum_axis(&mut self, a: PlanVar, axis: usize) -> Result<PlanVar, PlanError> {
+        let shape = rules::reduce_axis_rule(self.shape(a), axis).map_err(|e| self.err(e))?;
+        Ok(self.push("SumAxis", shape))
+    }
+
+    /// Mean along `axis` (kept as size 1).
+    pub fn mean_axis(&mut self, a: PlanVar, axis: usize) -> Result<PlanVar, PlanError> {
+        let shape = rules::reduce_axis_rule(self.shape(a), axis).map_err(|e| self.err(e))?;
+        Ok(self.push("MeanAxis", shape))
+    }
+
+    // -------------------------------------------------------------- losses
+
+    /// Smooth-L1 loss (scalar).
+    pub fn smooth_l1(&mut self, pred: PlanVar, target: PlanVar) -> Result<PlanVar, PlanError> {
+        let shape = rules::paired_loss_rule(self.shape(pred), self.shape(target))
+            .map_err(|e| self.err(e))?;
+        Ok(self.push("SmoothL1", shape))
+    }
+
+    /// Row-wise cross-entropy (scalar); charges 5×numel(logits) MACs.
+    pub fn cross_entropy_rows(&mut self, logits: PlanVar) -> Result<PlanVar, PlanError> {
+        let ls = self.shape(logits).clone();
+        let shape = rules::cross_entropy_rule(&ls).map_err(|e| self.err(e))?;
+        self.macs.add_assign(&rules::cross_entropy_mac(&ls));
+        self.nodes.push(SymNode {
+            op: "CrossEntropyRows",
+            shape,
+        });
+        Ok(PlanVar(self.nodes.len() - 1))
+    }
+}
+
+/// Result-based mirror of `LiPFormerConfig::validate`: every inconsistency
+/// becomes a [`PlanError`] instead of a panic, so `lip-analyze` can reject a
+/// bad configuration before any model is constructed or kernel runs.
+pub fn validate_config(config: &LiPFormerConfig) -> Result<(), PlanError> {
+    let c = |msg: String| PlanError::new("config", msg);
+    if config.seq_len == 0 || config.pred_len == 0 || config.channels == 0 {
+        return Err(c("seq_len, pred_len and channels must be positive".into()));
+    }
+    if config.patch_len == 0 || config.seq_len % config.patch_len != 0 {
+        return Err(c(format!(
+            "patch_len {} must evenly divide seq_len {} (paper §IV-A2)",
+            config.patch_len, config.seq_len
+        )));
+    }
+    if config.hidden == 0 || config.heads == 0 || config.hidden % config.heads != 0 {
+        return Err(c(format!(
+            "hidden {} must divide by heads {}",
+            config.hidden, config.heads
+        )));
+    }
+    if !(0.0..1.0).contains(&config.dropout) {
+        return Err(c(format!("dropout {} must be in [0, 1)", config.dropout)));
+    }
+    if config.smooth_l1_beta <= 0.0 {
+        return Err(c("smooth_l1_beta must be positive".into()));
+    }
+    if config.encoder_hidden == 0 {
+        return Err(c("encoder_hidden must be positive".into()));
+    }
+    Ok(())
+}
+
+/// A planned forward + loss pass.
+#[derive(Debug)]
+pub struct ForwardPlan {
+    /// The full symbolic tape.
+    pub tape: SymTape,
+    /// Prediction node `[B, L, c]`.
+    pub pred: PlanVar,
+    /// Scalar Smooth-L1 loss node.
+    pub loss: PlanVar,
+}
+
+/// A planned contrastive pre-training pass.
+#[derive(Debug)]
+pub struct ContrastivePlan {
+    /// The full symbolic tape.
+    pub tape: SymTape,
+    /// Scalar symmetric-CE loss node.
+    pub loss: PlanVar,
+}
+
+fn f(n: usize) -> SymDim {
+    SymDim::fixed(n)
+}
+
+/// `Linear::forward`: Param(w) → MatMul → [Param(b) → Add].
+fn sym_linear(
+    t: &mut SymTape,
+    x: PlanVar,
+    in_features: usize,
+    out_features: usize,
+    bias: bool,
+) -> Result<PlanVar, PlanError> {
+    match t.shape(x).last() {
+        Some(d) if *d == f(in_features) => {}
+        other => {
+            let got = other.map(|d| d.to_string()).unwrap_or_else(|| "<rank 0>".into());
+            return Err(PlanError::new(
+                "linear",
+                format!("layer expects feature width {in_features}, input has {got}"),
+            ));
+        }
+    }
+    let w = t.param(&[in_features, out_features]);
+    let mut y = t.matmul(x, w)?;
+    if bias {
+        let b = t.param(&[out_features]);
+        y = t.add(y, b)?;
+    }
+    Ok(y)
+}
+
+/// `MultiHeadSelfAttention::forward` on `[R, S, dim]`.
+fn sym_mhsa(t: &mut SymTape, x: PlanVar, dim: usize, heads: usize) -> Result<PlanVar, PlanError> {
+    let shape = t.shape(x).clone();
+    if shape.len() != 3 {
+        return Err(PlanError::new(
+            "attention",
+            format!("expects [batch, seq, dim], got {}", shape_to_string(&shape)),
+        ));
+    }
+    if heads == 0 || dim % heads != 0 {
+        return Err(PlanError::new(
+            "attention",
+            format!("dim {dim} not divisible by heads {heads}"),
+        ));
+    }
+    let (r, s) = (shape[0], shape[1]);
+    let dh = dim / heads;
+    let q = sym_linear(t, x, dim, dim, false)?;
+    let k = sym_linear(t, x, dim, dim, false)?;
+    let v = sym_linear(t, x, dim, dim, false)?;
+    let split = |t: &mut SymTape, proj: PlanVar| -> Result<PlanVar, PlanError> {
+        let re = t.reshape(proj, vec![r, s, f(heads), f(dh)])?;
+        t.permute(re, &[0, 2, 1, 3])
+    };
+    let qh = split(t, q)?;
+    let kh = split(t, k)?;
+    let vh = split(t, v)?;
+    let kt = t.transpose(kh, 2, 3)?;
+    let scores = t.matmul(qh, kt)?;
+    let scaled = t.mul_scalar(scores);
+    let attn = t.softmax(scaled);
+    let ctx = t.matmul(attn, vh)?;
+    let merged = t.permute(ctx, &[0, 2, 1, 3])?;
+    let flat = t.reshape(merged, vec![r, s, f(dim)])?;
+    sym_linear(t, flat, dim, dim, false)
+}
+
+/// `LayerNorm::forward` over the last axis.
+fn sym_layer_norm(t: &mut SymTape, x: PlanVar, dim: usize) -> Result<PlanVar, PlanError> {
+    let last = t.shape(x).len() - 1;
+    let mu = t.mean_axis(x, last)?;
+    let centered = t.sub(x, mu)?;
+    let sq = t.square(centered);
+    let var = t.mean_axis(sq, last)?;
+    let var_eps = t.add_scalar(var);
+    let std = t.sqrt(var_eps);
+    let normed = t.div(centered, std)?;
+    let gamma = t.param(&[dim]);
+    let scaled = t.mul(normed, gamma)?;
+    let beta = t.param(&[dim]);
+    t.add(scaled, beta)
+}
+
+/// `EncoderTrunk::forward`: residual attention, flatten, project to `[B, L]`.
+fn sym_trunk(
+    t: &mut SymTape,
+    fin: PlanVar,
+    horizon: usize,
+    hidden: usize,
+) -> Result<PlanVar, PlanError> {
+    let b = t.shape(fin)[0];
+    let heads = compatible_heads(hidden, 4);
+    let attended = sym_mhsa(t, fin, hidden, heads)?;
+    let residual = t.add(attended, fin)?;
+    let flat = t.reshape(residual, vec![b, f(horizon * hidden)])?;
+    sym_linear(t, flat, horizon * hidden, horizon, true)
+}
+
+/// `CovariateEncoder::forward` for either the explicit or implicit policy.
+fn sym_covariate_encoder(
+    t: &mut SymTape,
+    spec: &CovariateSpec,
+    horizon: usize,
+    hidden: usize,
+    categorical_embed: usize,
+) -> Result<PlanVar, PlanError> {
+    t.stage("covariate_encoder");
+    let (numerical_width, cardinalities): (usize, &[usize]) = if spec.has_explicit() {
+        (spec.numerical, &spec.cardinalities)
+    } else {
+        (spec.time_features, &[])
+    };
+    if numerical_width + cardinalities.len() == 0 {
+        return Err(PlanError::new(
+            "covariate_encoder",
+            "needs at least one input channel (no numerical covariates, categories or time features)",
+        ));
+    }
+    let mut parts: Vec<PlanVar> = Vec::new();
+    if numerical_width > 0 {
+        parts.push(t.leaf(vec![SymDim::batch(), f(horizon), f(numerical_width)]));
+    }
+    for &card in cardinalities {
+        if card == 0 || categorical_embed == 0 {
+            return Err(PlanError::new(
+                "covariate_encoder",
+                "embedding needs vocab > 0 and dim > 0",
+            ));
+        }
+        let table = t.param(&[card, categorical_embed]);
+        let gathered = t.gather_rows(table, SymDim::batch_times(horizon))?;
+        parts.push(t.reshape(
+            gathered,
+            vec![SymDim::batch(), f(horizon), f(categorical_embed)],
+        )?);
+    }
+    let cat = if parts.len() == 1 {
+        parts[0]
+    } else {
+        t.concat(&parts, 2)?
+    };
+    let cf = numerical_width + cardinalities.len() * categorical_embed;
+    let lifted = sym_linear(t, cat, cf, hidden, true)?;
+    sym_trunk(t, lifted, horizon, hidden)
+}
+
+/// Plan the complete `LiPFormer::forward` + Smooth-L1 graph (the tape
+/// `Trainer::fit` differentiates). `training` plans the dropout nodes the
+/// runtime records when `dropout > 0`.
+pub fn plan_forward_loss(
+    config: &LiPFormerConfig,
+    spec: &CovariateSpec,
+    training: bool,
+) -> Result<ForwardPlan, PlanError> {
+    validate_config(config)?;
+    let (tl, c, pl, hd) = (
+        config.seq_len,
+        config.channels,
+        config.patch_len,
+        config.hidden,
+    );
+    let n = tl / pl;
+    let nt = config.pred_len.div_ceil(pl);
+    let l = config.pred_len;
+    let bc = SymDim::batch_times(c);
+
+    let mut t = SymTape::new();
+    let x = t.leaf(vec![SymDim::batch(), f(tl), f(c)]);
+
+    // ---- instance normalization
+    t.stage("instance_norm");
+    let last = t.slice_axis(x, 1, tl - 1, tl)?;
+    let normed = t.sub(x, last)?;
+
+    // ---- channel independence + patching
+    t.stage("patching");
+    let per_channel = t.permute(normed, &[0, 2, 1])?;
+    let patched = t.reshape(per_channel, vec![bc, f(n), f(pl)])?;
+
+    // ---- Cross-Patch trend mixing
+    t.stage("cross_patch");
+    let trends = t.transpose(patched, 1, 2)?;
+    let mixed = if config.use_cross_patch {
+        let heads = compatible_heads(n, config.heads);
+        sym_mhsa(&mut t, trends, n, heads)?
+    } else {
+        sym_linear(&mut t, trends, n, n, true)?
+    };
+    let residual = t.add(mixed, trends)?;
+    let patches = t.transpose(residual, 1, 2)?;
+    let mut h = sym_linear(&mut t, patches, pl, hd, true)?;
+    if config.with_layer_norm {
+        t.stage("layer_norm_cross");
+        h = sym_layer_norm(&mut t, h, hd)?;
+    }
+    let apply_dropout = training && config.dropout > 0.0;
+    if apply_dropout {
+        h = t.dropout(h);
+    }
+
+    // ---- Inter-Patch attention (residual)
+    t.stage("inter_patch");
+    let mixed = if config.use_inter_patch {
+        let heads = compatible_heads(hd, config.heads);
+        sym_mhsa(&mut t, h, hd, heads)?
+    } else {
+        sym_linear(&mut t, h, hd, hd, true)?
+    };
+    let mut h = t.add(mixed, h)?;
+    if config.with_ffn {
+        t.stage("ffn");
+        let up = sym_linear(&mut t, h, hd, 4 * hd, true)?;
+        let act = t.gelu(up);
+        let down = sym_linear(&mut t, act, 4 * hd, hd, true)?;
+        h = t.add(down, h)?;
+    }
+    if config.with_layer_norm {
+        t.stage("layer_norm_inter");
+        h = sym_layer_norm(&mut t, h, hd)?;
+    }
+    if apply_dropout {
+        h = t.dropout(h);
+    }
+
+    // ---- two single-layer MLP heads
+    t.stage("head");
+    let swapped = t.transpose(h, 1, 2)?;
+    let tokens = sym_linear(&mut t, swapped, n, nt, true)?;
+    let back = t.transpose(tokens, 1, 2)?;
+    let patches_out = sym_linear(&mut t, back, hd, pl, true)?;
+    let flat = t.reshape(patches_out, vec![bc, f(nt * pl)])?;
+    let trimmed = t.slice_axis(flat, 1, 0, l)?;
+    let split = t.reshape(trimmed, vec![SymDim::batch(), f(c), f(l)])?;
+    let merged = t.permute(split, &[0, 2, 1])?;
+    let y_base = t.add(merged, last)?;
+
+    // ---- weak-data enriching guide (Eq. 8)
+    let v_c = sym_covariate_encoder(
+        &mut t,
+        spec,
+        l,
+        config.encoder_hidden,
+        config.categorical_embed,
+    )?;
+    t.stage("vector_mapping");
+    let flat = sym_linear(&mut t, v_c, l, l * c, true)?;
+    let correction = t.reshape(flat, vec![SymDim::batch(), f(l), f(c)])?;
+    let pred = t.add(y_base, correction)?;
+
+    // ---- training objective
+    t.stage("loss");
+    let target = t.leaf(vec![SymDim::batch(), f(l), f(c)]);
+    let loss = t.smooth_l1(pred, target)?;
+
+    Ok(ForwardPlan { tape: t, pred, loss })
+}
+
+/// Plan the symmetric contrastive pre-training graph
+/// (`WeakEnriching::contrastive_loss`).
+pub fn plan_contrastive(
+    config: &LiPFormerConfig,
+    spec: &CovariateSpec,
+) -> Result<ContrastivePlan, PlanError> {
+    validate_config(config)?;
+    let (l, c, eh) = (config.pred_len, config.channels, config.encoder_hidden);
+    let mut t = SymTape::new();
+
+    let v_c = sym_covariate_encoder(&mut t, spec, l, eh, config.categorical_embed)?;
+
+    t.stage("target_encoder");
+    let y = t.leaf(vec![SymDim::batch(), f(l), f(c)]);
+    let lifted = sym_linear(&mut t, y, c, eh, true)?;
+    let v_t = sym_trunk(&mut t, lifted, l, eh)?;
+
+    t.stage("contrastive_loss");
+    let temp = t.param(&[]);
+
+    // l2_normalize_rows(v_target) then l2_normalize_rows(v_covariate)
+    let l2norm = |t: &mut SymTape, v: PlanVar| -> Result<PlanVar, PlanError> {
+        let rank = t.shape(v).len();
+        let sq = t.square(v);
+        let ss = t.sum_axis(sq, rank - 1)?;
+        let ss_eps = t.add_scalar(ss);
+        let norm = t.sqrt(ss_eps);
+        t.div(v, norm)
+    };
+    let vt = l2norm(&mut t, v_t)?;
+    let vc = l2norm(&mut t, v_c)?;
+    let vct = t.transpose(vc, 0, 1)?;
+    let sims = t.matmul(vt, vct)?;
+    let e_t = t.exp(temp);
+    let logits = t.mul(sims, e_t)?;
+    let loss_rows = t.cross_entropy_rows(logits)?;
+    let logits_t = t.transpose(logits, 0, 1)?;
+    let loss_cols = t.cross_entropy_rows(logits_t)?;
+    let total = t.add(loss_rows, loss_cols)?;
+    let loss = t.mul_scalar(total);
+
+    Ok(ContrastivePlan { tape: t, loss })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::eval_shape;
+
+    fn implicit_spec() -> CovariateSpec {
+        CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        }
+    }
+
+    #[test]
+    fn forward_plan_shapes_and_scale() {
+        let config = LiPFormerConfig::small(48, 24, 3);
+        let plan = plan_forward_loss(&config, &implicit_spec(), false).unwrap();
+        assert_eq!(
+            eval_shape(plan.tape.shape(plan.pred), 5),
+            vec![5, 24, 3]
+        );
+        assert!(plan.tape.shape(plan.loss).is_empty(), "loss is scalar");
+        // MACs grow linearly in B for the forward pass (no B² term without
+        // the contrastive logits)
+        let m1 = plan.tape.macs().eval(1);
+        let m2 = plan.tape.macs().eval(2);
+        assert_eq!(m2, 2 * m1, "forward MACs must be linear in batch size");
+        assert!(m1 > 0);
+    }
+
+    #[test]
+    fn contrastive_plan_is_quadratic_in_batch() {
+        let config = LiPFormerConfig::small(48, 24, 2);
+        let plan = plan_contrastive(&config, &implicit_spec()).unwrap();
+        assert!(plan.tape.shape(plan.loss).is_empty());
+        let m2 = plan.tape.macs().eval(2);
+        let m4 = plan.tape.macs().eval(4);
+        // quadratic logits terms: doubling B more than doubles the cost
+        assert!(m4 > 2 * m2, "contrastive MACs must be superlinear: {m2} vs {m4}");
+    }
+
+    #[test]
+    fn off_by_one_patch_len_rejected_statically() {
+        let mut config = LiPFormerConfig::small(48, 24, 2);
+        config.patch_len += 1; // 48 % 7 != 0
+        let err = plan_forward_loss(&config, &implicit_spec(), false).unwrap_err();
+        assert_eq!(err.stage, "config");
+        assert!(err.message.contains("evenly divide"), "{}", err.message);
+    }
+
+    #[test]
+    fn explicit_covariates_add_embedding_nodes() {
+        let config = LiPFormerConfig::small(48, 24, 2);
+        let spec = CovariateSpec {
+            numerical: 9,
+            cardinalities: vec![2],
+            time_features: 4,
+        };
+        let plan = plan_forward_loss(&config, &spec, false).unwrap();
+        let ops: Vec<&str> = plan.tape.nodes().iter().map(|n| n.op).collect();
+        assert!(ops.contains(&"GatherRows"), "embedding lookup planned");
+        assert!(ops.contains(&"Concat"), "covariate concat planned");
+    }
+
+    #[test]
+    fn training_mode_plans_dropout() {
+        let config = LiPFormerConfig::small(48, 24, 2);
+        let eval_plan = plan_forward_loss(&config, &implicit_spec(), false).unwrap();
+        let train_plan = plan_forward_loss(&config, &implicit_spec(), true).unwrap();
+        let dropouts = |p: &ForwardPlan| {
+            p.tape.nodes().iter().filter(|n| n.op == "Dropout").count()
+        };
+        assert_eq!(dropouts(&eval_plan), 0);
+        assert_eq!(dropouts(&train_plan), 2, "backbone has two dropout sites");
+    }
+}

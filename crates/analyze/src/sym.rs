@@ -1,0 +1,299 @@
+//! Symbolic dimensions and polynomials for shape inference with an unknown
+//! batch size.
+//!
+//! Every axis of every tensor in a LiPFormer forward pass is *affine in the
+//! batch size* `B`: the time axis is a fixed `T`, the channel-flattened batch
+//! axis is `c·B`, the gather count of a categorical embedding is `L·B`.
+//! [`SymDim`] captures exactly that family, which keeps shape transfer rules
+//! decidable (two affine dims are equal iff their coefficients are equal).
+//! Element counts — needed for the MAC plan — are *products* of affine dims,
+//! i.e. polynomials in `B` ([`SymPoly`]; the contrastive logits matrix is
+//! `B²` elements).
+
+use std::fmt;
+
+/// One tensor axis: `per_batch·B + fixed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymDim {
+    /// Coefficient of the symbolic batch size `B`.
+    pub per_batch: usize,
+    /// Constant part.
+    pub fixed: usize,
+}
+
+impl SymDim {
+    /// A batch-independent axis of length `n`.
+    pub fn fixed(n: usize) -> Self {
+        SymDim { per_batch: 0, fixed: n }
+    }
+
+    /// The symbolic batch axis `B`.
+    pub fn batch() -> Self {
+        SymDim { per_batch: 1, fixed: 0 }
+    }
+
+    /// `k·B` — e.g. the `b·c` axis of channel-independent patching.
+    pub fn batch_times(k: usize) -> Self {
+        SymDim { per_batch: k, fixed: 0 }
+    }
+
+    /// True when the axis does not depend on the batch size.
+    pub fn is_fixed(self) -> bool {
+        self.per_batch == 0
+    }
+
+    /// True when the axis is the literal constant 1 (broadcastable).
+    pub fn is_one(self) -> bool {
+        self.per_batch == 0 && self.fixed == 1
+    }
+
+    /// Concrete length for batch size `b`.
+    pub fn eval(self, b: usize) -> usize {
+        self.per_batch * b + self.fixed
+    }
+
+    /// Multiply by a batch-independent factor.
+    pub fn scale(self, k: usize) -> Self {
+        SymDim {
+            per_batch: self.per_batch * k,
+            fixed: self.fixed * k,
+        }
+    }
+}
+
+impl fmt::Display for SymDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.per_batch, self.fixed) {
+            (0, n) => write!(f, "{n}"),
+            (1, 0) => write!(f, "B"),
+            (k, 0) => write!(f, "{k}B"),
+            (1, n) => write!(f, "B+{n}"),
+            (k, n) => write!(f, "{k}B+{n}"),
+        }
+    }
+}
+
+/// A symbolic tensor shape.
+pub type SymShape = Vec<SymDim>;
+
+/// Render a symbolic shape as `[2B, 8, 6]`.
+pub fn shape_to_string(shape: &[SymDim]) -> String {
+    let dims: Vec<String> = shape.iter().map(SymDim::to_string).collect();
+    format!("[{}]", dims.join(", "))
+}
+
+/// Concrete shape at batch size `b`.
+pub fn eval_shape(shape: &[SymDim], b: usize) -> Vec<usize> {
+    shape.iter().map(|d| d.eval(b)).collect()
+}
+
+/// Lift a concrete shape into the symbolic domain (all axes fixed).
+pub fn fixed_shape(shape: &[usize]) -> SymShape {
+    shape.iter().map(|&n| SymDim::fixed(n)).collect()
+}
+
+/// Product of a shape's axes when at most one axis is batch-dependent —
+/// the affine element count used for reshape flattening. Returns `None`
+/// when two batch-dependent axes would make the product quadratic.
+pub fn affine_numel(shape: &[SymDim]) -> Option<SymDim> {
+    let mut acc = SymDim::fixed(1);
+    for &d in shape {
+        if d.is_fixed() {
+            acc = acc.scale(d.fixed);
+        } else if acc.is_fixed() {
+            acc = d.scale(acc.fixed);
+        } else {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// A polynomial in the batch size `B` with non-negative integer
+/// coefficients, indexed by power: `coeffs[k]` is the coefficient of `Bᵏ`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SymPoly {
+    coeffs: Vec<u64>,
+}
+
+impl SymPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        SymPoly { coeffs: vec![] }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: u64) -> Self {
+        if c == 0 {
+            Self::zero()
+        } else {
+            SymPoly { coeffs: vec![c] }
+        }
+    }
+
+    /// Lift an affine dimension.
+    pub fn from_dim(d: SymDim) -> Self {
+        let mut p = SymPoly {
+            coeffs: vec![d.fixed as u64, d.per_batch as u64],
+        };
+        p.trim();
+        p
+    }
+
+    /// The element count of a symbolic shape as a polynomial.
+    pub fn numel(shape: &[SymDim]) -> Self {
+        let mut p = SymPoly::constant(1);
+        for &d in shape {
+            p = p.mul(&SymPoly::from_dim(d));
+        }
+        p
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last() == Some(&0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, other: &SymPoly) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![0u64; n];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = self.coeffs.get(i).copied().unwrap_or(0)
+                + other.coeffs.get(i).copied().unwrap_or(0);
+        }
+        let mut p = SymPoly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// In-place sum.
+    pub fn add_assign(&mut self, other: &SymPoly) {
+        *self = self.add(other);
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &SymPoly) -> Self {
+        if self.coeffs.is_empty() || other.coeffs.is_empty() {
+            return SymPoly::zero();
+        }
+        let mut coeffs = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        let mut p = SymPoly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// Scale by a constant.
+    pub fn scale(&self, k: u64) -> Self {
+        self.mul(&SymPoly::constant(k))
+    }
+
+    /// Evaluate at batch size `b`.
+    pub fn eval(&self, b: u64) -> u64 {
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * b + c;
+        }
+        acc
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+}
+
+impl fmt::Display for SymPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.coeffs.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match k {
+                0 => write!(f, "{c}")?,
+                1 => {
+                    if c == 1 {
+                        write!(f, "B")?;
+                    } else {
+                        write!(f, "{c}·B")?;
+                    }
+                }
+                _ => {
+                    if c == 1 {
+                        write!(f, "B^{k}")?;
+                    } else {
+                        write!(f, "{c}·B^{k}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_arithmetic_and_eval() {
+        let d = SymDim::batch_times(3);
+        assert_eq!(d.eval(4), 12);
+        assert_eq!(d.scale(2).eval(4), 24);
+        assert!(SymDim::fixed(1).is_one());
+        assert!(!SymDim::batch().is_fixed());
+        assert_eq!(SymDim::fixed(7).eval(100), 7);
+    }
+
+    #[test]
+    fn affine_numel_rejects_quadratic() {
+        let ok = affine_numel(&[SymDim::batch_times(2), SymDim::fixed(3)]).unwrap();
+        assert_eq!(ok, SymDim::batch_times(6));
+        assert!(affine_numel(&[SymDim::batch(), SymDim::batch()]).is_none());
+    }
+
+    #[test]
+    fn poly_numel_of_logits_is_square() {
+        let p = SymPoly::numel(&[SymDim::batch(), SymDim::batch()]);
+        assert_eq!(p.eval(5), 25);
+        assert_eq!(p.to_string(), "B^2");
+    }
+
+    #[test]
+    fn poly_arithmetic() {
+        let a = SymPoly::from_dim(SymDim { per_batch: 2, fixed: 1 }); // 2B + 1
+        let b = SymPoly::from_dim(SymDim::fixed(3));
+        let prod = a.mul(&b); // 6B + 3
+        assert_eq!(prod.eval(10), 63);
+        let sum = prod.add(&SymPoly::constant(7));
+        assert_eq!(sum.eval(0), 10);
+        assert_eq!(SymPoly::zero().add(&SymPoly::zero()).eval(9), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SymDim::batch().to_string(), "B");
+        assert_eq!(SymDim::batch_times(4).to_string(), "4B");
+        assert_eq!(SymDim::fixed(9).to_string(), "9");
+        assert_eq!(
+            shape_to_string(&[SymDim::batch_times(2), SymDim::fixed(8)]),
+            "[2B, 8]"
+        );
+        let p = SymPoly::numel(&[SymDim::batch(), SymDim::fixed(24), SymDim::fixed(2)]);
+        assert_eq!(p.to_string(), "48·B");
+    }
+}

@@ -10,6 +10,68 @@ use crate::{ParamId, ParamStore};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(pub(crate) usize);
 
+impl Var {
+    /// Position of this node on the tape (tape order is topological order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One step in a [`SanitizerReport`]'s provenance chain: an ancestor of the
+/// node that first produced a non-finite value.
+#[derive(Debug, Clone)]
+pub struct ProvenanceStep {
+    /// Tape index of the ancestor.
+    pub node: usize,
+    /// Op variant name at that ancestor.
+    pub op: &'static str,
+    /// Output shape at that ancestor.
+    pub shape: Vec<usize>,
+    /// Whether the ancestor's own value was still finite.
+    pub finite: bool,
+    /// Distance from the offending node (1 = direct input).
+    pub depth: usize,
+}
+
+/// A NaN/Inf *producer* caught by the opt-in sanitizer: a node whose output
+/// is non-finite while every input was still finite. Downstream nodes that
+/// merely inherit the poison are suppressed, so each report is an actual
+/// eruption site.
+#[derive(Debug, Clone)]
+pub struct SanitizerReport {
+    /// Tape index of the offending node.
+    pub node: usize,
+    /// Op variant that produced the non-finite value.
+    pub op: &'static str,
+    /// Output shape of the offending node.
+    pub shape: Vec<usize>,
+    /// Ancestors of the offending node, nearest first (breadth-first,
+    /// depth-limited).
+    pub provenance: Vec<ProvenanceStep>,
+}
+
+impl std::fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "non-finite value produced at node {} ({}, shape {:?})",
+            self.node, self.op, self.shape
+        )?;
+        for step in &self.provenance {
+            write!(
+                f,
+                "\n  <- input[depth {}] node {} ({}, shape {:?}, {})",
+                step.depth,
+                step.node,
+                step.op,
+                step.shape,
+                if step.finite { "finite" } else { "non-finite" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
 pub(crate) struct Node {
     pub value: Tensor,
     pub op: Op,
@@ -23,6 +85,12 @@ pub struct Graph<'s> {
     store: &'s ParamStore,
     pub(crate) nodes: Vec<Node>,
     macs: u64,
+    /// When true, every pushed value is scanned for NaN/Inf (the opt-in
+    /// numerical sanitizer).
+    sanitize: bool,
+    /// Per-node poison flags, maintained only while `sanitize` is on.
+    poisoned: Vec<bool>,
+    reports: Vec<SanitizerReport>,
 }
 
 impl<'s> Graph<'s> {
@@ -32,7 +100,58 @@ impl<'s> Graph<'s> {
             store,
             nodes: Vec::with_capacity(64),
             macs: 0,
+            sanitize: false,
+            poisoned: Vec::new(),
+            reports: Vec::new(),
         }
+    }
+
+    /// Fresh tape with the numerical sanitizer enabled: every recorded node
+    /// is checked for NaN/Inf, and the first node of each poison chain is
+    /// reported with its op, index and input provenance. Costs one extra
+    /// pass over each node's data; intended for debugging and `lip-analyze`.
+    pub fn with_sanitizer(store: &'s ParamStore) -> Self {
+        let mut g = Graph::new(store);
+        g.sanitize = true;
+        g
+    }
+
+    /// Whether the numerical sanitizer is active.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitize
+    }
+
+    /// Findings collected by the sanitizer so far (empty when disabled or
+    /// when every recorded value was finite).
+    pub fn sanitizer_reports(&self) -> &[SanitizerReport] {
+        &self.reports
+    }
+
+    /// The parameter store this tape reads from.
+    pub fn store(&self) -> &ParamStore {
+        self.store
+    }
+
+    /// The recorded op at `v`.
+    pub fn op(&self, v: Var) -> &Op {
+        &self.nodes[v.0].op
+    }
+
+    /// The recorded op at tape position `index`.
+    pub fn op_at(&self, index: usize) -> &Op {
+        &self.nodes[index].op
+    }
+
+    /// Shape of the value at tape position `index`.
+    pub fn shape_at(&self, index: usize) -> &[usize] {
+        self.nodes[index].value.shape()
+    }
+
+    /// Handle to the node at tape position `index` (panics when out of
+    /// range). Lets external analyses walk the tape by index.
+    pub fn var(&self, index: usize) -> Var {
+        assert!(index < self.nodes.len(), "node index {index} out of range");
+        Var(index)
     }
 
     /// Multiply–accumulate operations recorded so far (matmuls dominate;
@@ -63,8 +182,58 @@ impl<'s> Graph<'s> {
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
         debug_assert!(!value.data().is_empty() || value.numel() == 0);
+        if self.sanitize {
+            self.sanitize_incoming(&value, &op);
+        }
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Sanitizer hook, run before the node is appended: flag the node if its
+    /// value is non-finite, and report it when it is a fresh producer (no
+    /// poisoned input) rather than a downstream propagation.
+    fn sanitize_incoming(&mut self, value: &Tensor, op: &Op) {
+        let inherited = op.inputs().iter().any(|v| self.poisoned[v.0]);
+        let bad = value.has_non_finite();
+        if bad && !inherited {
+            self.reports.push(SanitizerReport {
+                node: self.nodes.len(),
+                op: op.name(),
+                shape: value.shape().to_vec(),
+                provenance: self.provenance_of(op),
+            });
+        }
+        self.poisoned.push(bad || inherited);
+    }
+
+    /// Breadth-first ancestor walk used for sanitizer reports, nearest
+    /// inputs first, depth- and size-limited to keep reports readable.
+    fn provenance_of(&self, op: &Op) -> Vec<ProvenanceStep> {
+        const MAX_DEPTH: usize = 3;
+        const MAX_STEPS: usize = 12;
+        let mut steps = Vec::new();
+        let mut frontier: Vec<usize> = op.inputs().iter().map(|v| v.0).collect();
+        let mut depth = 1usize;
+        while !frontier.is_empty() && depth <= MAX_DEPTH && steps.len() < MAX_STEPS {
+            let mut next = Vec::new();
+            for idx in frontier {
+                if steps.len() >= MAX_STEPS {
+                    break;
+                }
+                let node = &self.nodes[idx];
+                steps.push(ProvenanceStep {
+                    node: idx,
+                    op: node.op.name(),
+                    shape: node.value.shape().to_vec(),
+                    finite: !node.value.has_non_finite(),
+                    depth,
+                });
+                next.extend(node.op.inputs().iter().map(|v| v.0));
+            }
+            frontier = next;
+            depth += 1;
+        }
+        steps
     }
 
     // ------------------------------------------------------------- leaves
@@ -159,13 +328,13 @@ impl<'s> Graph<'s> {
     /// Reinterpret under a new shape.
     pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
         let v = self.nodes[a.0].value.reshape(shape);
-        self.push(v, Op::Reshape(a))
+        self.push(v, Op::Reshape(a, shape.to_vec()))
     }
 
     /// Materialize a broadcast.
     pub fn broadcast_to(&mut self, a: Var, shape: &[usize]) -> Var {
         let v = self.nodes[a.0].value.broadcast_to(shape);
-        self.push(v, Op::BroadcastTo(a))
+        self.push(v, Op::BroadcastTo(a, shape.to_vec()))
     }
 
     /// Contiguous sub-range along an axis.
@@ -353,5 +522,61 @@ impl<'s> Graph<'s> {
             / labels.len() as f32;
         self.macs += 5 * vl.numel() as u64;
         self.push(Tensor::scalar(nll), Op::CrossEntropyRows(logits, labels.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizer_pinpoints_producer_with_provenance() {
+        let store = ParamStore::new();
+        let mut g = Graph::with_sanitizer(&store);
+        let x = g.constant(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let y = g.ln(x); // ln(-1) = NaN: the eruption site
+        let _z = g.add(y, y); // inherits the poison, must not re-report
+        let reports = g.sanitizer_reports();
+        assert_eq!(reports.len(), 1, "one producer, one report");
+        let r = &reports[0];
+        assert_eq!(r.node, y.index());
+        assert_eq!(r.op, "Ln");
+        assert_eq!(r.shape, vec![2]);
+        assert_eq!(r.provenance[0].node, x.index());
+        assert_eq!(r.provenance[0].op, "Leaf");
+        assert!(r.provenance[0].finite);
+        assert_eq!(r.provenance[0].depth, 1);
+    }
+
+    #[test]
+    fn sanitizer_clean_graph_reports_nothing() {
+        let store = ParamStore::new();
+        let mut g = Graph::with_sanitizer(&store);
+        let x = g.constant(Tensor::ones(&[3]));
+        let y = g.exp(x);
+        let _ = g.mean(y);
+        assert!(g.sanitizer_reports().is_empty());
+    }
+
+    #[test]
+    fn sanitizer_off_by_default() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        assert!(!g.sanitizer_enabled());
+        let x = g.constant(Tensor::from_vec(vec![-1.0], &[1]));
+        let _ = g.ln(x);
+        assert!(g.sanitizer_reports().is_empty());
+    }
+
+    #[test]
+    fn reshape_records_target_shape() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::ones(&[2, 3]));
+        let y = g.reshape(x, &[3, 2]);
+        match g.op(y) {
+            Op::Reshape(_, target) => assert_eq!(target, &[3, 2]),
+            other => panic!("expected Reshape, got {}", other.name()),
+        }
     }
 }

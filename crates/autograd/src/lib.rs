@@ -38,5 +38,6 @@ pub mod op;
 mod params;
 
 pub use backward::Gradients;
-pub use graph::{Graph, Var};
+pub use graph::{Graph, ProvenanceStep, SanitizerReport, Var};
+pub use op::Op;
 pub use params::{ParamId, ParamStore};

@@ -24,8 +24,10 @@ pub enum Op {
     Neg(Var),
     MatMul(Var, Var),
     Permute(Var, Vec<usize>),
-    Reshape(Var),
-    BroadcastTo(Var),
+    /// Reinterpretation under the recorded target shape.
+    Reshape(Var, Vec<usize>),
+    /// Materialized broadcast to the recorded target shape.
+    BroadcastTo(Var, Vec<usize>),
     /// Softmax over the last axis.
     Softmax(Var),
     /// Log-softmax over the last axis.
@@ -61,6 +63,50 @@ pub enum Op {
 }
 
 impl Op {
+    /// Variant name, for diagnostics and the static analyzer's plan/parity
+    /// comparisons.
+    pub fn name(&self) -> &'static str {
+        use Op::*;
+        match self {
+            Leaf => "Leaf",
+            Param(_) => "Param",
+            Add(..) => "Add",
+            Sub(..) => "Sub",
+            Mul(..) => "Mul",
+            Div(..) => "Div",
+            AddScalar(_) => "AddScalar",
+            MulScalar(..) => "MulScalar",
+            Neg(_) => "Neg",
+            MatMul(..) => "MatMul",
+            Permute(..) => "Permute",
+            Reshape(..) => "Reshape",
+            BroadcastTo(..) => "BroadcastTo",
+            Softmax(_) => "Softmax",
+            LogSoftmax(_) => "LogSoftmax",
+            Relu(_) => "Relu",
+            Gelu(_) => "Gelu",
+            Sigmoid(_) => "Sigmoid",
+            Tanh(_) => "Tanh",
+            Sqrt(_) => "Sqrt",
+            Exp(_) => "Exp",
+            Ln(_) => "Ln",
+            Square(_) => "Square",
+            Abs(_) => "Abs",
+            Dropout(..) => "Dropout",
+            Sum(_) => "Sum",
+            Mean(_) => "Mean",
+            SumAxis(..) => "SumAxis",
+            MeanAxis(..) => "MeanAxis",
+            Concat(..) => "Concat",
+            SliceAxis(..) => "SliceAxis",
+            GatherRows(..) => "GatherRows",
+            MseLoss(..) => "MseLoss",
+            MaeLoss(..) => "MaeLoss",
+            SmoothL1(..) => "SmoothL1",
+            CrossEntropyRows(..) => "CrossEntropyRows",
+        }
+    }
+
     /// Input nodes of this op, in order.
     pub fn inputs(&self) -> Vec<Var> {
         use Op::*;
@@ -69,8 +115,8 @@ impl Op {
             Add(a, b) | Sub(a, b) | Mul(a, b) | Div(a, b) | MatMul(a, b) | MseLoss(a, b)
             | MaeLoss(a, b) => vec![*a, *b],
             SmoothL1(a, b, _) => vec![*a, *b],
-            AddScalar(a) | MulScalar(a, _) | Neg(a) | Permute(a, _) | Reshape(a)
-            | BroadcastTo(a) | Softmax(a) | LogSoftmax(a) | Relu(a) | Gelu(a) | Sigmoid(a)
+            AddScalar(a) | MulScalar(a, _) | Neg(a) | Permute(a, _) | Reshape(a, _)
+            | BroadcastTo(a, _) | Softmax(a) | LogSoftmax(a) | Relu(a) | Gelu(a) | Sigmoid(a)
             | Tanh(a) | Sqrt(a) | Exp(a) | Ln(a) | Square(a) | Abs(a) | Dropout(a, _)
             | Sum(a) | Mean(a) | SumAxis(a, _) | MeanAxis(a, _) | SliceAxis(a, _, _, _)
             | GatherRows(a, _) | CrossEntropyRows(a, _) => vec![*a],
@@ -150,11 +196,11 @@ impl Op {
                 }
                 vec![(*a, grad.permute(&inverse))]
             }
-            Reshape(a) => {
+            Reshape(a, _) => {
                 let va = value_of(*a);
                 vec![(*a, grad.reshape(va.shape()))]
             }
-            BroadcastTo(a) => {
+            BroadcastTo(a, _) => {
                 let va = value_of(*a);
                 vec![(*a, grad.reduce_to_shape(va.shape()))]
             }

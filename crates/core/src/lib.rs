@@ -38,6 +38,7 @@
 //! assert!(report.best_val_loss.is_finite());
 //! ```
 
+pub mod analysis;
 pub mod base_predictor;
 pub mod checkpoint;
 pub mod config;

@@ -9,6 +9,65 @@ use lip_tensor::Tensor;
 use crate::calendar::Calendar;
 use crate::dataset::TimeSeries;
 
+/// A CSV load failure: either underlying I/O, or malformed content reported
+/// with its 1-based line (and column, when one field is to blame).
+#[derive(Debug)]
+pub enum CsvError {
+    Io(std::io::Error),
+    Malformed {
+        /// 1-based line in the file (the header is line 1).
+        line: usize,
+        /// 1-based column index of the offending field, when known (the
+        /// index/date column is column 1).
+        column: Option<usize>,
+        message: String,
+    },
+}
+
+impl CsvError {
+    fn malformed(line: usize, column: Option<usize>, message: impl Into<String>) -> Self {
+        CsvError::Malformed {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::Malformed {
+                line,
+                column,
+                message,
+            } => {
+                write!(f, "csv error at line {line}")?;
+                if let Some(c) = column {
+                    write!(f, ", column {c}")?;
+                }
+                write!(f, ": {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
 /// Write a series as `index,ch...` CSV.
 pub fn save_csv(series: &TimeSeries, path: &Path) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
@@ -30,40 +89,44 @@ pub fn save_csv(series: &TimeSeries, path: &Path) -> std::io::Result<()> {
 }
 
 /// Load a CSV written by [`save_csv`] (or any `header + index,values…` file).
-/// The first column is skipped as an index/date column.
-pub fn load_csv(path: &Path, calendar: Calendar) -> std::io::Result<TimeSeries> {
+/// The first column is skipped as an index/date column. Malformed content is
+/// reported with its line and column instead of a bare parse failure.
+pub fn load_csv(path: &Path, calendar: Calendar) -> Result<TimeSeries, CsvError> {
     let file = std::fs::File::open(path)?;
     let mut lines = std::io::BufReader::new(file).lines();
     let header = lines
         .next()
-        .ok_or_else(|| bad_data("empty csv"))??;
+        .ok_or_else(|| CsvError::malformed(1, None, "empty csv"))??;
     let channels: Vec<String> = header.split(',').skip(1).map(str::to_string).collect();
     if channels.is_empty() {
-        return Err(bad_data("csv has no value columns"));
+        return Err(CsvError::malformed(1, None, "csv has no value columns"));
     }
     let mut data = Vec::new();
     let mut rows = 0usize;
+    let mut line_no = 1usize; // the header was line 1
     for line in lines {
         let line = line?;
+        line_no += 1;
         if line.trim().is_empty() {
             continue;
         }
         let mut fields = line.split(',');
         let _idx = fields.next();
         let mut width = 0usize;
-        for f in fields {
-            let v: f32 = f
-                .trim()
-                .parse()
-                .map_err(|e| bad_data(&format!("row {rows}: {e}")))?;
+        for (col, f) in fields.enumerate() {
+            let v: f32 = f.trim().parse().map_err(|e| {
+                // +2: the skipped index column is 1, first value column is 2
+                CsvError::malformed(line_no, Some(col + 2), format!("{e} ({f:?})"))
+            })?;
             data.push(v);
             width += 1;
         }
         if width != channels.len() {
-            return Err(bad_data(&format!(
-                "row {rows} has {width} fields, expected {}",
-                channels.len()
-            )));
+            return Err(CsvError::malformed(
+                line_no,
+                None,
+                format!("has {width} value fields, expected {}", channels.len()),
+            ));
         }
         rows += 1;
     }
@@ -72,10 +135,6 @@ pub fn load_csv(path: &Path, calendar: Calendar) -> std::io::Result<TimeSeries> 
         channels,
         calendar,
     ))
-}
-
-fn bad_data(msg: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
 }
 
 #[cfg(test)]
@@ -100,13 +159,21 @@ mod tests {
     }
 
     #[test]
-    fn malformed_rows_rejected() {
+    fn malformed_rows_rejected_with_position() {
         let dir = std::env::temp_dir().join("lip_data_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.csv");
         std::fs::write(&path, "idx,a,b\n0,1.0\n").unwrap();
-        assert!(load_csv(&path, Calendar::ett_default(Frequency::Hourly)).is_err());
-        std::fs::write(&path, "idx,a\n0,not_a_number\n").unwrap();
-        assert!(load_csv(&path, Calendar::ett_default(Frequency::Hourly)).is_err());
+        match load_csv(&path, Calendar::ett_default(Frequency::Hourly)) {
+            Err(CsvError::Malformed { line: 2, column: None, .. }) => {}
+            other => panic!("expected short-row error, got {other:?}"),
+        }
+        std::fs::write(&path, "idx,a\n0,1.0\n1,not_a_number\n").unwrap();
+        match load_csv(&path, Calendar::ett_default(Frequency::Hourly)) {
+            Err(e @ CsvError::Malformed { line: 3, column: Some(2), .. }) => {
+                assert!(e.to_string().contains("line 3, column 2"), "{e}");
+            }
+            other => panic!("expected parse error with position, got {other:?}"),
+        }
     }
 }

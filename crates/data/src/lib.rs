@@ -27,9 +27,10 @@ pub mod timefeatures;
 pub mod window;
 
 pub use calendar::{Calendar, DateTime, Frequency};
+pub use csv::CsvError;
 pub use dataset::{BenchmarkDataset, CovariateSet, TimeSeries};
 pub use generators::{generate, DatasetName, GeneratorConfig};
 pub use pipeline::{prepare, to_univariate, CovariateSpec, PreparedData};
 pub use scaler::StandardScaler;
 pub use split::{split_borders, Split, SplitRatio};
-pub use window::{Batch, WindowDataset};
+pub use window::{Batch, BatchContract, WindowDataset};

@@ -8,7 +8,7 @@ use crate::dataset::{BenchmarkDataset, CovariateSet};
 use crate::scaler::StandardScaler;
 use crate::split::{split_borders, Split};
 use crate::timefeatures;
-use crate::window::WindowDataset;
+use crate::window::{BatchContract, WindowDataset};
 
 /// Shape of the weak-label inputs a model will receive.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +30,25 @@ impl CovariateSpec {
     /// Total explicit channel count `c_f`.
     pub fn explicit_channels(&self) -> usize {
         self.numerical + self.cardinalities.len()
+    }
+
+    /// The [`BatchContract`] a batch must satisfy for windows of
+    /// `seq_len`/`pred_len` over `channels` target channels with these
+    /// covariates.
+    pub fn batch_contract(
+        &self,
+        seq_len: usize,
+        pred_len: usize,
+        channels: usize,
+    ) -> BatchContract {
+        BatchContract {
+            seq_len,
+            pred_len,
+            channels,
+            time_features: self.time_features,
+            numerical: self.numerical,
+            cardinalities: self.cardinalities.clone(),
+        }
     }
 }
 

@@ -38,6 +38,76 @@ impl Batch {
     }
 }
 
+/// The shape contract a [`Batch`] must satisfy for a given window/covariate
+/// configuration. The static analyzer (and any pre-flight validation) checks
+/// a batch against this before handing it to a model, so malformed data is
+/// rejected with a description instead of a kernel panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchContract {
+    pub seq_len: usize,
+    pub pred_len: usize,
+    pub channels: usize,
+    /// Width of the implicit temporal features.
+    pub time_features: usize,
+    /// Expected explicit numerical covariate width (0 = none required).
+    pub numerical: usize,
+    /// Expected cardinality of each categorical covariate channel.
+    pub cardinalities: Vec<usize>,
+}
+
+impl BatchContract {
+    /// Validate `batch` against this contract; `Err` describes the first
+    /// violation found.
+    pub fn check(&self, batch: &Batch) -> Result<(), String> {
+        if batch.x.rank() != 3 {
+            return Err(format!("x must be rank 3, got {:?}", batch.x.shape()));
+        }
+        let b = batch.x.shape()[0];
+        let expect = |name: &str, got: &[usize], want: &[usize]| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("{name} has shape {got:?}, contract wants {want:?}"))
+            }
+        };
+        expect("x", batch.x.shape(), &[b, self.seq_len, self.channels])?;
+        expect("y", batch.y.shape(), &[b, self.pred_len, self.channels])?;
+        expect(
+            "time_feats",
+            batch.time_feats.shape(),
+            &[b, self.pred_len, self.time_features],
+        )?;
+        match (&batch.cov_numerical, self.numerical) {
+            (None, 0) => {}
+            (None, w) => return Err(format!("missing numerical covariates of width {w}")),
+            (Some(t), w) => expect("cov_numerical", t.shape(), &[b, self.pred_len, w])?,
+        }
+        let cats = batch.cov_categorical.as_deref().unwrap_or(&[]);
+        if cats.len() != self.cardinalities.len() {
+            return Err(format!(
+                "{} categorical covariate channels, contract wants {}",
+                cats.len(),
+                self.cardinalities.len()
+            ));
+        }
+        for (ch, (codes, &card)) in cats.iter().zip(&self.cardinalities).enumerate() {
+            if codes.len() != b * self.pred_len {
+                return Err(format!(
+                    "categorical channel {ch} has {} codes, expected {}",
+                    codes.len(),
+                    b * self.pred_len
+                ));
+            }
+            if let Some(&bad) = codes.iter().find(|&&c| c >= card) {
+                return Err(format!(
+                    "categorical channel {ch} contains code {bad} >= cardinality {card}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A window sampler over one split `[start, end)` of a series.
 pub struct WindowDataset {
     values: Tensor,     // [T, c] (standardized)
@@ -272,6 +342,65 @@ mod tests {
         let chunks = WindowDataset::batch_indices(&order, 3);
         assert_eq!(chunks.len(), 3);
         assert_eq!(chunks[2], vec![6]);
+    }
+
+    #[test]
+    fn batch_contract_accepts_and_rejects() {
+        let ds = toy();
+        let batch = ds.batch(&[0, 1, 2]);
+        let good = BatchContract {
+            seq_len: 4,
+            pred_len: 2,
+            channels: 2,
+            time_features: 4,
+            numerical: 0,
+            cardinalities: vec![],
+        };
+        assert_eq!(good.check(&batch), Ok(()));
+
+        // wrong horizon: rejected with the offending tensor named
+        let bad = BatchContract { pred_len: 3, ..good.clone() };
+        let msg = bad.check(&batch).unwrap_err();
+        assert!(msg.contains('y'), "{msg}");
+
+        // demanding covariates the batch lacks
+        let needs_cov = BatchContract { numerical: 2, ..good.clone() };
+        assert!(needs_cov.check(&batch).is_err());
+        let needs_cat = BatchContract { cardinalities: vec![5], ..good };
+        assert!(needs_cat.check(&batch).is_err());
+    }
+
+    #[test]
+    fn batch_contract_checks_categorical_codes() {
+        let t = 10;
+        let cov = CovariateSet::new(
+            Tensor::zeros(&[t, 0]),
+            vec![(0..t).map(|i| i % 3).collect()],
+            vec![3],
+            vec!["c".into()],
+        );
+        let ds = WindowDataset::new(
+            Tensor::zeros(&[t, 1]),
+            Tensor::zeros(&[t, 4]),
+            Some(cov),
+            3,
+            2,
+            (0, t),
+        );
+        let batch = ds.batch(&[0, 1]);
+        let mut contract = BatchContract {
+            seq_len: 3,
+            pred_len: 2,
+            channels: 1,
+            time_features: 4,
+            numerical: 0,
+            cardinalities: vec![3],
+        };
+        assert_eq!(contract.check(&batch), Ok(()));
+        // a tighter cardinality flags the out-of-range code
+        contract.cardinalities = vec![2];
+        let msg = contract.check(&batch).unwrap_err();
+        assert!(msg.contains("cardinality"), "{msg}");
     }
 
     #[test]

@@ -46,21 +46,51 @@ pub enum Num {
     F(f64),
 }
 
-/// Decode / encode failure.
+/// Decode / encode failure, optionally carrying the 1-based line/column
+/// position in the source text (parse errors attach it; conversion errors
+/// are position-less).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JsonError {
     msg: String,
+    pos: Option<(usize, usize)>,
 }
 
 impl JsonError {
+    /// Position-less error (type mismatches, missing fields).
     pub fn new(msg: impl Into<String>) -> Self {
-        JsonError { msg: msg.into() }
+        JsonError {
+            msg: msg.into(),
+            pos: None,
+        }
+    }
+
+    /// Error anchored at a source position (1-based line and column).
+    pub fn at(msg: impl Into<String>, line: usize, column: usize) -> Self {
+        JsonError {
+            msg: msg.into(),
+            pos: Some((line, column)),
+        }
+    }
+
+    /// The source position `(line, column)`, if known.
+    pub fn position(&self) -> Option<(usize, usize)> {
+        self.pos
+    }
+
+    /// Prefix the message with surrounding context, keeping the position.
+    pub fn with_context(mut self, context: impl std::fmt::Display) -> Self {
+        self.msg = format!("{context}: {}", self.msg);
+        self
     }
 }
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json error: {}", self.msg)
+        write!(f, "json error: {}", self.msg)?;
+        if let Some((line, column)) = self.pos {
+            write!(f, " at line {line}, column {column}")?;
+        }
+        Ok(())
     }
 }
 
@@ -80,7 +110,7 @@ impl Json {
         let v = self
             .get(key)
             .ok_or_else(|| JsonError::new(format!("missing field '{key}'")))?;
-        T::from_json(v).map_err(|e| JsonError::new(format!("field '{key}': {}", e.msg)))
+        T::from_json(v).map_err(|e| e.with_context(format!("field '{key}'")))
     }
 
     pub fn as_bool(&self) -> Result<bool, JsonError> {

@@ -27,8 +27,21 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
+    /// Error anchored at the current byte, reported as 1-based line/column.
     fn err(&self, msg: impl std::fmt::Display) -> JsonError {
-        JsonError::new(format!("{msg} at byte {}", self.pos))
+        let (line, column) = self.line_column();
+        JsonError::at(msg.to_string(), line, column)
+    }
+
+    /// 1-based (line, column) of the current position, counting `\n`s.
+    fn line_column(&self) -> (usize, usize) {
+        let upto = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let line_start = upto
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |i| i + 1);
+        (line, self.pos - line_start + 1)
     }
 
     fn peek(&self) -> Option<u8> {
@@ -92,9 +105,7 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
-            let key = self.string().map_err(|e| {
-                JsonError::new(format!("object key: {e}"))
-            })?;
+            let key = self.string().map_err(|e| e.with_context("object key"))?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -144,7 +155,9 @@ impl<'a> Parser<'a> {
             if self.pos > start {
                 // the input is valid UTF-8 (it came from &str) and we only
                 // stopped on ASCII delimiters, so the run is valid UTF-8
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf-8 run"));
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?;
+                out.push_str(run);
             }
             match self.bump() {
                 Some(b'"') => return Ok(out),
@@ -237,7 +250,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ascii bytes in number"))?;
         if !is_float {
             if let Some(stripped) = text.strip_prefix('-') {
                 if let Ok(i) = stripped.parse::<u64>().map(|u| u as i128).map(|u| -u) {
@@ -302,6 +316,17 @@ mod tests {
         );
         // beyond u64: degrades to float rather than failing
         assert!(parse("18446744073709551616").unwrap().as_f64().unwrap() > 1.8e19);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // the '!' sits on line 3, column 8
+        let e = parse("{\n  \"a\": 1,\n  \"b\": !\n}").unwrap_err();
+        assert_eq!(e.position(), Some((3, 8)), "{e}");
+        assert!(e.to_string().contains("line 3, column 8"), "{e}");
+        // single-line input: column counts from 1
+        let e = parse("[1, x]").unwrap_err();
+        assert_eq!(e.position(), Some((1, 5)), "{e}");
     }
 
     #[test]

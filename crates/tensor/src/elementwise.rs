@@ -40,6 +40,11 @@ impl Tensor {
             && self.shape[self.rank() - rhs.rank()..] == *rhs.shape()
         {
             let chunk = rhs.numel();
+            debug_assert!(
+                chunk > 0 && self.numel() % chunk == 0,
+                "suffix chunk {chunk} does not tile {:?}",
+                self.shape
+            );
             let mut out = Vec::with_capacity(self.numel());
             for block in self.data.chunks_exact(chunk) {
                 out.extend(block.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)));
@@ -51,8 +56,14 @@ impl Tensor {
             .unwrap_or_else(|e| panic!("{e}"));
         let sa = broadcast_strides(&self.shape, &out_shape);
         let sb = broadcast_strides(&rhs.shape, &out_shape);
+        debug_assert_eq!(sa.len(), out_shape.len(), "lhs stride rank mismatch");
+        debug_assert_eq!(sb.len(), out_shape.len(), "rhs stride rank mismatch");
         let mut out = Vec::with_capacity(numel(&out_shape));
         for (a, b) in Odometer2::new(&out_shape, sa, sb) {
+            debug_assert!(
+                a < self.data.len() && b < rhs.data.len(),
+                "broadcast odometer left the operand buffers"
+            );
             out.push(f(self.data[a], rhs.data[b]));
         }
         Tensor::from_vec(out, &out_shape)

@@ -6,6 +6,8 @@ use std::fmt;
 pub enum TensorError {
     /// Two shapes cannot be broadcast together.
     BroadcastMismatch { lhs: Vec<usize>, rhs: Vec<usize> },
+    /// Matmul operands whose inner (contraction) dimensions disagree.
+    MatMulMismatch { lhs: Vec<usize>, rhs: Vec<usize> },
     /// An element count did not match the requested shape.
     ShapeMismatch { expected: usize, got: usize },
     /// A serialized buffer was malformed.
@@ -19,6 +21,9 @@ impl fmt::Display for TensorError {
         match self {
             TensorError::BroadcastMismatch { lhs, rhs } => {
                 write!(f, "shapes {lhs:?} and {rhs:?} cannot be broadcast together")
+            }
+            TensorError::MatMulMismatch { lhs, rhs } => {
+                write!(f, "matmul inner-dim mismatch: {lhs:?} × {rhs:?}")
             }
             TensorError::ShapeMismatch { expected, got } => {
                 write!(f, "shape expects {expected} elements but data has {got}")

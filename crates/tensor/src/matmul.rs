@@ -20,6 +20,14 @@ impl Tensor {
     /// * a 1-d lhs or rhs is treated as a row / column vector and the
     ///   inserted axis is squeezed from the result.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        // Validate through the shared shape-only rule first, so misuse fails
+        // before any buffer is touched and with the same message the static
+        // analyzer reports.
+        let out_shape = crate::shape::matmul_shapes(&self.shape, &rhs.shape)
+            .unwrap_or_else(|e| match e {
+                crate::TensorError::MatMulMismatch { .. } => panic!("{e}"),
+                other => panic!("matmul batch axes: {other}"),
+            });
         // Promote vectors to matrices, remembering what to squeeze.
         let squeeze_front = self.rank() == 1;
         let squeeze_back = rhs.rank() == 1;
@@ -37,11 +45,7 @@ impl Tensor {
 
         let (m, ka) = (a.shape[a.rank() - 2], a.shape[a.rank() - 1]);
         let (kb, n) = (b.shape[b.rank() - 2], b.shape[b.rank() - 1]);
-        assert_eq!(
-            ka, kb,
-            "matmul inner-dim mismatch: {:?} × {:?}",
-            self.shape, rhs.shape
-        );
+        debug_assert_eq!(ka, kb, "inner dims diverged from matmul_shapes");
         let k = ka;
 
         let batch_a = &a.shape[..a.rank() - 2];
@@ -101,13 +105,20 @@ impl Tensor {
             }
         }
 
-        let mut out_shape = batch_shape;
-        if !squeeze_front {
-            out_shape.push(m);
-        }
-        if !squeeze_back {
-            out_shape.push(n);
-        }
+        debug_assert_eq!(
+            {
+                let mut built = batch_shape.clone();
+                if !squeeze_front {
+                    built.push(m);
+                }
+                if !squeeze_back {
+                    built.push(n);
+                }
+                built
+            },
+            out_shape,
+            "kernel shape diverged from matmul_shapes"
+        );
         Tensor::from_vec(out, &out_shape)
     }
 }

@@ -52,6 +52,37 @@ fn padded_dim(shape: &[usize], rank: usize, i: usize) -> usize {
     }
 }
 
+/// Shape-only matmul rule, shared by [`crate::Tensor::matmul`] and the
+/// static analyzer: 1-d operands are promoted to a row / column vector (and
+/// the inserted axis squeezed from the result), inner dimensions must agree,
+/// and leading batch axes broadcast like NumPy.
+pub fn matmul_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, TensorError> {
+    assert!(
+        !lhs.is_empty() && !rhs.is_empty(),
+        "matmul operands must have rank >= 1, got {lhs:?} × {rhs:?}"
+    );
+    let squeeze_front = lhs.len() == 1;
+    let squeeze_back = rhs.len() == 1;
+    let a: Vec<usize> = if squeeze_front { vec![1, lhs[0]] } else { lhs.to_vec() };
+    let b: Vec<usize> = if squeeze_back { vec![rhs[0], 1] } else { rhs.to_vec() };
+    let (m, ka) = (a[a.len() - 2], a[a.len() - 1]);
+    let (kb, n) = (b[b.len() - 2], b[b.len() - 1]);
+    if ka != kb {
+        return Err(TensorError::MatMulMismatch {
+            lhs: lhs.to_vec(),
+            rhs: rhs.to_vec(),
+        });
+    }
+    let mut out = broadcast_shapes(&a[..a.len() - 2], &b[..b.len() - 2])?;
+    if !squeeze_front {
+        out.push(m);
+    }
+    if !squeeze_back {
+        out.push(n);
+    }
+    Ok(out)
+}
+
 /// Strides of `shape` viewed as `out_shape`, with broadcast axes zeroed.
 /// Panics if the shapes are not broadcast compatible (checked by callers).
 pub fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
@@ -171,6 +202,20 @@ mod tests {
         let sb = broadcast_strides(&[2], &out);
         let pairs: Vec<_> = Odometer2::new(&out, sa, sb).collect();
         assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn matmul_shapes_rule() {
+        assert_eq!(matmul_shapes(&[2, 3], &[3, 4]).unwrap(), vec![2, 4]);
+        assert_eq!(matmul_shapes(&[5, 2, 3], &[3, 4]).unwrap(), vec![5, 2, 4]);
+        assert_eq!(matmul_shapes(&[2, 1, 2, 3], &[3, 2]).unwrap(), vec![2, 1, 2, 2]);
+        // vector promotion and squeeze
+        assert_eq!(matmul_shapes(&[2], &[2, 2]).unwrap(), vec![2]);
+        assert_eq!(matmul_shapes(&[2, 2], &[2]).unwrap(), vec![2]);
+        assert_eq!(matmul_shapes(&[2], &[2]).unwrap(), Vec::<usize>::new());
+        // inner-dim and batch failures
+        assert!(matmul_shapes(&[2, 3], &[2, 3]).is_err());
+        assert!(matmul_shapes(&[2, 2, 3], &[3, 3, 4]).is_err());
     }
 
     #[test]

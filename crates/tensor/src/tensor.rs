@@ -126,6 +126,15 @@ impl Tensor {
         self.data.iter().any(|v| !v.is_finite())
     }
 
+    /// Address of the shared storage buffer, as an opaque identity token.
+    /// Two tensors report the same value exactly when they alias the same
+    /// `Arc` buffer (e.g. a tensor and its reshape). Used by the static
+    /// analyzer to detect accidental reuse of dropout masks.
+    #[inline]
+    pub fn storage_ptr(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
+    }
+
     // ------------------------------------------------------ shape surgery
 
     /// Reinterpret the buffer under a new shape with equal element count.
@@ -161,6 +170,7 @@ impl Tensor {
         let mut idx = vec![0usize; out_shape.len()];
         let mut src = 0usize;
         for slot in out.iter_mut() {
+            debug_assert!(src < self.data.len(), "permute walk left the buffer");
             *slot = self.data[src];
             for ax in (0..out_shape.len()).rev() {
                 idx[ax] += 1;
@@ -201,6 +211,11 @@ impl Tensor {
         let mut out = Vec::with_capacity(outer * width * inner);
         for o in 0..outer {
             let base = o * len * inner + start * inner;
+            debug_assert!(
+                base + width * inner <= self.data.len(),
+                "slice window exceeds buffer for {:?}",
+                self.shape
+            );
             out.extend_from_slice(&self.data[base..base + width * inner]);
         }
         let mut shape = self.shape.clone();
@@ -254,6 +269,11 @@ impl Tensor {
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         assert!(self.rank() >= 1, "gather_rows on a scalar");
         let row = self.numel() / self.shape[0];
+        debug_assert!(
+            self.shape[0] == 0 || row * self.shape[0] == self.numel(),
+            "row size does not tile the buffer for {:?}",
+            self.shape
+        );
         let mut out = Vec::with_capacity(indices.len() * row);
         for &i in indices {
             assert!(i < self.shape[0], "gather index {i} out of {}", self.shape[0]);

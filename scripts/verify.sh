@@ -5,11 +5,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+echo "==> cargo build --release --offline (warnings are errors)"
+RUSTFLAGS="-D warnings" cargo build --release --offline
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline
+
+echo "==> lip-analyze --lint --check-model (static graph gate)"
+cargo run -q --release --offline -p lip-analyze -- --lint --check-model
 
 echo "==> verify: only lip-* path dependencies in Cargo.tomls"
 if grep -rhE '^[a-zA-Z0-9_-]+ *= *[{"]' Cargo.toml crates/*/Cargo.toml \

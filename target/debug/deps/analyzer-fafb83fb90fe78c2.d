@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyzer-fafb83fb90fe78c2.d: crates/analyze/../../tests/analyzer.rs
+
+/root/repo/target/debug/deps/analyzer-fafb83fb90fe78c2: crates/analyze/../../tests/analyzer.rs
+
+crates/analyze/../../tests/analyzer.rs:

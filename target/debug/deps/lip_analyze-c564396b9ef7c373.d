@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lip_analyze-c564396b9ef7c373.d: crates/analyze/src/main.rs
+
+/root/repo/target/debug/deps/lip_analyze-c564396b9ef7c373: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

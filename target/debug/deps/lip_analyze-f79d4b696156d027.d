@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lip_analyze-f79d4b696156d027.d: crates/analyze/src/main.rs
+
+/root/repo/target/debug/deps/lip_analyze-f79d4b696156d027: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

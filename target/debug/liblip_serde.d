@@ -1,0 +1,1 @@
+/root/repo/target/debug/liblip_serde.rlib: /root/repo/crates/serde/src/lib.rs /root/repo/crates/serde/src/parse.rs /root/repo/crates/serde/src/write.rs

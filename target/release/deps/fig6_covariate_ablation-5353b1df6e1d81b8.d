@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_covariate_ablation-5353b1df6e1d81b8.d: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+/root/repo/target/release/deps/fig6_covariate_ablation-5353b1df6e1d81b8: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+crates/eval/src/bin/fig6_covariate_ablation.rs:

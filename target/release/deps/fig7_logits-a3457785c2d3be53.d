@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_logits-a3457785c2d3be53.d: crates/eval/src/bin/fig7_logits.rs
+
+/root/repo/target/release/deps/fig7_logits-a3457785c2d3be53: crates/eval/src/bin/fig7_logits.rs
+
+crates/eval/src/bin/fig7_logits.rs:

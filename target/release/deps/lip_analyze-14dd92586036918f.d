@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lip_analyze-14dd92586036918f.d: crates/analyze/src/main.rs
+
+/root/repo/target/release/deps/lip_analyze-14dd92586036918f: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lip_analyze-5d46147a2ad226f8.d: crates/analyze/src/main.rs
+
+/root/repo/target/release/deps/lip_analyze-5d46147a2ad226f8: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lip_bench-cc340b4830e87f95.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/liblip_bench-cc340b4830e87f95.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/liblip_bench-cc340b4830e87f95.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

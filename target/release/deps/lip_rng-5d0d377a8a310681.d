@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lip_rng-5d0d377a8a310681.d: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/release/deps/liblip_rng-5d0d377a8a310681.rlib: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/release/deps/liblip_rng-5d0d377a8a310681.rmeta: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/prop.rs:
+crates/rng/src/seq.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/xoshiro.rs:

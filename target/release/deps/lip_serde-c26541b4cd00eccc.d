@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lip_serde-c26541b4cd00eccc.d: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+/root/repo/target/release/deps/liblip_serde-c26541b4cd00eccc.rlib: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+/root/repo/target/release/deps/liblip_serde-c26541b4cd00eccc.rmeta: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+crates/serde/src/lib.rs:
+crates/serde/src/parse.rs:
+crates/serde/src/write.rs:

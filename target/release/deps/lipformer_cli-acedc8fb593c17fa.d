@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lipformer_cli-acedc8fb593c17fa.d: crates/eval/src/bin/lipformer_cli.rs
+
+/root/repo/target/release/deps/lipformer_cli-acedc8fb593c17fa: crates/eval/src/bin/lipformer_cli.rs
+
+crates/eval/src/bin/lipformer_cli.rs:

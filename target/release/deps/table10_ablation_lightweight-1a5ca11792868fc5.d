@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10_ablation_lightweight-1a5ca11792868fc5.d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+/root/repo/target/release/deps/table10_ablation_lightweight-1a5ca11792868fc5: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+crates/eval/src/bin/table10_ablation_lightweight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table11_ablation_attention-f114c9f38ecd98db.d: crates/eval/src/bin/table11_ablation_attention.rs
+
+/root/repo/target/release/deps/table11_ablation_attention-f114c9f38ecd98db: crates/eval/src/bin/table11_ablation_attention.rs
+
+crates/eval/src/bin/table11_ablation_attention.rs:

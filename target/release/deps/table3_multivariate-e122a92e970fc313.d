@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_multivariate-e122a92e970fc313.d: crates/eval/src/bin/table3_multivariate.rs
+
+/root/repo/target/release/deps/table3_multivariate-e122a92e970fc313: crates/eval/src/bin/table3_multivariate.rs
+
+crates/eval/src/bin/table3_multivariate.rs:

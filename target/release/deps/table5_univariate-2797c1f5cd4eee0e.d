@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_univariate-2797c1f5cd4eee0e.d: crates/eval/src/bin/table5_univariate.rs
+
+/root/repo/target/release/deps/table5_univariate-2797c1f5cd4eee0e: crates/eval/src/bin/table5_univariate.rs
+
+crates/eval/src/bin/table5_univariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_pretrain-ba9eeb19ce105c5b.d: crates/eval/src/bin/table6_pretrain.rs
+
+/root/repo/target/release/deps/table6_pretrain-ba9eeb19ce105c5b: crates/eval/src/bin/table6_pretrain.rs
+
+crates/eval/src/bin/table6_pretrain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_edge-d2a753bfafc278b4.d: crates/eval/src/bin/table7_edge.rs
+
+/root/repo/target/release/deps/table7_edge-d2a753bfafc278b4: crates/eval/src/bin/table7_edge.rs
+
+crates/eval/src/bin/table7_edge.rs:

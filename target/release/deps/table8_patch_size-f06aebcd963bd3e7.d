@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_patch_size-f06aebcd963bd3e7.d: crates/eval/src/bin/table8_patch_size.rs
+
+/root/repo/target/release/deps/table8_patch_size-f06aebcd963bd3e7: crates/eval/src/bin/table8_patch_size.rs
+
+crates/eval/src/bin/table8_patch_size.rs:

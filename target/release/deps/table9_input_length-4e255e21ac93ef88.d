@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9_input_length-4e255e21ac93ef88.d: crates/eval/src/bin/table9_input_length.rs
+
+/root/repo/target/release/deps/table9_input_length-4e255e21ac93ef88: crates/eval/src/bin/table9_input_length.rs
+
+crates/eval/src/bin/table9_input_length.rs:
