@@ -198,6 +198,20 @@ pub fn check_model(
     }
 }
 
+/// Check a whole sweep of models, fanning one [`check_model`] per target
+/// across the `lip-par` thread budget. Reports come back in target order and
+/// are identical to running the checks serially: each check is a pure
+/// function of its `(config, spec, batch, label)` tuple (model seeds are
+/// fixed inside `check_model`).
+pub fn check_models(
+    targets: &[(&LiPFormerConfig, &CovariateSpec, &Batch, &str)],
+) -> Vec<CheckReport> {
+    lip_par::map_chunks(lip_par::Partition::new(targets.len(), 1), |i, _| {
+        let (config, spec, batch, label) = targets[i];
+        check_model(config, spec, batch, label)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +245,34 @@ mod tests {
         assert!(report.clean(), "unexpected findings: {:#?}", report.findings);
         assert!(report.forward_nodes > 0);
         assert!(report.contrastive_nodes > 0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_checks() {
+        let spec = implicit_spec();
+        let good = LiPFormerConfig::small(48, 24, 2);
+        let mut bad = LiPFormerConfig::small(48, 24, 3);
+        bad.patch_len += 1;
+        let gb = synthetic_batch(&good, &spec, 2);
+        let bb = synthetic_batch(&bad, &spec, 2);
+        let targets: Vec<(&LiPFormerConfig, &CovariateSpec, &Batch, &str)> = vec![
+            (&good, &spec, &gb, "good"),
+            (&bad, &spec, &bb, "bad"),
+            (&good, &spec, &gb, "good-again"),
+        ];
+        let swept = lip_par::with_threads(4, || check_models(&targets));
+        assert_eq!(swept.len(), 3);
+        // order preserved
+        assert_eq!(swept[0].label, "good");
+        assert_eq!(swept[1].label, "bad");
+        assert_eq!(swept[2].label, "good-again");
+        for (i, report) in swept.iter().enumerate() {
+            let (config, spec, batch, label) = targets[i];
+            let serial = lip_par::with_threads(1, || check_model(config, spec, batch, label));
+            assert_eq!(serial.findings, report.findings, "target {label}");
+            assert_eq!(serial.forward_nodes, report.forward_nodes);
+            assert_eq!(serial.forward_macs, report.forward_macs);
+        }
     }
 
     #[test]

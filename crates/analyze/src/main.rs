@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use lip_analyze::harness::{check_model, synthetic_batch};
+use lip_analyze::harness::{check_models, synthetic_batch};
 use lip_analyze::lint::lint_graphs;
 use lip_analyze::plan::plan_forward_loss;
 use lip_analyze::sym::shape_to_string;
@@ -193,9 +193,16 @@ fn main() -> ExitCode {
     }
 
     if opts.check {
-        println!("== model check (batch size {}) ==", opts.batch);
-        for t in &targets {
-            let report = check_model(&t.config, &t.spec, &t.batch, &t.label);
+        println!(
+            "== model check (batch size {}, {} threads) ==",
+            opts.batch,
+            lip_par::max_threads()
+        );
+        let tuples: Vec<_> = targets
+            .iter()
+            .map(|t| (&t.config, &t.spec, &t.batch, t.label.as_str()))
+            .collect();
+        for report in check_models(&tuples) {
             if report.clean() {
                 println!(
                     "{}: clean — {} forecast + {} contrastive nodes, MACs {}",

@@ -1,0 +1,123 @@
+//! `par_baseline` — the workspace's serial-vs-parallel performance baseline.
+//!
+//! For each of the nine synthetic benchmarks: build the small LiPFormer for
+//! its standard (48, 24) task, run a batch-32 forward pass once on a single
+//! thread and once on the full `lip-par` budget, and record both timings.
+//! Before timing, the two configurations' logits are compared byte-for-byte;
+//! any divergence is a contract violation and the process exits non-zero.
+//!
+//! ```text
+//! cargo run --release -p lip-bench --bin par_baseline [OUT.json]
+//! ```
+//!
+//! The report (default `BENCH_pr4.json` in the working directory) lists
+//! `serial_s`, `parallel_s`, the speedup, and the thread budget used — the
+//! budget matters when reading the numbers: on a single-core host the
+//! "parallel" column measures oversubscription overhead, not speedup.
+
+use std::time::Instant;
+
+use lip_autograd::Graph;
+use lip_data::pipeline::prepare;
+use lip_data::window::Batch;
+use lip_data::{generate, DatasetName, GeneratorConfig};
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+
+/// One dataset's baseline measurements.
+struct BaselineRecord {
+    dataset: String,
+    batch: usize,
+    threads: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    speedup: f64,
+}
+
+lip_serde::json_struct!(BaselineRecord {
+    dataset,
+    batch,
+    threads,
+    serial_s,
+    parallel_s,
+    speedup,
+});
+
+fn forward_bytes(model: &LiPFormer, batch: &Batch) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut g = Graph::new(model.store());
+    let y = model.forward(&mut g, batch, false, &mut rng);
+    g.value(y).to_bytes()
+}
+
+/// Median of `reps` timed forward passes (one untimed warmup).
+fn time_forward(model: &LiPFormer, batch: &Batch, reps: usize) -> f64 {
+    let _ = forward_bytes(model, batch);
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let started = Instant::now();
+            std::hint::black_box(forward_bytes(model, batch));
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let threads = lip_par::max_threads();
+    let batch_size = 32usize;
+    let reps = 5usize;
+    println!("par_baseline: nine-benchmark forward sweep, 1 vs {threads} thread(s), batch {batch_size}");
+
+    let mut records = Vec::new();
+    let mut diverged = false;
+    for name in DatasetName::all() {
+        let ds = generate(name, GeneratorConfig::test(3));
+        let prep = prepare(&ds, 48, 24);
+        let config = LiPFormerConfig::small(48, 24, prep.channels);
+        let model = LiPFormer::new(config, &prep.spec, 7);
+        let indices: Vec<usize> = (0..batch_size.min(prep.train.len())).collect();
+        let batch = prep.train.batch(&indices);
+
+        let serial_bytes = lip_par::with_threads(1, || forward_bytes(&model, &batch));
+        let parallel_bytes = lip_par::with_threads(threads, || forward_bytes(&model, &batch));
+        if serial_bytes != parallel_bytes {
+            eprintln!("{name:?}: PARALLEL OUTPUT DIVERGES FROM SERIAL — determinism contract broken");
+            diverged = true;
+        }
+
+        let serial_s = lip_par::with_threads(1, || time_forward(&model, &batch, reps));
+        let parallel_s = lip_par::with_threads(threads, || time_forward(&model, &batch, reps));
+        let speedup = serial_s / parallel_s;
+        println!(
+            "  {name:>13?}  serial {:>9.3} ms   parallel {:>9.3} ms   ×{speedup:.2}",
+            serial_s * 1e3,
+            parallel_s * 1e3
+        );
+        records.push(BaselineRecord {
+            dataset: format!("{name:?}"),
+            batch: indices.len(),
+            threads,
+            serial_s,
+            parallel_s,
+            speedup,
+        });
+    }
+
+    let json = lip_serde::to_string_pretty(&records);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("baseline → {out_path}");
+
+    if diverged {
+        eprintln!("FAILED: at least one benchmark's parallel output diverged");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Finite-difference gradient checks routed through `lip-par`'s chunked
+//! kernels. The fixtures are sized past `REDUCE_CHUNK` / `ELEMWISE_CHUNK` so
+//! the forward loss and the backward accumulation (broadcast adjoints via
+//! `reduce_to_shape`, softmax row kernels, axis reductions) genuinely run
+//! the multi-chunk code paths — and every check executes under an
+//! oversubscribed 4-thread budget so the pool fan-out itself is on the line,
+//! not just the serial chunk loop.
+//!
+//! Parameters are kept tiny (a handful of scalars broadcast into the large
+//! activations) so central differences stay cheap while the tensors they
+//! flow through are large.
+
+use lip_autograd::gradcheck::check_gradients;
+use lip_autograd::ParamStore;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
+use lip_tensor::Tensor;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn big_constant(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(shape, &mut rng).mul_scalar(0.5)
+}
+
+fn small_param(store: &mut ParamStore, name: &str, shape: &[usize], seed: u64) -> lip_autograd::ParamId {
+    let mut rng = StdRng::seed_from_u64(seed);
+    store.add(name.to_string(), Tensor::randn(shape, &mut rng).mul_scalar(0.5))
+}
+
+/// Full-sum backward across multiple `REDUCE_CHUNK` partials: the loss is a
+/// mean over 32k+ elements, and the broadcast adjoint for `w` funnels
+/// through the chunked `reduce_to_shape` partial-accumulation path.
+#[test]
+fn mean_backward_through_chunked_tree_sum() {
+    lip_par::with_threads(4, || {
+        assert!(8192 * 4 > lip_par::REDUCE_CHUNK);
+        let mut store = ParamStore::new();
+        let w = small_param(&mut store, "w", &[4], 21);
+        let x = big_constant(&[8192, 4], 210);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let wv = g.param(w);
+                let y = g.mul(xv, wv); // [8192, 4] ⊙ [4] → suffix broadcast
+                g.mean(y)
+            },
+            EPS,
+            TOL,
+        )
+        .unwrap();
+    });
+}
+
+/// Softmax rows spanning several `ELEMWISE_CHUNK` windows; the bias's
+/// gradient collapses a [4096, 16] adjoint back to [16] through the
+/// parallel reduce_to_shape partials.
+#[test]
+fn softmax_backward_through_row_chunks() {
+    lip_par::with_threads(4, || {
+        assert!(4096 * 16 > lip_par::ELEMWISE_CHUNK);
+        let mut store = ParamStore::new();
+        let b = small_param(&mut store, "bias", &[16], 22);
+        let x = big_constant(&[4096, 16], 220);
+        let c = big_constant(&[4096, 16], 221);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let bv = g.param(b);
+                let cv = g.constant(c.clone());
+                let z = g.add(xv, bv);
+                let p = g.softmax(z);
+                // weight the rows so the loss is not the constant 1/width
+                let weighted = g.mul(p, cv);
+                g.mean(weighted)
+            },
+            EPS,
+            TOL,
+        )
+        .unwrap();
+    });
+}
+
+/// Log-softmax variant of the same routing (different backward formula).
+#[test]
+fn log_softmax_backward_through_row_chunks() {
+    lip_par::with_threads(4, || {
+        let mut store = ParamStore::new();
+        let b = small_param(&mut store, "bias", &[16], 23);
+        let x = big_constant(&[4096, 16], 230);
+        let c = big_constant(&[4096, 16], 231);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let bv = g.param(b);
+                let cv = g.constant(c.clone());
+                let z = g.add(xv, bv);
+                let lp = g.log_softmax(z);
+                let weighted = g.mul(lp, cv);
+                g.mean(weighted)
+            },
+            EPS,
+            TOL,
+        )
+        .unwrap();
+    });
+}
+
+/// Axis reduction over a single outer row with a large inner extent — the
+/// branch of `axis_accumulate` that splits the inner axis across chunks.
+/// The `[2, 1]` parameter broadcasts through the general odometer path, so
+/// its adjoint also runs the strided `reduce_to_shape` restart logic.
+#[test]
+fn sum_axis_backward_through_inner_split() {
+    lip_par::with_threads(4, || {
+        let inner = lip_par::ELEMWISE_CHUNK + 1000;
+        let mut store = ParamStore::new();
+        let w = small_param(&mut store, "w", &[2, 1], 24);
+        let x = big_constant(&[2, inner], 240);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let wv = g.param(w);
+                let y = g.mul(xv, wv); // [2, inner] ⊙ [2, 1] → odometer path
+                let s = g.sum_axis(y, 0); // outer == 1 → inner-split branch
+                g.mean(s)
+            },
+            EPS,
+            TOL,
+        )
+        .unwrap();
+    });
+}
+
+/// Axis reduction over many outer rows (the whole-row chunking branch),
+/// stacked under a softmax so both parallel backward kernels compose.
+#[test]
+fn composed_axis_reduction_and_softmax_backward() {
+    lip_par::with_threads(4, || {
+        let mut store = ParamStore::new();
+        let w = small_param(&mut store, "w", &[8], 25);
+        let x = big_constant(&[3000, 12, 8], 250);
+        check_gradients(
+            &mut store,
+            &move |g| {
+                let xv = g.constant(x.clone());
+                let wv = g.param(w);
+                let y = g.mul(xv, wv);
+                let m = g.mean_axis(y, 1); // [3000, 1, 8], outer chunking
+                let p = g.softmax(m);
+                g.mean(p)
+            },
+            EPS,
+            TOL,
+        )
+        .unwrap();
+    });
+}

@@ -9,38 +9,42 @@
 use std::collections::BTreeMap;
 
 use lip_data::DatasetName;
-use lip_eval::runner::{format_count, prepare_dataset, run_prepared, RunResult, RunSpec};
+use lip_eval::runner::{format_count, run_sweep, RunResult, RunSpec};
 use lip_eval::table::{mark_best, render_table, save_json, Row};
 use lip_eval::{ModelKind, RunScale};
 
 fn main() {
     let scale = RunScale::from_env(2024);
     println!(
-        "Table III reproduction — scale '{}' (T={}, horizons {:?})\n",
-        scale.name, scale.seq_len, scale.horizons
+        "Table III reproduction — scale '{}' (T={}, horizons {:?}, {} threads)\n",
+        scale.name,
+        scale.seq_len,
+        scale.horizons,
+        lip_par::max_threads()
     );
 
     let models = ModelKind::table3();
-    let mut results: Vec<RunResult> = Vec::new();
-
-    for dataset in DatasetName::all() {
-        for &h in &scale.horizons {
-            let (_, prep) = prepare_dataset(dataset, &scale, h, false);
-            for kind in models {
-                let spec = RunSpec {
+    // the full grid; run_sweep fans the (dataset, horizon) groups across
+    // threads and returns results in this exact order
+    let specs: Vec<RunSpec> = DatasetName::all()
+        .into_iter()
+        .flat_map(|dataset| {
+            scale.horizons.clone().into_iter().flat_map(move |h| {
+                models.into_iter().map(move |kind| RunSpec {
                     kind,
                     dataset,
                     pred_len: h,
                     univariate: false,
-                };
-                let r = run_prepared(&spec, &scale, &prep);
-                eprintln!(
-                    "  {:>13} {:>4} {:12} mse {:.3} mae {:.3} ({:.1}s/epoch)",
-                    r.dataset, r.pred_len, r.model, r.mse, r.mae, r.eff.train_s_per_epoch
-                );
-                results.push(r);
-            }
-        }
+                })
+            })
+        })
+        .collect();
+    let results: Vec<RunResult> = run_sweep(&specs, &scale);
+    for r in &results {
+        eprintln!(
+            "  {:>13} {:>4} {:12} mse {:.3} mae {:.3} ({:.1}s/epoch)",
+            r.dataset, r.pred_len, r.model, r.mse, r.mae, r.eff.train_s_per_epoch
+        );
     }
 
     // ---- accuracy table (best '*', second '_') --------------------------

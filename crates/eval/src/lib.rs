@@ -19,6 +19,6 @@ pub mod scale;
 pub mod table;
 
 pub use registry::{AnyModel, ModelKind};
-pub use runner::{run_one, EffMetrics, RunResult, RunSpec};
+pub use runner::{run_one, run_sweep, EffMetrics, RunResult, RunSpec};
 pub use scale::RunScale;
 pub use table::{render_table, save_json, Row};

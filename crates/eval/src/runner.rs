@@ -115,6 +115,41 @@ pub fn run_one(spec: &RunSpec, scale: &RunScale) -> RunResult {
     run_prepared(spec, scale, &prep)
 }
 
+/// Run a whole benchmark sweep, fanning the `(dataset, horizon)` groups
+/// across the `lip-par` thread budget. Specs sharing a dataset/horizon run
+/// sequentially inside their group so the prepared data is generated once,
+/// exactly like the serial loop. Results come back **in input-spec order**,
+/// and every run is bit-identical to what `run_one` produces on a single
+/// thread — training is seeded, and the kernels underneath carry the
+/// workspace's thread-count-invariance guarantee.
+pub fn run_sweep(specs: &[RunSpec], scale: &RunScale) -> Vec<RunResult> {
+    // group spec indices by prepared-data key, first-appearance order
+    let mut groups: Vec<((DatasetName, usize, bool), Vec<usize>)> = Vec::new();
+    for (i, s) in specs.iter().enumerate() {
+        let key = (s.dataset, s.pred_len, s.univariate);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    let per_group: Vec<Vec<(usize, RunResult)>> = lip_par::map_chunks(
+        lip_par::Partition::new(groups.len(), 1),
+        |gi, _| {
+            let ((dataset, pred_len, univariate), members) = &groups[gi];
+            let (_, prep) = prepare_dataset(*dataset, scale, *pred_len, *univariate);
+            members
+                .iter()
+                .map(|&i| (i, run_prepared(&specs[i], scale, &prep)))
+                .collect()
+        },
+    );
+    let mut slots: Vec<Option<RunResult>> = specs.iter().map(|_| None).collect();
+    for (i, r) in per_group.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("every spec ran")).collect()
+}
+
 /// Time a batch-32 forward pass and count its MACs.
 pub fn measure_efficiency(
     model: &AnyModel,
@@ -195,6 +230,47 @@ mod tests {
         assert!(r.eff.params > 0);
         assert!(r.eff.macs > 0);
         assert!(r.eff.inference_s > 0.0);
+    }
+
+    #[test]
+    fn sweep_matches_serial_run_one_and_preserves_order() {
+        let scale = RunScale::smoke(6);
+        let specs = [
+            RunSpec {
+                kind: ModelKind::DLinear,
+                dataset: DatasetName::ETTh1,
+                pred_len: 12,
+                univariate: false,
+            },
+            RunSpec {
+                kind: ModelKind::Tide,
+                dataset: DatasetName::ETTh1,
+                pred_len: 12,
+                univariate: false,
+            },
+            RunSpec {
+                kind: ModelKind::DLinear,
+                dataset: DatasetName::ETTh2,
+                pred_len: 12,
+                univariate: false,
+            },
+        ];
+        let swept = lip_par::with_threads(4, || run_sweep(&specs, &scale));
+        assert_eq!(swept.len(), specs.len());
+        for (spec, got) in specs.iter().zip(&swept) {
+            assert_eq!(got.model, spec.kind.as_str());
+            assert_eq!(got.dataset, spec.dataset.as_str());
+            let serial = lip_par::with_threads(1, || run_one(spec, &scale));
+            assert_eq!(
+                serial.mse.to_bits(),
+                got.mse.to_bits(),
+                "sweep diverged from serial run for {}/{}",
+                got.model,
+                got.dataset
+            );
+            assert_eq!(serial.mae.to_bits(), got.mae.to_bits());
+            assert_eq!(serial.eff.macs, got.eff.macs);
+        }
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Deterministic work partitioning: fixed-size chunks, ordered chunk maps,
+//! fixed-tree reductions, and disjoint mutable slice fan-out.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::pool::run_region;
+
+/// A fixed partition of `len` items into chunks of `chunk` items (the last
+/// chunk may be short). The partition is a pure function of the two sizes —
+/// never of the thread count — which is the root of the workspace's
+/// bit-identical parallelism guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    len: usize,
+    chunk: usize,
+}
+
+impl Partition {
+    /// Partition `len` items into `chunk`-sized chunks. `chunk` must be >= 1.
+    pub fn new(len: usize, chunk: usize) -> Self {
+        assert!(chunk >= 1, "chunk size must be at least 1");
+        Partition { len, chunk }
+    }
+
+    /// Total number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when there are no items (and therefore no chunks).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Items per full chunk.
+    #[inline]
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Number of chunks (0 when `len == 0`).
+    #[inline]
+    pub fn n_chunks(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    /// Item range of chunk `i`.
+    #[inline]
+    pub fn range(&self, i: usize) -> Range<usize> {
+        debug_assert!(i < self.n_chunks(), "chunk {i} out of range");
+        let start = i * self.chunk;
+        start..(start + self.chunk).min(self.len)
+    }
+}
+
+/// Run `body(chunk_index, item_range)` for every chunk, fanning chunks out
+/// across the thread budget. Chunks are claimed dynamically, so `body` must
+/// derive everything it computes from the chunk index and range alone (the
+/// executing thread is not deterministic; the chunks are).
+pub fn for_each_chunk(part: Partition, body: impl Fn(usize, Range<usize>) + Sync) {
+    let n = part.n_chunks();
+    if n == 0 {
+        return;
+    }
+    let threads = crate::max_threads().min(n);
+    if threads <= 1 {
+        for i in 0..n {
+            body(i, part.range(i));
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    run_region(threads - 1, &|| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        body(i, part.range(i));
+    });
+}
+
+/// Map every chunk to a value and return the values **in chunk order**
+/// (index 0 first), independent of which thread produced which.
+pub fn map_chunks<T: Send>(
+    part: Partition,
+    map: impl Fn(usize, Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    let n = part.n_chunks();
+    let produced: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    for_each_chunk(part, |i, range| {
+        let value = map(i, range);
+        produced.lock().expect("chunk result lock").push((i, value));
+    });
+    let mut produced = produced.into_inner().expect("chunk result lock");
+    debug_assert_eq!(produced.len(), n, "every chunk must produce a value");
+    produced.sort_unstable_by_key(|&(i, _)| i);
+    produced.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Combine values pairwise, level by level: `(0,1) (2,3) …`, an odd tail
+/// carried up unchanged. The association depends only on `parts.len()`, so
+/// floating-point folds round identically at any thread count.
+pub fn combine_tree<T>(mut parts: Vec<T>, combine: impl Fn(T, T) -> T) -> Option<T> {
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(a) = it.next() {
+            next.push(match it.next() {
+                Some(b) => combine(a, b),
+                None => a,
+            });
+        }
+        parts = next;
+    }
+    parts.pop()
+}
+
+/// Chunked map-reduce: per-chunk partials from `map`, folded by `combine`
+/// in the fixed tree order. `None` only when `part` is empty.
+pub fn reduce_chunks<T: Send>(
+    part: Partition,
+    map: impl Fn(usize, Range<usize>) -> T + Sync,
+    combine: impl Fn(T, T) -> T,
+) -> Option<T> {
+    combine_tree(map_chunks(part, map), combine)
+}
+
+/// Raw pointer that may cross threads; soundness is the caller's obligation
+/// (here: every chunk writes a disjoint region).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Split `out` into `chunk`-sized disjoint windows and run
+/// `body(chunk_index, start_item, window)` for each in parallel. The windows
+/// partition `out` exactly like [`Partition::range`], so writes are
+/// per-chunk exclusive.
+pub fn par_chunks_mut<T: Send>(
+    out: &mut [T],
+    chunk: usize,
+    body: impl Fn(usize, usize, &mut [T]) + Sync,
+) {
+    let part = Partition::new(out.len(), chunk);
+    let base = SendPtr(out.as_mut_ptr());
+    let base = &base;
+    for_each_chunk(part, |i, range| {
+        // SAFETY: `range` values for distinct `i` never overlap and stay
+        // within `out` (Partition::range guarantees both), and `out` is
+        // exclusively borrowed for the duration of the region.
+        let window =
+            unsafe { std::slice::from_raw_parts_mut(base.0.add(range.start), range.len()) };
+        body(i, range.start, window);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly() {
+        let p = Partition::new(10, 3);
+        assert_eq!(p.n_chunks(), 4);
+        let ranges: Vec<_> = (0..p.n_chunks()).map(|i| p.range(i)).collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..9, 9..10]);
+        assert_eq!(Partition::new(0, 8).n_chunks(), 0);
+        assert_eq!(Partition::new(8, 8).n_chunks(), 1);
+        assert_eq!(Partition::new(9, 8).n_chunks(), 2);
+    }
+
+    #[test]
+    fn map_chunks_returns_in_chunk_order() {
+        for threads in [1usize, 2, 3, 8] {
+            let got = crate::with_threads(threads, || {
+                map_chunks(Partition::new(23, 4), |i, r| (i, r.start, r.end))
+            });
+            let want: Vec<_> = (0..6)
+                .map(|i| (i, i * 4, ((i + 1) * 4).min(23)))
+                .collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn combine_tree_is_fixed_pairwise() {
+        // strings expose the association order exactly
+        let parts: Vec<String> = (0..5).map(|i| i.to_string()).collect();
+        let joined = combine_tree(parts, |a, b| format!("({a}+{b})")).unwrap();
+        assert_eq!(joined, "(((0+1)+(2+3))+4)");
+        assert_eq!(combine_tree(Vec::<u32>::new(), |a, b| a + b), None);
+        assert_eq!(combine_tree(vec![7], |a, b| a + b), Some(7));
+    }
+
+    #[test]
+    fn reduce_chunks_bit_identical_across_thread_counts() {
+        let data: Vec<f32> = (0..100_003).map(|i| ((i * 37) % 101) as f32 * 0.125).collect();
+        let sum = |threads: usize| {
+            crate::with_threads(threads, || {
+                reduce_chunks(
+                    Partition::new(data.len(), crate::REDUCE_CHUNK),
+                    |_, r| data[r].iter().sum::<f32>(),
+                    |a, b| a + b,
+                )
+                .unwrap()
+            })
+        };
+        let base = sum(1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(base.to_bits(), sum(threads).to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_windows() {
+        for threads in [1usize, 3, 8] {
+            let mut out = vec![0usize; 1000];
+            crate::with_threads(threads, || {
+                par_chunks_mut(&mut out, 64, |i, start, window| {
+                    for (k, slot) in window.iter_mut().enumerate() {
+                        *slot = i * 1_000_000 + start + k;
+                    }
+                });
+            });
+            for (idx, &v) in out.iter().enumerate() {
+                assert_eq!(v, (idx / 64) * 1_000_000 + idx, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_runs_no_chunks() {
+        let mut out: Vec<f32> = vec![];
+        par_chunks_mut(&mut out, 8, |_, _, _| panic!("no chunks expected"));
+        for_each_chunk(Partition::new(0, 4), |_, _| panic!("no chunks expected"));
+        assert!(map_chunks(Partition::new(0, 4), |i, _| i).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! # lip-par
+//!
+//! A zero-dependency scoped threadpool with a **deterministic partitioning
+//! contract**, shared by every parallel kernel in the workspace.
+//!
+//! ## The contract
+//!
+//! 1. **Partitioning depends only on the problem size.** Work is split into
+//!    fixed-size chunks derived from the input's shape (never from the thread
+//!    count, load, or timing). The same input always yields the same chunks.
+//! 2. **Chunks are pure and disjoint.** A chunk's result is a function of
+//!    the chunk index and the inputs alone; output regions never overlap.
+//! 3. **Reductions combine per-chunk partials in a fixed tree order**
+//!    ([`combine_tree`]): partials are paired `(0,1) (2,3) …` level by level.
+//!    Floating-point reductions therefore associate identically no matter
+//!    which thread computed which partial.
+//!
+//! Together these make every kernel built on this crate **bit-identical
+//! whether it runs on 1 or 64 threads** — the thread count only decides who
+//! executes a chunk, never what is computed. PR 1's byte-level
+//! reproducibility guarantees survive parallelism unchanged.
+//!
+//! ## Thread budget
+//!
+//! The number of workers a parallel region may use comes from, in order:
+//! a scoped [`with_threads`] override (used by the test battery to sweep
+//! thread counts in-process), the `LIP_THREADS` environment variable (read
+//! once per process), and finally [`std::thread::available_parallelism`].
+//! Nested regions run serially on their caller: the pool never deadlocks on
+//! itself and oversubscription stays bounded at one level of fan-out.
+//!
+//! ## Example
+//!
+//! ```
+//! // A deterministic chunked sum: same bits at any thread count.
+//! let data: Vec<f32> = (0..100_000).map(|i| (i as f32).sin()).collect();
+//! let sum = |threads: usize| {
+//!     lip_par::with_threads(threads, || {
+//!         lip_par::reduce_chunks(
+//!             lip_par::Partition::new(data.len(), lip_par::REDUCE_CHUNK),
+//!             |_, r| data[r].iter().sum::<f32>(),
+//!             |a, b| a + b,
+//!         )
+//!         .unwrap_or(0.0)
+//!     })
+//! };
+//! assert_eq!(sum(1).to_bits(), sum(8).to_bits());
+//! ```
+
+mod chunk;
+mod pool;
+
+pub use chunk::{
+    combine_tree, for_each_chunk, map_chunks, par_chunks_mut, reduce_chunks, Partition,
+};
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Elements per chunk for elementwise kernels (maps, broadcasts, fused
+/// accumulation). ~128 KiB of f32 per chunk: large enough to amortize
+/// dispatch, small enough to load-balance.
+pub const ELEMWISE_CHUNK: usize = 32 * 1024;
+
+/// Elements per partial for chunked reductions (sum / mean / loss folds).
+/// Every full reduction uses this chunking even on one thread, so the
+/// combine tree — and therefore the f32 rounding — is fixed by size alone.
+pub const REDUCE_CHUNK: usize = 16 * 1024;
+
+/// Multiply–accumulates per matmul chunk; rows are grouped so one chunk is
+/// roughly this much work regardless of the operand shapes.
+pub const MATMUL_CHUNK_MACS: usize = 1 << 18;
+
+thread_local! {
+    /// Scoped [`with_threads`] override for the current thread.
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `LIP_THREADS`, parsed once per process. `Some(n >= 1)` when set and valid.
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("LIP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.max(1))
+    })
+}
+
+/// The thread budget for parallel regions started by this thread:
+/// [`with_threads`] override, else `LIP_THREADS`, else the machine's
+/// available parallelism. Always at least 1.
+pub fn max_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run `f` with the thread budget pinned to `threads` on this thread.
+///
+/// This is how the test battery sweeps thread counts in one process; the
+/// deterministic contract promises `f`'s numeric results do not depend on
+/// the value chosen. Restores the previous budget on exit, including on
+/// panic (so a failing property case cannot poison later cases).
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads >= 1, "thread budget must be at least 1");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(threads))));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outside = max_threads();
+        let inside = with_threads(5, max_threads);
+        assert_eq!(inside, 5);
+        assert_eq!(max_threads(), outside);
+        // nesting: innermost override wins, both restore
+        with_threads(2, || {
+            assert_eq!(max_threads(), 2);
+            with_threads(7, || assert_eq!(max_threads(), 7));
+            assert_eq!(max_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let before = max_threads();
+        let r = std::panic::catch_unwind(|| with_threads(3, || panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(max_threads(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_budget_rejected() {
+        with_threads(0, || ());
+    }
+}

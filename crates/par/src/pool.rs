@@ -1,0 +1,256 @@
+//! The persistent worker pool and scoped parallel regions.
+//!
+//! Workers are spawned lazily (up to the largest budget ever requested) and
+//! live for the process. A *region* hands the same `task` closure to the
+//! caller plus `helpers` pool workers; the closure races over a shared chunk
+//! counter, so whichever thread is free takes the next chunk. The region
+//! blocks until every helper finished, which is what makes it sound to pass
+//! borrowed (non-`'static`) closures to pool threads.
+//!
+//! Nesting: a region started from inside another region (e.g. a tensor
+//! kernel called by a parallelized benchmark sweep) runs serially on its
+//! caller. Pool workers therefore never block on other pool jobs, every
+//! submitted job terminates, and the pool cannot deadlock on itself.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    /// How many workers have been spawned so far.
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Grow the pool until at least `n` workers exist.
+    fn ensure_workers(&self, n: usize) {
+        let mut spawned = self.spawned.lock().expect("pool spawn lock");
+        while *spawned < n {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("lip-par-{spawned}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn lip-par worker");
+            *spawned += 1;
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue lock")
+            .push_back(job);
+        self.shared.work_ready.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.work_ready.wait(queue).expect("pool queue lock");
+            }
+        };
+        job();
+    }
+}
+
+/// Completion latch for one region: counts outstanding helper jobs and
+/// remembers whether any of them panicked.
+struct Latch {
+    state: Mutex<(usize, bool)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(outstanding: usize) -> Self {
+        Latch {
+            state: Mutex::new((outstanding, false)),
+            done: Condvar::new(),
+        }
+    }
+
+    fn job_done(&self, panicked: bool) {
+        let mut state = self.state.lock().expect("latch lock");
+        state.0 -= 1;
+        state.1 |= panicked;
+        if state.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until every job finished; returns true if any panicked.
+    fn wait(&self) -> bool {
+        let mut state = self.state.lock().expect("latch lock");
+        while state.0 > 0 {
+            state = self.done.wait(state).expect("latch lock");
+        }
+        state.1
+    }
+}
+
+thread_local! {
+    /// True while this thread is executing a region's task (caller or
+    /// worker). Regions started under it run serially.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `task` while marked as inside a region, clearing the mark afterwards
+/// even on panic. Returns whether `task` panicked (payload re-raised or
+/// recorded by the caller).
+fn run_marked(task: &(dyn Fn() + Sync)) -> std::thread::Result<()> {
+    struct Clear;
+    impl Drop for Clear {
+        fn drop(&mut self) {
+            IN_REGION.with(|c| c.set(false));
+        }
+    }
+    IN_REGION.with(|c| c.set(true));
+    let _clear = Clear;
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(task))
+}
+
+/// Execute `task` on the calling thread **and** `helpers` pool workers,
+/// returning once every copy has finished. `task` must partition its own
+/// work (all callers go through [`crate::for_each_chunk`]'s shared chunk
+/// counter).
+///
+/// Runs `task` once inline instead when `helpers == 0` or when already
+/// inside a region (see module docs on nesting).
+pub(crate) fn run_region<'env>(helpers: usize, task: &'env (dyn Fn() + Sync + 'env)) {
+    if helpers == 0 || IN_REGION.with(Cell::get) {
+        task();
+        return;
+    }
+
+    let pool = pool();
+    pool.ensure_workers(helpers);
+    let latch = Arc::new(Latch::new(helpers));
+    for _ in 0..helpers {
+        let latch = Arc::clone(&latch);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let panicked = run_marked(task).is_err();
+            latch.job_done(panicked);
+        });
+        // SAFETY: erasing 'env to 'static is sound because this function
+        // does not return until the latch confirms every job ran to
+        // completion — the borrows inside `task` outlive all uses. The
+        // panic payloads are dropped inside the job (never unwound across
+        // the pool), so workers stay alive.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job)
+        };
+        pool.submit(job);
+    }
+
+    // The caller participates instead of idling, then waits for helpers so
+    // the borrowed task stays valid (even when unwinding).
+    let caller = run_marked(task);
+    let helper_panicked = latch.wait();
+    if let Err(payload) = caller {
+        std::panic::resume_unwind(payload);
+    }
+    if helper_panicked {
+        panic!("lip-par: worker panicked inside a parallel region");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn region_runs_task_on_all_participants() {
+        let entries = AtomicUsize::new(0);
+        run_region(3, &|| {
+            entries.fetch_add(1, Ordering::SeqCst);
+        });
+        // caller + 3 helpers
+        assert_eq!(entries.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_region_is_serial_inline() {
+        let inner_entries = AtomicUsize::new(0);
+        let outer_entries = AtomicUsize::new(0);
+        run_region(2, &|| {
+            outer_entries.fetch_add(1, Ordering::SeqCst);
+            run_region(5, &|| {
+                inner_entries.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(outer_entries.load(Ordering::SeqCst), 3);
+        // each of the 3 outer copies ran the inner task exactly once, inline
+        assert_eq!(inner_entries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn helper_panic_propagates_to_caller() {
+        let hits = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(|| {
+            run_region(2, &|| {
+                // every participant panics; caller must still observe it
+                // after all helpers completed
+                hits.fetch_add(1, Ordering::SeqCst);
+                panic!("kernel bug");
+            });
+        });
+        assert!(r.is_err());
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        // pool still usable afterwards
+        let again = AtomicUsize::new(0);
+        run_region(2, &|| {
+            again.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(again.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn borrowed_state_survives_region() {
+        let mut owned = vec![0u64; 128];
+        let parts: Vec<&mut [u64]> = owned.chunks_mut(32).collect();
+        // hand each helper a disjoint borrow through an atomic claim index
+        let next = AtomicUsize::new(0);
+        let parts = Mutex::new(parts);
+        run_region(3, &|| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(part) = parts.lock().unwrap().get_mut(i).map(|p| p.as_mut_ptr()) else {
+                break;
+            };
+            // SAFETY: each index claimed once; slices are disjoint.
+            unsafe {
+                for k in 0..32 {
+                    *part.add(k) = (i * 32 + k) as u64;
+                }
+            }
+        });
+        for (i, v) in owned.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+}

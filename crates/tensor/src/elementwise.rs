@@ -1,71 +1,100 @@
 //! Elementwise arithmetic with NumPy broadcasting, plus unary maps and
 //! scalar ops. Fast paths cover equal shapes and trailing-suffix broadcasts
 //! (the bias-add pattern); the general path walks a strided odometer.
+//!
+//! Every kernel here fans out over the `lip-par` pool in fixed-size chunks
+//! ([`lip_par::ELEMWISE_CHUNK`]); each output element is computed
+//! identically regardless of chunk or thread, so results are bit-identical
+//! at any thread count.
+
+use lip_par::{par_chunks_mut, ELEMWISE_CHUNK};
 
 use crate::shape::{broadcast_shapes, broadcast_strides, numel, Odometer2};
 use crate::Tensor;
 
 impl Tensor {
     /// Apply `f` to every element.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|&v| f(v)).collect(), &self.shape)
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = self.data();
+        let mut out = vec![0.0f32; src.len()];
+        par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
+            let len = dst.len();
+            for (d, &s) in dst.iter_mut().zip(&src[start..start + len]) {
+                *d = f(s);
+            }
+        });
+        Tensor::from_vec(out, &self.shape)
     }
 
     /// Combine with `rhs` elementwise under broadcasting.
-    pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         // Fast path 1: identical shapes.
         if self.shape == rhs.shape {
-            let out: Vec<f32> = self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let (a_data, b_data) = (self.data(), rhs.data());
+            let mut out = vec![0.0f32; a_data.len()];
+            par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
+                let a = &a_data[start..start + dst.len()];
+                let b = &b_data[start..start + dst.len()];
+                for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                    *d = f(x, y);
+                }
+            });
             return Tensor::from_vec(out, &self.shape);
         }
-        // Fast path 2: rhs is a scalar.
+        // Fast path 2: one side is a scalar.
         if rhs.numel() == 1 {
             let b = rhs.data[0];
             return self.map(|a| f(a, b));
         }
         if self.numel() == 1 {
             let a = self.data[0];
-            return Tensor {
-                shape: rhs.shape.clone(),
-                data: std::sync::Arc::new(rhs.data.iter().map(|&b| f(a, b)).collect()),
-            };
+            return rhs.map(|b| f(a, b)).reshape(rhs.shape());
         }
         // Fast path 3: rhs shape is a trailing suffix of lhs (bias pattern).
         if rhs.rank() <= self.rank()
             && self.shape[self.rank() - rhs.rank()..] == *rhs.shape()
         {
-            let chunk = rhs.numel();
+            let block = rhs.numel();
             debug_assert!(
-                chunk > 0 && self.numel() % chunk == 0,
-                "suffix chunk {chunk} does not tile {:?}",
+                block > 0 && self.numel() % block == 0,
+                "suffix block {block} does not tile {:?}",
                 self.shape
             );
-            let mut out = Vec::with_capacity(self.numel());
-            for block in self.data.chunks_exact(chunk) {
-                out.extend(block.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)));
-            }
+            let (a_data, b_data) = (self.data(), rhs.data());
+            let mut out = vec![0.0f32; a_data.len()];
+            // chunks hold whole suffix blocks so the modular index never
+            // splits inside a block
+            let chunk = (ELEMWISE_CHUNK / block).max(1) * block;
+            par_chunks_mut(&mut out, chunk, |_, start, dst| {
+                let a = &a_data[start..start + dst.len()];
+                for (db, ab) in dst.chunks_mut(block).zip(a.chunks(block)) {
+                    for ((d, &x), &y) in db.iter_mut().zip(ab).zip(b_data.iter()) {
+                        *d = f(x, y);
+                    }
+                }
+            });
             return Tensor::from_vec(out, &self.shape);
         }
-        // General strided broadcast.
+        // General strided broadcast: each chunk re-seats the odometer at its
+        // start offset and walks its own linear range.
         let out_shape = broadcast_shapes(&self.shape, &rhs.shape)
             .unwrap_or_else(|e| panic!("{e}"));
         let sa = broadcast_strides(&self.shape, &out_shape);
         let sb = broadcast_strides(&rhs.shape, &out_shape);
         debug_assert_eq!(sa.len(), out_shape.len(), "lhs stride rank mismatch");
         debug_assert_eq!(sb.len(), out_shape.len(), "rhs stride rank mismatch");
-        let mut out = Vec::with_capacity(numel(&out_shape));
-        for (a, b) in Odometer2::new(&out_shape, sa, sb) {
-            debug_assert!(
-                a < self.data.len() && b < rhs.data.len(),
-                "broadcast odometer left the operand buffers"
-            );
-            out.push(f(self.data[a], rhs.data[b]));
-        }
+        let (a_data, b_data) = (self.data(), rhs.data());
+        let mut out = vec![0.0f32; numel(&out_shape)];
+        par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
+            let odo = Odometer2::starting_at(&out_shape, sa.clone(), sb.clone(), start);
+            for (d, (a, b)) in dst.iter_mut().zip(odo) {
+                debug_assert!(
+                    a < a_data.len() && b < b_data.len(),
+                    "broadcast odometer left the operand buffers"
+                );
+                *d = f(a_data[a], b_data[b]);
+            }
+        });
         Tensor::from_vec(out, &out_shape)
     }
 
@@ -151,27 +180,52 @@ impl Tensor {
     }
 
     /// In-place fused `self += rhs * scale` for equally shaped tensors —
-    /// the gradient-accumulation hot path.
+    /// the gradient-accumulation hot path (autograd's backward sweep funnels
+    /// every per-node and per-parameter accumulation through here).
     pub fn add_assign_scaled(&mut self, rhs: &Tensor, scale: f32) {
         assert_eq!(self.shape, rhs.shape, "add_assign_scaled shape mismatch");
+        let src = rhs.data();
         let dst = self.data_mut();
-        for (d, &s) in dst.iter_mut().zip(rhs.data.iter()) {
-            *d += s * scale;
-        }
+        par_chunks_mut(dst, ELEMWISE_CHUNK, |_, start, d| {
+            let len = d.len();
+            for (x, &s) in d.iter_mut().zip(&src[start..start + len]) {
+                *x += s * scale;
+            }
+        });
     }
 
     /// Sum-reduce this tensor down to `target` shape — the adjoint of
     /// broadcasting. `target` must itself broadcast to `self.shape`.
+    ///
+    /// Chunks of the input accumulate into per-chunk partial outputs which
+    /// are then combined in [`lip_par::combine_tree`]'s fixed order, so the
+    /// result depends only on the shapes — never on the thread count.
     pub fn reduce_to_shape(&self, target: &[usize]) -> Tensor {
         if self.shape == target {
             return self.clone();
         }
         let sa = broadcast_strides(target, &self.shape);
-        let zero = vec![0usize; self.shape.len()];
-        let mut out = vec![0.0f32; numel(target)];
-        for ((t, _), &v) in Odometer2::new(&self.shape, sa, zero).zip(self.data.iter()) {
-            out[t] += v;
-        }
+        let t_numel = numel(target);
+        let data = self.data();
+        let partials = lip_par::map_chunks(
+            lip_par::Partition::new(data.len(), ELEMWISE_CHUNK),
+            |_, r| {
+                let zero = vec![0usize; self.shape.len()];
+                let odo = Odometer2::starting_at(&self.shape, sa.clone(), zero, r.start);
+                let mut acc = vec![0.0f32; t_numel];
+                for ((t, _), &v) in odo.zip(&data[r.start..r.end]) {
+                    acc[t] += v;
+                }
+                acc
+            },
+        );
+        let out = lip_par::combine_tree(partials, |mut a, b| {
+            for (x, &y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        })
+        .unwrap_or_else(|| vec![0.0f32; t_numel]);
         Tensor::from_vec(out, target)
     }
 }

@@ -1,15 +1,17 @@
 //! Batched matrix multiplication with broadcasting over leading axes.
 //!
-//! The inner kernel is a cache-friendly i-k-j loop over row-major operands;
-//! batches are fanned out across threads when the total work is large enough
-//! to amortize spawning.
+//! The inner kernel is a cache-friendly i-k-j loop over row-major operands.
+//! Work is row-partitioned over the `batches * m` output rows through
+//! `lip-par` — chunk boundaries depend only on the problem sizes, every
+//! output row is produced by the unchanged serial i-k-j accumulation, and so
+//! results are bit-identical at any thread count. Partitioning over rows
+//! (not batches) also means a single large `[m, k] × [k, n]` product
+//! parallelizes just as well as a batched one.
+
+use lip_par::{par_chunks_mut, MATMUL_CHUNK_MACS};
 
 use crate::shape::{broadcast_shapes, broadcast_strides, numel, Odometer2};
 use crate::Tensor;
-
-/// Work threshold (multiply-accumulates) below which matmul stays
-/// single-threaded.
-const PARALLEL_THRESHOLD: usize = 1 << 20;
 
 impl Tensor {
     /// Matrix product with broadcasting over leading (batch) axes.
@@ -67,42 +69,25 @@ impl Tensor {
         debug_assert_eq!(offsets.len(), batches);
 
         let mut out = vec![0.0f32; batches * m * n];
-        let work = batches * m * k * n;
-        let threads = available_threads();
-        if work >= PARALLEL_THRESHOLD && batches > 1 && threads > 1 {
-            let per = batches.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (chunk_idx, out_chunk) in out.chunks_mut(per * m * n).enumerate() {
-                    let offs = &offsets[chunk_idx * per..];
-                    let a_data = a.data();
-                    let b_data = b.data();
-                    scope.spawn(move || {
-                        for (bi, dst) in out_chunk.chunks_mut(m * n).enumerate() {
-                            let (oa, ob) = offs[bi];
-                            matmul_2d(
-                                &a_data[oa..oa + m * k],
-                                &b_data[ob..ob + k * n],
-                                m,
-                                k,
-                                n,
-                                dst,
-                            );
-                        }
-                    });
+        if m > 0 && n > 0 && batches > 0 {
+            // Partition over flattened output rows (batches * m of them),
+            // ~MATMUL_CHUNK_MACS multiply-accumulates per chunk. Row count
+            // per chunk depends only on (k, n), so the split is a pure
+            // function of the problem shape.
+            let rows_per_chunk = (MATMUL_CHUNK_MACS / (k * n).max(1)).max(1);
+            let a_data = a.data();
+            let b_data = b.data();
+            par_chunks_mut(&mut out, rows_per_chunk * n, |_, start, dst| {
+                let row0 = start / n;
+                for (ri, o_row) in dst.chunks_mut(n).enumerate() {
+                    let row = row0 + ri;
+                    let (bi, i) = (row / m, row % m);
+                    let (oa, ob) = offsets[bi];
+                    let a_row = &a_data[oa + i * k..oa + (i + 1) * k];
+                    let b_mat = &b_data[ob..ob + k * n];
+                    matmul_row(a_row, b_mat, n, o_row);
                 }
             });
-        } else {
-            for (bi, dst) in out.chunks_mut(m * n).enumerate() {
-                let (oa, ob) = offsets[bi];
-                matmul_2d(
-                    &a.data()[oa..oa + m * k],
-                    &b.data()[ob..ob + k * n],
-                    m,
-                    k,
-                    n,
-                    dst,
-                );
-            }
         }
 
         debug_assert_eq!(
@@ -123,27 +108,21 @@ impl Tensor {
     }
 }
 
-fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// `out[m,n] = a[m,k] @ b[k,n]`, all row-major. `out` must be zeroed.
+/// One output row: `out[n] = a_row[k] @ b[k,n]`, row-major, `out` zeroed.
+/// The k-then-j accumulation order (with the zero-skip) is the unit of
+/// bit-identity: every thread count produces each row through this exact
+/// loop.
 #[inline]
-fn matmul_2d(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let o_row = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
-            }
+fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(b.len(), a_row.len() * n);
+    debug_assert_eq!(out.len(), n);
+    for (p, &av) in a_row.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out.iter_mut().zip(b_row.iter()) {
+            *o += av * bv;
         }
     }
 }
@@ -215,6 +194,33 @@ mod tests {
     #[should_panic(expected = "inner-dim mismatch")]
     fn inner_dim_mismatch_panics() {
         let _ = Tensor::ones(&[2, 3]).matmul(&Tensor::ones(&[2, 3]));
+    }
+
+    #[test]
+    fn single_batch_large_m_splits_over_rows() {
+        // Regression: the old kernel only fanned out when batches > 1, so a
+        // single big [M, K] × [K, N] product ran serially. The row partition
+        // must cover it — and stay bit-identical to the one-thread result.
+        let m = 512;
+        let (k, n) = (48, 40);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| ((i * 31) % 13) as f32 * 0.5 - 3.0).collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| ((i * 17) % 11) as f32 * 0.25 - 1.0).collect(),
+            &[k, n],
+        );
+        let serial = lip_par::with_threads(1, || a.matmul(&b));
+        assert_eq!(serial.shape(), &[m, n]);
+        for threads in [2usize, 3, 8] {
+            let par = lip_par::with_threads(threads, || a.matmul(&b));
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        // spot-check one element against a plain dot product
+        let (i, j) = (400, 7);
+        let want: f32 = (0..k).map(|p| a.data()[i * k + p] * b.data()[p * n + j]).sum();
+        assert_eq!(serial.data()[i * n + j], want);
     }
 
     #[test]

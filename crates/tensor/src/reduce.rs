@@ -1,47 +1,65 @@
 //! Reductions (full and per-axis), softmax / log-softmax over the last axis,
 //! and argmax. Axis reductions keep the reduced axis as size 1 so results
 //! broadcast back against the input without reshaping.
+//!
+//! Parallelism contract: full reductions **always** fold
+//! [`lip_par::REDUCE_CHUNK`]-sized partials in `lip-par`'s fixed tree order
+//! — even on one thread — so the f32 rounding is a function of the input
+//! size alone and the result is bit-identical at any thread count. Axis
+//! reductions and the row-wise softmax kernels assign disjoint output
+//! regions per chunk and keep the serial per-element accumulation order, so
+//! they are bit-identical to the single-threaded loop by construction.
+
+use lip_par::{par_chunks_mut, reduce_chunks, Partition, ELEMWISE_CHUNK, REDUCE_CHUNK};
 
 use crate::shape::split_at_axis;
 use crate::Tensor;
 
+/// Deterministic chunked-tree sum of a flat buffer (0.0 for empty input).
+fn tree_sum(data: &[f32]) -> f32 {
+    reduce_chunks(
+        Partition::new(data.len(), REDUCE_CHUNK),
+        |_, r| data[r].iter().sum::<f32>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
+}
+
+/// Deterministic chunked fold under an exactly associative+commutative
+/// combiner (min/max), seeded with `empty` for zero-length input.
+fn tree_fold(data: &[f32], empty: f32, combine: impl Fn(f32, f32) -> f32 + Sync) -> f32 {
+    reduce_chunks(
+        Partition::new(data.len(), REDUCE_CHUNK),
+        |_, r| data[r].iter().copied().fold(empty, &combine),
+        &combine,
+    )
+    .unwrap_or(empty)
+}
+
 impl Tensor {
     /// Sum of all elements (rank-0 result).
     pub fn sum(&self) -> Tensor {
-        Tensor::scalar(self.data.iter().sum())
+        Tensor::scalar(tree_sum(self.data()))
     }
 
     /// Mean of all elements (rank-0 result).
     pub fn mean(&self) -> Tensor {
-        Tensor::scalar(self.data.iter().sum::<f32>() / self.numel() as f32)
+        Tensor::scalar(tree_sum(self.data()) / self.numel() as f32)
     }
 
     /// Largest element.
     pub fn max_value(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        tree_fold(self.data(), f32::NEG_INFINITY, f32::max)
     }
 
     /// Smallest element.
     pub fn min_value(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        tree_fold(self.data(), f32::INFINITY, f32::min)
     }
 
     /// Sum along `axis`, keeping it as size 1.
     pub fn sum_axis(&self, axis: usize) -> Tensor {
-        let (outer, len, inner) = split_at_axis(&self.shape, axis);
-        let mut out = vec![0.0f32; outer * inner];
-        for o in 0..outer {
-            for l in 0..len {
-                let base = (o * len + l) * inner;
-                let dst = o * inner;
-                for i in 0..inner {
-                    out[dst + i] += self.data[base + i];
-                }
-            }
-        }
-        let mut shape = self.shape.clone();
-        shape[axis] = 1;
-        Tensor::from_vec(out, &shape)
+        self.axis_accumulate(axis, 0.0, |acc, v| acc + v)
     }
 
     /// Mean along `axis`, keeping it as size 1.
@@ -58,16 +76,48 @@ impl Tensor {
 
     /// Max along `axis`, keeping it as size 1.
     pub fn max_axis(&self, axis: usize) -> Tensor {
+        self.axis_accumulate(axis, f32::NEG_INFINITY, |acc, v| acc.max(v))
+    }
+
+    /// Shared axis-reduction kernel: `out[o, i] = fold over l of
+    /// self[o, l, i]` in the implicit `(outer, len, inner)` view. The `l`
+    /// accumulation order per output element matches the serial loop
+    /// exactly; parallelism only splits the disjoint output regions.
+    fn axis_accumulate(
+        &self,
+        axis: usize,
+        init: f32,
+        accumulate: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Tensor {
         let (outer, len, inner) = split_at_axis(&self.shape, axis);
-        let mut out = vec![f32::NEG_INFINITY; outer * inner];
-        for o in 0..outer {
-            for l in 0..len {
-                let base = (o * len + l) * inner;
-                let dst = o * inner;
-                for i in 0..inner {
-                    out[dst + i] = out[dst + i].max(self.data[base + i]);
+        let data = self.data();
+        let mut out = vec![init; outer * inner];
+        if outer > 1 {
+            // chunk over whole outer rows so each window owns `[o0..o1) × inner`
+            let rows = (ELEMWISE_CHUNK / (len * inner).max(1)).max(1);
+            par_chunks_mut(&mut out, rows * inner, |_, start, dst| {
+                let o0 = start / inner;
+                for (oi, drow) in dst.chunks_mut(inner).enumerate() {
+                    let o = o0 + oi;
+                    for l in 0..len {
+                        let base = (o * len + l) * inner;
+                        for (d, &v) in drow.iter_mut().zip(&data[base..base + inner]) {
+                            *d = accumulate(*d, v);
+                        }
+                    }
                 }
-            }
+            });
+        } else {
+            // single outer row: split the inner axis instead
+            par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
+                let width = dst.len();
+                for l in 0..len {
+                    let base = l * inner + start;
+                    for (d, &v) in dst.iter_mut().zip(&data[base..base + width]) {
+                        *d = accumulate(*d, v);
+                    }
+                }
+            });
         }
         let mut shape = self.shape.clone();
         shape[axis] = 1;
@@ -77,33 +127,46 @@ impl Tensor {
     /// Numerically stable softmax over the last axis.
     pub fn softmax_lastdim(&self) -> Tensor {
         let width = *self.shape.last().expect("softmax on a scalar");
-        let mut out = Vec::with_capacity(self.numel());
-        for row in self.data.chunks_exact(width) {
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            let start = out.len();
-            for &v in row {
-                let e = (v - m).exp();
-                sum += e;
-                out.push(e);
+        assert!(width > 0, "softmax over an empty last axis");
+        let data = self.data();
+        let mut out = vec![0.0f32; self.numel()];
+        let rows = (ELEMWISE_CHUNK / width).max(1);
+        par_chunks_mut(&mut out, rows * width, |_, start, dst| {
+            let src = &data[start..start + dst.len()];
+            for (drow, row) in dst.chunks_exact_mut(width).zip(src.chunks_exact(width)) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for (d, &v) in drow.iter_mut().zip(row) {
+                    let e = (v - m).exp();
+                    sum += e;
+                    *d = e;
+                }
+                let inv = 1.0 / sum;
+                for d in drow.iter_mut() {
+                    *d *= inv;
+                }
             }
-            let inv = 1.0 / sum;
-            for v in &mut out[start..] {
-                *v *= inv;
-            }
-        }
+        });
         Tensor::from_vec(out, &self.shape)
     }
 
     /// Numerically stable log-softmax over the last axis.
     pub fn log_softmax_lastdim(&self) -> Tensor {
         let width = *self.shape.last().expect("log_softmax on a scalar");
-        let mut out = Vec::with_capacity(self.numel());
-        for row in self.data.chunks_exact(width) {
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-            out.extend(row.iter().map(|&v| v - lse));
-        }
+        assert!(width > 0, "log_softmax over an empty last axis");
+        let data = self.data();
+        let mut out = vec![0.0f32; self.numel()];
+        let rows = (ELEMWISE_CHUNK / width).max(1);
+        par_chunks_mut(&mut out, rows * width, |_, start, dst| {
+            let src = &data[start..start + dst.len()];
+            for (drow, row) in dst.chunks_exact_mut(width).zip(src.chunks_exact(width)) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+                for (d, &v) in drow.iter_mut().zip(row) {
+                    *d = v - lse;
+                }
+            }
+        });
         Tensor::from_vec(out, &self.shape)
     }
 

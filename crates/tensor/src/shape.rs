@@ -129,6 +129,42 @@ impl Odometer2 {
             remaining: numel(out_shape),
         }
     }
+
+    /// An odometer positioned at flat output index `start` (row-major), as
+    /// if [`Odometer2::new`] had been stepped `start` times. Lets chunked
+    /// kernels walk disjoint linear ranges of a broadcast output without
+    /// replaying the prefix.
+    pub fn starting_at(
+        out_shape: &[usize],
+        strides_a: Vec<usize>,
+        strides_b: Vec<usize>,
+        start: usize,
+    ) -> Self {
+        let total = numel(out_shape);
+        let mut idx = vec![0usize; out_shape.len()];
+        let mut off_a = 0usize;
+        let mut off_b = 0usize;
+        if start < total {
+            // mixed-radix decomposition, last axis fastest
+            let mut rem = start;
+            for ax in (0..out_shape.len()).rev() {
+                let dim = out_shape[ax];
+                idx[ax] = rem % dim;
+                rem /= dim;
+                off_a += idx[ax] * strides_a[ax];
+                off_b += idx[ax] * strides_b[ax];
+            }
+        }
+        Odometer2 {
+            shape: out_shape.to_vec(),
+            idx,
+            strides_a,
+            strides_b,
+            off_a,
+            off_b,
+            remaining: total.saturating_sub(start),
+        }
+    }
 }
 
 impl Iterator for Odometer2 {
@@ -202,6 +238,19 @@ mod tests {
         let sb = broadcast_strides(&[2], &out);
         let pairs: Vec<_> = Odometer2::new(&out, sa, sb).collect();
         assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn odometer_starting_at_matches_skipped_walk() {
+        let out = [2usize, 3, 4];
+        let sa = broadcast_strides(&[3, 1], &out);
+        let sb = broadcast_strides(&[2, 1, 4], &out);
+        let full: Vec<_> = Odometer2::new(&out, sa.clone(), sb.clone()).collect();
+        for start in [0usize, 1, 5, 11, 23, 24, 99] {
+            let tail: Vec<_> =
+                Odometer2::starting_at(&out, sa.clone(), sb.clone(), start).collect();
+            assert_eq!(tail, full[start.min(full.len())..], "start={start}");
+        }
     }
 
     #[test]

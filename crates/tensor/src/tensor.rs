@@ -308,10 +308,15 @@ impl Tensor {
         }
         let strides = broadcast_strides(&self.shape, out_shape);
         let zero = vec![0usize; out_shape.len()];
-        let mut out = Vec::with_capacity(numel(out_shape));
-        for (a, _) in Odometer2::new(out_shape, strides, zero) {
-            out.push(self.data[a]);
-        }
+        let mut out = vec![0.0f32; numel(out_shape)];
+        // pure strided gather into disjoint windows: bit-identical at any
+        // thread count by construction
+        lip_par::par_chunks_mut(&mut out, lip_par::ELEMWISE_CHUNK, |_, start, dst| {
+            let odo = Odometer2::starting_at(out_shape, strides.clone(), zero.clone(), start);
+            for (d, (a, _)) in dst.iter_mut().zip(odo) {
+                *d = self.data[a];
+            }
+        });
         Tensor::from_vec(out, out_shape)
     }
 }

@@ -1,0 +1,205 @@
+//! Parallel-vs-serial bit-identity battery for every kernel that runs on
+//! `lip-par`. Each test evaluates the same op under thread budgets
+//! {1, 2, 3, 8} via `lip_par::with_threads` and asserts the results are
+//! **byte-identical** (`Tensor::to_bytes`), not merely close — the
+//! workspace's determinism contract says the thread count must never be
+//! observable in any output bit.
+//!
+//! Sizes are chosen adversarially: empty and single-element tensors, lengths
+//! straddling the chunk constants (`ELEMWISE_CHUNK ± 1`, non-divisible
+//! tails), and broadcast-heavy shapes that exercise the strided odometer
+//! restart path.
+
+use lip_rng::prop::Gen;
+use lip_rng::prop_check;
+use lip_tensor::Tensor;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// Run `f` at every thread budget and assert the serialized results are
+/// byte-identical to the 1-thread baseline.
+fn assert_thread_invariant(label: &str, f: impl Fn() -> Tensor) {
+    let base = lip_par::with_threads(1, &f);
+    let base_bytes = base.to_bytes();
+    for &threads in &THREADS[1..] {
+        let got = lip_par::with_threads(threads, &f);
+        assert_eq!(
+            base_bytes,
+            got.to_bytes(),
+            "{label}: output depends on thread count (1 vs {threads})"
+        );
+    }
+}
+
+/// Lengths that probe chunk boundaries: tiny, exactly one chunk, one off
+/// either side, and a multi-chunk size with a ragged tail.
+fn adversarial_len(g: &mut Gen) -> usize {
+    let e = lip_par::ELEMWISE_CHUNK;
+    g.pick(&[0, 1, 2, 7, e - 1, e, e + 1, 2 * e + 13, 3 * e - 1])
+}
+
+fn tensor_of_len(g: &mut Gen, len: usize) -> Tensor {
+    Tensor::from_vec(g.vec_f32(len, -10.0, 10.0), &[len])
+}
+
+#[test]
+fn map_is_thread_invariant() {
+    prop_check!(cases = 12, seed = 0x9A01, |g| {
+        let len = adversarial_len(g);
+        let t = tensor_of_len(g, len);
+        assert_thread_invariant("map", || t.map(|v| v.sin() * 2.0 + 1.0));
+    });
+}
+
+#[test]
+fn zip_equal_shapes_is_thread_invariant() {
+    prop_check!(cases = 12, seed = 0x9A02, |g| {
+        let len = adversarial_len(g);
+        let a = tensor_of_len(g, len);
+        let b = tensor_of_len(g, len);
+        assert_thread_invariant("zip-equal", || a.mul(&b));
+    });
+}
+
+#[test]
+fn zip_suffix_broadcast_is_thread_invariant() {
+    // [rows, block] + [block] — the bias fast path with block-aligned chunks
+    prop_check!(cases = 16, seed = 0x9A03, |g| {
+        let rows = g.pick(&[1usize, 3, 700, 4096]);
+        let block = g.pick(&[1usize, 5, 17, 64]);
+        let a = Tensor::from_vec(g.vec_f32(rows * block, -5.0, 5.0), &[rows, block]);
+        let b = Tensor::from_vec(g.vec_f32(block, -5.0, 5.0), &[block]);
+        assert_thread_invariant("zip-suffix", || a.add(&b));
+    });
+}
+
+#[test]
+fn zip_general_broadcast_is_thread_invariant() {
+    // [x, 1, z] × [y, 1] — middle-axis broadcasting forces the odometer path
+    prop_check!(cases = 16, seed = 0x9A04, |g| {
+        let x = g.usize_in(1, 40);
+        let y = g.usize_in(1, 40);
+        let z = g.usize_in(1, 40);
+        let a = Tensor::from_vec(g.vec_f32(x * z, -5.0, 5.0), &[x, 1, z]);
+        let b = Tensor::from_vec(g.vec_f32(y, -5.0, 5.0), &[y, 1]);
+        assert_thread_invariant("zip-broadcast", || a.mul(&b));
+    });
+}
+
+#[test]
+fn zip_scalar_sides_are_thread_invariant() {
+    prop_check!(cases = 8, seed = 0x9A05, |g| {
+        let len = adversarial_len(g).max(1);
+        let t = tensor_of_len(g, len);
+        let s = Tensor::scalar(g.f32_in(-3.0, 3.0));
+        assert_thread_invariant("zip-scalar-rhs", || t.mul(&s));
+        assert_thread_invariant("zip-scalar-lhs", || s.sub(&t));
+    });
+}
+
+#[test]
+fn add_assign_scaled_is_thread_invariant() {
+    prop_check!(cases = 12, seed = 0x9A06, |g| {
+        let len = adversarial_len(g);
+        let a = tensor_of_len(g, len);
+        let b = tensor_of_len(g, len);
+        let scale = g.f32_in(-2.0, 2.0);
+        assert_thread_invariant("add_assign_scaled", || {
+            let mut acc = a.clone();
+            acc.add_assign_scaled(&b, scale);
+            acc
+        });
+    });
+}
+
+#[test]
+fn full_reductions_are_thread_invariant() {
+    prop_check!(cases = 12, seed = 0x9A07, |g| {
+        let r = lip_par::REDUCE_CHUNK;
+        let len = g.pick(&[0, 1, r - 1, r, r + 1, 4 * r + 7]);
+        let t = tensor_of_len(g, len);
+        assert_thread_invariant("sum", || t.sum());
+        assert_thread_invariant("mean", || t.mean());
+        assert_thread_invariant("minmax", || {
+            Tensor::from_vec(vec![t.max_value(), t.min_value()], &[2])
+        });
+    });
+}
+
+#[test]
+fn axis_reductions_are_thread_invariant() {
+    prop_check!(cases = 16, seed = 0x9A08, |g| {
+        let shape = g.shape(1, 4, 30);
+        let n: usize = shape.iter().product();
+        let t = Tensor::from_vec(g.vec_f32(n, -10.0, 10.0), &shape);
+        let axis = g.usize_in(0, shape.len());
+        assert_thread_invariant("sum_axis", || t.sum_axis(axis));
+        assert_thread_invariant("max_axis", || t.max_axis(axis));
+        assert_thread_invariant("mean_axis", || t.mean_axis(axis));
+    });
+}
+
+#[test]
+fn single_outer_row_axis_reduction_is_thread_invariant() {
+    // axis 0 of a [len, inner] tensor hits the split-the-inner-axis branch
+    prop_check!(cases = 8, seed = 0x9A09, |g| {
+        let len = g.usize_in(1, 6);
+        let inner = g.pick(&[1usize, 1000, lip_par::ELEMWISE_CHUNK + 3]);
+        let t = Tensor::from_vec(g.vec_f32(len * inner, -4.0, 4.0), &[len, inner]);
+        assert_thread_invariant("sum_axis-inner", || t.sum_axis(0));
+        assert_thread_invariant("max_axis-inner", || t.max_axis(0));
+    });
+}
+
+#[test]
+fn softmax_kernels_are_thread_invariant() {
+    prop_check!(cases = 12, seed = 0x9A0A, |g| {
+        let rows = g.pick(&[1usize, 3, 2000, 9001]);
+        let width = g.pick(&[1usize, 2, 24, 65]);
+        let t = Tensor::from_vec(g.vec_f32(rows * width, -8.0, 8.0), &[rows, width]);
+        assert_thread_invariant("softmax", || t.softmax_lastdim());
+        assert_thread_invariant("log_softmax", || t.log_softmax_lastdim());
+    });
+}
+
+#[test]
+fn reduce_to_shape_is_thread_invariant() {
+    // the adjoint-of-broadcast path: collapse a broadcast-heavy shape back
+    prop_check!(cases = 16, seed = 0x9A0B, |g| {
+        let x = g.usize_in(1, 20);
+        let y = g.usize_in(1, 20);
+        let z = g.usize_in(1, 20);
+        let t = Tensor::from_vec(g.vec_f32(x * y * z, -6.0, 6.0), &[x, y, z]);
+        let target: &[usize] = g.pick(&[&[] as &[usize], &[1, 1, 1]]);
+        let target_mid: Vec<usize> = vec![1, y, 1];
+        assert_thread_invariant("reduce_to_shape-scalar", || t.reduce_to_shape(target));
+        assert_thread_invariant("reduce_to_shape-mid", || t.reduce_to_shape(&target_mid));
+    });
+}
+
+#[test]
+fn matmul_is_thread_invariant() {
+    prop_check!(cases = 12, seed = 0x9A0C, |g| {
+        let b = g.pick(&[1usize, 2, 7]);
+        let m = g.pick(&[1usize, 3, 130]);
+        let k = g.usize_in(1, 32);
+        let n = g.pick(&[1usize, 5, 64]);
+        let a = Tensor::from_vec(g.vec_f32(b * m * k, -3.0, 3.0), &[b, m, k]);
+        let w = Tensor::from_vec(g.vec_f32(k * n, -3.0, 3.0), &[k, n]);
+        assert_thread_invariant("matmul", || a.matmul(&w));
+    });
+}
+
+#[test]
+fn chained_ops_are_thread_invariant() {
+    // a mini forward pass: linear -> bias -> softmax -> mean, all fused paths
+    prop_check!(cases = 8, seed = 0x9A0D, |g| {
+        let (b, d, h) = (g.usize_in(1, 6), g.usize_in(1, 24), g.usize_in(1, 24));
+        let x = Tensor::from_vec(g.vec_f32(b * d, -2.0, 2.0), &[b, d]);
+        let w = Tensor::from_vec(g.vec_f32(d * h, -2.0, 2.0), &[d, h]);
+        let bias = Tensor::from_vec(g.vec_f32(h, -1.0, 1.0), &[h]);
+        assert_thread_invariant("chain", || {
+            x.matmul(&w).add(&bias).softmax_lastdim().mean_axis(0)
+        });
+    });
+}

@@ -1,18 +1,24 @@
 #!/usr/bin/env sh
 # Hermetic verification gate: the whole workspace must build and test
 # offline (no registry, no network) — every dependency is an in-tree
-# lip-* path crate.
+# lip-* path crate — and must behave bit-identically at any thread count.
 set -eu
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release --offline (warnings are errors)"
 RUSTFLAGS="-D warnings" cargo build --release --offline
 
-echo "==> cargo test -q --offline"
+echo "==> cargo test -q --offline (host-default thread budget)"
 cargo test -q --offline
+
+echo "==> cargo test -q --offline under LIP_THREADS=1 (serial budget)"
+LIP_THREADS=1 cargo test -q --offline
 
 echo "==> lip-analyze --lint --check-model (static graph gate)"
 cargo run -q --release --offline -p lip-analyze -- --lint --check-model
+
+echo "==> par_baseline bench smoke (serial vs parallel; fails on divergence)"
+cargo run -q --release --offline -p lip-bench --bin par_baseline BENCH_pr4.json
 
 echo "==> verify: only lip-* path dependencies in Cargo.tomls"
 if grep -rhE '^[a-zA-Z0-9_-]+ *= *[{"]' Cargo.toml crates/*/Cargo.toml \
@@ -22,4 +28,5 @@ if grep -rhE '^[a-zA-Z0-9_-]+ *= *[{"]' Cargo.toml crates/*/Cargo.toml \
   exit 1
 fi
 
-echo "OK: offline build + tests green, zero external dependencies"
+echo "OK: offline build + double test run green (LIP_THREADS=1 and default),"
+echo "    parallel/serial bit-identical, zero external dependencies"

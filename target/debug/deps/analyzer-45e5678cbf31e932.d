@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyzer-45e5678cbf31e932.d: crates/analyze/../../tests/analyzer.rs
+
+/root/repo/target/debug/deps/analyzer-45e5678cbf31e932: crates/analyze/../../tests/analyzer.rs
+
+crates/analyze/../../tests/analyzer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyzer-fc2bd579ed92674b.d: crates/analyze/../../tests/analyzer.rs
+
+/root/repo/target/debug/deps/analyzer-fc2bd579ed92674b: crates/analyze/../../tests/analyzer.rs
+
+crates/analyze/../../tests/analyzer.rs:

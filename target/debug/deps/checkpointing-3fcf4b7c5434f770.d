@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpointing-3fcf4b7c5434f770.d: crates/eval/../../tests/checkpointing.rs
+
+/root/repo/target/debug/deps/checkpointing-3fcf4b7c5434f770: crates/eval/../../tests/checkpointing.rs
+
+crates/eval/../../tests/checkpointing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpointing-b2b8dfc0622d8907.d: crates/eval/../../tests/checkpointing.rs
+
+/root/repo/target/debug/deps/checkpointing-b2b8dfc0622d8907: crates/eval/../../tests/checkpointing.rs
+
+crates/eval/../../tests/checkpointing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-252aa8f929374e45.d: crates/eval/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-252aa8f929374e45: crates/eval/../../tests/end_to_end.rs
+
+crates/eval/../../tests/end_to_end.rs:

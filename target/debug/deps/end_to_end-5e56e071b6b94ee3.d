@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5e56e071b6b94ee3.d: crates/eval/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5e56e071b6b94ee3: crates/eval/../../tests/end_to_end.rs
+
+crates/eval/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_covariate_ablation-187a9e33d243de1e.d: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+/root/repo/target/debug/deps/fig6_covariate_ablation-187a9e33d243de1e: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+crates/eval/src/bin/fig6_covariate_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_covariate_ablation-3ea512ccbed18066.d: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+/root/repo/target/debug/deps/fig6_covariate_ablation-3ea512ccbed18066: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+crates/eval/src/bin/fig6_covariate_ablation.rs:

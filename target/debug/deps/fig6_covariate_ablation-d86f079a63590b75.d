@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_covariate_ablation-d86f079a63590b75.d: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+/root/repo/target/debug/deps/fig6_covariate_ablation-d86f079a63590b75: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+crates/eval/src/bin/fig6_covariate_ablation.rs:

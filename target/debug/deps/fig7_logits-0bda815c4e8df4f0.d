@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_logits-0bda815c4e8df4f0.d: crates/eval/src/bin/fig7_logits.rs
+
+/root/repo/target/debug/deps/fig7_logits-0bda815c4e8df4f0: crates/eval/src/bin/fig7_logits.rs
+
+crates/eval/src/bin/fig7_logits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_logits-c0e21aaf2b932214.d: crates/eval/src/bin/fig7_logits.rs
+
+/root/repo/target/debug/deps/fig7_logits-c0e21aaf2b932214: crates/eval/src/bin/fig7_logits.rs
+
+crates/eval/src/bin/fig7_logits.rs:

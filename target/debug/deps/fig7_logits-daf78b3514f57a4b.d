@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_logits-daf78b3514f57a4b.d: crates/eval/src/bin/fig7_logits.rs
+
+/root/repo/target/debug/deps/fig7_logits-daf78b3514f57a4b: crates/eval/src/bin/fig7_logits.rs
+
+crates/eval/src/bin/fig7_logits.rs:

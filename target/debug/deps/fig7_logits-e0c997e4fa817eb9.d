@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_logits-e0c997e4fa817eb9.d: crates/eval/src/bin/fig7_logits.rs
+
+/root/repo/target/debug/deps/fig7_logits-e0c997e4fa817eb9: crates/eval/src/bin/fig7_logits.rs
+
+crates/eval/src/bin/fig7_logits.rs:

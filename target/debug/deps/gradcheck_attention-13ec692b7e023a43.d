@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck_attention-13ec692b7e023a43.d: crates/core/tests/gradcheck_attention.rs
+
+/root/repo/target/debug/deps/gradcheck_attention-13ec692b7e023a43: crates/core/tests/gradcheck_attention.rs
+
+crates/core/tests/gradcheck_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck_attention-1b98bfb470caa323.d: crates/core/tests/gradcheck_attention.rs
+
+/root/repo/target/debug/deps/gradcheck_attention-1b98bfb470caa323: crates/core/tests/gradcheck_attention.rs
+
+crates/core/tests/gradcheck_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck_parallel-6d49c397897c2ea3.d: crates/core/tests/gradcheck_parallel.rs
+
+/root/repo/target/debug/deps/gradcheck_parallel-6d49c397897c2ea3: crates/core/tests/gradcheck_parallel.rs
+
+crates/core/tests/gradcheck_parallel.rs:

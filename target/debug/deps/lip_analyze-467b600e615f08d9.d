@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lip_analyze-467b600e615f08d9.d: crates/analyze/src/main.rs
+
+/root/repo/target/debug/deps/lip_analyze-467b600e615f08d9: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lip_analyze-584da4c6d2636fb8.d: crates/analyze/src/main.rs
+
+/root/repo/target/debug/deps/lip_analyze-584da4c6d2636fb8: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

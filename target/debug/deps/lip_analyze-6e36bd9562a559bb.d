@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lip_analyze-6e36bd9562a559bb.d: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/sym.rs
+
+/root/repo/target/debug/deps/lip_analyze-6e36bd9562a559bb: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/sym.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/harness.rs:
+crates/analyze/src/infer.rs:
+crates/analyze/src/lint.rs:
+crates/analyze/src/plan.rs:
+crates/analyze/src/rules.rs:
+crates/analyze/src/sym.rs:

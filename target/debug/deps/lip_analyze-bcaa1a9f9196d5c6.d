@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lip_analyze-bcaa1a9f9196d5c6.d: crates/analyze/src/main.rs
+
+/root/repo/target/debug/deps/lip_analyze-bcaa1a9f9196d5c6: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

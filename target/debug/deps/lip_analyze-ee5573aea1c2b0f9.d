@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lip_analyze-ee5573aea1c2b0f9.d: crates/analyze/src/main.rs
+
+/root/repo/target/debug/deps/lip_analyze-ee5573aea1c2b0f9: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

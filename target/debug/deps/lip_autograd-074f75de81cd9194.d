@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lip_autograd-074f75de81cd9194.d: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+/root/repo/target/debug/deps/lip_autograd-074f75de81cd9194: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/backward.rs:
+crates/autograd/src/gradcheck.rs:
+crates/autograd/src/graph.rs:
+crates/autograd/src/op.rs:
+crates/autograd/src/params.rs:

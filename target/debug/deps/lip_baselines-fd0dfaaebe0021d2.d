@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lip_baselines-fd0dfaaebe0021d2.d: crates/baselines/src/lib.rs crates/baselines/src/autoformer.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/fgnn.rs crates/baselines/src/informer.rs crates/baselines/src/itransformer.rs crates/baselines/src/patchtst.rs crates/baselines/src/tide.rs crates/baselines/src/timemixer.rs crates/baselines/src/transformer.rs
+
+/root/repo/target/debug/deps/lip_baselines-fd0dfaaebe0021d2: crates/baselines/src/lib.rs crates/baselines/src/autoformer.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/fgnn.rs crates/baselines/src/informer.rs crates/baselines/src/itransformer.rs crates/baselines/src/patchtst.rs crates/baselines/src/tide.rs crates/baselines/src/timemixer.rs crates/baselines/src/transformer.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/autoformer.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/dlinear.rs:
+crates/baselines/src/fgnn.rs:
+crates/baselines/src/informer.rs:
+crates/baselines/src/itransformer.rs:
+crates/baselines/src/patchtst.rs:
+crates/baselines/src/tide.rs:
+crates/baselines/src/timemixer.rs:
+crates/baselines/src/transformer.rs:

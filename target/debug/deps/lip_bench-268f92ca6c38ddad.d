@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lip_bench-268f92ca6c38ddad.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/liblip_bench-268f92ca6c38ddad.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/liblip_bench-268f92ca6c38ddad.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lip_bench-5b8fa94162405a50.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/liblip_bench-5b8fa94162405a50.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/liblip_bench-5b8fa94162405a50.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

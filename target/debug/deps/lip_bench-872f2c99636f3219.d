@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lip_bench-872f2c99636f3219.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/lip_bench-872f2c99636f3219: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lip_bench-fb07f00baeb19584.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/lip_bench-fb07f00baeb19584: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

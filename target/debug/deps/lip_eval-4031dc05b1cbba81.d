@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lip_eval-4031dc05b1cbba81.d: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/liblip_eval-4031dc05b1cbba81.rlib: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/liblip_eval-4031dc05b1cbba81.rmeta: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/heatmap.rs:
+crates/eval/src/registry.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/scale.rs:
+crates/eval/src/table.rs:

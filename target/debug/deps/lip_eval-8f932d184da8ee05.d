@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lip_eval-8f932d184da8ee05.d: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/liblip_eval-8f932d184da8ee05.rlib: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+/root/repo/target/debug/deps/liblip_eval-8f932d184da8ee05.rmeta: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/heatmap.rs:
+crates/eval/src/registry.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/scale.rs:
+crates/eval/src/table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lip_par-c02e28994b8d2da2.d: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+/root/repo/target/debug/deps/lip_par-c02e28994b8d2da2: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+crates/par/src/lib.rs:
+crates/par/src/chunk.rs:
+crates/par/src/pool.rs:

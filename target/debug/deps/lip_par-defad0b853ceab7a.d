@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lip_par-defad0b853ceab7a.d: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+/root/repo/target/debug/deps/liblip_par-defad0b853ceab7a.rlib: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+/root/repo/target/debug/deps/liblip_par-defad0b853ceab7a.rmeta: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+crates/par/src/lib.rs:
+crates/par/src/chunk.rs:
+crates/par/src/pool.rs:

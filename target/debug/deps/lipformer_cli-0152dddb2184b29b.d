@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lipformer_cli-0152dddb2184b29b.d: crates/eval/src/bin/lipformer_cli.rs
+
+/root/repo/target/debug/deps/lipformer_cli-0152dddb2184b29b: crates/eval/src/bin/lipformer_cli.rs
+
+crates/eval/src/bin/lipformer_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lipformer_cli-667f043327a8f302.d: crates/eval/src/bin/lipformer_cli.rs
+
+/root/repo/target/debug/deps/lipformer_cli-667f043327a8f302: crates/eval/src/bin/lipformer_cli.rs
+
+crates/eval/src/bin/lipformer_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lipformer_cli-878c38591f857713.d: crates/eval/src/bin/lipformer_cli.rs
+
+/root/repo/target/debug/deps/lipformer_cli-878c38591f857713: crates/eval/src/bin/lipformer_cli.rs
+
+crates/eval/src/bin/lipformer_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lipformer_cli-d1c46039c6529e80.d: crates/eval/src/bin/lipformer_cli.rs
+
+/root/repo/target/debug/deps/lipformer_cli-d1c46039c6529e80: crates/eval/src/bin/lipformer_cli.rs
+
+crates/eval/src/bin/lipformer_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_zoo-79f19145d3a1e55e.d: crates/eval/../../tests/model_zoo.rs
+
+/root/repo/target/debug/deps/model_zoo-79f19145d3a1e55e: crates/eval/../../tests/model_zoo.rs
+
+crates/eval/../../tests/model_zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_zoo-909ce9bcf6ab9863.d: crates/eval/../../tests/model_zoo.rs
+
+/root/repo/target/debug/deps/model_zoo-909ce9bcf6ab9863: crates/eval/../../tests/model_zoo.rs
+
+crates/eval/../../tests/model_zoo.rs:

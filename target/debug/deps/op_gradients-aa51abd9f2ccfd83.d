@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/op_gradients-aa51abd9f2ccfd83.d: crates/autograd/tests/op_gradients.rs
+
+/root/repo/target/debug/deps/op_gradients-aa51abd9f2ccfd83: crates/autograd/tests/op_gradients.rs
+
+crates/autograd/tests/op_gradients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_model-09a0298ec5fa9263.d: crates/core/tests/proptest_model.rs
+
+/root/repo/target/debug/deps/proptest_model-09a0298ec5fa9263: crates/core/tests/proptest_model.rs
+
+crates/core/tests/proptest_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_model-9540edce3d96bce5.d: crates/core/tests/proptest_model.rs
+
+/root/repo/target/debug/deps/proptest_model-9540edce3d96bce5: crates/core/tests/proptest_model.rs
+
+crates/core/tests/proptest_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_nn-b936eb043f7fd9d9.d: crates/nn/tests/proptest_nn.rs
+
+/root/repo/target/debug/deps/proptest_nn-b936eb043f7fd9d9: crates/nn/tests/proptest_nn.rs
+
+crates/nn/tests/proptest_nn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_parallel-c7e886ee06be64bc.d: crates/tensor/tests/proptest_parallel.rs
+
+/root/repo/target/debug/deps/proptest_parallel-c7e886ee06be64bc: crates/tensor/tests/proptest_parallel.rs
+
+crates/tensor/tests/proptest_parallel.rs:

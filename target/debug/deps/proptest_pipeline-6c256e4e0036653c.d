@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-6c256e4e0036653c.d: crates/data/tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-6c256e4e0036653c: crates/data/tests/proptest_pipeline.rs
+
+crates/data/tests/proptest_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_tensor-bf7740578fef1e12.d: crates/tensor/tests/proptest_tensor.rs
+
+/root/repo/target/debug/deps/proptest_tensor-bf7740578fef1e12: crates/tensor/tests/proptest_tensor.rs
+
+crates/tensor/tests/proptest_tensor.rs:

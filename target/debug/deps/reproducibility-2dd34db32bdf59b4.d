@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproducibility-2dd34db32bdf59b4.d: crates/eval/../../tests/reproducibility.rs
+
+/root/repo/target/debug/deps/reproducibility-2dd34db32bdf59b4: crates/eval/../../tests/reproducibility.rs
+
+crates/eval/../../tests/reproducibility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproducibility-811c64b26145232e.d: crates/eval/../../tests/reproducibility.rs
+
+/root/repo/target/debug/deps/reproducibility-811c64b26145232e: crates/eval/../../tests/reproducibility.rs
+
+crates/eval/../../tests/reproducibility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10_ablation_lightweight-0896cb208c790c5a.d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+/root/repo/target/debug/deps/table10_ablation_lightweight-0896cb208c790c5a: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+crates/eval/src/bin/table10_ablation_lightweight.rs:

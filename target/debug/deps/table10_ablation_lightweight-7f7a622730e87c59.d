@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10_ablation_lightweight-7f7a622730e87c59.d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+/root/repo/target/debug/deps/table10_ablation_lightweight-7f7a622730e87c59: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+crates/eval/src/bin/table10_ablation_lightweight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10_ablation_lightweight-b729159f40f24dec.d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+/root/repo/target/debug/deps/table10_ablation_lightweight-b729159f40f24dec: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+crates/eval/src/bin/table10_ablation_lightweight.rs:

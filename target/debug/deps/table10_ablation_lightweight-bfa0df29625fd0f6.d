@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10_ablation_lightweight-bfa0df29625fd0f6.d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+/root/repo/target/debug/deps/table10_ablation_lightweight-bfa0df29625fd0f6: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+crates/eval/src/bin/table10_ablation_lightweight.rs:

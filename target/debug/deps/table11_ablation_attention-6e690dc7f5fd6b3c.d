@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11_ablation_attention-6e690dc7f5fd6b3c.d: crates/eval/src/bin/table11_ablation_attention.rs
+
+/root/repo/target/debug/deps/table11_ablation_attention-6e690dc7f5fd6b3c: crates/eval/src/bin/table11_ablation_attention.rs
+
+crates/eval/src/bin/table11_ablation_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11_ablation_attention-7882935670d83fdd.d: crates/eval/src/bin/table11_ablation_attention.rs
+
+/root/repo/target/debug/deps/table11_ablation_attention-7882935670d83fdd: crates/eval/src/bin/table11_ablation_attention.rs
+
+crates/eval/src/bin/table11_ablation_attention.rs:

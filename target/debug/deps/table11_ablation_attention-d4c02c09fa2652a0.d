@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11_ablation_attention-d4c02c09fa2652a0.d: crates/eval/src/bin/table11_ablation_attention.rs
+
+/root/repo/target/debug/deps/table11_ablation_attention-d4c02c09fa2652a0: crates/eval/src/bin/table11_ablation_attention.rs
+
+crates/eval/src/bin/table11_ablation_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11_ablation_attention-f6abde8e9a5937a2.d: crates/eval/src/bin/table11_ablation_attention.rs
+
+/root/repo/target/debug/deps/table11_ablation_attention-f6abde8e9a5937a2: crates/eval/src/bin/table11_ablation_attention.rs
+
+crates/eval/src/bin/table11_ablation_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12_plugin-16d6b0fa5eebb07d.d: crates/eval/src/bin/table12_plugin.rs
+
+/root/repo/target/debug/deps/table12_plugin-16d6b0fa5eebb07d: crates/eval/src/bin/table12_plugin.rs
+
+crates/eval/src/bin/table12_plugin.rs:

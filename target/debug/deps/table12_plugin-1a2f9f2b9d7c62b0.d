@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12_plugin-1a2f9f2b9d7c62b0.d: crates/eval/src/bin/table12_plugin.rs
+
+/root/repo/target/debug/deps/table12_plugin-1a2f9f2b9d7c62b0: crates/eval/src/bin/table12_plugin.rs
+
+crates/eval/src/bin/table12_plugin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12_plugin-951b3dbd63cefd4d.d: crates/eval/src/bin/table12_plugin.rs
+
+/root/repo/target/debug/deps/table12_plugin-951b3dbd63cefd4d: crates/eval/src/bin/table12_plugin.rs
+
+crates/eval/src/bin/table12_plugin.rs:

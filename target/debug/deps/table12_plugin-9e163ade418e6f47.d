@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12_plugin-9e163ade418e6f47.d: crates/eval/src/bin/table12_plugin.rs
+
+/root/repo/target/debug/deps/table12_plugin-9e163ade418e6f47: crates/eval/src/bin/table12_plugin.rs
+
+crates/eval/src/bin/table12_plugin.rs:

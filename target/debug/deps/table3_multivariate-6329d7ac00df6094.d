@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_multivariate-6329d7ac00df6094.d: crates/eval/src/bin/table3_multivariate.rs
+
+/root/repo/target/debug/deps/table3_multivariate-6329d7ac00df6094: crates/eval/src/bin/table3_multivariate.rs
+
+crates/eval/src/bin/table3_multivariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_multivariate-e95ab5a9daff63d9.d: crates/eval/src/bin/table3_multivariate.rs
+
+/root/repo/target/debug/deps/table3_multivariate-e95ab5a9daff63d9: crates/eval/src/bin/table3_multivariate.rs
+
+crates/eval/src/bin/table3_multivariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_multivariate-f1403c8f8b385447.d: crates/eval/src/bin/table3_multivariate.rs
+
+/root/repo/target/debug/deps/table3_multivariate-f1403c8f8b385447: crates/eval/src/bin/table3_multivariate.rs
+
+crates/eval/src/bin/table3_multivariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_multivariate-f8a0d5ed3629ac78.d: crates/eval/src/bin/table3_multivariate.rs
+
+/root/repo/target/debug/deps/table3_multivariate-f8a0d5ed3629ac78: crates/eval/src/bin/table3_multivariate.rs
+
+crates/eval/src/bin/table3_multivariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_univariate-0dd8e8e09e571765.d: crates/eval/src/bin/table5_univariate.rs
+
+/root/repo/target/debug/deps/table5_univariate-0dd8e8e09e571765: crates/eval/src/bin/table5_univariate.rs
+
+crates/eval/src/bin/table5_univariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_univariate-6c1f7b1b9f49bac5.d: crates/eval/src/bin/table5_univariate.rs
+
+/root/repo/target/debug/deps/table5_univariate-6c1f7b1b9f49bac5: crates/eval/src/bin/table5_univariate.rs
+
+crates/eval/src/bin/table5_univariate.rs:

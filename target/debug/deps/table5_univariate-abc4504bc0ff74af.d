@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_univariate-abc4504bc0ff74af.d: crates/eval/src/bin/table5_univariate.rs
+
+/root/repo/target/debug/deps/table5_univariate-abc4504bc0ff74af: crates/eval/src/bin/table5_univariate.rs
+
+crates/eval/src/bin/table5_univariate.rs:

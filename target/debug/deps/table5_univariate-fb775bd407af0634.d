@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_univariate-fb775bd407af0634.d: crates/eval/src/bin/table5_univariate.rs
+
+/root/repo/target/debug/deps/table5_univariate-fb775bd407af0634: crates/eval/src/bin/table5_univariate.rs
+
+crates/eval/src/bin/table5_univariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_pretrain-4e0b0635598d1593.d: crates/eval/src/bin/table6_pretrain.rs
+
+/root/repo/target/debug/deps/table6_pretrain-4e0b0635598d1593: crates/eval/src/bin/table6_pretrain.rs
+
+crates/eval/src/bin/table6_pretrain.rs:

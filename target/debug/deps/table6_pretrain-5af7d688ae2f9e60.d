@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_pretrain-5af7d688ae2f9e60.d: crates/eval/src/bin/table6_pretrain.rs
+
+/root/repo/target/debug/deps/table6_pretrain-5af7d688ae2f9e60: crates/eval/src/bin/table6_pretrain.rs
+
+crates/eval/src/bin/table6_pretrain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_pretrain-a6ac30bbbd148033.d: crates/eval/src/bin/table6_pretrain.rs
+
+/root/repo/target/debug/deps/table6_pretrain-a6ac30bbbd148033: crates/eval/src/bin/table6_pretrain.rs
+
+crates/eval/src/bin/table6_pretrain.rs:

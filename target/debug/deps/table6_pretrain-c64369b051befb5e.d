@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_pretrain-c64369b051befb5e.d: crates/eval/src/bin/table6_pretrain.rs
+
+/root/repo/target/debug/deps/table6_pretrain-c64369b051befb5e: crates/eval/src/bin/table6_pretrain.rs
+
+crates/eval/src/bin/table6_pretrain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_edge-d7b4b5be55407da4.d: crates/eval/src/bin/table7_edge.rs
+
+/root/repo/target/debug/deps/table7_edge-d7b4b5be55407da4: crates/eval/src/bin/table7_edge.rs
+
+crates/eval/src/bin/table7_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_edge-e63e21e22bf1b279.d: crates/eval/src/bin/table7_edge.rs
+
+/root/repo/target/debug/deps/table7_edge-e63e21e22bf1b279: crates/eval/src/bin/table7_edge.rs
+
+crates/eval/src/bin/table7_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_edge-f1146f8f03be6abe.d: crates/eval/src/bin/table7_edge.rs
+
+/root/repo/target/debug/deps/table7_edge-f1146f8f03be6abe: crates/eval/src/bin/table7_edge.rs
+
+crates/eval/src/bin/table7_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_edge-f38d559b47ff241c.d: crates/eval/src/bin/table7_edge.rs
+
+/root/repo/target/debug/deps/table7_edge-f38d559b47ff241c: crates/eval/src/bin/table7_edge.rs
+
+crates/eval/src/bin/table7_edge.rs:

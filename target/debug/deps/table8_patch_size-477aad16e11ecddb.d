@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_patch_size-477aad16e11ecddb.d: crates/eval/src/bin/table8_patch_size.rs
+
+/root/repo/target/debug/deps/table8_patch_size-477aad16e11ecddb: crates/eval/src/bin/table8_patch_size.rs
+
+crates/eval/src/bin/table8_patch_size.rs:

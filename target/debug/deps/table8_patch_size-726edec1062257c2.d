@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_patch_size-726edec1062257c2.d: crates/eval/src/bin/table8_patch_size.rs
+
+/root/repo/target/debug/deps/table8_patch_size-726edec1062257c2: crates/eval/src/bin/table8_patch_size.rs
+
+crates/eval/src/bin/table8_patch_size.rs:

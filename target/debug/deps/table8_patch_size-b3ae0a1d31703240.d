@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_patch_size-b3ae0a1d31703240.d: crates/eval/src/bin/table8_patch_size.rs
+
+/root/repo/target/debug/deps/table8_patch_size-b3ae0a1d31703240: crates/eval/src/bin/table8_patch_size.rs
+
+crates/eval/src/bin/table8_patch_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_patch_size-ff372dd6ed28be70.d: crates/eval/src/bin/table8_patch_size.rs
+
+/root/repo/target/debug/deps/table8_patch_size-ff372dd6ed28be70: crates/eval/src/bin/table8_patch_size.rs
+
+crates/eval/src/bin/table8_patch_size.rs:

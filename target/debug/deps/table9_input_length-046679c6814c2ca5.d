@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_input_length-046679c6814c2ca5.d: crates/eval/src/bin/table9_input_length.rs
+
+/root/repo/target/debug/deps/table9_input_length-046679c6814c2ca5: crates/eval/src/bin/table9_input_length.rs
+
+crates/eval/src/bin/table9_input_length.rs:

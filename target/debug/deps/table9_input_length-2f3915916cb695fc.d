@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_input_length-2f3915916cb695fc.d: crates/eval/src/bin/table9_input_length.rs
+
+/root/repo/target/debug/deps/table9_input_length-2f3915916cb695fc: crates/eval/src/bin/table9_input_length.rs
+
+crates/eval/src/bin/table9_input_length.rs:

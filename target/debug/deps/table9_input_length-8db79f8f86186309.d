@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_input_length-8db79f8f86186309.d: crates/eval/src/bin/table9_input_length.rs
+
+/root/repo/target/debug/deps/table9_input_length-8db79f8f86186309: crates/eval/src/bin/table9_input_length.rs
+
+crates/eval/src/bin/table9_input_length.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_input_length-a7dc1fd0d026522b.d: crates/eval/src/bin/table9_input_length.rs
+
+/root/repo/target/debug/deps/table9_input_length-a7dc1fd0d026522b: crates/eval/src/bin/table9_input_length.rs
+
+crates/eval/src/bin/table9_input_length.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weak_enriching-950c042da823940c.d: crates/eval/../../tests/weak_enriching.rs
+
+/root/repo/target/debug/deps/weak_enriching-950c042da823940c: crates/eval/../../tests/weak_enriching.rs
+
+crates/eval/../../tests/weak_enriching.rs:

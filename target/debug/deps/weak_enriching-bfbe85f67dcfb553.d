@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weak_enriching-bfbe85f67dcfb553.d: crates/eval/../../tests/weak_enriching.rs
+
+/root/repo/target/debug/deps/weak_enriching-bfbe85f67dcfb553: crates/eval/../../tests/weak_enriching.rs
+
+crates/eval/../../tests/weak_enriching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attention_maps-23f238801c803ed9.d: crates/eval/../../examples/attention_maps.rs
+
+/root/repo/target/debug/examples/attention_maps-23f238801c803ed9: crates/eval/../../examples/attention_maps.rs
+
+crates/eval/../../examples/attention_maps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attention_maps-e1ff770f8a933a71.d: crates/eval/../../examples/attention_maps.rs
+
+/root/repo/target/debug/examples/attention_maps-e1ff770f8a933a71: crates/eval/../../examples/attention_maps.rs
+
+crates/eval/../../examples/attention_maps.rs:

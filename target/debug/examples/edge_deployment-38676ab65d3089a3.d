@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_deployment-38676ab65d3089a3.d: crates/eval/../../examples/edge_deployment.rs
+
+/root/repo/target/debug/examples/edge_deployment-38676ab65d3089a3: crates/eval/../../examples/edge_deployment.rs
+
+crates/eval/../../examples/edge_deployment.rs:

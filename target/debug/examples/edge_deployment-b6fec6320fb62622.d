@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_deployment-b6fec6320fb62622.d: crates/eval/../../examples/edge_deployment.rs
+
+/root/repo/target/debug/examples/edge_deployment-b6fec6320fb62622: crates/eval/../../examples/edge_deployment.rs
+
+crates/eval/../../examples/edge_deployment.rs:

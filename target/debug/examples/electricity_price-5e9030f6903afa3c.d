@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/electricity_price-5e9030f6903afa3c.d: crates/eval/../../examples/electricity_price.rs
+
+/root/repo/target/debug/examples/electricity_price-5e9030f6903afa3c: crates/eval/../../examples/electricity_price.rs
+
+crates/eval/../../examples/electricity_price.rs:

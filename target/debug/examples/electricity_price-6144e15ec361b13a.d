@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/electricity_price-6144e15ec361b13a.d: crates/eval/../../examples/electricity_price.rs
+
+/root/repo/target/debug/examples/electricity_price-6144e15ec361b13a: crates/eval/../../examples/electricity_price.rs
+
+crates/eval/../../examples/electricity_price.rs:

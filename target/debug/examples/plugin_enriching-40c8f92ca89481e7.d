@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plugin_enriching-40c8f92ca89481e7.d: crates/eval/../../examples/plugin_enriching.rs
+
+/root/repo/target/debug/examples/plugin_enriching-40c8f92ca89481e7: crates/eval/../../examples/plugin_enriching.rs
+
+crates/eval/../../examples/plugin_enriching.rs:

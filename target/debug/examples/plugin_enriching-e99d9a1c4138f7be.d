@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plugin_enriching-e99d9a1c4138f7be.d: crates/eval/../../examples/plugin_enriching.rs
+
+/root/repo/target/debug/examples/plugin_enriching-e99d9a1c4138f7be: crates/eval/../../examples/plugin_enriching.rs
+
+crates/eval/../../examples/plugin_enriching.rs:

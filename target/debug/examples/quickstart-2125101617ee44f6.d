@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2125101617ee44f6.d: crates/eval/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2125101617ee44f6: crates/eval/../../examples/quickstart.rs
+
+crates/eval/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9e77ea3968bafe61.d: crates/eval/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9e77ea3968bafe61: crates/eval/../../examples/quickstart.rs
+
+crates/eval/../../examples/quickstart.rs:

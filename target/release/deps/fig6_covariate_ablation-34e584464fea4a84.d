@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_covariate_ablation-34e584464fea4a84.d: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+/root/repo/target/release/deps/fig6_covariate_ablation-34e584464fea4a84: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+crates/eval/src/bin/fig6_covariate_ablation.rs:

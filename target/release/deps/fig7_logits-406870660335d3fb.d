@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_logits-406870660335d3fb.d: crates/eval/src/bin/fig7_logits.rs
+
+/root/repo/target/release/deps/fig7_logits-406870660335d3fb: crates/eval/src/bin/fig7_logits.rs
+
+crates/eval/src/bin/fig7_logits.rs:

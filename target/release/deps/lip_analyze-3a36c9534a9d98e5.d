@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lip_analyze-3a36c9534a9d98e5.d: crates/analyze/src/main.rs
+
+/root/repo/target/release/deps/lip_analyze-3a36c9534a9d98e5: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lip_analyze-d7e6dc6be634bd4a.d: crates/analyze/src/main.rs
+
+/root/repo/target/release/deps/lip_analyze-d7e6dc6be634bd4a: crates/analyze/src/main.rs
+
+crates/analyze/src/main.rs:

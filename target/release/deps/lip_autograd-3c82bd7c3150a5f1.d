@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lip_autograd-3c82bd7c3150a5f1.d: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+/root/repo/target/release/deps/liblip_autograd-3c82bd7c3150a5f1.rlib: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+/root/repo/target/release/deps/liblip_autograd-3c82bd7c3150a5f1.rmeta: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/backward.rs:
+crates/autograd/src/gradcheck.rs:
+crates/autograd/src/graph.rs:
+crates/autograd/src/op.rs:
+crates/autograd/src/params.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lip_bench-8fdbe3fb24455c9c.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/liblip_bench-8fdbe3fb24455c9c.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/liblip_bench-8fdbe3fb24455c9c.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

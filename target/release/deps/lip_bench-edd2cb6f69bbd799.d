@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lip_bench-edd2cb6f69bbd799.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/liblip_bench-edd2cb6f69bbd799.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/liblip_bench-edd2cb6f69bbd799.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lip_eval-86d8158df159f4ae.d: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/liblip_eval-86d8158df159f4ae.rlib: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/liblip_eval-86d8158df159f4ae.rmeta: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/heatmap.rs:
+crates/eval/src/registry.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/scale.rs:
+crates/eval/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lip_eval-f46928c0c7ff9366.d: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/liblip_eval-f46928c0c7ff9366.rlib: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+/root/repo/target/release/deps/liblip_eval-f46928c0c7ff9366.rmeta: crates/eval/src/lib.rs crates/eval/src/heatmap.rs crates/eval/src/registry.rs crates/eval/src/runner.rs crates/eval/src/scale.rs crates/eval/src/table.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/heatmap.rs:
+crates/eval/src/registry.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/scale.rs:
+crates/eval/src/table.rs:

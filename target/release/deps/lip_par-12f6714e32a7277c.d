@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lip_par-12f6714e32a7277c.d: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+/root/repo/target/release/deps/liblip_par-12f6714e32a7277c.rlib: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+/root/repo/target/release/deps/liblip_par-12f6714e32a7277c.rmeta: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+crates/par/src/lib.rs:
+crates/par/src/chunk.rs:
+crates/par/src/pool.rs:

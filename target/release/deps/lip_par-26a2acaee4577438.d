@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lip_par-26a2acaee4577438.d: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+/root/repo/target/release/deps/liblip_par-26a2acaee4577438.rlib: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+/root/repo/target/release/deps/liblip_par-26a2acaee4577438.rmeta: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+crates/par/src/lib.rs:
+crates/par/src/chunk.rs:
+crates/par/src/pool.rs:

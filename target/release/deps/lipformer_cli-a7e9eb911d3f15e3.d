@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lipformer_cli-a7e9eb911d3f15e3.d: crates/eval/src/bin/lipformer_cli.rs
+
+/root/repo/target/release/deps/lipformer_cli-a7e9eb911d3f15e3: crates/eval/src/bin/lipformer_cli.rs
+
+crates/eval/src/bin/lipformer_cli.rs:

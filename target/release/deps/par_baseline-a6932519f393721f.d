@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/par_baseline-a6932519f393721f.d: crates/bench/src/bin/par_baseline.rs
+
+/root/repo/target/release/deps/par_baseline-a6932519f393721f: crates/bench/src/bin/par_baseline.rs
+
+crates/bench/src/bin/par_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/par_baseline-b553aeda81a93df7.d: crates/bench/src/bin/par_baseline.rs
+
+/root/repo/target/release/deps/par_baseline-b553aeda81a93df7: crates/bench/src/bin/par_baseline.rs
+
+crates/bench/src/bin/par_baseline.rs:

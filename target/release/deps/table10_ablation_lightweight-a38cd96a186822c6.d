@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10_ablation_lightweight-a38cd96a186822c6.d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+/root/repo/target/release/deps/table10_ablation_lightweight-a38cd96a186822c6: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+crates/eval/src/bin/table10_ablation_lightweight.rs:

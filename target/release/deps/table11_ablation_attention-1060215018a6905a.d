@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table11_ablation_attention-1060215018a6905a.d: crates/eval/src/bin/table11_ablation_attention.rs
+
+/root/repo/target/release/deps/table11_ablation_attention-1060215018a6905a: crates/eval/src/bin/table11_ablation_attention.rs
+
+crates/eval/src/bin/table11_ablation_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table12_plugin-972120fec7621ba2.d: crates/eval/src/bin/table12_plugin.rs
+
+/root/repo/target/release/deps/table12_plugin-972120fec7621ba2: crates/eval/src/bin/table12_plugin.rs
+
+crates/eval/src/bin/table12_plugin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_multivariate-01e23090ad993ab7.d: crates/eval/src/bin/table3_multivariate.rs
+
+/root/repo/target/release/deps/table3_multivariate-01e23090ad993ab7: crates/eval/src/bin/table3_multivariate.rs
+
+crates/eval/src/bin/table3_multivariate.rs:

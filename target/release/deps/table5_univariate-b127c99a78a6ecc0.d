@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_univariate-b127c99a78a6ecc0.d: crates/eval/src/bin/table5_univariate.rs
+
+/root/repo/target/release/deps/table5_univariate-b127c99a78a6ecc0: crates/eval/src/bin/table5_univariate.rs
+
+crates/eval/src/bin/table5_univariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_pretrain-7bb36949ada86f4f.d: crates/eval/src/bin/table6_pretrain.rs
+
+/root/repo/target/release/deps/table6_pretrain-7bb36949ada86f4f: crates/eval/src/bin/table6_pretrain.rs
+
+crates/eval/src/bin/table6_pretrain.rs:

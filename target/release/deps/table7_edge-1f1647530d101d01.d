@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_edge-1f1647530d101d01.d: crates/eval/src/bin/table7_edge.rs
+
+/root/repo/target/release/deps/table7_edge-1f1647530d101d01: crates/eval/src/bin/table7_edge.rs
+
+crates/eval/src/bin/table7_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_patch_size-4e0e9f5c021208a4.d: crates/eval/src/bin/table8_patch_size.rs
+
+/root/repo/target/release/deps/table8_patch_size-4e0e9f5c021208a4: crates/eval/src/bin/table8_patch_size.rs
+
+crates/eval/src/bin/table8_patch_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9_input_length-8d46ed249c3af4da.d: crates/eval/src/bin/table9_input_length.rs
+
+/root/repo/target/release/deps/table9_input_length-8d46ed249c3af4da: crates/eval/src/bin/table9_input_length.rs
+
+crates/eval/src/bin/table9_input_length.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-be62667a08f63526.d: crates/eval/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-be62667a08f63526: crates/eval/../../examples/quickstart.rs
+
+crates/eval/../../examples/quickstart.rs:

@@ -146,6 +146,124 @@ fn same_seed_gives_identical_forward_logits() {
     );
 }
 
+/// A small but complete forward fixture shared by the thread-invariance
+/// tests: model construction, one forward pass, serialized logits.
+fn forward_logit_bytes() -> Vec<u8> {
+    let spec = CovariateSpec {
+        numerical: 0,
+        cardinalities: vec![],
+        time_features: 4,
+    };
+    let mut cfg = LiPFormerConfig::small(24, 8, 2);
+    cfg.hidden = 16;
+    cfg.encoder_hidden = 16;
+    let batch = {
+        let mut rng = StdRng::seed_from_u64(3);
+        Batch {
+            x: Tensor::randn(&[4, 24, 2], &mut rng),
+            y: Tensor::randn(&[4, 8, 2], &mut rng),
+            time_feats: Tensor::randn(&[4, 8, 4], &mut rng).mul_scalar(0.2),
+            cov_numerical: None,
+            cov_categorical: None,
+        }
+    };
+    let model = LiPFormer::new(cfg, &spec, 1234);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut g = lip_autograd::Graph::new(model.store());
+    let y = model.forward(&mut g, &batch, false, &mut rng);
+    g.value(y).to_bytes()
+}
+
+/// The lip-par contract, end to end: a full model forward must emit
+/// bit-identical logits whether the kernels run on 1 thread or
+/// oversubscribed on 4.
+#[test]
+fn forward_logits_invariant_across_thread_budgets() {
+    let serial = lip_par::with_threads(1, forward_logit_bytes);
+    for threads in [2usize, 4] {
+        let par = lip_par::with_threads(threads, forward_logit_bytes);
+        assert_eq!(
+            serial, par,
+            "forward logits must not depend on the thread budget ({threads} threads)"
+        );
+    }
+}
+
+/// Two epochs of real training — dropout, shuffling, optimizer state,
+/// gradient accumulation through every parallel backward path — must leave
+/// every parameter byte-identical across thread budgets.
+#[test]
+fn two_epoch_training_invariant_across_thread_budgets() {
+    let train_param_bytes = || {
+        let ds = generate(DatasetName::ETTh1, GeneratorConfig::test(74));
+        let prep = prepare(&ds, 48, 12);
+        let mut cfg = LiPFormerConfig::small(48, 12, prep.channels);
+        cfg.hidden = 16;
+        cfg.encoder_hidden = 16;
+        cfg.dropout = 0.2;
+        let mut model = LiPFormer::new(cfg, &prep.spec, 7);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            pretrain_epochs: 0,
+            ..TrainConfig::fast()
+        });
+        trainer.fit(&mut model, &prep.train, &prep.val);
+        let store = model.store();
+        let mut bytes = Vec::new();
+        for id in store.ids() {
+            bytes.extend_from_slice(store.name(id).as_bytes());
+            bytes.extend_from_slice(&store.value(id).to_bytes());
+        }
+        (bytes, ForecastMetrics::evaluate(&model, &prep.test, 64).mse)
+    };
+    let (serial_bytes, serial_mse) = lip_par::with_threads(1, train_param_bytes);
+    let (par_bytes, par_mse) = lip_par::with_threads(4, train_param_bytes);
+    assert_eq!(
+        serial_bytes, par_bytes,
+        "trained parameters must be byte-identical on 1 vs 4 threads"
+    );
+    assert_eq!(serial_mse.to_bits(), par_mse.to_bits());
+}
+
+/// The `LIP_THREADS` env override itself (parsed once per process) must
+/// produce identical logits across processes pinned to different budgets.
+/// Reuses the re-exec pattern: each child is a fresh process with its own
+/// `LIP_THREADS`, writing the serialized logits for the parent to compare.
+#[test]
+fn forward_logits_identical_across_lip_threads_env() {
+    if let Ok(out) = std::env::var("LIP_REPRO_LOGITS_OUT") {
+        // child mode: one forward pass under this process's LIP_THREADS
+        std::fs::write(&out, forward_logit_bytes()).unwrap();
+        return;
+    }
+
+    let dir = std::env::temp_dir().join("lipformer_repro_threads");
+    std::fs::create_dir_all(&dir).unwrap();
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut outputs = Vec::new();
+    for threads in ["1", "4"] {
+        let path = dir.join(format!("logits_t{threads}.bin"));
+        let status = std::process::Command::new(&exe)
+            .args([
+                "forward_logits_identical_across_lip_threads_env",
+                "--exact",
+                "--nocapture",
+            ])
+            .env("LIP_REPRO_LOGITS_OUT", &path)
+            .env("LIP_THREADS", threads)
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "child with LIP_THREADS={threads} failed");
+        outputs.push(std::fs::read(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+    assert!(!outputs[0].is_empty());
+    assert_eq!(
+        outputs[0], outputs[1],
+        "LIP_THREADS=1 and LIP_THREADS=4 must emit byte-identical logits"
+    );
+}
+
 /// Checkpoint files must be byte-identical across *separate processes* for
 /// the same seed. The test re-execs itself (libtest filter + env marker) so
 /// each checkpoint is produced by a genuinely fresh process: fresh ASLR,
