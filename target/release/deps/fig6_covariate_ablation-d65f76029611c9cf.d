@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_covariate_ablation-d65f76029611c9cf.d: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+/root/repo/target/release/deps/fig6_covariate_ablation-d65f76029611c9cf: crates/eval/src/bin/fig6_covariate_ablation.rs
+
+crates/eval/src/bin/fig6_covariate_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_logits-d3def67fbf59317a.d: crates/eval/src/bin/fig7_logits.rs
+
+/root/repo/target/release/deps/fig7_logits-d3def67fbf59317a: crates/eval/src/bin/fig7_logits.rs
+
+crates/eval/src/bin/fig7_logits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lipformer_cli-05c18799d1b9a3ec.d: crates/eval/src/bin/lipformer_cli.rs
+
+/root/repo/target/release/deps/lipformer_cli-05c18799d1b9a3ec: crates/eval/src/bin/lipformer_cli.rs
+
+crates/eval/src/bin/lipformer_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10_ablation_lightweight-b6ad81c653c33e97.d: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+/root/repo/target/release/deps/table10_ablation_lightweight-b6ad81c653c33e97: crates/eval/src/bin/table10_ablation_lightweight.rs
+
+crates/eval/src/bin/table10_ablation_lightweight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table11_ablation_attention-12b1fc6804ac1ddc.d: crates/eval/src/bin/table11_ablation_attention.rs
+
+/root/repo/target/release/deps/table11_ablation_attention-12b1fc6804ac1ddc: crates/eval/src/bin/table11_ablation_attention.rs
+
+crates/eval/src/bin/table11_ablation_attention.rs:

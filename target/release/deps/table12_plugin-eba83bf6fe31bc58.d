@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table12_plugin-eba83bf6fe31bc58.d: crates/eval/src/bin/table12_plugin.rs
+
+/root/repo/target/release/deps/table12_plugin-eba83bf6fe31bc58: crates/eval/src/bin/table12_plugin.rs
+
+crates/eval/src/bin/table12_plugin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_multivariate-891be4c41ba695ae.d: crates/eval/src/bin/table3_multivariate.rs
+
+/root/repo/target/release/deps/table3_multivariate-891be4c41ba695ae: crates/eval/src/bin/table3_multivariate.rs
+
+crates/eval/src/bin/table3_multivariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_univariate-806f457eacbb189e.d: crates/eval/src/bin/table5_univariate.rs
+
+/root/repo/target/release/deps/table5_univariate-806f457eacbb189e: crates/eval/src/bin/table5_univariate.rs
+
+crates/eval/src/bin/table5_univariate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_pretrain-e37cefb7e6d848fd.d: crates/eval/src/bin/table6_pretrain.rs
+
+/root/repo/target/release/deps/table6_pretrain-e37cefb7e6d848fd: crates/eval/src/bin/table6_pretrain.rs
+
+crates/eval/src/bin/table6_pretrain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_edge-853f3d11b4b6486a.d: crates/eval/src/bin/table7_edge.rs
+
+/root/repo/target/release/deps/table7_edge-853f3d11b4b6486a: crates/eval/src/bin/table7_edge.rs
+
+crates/eval/src/bin/table7_edge.rs:

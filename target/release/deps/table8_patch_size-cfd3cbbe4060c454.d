@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_patch_size-cfd3cbbe4060c454.d: crates/eval/src/bin/table8_patch_size.rs
+
+/root/repo/target/release/deps/table8_patch_size-cfd3cbbe4060c454: crates/eval/src/bin/table8_patch_size.rs
+
+crates/eval/src/bin/table8_patch_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9_input_length-13716c850896273d.d: crates/eval/src/bin/table9_input_length.rs
+
+/root/repo/target/release/deps/table9_input_length-13716c850896273d: crates/eval/src/bin/table9_input_length.rs
+
+crates/eval/src/bin/table9_input_length.rs:
