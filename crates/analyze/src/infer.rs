@@ -119,6 +119,9 @@ pub fn validate_graph(g: &Graph) -> Result<TapeSummary, Vec<Violation>> {
             Op::SliceAxis(a, axis, start, end) => {
                 rules::slice_rule(&shape_of(*a), *axis, *start, *end)
             }
+            Op::Unfold(a, axis, window, step) => {
+                rules::unfold_rule(&shape_of(*a), *axis, *window, *step)
+            }
             Op::GatherRows(table, indices) => {
                 let vocab = g.shape_at(table.index()).first().copied().unwrap_or(0);
                 if let Some(&bad) = indices.iter().find(|&&ix| ix >= vocab) {

@@ -146,11 +146,16 @@ fn lint_one_graph(g: &Graph, root: Var, label: &str, findings: &mut Vec<LintFind
         }
     }
 
-    // Dropout mask reuse: masks must be freshly sampled per site.
-    let mut masks: HashMap<usize, usize> = HashMap::new();
+    // Dropout mask reuse: masks must be freshly sampled per site. Layout
+    // ops are zero-copy views, so two *distinct* masks can legitimately
+    // share a storage allocation (disjoint slices of one pool buffer);
+    // identity is therefore the (storage, offset, numel) window, not the
+    // storage pointer alone.
+    let mut masks: HashMap<(usize, usize, usize), usize> = HashMap::new();
     for i in 0..g.len() {
         if let Op::Dropout(_, mask) = g.op_at(i) {
-            if let Some(&first) = masks.get(&mask.storage_ptr()) {
+            let key = (mask.storage_ptr(), mask.storage_offset(), mask.numel());
+            if let Some(&first) = masks.get(&key) {
                 findings.push(LintFinding {
                     kind: LintKind::DropoutMaskReuse,
                     node: Some(i),
@@ -160,7 +165,7 @@ fn lint_one_graph(g: &Graph, root: Var, label: &str, findings: &mut Vec<LintFind
                     ),
                 });
             } else {
-                masks.insert(mask.storage_ptr(), i);
+                masks.insert(key, i);
             }
         }
     }
@@ -256,6 +261,38 @@ mod tests {
         assert!(solo
             .iter()
             .any(|f| f.kind == LintKind::DeadParam && f.message.contains("'b'")));
+    }
+
+    #[test]
+    fn disjoint_slices_of_one_mask_pool_are_not_reuse() {
+        // Two masks cut from one pool share a storage allocation but cover
+        // disjoint element windows — independent noise, must stay clean.
+        let store = ParamStore::new();
+        let pool = Tensor::from_vec((0..16).map(|i| (i % 2) as f32).collect(), &[4, 4]);
+        let m1 = pool.slice_axis(0, 0, 2);
+        let m2 = pool.slice_axis(0, 2, 4);
+        assert_eq!(m1.storage_ptr(), m2.storage_ptr(), "fixture must alias");
+        let mut g = Graph::new(&store);
+        let x = g.constant(Tensor::ones(&[2, 4]));
+        let y = g.constant(Tensor::ones(&[2, 4]));
+        let dx = g.dropout_mask(x, m1.clone());
+        let dy = g.dropout_mask(y, m2);
+        let s = g.add(dx, dy);
+        let loss = g.mean(s);
+        let clean = lint_graphs(&[(&g, loss, "test")]);
+        assert!(
+            !clean.iter().any(|f| f.kind == LintKind::DropoutMaskReuse),
+            "disjoint windows false-flagged: {clean:?}"
+        );
+
+        // The same window applied twice is still a genuine reuse.
+        let mut g2 = Graph::new(&store);
+        let x2 = g2.constant(Tensor::ones(&[2, 4]));
+        let d1 = g2.dropout_mask(x2, m1.clone());
+        let d2 = g2.dropout_mask(d1, m1);
+        let loss2 = g2.mean(d2);
+        let hot = lint_graphs(&[(&g2, loss2, "test")]);
+        assert!(hot.iter().any(|f| f.kind == LintKind::DropoutMaskReuse));
     }
 
     #[test]

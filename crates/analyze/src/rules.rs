@@ -150,6 +150,39 @@ pub fn slice_rule(
     Ok(out)
 }
 
+/// Sliding-window unfold along `axis` (mirrors `Tensor::sliding_window`):
+/// the axis shrinks to the window count `(len - window) / step + 1` and the
+/// window length is appended as a new trailing axis. The unfolded axis must
+/// be batch-independent so the count is statically checkable.
+pub fn unfold_rule(
+    shape: &[SymDim],
+    axis: usize,
+    window: usize,
+    step: usize,
+) -> Result<SymShape, RuleError> {
+    if axis >= shape.len() {
+        return Err(format!("unfold axis {axis} out of rank {}", shape.len()));
+    }
+    if window == 0 || step == 0 {
+        return Err(format!("unfold needs window >= 1 and step >= 1, got window {window} step {step}"));
+    }
+    let d = shape[axis];
+    if !d.is_fixed() {
+        return Err(format!("cannot statically unfold batch-dependent axis {d}"));
+    }
+    if window > d.fixed {
+        return Err(format!(
+            "unfold window {window} exceeds axis length {}",
+            d.fixed
+        ));
+    }
+    let n = (d.fixed - window) / step + 1;
+    let mut out = shape.to_vec();
+    out[axis] = SymDim::fixed(n);
+    out.push(SymDim::fixed(window));
+    Ok(out)
+}
+
 /// Concatenate along `axis`: all other axes must agree.
 pub fn concat_rule(shapes: &[SymShape], axis: usize) -> Result<SymShape, RuleError> {
     let first = shapes.first().ok_or("concat needs at least one input")?;

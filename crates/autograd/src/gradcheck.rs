@@ -40,8 +40,11 @@ pub fn check_gradients(
         }
         let original = store.value(id).clone();
         let n = original.numel();
+        // Gradients may be strided views (broadcast/permute backward); gather
+        // them in logical order once rather than indexing raw storage.
+        let grad_vals = grad.as_ref().map(|g| g.to_vec());
         for elem in 0..n {
-            let an = grad.as_ref().map_or(0.0, |g| g.data()[elem]);
+            let an = grad_vals.as_ref().map_or(0.0, |g| g[elem]);
 
             let mut plus = original.clone();
             plus.data_mut()[elem] += eps;

@@ -181,7 +181,13 @@ impl<'s> Graph<'s> {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
-        debug_assert!(!value.data().is_empty() || value.numel() == 0);
+        // values may be strided views now; touching the last logical element
+        // validates the view's bounds without requiring density
+        #[cfg(debug_assertions)]
+        if value.numel() > 0 {
+            let last: Vec<usize> = value.shape().iter().map(|&d| d - 1).collect();
+            let _ = value.at(&last);
+        }
         if self.sanitize {
             self.sanitize_incoming(&value, &op);
         }
@@ -341,6 +347,15 @@ impl<'s> Graph<'s> {
     pub fn slice_axis(&mut self, a: Var, axis: usize, start: usize, end: usize) -> Var {
         let v = self.nodes[a.0].value.slice_axis(axis, start, end);
         self.push(v, Op::SliceAxis(a, axis, start, end))
+    }
+
+    /// Zero-copy sliding windows along `axis`: the axis shrinks to the
+    /// window count and a trailing `window` axis is appended (see
+    /// [`Tensor::sliding_window`]). With `step < window` consecutive windows
+    /// overlap — the overlapping-patch constructor used by patching.
+    pub fn unfold(&mut self, a: Var, axis: usize, window: usize, step: usize) -> Var {
+        let v = self.nodes[a.0].value.sliding_window(axis, window, step);
+        self.push(v, Op::Unfold(a, axis, window, step))
     }
 
     /// Concatenate along an axis.

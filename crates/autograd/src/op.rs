@@ -50,6 +50,11 @@ pub enum Op {
     MeanAxis(Var, usize),
     Concat(Vec<Var>, usize),
     SliceAxis(Var, usize, usize, usize),
+    /// Zero-copy sliding windows along `axis`: `(input, axis, window, step)`.
+    /// The axis shrinks to the window count and a trailing `window` axis is
+    /// appended ([`Tensor::sliding_window`] semantics). Windows overlap when
+    /// `step < window`, so the adjoint scatter-**adds**.
+    Unfold(Var, usize, usize, usize),
     /// Row gather along axis 0 (embedding lookup).
     GatherRows(Var, Vec<usize>),
     /// Mean squared error between prediction and target (scalar output).
@@ -99,6 +104,7 @@ impl Op {
             MeanAxis(..) => "MeanAxis",
             Concat(..) => "Concat",
             SliceAxis(..) => "SliceAxis",
+            Unfold(..) => "Unfold",
             GatherRows(..) => "GatherRows",
             MseLoss(..) => "MseLoss",
             MaeLoss(..) => "MaeLoss",
@@ -119,7 +125,7 @@ impl Op {
             | BroadcastTo(a, _) | Softmax(a) | LogSoftmax(a) | Relu(a) | Gelu(a) | Sigmoid(a)
             | Tanh(a) | Sqrt(a) | Exp(a) | Ln(a) | Square(a) | Abs(a) | Dropout(a, _)
             | Sum(a) | Mean(a) | SumAxis(a, _) | MeanAxis(a, _) | SliceAxis(a, _, _, _)
-            | GatherRows(a, _) | CrossEntropyRows(a, _) => vec![*a],
+            | Unfold(a, _, _, _) | GatherRows(a, _) | CrossEntropyRows(a, _) => vec![*a],
             Concat(parts, _) => parts.clone(),
         }
     }
@@ -278,14 +284,20 @@ impl Op {
                 let va = value_of(*a);
                 vec![(*a, scatter_slice(grad, va.shape(), *axis, *start, *end))]
             }
+            Unfold(a, axis, window, step) => {
+                let va = value_of(*a);
+                vec![(*a, scatter_windows(grad, va.shape(), *axis, *window, *step))]
+            }
             GatherRows(a, indices) => {
                 let va = value_of(*a);
                 let row = va.numel() / va.shape()[0];
                 let mut acc = Tensor::zeros(va.shape());
+                let g = grad.contiguous();
                 {
+                    let gd = g.data();
                     let dst = acc.data_mut();
                     for (pos, &idx) in indices.iter().enumerate() {
-                        let src = &grad.data()[pos * row..(pos + 1) * row];
+                        let src = &gd[pos * row..(pos + 1) * row];
                         let tgt = &mut dst[idx * row..(idx + 1) * row];
                         for (t, &s) in tgt.iter_mut().zip(src) {
                             *t += s;
@@ -354,17 +366,55 @@ fn sign(x: f32) -> f32 {
 
 /// Embed `grad` (the gradient of a slice) into a zero tensor of the original
 /// shape at `start..end` along `axis` — the adjoint of `slice_axis`.
+/// `grad` may arrive as any view; the flat index arithmetic wants density.
 fn scatter_slice(grad: &Tensor, shape: &[usize], axis: usize, start: usize, end: usize) -> Tensor {
     let (outer, len, inner) = lip_tensor::shape::split_at_axis(shape, axis);
     let width = end - start;
     let mut out = Tensor::zeros(shape);
+    let g = grad.contiguous();
     {
+        let gd = g.data();
         let dst = out.data_mut();
         for o in 0..outer {
-            let src = &grad.data()[o * width * inner..(o + 1) * width * inner];
+            let src = &gd[o * width * inner..(o + 1) * width * inner];
             let base = o * len * inner + start * inner;
             dst[base..base + width * inner].copy_from_slice(src);
         }
+    }
+    out
+}
+
+/// Scatter-add the gradient of a [`Tensor::sliding_window`] view back into
+/// the input shape — the adjoint of `Unfold`. Overlapping windows (`step <
+/// window`) contribute additively to the shared input positions; the serial
+/// window-major accumulation order keeps the result deterministic.
+fn scatter_windows(
+    grad: &Tensor,
+    shape: &[usize],
+    axis: usize,
+    window: usize,
+    step: usize,
+) -> Tensor {
+    let (outer, len, inner) = lip_tensor::shape::split_at_axis(shape, axis);
+    let n = (len - window) / step + 1;
+    let mut out = Tensor::zeros(shape);
+    let g = grad.contiguous();
+    {
+        // grad is [outer.., n, inner.., window] row-major
+        let gd = g.data();
+        let dst = out.data_mut();
+        let mut gi = 0usize;
+        for o in 0..outer {
+            for j in 0..n {
+                for i in 0..inner {
+                    for p in 0..window {
+                        dst[(o * len + j * step + p) * inner + i] += gd[gi];
+                        gi += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(gi, gd.len(), "unfold grad size mismatch");
     }
     out
 }

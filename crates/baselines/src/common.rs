@@ -92,7 +92,8 @@ pub fn moving_average(x: &Tensor, window: usize) -> Tensor {
     let (b, t, c) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let half_l = (window - 1) / 2;
     let mut out = vec![0.0f32; b * t * c];
-    let data = x.data();
+    let dense = x.contiguous(); // accept strided views; no-op copy when dense
+    let data = dense.data();
     for bi in 0..b {
         for ch in 0..c {
             for ti in 0..t {
@@ -119,7 +120,8 @@ pub fn avg_pool_time(x: &Tensor, factor: usize) -> Tensor {
     assert_eq!(t % factor, 0, "length {t} not divisible by pool factor {factor}");
     let t2 = t / factor;
     let mut out = vec![0.0f32; b * t2 * c];
-    let data = x.data();
+    let dense = x.contiguous(); // accept strided views; no-op copy when dense
+    let data = dense.data();
     for bi in 0..b {
         for ti in 0..t2 {
             for w in 0..factor {

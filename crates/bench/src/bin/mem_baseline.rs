@@ -1,0 +1,159 @@
+//! `mem_baseline` — layout-copy accounting over the nine synthetic
+//! benchmarks, the memory counterpart of `par_baseline`.
+//!
+//! For each dataset: build the small LiPFormer for its standard (48, 24)
+//! task, run one batch-32 forward pass between two `lip_tensor::stats`
+//! snapshots, and record how many bytes the layout ops (`permute`,
+//! `slice_axis`, `broadcast_to`, `sliding_window`, `reshape`) actually
+//! copied versus what the pre-view implementation would have copied for the
+//! same op sequence.
+//!
+//! ```text
+//! cargo run --release -p lip-bench --bin mem_baseline [OUT.json]
+//! ```
+//!
+//! The report (default `BENCH_pr5.json`) lists per-dataset
+//! `copied_bytes` (actual, including matmul packing and non-viewable
+//! reshapes), `baseline_bytes` (pre-refactor equivalent), the per-op
+//! breakdown, and `violations` — pure-layout kinds that copied anything at
+//! all. The process exits non-zero if any forward records a layout-copy
+//! violation or fails to beat its pre-refactor baseline, naming the
+//! offending op kinds.
+
+use lip_autograd::Graph;
+use lip_data::pipeline::prepare;
+use lip_data::window::Batch;
+use lip_data::{generate, DatasetName, GeneratorConfig};
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
+use lip_tensor::stats::{self, CopyKind, CopyStats};
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+
+/// One dataset's layout-copy measurements for a single forward pass.
+struct MemRecord {
+    dataset: String,
+    batch: usize,
+    /// Bytes actually copied by layout ops + packing during the forward.
+    copied_bytes: u64,
+    /// Bytes the pre-view implementation would have copied.
+    baseline_bytes: u64,
+    /// Materializing allocations during the forward.
+    copy_allocs: u64,
+    /// Zero-copy views produced during the forward.
+    view_ops: u64,
+    /// Bytes copied by `permute` (must be 0).
+    permute_copied: u64,
+    /// Bytes copied by `slice_axis` (must be 0).
+    slice_copied: u64,
+    /// Bytes copied by `broadcast_to` (must be 0).
+    broadcast_copied: u64,
+    /// Bytes copied by `sliding_window` (must be 0).
+    unfold_copied: u64,
+    /// Bytes copied by non-viewable reshapes.
+    reshape_copied: u64,
+    /// Bytes copied by `contiguous()` packing for dense kernels.
+    pack_copied: u64,
+    /// Pure-layout kinds that copied anything — empty iff zero-copy held.
+    violations: Vec<String>,
+}
+
+lip_serde::json_struct!(MemRecord {
+    dataset,
+    batch,
+    copied_bytes,
+    baseline_bytes,
+    copy_allocs,
+    view_ops,
+    permute_copied,
+    slice_copied,
+    broadcast_copied,
+    unfold_copied,
+    reshape_copied,
+    pack_copied,
+    violations,
+});
+
+fn measured_forward(model: &LiPFormer, batch: &Batch) -> CopyStats {
+    let mut rng = StdRng::seed_from_u64(0);
+    let before = stats::snapshot();
+    let mut g = Graph::new(model.store());
+    let y = model.forward(&mut g, batch, false, &mut rng);
+    std::hint::black_box(g.value(y).numel());
+    stats::snapshot().since(&before)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let batch_size = 32usize;
+    println!("mem_baseline: nine-benchmark layout-copy sweep, batch {batch_size}");
+
+    let mut records = Vec::new();
+    let mut failed = false;
+    for name in DatasetName::all() {
+        let ds = generate(name, GeneratorConfig::test(3));
+        let prep = prepare(&ds, 48, 24);
+        let config = LiPFormerConfig::small(48, 24, prep.channels);
+        let model = LiPFormer::new(config, &prep.spec, 7);
+        let indices: Vec<usize> = (0..batch_size.min(prep.train.len())).collect();
+        let batch = prep.train.batch(&indices);
+
+        let delta = measured_forward(&model, &batch);
+        let copied = delta.copied_bytes();
+        let baseline = delta.baseline_layout_bytes();
+        let violations: Vec<String> = delta
+            .layout_copy_violations()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        if !violations.is_empty() {
+            eprintln!(
+                "{name:?}: LAYOUT OPS COPIED DATA — offending kinds: {}",
+                violations.join(", ")
+            );
+            failed = true;
+        }
+        if copied >= baseline {
+            eprintln!(
+                "{name:?}: forward copied {copied} bytes, not below the \
+                 pre-refactor baseline of {baseline} bytes"
+            );
+            failed = true;
+        }
+        println!(
+            "  {name:>13?}  copied {:>10} B   baseline {:>10} B   saved {:>5.1}%   views {:>4}",
+            copied,
+            baseline,
+            100.0 * (1.0 - copied as f64 / baseline.max(1) as f64),
+            delta.view_ops()
+        );
+        records.push(MemRecord {
+            dataset: format!("{name:?}"),
+            batch: indices.len(),
+            copied_bytes: copied,
+            baseline_bytes: baseline,
+            copy_allocs: delta.copy_ops(),
+            view_ops: delta.view_ops(),
+            permute_copied: delta.kind(CopyKind::Permute).copy_bytes,
+            slice_copied: delta.kind(CopyKind::SliceAxis).copy_bytes,
+            broadcast_copied: delta.kind(CopyKind::BroadcastTo).copy_bytes,
+            unfold_copied: delta.kind(CopyKind::Unfold).copy_bytes,
+            reshape_copied: delta.kind(CopyKind::Reshape).copy_bytes,
+            pack_copied: delta.kind(CopyKind::Pack).copy_bytes,
+            violations,
+        });
+    }
+
+    let json = lip_serde::to_string_pretty(&records);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("baseline → {out_path}");
+
+    if failed {
+        eprintln!("FAILED: at least one forward violated the zero-copy guarantee");
+        std::process::exit(1);
+    }
+}

@@ -3,7 +3,8 @@
 //! From the patched window `[b·c, n, pl]`, a *global trend sequence* is built
 //! for each intra-patch position `i < pl` by collecting the i-th data point
 //! of every patch in chronological order — a simple transpose to
-//! `[b·c, pl, n]`. Attention across these `pl` lagged trend sequences
+//! `[b·c, pl, n]`, recorded as a zero-copy permute view of the patched
+//! window. Attention across these `pl` lagged trend sequences
 //! captures global order/trend dependencies (substituting Positional
 //! Encoding), after which a residual connection and a single-layer MLP mix
 //! trend features into the `hd`-wide patch representation:

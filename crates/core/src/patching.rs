@@ -2,6 +2,12 @@
 //! is processed independently under shared weights, and its window is split
 //! into `n = T / pl` non-overlapping patches of length `pl`, reducing the
 //! attention cost from `O(T²)` to `O(T²/pl²)`.
+//!
+//! Two constructors are provided: [`Patching::apply`] for the paper's
+//! non-overlapping division, and [`Patching::apply_strided`] for the
+//! PatchTST-style overlapping case `stride ≤ pl`, built on the zero-copy
+//! sliding-window view (`unfold`) so overlapping patches share storage
+//! instead of duplicating up to `pl / stride ×` the input.
 
 use lip_autograd::{Graph, Var};
 
@@ -30,6 +36,28 @@ impl Patching {
         g.reshape(per_channel, &[b * c, n, self.patch_len])
     }
 
+    /// Overlapping patch division: `x: [b, T, c] → [b·c, n, pl]` with
+    /// `n = (T - pl) / stride + 1`. The window extraction is a zero-copy
+    /// `unfold` view — overlapping patches alias the same storage, so the
+    /// pre-attention tensor costs O(T) memory instead of O(n·pl).
+    /// `stride == patch_len` degenerates to the same patches as
+    /// [`Patching::apply`].
+    pub fn apply_strided(self, g: &mut Graph, x: Var, stride: usize) -> Var {
+        let shape = g.shape(x).to_vec();
+        assert_eq!(shape.len(), 3, "patching expects [b, T, c]");
+        let (b, t, c) = (shape[0], shape[1], shape[2]);
+        assert!(stride >= 1, "stride must be >= 1");
+        assert!(
+            self.patch_len <= t,
+            "patch_len {} exceeds seq_len {t}",
+            self.patch_len
+        );
+        let n = (t - self.patch_len) / stride + 1;
+        let windows = g.unfold(x, 1, self.patch_len, stride); // [b, n, c, pl]
+        let per_channel = g.permute(windows, &[0, 2, 1, 3]); // [b, c, n, pl]
+        g.reshape(per_channel, &[b * c, n, self.patch_len])
+    }
+
     /// Inverse bookkeeping for the prediction head:
     /// `y: [b·c, L] → [b, L, c]`.
     pub fn merge_channels(self, g: &mut Graph, y: Var, batch: usize, channels: usize) -> Var {
@@ -45,6 +73,12 @@ impl Patching {
     pub fn num_patches(self, seq_len: usize) -> usize {
         assert_eq!(seq_len % self.patch_len, 0);
         seq_len / self.patch_len
+    }
+
+    /// Number of overlapping patches [`Patching::apply_strided`] produces.
+    pub fn num_patches_strided(self, seq_len: usize, stride: usize) -> usize {
+        assert!(stride >= 1 && self.patch_len <= seq_len);
+        (seq_len - self.patch_len) / stride + 1
     }
 }
 
@@ -98,6 +132,50 @@ mod tests {
         let flat = g.reshape(patched, &[2, 4]);
         let back = p.merge_channels(&mut g, flat, 2, 1);
         assert_eq!(g.value(back), g.value(x));
+    }
+
+    #[test]
+    fn strided_patching_overlaps_and_degenerates() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        // b=1, T=6, c=1: series [0..6)
+        let x = g.constant(Tensor::arange(6).reshape(&[1, 6, 1]));
+        let p = Patching { patch_len: 4 };
+        let out = p.apply_strided(&mut g, x, 1); // n = 3 overlapping windows
+        assert_eq!(g.shape(out), &[1, 3, 4]);
+        assert_eq!(p.num_patches_strided(6, 1), 3);
+        let v = g.value(out);
+        assert_eq!(v.slice_axis(1, 0, 1).to_vec(), vec![0., 1., 2., 3.]);
+        assert_eq!(v.slice_axis(1, 1, 2).to_vec(), vec![1., 2., 3., 4.]);
+        assert_eq!(v.slice_axis(1, 2, 3).to_vec(), vec![2., 3., 4., 5.]);
+
+        // stride == patch_len reproduces the non-overlapping division
+        let mut g2 = Graph::new(&store);
+        let x2 = g2.constant(Tensor::arange(12).reshape(&[1, 6, 2]));
+        let p2 = Patching { patch_len: 3 };
+        let a = p2.apply(&mut g2, x2);
+        let b = p2.apply_strided(&mut g2, x2, 3);
+        assert_eq!(g2.value(a), g2.value(b));
+    }
+
+    #[test]
+    fn strided_patching_gradient_matches_finite_difference() {
+        // Overlapping windows scatter-add their adjoints back; check the
+        // whole strided path (unfold -> permute -> reshape) numerically.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::arange(8).mul_scalar(0.1).reshape(&[1, 8, 1]));
+        let ok = lip_autograd::gradcheck::check_gradients(
+            &mut store,
+            &|g: &mut Graph| {
+                let wv = g.param(w);
+                let patched = Patching { patch_len: 4 }.apply_strided(g, wv, 2);
+                let sq = g.square(patched);
+                g.mean(sq)
+            },
+            1e-2,
+            1e-2,
+        );
+        assert!(ok.is_ok(), "{ok:?}");
     }
 
     #[test]

@@ -2,6 +2,11 @@
 //! observed value** from the input window and re-add it to the prediction —
 //! the lightweight distribution-shift treatment LiPFormer adopts from
 //! DLinear instead of Layer Normalization.
+//!
+//! The `[b, 1, c]` anchor is a zero-copy `slice_axis` view of the input
+//! window: it shares the window's storage and broadcasts straight into the
+//! subtraction, so normalization allocates nothing beyond the centered
+//! output.
 
 use lip_autograd::{Graph, Var};
 

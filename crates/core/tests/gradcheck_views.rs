@@ -1,0 +1,108 @@
+//! Finite-difference gradient checks through the *strided backward paths*:
+//! since layout ops became zero-copy views, the adjoints flowing through
+//! `Permute` / `SliceAxis` / `BroadcastTo` / `Reshape` / `Unfold` nodes are
+//! themselves strided views (or scatter-adds over overlapping windows).
+//! These checks pin the whole chain numerically, parameter by parameter.
+
+use lip_autograd::gradcheck::check_gradients;
+use lip_autograd::{Graph, ParamStore};
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
+use lip_tensor::Tensor;
+use lipformer::patching::Patching;
+use lipformer::revin::InstanceNorm;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn seeded(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(shape, &mut rng).mul_scalar(0.5)
+}
+
+#[test]
+fn permute_slice_broadcast_chain_gradients() {
+    // w [2,3,4] -> permute [4,2,3] -> slice axis0 1..3 -> mul by a
+    // broadcast view -> mean. Every adjoint in this chain is a strided view.
+    let mut store = ParamStore::new();
+    let w = store.add("w", seeded(&[2, 3, 4], 31));
+    let scale = store.add("scale", seeded(&[1, 1, 3], 32));
+    check_gradients(
+        &mut store,
+        &move |g: &mut Graph| {
+            let wv = g.param(w);
+            let sv = g.param(scale);
+            let p = g.permute(wv, &[2, 0, 1]); // [4, 2, 3]
+            let s = g.slice_axis(p, 0, 1, 3); // [2, 2, 3]
+            let b = g.broadcast_to(sv, &[2, 2, 3]);
+            let m = g.mul(s, b);
+            g.mean(m)
+        },
+        EPS,
+        TOL,
+    )
+    .unwrap();
+}
+
+#[test]
+fn overlapping_unfold_gradients_scatter_add_correctly() {
+    // step < window: windows overlap, so the unfold adjoint must
+    // scatter-ADD, not scatter-assign. A wrong rule fails this check on the
+    // interior elements (which appear in several windows).
+    let mut store = ParamStore::new();
+    let w = store.add("w", seeded(&[2, 9, 1], 33));
+    check_gradients(
+        &mut store,
+        &move |g: &mut Graph| {
+            let wv = g.param(w);
+            let u = g.unfold(wv, 1, 4, 2); // [2, 3, 1, 4]
+            let sq = g.square(u);
+            g.mean(sq)
+        },
+        EPS,
+        TOL,
+    )
+    .unwrap();
+}
+
+#[test]
+fn instance_norm_plus_strided_patching_gradients() {
+    // The model-front chain: last-value normalization (slice view feeding a
+    // broadcast subtraction) into overlapping patch extraction.
+    let mut store = ParamStore::new();
+    let w = store.add("w", seeded(&[2, 8, 2], 34));
+    check_gradients(
+        &mut store,
+        &move |g: &mut Graph| {
+            let wv = g.param(w);
+            let (centered, _) = InstanceNorm.normalize(g, wv);
+            let patched = Patching { patch_len: 4 }.apply_strided(g, centered, 2);
+            let sq = g.square(patched);
+            g.mean(sq)
+        },
+        EPS,
+        TOL,
+    )
+    .unwrap();
+}
+
+#[test]
+fn reshape_of_view_gradients() {
+    // A reshape that must materialize (its input is a permuted view) still
+    // has to route the adjoint back through the permute correctly.
+    let mut store = ParamStore::new();
+    let w = store.add("w", seeded(&[3, 4], 35));
+    check_gradients(
+        &mut store,
+        &move |g: &mut Graph| {
+            let wv = g.param(w);
+            let p = g.permute(wv, &[1, 0]); // [4, 3] view
+            let r = g.reshape(p, &[2, 6]);
+            let sq = g.square(r);
+            g.mean(sq)
+        },
+        EPS,
+        TOL,
+    )
+    .unwrap();
+}

@@ -16,8 +16,10 @@ impl StandardScaler {
         assert_eq!(train.rank(), 2, "scaler expects [T, c]");
         let (t, c) = (train.shape()[0], train.shape()[1]);
         assert!(t > 0, "cannot fit a scaler on an empty split");
+        // the train split may arrive as a channel-slice view; gather it once
+        let rows = train.to_vec();
         let mut mean = vec![0.0f64; c];
-        for row in train.data().chunks_exact(c) {
+        for row in rows.chunks_exact(c) {
             for (m, &v) in mean.iter_mut().zip(row) {
                 *m += v as f64;
             }
@@ -26,7 +28,7 @@ impl StandardScaler {
             *m /= t as f64;
         }
         let mut var = vec![0.0f64; c];
-        for row in train.data().chunks_exact(c) {
+        for row in rows.chunks_exact(c) {
             for ((s, &v), &m) in var.iter_mut().zip(row).zip(&mean) {
                 let d = v as f64 - m;
                 *s += d * d;

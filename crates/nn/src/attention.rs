@@ -2,6 +2,11 @@
 //!
 //! Used directly by LiPFormer's Inter-Patch / Cross-Patch mechanisms (with
 //! the vanilla softmax attention of Eq. 2) and by every Transformer baseline.
+//!
+//! The head split/merge (`reshape → permute → reshape`) is pure layout
+//! bookkeeping, recorded on the tape as zero-copy strided views; the only
+//! data movement happens inside the matmul kernels, which pack their
+//! operands once on demand.
 
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_rng::Rng;

@@ -1,11 +1,14 @@
 //! Elementwise arithmetic with NumPy broadcasting, plus unary maps and
-//! scalar ops. Fast paths cover equal shapes and trailing-suffix broadcasts
-//! (the bias-add pattern); the general path walks a strided odometer.
+//! scalar ops. Fast paths cover contiguous equal shapes and trailing-suffix
+//! broadcasts (the bias-add pattern); the general path walks a strided
+//! odometer over the operands' **actual** strides, so permuted / sliced /
+//! broadcast views feed these kernels directly without packing.
 //!
 //! Every kernel here fans out over the `lip-par` pool in fixed-size chunks
-//! ([`lip_par::ELEMWISE_CHUNK`]); each output element is computed
-//! identically regardless of chunk or thread, so results are bit-identical
-//! at any thread count.
+//! ([`lip_par::ELEMWISE_CHUNK`]) of the *logical* output index space; each
+//! output element is computed identically regardless of chunk, thread, or
+//! operand layout, so results are bit-identical at any thread count and
+//! identical to what the old materialize-then-compute pipeline produced.
 
 use lip_par::{par_chunks_mut, ELEMWISE_CHUNK};
 
@@ -13,23 +16,36 @@ use crate::shape::{broadcast_shapes, broadcast_strides, numel, Odometer2};
 use crate::Tensor;
 
 impl Tensor {
-    /// Apply `f` to every element.
+    /// Apply `f` to every element (in logical row-major order).
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
-        let src = self.data();
-        let mut out = vec![0.0f32; src.len()];
-        par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
-            let len = dst.len();
-            for (d, &s) in dst.iter_mut().zip(&src[start..start + len]) {
-                *d = f(s);
-            }
-        });
+        let mut out = vec![0.0f32; self.numel()];
+        if self.is_contiguous() {
+            let src = self.data();
+            par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
+                let len = dst.len();
+                for (d, &s) in dst.iter_mut().zip(&src[start..start + len]) {
+                    *d = f(s);
+                }
+            });
+        } else {
+            let raw: &[f32] = &self.data;
+            let base = self.offset;
+            let zero = vec![0usize; self.rank()];
+            par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
+                let odo =
+                    Odometer2::starting_at(&self.shape, self.strides.clone(), zero.clone(), start);
+                for (d, (a, _)) in dst.iter_mut().zip(odo) {
+                    *d = f(raw[base + a]);
+                }
+            });
+        }
         Tensor::from_vec(out, &self.shape)
     }
 
     /// Combine with `rhs` elementwise under broadcasting.
     pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
-        // Fast path 1: identical shapes.
-        if self.shape == rhs.shape {
+        // Fast path 1: identical shapes, both dense.
+        if self.shape == rhs.shape && self.is_contiguous() && rhs.is_contiguous() {
             let (a_data, b_data) = (self.data(), rhs.data());
             let mut out = vec![0.0f32; a_data.len()];
             par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
@@ -43,16 +59,20 @@ impl Tensor {
         }
         // Fast path 2: one side is a scalar.
         if rhs.numel() == 1 {
-            let b = rhs.data[0];
+            let b = rhs.data[rhs.offset];
             return self.map(|a| f(a, b));
         }
         if self.numel() == 1 {
-            let a = self.data[0];
-            return rhs.map(|b| f(a, b)).reshape(rhs.shape());
+            let a = self.data[self.offset];
+            let out = rhs.map(|b| f(a, b));
+            return out.reshape(rhs.shape());
         }
-        // Fast path 3: rhs shape is a trailing suffix of lhs (bias pattern).
+        // Fast path 3: rhs shape is a trailing suffix of lhs (bias pattern),
+        // both dense.
         if rhs.rank() <= self.rank()
             && self.shape[self.rank() - rhs.rank()..] == *rhs.shape()
+            && self.is_contiguous()
+            && rhs.is_contiguous()
         {
             let block = rhs.numel();
             debug_assert!(
@@ -75,24 +95,24 @@ impl Tensor {
             });
             return Tensor::from_vec(out, &self.shape);
         }
-        // General strided broadcast: each chunk re-seats the odometer at its
-        // start offset and walks its own linear range.
+        // General strided broadcast over the operands' actual strides: each
+        // chunk re-seats the odometer at its start offset and walks its own
+        // linear range of the logical output space.
         let out_shape = broadcast_shapes(&self.shape, &rhs.shape)
             .unwrap_or_else(|e| panic!("{e}"));
-        let sa = broadcast_strides(&self.shape, &out_shape);
-        let sb = broadcast_strides(&rhs.shape, &out_shape);
-        debug_assert_eq!(sa.len(), out_shape.len(), "lhs stride rank mismatch");
-        debug_assert_eq!(sb.len(), out_shape.len(), "rhs stride rank mismatch");
-        let (a_data, b_data) = (self.data(), rhs.data());
+        let sa = self.strides_for_broadcast(&out_shape);
+        let sb = rhs.strides_for_broadcast(&out_shape);
+        let (a_raw, b_raw): (&[f32], &[f32]) = (&self.data, &rhs.data);
+        let (a_base, b_base) = (self.offset, rhs.offset);
         let mut out = vec![0.0f32; numel(&out_shape)];
         par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
             let odo = Odometer2::starting_at(&out_shape, sa.clone(), sb.clone(), start);
             for (d, (a, b)) in dst.iter_mut().zip(odo) {
                 debug_assert!(
-                    a < a_data.len() && b < b_data.len(),
+                    a_base + a < a_raw.len() && b_base + b < b_raw.len(),
                     "broadcast odometer left the operand buffers"
                 );
-                *d = f(a_data[a], b_data[b]);
+                *d = f(a_raw[a_base + a], b_raw[b_base + b]);
             }
         });
         Tensor::from_vec(out, &out_shape)
@@ -182,39 +202,62 @@ impl Tensor {
     /// In-place fused `self += rhs * scale` for equally shaped tensors —
     /// the gradient-accumulation hot path (autograd's backward sweep funnels
     /// every per-node and per-parameter accumulation through here).
+    ///
+    /// `rhs` may be any view (a permuted gradient, a slice adjoint, …); a
+    /// strided `self` is packed first, and copy-on-write storage guarantees
+    /// the accumulation never writes through an aliasing view.
     pub fn add_assign_scaled(&mut self, rhs: &Tensor, scale: f32) {
         assert_eq!(self.shape, rhs.shape, "add_assign_scaled shape mismatch");
-        let src = rhs.data();
-        let dst = self.data_mut();
-        par_chunks_mut(dst, ELEMWISE_CHUNK, |_, start, d| {
-            let len = d.len();
-            for (x, &s) in d.iter_mut().zip(&src[start..start + len]) {
-                *x += s * scale;
-            }
-        });
+        if rhs.is_contiguous() {
+            let src = rhs.data();
+            let dst = self.data_mut();
+            par_chunks_mut(dst, ELEMWISE_CHUNK, |_, start, d| {
+                let len = d.len();
+                for (x, &s) in d.iter_mut().zip(&src[start..start + len]) {
+                    *x += s * scale;
+                }
+            });
+        } else {
+            let raw: &[f32] = &rhs.data;
+            let base = rhs.offset;
+            let shape = rhs.shape.clone();
+            let strides = rhs.strides.clone();
+            let zero = vec![0usize; shape.len()];
+            let dst = self.data_mut();
+            par_chunks_mut(dst, ELEMWISE_CHUNK, |_, start, d| {
+                let odo = Odometer2::starting_at(&shape, strides.clone(), zero.clone(), start);
+                for (x, (a, _)) in d.iter_mut().zip(odo) {
+                    *x += raw[base + a] * scale;
+                }
+            });
+        }
     }
 
     /// Sum-reduce this tensor down to `target` shape — the adjoint of
     /// broadcasting. `target` must itself broadcast to `self.shape`.
     ///
-    /// Chunks of the input accumulate into per-chunk partial outputs which
-    /// are then combined in [`lip_par::combine_tree`]'s fixed order, so the
-    /// result depends only on the shapes — never on the thread count.
+    /// Chunks of the logical input index space accumulate into per-chunk
+    /// partial outputs which are then combined in [`lip_par::combine_tree`]'s
+    /// fixed order, so the result depends only on the shapes — never on the
+    /// thread count or the input's storage layout.
     pub fn reduce_to_shape(&self, target: &[usize]) -> Tensor {
         if self.shape == target {
             return self.clone();
         }
+        // target indexes the dense accumulator; self walks its own strides
         let sa = broadcast_strides(target, &self.shape);
         let t_numel = numel(target);
-        let data = self.data();
+        let raw: &[f32] = &self.data;
+        let base = self.offset;
+        let n = self.numel();
         let partials = lip_par::map_chunks(
-            lip_par::Partition::new(data.len(), ELEMWISE_CHUNK),
+            lip_par::Partition::new(n, ELEMWISE_CHUNK),
             |_, r| {
-                let zero = vec![0usize; self.shape.len()];
-                let odo = Odometer2::starting_at(&self.shape, sa.clone(), zero, r.start);
+                let odo =
+                    Odometer2::starting_at(&self.shape, sa.clone(), self.strides.clone(), r.start);
                 let mut acc = vec![0.0f32; t_numel];
-                for ((t, _), &v) in odo.zip(&data[r.start..r.end]) {
-                    acc[t] += v;
+                for (t, s) in odo.take(r.end - r.start) {
+                    acc[t] += raw[base + s];
                 }
                 acc
             },
@@ -300,6 +343,21 @@ mod tests {
     }
 
     #[test]
+    fn strided_operands_match_packed() {
+        // a transposed view fed straight into zip must equal pack-then-zip
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let at = a.t(); // [3, 2] view
+        let b = Tensor::arange(6).reshape(&[3, 2]);
+        let lazy = at.add(&b);
+        let packed = at.contiguous().add(&b);
+        assert_eq!(lazy, packed);
+        assert_eq!(lazy.to_vec(), packed.to_vec());
+        // map over a broadcast (stride-0) view expands correctly
+        let row = Tensor::arange(3).broadcast_to(&[2, 3]);
+        assert_eq!(row.mul_scalar(2.0).to_vec(), vec![0., 2., 4., 0., 2., 4.]);
+    }
+
+    #[test]
     fn unary_maps() {
         let x = Tensor::from_vec(vec![-1.0, 0.0, 4.0], &[3]);
         assert_eq!(x.relu().to_vec(), vec![0., 0., 4.]);
@@ -334,5 +392,21 @@ mod tests {
         let b = Tensor::arange(3);
         a.add_assign_scaled(&b, 2.0);
         assert_eq!(a.to_vec(), vec![1., 3., 5.]);
+    }
+
+    #[test]
+    fn add_assign_scaled_takes_strided_rhs() {
+        // rhs is a permuted view — the accumulation must follow its logical
+        // order, not its storage order
+        let base = Tensor::arange(6).reshape(&[2, 3]);
+        let rhs = base.t(); // logical [[0,3],[1,4],[2,5]]
+        let mut acc = Tensor::zeros(&[3, 2]);
+        acc.add_assign_scaled(&rhs, 1.0);
+        assert_eq!(acc.to_vec(), vec![0., 3., 1., 4., 2., 5.]);
+        // and accumulating into a view must not corrupt the view's base
+        let mut acc_view = base.slice_axis(0, 0, 1).reshape(&[3, 1]);
+        acc_view.add_assign_scaled(&Tensor::ones(&[3, 1]), 1.0);
+        assert_eq!(base.to_vec(), vec![0., 1., 2., 3., 4., 5.]);
+        assert_eq!(acc_view.to_vec(), vec![1., 2., 3.]);
     }
 }

@@ -9,11 +9,21 @@
 //!
 //! ## Design
 //!
-//! * Storage is a contiguous `Arc<Vec<f32>>`; [`Tensor`] is cheap to clone and
-//!   copy-on-write ([`Tensor::data_mut`] uses `Arc::make_mut`).
-//! * All tensors are contiguous. View-producing operations (`permute`,
-//!   `slice_axis`, …) materialize their result; at the model sizes this
-//!   workspace targets, contiguity buys simpler and faster downstream kernels.
+//! * Storage is a row-major `Arc<Vec<f32>>`; a [`Tensor`] is a strided view
+//!   `{shape, strides, offset}` over it. Cloning is O(1) and mutation is
+//!   copy-on-write ([`Tensor::data_mut`] uses `Arc::make_mut`), so views can
+//!   alias freely without writes leaking between them.
+//! * Layout operations — `permute` / `transpose`, `slice_axis`,
+//!   `broadcast_to`, `sliding_window`, and any stride-compatible `reshape` —
+//!   are O(1) metadata edits sharing storage. Kernels that need dense
+//!   row-major input (matmul packing, reductions, serialization) invoke the
+//!   [`Tensor::contiguous`] escape hatch, which gathers a view in logical
+//!   order; elementwise kernels walk the actual strides directly.
+//! * All kernels partition the *logical* index space through `lip-par`, so
+//!   results are bit-identical at any thread count and independent of how
+//!   operands happen to be laid out in storage. The [`stats`] module counts
+//!   bytes copied vs. bytes avoided per layout op for the `mem_baseline`
+//!   bench.
 //! * Shape errors panic with a descriptive message, mirroring `ndarray` and
 //!   PyTorch semantics. Fallible checking is available through
 //!   [`shape::broadcast_shapes`].
@@ -37,6 +47,7 @@ mod matmul;
 mod reduce;
 mod serialize;
 pub mod shape;
+pub mod stats;
 mod tensor;
 
 pub use elementwise::gelu_grad_scalar;

@@ -7,6 +7,11 @@
 //! results are bit-identical at any thread count. Partitioning over rows
 //! (not batches) also means a single large `[m, k] × [k, n]` product
 //! parallelizes just as well as a batched one.
+//!
+//! Strided operands (a transposed K, a sliced batch, …) are packed into
+//! dense row-major buffers via [`Tensor::contiguous`] before the kernel
+//! runs; the pack gathers in logical order, so packed bytes — and therefore
+//! products — match the old materialize-on-layout pipeline exactly.
 
 use lip_par::{par_chunks_mut, MATMUL_CHUNK_MACS};
 
@@ -30,7 +35,9 @@ impl Tensor {
                 crate::TensorError::MatMulMismatch { .. } => panic!("{e}"),
                 other => panic!("matmul batch axes: {other}"),
             });
-        // Promote vectors to matrices, remembering what to squeeze.
+        // Promote vectors to matrices, remembering what to squeeze. The
+        // promotions are metadata-only reshapes (a rank-1 tensor always
+        // admits a [1, n] / [n, 1] view); packing below handles density.
         let squeeze_front = self.rank() == 1;
         let squeeze_back = rhs.rank() == 1;
         let a = if squeeze_front {
@@ -44,6 +51,10 @@ impl Tensor {
             rhs.clone()
         };
         assert!(a.rank() >= 2 && b.rank() >= 2);
+        // Pack strided views into dense row-major buffers: the i-k-j kernel
+        // and the flat batch-offset arithmetic below index raw storage.
+        let a = a.contiguous();
+        let b = b.contiguous();
 
         let (m, ka) = (a.shape[a.rank() - 2], a.shape[a.rank() - 1]);
         let (kb, n) = (b.shape[b.rank() - 2], b.shape[b.rank() - 1]);

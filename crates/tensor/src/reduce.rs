@@ -39,22 +39,22 @@ fn tree_fold(data: &[f32], empty: f32, combine: impl Fn(f32, f32) -> f32 + Sync)
 impl Tensor {
     /// Sum of all elements (rank-0 result).
     pub fn sum(&self) -> Tensor {
-        Tensor::scalar(tree_sum(self.data()))
+        Tensor::scalar(tree_sum(self.contiguous().data()))
     }
 
     /// Mean of all elements (rank-0 result).
     pub fn mean(&self) -> Tensor {
-        Tensor::scalar(tree_sum(self.data()) / self.numel() as f32)
+        Tensor::scalar(tree_sum(self.contiguous().data()) / self.numel() as f32)
     }
 
     /// Largest element.
     pub fn max_value(&self) -> f32 {
-        tree_fold(self.data(), f32::NEG_INFINITY, f32::max)
+        tree_fold(self.contiguous().data(), f32::NEG_INFINITY, f32::max)
     }
 
     /// Smallest element.
     pub fn min_value(&self) -> f32 {
-        tree_fold(self.data(), f32::INFINITY, f32::min)
+        tree_fold(self.contiguous().data(), f32::INFINITY, f32::min)
     }
 
     /// Sum along `axis`, keeping it as size 1.
@@ -90,7 +90,9 @@ impl Tensor {
         accumulate: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Tensor {
         let (outer, len, inner) = split_at_axis(&self.shape, axis);
-        let data = self.data();
+        // the row-major index arithmetic below wants dense storage
+        let dense = self.contiguous();
+        let data = dense.data();
         let mut out = vec![init; outer * inner];
         if outer > 1 {
             // chunk over whole outer rows so each window owns `[o0..o1) × inner`
@@ -128,7 +130,8 @@ impl Tensor {
     pub fn softmax_lastdim(&self) -> Tensor {
         let width = *self.shape.last().expect("softmax on a scalar");
         assert!(width > 0, "softmax over an empty last axis");
-        let data = self.data();
+        let dense = self.contiguous();
+        let data = dense.data();
         let mut out = vec![0.0f32; self.numel()];
         let rows = (ELEMWISE_CHUNK / width).max(1);
         par_chunks_mut(&mut out, rows * width, |_, start, dst| {
@@ -154,7 +157,8 @@ impl Tensor {
     pub fn log_softmax_lastdim(&self) -> Tensor {
         let width = *self.shape.last().expect("log_softmax on a scalar");
         assert!(width > 0, "log_softmax over an empty last axis");
-        let data = self.data();
+        let dense = self.contiguous();
+        let data = dense.data();
         let mut out = vec![0.0f32; self.numel()];
         let rows = (ELEMWISE_CHUNK / width).max(1);
         par_chunks_mut(&mut out, rows * width, |_, start, dst| {
@@ -173,7 +177,8 @@ impl Tensor {
     /// Index of the max element in each row of the last axis.
     pub fn argmax_lastdim(&self) -> Vec<usize> {
         let width = *self.shape.last().expect("argmax on a scalar");
-        self.data
+        self.contiguous()
+            .data()
             .chunks_exact(width)
             .map(|row| {
                 row.iter()

@@ -62,7 +62,10 @@ impl Tensor {
         for &d in self.shape() {
             buf.extend_from_slice(&(d as u64).to_le_bytes());
         }
-        for &v in self.data() {
+        // serialization requires density: pack strided views first so the
+        // frame always holds logical row-major order
+        let dense = self.contiguous();
+        for &v in dense.data() {
             buf.extend_from_slice(&v.to_le_bytes());
         }
         buf

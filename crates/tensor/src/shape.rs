@@ -20,6 +20,97 @@ pub fn numel(shape: &[usize]) -> usize {
     shape.iter().product()
 }
 
+/// True when `(shape, strides)` lays elements out in dense row-major order
+/// (any storage offset). Strides of size-≤1 axes carry no information and are
+/// ignored; an empty tensor is trivially row-major.
+pub fn is_row_major(shape: &[usize], strides: &[usize]) -> bool {
+    debug_assert_eq!(shape.len(), strides.len(), "shape/stride rank mismatch");
+    if shape.contains(&0) {
+        return true;
+    }
+    let mut acc = 1usize;
+    for (&dim, &stride) in shape.iter().zip(strides).rev() {
+        if dim > 1 {
+            if stride != acc {
+                return false;
+            }
+            acc *= dim;
+        }
+    }
+    true
+}
+
+/// Strides that reinterpret a `(old_shape, old_strides)` layout as
+/// `new_shape` **without moving data**, or `None` when the reshape genuinely
+/// requires a copy (e.g. flattening a transposed matrix).
+///
+/// The rule is the standard one: old axes are grouped into maximal
+/// row-major-contiguous chunks; each chunk must be exactly tiled (from the
+/// trailing side) by a run of new axes. Size-1 axes on either side are
+/// unconstrained. Shapes must describe the same element count (checked by
+/// the caller).
+pub fn view_strides(
+    old_shape: &[usize],
+    old_strides: &[usize],
+    new_shape: &[usize],
+) -> Option<Vec<usize>> {
+    debug_assert_eq!(numel(old_shape), numel(new_shape), "reshape numel mismatch");
+    if numel(new_shape) == 0 {
+        // no elements: any layout works, pick the canonical one
+        return Some(contiguous_strides(new_shape));
+    }
+    // size-1 old axes impose no constraint
+    let olds: Vec<(usize, usize)> = old_shape
+        .iter()
+        .zip(old_strides)
+        .filter(|(&d, _)| d != 1)
+        .map(|(&d, &s)| (d, s))
+        .collect();
+    let mut out = vec![0usize; new_shape.len()];
+    let mut new_d = new_shape.len(); // exclusive upper bound of unfilled axes
+    let mut od = olds.len();
+    while od > 0 {
+        // grow a chunk leftwards while the old axes are mutually contiguous
+        let chunk_end = od;
+        let mut chunk_start = od - 1;
+        while chunk_start > 0
+            && olds[chunk_start - 1].1 == olds[chunk_start].1 * olds[chunk_start].0
+        {
+            chunk_start -= 1;
+        }
+        let mut rem: usize = olds[chunk_start..chunk_end].iter().map(|&(d, _)| d).product();
+        let mut stride = olds[chunk_end - 1].1;
+        // consume new axes from the right until the chunk is exactly tiled
+        while rem > 1 {
+            if new_d == 0 {
+                return None;
+            }
+            new_d -= 1;
+            let dim = new_shape[new_d];
+            if dim == 1 {
+                out[new_d] = stride; // unconstrained
+                continue;
+            }
+            if rem % dim != 0 {
+                return None; // new axis straddles a chunk boundary
+            }
+            out[new_d] = stride;
+            stride *= dim;
+            rem /= dim;
+        }
+        od = chunk_start;
+    }
+    // leftover new axes must all be size 1
+    while new_d > 0 {
+        new_d -= 1;
+        if new_shape[new_d] != 1 {
+            return None;
+        }
+        out[new_d] = 1;
+    }
+    Some(out)
+}
+
 /// NumPy broadcasting: align shapes at the trailing axis; each pair of dims
 /// must be equal or one of them 1.
 pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, TensorError> {
@@ -215,6 +306,49 @@ mod tests {
         assert_eq!(contiguous_strides(&[2, 3, 4]), vec![12, 4, 1]);
         assert_eq!(contiguous_strides(&[5]), vec![1]);
         assert_eq!(contiguous_strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn row_major_check() {
+        assert!(is_row_major(&[2, 3], &[3, 1]));
+        assert!(!is_row_major(&[2, 3], &[1, 2])); // transposed
+        assert!(is_row_major(&[1, 3], &[99, 1])); // size-1 stride is free
+        assert!(is_row_major(&[2, 1, 3], &[3, 7, 1]));
+        assert!(!is_row_major(&[2, 3], &[0, 1])); // broadcast axis
+        assert!(is_row_major(&[0, 3], &[9, 9])); // empty: trivially dense
+        assert!(is_row_major(&[], &[]));
+    }
+
+    #[test]
+    fn view_strides_contiguous_always_works() {
+        let s = contiguous_strides(&[2, 3, 4]);
+        assert_eq!(view_strides(&[2, 3, 4], &s, &[6, 4]).unwrap(), vec![4, 1]);
+        assert_eq!(view_strides(&[2, 3, 4], &s, &[24]).unwrap(), vec![1]);
+        assert_eq!(
+            view_strides(&[2, 3, 4], &s, &[2, 12, 1]).unwrap(),
+            vec![12, 1, 1]
+        );
+    }
+
+    #[test]
+    fn view_strides_on_strided_layouts() {
+        // transposed [3,2] (strides [1,3]): flattening needs a copy
+        assert_eq!(view_strides(&[3, 2], &[1, 3], &[6]), None);
+        // splitting an axis of a transposed view keeps the outer stride
+        assert_eq!(
+            view_strides(&[4, 2], &[1, 4], &[2, 2, 2]).unwrap(),
+            vec![2, 1, 4]
+        );
+        // size-1 axes are free on both sides
+        assert_eq!(
+            view_strides(&[3, 1, 2], &[1, 9, 3], &[1, 3, 2]).unwrap(),
+            vec![1, 1, 3]
+        );
+        // zero-sized tensors reshape freely
+        assert_eq!(
+            view_strides(&[0, 4], &[4, 1], &[2, 0, 2]).unwrap(),
+            contiguous_strides(&[2, 0, 2])
+        );
     }
 
     #[test]

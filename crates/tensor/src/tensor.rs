@@ -1,18 +1,33 @@
-//! The [`Tensor`] type: contiguous row-major f32 storage plus shape
-//! manipulation (reshape / permute / slice / concat / gather / repeat).
+//! The [`Tensor`] type: a strided view `{shape, strides, offset}` over
+//! shared row-major f32 storage, plus shape manipulation (reshape / permute /
+//! slice / broadcast / sliding windows / concat / gather / repeat).
+//!
+//! Layout ops — [`Tensor::permute`], [`Tensor::transpose`],
+//! [`Tensor::slice_axis`], [`Tensor::broadcast_to`],
+//! [`Tensor::sliding_window`] and stride-compatible [`Tensor::reshape`] —
+//! are O(1) metadata edits sharing the underlying buffer. Kernels that need
+//! dense row-major storage call [`Tensor::contiguous`], which packs a view
+//! by gathering its elements in logical row-major order; the gather is a
+//! pure function of the layout, so packed bytes are identical to what the
+//! old copy-on-layout implementation produced, at any thread count.
 
 use std::fmt;
 use std::sync::Arc;
 
-use crate::shape::{contiguous_strides, numel, split_at_axis};
+use crate::shape::{contiguous_strides, is_row_major, numel, split_at_axis, view_strides, Odometer2};
+use crate::stats::{self, CopyKind};
 
-/// A dense, contiguous, row-major `f32` tensor.
+/// A strided view over shared, row-major `f32` storage.
 ///
-/// Cloning is O(1) (shared `Arc` storage); mutation copies on write. All
-/// operations producing a new layout materialize a fresh contiguous buffer.
-#[derive(Clone, PartialEq)]
+/// Cloning is O(1) (shared `Arc` storage); mutation copies on write
+/// ([`Tensor::data_mut`]). Layout operations produce views whenever the
+/// result is expressible as strides over the same buffer, and materialize
+/// only when it is not (e.g. reshaping a transposed matrix).
+#[derive(Clone)]
 pub struct Tensor {
     pub(crate) shape: Vec<usize>,
+    pub(crate) strides: Vec<usize>,
+    pub(crate) offset: usize,
     pub(crate) data: Arc<Vec<f32>>,
 }
 
@@ -32,6 +47,8 @@ impl Tensor {
         );
         Tensor {
             shape: shape.to_vec(),
+            strides: contiguous_strides(shape),
+            offset: 0,
             data: Arc::new(data),
         }
     }
@@ -69,28 +86,72 @@ impl Tensor {
         &self.shape
     }
 
+    /// Per-axis element strides into the shared storage buffer. A stride of
+    /// 0 marks a broadcast axis (every index reads the same element).
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Offset (in elements) of this view's first logical element within the
+    /// shared storage buffer.
+    #[inline]
+    pub fn storage_offset(&self) -> usize {
+        self.offset
+    }
+
     /// Number of axes.
     #[inline]
     pub fn rank(&self) -> usize {
         self.shape.len()
     }
 
-    /// Total number of elements.
+    /// Total number of logical elements.
     #[inline]
     pub fn numel(&self) -> usize {
-        self.data.len()
+        numel(&self.shape)
+    }
+
+    /// True when the view's elements sit in dense row-major order in storage
+    /// (any offset) — the precondition for [`Tensor::data`].
+    #[inline]
+    pub fn is_contiguous(&self) -> bool {
+        is_row_major(&self.shape, &self.strides)
     }
 
     /// Flat row-major view of the elements.
+    ///
+    /// Panics on a non-contiguous view (a permuted / broadcast / overlapping
+    /// window layout); call [`Tensor::contiguous`] first.
     #[inline]
     pub fn data(&self) -> &[f32] {
-        &self.data
+        assert!(
+            self.is_contiguous(),
+            "data() on a non-contiguous view (shape {:?}, strides {:?}); call contiguous() first",
+            self.shape,
+            self.strides
+        );
+        let n = self.numel();
+        if n == 0 {
+            // an empty view may carry an offset past the end of its storage
+            // (e.g. a zero-width slice of an empty axis) — never index it
+            return &[];
+        }
+        &self.data[self.offset..self.offset + n]
     }
 
-    /// Mutable flat view; copies the buffer if it is shared.
+    /// Mutable flat view; packs a strided view first and copies the buffer
+    /// if it is shared, so writes never leak into aliasing views.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
-        Arc::make_mut(&mut self.data).as_mut_slice()
+        if !self.is_contiguous() {
+            *self = self.pack(CopyKind::Pack);
+        }
+        let (o, n) = (self.offset, self.numel());
+        if n == 0 {
+            return &mut [];
+        }
+        &mut Arc::make_mut(&mut self.data)[o..o + n]
     }
 
     /// The single element of a scalar (or 1-element) tensor.
@@ -98,46 +159,134 @@ impl Tensor {
     /// Panics if the tensor holds more than one element.
     pub fn item(&self) -> f32 {
         assert_eq!(self.numel(), 1, "item() on tensor of shape {:?}", self.shape);
-        self.data[0]
+        self.data[self.offset]
     }
 
     /// Element at a full multi-dimensional index.
     pub fn at(&self, index: &[usize]) -> f32 {
         assert_eq!(index.len(), self.rank(), "index rank mismatch");
-        let strides = contiguous_strides(&self.shape);
-        let off: usize = index
-            .iter()
-            .zip(strides.iter())
-            .map(|(&i, &s)| {
-                debug_assert!(i < usize::MAX);
-                i * s
-            })
-            .sum();
+        let mut off = self.offset;
+        for ((&i, &dim), &s) in index.iter().zip(&self.shape).zip(&self.strides) {
+            assert!(i < dim, "index {index:?} out of bounds for {:?}", self.shape);
+            off += i * s;
+        }
         self.data[off]
     }
 
-    /// Copy of the data as an owned `Vec`.
+    /// Copy of the elements as an owned `Vec`, in logical row-major order.
     pub fn to_vec(&self) -> Vec<f32> {
-        self.data.as_ref().clone()
+        if self.is_contiguous() {
+            self.data().to_vec()
+        } else {
+            self.gather_logical()
+        }
     }
 
     /// True if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
-        self.data.iter().any(|v| !v.is_finite())
+        if self.is_contiguous() {
+            return self.data().iter().any(|v| !v.is_finite());
+        }
+        let zero = vec![0usize; self.rank()];
+        Odometer2::new(&self.shape, self.strides.clone(), zero)
+            .any(|(a, _)| !self.data[self.offset + a].is_finite())
     }
 
     /// Address of the shared storage buffer, as an opaque identity token.
     /// Two tensors report the same value exactly when they alias the same
-    /// `Arc` buffer (e.g. a tensor and its reshape). Used by the static
-    /// analyzer to detect accidental reuse of dropout masks.
+    /// `Arc` buffer (e.g. a tensor and any view of it). Distinct views of
+    /// one buffer collide here by design — disambiguate with
+    /// [`Tensor::storage_offset`] and [`Tensor::numel`] where it matters
+    /// (the static analyzer's dropout-mask lint does).
     #[inline]
     pub fn storage_ptr(&self) -> usize {
         Arc::as_ptr(&self.data) as usize
     }
 
+    // ------------------------------------------------------ materialization
+
+    /// This view's elements gathered into a fresh buffer in logical
+    /// row-major order. Chunked over the logical index space, so the bytes
+    /// are identical at any thread count.
+    fn gather_logical(&self) -> Vec<f32> {
+        let n = self.numel();
+        let mut out = vec![0.0f32; n];
+        let zero = vec![0usize; self.rank()];
+        let raw: &[f32] = &self.data;
+        let base = self.offset;
+        lip_par::par_chunks_mut(&mut out, lip_par::ELEMWISE_CHUNK, |_, start, dst| {
+            let odo = Odometer2::starting_at(&self.shape, self.strides.clone(), zero.clone(), start);
+            for (d, (a, _)) in dst.iter_mut().zip(odo) {
+                *d = raw[base + a];
+            }
+        });
+        out
+    }
+
+    /// Materialize into a fresh dense tensor, recording the copy as `kind`.
+    fn pack(&self, kind: CopyKind) -> Tensor {
+        stats::record_copy(kind, self.numel() * 4);
+        Tensor::from_vec(self.gather_logical(), &self.shape)
+    }
+
+    /// Dense row-major version of this tensor: `self` (cheap clone) when the
+    /// view is already contiguous, otherwise a packed copy. Kernels that
+    /// index flat storage (matmul packing, reductions, serialization) call
+    /// this as their density escape hatch.
+    pub fn contiguous(&self) -> Tensor {
+        if self.is_contiguous() {
+            self.clone()
+        } else {
+            self.pack(CopyKind::Pack)
+        }
+    }
+
+    /// Fully standalone copy semantics: a tensor whose storage starts at
+    /// offset 0 and holds exactly this view's elements. Unlike
+    /// [`Tensor::contiguous`] this also detaches a contiguous window into a
+    /// larger shared buffer (useful before long-lived retention, e.g.
+    /// checkpoints, so a small slice does not pin a large allocation).
+    pub fn materialize(&self) -> Tensor {
+        if self.is_contiguous() && self.offset == 0 && self.data.len() == self.numel() {
+            self.clone()
+        } else {
+            self.pack(CopyKind::Pack)
+        }
+    }
+
+    /// Strides of this view broadcast up to `out_shape` (left-padding with
+    /// broadcast axes, zeroing the stride of every size-1 axis).
+    pub(crate) fn strides_for_broadcast(&self, out_shape: &[usize]) -> Vec<usize> {
+        assert!(
+            out_shape.len() >= self.rank(),
+            "shape {:?} does not broadcast to {out_shape:?}",
+            self.shape
+        );
+        let pad = out_shape.len() - self.rank();
+        let mut out = vec![0usize; out_shape.len()];
+        for (i, o) in out.iter_mut().enumerate() {
+            if i < pad {
+                continue;
+            }
+            let dim = self.shape[i - pad];
+            debug_assert!(
+                dim == out_shape[i] || dim == 1,
+                "shape {:?} does not broadcast to {out_shape:?}",
+                self.shape
+            );
+            if dim != 1 {
+                *o = self.strides[i - pad];
+            }
+        }
+        out
+    }
+
     // ------------------------------------------------------ shape surgery
 
-    /// Reinterpret the buffer under a new shape with equal element count.
+    /// Reinterpret the elements under a new shape with equal element count.
+    ///
+    /// O(1) whenever the current strides admit the new shape (always true
+    /// for contiguous tensors); otherwise gathers into a fresh buffer.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
         assert_eq!(
             self.numel(),
@@ -147,14 +296,26 @@ impl Tensor {
             self.numel(),
             shape
         );
-        Tensor {
-            shape: shape.to_vec(),
-            data: Arc::clone(&self.data),
+        match view_strides(&self.shape, &self.strides, shape) {
+            Some(strides) => {
+                // bytes-avoided is 0: reshape was already O(1) pre-refactor
+                stats::record_view(CopyKind::Reshape, 0);
+                Tensor {
+                    shape: shape.to_vec(),
+                    strides,
+                    offset: self.offset,
+                    data: Arc::clone(&self.data),
+                }
+            }
+            None => {
+                stats::record_copy(CopyKind::Reshape, self.numel() * 4);
+                Tensor::from_vec(self.gather_logical(), shape)
+            }
         }
     }
 
     /// Reorder axes: `out[i_axes[0], i_axes[1], ..] = self[i0, i1, ..]`.
-    /// Materializes a contiguous result.
+    /// A zero-copy view: only the stride order changes.
     pub fn permute(&self, axes: &[usize]) -> Tensor {
         assert_eq!(axes.len(), self.rank(), "permute axes rank mismatch");
         let mut seen = vec![false; axes.len()];
@@ -162,30 +323,16 @@ impl Tensor {
             assert!(a < self.rank() && !seen[a], "invalid permutation {axes:?}");
             seen[a] = true;
         }
-        let out_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
-        let in_strides = contiguous_strides(&self.shape);
-        // stride of output axis i in the input buffer
-        let walk: Vec<usize> = axes.iter().map(|&a| in_strides[a]).collect();
-        let mut out = vec![0.0f32; self.numel()];
-        let mut idx = vec![0usize; out_shape.len()];
-        let mut src = 0usize;
-        for slot in out.iter_mut() {
-            debug_assert!(src < self.data.len(), "permute walk left the buffer");
-            *slot = self.data[src];
-            for ax in (0..out_shape.len()).rev() {
-                idx[ax] += 1;
-                src += walk[ax];
-                if idx[ax] < out_shape[ax] {
-                    break;
-                }
-                src -= walk[ax] * out_shape[ax];
-                idx[ax] = 0;
-            }
+        stats::record_view(CopyKind::Permute, self.numel() * 4);
+        Tensor {
+            shape: axes.iter().map(|&a| self.shape[a]).collect(),
+            strides: axes.iter().map(|&a| self.strides[a]).collect(),
+            offset: self.offset,
+            data: Arc::clone(&self.data),
         }
-        Tensor::from_vec(out, &out_shape)
     }
 
-    /// Swap two axes (materializing).
+    /// Swap two axes (zero-copy view).
     pub fn transpose(&self, a: usize, b: usize) -> Tensor {
         let mut axes: Vec<usize> = (0..self.rank()).collect();
         axes.swap(a, b);
@@ -199,28 +346,86 @@ impl Tensor {
         self.transpose(r - 2, r - 1)
     }
 
-    /// Contiguous sub-range `start..end` along `axis`.
+    /// Contiguous sub-range `start..end` along `axis` (zero-copy view:
+    /// the storage offset advances, strides are unchanged).
     pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Tensor {
-        let (outer, len, inner) = split_at_axis(&self.shape, axis);
+        assert!(axis < self.rank(), "axis {axis} out of range for {:?}", self.shape);
+        let len = self.shape[axis];
         assert!(
             start <= end && end <= len,
             "slice {start}..{end} out of bounds for axis {axis} of {:?}",
             self.shape
         );
-        let width = end - start;
-        let mut out = Vec::with_capacity(outer * width * inner);
-        for o in 0..outer {
-            let base = o * len * inner + start * inner;
-            debug_assert!(
-                base + width * inner <= self.data.len(),
-                "slice window exceeds buffer for {:?}",
+        let mut shape = self.shape.clone();
+        shape[axis] = end - start;
+        stats::record_view(CopyKind::SliceAxis, numel(&shape) * 4);
+        Tensor {
+            shape,
+            strides: self.strides.clone(),
+            offset: self.offset + start * self.strides[axis],
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Overlapping sliding windows along `axis` (zero-copy view, PyTorch
+    /// `unfold` semantics): `axis` shrinks to the window count
+    /// `(len - window) / step + 1` and a new trailing axis of size `window`
+    /// is appended, striding by the original axis stride. Consecutive
+    /// windows alias each other whenever `step < window` — exactly the
+    /// overlapping-patch case of PatchTST-style patch extraction.
+    pub fn sliding_window(&self, axis: usize, window: usize, step: usize) -> Tensor {
+        assert!(axis < self.rank(), "axis {axis} out of range for {:?}", self.shape);
+        assert!(window >= 1 && step >= 1, "sliding_window needs window,step >= 1");
+        let len = self.shape[axis];
+        assert!(
+            window <= len,
+            "window {window} longer than axis {axis} (len {len}) of {:?}",
+            self.shape
+        );
+        let n = (len - window) / step + 1;
+        let mut shape = self.shape.clone();
+        shape[axis] = n;
+        shape.push(window);
+        let mut strides = self.strides.clone();
+        let s = strides[axis];
+        strides[axis] = step * s;
+        strides.push(s);
+        stats::record_view(CopyKind::Unfold, numel(&shape) * 4);
+        Tensor {
+            shape,
+            strides,
+            offset: self.offset,
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Broadcast to `out_shape` (zero-copy view: expanded axes get stride 0,
+    /// so every index along them reads the same storage element).
+    pub fn broadcast_to(&self, out_shape: &[usize]) -> Tensor {
+        if self.shape == out_shape {
+            return self.clone();
+        }
+        assert!(
+            out_shape.len() >= self.rank(),
+            "cannot broadcast {:?} down to {out_shape:?}",
+            self.shape
+        );
+        let pad = out_shape.len() - self.rank();
+        for i in pad..out_shape.len() {
+            let dim = self.shape[i - pad];
+            assert!(
+                dim == out_shape[i] || dim == 1,
+                "shape {:?} does not broadcast to {out_shape:?}",
                 self.shape
             );
-            out.extend_from_slice(&self.data[base..base + width * inner]);
         }
-        let mut shape = self.shape.clone();
-        shape[axis] = width;
-        Tensor::from_vec(out, &shape)
+        stats::record_view(CopyKind::BroadcastTo, numel(out_shape) * 4);
+        Tensor {
+            shape: out_shape.to_vec(),
+            strides: self.strides_for_broadcast(out_shape),
+            offset: self.offset,
+            data: Arc::clone(&self.data),
+        }
     }
 
     /// Concatenate tensors along `axis`. All other axes must match.
@@ -241,12 +446,13 @@ impl Tensor {
         let mut shape = parts[0].shape.clone();
         shape[axis] = parts.iter().map(|p| p.shape[axis]).sum();
         let (outer, _, inner) = split_at_axis(&shape, axis);
+        let dense: Vec<Tensor> = parts.iter().map(|p| p.contiguous()).collect();
         let mut out = Vec::with_capacity(numel(&shape));
         for o in 0..outer {
-            for p in parts {
+            for p in &dense {
                 let len = p.shape[axis];
                 let base = o * len * inner;
-                out.extend_from_slice(&p.data[base..base + len * inner]);
+                out.extend_from_slice(&p.data()[base..base + len * inner]);
             }
         }
         Tensor::from_vec(out, &shape)
@@ -258,7 +464,7 @@ impl Tensor {
         let mut out = Vec::with_capacity(parts.len() * parts[0].numel());
         for p in parts {
             assert_eq!(p.shape, parts[0].shape, "stack shape mismatch");
-            out.extend_from_slice(p.data());
+            out.extend_from_slice(p.contiguous().data());
         }
         let mut shape = vec![parts.len()];
         shape.extend_from_slice(&parts[0].shape);
@@ -268,18 +474,15 @@ impl Tensor {
     /// Gather rows along axis 0: `out[i] = self[indices[i]]`.
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         assert!(self.rank() >= 1, "gather_rows on a scalar");
-        let row = self.numel() / self.shape[0];
-        debug_assert!(
-            self.shape[0] == 0 || row * self.shape[0] == self.numel(),
-            "row size does not tile the buffer for {:?}",
-            self.shape
-        );
+        let src = self.contiguous();
+        let row = src.numel() / src.shape[0].max(1);
+        let data = src.data();
         let mut out = Vec::with_capacity(indices.len() * row);
         for &i in indices {
-            assert!(i < self.shape[0], "gather index {i} out of {}", self.shape[0]);
-            out.extend_from_slice(&self.data[i * row..(i + 1) * row]);
+            assert!(i < src.shape[0], "gather index {i} out of {}", src.shape[0]);
+            out.extend_from_slice(&data[i * row..(i + 1) * row]);
         }
-        let mut shape = self.shape.clone();
+        let mut shape = src.shape.clone();
         shape[0] = indices.len();
         Tensor::from_vec(out, &shape)
     }
@@ -287,11 +490,12 @@ impl Tensor {
     /// Repeat the whole tensor `times` along a new leading axis and collapse:
     /// shape `[d0, ...]` becomes `[times * d0, ...]`.
     pub fn tile_rows(&self, times: usize) -> Tensor {
-        let mut out = Vec::with_capacity(self.numel() * times);
+        let src = self.contiguous();
+        let mut out = Vec::with_capacity(src.numel() * times);
         for _ in 0..times {
-            out.extend_from_slice(self.data());
+            out.extend_from_slice(src.data());
         }
-        let mut shape = self.shape.clone();
+        let mut shape = src.shape.clone();
         if shape.is_empty() {
             shape = vec![times];
         } else {
@@ -299,31 +503,30 @@ impl Tensor {
         }
         Tensor::from_vec(out, &shape)
     }
+}
 
-    /// Materialize this tensor broadcast to `out_shape`.
-    pub fn broadcast_to(&self, out_shape: &[usize]) -> Tensor {
-        use crate::shape::{broadcast_strides, Odometer2};
-        if self.shape == out_shape {
-            return self.clone();
+/// Logical elementwise equality: same shape, same element values, regardless
+/// of how either side is laid out in storage.
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        if self.shape != other.shape {
+            return false;
         }
-        let strides = broadcast_strides(&self.shape, out_shape);
-        let zero = vec![0usize; out_shape.len()];
-        let mut out = vec![0.0f32; numel(out_shape)];
-        // pure strided gather into disjoint windows: bit-identical at any
-        // thread count by construction
-        lip_par::par_chunks_mut(&mut out, lip_par::ELEMWISE_CHUNK, |_, start, dst| {
-            let odo = Odometer2::starting_at(out_shape, strides.clone(), zero.clone(), start);
-            for (d, (a, _)) in dst.iter_mut().zip(odo) {
-                *d = self.data[a];
-            }
-        });
-        Tensor::from_vec(out, out_shape)
+        if self.is_contiguous() && other.is_contiguous() {
+            return self.data() == other.data();
+        }
+        Odometer2::new(&self.shape, self.strides.clone(), other.strides.clone())
+            .all(|(a, b)| self.data[self.offset + a] == other.data[other.offset + b])
     }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        let zero = vec![0usize; self.rank()];
+        let preview: Vec<f32> = Odometer2::new(&self.shape, self.strides.clone(), zero)
+            .take(8)
+            .map(|(a, _)| self.data[self.offset + a])
+            .collect();
         write!(
             f,
             "Tensor{:?} {:?}{}",
@@ -370,11 +573,26 @@ mod tests {
     }
 
     #[test]
+    fn reshape_of_contiguous_is_zero_copy() {
+        // the arange → reshape chain must not copy: same storage, new strides
+        let t = Tensor::arange(6);
+        let r = t.reshape(&[2, 3]);
+        assert_eq!(r.storage_ptr(), t.storage_ptr());
+        let r2 = r.reshape(&[3, 2, 1]);
+        assert_eq!(r2.storage_ptr(), t.storage_ptr());
+        assert_eq!(r2.strides(), &[2, 1, 1]);
+    }
+
+    #[test]
     fn permute_2d_is_transpose() {
         let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
         let tt = t.t();
         assert_eq!(tt.shape(), &[3, 2]);
         assert_eq!(tt.to_vec(), vec![1., 4., 2., 5., 3., 6.]);
+        // zero-copy: storage is shared, only strides changed
+        assert_eq!(tt.storage_ptr(), t.storage_ptr());
+        assert_eq!(tt.strides(), &[1, 3]);
+        assert!(!tt.is_contiguous());
     }
 
     #[test]
@@ -383,20 +601,41 @@ mod tests {
         let p = t.permute(&[2, 0, 1]);
         assert_eq!(p.shape(), &[4, 2, 3]);
         assert_eq!(p.at(&[1, 0, 2]), t.at(&[0, 2, 1]));
-        // permute then inverse permute round-trips
+        assert_eq!(p.storage_ptr(), t.storage_ptr());
+        // permute then inverse permute round-trips (still zero-copy)
         let back = p.permute(&[1, 2, 0]);
         assert_eq!(back, t);
+        assert_eq!(back.storage_ptr(), t.storage_ptr());
+        assert!(back.is_contiguous());
+        assert_eq!(back.data(), t.data());
     }
 
     #[test]
-    fn slice_and_concat_roundtrip() {
+    fn slice_is_view_and_concat_roundtrips() {
         let t = Tensor::arange(24).reshape(&[2, 3, 4]);
         let a = t.slice_axis(1, 0, 1);
         let b = t.slice_axis(1, 1, 3);
         assert_eq!(a.shape(), &[2, 1, 4]);
         assert_eq!(b.shape(), &[2, 2, 4]);
+        // zero-copy: both windows share t's storage, offset by the start
+        assert_eq!(a.storage_ptr(), t.storage_ptr());
+        assert_eq!(b.storage_ptr(), t.storage_ptr());
+        assert_eq!(b.storage_offset(), 4);
         let joined = Tensor::concat(&[&a, &b], 1);
         assert_eq!(joined, t);
+    }
+
+    #[test]
+    fn view_chain_shares_storage() {
+        // permute ∘ slice ∘ broadcast-compatible reshape: one buffer end to end
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let v = t.permute(&[1, 0, 2]).slice_axis(0, 1, 3).reshape(&[2, 2, 2, 2]);
+        assert_eq!(v.storage_ptr(), t.storage_ptr());
+        assert_eq!(v, v.contiguous());
+        // materializing detaches
+        let m = v.contiguous();
+        assert_ne!(m.storage_ptr(), t.storage_ptr());
+        assert_eq!(m.to_vec(), v.to_vec());
     }
 
     #[test]
@@ -417,12 +656,33 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_to_materializes() {
+    fn broadcast_to_is_stride0_view() {
         let t = Tensor::from_vec(vec![1., 2.], &[2]);
         let b = t.broadcast_to(&[3, 2]);
         assert_eq!(b.to_vec(), vec![1., 2., 1., 2., 1., 2.]);
+        assert_eq!(b.storage_ptr(), t.storage_ptr());
+        assert_eq!(b.strides(), &[0, 1]);
         let s = Tensor::scalar(5.0).broadcast_to(&[2, 2]);
         assert_eq!(s.to_vec(), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn sliding_window_views_overlap() {
+        let t = Tensor::arange(6); // [0,1,2,3,4,5]
+        let w = t.sliding_window(0, 3, 2); // windows [0,1,2], [2,3,4]
+        assert_eq!(w.shape(), &[2, 3]);
+        assert_eq!(w.storage_ptr(), t.storage_ptr());
+        assert_eq!(w.to_vec(), vec![0., 1., 2., 2., 3., 4.]);
+        // step == window: non-overlapping tiling, still a view
+        let tiles = t.sliding_window(0, 2, 2);
+        assert_eq!(tiles.shape(), &[3, 2]);
+        assert_eq!(tiles.to_vec(), vec![0., 1., 2., 3., 4., 5.]);
+        assert!(tiles.is_contiguous());
+        // middle axis of a higher-rank tensor
+        let x = Tensor::arange(8).reshape(&[2, 4]);
+        let xs = x.sliding_window(1, 2, 1);
+        assert_eq!(xs.shape(), &[2, 3, 2]);
+        assert_eq!(xs.at(&[1, 2, 1]), x.at(&[1, 3]));
     }
 
     #[test]
@@ -431,5 +691,46 @@ mod tests {
         let r = t.tile_rows(3);
         assert_eq!(r.shape(), &[3, 2]);
         assert_eq!(r.to_vec(), vec![0., 1., 0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn data_mut_on_view_does_not_leak_into_base() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let mut v = t.t();
+        v.data_mut()[0] = 99.0;
+        assert_eq!(t.at(&[0, 0]), 0.0, "base tensor must be untouched");
+        assert_eq!(v.at(&[0, 0]), 99.0);
+    }
+
+    #[test]
+    fn eq_is_layout_agnostic() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        let b = a.t().t(); // same logical tensor, round-tripped strides
+        assert_eq!(a, b);
+        let c = Tensor::from_vec(vec![1., 3., 2., 4.], &[2, 2]).t();
+        assert_eq!(a, c, "strided view equals its dense equivalent");
+    }
+
+    #[test]
+    fn materialize_detaches_slices() {
+        let t = Tensor::arange(10);
+        let s = t.slice_axis(0, 2, 5);
+        assert_eq!(s.storage_ptr(), t.storage_ptr());
+        let m = s.materialize();
+        assert_ne!(m.storage_ptr(), t.storage_ptr());
+        assert_eq!(m.data().len(), 3);
+        assert_eq!(m.to_vec(), vec![2., 3., 4.]);
+    }
+
+    #[test]
+    fn size_zero_views_behave() {
+        let t = Tensor::arange(12).reshape(&[3, 4]);
+        let empty = t.slice_axis(0, 3, 3);
+        assert_eq!(empty.shape(), &[0, 4]);
+        assert_eq!(empty.numel(), 0);
+        assert!(empty.is_contiguous());
+        assert_eq!(empty.to_vec(), Vec::<f32>::new());
+        assert_eq!(empty.permute(&[1, 0]).numel(), 0);
+        assert_eq!(empty.reshape(&[4, 0]).shape(), &[4, 0]);
     }
 }

@@ -1,0 +1,233 @@
+//! Property suite for the strided-view layer: every composition of
+//! `permute ∘ slice_axis ∘ reshape ∘ broadcast_to ∘ sliding_window` must be
+//!
+//! 1. **logically identical** to the materialized reference — gathering the
+//!    view with `contiguous()` and recomputing every element through `at()`
+//!    must agree byte-for-byte, and
+//! 2. **thread-invariant** — kernels consuming the view must produce
+//!    byte-identical results at every `LIP_THREADS` budget, because
+//!    partitioning is a function of the logical index space, never of the
+//!    storage layout.
+//!
+//! Shapes are adversarial: size-0 and size-1 axes, single elements, and
+//! dims straddling the parallel chunk boundaries.
+
+use lip_rng::prop::Gen;
+use lip_rng::prop_check;
+use lip_tensor::Tensor;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// Gather `t` element-by-element through the public logical indexer — the
+/// slowest, most obviously correct reference for what a view *means*.
+fn reference_gather(t: &Tensor) -> Vec<f32> {
+    let shape = t.shape().to_vec();
+    let n = t.numel();
+    let mut idx = vec![0usize; shape.len()];
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(t.at(&idx));
+        for ax in (0..shape.len()).rev() {
+            idx[ax] += 1;
+            if idx[ax] < shape[ax] {
+                break;
+            }
+            idx[ax] = 0;
+        }
+    }
+    out
+}
+
+/// The three invariants every view must satisfy.
+fn assert_view_coherent(label: &str, view: &Tensor) {
+    let reference = reference_gather(view);
+    let packed = view.contiguous();
+    assert_eq!(
+        packed.to_vec(),
+        reference,
+        "{label}: contiguous() disagrees with element-wise gather"
+    );
+    assert_eq!(
+        view.to_vec(),
+        reference,
+        "{label}: to_vec() disagrees with element-wise gather"
+    );
+    // Consuming kernels must not see the layout or the thread count: run a
+    // map over the view at several budgets and compare against the packed
+    // tensor's result bytes.
+    let base = lip_par::with_threads(1, || packed.map(|v| v * 1.5 - 2.0)).to_bytes();
+    for &threads in &THREADS {
+        let got = lip_par::with_threads(threads, || view.map(|v| v * 1.5 - 2.0));
+        assert_eq!(
+            base,
+            got.to_bytes(),
+            "{label}: strided map diverges from packed map at {threads} thread(s)"
+        );
+    }
+}
+
+/// A random base tensor with adversarial dims (size-0 and size-1 included).
+fn base_tensor(g: &mut Gen) -> Tensor {
+    let rank = g.usize_in(1, 4);
+    let shape: Vec<usize> = (0..rank).map(|_| g.pick(&[0, 1, 2, 3, 5, 8])).collect();
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(g.vec_f32(n, -5.0, 5.0), &shape)
+}
+
+fn random_permutation(g: &mut Gen, rank: usize) -> Vec<usize> {
+    let mut axes: Vec<usize> = (0..rank).collect();
+    // Fisher–Yates on the deterministic generator
+    for i in (1..rank).rev() {
+        let j = g.usize_in(0, i);
+        axes.swap(i, j);
+    }
+    axes
+}
+
+/// Apply one random layout op, returning the new view (or the input when the
+/// op does not apply to this shape).
+fn random_view_op(g: &mut Gen, t: &Tensor, trace: &mut String) -> Tensor {
+    match g.usize_in(0, 5) {
+        0 => {
+            let axes = random_permutation(g, t.rank());
+            trace.push_str(&format!(" permute{axes:?}"));
+            t.permute(&axes)
+        }
+        1 => {
+            let axis = g.usize_in(0, t.rank());
+            let len = t.shape()[axis];
+            let start = g.usize_in(0, len + 1);
+            let end = g.usize_in(start, len + 1);
+            trace.push_str(&format!(" slice(ax{axis},{start}..{end})"));
+            t.slice_axis(axis, start, end)
+        }
+        2 => {
+            // reshape: group the flat length into a fresh valid shape
+            let n = t.numel();
+            let new_shape = if n == 0 {
+                vec![0, 1]
+            } else if n % 2 == 0 {
+                vec![2, n / 2]
+            } else {
+                vec![n, 1]
+            };
+            trace.push_str(&format!(" reshape{new_shape:?}"));
+            t.reshape(&new_shape)
+        }
+        3 => {
+            // broadcast: prepend axes and expand size-1 dims
+            let mut target = t.shape().to_vec();
+            for d in target.iter_mut() {
+                if *d == 1 {
+                    *d = g.pick(&[1, 3]);
+                }
+            }
+            target.insert(0, g.pick(&[1, 2]));
+            trace.push_str(&format!(" broadcast{target:?}"));
+            t.broadcast_to(&target)
+        }
+        _ => {
+            let axis = g.usize_in(0, t.rank());
+            let len = t.shape()[axis];
+            if len == 0 {
+                return t.clone();
+            }
+            let window = g.usize_in(1, len + 1);
+            let step = g.usize_in(1, window + 1); // overlapping case: step <= window
+            trace.push_str(&format!(" unfold(ax{axis},w{window},s{step})"));
+            t.sliding_window(axis, window, step)
+        }
+    }
+}
+
+#[test]
+fn random_view_chains_match_materialized_reference() {
+    prop_check!(cases = 64, seed = 0x55E1, |g| {
+        let mut t = base_tensor(g);
+        let mut trace = format!("base{:?}", t.shape());
+        let depth = g.usize_in(1, 4);
+        for _ in 0..depth {
+            t = random_view_op(g, &t, &mut trace);
+        }
+        assert_view_coherent(&trace, &t);
+    });
+}
+
+#[test]
+fn canonical_composition_is_zero_copy_end_to_end() {
+    // The exact chain the issue names: permute ∘ slice ∘ reshape ∘ broadcast.
+    let base = Tensor::from_vec((0..120).map(|i| i as f32).collect(), &[2, 3, 4, 5]);
+    let p = base.permute(&[0, 2, 1, 3]); // [2, 4, 3, 5]
+    let s = p.slice_axis(1, 1, 3); // [2, 2, 3, 5]
+    let ptr = base.storage_ptr();
+    assert_eq!(p.storage_ptr(), ptr);
+    assert_eq!(s.storage_ptr(), ptr);
+    assert_view_coherent("permute∘slice", &s);
+    // the strided slice cannot reshape in place, so reshape falls back to a
+    // copy — its *result* can then broadcast as a pure view again
+    let r = s.reshape(&[4, 3, 5]);
+    let b = r.broadcast_to(&[2, 4, 3, 5]);
+    assert_eq!(b.storage_ptr(), r.storage_ptr());
+    assert_view_coherent("permute∘slice∘reshape∘broadcast", &b);
+}
+
+#[test]
+fn binary_kernels_accept_mixed_layouts_at_any_budget() {
+    prop_check!(cases = 24, seed = 0x55E2, |g| {
+        let rows = g.pick(&[1, 2, 5, 8]);
+        let cols = g.pick(&[1, 3, 4]);
+        let a = Tensor::from_vec(g.vec_f32(rows * cols, -4.0, 4.0), &[rows, cols]);
+        let b = Tensor::from_vec(g.vec_f32(rows * cols, -4.0, 4.0), &[cols, rows]);
+        let bt = b.t(); // strided view, same logical shape as a
+        let dense = bt.contiguous();
+        let base = lip_par::with_threads(1, || a.add(&dense)).to_bytes();
+        for &threads in &THREADS {
+            let got = lip_par::with_threads(threads, || a.add(&bt));
+            assert_eq!(
+                base,
+                got.to_bytes(),
+                "add(dense, transposed-view) diverges at {threads} thread(s)"
+            );
+        }
+    });
+}
+
+#[test]
+fn reductions_and_matmul_pack_views_consistently() {
+    prop_check!(cases = 16, seed = 0x55E3, |g| {
+        let m = g.pick(&[1, 2, 5]);
+        let k = g.pick(&[1, 3, 8]);
+        let a = Tensor::from_vec(g.vec_f32(m * k, -2.0, 2.0), &[m, k]);
+        let b = Tensor::from_vec(g.vec_f32(k * m, -2.0, 2.0), &[m, k]);
+        let bt = b.t(); // [k, m] view
+        let dense = bt.contiguous();
+        assert_eq!(
+            a.matmul(&bt).to_bytes(),
+            a.matmul(&dense).to_bytes(),
+            "matmul must pack strided operands to the same bytes"
+        );
+        assert_eq!(bt.sum(), dense.sum(), "sum over a view must pack first");
+        assert_eq!(
+            bt.softmax_lastdim().to_bytes(),
+            dense.softmax_lastdim().to_bytes()
+        );
+    });
+}
+
+#[test]
+fn size_zero_and_size_one_dims_survive_every_op() {
+    let empty = Tensor::zeros(&[2, 0, 3]);
+    let p = empty.permute(&[2, 1, 0]);
+    assert_eq!(p.shape(), &[3, 0, 2]);
+    assert_eq!(p.to_vec(), Vec::<f32>::new());
+    assert_view_coherent("permute-empty", &p);
+
+    let one = Tensor::from_vec(vec![7.0], &[1, 1, 1]);
+    let b = one.broadcast_to(&[4, 1, 2]);
+    assert_eq!(b.to_vec(), vec![7.0; 8]);
+    assert_view_coherent("broadcast-ones", &b);
+
+    let sliced_to_nothing = Tensor::arange(6).reshape(&[2, 3]).slice_axis(1, 2, 2);
+    assert_eq!(sliced_to_nothing.shape(), &[2, 0]);
+    assert_view_coherent("empty-slice", &sliced_to_nothing);
+}

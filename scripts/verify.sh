@@ -20,6 +20,22 @@ cargo run -q --release --offline -p lip-analyze -- --lint --check-model
 echo "==> par_baseline bench smoke (serial vs parallel; fails on divergence)"
 cargo run -q --release --offline -p lip-bench --bin par_baseline BENCH_pr4.json
 
+echo "==> mem_baseline bench smoke (layout-copy accounting; fails on any copy)"
+# the bin itself exits non-zero naming the offending op kinds if a pure
+# layout op (permute/slice/broadcast/unfold) copied, or if a forward does
+# not beat the pre-refactor copy baseline
+cargo run -q --release --offline -p lip-bench --bin mem_baseline BENCH_pr5.json
+
+echo "==> verify: BENCH_pr5.json records zero layout-copy allocations"
+if grep -E '"(permute|slice|broadcast|unfold)_copied": *[1-9]' BENCH_pr5.json; then
+  echo "FAIL: a layout op copied data on some benchmark (see fields above)" >&2
+  exit 1
+fi
+if grep -E '"violations": *\[ *"' BENCH_pr5.json; then
+  echo "FAIL: zero-copy violations recorded (op kinds listed above)" >&2
+  exit 1
+fi
+
 echo "==> verify: only lip-* path dependencies in Cargo.tomls"
 if grep -rhE '^[a-zA-Z0-9_-]+ *= *[{"]' Cargo.toml crates/*/Cargo.toml \
     | grep -vE '^(lip-[a-z]+|lipformer) *=' \
@@ -29,4 +45,5 @@ if grep -rhE '^[a-zA-Z0-9_-]+ *= *[{"]' Cargo.toml crates/*/Cargo.toml \
 fi
 
 echo "OK: offline build + double test run green (LIP_THREADS=1 and default),"
-echo "    parallel/serial bit-identical, zero external dependencies"
+echo "    parallel/serial bit-identical, zero layout-copy allocations,"
+echo "    zero external dependencies"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attention-f4470a34288a7d26.d: crates/bench/benches/attention.rs
+
+/root/repo/target/debug/deps/attention-f4470a34288a7d26: crates/bench/benches/attention.rs
+
+crates/bench/benches/attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_inference-8811e9c3d9afad13.d: crates/bench/benches/edge_inference.rs
+
+/root/repo/target/debug/deps/edge_inference-8811e9c3d9afad13: crates/bench/benches/edge_inference.rs
+
+crates/bench/benches/edge_inference.rs:

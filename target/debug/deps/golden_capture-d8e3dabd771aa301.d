@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_capture-d8e3dabd771aa301.d: crates/eval/../../tests/golden_capture.rs
+
+/root/repo/target/debug/deps/golden_capture-d8e3dabd771aa301: crates/eval/../../tests/golden_capture.rs
+
+crates/eval/../../tests/golden_capture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck_views-9bcd074db03885fb.d: crates/core/tests/gradcheck_views.rs
+
+/root/repo/target/debug/deps/gradcheck_views-9bcd074db03885fb: crates/core/tests/gradcheck_views.rs
+
+crates/core/tests/gradcheck_views.rs:

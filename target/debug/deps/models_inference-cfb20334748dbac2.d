@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/models_inference-cfb20334748dbac2.d: crates/bench/benches/models_inference.rs
+
+/root/repo/target/debug/deps/models_inference-cfb20334748dbac2: crates/bench/benches/models_inference.rs
+
+crates/bench/benches/models_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_baseline-437966be1693b1ae.d: crates/bench/src/bin/par_baseline.rs
+
+/root/repo/target/debug/deps/par_baseline-437966be1693b1ae: crates/bench/src/bin/par_baseline.rs
+
+crates/bench/src/bin/par_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_baseline-44ed26b52cbb4705.d: crates/bench/src/bin/par_baseline.rs
+
+/root/repo/target/debug/deps/par_baseline-44ed26b52cbb4705: crates/bench/src/bin/par_baseline.rs
+
+crates/bench/src/bin/par_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_views-2dd962bb1461cdb2.d: crates/tensor/tests/proptest_views.rs
+
+/root/repo/target/debug/deps/proptest_views-2dd962bb1461cdb2: crates/tensor/tests/proptest_views.rs
+
+crates/tensor/tests/proptest_views.rs:

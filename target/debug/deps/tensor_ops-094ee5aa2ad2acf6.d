@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tensor_ops-094ee5aa2ad2acf6.d: crates/bench/benches/tensor_ops.rs
+
+/root/repo/target/debug/deps/tensor_ops-094ee5aa2ad2acf6: crates/bench/benches/tensor_ops.rs
+
+crates/bench/benches/tensor_ops.rs:

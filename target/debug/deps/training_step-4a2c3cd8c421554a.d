@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training_step-4a2c3cd8c421554a.d: crates/bench/benches/training_step.rs
+
+/root/repo/target/debug/deps/training_step-4a2c3cd8c421554a: crates/bench/benches/training_step.rs
+
+crates/bench/benches/training_step.rs:

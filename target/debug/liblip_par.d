@@ -1,0 +1,1 @@
+/root/repo/target/debug/liblip_par.rlib: /root/repo/crates/par/src/chunk.rs /root/repo/crates/par/src/lib.rs /root/repo/crates/par/src/pool.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mem_baseline-ce47757166c49494.d: crates/bench/src/bin/mem_baseline.rs
+
+/root/repo/target/release/deps/mem_baseline-ce47757166c49494: crates/bench/src/bin/mem_baseline.rs
+
+crates/bench/src/bin/mem_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mem_baseline-e14a34dccf732487.d: crates/bench/src/bin/mem_baseline.rs
+
+/root/repo/target/release/deps/mem_baseline-e14a34dccf732487: crates/bench/src/bin/mem_baseline.rs
+
+crates/bench/src/bin/mem_baseline.rs:

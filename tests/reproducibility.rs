@@ -225,6 +225,72 @@ fn two_epoch_training_invariant_across_thread_budgets() {
     assert_eq!(serial_mse.to_bits(), par_mse.to_bits());
 }
 
+/// FNV-1a over a byte stream — tiny, dependency-free, and stable across
+/// platforms; good enough to pin golden outputs without embedding them.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Golden regression: the forward logits of the fixed fixture must match the
+/// hash captured on pre-strided-view `main`. The strided refactor promised
+/// *bit-identical* numerics — any kernel change that reorders a single
+/// floating-point operation trips this.
+#[test]
+fn forward_logits_match_pre_refactor_golden_hash() {
+    let bytes = lip_par::with_threads(1, forward_logit_bytes);
+    assert_eq!(bytes.len(), 288, "fixture shape drifted");
+    assert_eq!(
+        fnv1a(&bytes),
+        0x9f40_8c68_9529_80e1,
+        "forward logits diverged from the pre-refactor golden output"
+    );
+}
+
+/// Golden regression for the full training loop: two epochs on the fixed
+/// fixture must reproduce the exact parameter bytes (and test MSE bits)
+/// captured on pre-strided-view `main`.
+#[test]
+fn two_epoch_training_matches_pre_refactor_golden_hash() {
+    let (bytes, mse) = lip_par::with_threads(1, || {
+        let ds = generate(DatasetName::ETTh1, GeneratorConfig::test(74));
+        let prep = prepare(&ds, 48, 12);
+        let mut cfg = LiPFormerConfig::small(48, 12, prep.channels);
+        cfg.hidden = 16;
+        cfg.encoder_hidden = 16;
+        cfg.dropout = 0.2;
+        let mut model = LiPFormer::new(cfg, &prep.spec, 7);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            pretrain_epochs: 0,
+            ..TrainConfig::fast()
+        });
+        trainer.fit(&mut model, &prep.train, &prep.val);
+        let store = model.store();
+        let mut bytes = Vec::new();
+        for id in store.ids() {
+            bytes.extend_from_slice(store.name(id).as_bytes());
+            bytes.extend_from_slice(&store.value(id).to_bytes());
+        }
+        (bytes, ForecastMetrics::evaluate(&model, &prep.test, 64).mse)
+    });
+    assert_eq!(bytes.len(), 37563, "parameter inventory drifted");
+    assert_eq!(
+        fnv1a(&bytes),
+        0xb30b_11c1_130d_44d5,
+        "trained parameters diverged from the pre-refactor golden output"
+    );
+    assert_eq!(
+        mse.to_bits(),
+        0x3f6c_572f,
+        "post-training test MSE diverged from the pre-refactor golden value"
+    );
+}
+
 /// The `LIP_THREADS` env override itself (parsed once per process) must
 /// produce identical logits across processes pinned to different budgets.
 /// Reuses the re-exec pattern: each child is a fresh process with its own
