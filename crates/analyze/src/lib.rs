@@ -24,6 +24,7 @@ pub mod infer;
 pub mod lint;
 pub mod plan;
 pub mod rules;
+pub mod schedule;
 pub mod sym;
 
 pub use harness::{check_model, synthetic_batch, CheckReport};
@@ -31,6 +32,7 @@ pub use infer::{validate_graph, TapeSummary, Violation};
 pub use lint::{lint_graphs, LintFinding, LintKind};
 pub use plan::{
     plan_contrastive, plan_forward_loss, validate_config, ContrastivePlan, ForwardPlan,
-    PlanError, PlanVar, SymNode, SymTape,
+    NodeAttr, PlanError, PlanVar, SymNode, SymTape,
 };
+pub use schedule::{InferenceSchedule, Step, Storage};
 pub use sym::{eval_shape, fixed_shape, shape_to_string, SymDim, SymPoly, SymShape};

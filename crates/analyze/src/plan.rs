@@ -17,13 +17,40 @@ use crate::sym::{shape_to_string, SymDim, SymPoly, SymShape};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlanVar(pub usize);
 
-/// One planned node: the op the runtime will record and its symbolic shape.
+/// One planned node: the op the runtime will record, its symbolic shape,
+/// its tape inputs, and whatever compile-time attribute the op carries —
+/// together enough for `lip-exec` to execute the plan without a tape.
 #[derive(Debug, Clone)]
 pub struct SymNode {
     /// Op variant name, exactly as `lip_autograd::Op::name` reports it.
     pub op: &'static str,
     /// Symbolic output shape.
     pub shape: SymShape,
+    /// Tape inputs, in the operand order the runtime op uses.
+    pub inputs: Vec<PlanVar>,
+    /// Compile-time operand the op closes over (scalar, axes, …).
+    pub attr: NodeAttr,
+}
+
+/// The compile-time attribute of a planned node: everything an executor
+/// needs beyond inputs and shapes. The runtime `Op` enum stores the same
+/// data (where it stores it at all — `AddScalar` does not retain its
+/// scalar), so the plan is the authoritative carrier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeAttr {
+    /// Nothing beyond inputs and the output shape.
+    None,
+    /// `AddScalar` / `MulScalar` immediate — bit-exact as the runtime applies it.
+    Scalar(f32),
+    /// `Permute` axis order.
+    Axes(Vec<usize>),
+    /// `SumAxis` / `MeanAxis` / `Concat` axis.
+    Axis(usize),
+    /// `SliceAxis` range.
+    Slice { axis: usize, start: usize, end: usize },
+    /// `Leaf` role: which runtime batch tensor feeds this input
+    /// (`"x"`, `"covariate"`, `"target"`, `"y"`, or the generic `"leaf"`).
+    Label(&'static str),
 }
 
 /// A configuration error or shape inconsistency found while planning,
@@ -37,7 +64,7 @@ pub struct PlanError {
 }
 
 impl PlanError {
-    fn new(stage: &str, message: impl Into<String>) -> Self {
+    pub(crate) fn new(stage: &str, message: impl Into<String>) -> Self {
         PlanError {
             stage: stage.into(),
             message: message.into(),
@@ -102,9 +129,15 @@ impl SymTape {
         &self.nodes[v.0].shape
     }
 
-    fn push(&mut self, op: &'static str, shape: SymShape) -> PlanVar {
+    fn push(
+        &mut self,
+        op: &'static str,
+        shape: SymShape,
+        inputs: Vec<PlanVar>,
+        attr: NodeAttr,
+    ) -> PlanVar {
         self.macs.add_assign(&rules::mac_cost(op, &shape, None));
-        self.nodes.push(SymNode { op, shape });
+        self.nodes.push(SymNode { op, shape, inputs, attr });
         PlanVar(self.nodes.len() - 1)
     }
 
@@ -116,12 +149,17 @@ impl SymTape {
 
     /// Constant leaf of known symbolic shape.
     pub fn leaf(&mut self, shape: SymShape) -> PlanVar {
-        self.push("Leaf", shape)
+        self.push("Leaf", shape, vec![], NodeAttr::Label("leaf"))
+    }
+
+    /// Constant leaf annotated with the runtime batch tensor that feeds it.
+    pub fn leaf_labeled(&mut self, label: &'static str, shape: SymShape) -> PlanVar {
+        self.push("Leaf", shape, vec![], NodeAttr::Label(label))
     }
 
     /// Trainable-parameter leaf (parameters never depend on the batch).
     pub fn param(&mut self, shape: &[usize]) -> PlanVar {
-        self.push("Param", crate::sym::fixed_shape(shape))
+        self.push("Param", crate::sym::fixed_shape(shape), vec![], NodeAttr::None)
     }
 
     // -------------------------------------------------------- arithmetic
@@ -129,7 +167,7 @@ impl SymTape {
     fn binary(&mut self, op: &'static str, a: PlanVar, b: PlanVar) -> Result<PlanVar, PlanError> {
         let shape = rules::broadcast_join(self.shape(a), self.shape(b))
             .map_err(|e| self.err(e))?;
-        Ok(self.push(op, shape))
+        Ok(self.push(op, shape, vec![a, b], NodeAttr::None))
     }
 
     /// Elementwise `a + b` with broadcasting.
@@ -152,16 +190,16 @@ impl SymTape {
         self.binary("Div", a, b)
     }
 
-    /// `a + s`.
-    pub fn add_scalar(&mut self, a: PlanVar) -> PlanVar {
+    /// `a + s`, recording the scalar the runtime applies.
+    pub fn add_scalar(&mut self, a: PlanVar, scalar: f32) -> PlanVar {
         let s = self.shape(a).clone();
-        self.push("AddScalar", s)
+        self.push("AddScalar", s, vec![a], NodeAttr::Scalar(scalar))
     }
 
-    /// `a * s`.
-    pub fn mul_scalar(&mut self, a: PlanVar) -> PlanVar {
+    /// `a * s`, recording the scalar the runtime applies.
+    pub fn mul_scalar(&mut self, a: PlanVar, scalar: f32) -> PlanVar {
         let s = self.shape(a).clone();
-        self.push("MulScalar", s)
+        self.push("MulScalar", s, vec![a], NodeAttr::Scalar(scalar))
     }
 
     /// Batched matrix product.
@@ -170,7 +208,12 @@ impl SymTape {
             .map_err(|e| self.err(e))?;
         self.macs
             .add_assign(&rules::mac_cost("MatMul", &shape, Some(k)));
-        self.nodes.push(SymNode { op: "MatMul", shape });
+        self.nodes.push(SymNode {
+            op: "MatMul",
+            shape,
+            inputs: vec![a, b],
+            attr: NodeAttr::None,
+        });
         Ok(PlanVar(self.nodes.len() - 1))
     }
 
@@ -179,7 +222,7 @@ impl SymTape {
     /// Axis reorder.
     pub fn permute(&mut self, a: PlanVar, axes: &[usize]) -> Result<PlanVar, PlanError> {
         let shape = rules::permute_rule(self.shape(a), axes).map_err(|e| self.err(e))?;
-        Ok(self.push("Permute", shape))
+        Ok(self.push("Permute", shape, vec![a], NodeAttr::Axes(axes.to_vec())))
     }
 
     /// Swap two axes (records a Permute, as the runtime does).
@@ -192,10 +235,11 @@ impl SymTape {
         self.permute(a, &axes)
     }
 
-    /// Reinterpret under a symbolic target shape.
+    /// Reinterpret under a symbolic target shape (the node's own shape *is*
+    /// the reshape target, so no separate attribute is needed).
     pub fn reshape(&mut self, a: PlanVar, target: SymShape) -> Result<PlanVar, PlanError> {
         let shape = rules::reshape_rule(self.shape(a), &target).map_err(|e| self.err(e))?;
-        Ok(self.push("Reshape", shape))
+        Ok(self.push("Reshape", shape, vec![a], NodeAttr::None))
     }
 
     /// Contiguous sub-range along an axis.
@@ -208,28 +252,28 @@ impl SymTape {
     ) -> Result<PlanVar, PlanError> {
         let shape = rules::slice_rule(self.shape(a), axis, start, end)
             .map_err(|e| self.err(e))?;
-        Ok(self.push("SliceAxis", shape))
+        Ok(self.push("SliceAxis", shape, vec![a], NodeAttr::Slice { axis, start, end }))
     }
 
     /// Concatenate along an axis.
     pub fn concat(&mut self, parts: &[PlanVar], axis: usize) -> Result<PlanVar, PlanError> {
         let shapes: Vec<SymShape> = parts.iter().map(|p| self.shape(*p).clone()).collect();
         let shape = rules::concat_rule(&shapes, axis).map_err(|e| self.err(e))?;
-        Ok(self.push("Concat", shape))
+        Ok(self.push("Concat", shape, parts.to_vec(), NodeAttr::Axis(axis)))
     }
 
     /// Row gather with a symbolic lookup count.
     pub fn gather_rows(&mut self, table: PlanVar, count: SymDim) -> Result<PlanVar, PlanError> {
         let shape = rules::gather_rows_rule(self.shape(table), count)
             .map_err(|e| self.err(e))?;
-        Ok(self.push("GatherRows", shape))
+        Ok(self.push("GatherRows", shape, vec![table], NodeAttr::None))
     }
 
     // ------------------------------------------------------- nonlinearity
 
     fn unary(&mut self, op: &'static str, a: PlanVar) -> PlanVar {
         let s = self.shape(a).clone();
-        self.push(op, s)
+        self.push(op, s, vec![a], NodeAttr::None)
     }
 
     /// Softmax over the last axis.
@@ -272,13 +316,13 @@ impl SymTape {
     /// Sum along `axis` (kept as size 1).
     pub fn sum_axis(&mut self, a: PlanVar, axis: usize) -> Result<PlanVar, PlanError> {
         let shape = rules::reduce_axis_rule(self.shape(a), axis).map_err(|e| self.err(e))?;
-        Ok(self.push("SumAxis", shape))
+        Ok(self.push("SumAxis", shape, vec![a], NodeAttr::Axis(axis)))
     }
 
     /// Mean along `axis` (kept as size 1).
     pub fn mean_axis(&mut self, a: PlanVar, axis: usize) -> Result<PlanVar, PlanError> {
         let shape = rules::reduce_axis_rule(self.shape(a), axis).map_err(|e| self.err(e))?;
-        Ok(self.push("MeanAxis", shape))
+        Ok(self.push("MeanAxis", shape, vec![a], NodeAttr::Axis(axis)))
     }
 
     // -------------------------------------------------------------- losses
@@ -287,7 +331,7 @@ impl SymTape {
     pub fn smooth_l1(&mut self, pred: PlanVar, target: PlanVar) -> Result<PlanVar, PlanError> {
         let shape = rules::paired_loss_rule(self.shape(pred), self.shape(target))
             .map_err(|e| self.err(e))?;
-        Ok(self.push("SmoothL1", shape))
+        Ok(self.push("SmoothL1", shape, vec![pred, target], NodeAttr::None))
     }
 
     /// Row-wise cross-entropy (scalar); charges 5×numel(logits) MACs.
@@ -298,6 +342,8 @@ impl SymTape {
         self.nodes.push(SymNode {
             op: "CrossEntropyRows",
             shape,
+            inputs: vec![logits],
+            attr: NodeAttr::None,
         });
         Ok(PlanVar(self.nodes.len() - 1))
     }
@@ -415,7 +461,9 @@ fn sym_mhsa(t: &mut SymTape, x: PlanVar, dim: usize, heads: usize) -> Result<Pla
     let vh = split(t, v)?;
     let kt = t.transpose(kh, 2, 3)?;
     let scores = t.matmul(qh, kt)?;
-    let scaled = t.mul_scalar(scores);
+    // same expression as MultiHeadSelfAttention::forward — the executor
+    // applies the plan's scalar bit-for-bit
+    let scaled = t.mul_scalar(scores, 1.0 / (dh as f32).sqrt());
     let attn = t.softmax(scaled);
     let ctx = t.matmul(attn, vh)?;
     let merged = t.permute(ctx, &[0, 2, 1, 3])?;
@@ -430,7 +478,7 @@ fn sym_layer_norm(t: &mut SymTape, x: PlanVar, dim: usize) -> Result<PlanVar, Pl
     let centered = t.sub(x, mu)?;
     let sq = t.square(centered);
     let var = t.mean_axis(sq, last)?;
-    let var_eps = t.add_scalar(var);
+    let var_eps = t.add_scalar(var, 1e-5); // LayerNorm::new's eps
     let std = t.sqrt(var_eps);
     let normed = t.div(centered, std)?;
     let gamma = t.param(&[dim]);
@@ -476,7 +524,10 @@ fn sym_covariate_encoder(
     }
     let mut parts: Vec<PlanVar> = Vec::new();
     if numerical_width > 0 {
-        parts.push(t.leaf(vec![SymDim::batch(), f(horizon), f(numerical_width)]));
+        parts.push(t.leaf_labeled(
+            "covariate",
+            vec![SymDim::batch(), f(horizon), f(numerical_width)],
+        ));
     }
     for &card in cardinalities {
         if card == 0 || categorical_embed == 0 {
@@ -523,7 +574,7 @@ pub fn plan_forward_loss(
     let bc = SymDim::batch_times(c);
 
     let mut t = SymTape::new();
-    let x = t.leaf(vec![SymDim::batch(), f(tl), f(c)]);
+    let x = t.leaf_labeled("x", vec![SymDim::batch(), f(tl), f(c)]);
 
     // ---- instance normalization
     t.stage("instance_norm");
@@ -607,7 +658,7 @@ pub fn plan_forward_loss(
 
     // ---- training objective
     t.stage("loss");
-    let target = t.leaf(vec![SymDim::batch(), f(l), f(c)]);
+    let target = t.leaf_labeled("target", vec![SymDim::batch(), f(l), f(c)]);
     let loss = t.smooth_l1(pred, target)?;
 
     Ok(ForwardPlan { tape: t, pred, loss })
@@ -626,7 +677,7 @@ pub fn plan_contrastive(
     let v_c = sym_covariate_encoder(&mut t, spec, l, eh, config.categorical_embed)?;
 
     t.stage("target_encoder");
-    let y = t.leaf(vec![SymDim::batch(), f(l), f(c)]);
+    let y = t.leaf_labeled("y", vec![SymDim::batch(), f(l), f(c)]);
     let lifted = sym_linear(&mut t, y, c, eh, true)?;
     let v_t = sym_trunk(&mut t, lifted, l, eh)?;
 
@@ -638,7 +689,7 @@ pub fn plan_contrastive(
         let rank = t.shape(v).len();
         let sq = t.square(v);
         let ss = t.sum_axis(sq, rank - 1)?;
-        let ss_eps = t.add_scalar(ss);
+        let ss_eps = t.add_scalar(ss, 1e-8); // l2_normalize_rows' epsilon
         let norm = t.sqrt(ss_eps);
         t.div(v, norm)
     };
@@ -652,7 +703,7 @@ pub fn plan_contrastive(
     let logits_t = t.transpose(logits, 0, 1)?;
     let loss_cols = t.cross_entropy_rows(logits_t)?;
     let total = t.add(loss_rows, loss_cols)?;
-    let loss = t.mul_scalar(total);
+    let loss = t.mul_scalar(total, 0.5);
 
     Ok(ContrastivePlan { tape: t, loss })
 }

@@ -163,6 +163,21 @@ pub fn restore_into(
     Ok(())
 }
 
+/// One-call deployment load: read a checkpoint, rebuild the model from the
+/// header's configuration, and restore the saved parameters into it. `spec`
+/// must be the covariate spec the saved model was constructed with (the
+/// parameter-name check rejects a mismatched encoder layout).
+pub fn load_model(
+    path: &Path,
+    spec: &lip_data::CovariateSpec,
+) -> Result<crate::model::LiPFormer, CheckpointError> {
+    use crate::forecaster::Forecaster;
+    let (header, tensors) = load(path)?;
+    let mut model = crate::model::LiPFormer::new(header.config.clone(), spec, 0);
+    restore_into(&header, &tensors, model.store_mut())?;
+    Ok(model)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +219,32 @@ mod tests {
             assert_eq!(model.store().is_frozen(a), fresh.store().is_frozen(b));
         }
         assert_eq!(model.num_parameters(), fresh.num_parameters());
+    }
+
+    #[test]
+    fn load_model_rebuilds_an_equivalent_model() {
+        let cfg = LiPFormerConfig::small(24, 8, 2);
+        let model = LiPFormer::new(cfg.clone(), &spec(), 17);
+        let path = tmp("load_model.ckpt");
+        save(&path, &cfg, model.store()).unwrap();
+
+        let loaded = load_model(&path, &spec()).unwrap();
+        assert!(loaded.has_enriching());
+        assert_eq!(loaded.num_parameters(), model.num_parameters());
+        for (a, b) in model.store().ids().zip(loaded.store().ids()) {
+            assert_eq!(model.store().value(a), loaded.store().value(b));
+        }
+
+        // a spec with a different encoder layout cannot host these params
+        let wrong = CovariateSpec {
+            numerical: 3,
+            cardinalities: vec![4],
+            time_features: 4,
+        };
+        assert!(matches!(
+            load_model(&path, &wrong),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! # lip-exec
+//!
+//! A plan-compiled inference executor for LiPFormer: compile the symbolic
+//! forward plan (`lip-analyze`) once, then run forward passes with **zero
+//! tape construction and zero refcount traffic** — every intermediate lives
+//! in one flat `Vec<f32>` arena whose layout is derived from the schedule's
+//! liveness analysis.
+//!
+//! The pipeline is:
+//!
+//! 1. [`compile_inference`] — plan the forward graph symbolically, schedule
+//!    it (DCE, liveness, slot pooling), verify the plan node-for-node
+//!    against a *recorded* tape of the very model being compiled, and pack
+//!    the model's parameters into the arena's parameter segment. The result
+//!    is a [`CompiledModel`] whose shapes are affine in the batch size `B`:
+//!    one compilation serves every `B`.
+//! 2. [`CompiledModel::bind`] — evaluate the symbolic arena layout at a
+//!    concrete `B`: size the single allocation, resolve every step's views,
+//!    strides, scratch packing and liveness spans into a [`BoundModel`].
+//! 3. [`BoundModel::run`] — execute the step list against a batch. Kernels
+//!    are the *same* `lip_tensor::kernel` entry points the tape uses, so
+//!    outputs are byte-identical to `Graph`-recorded inference at any
+//!    `lip-par` thread budget (the differential tests enforce this).
+//!
+//! The arena-safety contract — a buffer is never read after the schedule
+//! declares it dead — is tested by poisoning dead slots after every step
+//! ([`BoundModel::run_with_poison`]) and asserting unchanged output bytes.
+
+pub mod compile;
+pub mod run;
+
+pub use compile::{compile_inference, CompileError, CompiledModel};
+pub use run::BoundModel;

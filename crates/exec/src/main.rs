@@ -1,0 +1,184 @@
+//! `lip-exec` — the compiled-inference benchmark and parity gate.
+//!
+//! For each of the nine synthetic benchmarks: build the small LiPFormer for
+//! its standard (48, 24) task, compile it once ([`lip_exec::compile_inference`]),
+//! bind the arena at batch 32, and compare the executor's prediction bytes
+//! against tape inference at one thread and at the full `lip-par` budget.
+//! Any byte divergence — or an arena that fails to undercut the tape's peak
+//! allocation — is a contract violation and the process exits non-zero.
+//!
+//! ```text
+//! cargo run --release -p lip-exec [OUT.json]
+//! ```
+//!
+//! The report (default `BENCH_exec.json`) lists median forward latency for
+//! both engines, the speedup, the single arena allocation in bytes, and the
+//! tape's peak allocation (every distinct storage buffer the recorded graph
+//! retains) for the same forward pass.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use lip_autograd::Graph;
+use lip_data::pipeline::prepare;
+use lip_data::window::Batch;
+use lip_data::{generate, DatasetName, GeneratorConfig};
+use lip_exec::compile_inference;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+
+/// One dataset's executor-vs-tape measurements.
+struct ExecRecord {
+    dataset: String,
+    batch: usize,
+    threads: usize,
+    tape_forward_s: f64,
+    exec_forward_s: f64,
+    speedup: f64,
+    arena_bytes: usize,
+    tape_peak_bytes: usize,
+}
+
+lip_serde::json_struct!(ExecRecord {
+    dataset,
+    batch,
+    threads,
+    tape_forward_s,
+    exec_forward_s,
+    speedup,
+    arena_bytes,
+    tape_peak_bytes,
+});
+
+/// Tape-engine forward pass: prediction bytes plus the tape's peak
+/// allocation — the sum over every distinct storage buffer the graph's
+/// nodes retain (views share storage and are counted once).
+fn tape_forward(model: &LiPFormer, batch: &Batch) -> (Vec<u8>, usize) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut g = Graph::new(model.store());
+    let y = model.forward(&mut g, batch, false, &mut rng);
+    let mut storages: HashMap<usize, usize> = HashMap::new();
+    for i in 0..g.len() {
+        let t = g.value(g.var(i));
+        let elems = t.view_ref().data.len();
+        let entry = storages.entry(t.storage_ptr()).or_insert(0);
+        *entry = (*entry).max(elems);
+    }
+    let peak = storages.values().sum::<usize>() * std::mem::size_of::<f32>();
+    (g.value(y).to_bytes(), peak)
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    samples[samples.len() / 2]
+}
+
+/// Median of `reps` timed runs of `f` (one untimed warmup).
+fn time_runs(mut f: impl FnMut(), reps: usize) -> f64 {
+    f();
+    median(
+        (0..reps)
+            .map(|_| {
+                let started = Instant::now();
+                f();
+                started.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_exec.json".to_string());
+    let threads = lip_par::max_threads();
+    let batch_size = 32usize;
+    let reps = 5usize;
+    println!(
+        "lip-exec: nine-benchmark compiled-inference sweep, tape vs executor, \
+         batch {batch_size}, {threads} thread(s)"
+    );
+
+    let mut records = Vec::new();
+    let mut failed = false;
+    for name in DatasetName::all() {
+        let ds = generate(name, GeneratorConfig::test(3));
+        let prep = prepare(&ds, 48, 24);
+        let config = LiPFormerConfig::small(48, 24, prep.channels);
+        let model = LiPFormer::new(config, &prep.spec, 7);
+        let compiled = match compile_inference(&model, &prep.spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{name:?}: COMPILE FAILED: {e}");
+                std::process::exit(1);
+            }
+        };
+        let indices: Vec<usize> = (0..batch_size.min(prep.train.len())).collect();
+        let batch = prep.train.batch(&indices);
+        let mut bound = compiled.bind(indices.len());
+
+        let (tape_serial, tape_peak_bytes) = lip_par::with_threads(1, || tape_forward(&model, &batch));
+        let exec_serial = lip_par::with_threads(1, || bound.run(&batch).to_bytes());
+        let (tape_full, _) = lip_par::with_threads(threads, || tape_forward(&model, &batch));
+        let exec_full = lip_par::with_threads(threads, || bound.run(&batch).to_bytes());
+        if exec_serial != tape_serial || exec_full != tape_full || tape_serial != tape_full {
+            eprintln!("{name:?}: EXECUTOR OUTPUT DIVERGES FROM TAPE — byte-parity contract broken");
+            failed = true;
+        }
+        let arena_bytes = bound.arena_bytes();
+        if arena_bytes >= tape_peak_bytes {
+            eprintln!(
+                "{name:?}: arena {arena_bytes} B does not undercut tape peak {tape_peak_bytes} B"
+            );
+            failed = true;
+        }
+
+        let tape_forward_s = lip_par::with_threads(threads, || {
+            time_runs(
+                || {
+                    std::hint::black_box(tape_forward(&model, &batch).0.len());
+                },
+                reps,
+            )
+        });
+        let exec_forward_s = lip_par::with_threads(threads, || {
+            time_runs(
+                || {
+                    std::hint::black_box(bound.run(&batch).numel());
+                },
+                reps,
+            )
+        });
+        let speedup = tape_forward_s / exec_forward_s;
+        println!(
+            "  {name:>13?}  tape {:>9.3} ms   exec {:>9.3} ms   ×{speedup:.2}   arena {:>8} B vs tape {:>9} B",
+            tape_forward_s * 1e3,
+            exec_forward_s * 1e3,
+            arena_bytes,
+            tape_peak_bytes
+        );
+        records.push(ExecRecord {
+            dataset: format!("{name:?}"),
+            batch: indices.len(),
+            threads,
+            tape_forward_s,
+            exec_forward_s,
+            speedup,
+            arena_bytes,
+            tape_peak_bytes,
+        });
+    }
+
+    let json = lip_serde::to_string_pretty(&records);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("compiled-inference baseline → {out_path}");
+
+    if failed {
+        eprintln!("FAILED: executor parity or arena contract violated");
+        std::process::exit(1);
+    }
+}

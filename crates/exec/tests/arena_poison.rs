@@ -1,0 +1,120 @@
+//! Arena-safety property test: the executor's liveness analysis claims a
+//! slot is never read after its last scheduled use. Enforce that claim by
+//! *poisoning* every slot the moment it dies (plus all non-parameter arena
+//! storage before the first step) and asserting the prediction bytes still
+//! equal tape inference. If any kernel read a dead or uninitialized buffer,
+//! the poison (NaN or a huge magnitude) would contaminate the output.
+
+use lip_analyze::synthetic_batch;
+use lip_autograd::Graph;
+use lip_data::window::Batch;
+use lip_data::CovariateSpec;
+use lip_exec::compile_inference;
+use lip_rng::prop_check;
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+
+fn tape_pred_bytes(model: &LiPFormer, batch: &Batch) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut g = Graph::new(model.store());
+    let y = model.forward(&mut g, batch, false, &mut rng);
+    g.value(y).to_bytes()
+}
+
+fn toy_config() -> LiPFormerConfig {
+    let mut c = LiPFormerConfig::small(24, 8, 2);
+    c.patch_len = 6;
+    c.hidden = 8;
+    c.heads = 2;
+    c.encoder_hidden = 8;
+    c
+}
+
+fn variant(which: usize) -> LiPFormerConfig {
+    let base = toy_config();
+    match which {
+        0 => base,
+        1 => base.with_ln(),
+        2 => base.with_ffns(),
+        3 => base.with_ln().with_ffns(),
+        4 => base.without_cross_patch(),
+        _ => base.without_inter_patch(),
+    }
+}
+
+fn spec(explicit: bool) -> CovariateSpec {
+    if explicit {
+        CovariateSpec {
+            numerical: 2,
+            cardinalities: vec![5, 3],
+            time_features: 4,
+        }
+    } else {
+        CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        }
+    }
+}
+
+#[test]
+fn poisoning_dead_slots_never_changes_output_bytes() {
+    prop_check!(cases = 12, seed = 0xa12e, |g| {
+        let config = variant(g.usize_in(0, 6));
+        let spec = spec(g.usize_in(0, 2) == 1);
+        let b = g.usize_in(1, 6);
+        let poison = g.pick(&[f32::NAN, 1e30, -777.25]);
+        let threads = g.pick(&[1usize, 2, 3, 8]);
+
+        let model = LiPFormer::new(config.clone(), &spec, 11);
+        let compiled = compile_inference(&model, &spec).expect("compile");
+        let batch = synthetic_batch(&config, &spec, b);
+        let mut bound = compiled.bind(b);
+        let want = lip_par::with_threads(1, || tape_pred_bytes(&model, &batch));
+        let got =
+            lip_par::with_threads(threads, || bound.run_with_poison(&batch, poison).to_bytes());
+        assert_eq!(
+            got, want,
+            "poison {poison} leaked into the output (b={b}, threads={threads})"
+        );
+    });
+}
+
+/// Regression guard for in-place/aliasing hazards: a materializing `Reshape`
+/// (or any step) whose input dies at the very step that consumes it must
+/// still write to a *different* physical span — the scheduler allocates the
+/// output slot before releasing the dying input. `assert_no_aliasing`
+/// re-checks every bound step's write span against its read spans.
+#[test]
+fn no_step_writes_a_span_it_reads() {
+    for which in 0..6 {
+        let config = variant(which);
+        for explicit in [false, true] {
+            let spec = spec(explicit);
+            let model = LiPFormer::new(config.clone(), &spec, 3);
+            let compiled = compile_inference(&model, &spec).expect("compile");
+            for b in [1usize, 4, 32] {
+                compiled.bind(b).assert_no_aliasing();
+            }
+        }
+    }
+}
+
+/// The poisoned run and the plain run share one bound arena — interleaving
+/// them must not let state leak from one into the next (every run fully
+/// rewrites what it reads).
+#[test]
+fn poisoned_and_plain_runs_interleave_cleanly() {
+    let config = toy_config();
+    let spec = spec(true);
+    let model = LiPFormer::new(config.clone(), &spec, 9);
+    let compiled = compile_inference(&model, &spec).expect("compile");
+    let batch = synthetic_batch(&config, &spec, 4);
+    let mut bound = compiled.bind(4);
+    let want = tape_pred_bytes(&model, &batch);
+    assert_eq!(bound.run(&batch).to_bytes(), want);
+    assert_eq!(bound.run_with_poison(&batch, f32::NAN).to_bytes(), want);
+    assert_eq!(bound.run(&batch).to_bytes(), want, "poison must not persist");
+}

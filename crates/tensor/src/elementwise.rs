@@ -12,6 +12,7 @@
 
 use lip_par::{par_chunks_mut, ELEMWISE_CHUNK};
 
+use crate::kernel;
 use crate::shape::{broadcast_shapes, broadcast_strides, numel, Odometer2};
 use crate::Tensor;
 
@@ -19,102 +20,37 @@ impl Tensor {
     /// Apply `f` to every element (in logical row-major order).
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut out = vec![0.0f32; self.numel()];
-        if self.is_contiguous() {
-            let src = self.data();
-            par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
-                let len = dst.len();
-                for (d, &s) in dst.iter_mut().zip(&src[start..start + len]) {
-                    *d = f(s);
-                }
-            });
-        } else {
-            let raw: &[f32] = &self.data;
-            let base = self.offset;
-            let zero = vec![0usize; self.rank()];
-            par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
-                let odo =
-                    Odometer2::starting_at(&self.shape, self.strides.clone(), zero.clone(), start);
-                for (d, (a, _)) in dst.iter_mut().zip(odo) {
-                    *d = f(raw[base + a]);
-                }
-            });
-        }
+        kernel::map_into(self.view_ref(), &mut out, f);
         Tensor::from_vec(out, &self.shape)
     }
 
     /// Combine with `rhs` elementwise under broadcasting.
+    ///
+    /// The output shape is decided per fast path (mirroring the dispatch in
+    /// [`kernel::zip_into`], which must stay in sync): equal-shape / suffix /
+    /// rhs-scalar cases keep `self.shape`, the lhs-scalar case keeps
+    /// `rhs.shape`, and the general case broadcasts.
     pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
-        // Fast path 1: identical shapes, both dense.
-        if self.shape == rhs.shape && self.is_contiguous() && rhs.is_contiguous() {
-            let (a_data, b_data) = (self.data(), rhs.data());
-            let mut out = vec![0.0f32; a_data.len()];
-            par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
-                let a = &a_data[start..start + dst.len()];
-                let b = &b_data[start..start + dst.len()];
-                for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
-                    *d = f(x, y);
-                }
-            });
-            return Tensor::from_vec(out, &self.shape);
-        }
-        // Fast path 2: one side is a scalar.
-        if rhs.numel() == 1 {
-            let b = rhs.data[rhs.offset];
-            return self.map(|a| f(a, b));
-        }
-        if self.numel() == 1 {
-            let a = self.data[self.offset];
-            let out = rhs.map(|b| f(a, b));
-            return out.reshape(rhs.shape());
-        }
-        // Fast path 3: rhs shape is a trailing suffix of lhs (bias pattern),
-        // both dense.
-        if rhs.rank() <= self.rank()
+        let out_shape: Vec<usize> = if self.shape == rhs.shape
+            && self.is_contiguous()
+            && rhs.is_contiguous()
+        {
+            self.shape.clone()
+        } else if rhs.numel() == 1 {
+            self.shape.clone()
+        } else if self.numel() == 1 {
+            rhs.shape.clone()
+        } else if rhs.rank() <= self.rank()
             && self.shape[self.rank() - rhs.rank()..] == *rhs.shape()
             && self.is_contiguous()
             && rhs.is_contiguous()
         {
-            let block = rhs.numel();
-            debug_assert!(
-                block > 0 && self.numel() % block == 0,
-                "suffix block {block} does not tile {:?}",
-                self.shape
-            );
-            let (a_data, b_data) = (self.data(), rhs.data());
-            let mut out = vec![0.0f32; a_data.len()];
-            // chunks hold whole suffix blocks so the modular index never
-            // splits inside a block
-            let chunk = (ELEMWISE_CHUNK / block).max(1) * block;
-            par_chunks_mut(&mut out, chunk, |_, start, dst| {
-                let a = &a_data[start..start + dst.len()];
-                for (db, ab) in dst.chunks_mut(block).zip(a.chunks(block)) {
-                    for ((d, &x), &y) in db.iter_mut().zip(ab).zip(b_data.iter()) {
-                        *d = f(x, y);
-                    }
-                }
-            });
-            return Tensor::from_vec(out, &self.shape);
-        }
-        // General strided broadcast over the operands' actual strides: each
-        // chunk re-seats the odometer at its start offset and walks its own
-        // linear range of the logical output space.
-        let out_shape = broadcast_shapes(&self.shape, &rhs.shape)
-            .unwrap_or_else(|e| panic!("{e}"));
-        let sa = self.strides_for_broadcast(&out_shape);
-        let sb = rhs.strides_for_broadcast(&out_shape);
-        let (a_raw, b_raw): (&[f32], &[f32]) = (&self.data, &rhs.data);
-        let (a_base, b_base) = (self.offset, rhs.offset);
+            self.shape.clone()
+        } else {
+            broadcast_shapes(&self.shape, &rhs.shape).unwrap_or_else(|e| panic!("{e}"))
+        };
         let mut out = vec![0.0f32; numel(&out_shape)];
-        par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
-            let odo = Odometer2::starting_at(&out_shape, sa.clone(), sb.clone(), start);
-            for (d, (a, b)) in dst.iter_mut().zip(odo) {
-                debug_assert!(
-                    a_base + a < a_raw.len() && b_base + b < b_raw.len(),
-                    "broadcast odometer left the operand buffers"
-                );
-                *d = f(a_raw[a_base + a], b_raw[b_base + b]);
-            }
-        });
+        kernel::zip_into(self.view_ref(), rhs.view_ref(), &out_shape, &mut out, f);
         Tensor::from_vec(out, &out_shape)
     }
 
@@ -273,8 +209,10 @@ impl Tensor {
     }
 }
 
+/// The tanh-approximated GELU itself, exposed for the compiled executor
+/// (which must apply the byte-identical scalar function).
 #[inline]
-fn gelu_scalar(x: f32) -> f32 {
+pub fn gelu_scalar(x: f32) -> f32 {
     const SQRT_2_OVER_PI: f32 = 0.797_884_56;
     0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
 }

@@ -1,0 +1,394 @@
+//! Storage-level compute cores shared by the `Tensor` methods and the
+//! arena executor in `lip-exec`.
+//!
+//! Each function here writes into a caller-provided output slice instead of
+//! allocating, and reads operands through [`ViewRef`] — a borrowed
+//! (storage, offset, shape, strides) quadruple — so the same code path runs
+//! whether the bytes live in a `Tensor`'s `Arc` storage or in a preallocated
+//! arena. The `Tensor` wrappers in `elementwise.rs` / `matmul.rs` /
+//! `reduce.rs` / `tensor.rs` delegate here, which is what makes the executor
+//! byte-identical to the tape by construction: there is exactly one
+//! implementation of every kernel, with the same chunking, the same
+//! accumulation order, and the same `lip-par` fan-out.
+//!
+//! Every kernel short-circuits on a zero-numel output, so empty views never
+//! reach the chunk-size arithmetic or the density `debug_assert!`s.
+
+use lip_par::{par_chunks_mut, ELEMWISE_CHUNK, MATMUL_CHUNK_MACS};
+
+use crate::shape::{broadcast_shapes, broadcast_strides, is_row_major, numel, split_at_axis, Odometer2};
+
+/// A borrowed strided view over raw storage: everything a kernel needs to
+/// read one operand, with no ownership and no refcount traffic.
+#[derive(Clone, Copy)]
+pub struct ViewRef<'a> {
+    /// Backing storage; logical element `idx` lives at `data[offset + idx·strides]`.
+    pub data: &'a [f32],
+    /// Flat offset of the view's first logical element.
+    pub offset: usize,
+    pub shape: &'a [usize],
+    pub strides: &'a [usize],
+}
+
+impl ViewRef<'_> {
+    pub fn numel(&self) -> usize {
+        numel(self.shape)
+    }
+
+    pub fn is_contiguous(&self) -> bool {
+        is_row_major(self.shape, self.strides)
+    }
+
+    /// Dense row-major slice of a contiguous view (`&[]` when empty).
+    fn contiguous_slice(&self) -> &[f32] {
+        debug_assert!(self.is_contiguous());
+        let n = self.numel();
+        if n == 0 {
+            return &[];
+        }
+        &self.data[self.offset..self.offset + n]
+    }
+}
+
+/// Broadcast `strides` (belonging to `shape`) up to `out_shape`: size-1 and
+/// missing-leading axes get stride 0.
+fn strides_for_broadcast(shape: &[usize], strides: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    assert!(
+        out_shape.len() >= shape.len(),
+        "shape {shape:?} does not broadcast to {out_shape:?}"
+    );
+    let pad = out_shape.len() - shape.len();
+    let mut out = vec![0usize; out_shape.len()];
+    for (i, o) in out.iter_mut().enumerate() {
+        if i < pad {
+            continue;
+        }
+        let dim = shape[i - pad];
+        debug_assert!(
+            dim == out_shape[i] || dim == 1,
+            "shape {shape:?} does not broadcast to {out_shape:?}"
+        );
+        if dim != 1 {
+            *o = strides[i - pad];
+        }
+    }
+    out
+}
+
+/// `out[i] = f(src[i])` in logical row-major order.
+pub fn map_into(src: ViewRef<'_>, out: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    debug_assert_eq!(out.len(), src.numel());
+    if out.is_empty() {
+        return;
+    }
+    if src.is_contiguous() {
+        let s = src.contiguous_slice();
+        par_chunks_mut(out, ELEMWISE_CHUNK, |_, start, dst| {
+            let len = dst.len();
+            for (d, &v) in dst.iter_mut().zip(&s[start..start + len]) {
+                *d = f(v);
+            }
+        });
+    } else {
+        let raw = src.data;
+        let base = src.offset;
+        let zero = vec![0usize; src.shape.len()];
+        par_chunks_mut(out, ELEMWISE_CHUNK, |_, start, dst| {
+            let odo = Odometer2::starting_at(src.shape, src.strides.to_vec(), zero.clone(), start);
+            for (d, (a, _)) in dst.iter_mut().zip(odo) {
+                *d = f(raw[base + a]);
+            }
+        });
+    }
+}
+
+/// Pack `src` into dense row-major order (the `contiguous()` gather).
+pub fn gather_into(src: ViewRef<'_>, out: &mut [f32]) {
+    map_into(src, out, |v| v);
+}
+
+/// `out[i] = f(a[i], b[i])` under broadcasting. `out_shape` is the caller's
+/// resolved output shape; the dispatch below MUST stay in sync with
+/// `Tensor::zip`'s per-path output-shape choice (same conditions, same
+/// order), since which fast path runs decides nothing about the values —
+/// every path computes each output element identically — but the shapes must
+/// agree with what the wrapper allocated.
+pub fn zip_into(
+    a: ViewRef<'_>,
+    b: ViewRef<'_>,
+    out_shape: &[usize],
+    out: &mut [f32],
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) {
+    debug_assert_eq!(out.len(), numel(out_shape));
+    if out.is_empty() {
+        return;
+    }
+    // Fast path 1: identical shapes, both dense.
+    if a.shape == b.shape && a.is_contiguous() && b.is_contiguous() {
+        let (a_data, b_data) = (a.contiguous_slice(), b.contiguous_slice());
+        par_chunks_mut(out, ELEMWISE_CHUNK, |_, start, dst| {
+            let aa = &a_data[start..start + dst.len()];
+            let bb = &b_data[start..start + dst.len()];
+            for ((d, &x), &y) in dst.iter_mut().zip(aa).zip(bb) {
+                *d = f(x, y);
+            }
+        });
+        return;
+    }
+    // Fast path 2: one side is a scalar.
+    if b.numel() == 1 {
+        let y = b.data[b.offset];
+        return map_into(a, out, |x| f(x, y));
+    }
+    if a.numel() == 1 {
+        let x = a.data[a.offset];
+        return map_into(b, out, |y| f(x, y));
+    }
+    // Fast path 3: b's shape is a trailing suffix of a's (bias pattern),
+    // both dense.
+    if b.shape.len() <= a.shape.len()
+        && a.shape[a.shape.len() - b.shape.len()..] == *b.shape
+        && a.is_contiguous()
+        && b.is_contiguous()
+    {
+        let block = b.numel();
+        debug_assert!(
+            block > 0 && numel(a.shape) % block == 0,
+            "suffix block {block} does not tile {:?}",
+            a.shape
+        );
+        let (a_data, b_data) = (a.contiguous_slice(), b.contiguous_slice());
+        // chunks hold whole suffix blocks so the modular index never splits
+        // inside a block
+        let chunk = (ELEMWISE_CHUNK / block).max(1) * block;
+        par_chunks_mut(out, chunk, |_, start, dst| {
+            let aa = &a_data[start..start + dst.len()];
+            for (db, ab) in dst.chunks_mut(block).zip(aa.chunks(block)) {
+                for ((d, &x), &y) in db.iter_mut().zip(ab).zip(b_data.iter()) {
+                    *d = f(x, y);
+                }
+            }
+        });
+        return;
+    }
+    // General strided broadcast over the operands' actual strides: each
+    // chunk re-seats the odometer at its start offset and walks its own
+    // linear range of the logical output space.
+    let sa = strides_for_broadcast(a.shape, a.strides, out_shape);
+    let sb = strides_for_broadcast(b.shape, b.strides, out_shape);
+    let (a_raw, b_raw) = (a.data, b.data);
+    let (a_base, b_base) = (a.offset, b.offset);
+    par_chunks_mut(out, ELEMWISE_CHUNK, |_, start, dst| {
+        let odo = Odometer2::starting_at(out_shape, sa.clone(), sb.clone(), start);
+        for (d, (x, y)) in dst.iter_mut().zip(odo) {
+            debug_assert!(
+                a_base + x < a_raw.len() && b_base + y < b_raw.len(),
+                "broadcast odometer left the operand buffers"
+            );
+            *d = f(a_raw[a_base + x], b_raw[b_base + y]);
+        }
+    });
+}
+
+/// Batched matmul over dense row-major operands of rank ≥ 2 (leading axes
+/// broadcast). Zeroes `out` itself — arena slots may hold stale bytes — then
+/// row-partitions exactly like `Tensor::matmul`.
+pub fn matmul_packed_into(
+    a: &[f32],
+    a_shape: &[usize],
+    b: &[f32],
+    b_shape: &[usize],
+    out: &mut [f32],
+) {
+    let (ar, br) = (a_shape.len(), b_shape.len());
+    assert!(ar >= 2 && br >= 2, "matmul_packed_into wants rank >= 2 operands");
+    let (m, ka) = (a_shape[ar - 2], a_shape[ar - 1]);
+    let (kb, n) = (b_shape[br - 2], b_shape[br - 1]);
+    debug_assert_eq!(ka, kb, "inner dims diverged from matmul_shapes");
+    let k = ka;
+
+    let batch_a = &a_shape[..ar - 2];
+    let batch_b = &b_shape[..br - 2];
+    let batch_shape =
+        broadcast_shapes(batch_a, batch_b).unwrap_or_else(|e| panic!("matmul batch axes: {e}"));
+    let batches = numel(&batch_shape);
+
+    // Flat offsets of each batch's matrix in the two buffers.
+    let sa: Vec<usize> = broadcast_strides(batch_a, &batch_shape)
+        .iter()
+        .map(|s| s * m * k)
+        .collect();
+    let sb: Vec<usize> = broadcast_strides(batch_b, &batch_shape)
+        .iter()
+        .map(|s| s * k * n)
+        .collect();
+    let offsets: Vec<(usize, usize)> = Odometer2::new(&batch_shape, sa, sb).collect();
+    debug_assert_eq!(offsets.len(), batches);
+    debug_assert_eq!(out.len(), batches * m * n);
+
+    out.fill(0.0);
+    if m > 0 && n > 0 && batches > 0 {
+        // Partition over flattened output rows (batches * m of them),
+        // ~MATMUL_CHUNK_MACS multiply-accumulates per chunk. Row count per
+        // chunk depends only on (k, n), so the split is a pure function of
+        // the problem shape.
+        let rows_per_chunk = (MATMUL_CHUNK_MACS / (k * n).max(1)).max(1);
+        par_chunks_mut(out, rows_per_chunk * n, |_, start, dst| {
+            let row0 = start / n;
+            for (ri, o_row) in dst.chunks_mut(n).enumerate() {
+                let row = row0 + ri;
+                let (bi, i) = (row / m, row % m);
+                let (oa, ob) = offsets[bi];
+                let a_row = &a[oa + i * k..oa + (i + 1) * k];
+                let b_mat = &b[ob..ob + k * n];
+                matmul_row(a_row, b_mat, n, o_row);
+            }
+        });
+    }
+}
+
+/// One output row: `out[n] = a_row[k] @ b[k,n]`, row-major, `out` zeroed.
+/// The k-then-j accumulation order (with the zero-skip) is the unit of
+/// bit-identity: every thread count produces each row through this exact
+/// loop.
+#[inline]
+fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(b.len(), a_row.len() * n);
+    debug_assert_eq!(out.len(), n);
+    for (p, &av) in a_row.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out.iter_mut().zip(b_row.iter()) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Axis reduction over dense row-major `data` of `shape`:
+/// `out[o, i] = fold over l of data[o, l, i]` in the implicit
+/// `(outer, len, inner)` split at `axis`. Fills `out` with `init` itself.
+/// The `l` accumulation order per output element matches the serial loop
+/// exactly; parallelism only splits the disjoint output regions.
+pub fn axis_accumulate_into(
+    data: &[f32],
+    shape: &[usize],
+    axis: usize,
+    init: f32,
+    accumulate: impl Fn(f32, f32) -> f32 + Sync,
+    out: &mut [f32],
+) {
+    let (outer, len, inner) = split_at_axis(shape, axis);
+    debug_assert_eq!(out.len(), outer * inner);
+    out.fill(init);
+    if out.is_empty() {
+        return;
+    }
+    if outer > 1 {
+        // chunk over whole outer rows so each window owns `[o0..o1) × inner`
+        let rows = (ELEMWISE_CHUNK / (len * inner).max(1)).max(1);
+        par_chunks_mut(out, rows * inner, |_, start, dst| {
+            let o0 = start / inner;
+            for (oi, drow) in dst.chunks_mut(inner).enumerate() {
+                let o = o0 + oi;
+                for l in 0..len {
+                    let base = (o * len + l) * inner;
+                    for (d, &v) in drow.iter_mut().zip(&data[base..base + inner]) {
+                        *d = accumulate(*d, v);
+                    }
+                }
+            }
+        });
+    } else {
+        // single outer row: split the inner axis instead
+        par_chunks_mut(out, ELEMWISE_CHUNK, |_, start, dst| {
+            let width = dst.len();
+            for l in 0..len {
+                let base = l * inner + start;
+                for (d, &v) in dst.iter_mut().zip(&data[base..base + width]) {
+                    *d = accumulate(*d, v);
+                }
+            }
+        });
+    }
+}
+
+/// Numerically stable softmax over rows of width `width` in dense `data`.
+pub fn softmax_lastdim_into(data: &[f32], width: usize, out: &mut [f32]) {
+    if out.is_empty() {
+        return;
+    }
+    assert!(width > 0, "softmax over an empty last axis");
+    debug_assert_eq!(out.len() % width, 0);
+    let rows = (ELEMWISE_CHUNK / width).max(1);
+    par_chunks_mut(out, rows * width, |_, start, dst| {
+        let src = &data[start..start + dst.len()];
+        for (drow, row) in dst.chunks_exact_mut(width).zip(src.chunks_exact(width)) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (d, &v) in drow.iter_mut().zip(row) {
+                let e = (v - m).exp();
+                sum += e;
+                *d = e;
+            }
+            let inv = 1.0 / sum;
+            for d in drow.iter_mut() {
+                *d *= inv;
+            }
+        }
+    });
+}
+
+/// Numerically stable log-softmax over rows of width `width` in dense `data`.
+pub fn log_softmax_lastdim_into(data: &[f32], width: usize, out: &mut [f32]) {
+    if out.is_empty() {
+        return;
+    }
+    assert!(width > 0, "log_softmax over an empty last axis");
+    debug_assert_eq!(out.len() % width, 0);
+    let rows = (ELEMWISE_CHUNK / width).max(1);
+    par_chunks_mut(out, rows * width, |_, start, dst| {
+        let src = &data[start..start + dst.len()];
+        for (drow, row) in dst.chunks_exact_mut(width).zip(src.chunks_exact(width)) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            for (d, &v) in drow.iter_mut().zip(row) {
+                *d = v - lse;
+            }
+        }
+    });
+}
+
+/// Interleave dense row-major `parts` (each paired with its length along the
+/// concat axis) into `out`, where every part shares `(outer, inner)` with the
+/// output's `split_at_axis` view.
+pub fn concat_packed_into(parts: &[(&[f32], usize)], outer: usize, inner: usize, out: &mut [f32]) {
+    let mut pos = 0usize;
+    for o in 0..outer {
+        for &(data, len) in parts {
+            let take = len * inner;
+            let base = o * take;
+            out[pos..pos + take].copy_from_slice(&data[base..base + take]);
+            pos += take;
+        }
+    }
+    debug_assert_eq!(pos, out.len());
+}
+
+/// Copy `indices`-selected rows of a dense `[rows, row_len]`-strided table
+/// into `out`.
+pub fn gather_rows_into(
+    table: &[f32],
+    rows: usize,
+    row_len: usize,
+    indices: &[usize],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), indices.len() * row_len);
+    for (j, &i) in indices.iter().enumerate() {
+        assert!(i < rows, "gather index {i} out of {rows}");
+        out[j * row_len..(j + 1) * row_len].copy_from_slice(&table[i * row_len..(i + 1) * row_len]);
+    }
+}

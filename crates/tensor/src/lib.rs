@@ -43,6 +43,7 @@
 mod elementwise;
 mod error;
 mod init;
+pub mod kernel;
 mod matmul;
 mod reduce;
 mod serialize;
@@ -50,7 +51,7 @@ pub mod shape;
 pub mod stats;
 mod tensor;
 
-pub use elementwise::gelu_grad_scalar;
+pub use elementwise::{gelu_grad_scalar, gelu_scalar};
 pub use error::TensorError;
 pub use serialize::TensorRepr;
 pub use tensor::Tensor;

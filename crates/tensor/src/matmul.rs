@@ -1,6 +1,7 @@
 //! Batched matrix multiplication with broadcasting over leading axes.
 //!
-//! The inner kernel is a cache-friendly i-k-j loop over row-major operands.
+//! The inner kernel ([`crate::kernel::matmul_packed_into`], shared with the
+//! compiled executor) is a cache-friendly i-k-j loop over row-major operands.
 //! Work is row-partitioned over the `batches * m` output rows through
 //! `lip-par` — chunk boundaries depend only on the problem sizes, every
 //! output row is produced by the unchanged serial i-k-j accumulation, and so
@@ -13,9 +14,8 @@
 //! runs; the pack gathers in logical order, so packed bytes — and therefore
 //! products — match the old materialize-on-layout pipeline exactly.
 
-use lip_par::{par_chunks_mut, MATMUL_CHUNK_MACS};
-
-use crate::shape::{broadcast_shapes, broadcast_strides, numel, Odometer2};
+use crate::kernel;
+use crate::shape::numel;
 use crate::Tensor;
 
 impl Tensor {
@@ -38,14 +38,12 @@ impl Tensor {
         // Promote vectors to matrices, remembering what to squeeze. The
         // promotions are metadata-only reshapes (a rank-1 tensor always
         // admits a [1, n] / [n, 1] view); packing below handles density.
-        let squeeze_front = self.rank() == 1;
-        let squeeze_back = rhs.rank() == 1;
-        let a = if squeeze_front {
+        let a = if self.rank() == 1 {
             self.reshape(&[1, self.shape[0]])
         } else {
             self.clone()
         };
-        let b = if squeeze_back {
+        let b = if rhs.rank() == 1 {
             rhs.reshape(&[rhs.shape[0], 1])
         } else {
             rhs.clone()
@@ -56,85 +54,12 @@ impl Tensor {
         let a = a.contiguous();
         let b = b.contiguous();
 
-        let (m, ka) = (a.shape[a.rank() - 2], a.shape[a.rank() - 1]);
-        let (kb, n) = (b.shape[b.rank() - 2], b.shape[b.rank() - 1]);
-        debug_assert_eq!(ka, kb, "inner dims diverged from matmul_shapes");
-        let k = ka;
-
-        let batch_a = &a.shape[..a.rank() - 2];
-        let batch_b = &b.shape[..b.rank() - 2];
-        let batch_shape = broadcast_shapes(batch_a, batch_b)
-            .unwrap_or_else(|e| panic!("matmul batch axes: {e}"));
-        let batches = numel(&batch_shape);
-
-        // Flat offsets of each batch's matrix in the two buffers.
-        let sa: Vec<usize> = broadcast_strides(batch_a, &batch_shape)
-            .iter()
-            .map(|s| s * m * k)
-            .collect();
-        let sb: Vec<usize> = broadcast_strides(batch_b, &batch_shape)
-            .iter()
-            .map(|s| s * k * n)
-            .collect();
-        let offsets: Vec<(usize, usize)> = Odometer2::new(&batch_shape, sa, sb).collect();
-        debug_assert_eq!(offsets.len(), batches);
-
-        let mut out = vec![0.0f32; batches * m * n];
-        if m > 0 && n > 0 && batches > 0 {
-            // Partition over flattened output rows (batches * m of them),
-            // ~MATMUL_CHUNK_MACS multiply-accumulates per chunk. Row count
-            // per chunk depends only on (k, n), so the split is a pure
-            // function of the problem shape.
-            let rows_per_chunk = (MATMUL_CHUNK_MACS / (k * n).max(1)).max(1);
-            let a_data = a.data();
-            let b_data = b.data();
-            par_chunks_mut(&mut out, rows_per_chunk * n, |_, start, dst| {
-                let row0 = start / n;
-                for (ri, o_row) in dst.chunks_mut(n).enumerate() {
-                    let row = row0 + ri;
-                    let (bi, i) = (row / m, row % m);
-                    let (oa, ob) = offsets[bi];
-                    let a_row = &a_data[oa + i * k..oa + (i + 1) * k];
-                    let b_mat = &b_data[ob..ob + k * n];
-                    matmul_row(a_row, b_mat, n, o_row);
-                }
-            });
-        }
-
-        debug_assert_eq!(
-            {
-                let mut built = batch_shape.clone();
-                if !squeeze_front {
-                    built.push(m);
-                }
-                if !squeeze_back {
-                    built.push(n);
-                }
-                built
-            },
-            out_shape,
-            "kernel shape diverged from matmul_shapes"
-        );
+        // The promoted shapes and the validated output shape describe the
+        // same element count (squeezed axes have extent 1), so the packed
+        // kernel can fill the output buffer directly.
+        let mut out = vec![0.0f32; numel(&out_shape)];
+        kernel::matmul_packed_into(a.data(), a.shape(), b.data(), b.shape(), &mut out);
         Tensor::from_vec(out, &out_shape)
-    }
-}
-
-/// One output row: `out[n] = a_row[k] @ b[k,n]`, row-major, `out` zeroed.
-/// The k-then-j accumulation order (with the zero-skip) is the unit of
-/// bit-identity: every thread count produces each row through this exact
-/// loop.
-#[inline]
-fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
-    debug_assert_eq!(b.len(), a_row.len() * n);
-    debug_assert_eq!(out.len(), n);
-    for (p, &av) in a_row.iter().enumerate() {
-        if av == 0.0 {
-            continue;
-        }
-        let b_row = &b[p * n..(p + 1) * n];
-        for (o, &bv) in out.iter_mut().zip(b_row.iter()) {
-            *o += av * bv;
-        }
     }
 }
 

@@ -10,8 +10,9 @@
 //! regions per chunk and keep the serial per-element accumulation order, so
 //! they are bit-identical to the single-threaded loop by construction.
 
-use lip_par::{par_chunks_mut, reduce_chunks, Partition, ELEMWISE_CHUNK, REDUCE_CHUNK};
+use lip_par::{reduce_chunks, Partition, REDUCE_CHUNK};
 
+use crate::kernel;
 use crate::shape::split_at_axis;
 use crate::Tensor;
 
@@ -89,94 +90,43 @@ impl Tensor {
         init: f32,
         accumulate: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Tensor {
-        let (outer, len, inner) = split_at_axis(&self.shape, axis);
-        // the row-major index arithmetic below wants dense storage
+        let (outer, _, inner) = split_at_axis(&self.shape, axis);
+        // the row-major index arithmetic in the kernel wants dense storage
         let dense = self.contiguous();
-        let data = dense.data();
-        let mut out = vec![init; outer * inner];
-        if outer > 1 {
-            // chunk over whole outer rows so each window owns `[o0..o1) × inner`
-            let rows = (ELEMWISE_CHUNK / (len * inner).max(1)).max(1);
-            par_chunks_mut(&mut out, rows * inner, |_, start, dst| {
-                let o0 = start / inner;
-                for (oi, drow) in dst.chunks_mut(inner).enumerate() {
-                    let o = o0 + oi;
-                    for l in 0..len {
-                        let base = (o * len + l) * inner;
-                        for (d, &v) in drow.iter_mut().zip(&data[base..base + inner]) {
-                            *d = accumulate(*d, v);
-                        }
-                    }
-                }
-            });
-        } else {
-            // single outer row: split the inner axis instead
-            par_chunks_mut(&mut out, ELEMWISE_CHUNK, |_, start, dst| {
-                let width = dst.len();
-                for l in 0..len {
-                    let base = l * inner + start;
-                    for (d, &v) in dst.iter_mut().zip(&data[base..base + width]) {
-                        *d = accumulate(*d, v);
-                    }
-                }
-            });
-        }
+        let mut out = vec![0.0f32; outer * inner];
+        kernel::axis_accumulate_into(dense.data(), &self.shape, axis, init, accumulate, &mut out);
         let mut shape = self.shape.clone();
         shape[axis] = 1;
         Tensor::from_vec(out, &shape)
     }
 
-    /// Numerically stable softmax over the last axis.
+    /// Numerically stable softmax over the last axis. A zero-numel tensor
+    /// (including a zero-width last axis) maps to an equally empty result.
     pub fn softmax_lastdim(&self) -> Tensor {
         let width = *self.shape.last().expect("softmax on a scalar");
-        assert!(width > 0, "softmax over an empty last axis");
         let dense = self.contiguous();
-        let data = dense.data();
         let mut out = vec![0.0f32; self.numel()];
-        let rows = (ELEMWISE_CHUNK / width).max(1);
-        par_chunks_mut(&mut out, rows * width, |_, start, dst| {
-            let src = &data[start..start + dst.len()];
-            for (drow, row) in dst.chunks_exact_mut(width).zip(src.chunks_exact(width)) {
-                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0f32;
-                for (d, &v) in drow.iter_mut().zip(row) {
-                    let e = (v - m).exp();
-                    sum += e;
-                    *d = e;
-                }
-                let inv = 1.0 / sum;
-                for d in drow.iter_mut() {
-                    *d *= inv;
-                }
-            }
-        });
+        kernel::softmax_lastdim_into(dense.data(), width, &mut out);
         Tensor::from_vec(out, &self.shape)
     }
 
-    /// Numerically stable log-softmax over the last axis.
+    /// Numerically stable log-softmax over the last axis (same empty-tensor
+    /// contract as [`Tensor::softmax_lastdim`]).
     pub fn log_softmax_lastdim(&self) -> Tensor {
         let width = *self.shape.last().expect("log_softmax on a scalar");
-        assert!(width > 0, "log_softmax over an empty last axis");
         let dense = self.contiguous();
-        let data = dense.data();
         let mut out = vec![0.0f32; self.numel()];
-        let rows = (ELEMWISE_CHUNK / width).max(1);
-        par_chunks_mut(&mut out, rows * width, |_, start, dst| {
-            let src = &data[start..start + dst.len()];
-            for (drow, row) in dst.chunks_exact_mut(width).zip(src.chunks_exact(width)) {
-                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-                for (d, &v) in drow.iter_mut().zip(row) {
-                    *d = v - lse;
-                }
-            }
-        });
+        kernel::log_softmax_lastdim_into(dense.data(), width, &mut out);
         Tensor::from_vec(out, &self.shape)
     }
 
-    /// Index of the max element in each row of the last axis.
+    /// Index of the max element in each row of the last axis (empty tensors
+    /// have no rows, hence an empty result).
     pub fn argmax_lastdim(&self) -> Vec<usize> {
         let width = *self.shape.last().expect("argmax on a scalar");
+        if self.numel() == 0 {
+            return Vec::new();
+        }
         self.contiguous()
             .data()
             .chunks_exact(width)

@@ -192,6 +192,18 @@ impl Tensor {
             .any(|(a, _)| !self.data[self.offset + a].is_finite())
     }
 
+    /// Borrow this tensor's layout and raw storage as a kernel-level view —
+    /// the operand type of the shared compute cores in [`crate::kernel`].
+    #[inline]
+    pub fn view_ref(&self) -> crate::kernel::ViewRef<'_> {
+        crate::kernel::ViewRef {
+            data: &self.data,
+            offset: self.offset,
+            shape: &self.shape,
+            strides: &self.strides,
+        }
+    }
+
     /// Address of the shared storage buffer, as an opaque identity token.
     /// Two tensors report the same value exactly when they alias the same
     /// `Arc` buffer (e.g. a tensor and any view of it). Distinct views of
@@ -209,17 +221,8 @@ impl Tensor {
     /// row-major order. Chunked over the logical index space, so the bytes
     /// are identical at any thread count.
     fn gather_logical(&self) -> Vec<f32> {
-        let n = self.numel();
-        let mut out = vec![0.0f32; n];
-        let zero = vec![0usize; self.rank()];
-        let raw: &[f32] = &self.data;
-        let base = self.offset;
-        lip_par::par_chunks_mut(&mut out, lip_par::ELEMWISE_CHUNK, |_, start, dst| {
-            let odo = Odometer2::starting_at(&self.shape, self.strides.clone(), zero.clone(), start);
-            for (d, (a, _)) in dst.iter_mut().zip(odo) {
-                *d = raw[base + a];
-            }
-        });
+        let mut out = vec![0.0f32; self.numel()];
+        crate::kernel::gather_into(self.view_ref(), &mut out);
         out
     }
 
@@ -447,14 +450,10 @@ impl Tensor {
         shape[axis] = parts.iter().map(|p| p.shape[axis]).sum();
         let (outer, _, inner) = split_at_axis(&shape, axis);
         let dense: Vec<Tensor> = parts.iter().map(|p| p.contiguous()).collect();
-        let mut out = Vec::with_capacity(numel(&shape));
-        for o in 0..outer {
-            for p in &dense {
-                let len = p.shape[axis];
-                let base = o * len * inner;
-                out.extend_from_slice(&p.data()[base..base + len * inner]);
-            }
-        }
+        let packed: Vec<(&[f32], usize)> =
+            dense.iter().map(|p| (p.data(), p.shape[axis])).collect();
+        let mut out = vec![0.0f32; numel(&shape)];
+        crate::kernel::concat_packed_into(&packed, outer, inner, &mut out);
         Tensor::from_vec(out, &shape)
     }
 
@@ -476,12 +475,8 @@ impl Tensor {
         assert!(self.rank() >= 1, "gather_rows on a scalar");
         let src = self.contiguous();
         let row = src.numel() / src.shape[0].max(1);
-        let data = src.data();
-        let mut out = Vec::with_capacity(indices.len() * row);
-        for &i in indices {
-            assert!(i < src.shape[0], "gather index {i} out of {}", src.shape[0]);
-            out.extend_from_slice(&data[i * row..(i + 1) * row]);
-        }
+        let mut out = vec![0.0f32; indices.len() * row];
+        crate::kernel::gather_rows_into(src.data(), src.shape[0], row, indices, &mut out);
         let mut shape = src.shape.clone();
         shape[0] = indices.len();
         Tensor::from_vec(out, &shape)

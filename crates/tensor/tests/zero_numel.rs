@@ -1,0 +1,128 @@
+//! Zero-numel inputs through every kernel: empty tensors must short-circuit
+//! uniformly instead of tripping chunk-size arithmetic or the density
+//! `debug_assert!` preconditions. Every public kernel entry point gets an
+//! empty operand here, in both the default and `LIP_THREADS=1` test passes.
+
+use lip_tensor::Tensor;
+
+fn empty(shape: &[usize]) -> Tensor {
+    Tensor::from_vec(Vec::new(), shape)
+}
+
+#[test]
+fn map_kernels_on_empty() {
+    for t in [empty(&[0]), empty(&[0, 4]), empty(&[3, 0, 2])] {
+        for out in [
+            t.map(|v| v + 1.0),
+            t.add_scalar(2.0),
+            t.mul_scalar(2.0),
+            t.neg(),
+            t.square(),
+            t.sqrt(),
+            t.exp(),
+            t.ln(),
+            t.abs(),
+            t.relu(),
+            t.sigmoid(),
+            t.tanh(),
+            t.gelu(),
+        ] {
+            assert_eq!(out.shape(), t.shape());
+            assert_eq!(out.numel(), 0);
+        }
+    }
+}
+
+#[test]
+fn map_on_empty_strided_view() {
+    // a zero-width slice of a permuted view exercises the odometer path's
+    // short-circuit (its offset may sit past the end of storage)
+    let base = Tensor::arange(6).reshape(&[2, 3]).t();
+    let view = base.slice_axis(0, 3, 3);
+    assert_eq!(view.shape(), &[0, 2]);
+    assert_eq!(view.relu().numel(), 0);
+    assert_eq!(view.to_vec(), Vec::<f32>::new());
+}
+
+#[test]
+fn zip_all_paths_on_empty() {
+    // path 1: equal shapes, both dense
+    assert_eq!(empty(&[0, 3]).add(&empty(&[0, 3])).shape(), &[0, 3]);
+    // path 2: scalar rhs / scalar lhs against an empty side
+    assert_eq!(empty(&[2, 0]).add(&Tensor::scalar(1.0)).shape(), &[2, 0]);
+    assert_eq!(Tensor::scalar(1.0).add(&empty(&[2, 0])).shape(), &[2, 0]);
+    // path 3: empty suffix block — `ELEMWISE_CHUNK / block` must not divide
+    // by zero when the suffix itself has zero elements
+    assert_eq!(empty(&[2, 0]).add(&empty(&[0])).shape(), &[2, 0]);
+    assert_eq!(empty(&[4, 0, 3]).mul(&empty(&[0, 3])).shape(), &[4, 0, 3]);
+    // path 4: general broadcast with an empty axis
+    let a = empty(&[2, 0, 1]);
+    let b = Tensor::ones(&[1, 1, 3]);
+    assert_eq!(a.add(&b).shape(), &[2, 0, 3]);
+}
+
+#[test]
+fn matmul_on_empty_extents() {
+    // m == 0, k == 0, n == 0, and an empty batch axis
+    assert_eq!(empty(&[0, 3]).matmul(&Tensor::ones(&[3, 2])).shape(), &[0, 2]);
+    let kk = empty(&[2, 0]).matmul(&empty(&[0, 3]));
+    assert_eq!(kk.shape(), &[2, 3]);
+    assert_eq!(kk.to_vec(), vec![0.0; 6]); // sum over an empty k is 0
+    assert_eq!(Tensor::ones(&[2, 3]).matmul(&empty(&[3, 0])).shape(), &[2, 0]);
+    assert_eq!(
+        empty(&[0, 2, 3]).matmul(&Tensor::ones(&[3, 4])).shape(),
+        &[0, 2, 4]
+    );
+}
+
+#[test]
+fn reductions_on_empty() {
+    let t = empty(&[0, 3]);
+    assert_eq!(t.sum().item(), 0.0);
+    assert_eq!(t.max_value(), f32::NEG_INFINITY);
+    assert_eq!(t.min_value(), f32::INFINITY);
+    // reduced axis is empty: the fold over zero elements keeps the init
+    let s = t.sum_axis(0);
+    assert_eq!(s.shape(), &[1, 3]);
+    assert_eq!(s.to_vec(), vec![0.0; 3]);
+    // surviving axis is empty: no output elements at all
+    assert_eq!(t.sum_axis(1).shape(), &[0, 1]);
+    assert_eq!(empty(&[2, 0, 3]).sum_axis(2).shape(), &[2, 0, 1]);
+    assert_eq!(t.max_axis(1).numel(), 0);
+    assert_eq!(t.mean_axis(1).numel(), 0);
+    assert_eq!(t.reduce_to_shape(&[3]).to_vec(), vec![0.0; 3]);
+}
+
+#[test]
+fn softmax_family_on_empty() {
+    // zero rows
+    assert_eq!(empty(&[0, 5]).softmax_lastdim().shape(), &[0, 5]);
+    assert_eq!(empty(&[0, 5]).log_softmax_lastdim().shape(), &[0, 5]);
+    assert_eq!(empty(&[0, 5]).argmax_lastdim(), Vec::<usize>::new());
+    // zero-width rows: empty result rather than a panic on width == 0
+    assert_eq!(empty(&[3, 0]).softmax_lastdim().shape(), &[3, 0]);
+    assert_eq!(empty(&[3, 0]).log_softmax_lastdim().shape(), &[3, 0]);
+    assert_eq!(empty(&[3, 0]).argmax_lastdim(), Vec::<usize>::new());
+}
+
+#[test]
+fn concat_stack_gather_on_empty() {
+    let a = empty(&[0, 2]);
+    let b = Tensor::ones(&[3, 2]);
+    let c = Tensor::concat(&[&a, &b, &a], 0);
+    assert_eq!(c.shape(), &[3, 2]);
+    assert_eq!(c.to_vec(), vec![1.0; 6]);
+    let inner_empty = Tensor::concat(&[&empty(&[2, 0]), &empty(&[2, 0])], 1);
+    assert_eq!(inner_empty.shape(), &[2, 0]);
+    assert_eq!(Tensor::stack(&[&a, &a]).shape(), &[2, 0, 2]);
+    // gather with no indices, and gather out of an empty-rowed table
+    assert_eq!(b.gather_rows(&[]).shape(), &[0, 2]);
+    assert_eq!(a.gather_rows(&[]).shape(), &[0, 2]);
+}
+
+#[test]
+fn add_assign_scaled_on_empty() {
+    let mut acc = empty(&[2, 0]);
+    acc.add_assign_scaled(&empty(&[2, 0]), 3.0);
+    assert_eq!(acc.numel(), 0);
+}

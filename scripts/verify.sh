@@ -36,6 +36,16 @@ if grep -E '"violations": *\[ *"' BENCH_pr5.json; then
   exit 1
 fi
 
+echo "==> lip-exec bench smoke (compiled executor vs tape; fails on byte divergence)"
+# the executor differential sweep itself runs inside both cargo test passes
+# above (crates/exec/tests); this exercises the binary end-to-end and checks
+# the arena-undercuts-tape-peak contract at the default thread budget…
+cargo run -q --release --offline -p lip-exec BENCH_exec.json
+
+echo "==> lip-exec bench smoke under LIP_THREADS=1"
+# …and again on the serial budget: parity must hold at any thread count
+LIP_THREADS=1 cargo run -q --release --offline -p lip-exec BENCH_exec_serial.json
+
 echo "==> verify: only lip-* path dependencies in Cargo.tomls"
 if grep -rhE '^[a-zA-Z0-9_-]+ *= *[{"]' Cargo.toml crates/*/Cargo.toml \
     | grep -vE '^(lip-[a-z]+|lipformer) *=' \
@@ -46,4 +56,5 @@ fi
 
 echo "OK: offline build + double test run green (LIP_THREADS=1 and default),"
 echo "    parallel/serial bit-identical, zero layout-copy allocations,"
+echo "    compiled executor byte-identical to the tape on all nine benchmarks,"
 echo "    zero external dependencies"

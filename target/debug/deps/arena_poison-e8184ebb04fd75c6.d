@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arena_poison-e8184ebb04fd75c6.d: crates/exec/tests/arena_poison.rs
+
+/root/repo/target/debug/deps/arena_poison-e8184ebb04fd75c6: crates/exec/tests/arena_poison.rs
+
+crates/exec/tests/arena_poison.rs:

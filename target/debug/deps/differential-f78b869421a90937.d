@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-f78b869421a90937.d: crates/exec/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-f78b869421a90937: crates/exec/tests/differential.rs
+
+crates/exec/tests/differential.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lip_analyze-5d93c7d790052f65.d: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
+
+/root/repo/target/debug/deps/liblip_analyze-5d93c7d790052f65.rlib: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
+
+/root/repo/target/debug/deps/liblip_analyze-5d93c7d790052f65.rmeta: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/harness.rs:
+crates/analyze/src/infer.rs:
+crates/analyze/src/lint.rs:
+crates/analyze/src/plan.rs:
+crates/analyze/src/rules.rs:
+crates/analyze/src/schedule.rs:
+crates/analyze/src/sym.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/lip_analyze-7265693e7d551039.d: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/sym.rs
+/root/repo/target/debug/deps/lip_analyze-7265693e7d551039.d: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
 
-/root/repo/target/debug/deps/lip_analyze-7265693e7d551039: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/sym.rs
+/root/repo/target/debug/deps/lip_analyze-7265693e7d551039: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
 
 crates/analyze/src/lib.rs:
 crates/analyze/src/harness.rs:
@@ -8,4 +8,5 @@ crates/analyze/src/infer.rs:
 crates/analyze/src/lint.rs:
 crates/analyze/src/plan.rs:
 crates/analyze/src/rules.rs:
+crates/analyze/src/schedule.rs:
 crates/analyze/src/sym.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/lip_analyze-a80898ebd04cd665.d: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/sym.rs
+/root/repo/target/debug/deps/lip_analyze-a80898ebd04cd665.d: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
 
-/root/repo/target/debug/deps/liblip_analyze-a80898ebd04cd665.rlib: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/sym.rs
+/root/repo/target/debug/deps/liblip_analyze-a80898ebd04cd665.rlib: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
 
-/root/repo/target/debug/deps/liblip_analyze-a80898ebd04cd665.rmeta: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/sym.rs
+/root/repo/target/debug/deps/liblip_analyze-a80898ebd04cd665.rmeta: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
 
 crates/analyze/src/lib.rs:
 crates/analyze/src/harness.rs:
@@ -10,4 +10,5 @@ crates/analyze/src/infer.rs:
 crates/analyze/src/lint.rs:
 crates/analyze/src/plan.rs:
 crates/analyze/src/rules.rs:
+crates/analyze/src/schedule.rs:
 crates/analyze/src/sym.rs:

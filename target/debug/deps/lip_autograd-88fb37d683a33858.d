@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lip_autograd-88fb37d683a33858.d: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+/root/repo/target/debug/deps/liblip_autograd-88fb37d683a33858.rlib: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+/root/repo/target/debug/deps/liblip_autograd-88fb37d683a33858.rmeta: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/op.rs crates/autograd/src/params.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/backward.rs:
+crates/autograd/src/gradcheck.rs:
+crates/autograd/src/graph.rs:
+crates/autograd/src/op.rs:
+crates/autograd/src/params.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/lip_data-ee4e4629bf10f4dd.d: crates/data/src/lib.rs crates/data/src/calendar.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators/mod.rs crates/data/src/generators/benchmarks.rs crates/data/src/generators/covariate_sets.rs crates/data/src/generators/signal.rs crates/data/src/pipeline.rs crates/data/src/scaler.rs crates/data/src/split.rs crates/data/src/timefeatures.rs crates/data/src/window.rs
+
+/root/repo/target/debug/deps/liblip_data-ee4e4629bf10f4dd.rlib: crates/data/src/lib.rs crates/data/src/calendar.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators/mod.rs crates/data/src/generators/benchmarks.rs crates/data/src/generators/covariate_sets.rs crates/data/src/generators/signal.rs crates/data/src/pipeline.rs crates/data/src/scaler.rs crates/data/src/split.rs crates/data/src/timefeatures.rs crates/data/src/window.rs
+
+/root/repo/target/debug/deps/liblip_data-ee4e4629bf10f4dd.rmeta: crates/data/src/lib.rs crates/data/src/calendar.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators/mod.rs crates/data/src/generators/benchmarks.rs crates/data/src/generators/covariate_sets.rs crates/data/src/generators/signal.rs crates/data/src/pipeline.rs crates/data/src/scaler.rs crates/data/src/split.rs crates/data/src/timefeatures.rs crates/data/src/window.rs
+
+crates/data/src/lib.rs:
+crates/data/src/calendar.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generators/mod.rs:
+crates/data/src/generators/benchmarks.rs:
+crates/data/src/generators/covariate_sets.rs:
+crates/data/src/generators/signal.rs:
+crates/data/src/pipeline.rs:
+crates/data/src/scaler.rs:
+crates/data/src/split.rs:
+crates/data/src/timefeatures.rs:
+crates/data/src/window.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lip_exec-2debdf3049d5ff0c.d: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+/root/repo/target/debug/deps/liblip_exec-2debdf3049d5ff0c.rlib: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+/root/repo/target/debug/deps/liblip_exec-2debdf3049d5ff0c.rmeta: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/compile.rs:
+crates/exec/src/run.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lip_exec-3e0c169aee78f2ab.d: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+/root/repo/target/debug/deps/lip_exec-3e0c169aee78f2ab: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/compile.rs:
+crates/exec/src/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lip_exec-9c741ca0a581b477.d: crates/exec/src/main.rs
+
+/root/repo/target/debug/deps/lip_exec-9c741ca0a581b477: crates/exec/src/main.rs
+
+crates/exec/src/main.rs:

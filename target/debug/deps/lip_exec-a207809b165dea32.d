@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lip_exec-a207809b165dea32.d: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+/root/repo/target/debug/deps/liblip_exec-a207809b165dea32.rlib: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+/root/repo/target/debug/deps/liblip_exec-a207809b165dea32.rmeta: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/compile.rs:
+crates/exec/src/run.rs:

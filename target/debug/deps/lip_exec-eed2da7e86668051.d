@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lip_exec-eed2da7e86668051.d: crates/exec/src/main.rs
+
+/root/repo/target/debug/deps/lip_exec-eed2da7e86668051: crates/exec/src/main.rs
+
+crates/exec/src/main.rs:

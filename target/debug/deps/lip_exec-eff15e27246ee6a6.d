@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lip_exec-eff15e27246ee6a6.d: crates/exec/src/main.rs
+
+/root/repo/target/debug/deps/lip_exec-eff15e27246ee6a6: crates/exec/src/main.rs
+
+crates/exec/src/main.rs:

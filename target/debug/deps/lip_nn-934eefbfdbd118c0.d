@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/lip_nn-934eefbfdbd118c0.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/early_stopping.rs crates/nn/src/embedding.rs crates/nn/src/ffn.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/positional.rs crates/nn/src/scheduler.rs
+
+/root/repo/target/debug/deps/liblip_nn-934eefbfdbd118c0.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/early_stopping.rs crates/nn/src/embedding.rs crates/nn/src/ffn.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/positional.rs crates/nn/src/scheduler.rs
+
+/root/repo/target/debug/deps/liblip_nn-934eefbfdbd118c0.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/early_stopping.rs crates/nn/src/embedding.rs crates/nn/src/ffn.rs crates/nn/src/layernorm.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optimizer.rs crates/nn/src/positional.rs crates/nn/src/scheduler.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/dropout.rs:
+crates/nn/src/early_stopping.rs:
+crates/nn/src/embedding.rs:
+crates/nn/src/ffn.rs:
+crates/nn/src/layernorm.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optimizer.rs:
+crates/nn/src/positional.rs:
+crates/nn/src/scheduler.rs:

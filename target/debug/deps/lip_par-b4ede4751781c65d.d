@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lip_par-b4ede4751781c65d.d: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+/root/repo/target/debug/deps/liblip_par-b4ede4751781c65d.rlib: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+/root/repo/target/debug/deps/liblip_par-b4ede4751781c65d.rmeta: crates/par/src/lib.rs crates/par/src/chunk.rs crates/par/src/pool.rs
+
+crates/par/src/lib.rs:
+crates/par/src/chunk.rs:
+crates/par/src/pool.rs:

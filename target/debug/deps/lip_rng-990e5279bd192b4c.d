@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lip_rng-990e5279bd192b4c.d: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/debug/deps/liblip_rng-990e5279bd192b4c.rlib: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+/root/repo/target/debug/deps/liblip_rng-990e5279bd192b4c.rmeta: crates/rng/src/lib.rs crates/rng/src/prop.rs crates/rng/src/seq.rs crates/rng/src/splitmix.rs crates/rng/src/xoshiro.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/prop.rs:
+crates/rng/src/seq.rs:
+crates/rng/src/splitmix.rs:
+crates/rng/src/xoshiro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lip_serde-5864be4722dcab89.d: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+/root/repo/target/debug/deps/liblip_serde-5864be4722dcab89.rlib: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+/root/repo/target/debug/deps/liblip_serde-5864be4722dcab89.rmeta: crates/serde/src/lib.rs crates/serde/src/parse.rs crates/serde/src/write.rs
+
+crates/serde/src/lib.rs:
+crates/serde/src/parse.rs:
+crates/serde/src/write.rs:

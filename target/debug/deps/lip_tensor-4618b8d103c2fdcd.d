@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lip_tensor-4618b8d103c2fdcd.d: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/liblip_tensor-4618b8d103c2fdcd.rlib: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/liblip_tensor-4618b8d103c2fdcd.rmeta: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/elementwise.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/kernel.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/serialize.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/stats.rs:
+crates/tensor/src/tensor.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/lip_tensor-6cc20d817bd0d2f8.d: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+/root/repo/target/debug/deps/lip_tensor-6cc20d817bd0d2f8.d: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
 
-/root/repo/target/debug/deps/lip_tensor-6cc20d817bd0d2f8: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+/root/repo/target/debug/deps/lip_tensor-6cc20d817bd0d2f8: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/elementwise.rs:
 crates/tensor/src/error.rs:
 crates/tensor/src/init.rs:
+crates/tensor/src/kernel.rs:
 crates/tensor/src/matmul.rs:
 crates/tensor/src/reduce.rs:
 crates/tensor/src/serialize.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/lip_tensor-ca6df87952b9ee48.d: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+/root/repo/target/debug/deps/lip_tensor-ca6df87952b9ee48.d: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
 
-/root/repo/target/debug/deps/liblip_tensor-ca6df87952b9ee48.rlib: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+/root/repo/target/debug/deps/liblip_tensor-ca6df87952b9ee48.rlib: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
 
-/root/repo/target/debug/deps/liblip_tensor-ca6df87952b9ee48.rmeta: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
+/root/repo/target/debug/deps/liblip_tensor-ca6df87952b9ee48.rmeta: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/kernel.rs crates/tensor/src/matmul.rs crates/tensor/src/reduce.rs crates/tensor/src/serialize.rs crates/tensor/src/shape.rs crates/tensor/src/stats.rs crates/tensor/src/tensor.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/elementwise.rs:
 crates/tensor/src/error.rs:
 crates/tensor/src/init.rs:
+crates/tensor/src/kernel.rs:
 crates/tensor/src/matmul.rs:
 crates/tensor/src/reduce.rs:
 crates/tensor/src/serialize.rs:

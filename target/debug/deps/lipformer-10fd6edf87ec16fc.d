@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/lipformer-10fd6edf87ec16fc.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/base_predictor.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/contrastive.rs crates/core/src/covariate_encoder.rs crates/core/src/cross_patch.rs crates/core/src/forecaster.rs crates/core/src/inter_patch.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/patching.rs crates/core/src/plugin.rs crates/core/src/revin.rs crates/core/src/target_encoder.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/liblipformer-10fd6edf87ec16fc.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/base_predictor.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/contrastive.rs crates/core/src/covariate_encoder.rs crates/core/src/cross_patch.rs crates/core/src/forecaster.rs crates/core/src/inter_patch.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/patching.rs crates/core/src/plugin.rs crates/core/src/revin.rs crates/core/src/target_encoder.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/liblipformer-10fd6edf87ec16fc.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/base_predictor.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/contrastive.rs crates/core/src/covariate_encoder.rs crates/core/src/cross_patch.rs crates/core/src/forecaster.rs crates/core/src/inter_patch.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/patching.rs crates/core/src/plugin.rs crates/core/src/revin.rs crates/core/src/target_encoder.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/base_predictor.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/contrastive.rs:
+crates/core/src/covariate_encoder.rs:
+crates/core/src/cross_patch.rs:
+crates/core/src/forecaster.rs:
+crates/core/src/inter_patch.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/patching.rs:
+crates/core/src/plugin.rs:
+crates/core/src/revin.rs:
+crates/core/src/target_encoder.rs:
+crates/core/src/trainer.rs:

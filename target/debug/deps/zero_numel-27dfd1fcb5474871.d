@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_numel-27dfd1fcb5474871.d: crates/tensor/tests/zero_numel.rs
+
+/root/repo/target/debug/deps/zero_numel-27dfd1fcb5474871: crates/tensor/tests/zero_numel.rs
+
+crates/tensor/tests/zero_numel.rs:

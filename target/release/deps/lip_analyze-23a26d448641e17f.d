@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/lip_analyze-23a26d448641e17f.d: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/sym.rs
+/root/repo/target/release/deps/lip_analyze-23a26d448641e17f.d: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
 
-/root/repo/target/release/deps/liblip_analyze-23a26d448641e17f.rlib: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/sym.rs
+/root/repo/target/release/deps/liblip_analyze-23a26d448641e17f.rlib: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
 
-/root/repo/target/release/deps/liblip_analyze-23a26d448641e17f.rmeta: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/sym.rs
+/root/repo/target/release/deps/liblip_analyze-23a26d448641e17f.rmeta: crates/analyze/src/lib.rs crates/analyze/src/harness.rs crates/analyze/src/infer.rs crates/analyze/src/lint.rs crates/analyze/src/plan.rs crates/analyze/src/rules.rs crates/analyze/src/schedule.rs crates/analyze/src/sym.rs
 
 crates/analyze/src/lib.rs:
 crates/analyze/src/harness.rs:
@@ -10,4 +10,5 @@ crates/analyze/src/infer.rs:
 crates/analyze/src/lint.rs:
 crates/analyze/src/plan.rs:
 crates/analyze/src/rules.rs:
+crates/analyze/src/schedule.rs:
 crates/analyze/src/sym.rs:

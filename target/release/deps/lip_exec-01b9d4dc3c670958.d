@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lip_exec-01b9d4dc3c670958.d: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+/root/repo/target/release/deps/liblip_exec-01b9d4dc3c670958.rlib: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+/root/repo/target/release/deps/liblip_exec-01b9d4dc3c670958.rmeta: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/compile.rs:
+crates/exec/src/run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lip_exec-01f8615e9f9299a7.d: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+/root/repo/target/release/deps/liblip_exec-01f8615e9f9299a7.rlib: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+/root/repo/target/release/deps/liblip_exec-01f8615e9f9299a7.rmeta: crates/exec/src/lib.rs crates/exec/src/compile.rs crates/exec/src/run.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/compile.rs:
+crates/exec/src/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lip_exec-71f55cb0b233f3e4.d: crates/exec/src/main.rs
+
+/root/repo/target/release/deps/lip_exec-71f55cb0b233f3e4: crates/exec/src/main.rs
+
+crates/exec/src/main.rs:

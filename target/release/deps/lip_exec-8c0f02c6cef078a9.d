@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lip_exec-8c0f02c6cef078a9.d: crates/exec/src/main.rs
+
+/root/repo/target/release/deps/lip_exec-8c0f02c6cef078a9: crates/exec/src/main.rs
+
+crates/exec/src/main.rs:
