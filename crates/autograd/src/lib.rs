@@ -3,7 +3,7 @@
 //! Tape-based reverse-mode automatic differentiation over [`lip_tensor`].
 //!
 //! A [`Graph`] records every forward operation as a node holding its result
-//! tensor and an [`Op`](crate::op::Op) describing how to push gradients back
+//! tensor and an [`Op`] describing how to push gradients back
 //! to its inputs. Model parameters live in a [`ParamStore`]; each forward pass
 //! pulls them into the graph by id (an O(1) `Arc` clone), and
 //! [`Graph::backward`] returns per-parameter gradients that the caller

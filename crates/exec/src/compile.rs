@@ -143,10 +143,30 @@ fn check_attrs(
 }
 
 /// Compile `model` for tapeless inference under `spec` (the same covariate
-/// spec the model was constructed with).
+/// spec the model was constructed with). Elementwise chains are fused (see
+/// `lip_analyze::schedule`); use [`compile_inference_unfused`] to get the
+/// one-pass-per-op program for differential testing.
 pub fn compile_inference(
     model: &LiPFormer,
     spec: &CovariateSpec,
+) -> Result<CompiledModel, CompileError> {
+    compile_with(model, spec, true)
+}
+
+/// [`compile_inference`] with elementwise fusion disabled — every scheduled
+/// op runs as its own arena pass. Exists so tests can prove fused execution
+/// byte-identical to the unfused program.
+pub fn compile_inference_unfused(
+    model: &LiPFormer,
+    spec: &CovariateSpec,
+) -> Result<CompiledModel, CompileError> {
+    compile_with(model, spec, false)
+}
+
+fn compile_with(
+    model: &LiPFormer,
+    spec: &CovariateSpec,
+    fuse: bool,
 ) -> Result<CompiledModel, CompileError> {
     if !model.has_enriching() {
         return Err(CompileError::Unsupported(
@@ -155,7 +175,11 @@ pub fn compile_inference(
     }
     let config = model.config().clone();
     let plan = plan_forward_loss(&config, spec, false)?;
-    let schedule = InferenceSchedule::build(&plan)?;
+    let schedule = if fuse {
+        InferenceSchedule::build(&plan)?
+    } else {
+        InferenceSchedule::build_unfused(&plan)?
+    };
 
     for step in &schedule.steps {
         if !SUPPORTED.contains(&step.op) {
@@ -163,6 +187,14 @@ pub fn compile_inference(
                 "op {} at node {} has no executor lowering",
                 step.op, step.node
             )));
+        }
+        for f in &step.fused {
+            if !SUPPORTED.contains(&f.op) {
+                return Err(CompileError::Unsupported(format!(
+                    "fused stage {} at node {} has no executor lowering",
+                    f.op, f.node
+                )));
+            }
         }
         if step.op == "Leaf" {
             match step.attr {

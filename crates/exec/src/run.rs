@@ -7,10 +7,14 @@
 //! * each **slot** is sized to the max over every owner the scheduler pooled
 //!   into it (`slot_sizes` candidates evaluated at `B`);
 //! * **scratch** is the max over steps of what that one step needs to pack
-//!   non-contiguous operands for kernels requiring dense input (the tape
-//!   pays the same `contiguous()` copies, so byte parity is preserved).
+//!   non-contiguous operands for kernels requiring dense input. The tiled
+//!   matmul reads its lhs through arbitrary strides and its rhs through any
+//!   row-dense layout, so only a rhs with non-unit row stride (the
+//!   attention K-transpose) still packs; softmax / reductions / concat pack
+//!   as before. Packing gathers in logical order, so when it happens the
+//!   bytes equal the tape's `contiguous()` copy.
 //!
-//! Every step writes through [`write_out`], which splits the arena into
+//! Every step writes through `write_out`, which splits the arena into
 //! `left | output | right` disjoint borrows. The scheduler guarantees an
 //! output slot is never also an operand of its own step (allocation happens
 //! before frees), so the split never panics — [`BoundModel::assert_no_aliasing`]
@@ -19,6 +23,11 @@
 //! Kernels are the exact `lip_tensor::kernel` entry points `Graph` recording
 //! uses, with the same per-element expressions (`v * s`, `a + b`, …), so a
 //! bound run is byte-identical to tape inference at any thread budget.
+//!
+//! Fused steps (see `lip_analyze::schedule`) carry a `post: Vec<MapFn>`
+//! chain applied per element at store time — `apply_post` threads the value
+//! through the same scalar expressions the separate passes would have used,
+//! preserving byte parity while eliminating whole-tensor round trips.
 
 use lip_analyze::{eval_shape, NodeAttr, Storage};
 use lip_data::window::Batch;
@@ -53,6 +62,13 @@ impl Desc {
     fn is_contiguous(&self) -> bool {
         is_row_major(&self.shape, &self.strides)
     }
+
+    /// Are the innermost rows unit-stride (what the tiled matmul kernel
+    /// needs from its rhs)? Mirrors `kernel::matmul_rows_dense`.
+    fn rows_dense(&self) -> bool {
+        let r = self.shape.len();
+        r >= 2 && (self.shape[r - 1] <= 1 || self.strides[r - 1] == 1)
+    }
 }
 
 /// An operand of a kernel that requires dense row-major input. When `src`
@@ -81,6 +97,57 @@ enum MapFn {
     Abs,
 }
 
+impl MapFn {
+    /// Lower a scheduled elementwise op (a map head or a fused stage) to
+    /// its executor function. The per-element expressions live in
+    /// [`apply_map`] / [`run_map`].
+    fn from_stage(op: &str, attr: &NodeAttr) -> MapFn {
+        match (op, attr) {
+            ("AddScalar", NodeAttr::Scalar(s)) => MapFn::AddScalar(*s),
+            ("MulScalar", NodeAttr::Scalar(s)) => MapFn::MulScalar(*s),
+            ("Neg", _) => MapFn::Neg,
+            ("Relu", _) => MapFn::Relu,
+            ("Gelu", _) => MapFn::Gelu,
+            ("Sigmoid", _) => MapFn::Sigmoid,
+            ("Tanh", _) => MapFn::Tanh,
+            ("Sqrt", _) => MapFn::Sqrt,
+            ("Exp", _) => MapFn::Exp,
+            ("Ln", _) => MapFn::Ln,
+            ("Square", _) => MapFn::Square,
+            ("Abs", _) => MapFn::Abs,
+            (op, attr) => panic!("{op} with attr {attr:?} is not an elementwise stage"),
+        }
+    }
+}
+
+/// One elementwise stage, exactly as the tape's separate pass would compute
+/// it (`run_map` uses the same expressions) — fused chains apply these per
+/// element at store time, so fused bytes equal unfused bytes.
+fn apply_map(f: MapFn, v: f32) -> f32 {
+    match f {
+        MapFn::AddScalar(s) => v + s,
+        MapFn::MulScalar(s) => v * s,
+        MapFn::Neg => -v,
+        MapFn::Relu => v.max(0.0),
+        MapFn::Gelu => gelu_scalar(v),
+        MapFn::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        MapFn::Tanh => v.tanh(),
+        MapFn::Sqrt => v.sqrt(),
+        MapFn::Exp => v.exp(),
+        MapFn::Ln => v.ln(),
+        MapFn::Square => v * v,
+        MapFn::Abs => v.abs(),
+    }
+}
+
+/// Thread `v` through a fused stage chain in order.
+fn apply_post(mut v: f32, post: &[MapFn]) -> f32 {
+    for &f in post {
+        v = apply_map(f, v);
+    }
+    v
+}
+
 #[derive(Debug, Clone, Copy)]
 enum ZipFn {
     Add,
@@ -97,9 +164,12 @@ enum BoundStep {
     LoadCovariate { dst: Desc },
     /// A `Reshape` whose input strides do not admit the target shape.
     Materialize { src: Desc, dst: Desc },
-    Map { src: Desc, f: MapFn, dst: Desc },
-    Zip { a: Desc, b: Desc, f: ZipFn, dst: Desc },
-    MatMul { a: PackedOperand, b: PackedOperand, dst: Desc },
+    Map { src: Desc, f: MapFn, post: Vec<MapFn>, dst: Desc },
+    Zip { a: Desc, b: Desc, f: ZipFn, post: Vec<MapFn>, dst: Desc },
+    /// `a` is read through its strides (never packed); `b` packs into
+    /// scratch only when its rows are not unit-stride. `post` is the fused
+    /// elementwise chain applied per element at store time.
+    MatMul { a: Desc, b: PackedOperand, post: Vec<MapFn>, dst: Desc },
     Softmax { src: PackedOperand, width: usize, log: bool, dst: Desc },
     Reduce { src: PackedOperand, axis: usize, mean_scale: Option<f32>, dst: Desc },
     Concat { parts: Vec<PackedOperand>, axis: usize, outer: usize, inner: usize, dst: Desc },
@@ -152,6 +222,8 @@ impl CompiledModel {
                 .iter()
                 .map(|&i| descs[i].clone().expect("input scheduled before use"))
                 .collect();
+            let post: Vec<MapFn> =
+                step.fused.iter().map(|f| MapFn::from_stage(f.op, &f.attr)).collect();
             let slot_start = || match step.storage {
                 Storage::Slot(id) | Storage::ViewOrSlot(id) => slot_span[id].0,
                 ref other => panic!("op {} stored as {other:?} owns no slot", step.op),
@@ -234,35 +306,11 @@ impl CompiledModel {
                         }
                     }
                 }
-                "AddScalar" | "MulScalar" => {
-                    let s = match step.attr {
-                        NodeAttr::Scalar(s) => s,
-                        ref other => panic!("{} without scalar: {other:?}", step.op),
-                    };
-                    let f = if step.op == "AddScalar" {
-                        MapFn::AddScalar(s)
-                    } else {
-                        MapFn::MulScalar(s)
-                    };
+                "AddScalar" | "MulScalar" | "Neg" | "Relu" | "Gelu" | "Sigmoid" | "Tanh"
+                | "Sqrt" | "Exp" | "Ln" | "Square" | "Abs" => {
+                    let f = MapFn::from_stage(step.op, &step.attr);
                     let dst = Desc::dense(shape, slot_start());
-                    (dst.clone(), BoundStep::Map { src: inputs[0].clone(), f, dst })
-                }
-                "Neg" | "Relu" | "Gelu" | "Sigmoid" | "Tanh" | "Sqrt" | "Exp" | "Ln"
-                | "Square" | "Abs" => {
-                    let f = match step.op {
-                        "Neg" => MapFn::Neg,
-                        "Relu" => MapFn::Relu,
-                        "Gelu" => MapFn::Gelu,
-                        "Sigmoid" => MapFn::Sigmoid,
-                        "Tanh" => MapFn::Tanh,
-                        "Sqrt" => MapFn::Sqrt,
-                        "Exp" => MapFn::Exp,
-                        "Ln" => MapFn::Ln,
-                        "Square" => MapFn::Square,
-                        _ => MapFn::Abs,
-                    };
-                    let dst = Desc::dense(shape, slot_start());
-                    (dst.clone(), BoundStep::Map { src: inputs[0].clone(), f, dst })
+                    (dst.clone(), BoundStep::Map { src: inputs[0].clone(), f, post, dst })
                 }
                 "Add" | "Sub" | "Mul" | "Div" => {
                     let f = match step.op {
@@ -276,14 +324,28 @@ impl CompiledModel {
                         a: inputs[0].clone(),
                         b: inputs[1].clone(),
                         f,
+                        post,
                         dst: dst.clone(),
                     };
                     (dst, bound)
                 }
                 "MatMul" => {
-                    let (a, b) = (pack(&inputs[0]), pack(&inputs[1]));
+                    // the tiled kernel reads the lhs through its strides;
+                    // the rhs packs only when its rows are not unit-stride
+                    // (the attention K-transpose) — everything else is read
+                    // in place
+                    let a = inputs[0].clone();
+                    let b = if inputs[1].rows_dense() {
+                        PackedOperand {
+                            src: inputs[1].clone(),
+                            dense: inputs[1].clone(),
+                            packed: false,
+                        }
+                    } else {
+                        pack(&inputs[1])
+                    };
                     let dst = Desc::dense(shape, slot_start());
-                    (dst.clone(), BoundStep::MatMul { a, b, dst })
+                    (dst.clone(), BoundStep::MatMul { a, b, post, dst })
                 }
                 "Softmax" | "LogSoftmax" => {
                     let src = pack(&inputs[0]);
@@ -409,30 +471,51 @@ impl Reader<'_> {
     }
 }
 
-fn run_map(src: ViewRef<'_>, out: &mut [f32], f: MapFn) {
-    // per-element expressions match the Tensor wrappers exactly
-    match f {
-        MapFn::AddScalar(s) => kernel::map_into(src, out, |v| v + s),
-        MapFn::MulScalar(s) => kernel::map_into(src, out, |v| v * s),
-        MapFn::Neg => kernel::map_into(src, out, |v| -v),
-        MapFn::Relu => kernel::map_into(src, out, |v| v.max(0.0)),
-        MapFn::Gelu => kernel::map_into(src, out, gelu_scalar),
-        MapFn::Sigmoid => kernel::map_into(src, out, |v| 1.0 / (1.0 + (-v).exp())),
-        MapFn::Tanh => kernel::map_into(src, out, f32::tanh),
-        MapFn::Sqrt => kernel::map_into(src, out, f32::sqrt),
-        MapFn::Exp => kernel::map_into(src, out, f32::exp),
-        MapFn::Ln => kernel::map_into(src, out, f32::ln),
-        MapFn::Square => kernel::map_into(src, out, |v| v * v),
-        MapFn::Abs => kernel::map_into(src, out, f32::abs),
+fn run_map(src: ViewRef<'_>, out: &mut [f32], f: MapFn, post: &[MapFn]) {
+    // per-element expressions match the Tensor wrappers exactly; the
+    // no-post fast path keeps the hot monomorphized closures branch-free
+    if post.is_empty() {
+        match f {
+            MapFn::AddScalar(s) => kernel::map_into(src, out, |v| v + s),
+            MapFn::MulScalar(s) => kernel::map_into(src, out, |v| v * s),
+            MapFn::Neg => kernel::map_into(src, out, |v| -v),
+            MapFn::Relu => kernel::map_into(src, out, |v| v.max(0.0)),
+            MapFn::Gelu => kernel::map_into(src, out, gelu_scalar),
+            MapFn::Sigmoid => kernel::map_into(src, out, |v| 1.0 / (1.0 + (-v).exp())),
+            MapFn::Tanh => kernel::map_into(src, out, f32::tanh),
+            MapFn::Sqrt => kernel::map_into(src, out, f32::sqrt),
+            MapFn::Exp => kernel::map_into(src, out, f32::exp),
+            MapFn::Ln => kernel::map_into(src, out, f32::ln),
+            MapFn::Square => kernel::map_into(src, out, |v| v * v),
+            MapFn::Abs => kernel::map_into(src, out, f32::abs),
+        }
+    } else {
+        kernel::map_into(src, out, |v| apply_post(apply_map(f, v), post));
     }
 }
 
-fn run_zip(a: ViewRef<'_>, b: ViewRef<'_>, out_shape: &[usize], out: &mut [f32], f: ZipFn) {
-    match f {
-        ZipFn::Add => kernel::zip_into(a, b, out_shape, out, |x, y| x + y),
-        ZipFn::Sub => kernel::zip_into(a, b, out_shape, out, |x, y| x - y),
-        ZipFn::Mul => kernel::zip_into(a, b, out_shape, out, |x, y| x * y),
-        ZipFn::Div => kernel::zip_into(a, b, out_shape, out, |x, y| x / y),
+fn run_zip(
+    a: ViewRef<'_>,
+    b: ViewRef<'_>,
+    out_shape: &[usize],
+    out: &mut [f32],
+    f: ZipFn,
+    post: &[MapFn],
+) {
+    if post.is_empty() {
+        match f {
+            ZipFn::Add => kernel::zip_into(a, b, out_shape, out, |x, y| x + y),
+            ZipFn::Sub => kernel::zip_into(a, b, out_shape, out, |x, y| x - y),
+            ZipFn::Mul => kernel::zip_into(a, b, out_shape, out, |x, y| x * y),
+            ZipFn::Div => kernel::zip_into(a, b, out_shape, out, |x, y| x / y),
+        }
+    } else {
+        match f {
+            ZipFn::Add => kernel::zip_into(a, b, out_shape, out, |x, y| apply_post(x + y, post)),
+            ZipFn::Sub => kernel::zip_into(a, b, out_shape, out, |x, y| apply_post(x - y, post)),
+            ZipFn::Mul => kernel::zip_into(a, b, out_shape, out, |x, y| apply_post(x * y, post)),
+            ZipFn::Div => kernel::zip_into(a, b, out_shape, out, |x, y| apply_post(x / y, post)),
+        }
     }
 }
 
@@ -498,25 +581,23 @@ impl BoundModel {
                 BoundStep::Materialize { src, dst } => {
                     write_out(arena, dst.range, |r, out| kernel::gather_into(r.view(src), out));
                 }
-                BoundStep::Map { src, f, dst } => {
-                    write_out(arena, dst.range, |r, out| run_map(r.view(src), out, *f));
+                BoundStep::Map { src, f, post, dst } => {
+                    write_out(arena, dst.range, |r, out| run_map(r.view(src), out, *f, post));
                 }
-                BoundStep::Zip { a, b, f, dst } => {
+                BoundStep::Zip { a, b, f, post, dst } => {
                     write_out(arena, dst.range, |r, out| {
-                        run_zip(r.view(a), r.view(b), &dst.shape, out, *f)
+                        run_zip(r.view(a), r.view(b), &dst.shape, out, *f, post)
                     });
                 }
-                BoundStep::MatMul { a, b, dst } => {
-                    pack_operand(arena, a);
+                BoundStep::MatMul { a, b, post, dst } => {
                     pack_operand(arena, b);
                     write_out(arena, dst.range, |r, out| {
-                        kernel::matmul_packed_into(
-                            r.dense(&a.dense),
-                            &a.dense.shape,
-                            r.dense(&b.dense),
-                            &b.dense.shape,
-                            out,
-                        )
+                        let (av, bv) = (r.view(a), r.view(&b.dense));
+                        if post.is_empty() {
+                            kernel::matmul_packed_into(av, bv, out, |v| v);
+                        } else {
+                            kernel::matmul_packed_into(av, bv, out, |v| apply_post(v, post));
+                        }
                     });
                 }
                 BoundStep::Softmax { src, width, log, dst } => {
@@ -600,7 +681,7 @@ impl BoundModel {
     /// Re-verify the scheduler's no-aliasing invariant over the *bound*
     /// ranges: no step writes a span it also reads (including in-place-prone
     /// cases like a materializing `Reshape` whose input dies at the same
-    /// step). The split-borrow in [`write_out`] would panic at run time; this
+    /// step). The split-borrow in `write_out` would panic at run time; this
     /// makes the property checkable without running a batch.
     pub fn assert_no_aliasing(&self) {
         fn disjoint(a: (usize, usize), b: (usize, usize)) -> bool {
@@ -622,10 +703,9 @@ impl BoundModel {
                 BoundStep::Materialize { src, dst } => check(dst.range, &[src.range]),
                 BoundStep::Map { src, dst, .. } => check(dst.range, &[src.range]),
                 BoundStep::Zip { a, b, dst, .. } => check(dst.range, &[a.range, b.range]),
-                BoundStep::MatMul { a, b, dst } => {
-                    packs(&check, a);
+                BoundStep::MatMul { a, b, dst, .. } => {
                     packs(&check, b);
-                    check(dst.range, &[a.dense.range, b.dense.range]);
+                    check(dst.range, &[a.range, b.dense.range]);
                 }
                 BoundStep::Softmax { src, dst, .. } | BoundStep::Reduce { src, dst, .. } => {
                     packs(&check, src);

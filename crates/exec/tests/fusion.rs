@@ -1,0 +1,150 @@
+//! Fusion differential suite: a fused program (elementwise chains collapsed
+//! into their head op's store loop) must be **byte-identical** to the
+//! unfused one-pass-per-op program — and to the tape — for every
+//! architecture variant, covariate policy, batch size, and thread budget.
+//! The fused schedule must also be strictly cheaper: fewer steps and no
+//! more arena slots.
+
+use lip_analyze::synthetic_batch;
+use lip_autograd::Graph;
+use lip_data::window::Batch;
+use lip_data::CovariateSpec;
+use lip_exec::{compile_inference, compile_inference_unfused};
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn tape_pred_bytes(model: &LiPFormer, batch: &Batch) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut g = Graph::new(model.store());
+    let y = model.forward(&mut g, batch, false, &mut rng);
+    g.value(y).to_bytes()
+}
+
+fn implicit_spec() -> CovariateSpec {
+    CovariateSpec {
+        numerical: 0,
+        cardinalities: vec![],
+        time_features: 4,
+    }
+}
+
+fn explicit_spec() -> CovariateSpec {
+    CovariateSpec {
+        numerical: 2,
+        cardinalities: vec![5, 3],
+        time_features: 4,
+    }
+}
+
+fn toy_config() -> LiPFormerConfig {
+    let mut c = LiPFormerConfig::small(24, 8, 2);
+    c.patch_len = 6;
+    c.hidden = 8;
+    c.heads = 2;
+    c.encoder_hidden = 8;
+    c
+}
+
+#[test]
+fn fused_equals_unfused_across_variants_batches_and_threads() {
+    let base = toy_config();
+    // ffn variants exercise Relu-tail chains on top of the ever-present
+    // attention MatMul → MulScalar scale
+    let variants: Vec<(&str, LiPFormerConfig)> = vec![
+        ("default", base.clone()),
+        ("ln", base.clone().with_ln()),
+        ("ffn", base.clone().with_ffns()),
+        ("ln+ffn", base.clone().with_ln().with_ffns()),
+        ("no-cross", base.clone().without_cross_patch()),
+        ("linear-only", base.without_cross_patch().without_inter_patch()),
+    ];
+    for (label, config) in &variants {
+        for spec in [implicit_spec(), explicit_spec()] {
+            let model = LiPFormer::new(config.clone(), &spec, 23);
+            let fused = compile_inference(&model, &spec)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let unfused = compile_inference_unfused(&model, &spec)
+                .unwrap_or_else(|e| panic!("{label} unfused: {e}"));
+            let (fs, us) = (fused.schedule(), unfused.schedule());
+            assert!(fs.fused_ops() > 0, "{label}: nothing fused");
+            assert_eq!(
+                fs.steps.len() + fs.fused_ops(),
+                us.steps.len(),
+                "{label}: every fused stage must remove exactly one step"
+            );
+            assert!(
+                fs.slot_sizes.len() <= us.slot_sizes.len(),
+                "{label}: fusion must never need more slots"
+            );
+            // batch sizes straddle the elementwise chunk boundary at toy
+            // scale as far as the model allows; 1 is the degenerate case
+            for &b in &[1usize, 2, 7] {
+                let batch = synthetic_batch(config, &spec, b);
+                let mut bf = fused.bind(b);
+                let mut bu = unfused.bind(b);
+                bf.assert_no_aliasing();
+                bu.assert_no_aliasing();
+                let want =
+                    fnv1a(&lip_par::with_threads(1, || tape_pred_bytes(&model, &batch)));
+                for &t in &[1usize, 2, 3, 8] {
+                    let f = fnv1a(&lip_par::with_threads(t, || bf.run(&batch).to_bytes()));
+                    let u = fnv1a(&lip_par::with_threads(t, || bu.run(&batch).to_bytes()));
+                    assert_eq!(
+                        f, u,
+                        "{label} (explicit={}) b={b} threads={t}: fused != unfused",
+                        spec.has_explicit()
+                    );
+                    assert_eq!(
+                        f, want,
+                        "{label} (explicit={}) b={b} threads={t}: fused != tape",
+                        spec.has_explicit()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_poison_runs_stay_identical() {
+    // arena safety must survive fusion: liveness now frees operands at the
+    // fused tail, and a poisoned run must still reproduce the clean bytes
+    let config = toy_config().with_ffns();
+    let spec = explicit_spec();
+    let model = LiPFormer::new(config.clone(), &spec, 5);
+    let compiled = compile_inference(&model, &spec).unwrap();
+    for &b in &[1usize, 3] {
+        let batch = synthetic_batch(&config, &spec, b);
+        let mut bound = compiled.bind(b);
+        let clean = bound.run(&batch).to_bytes();
+        for poison in [f32::NAN, 1.0e30, -0.0] {
+            let poisoned = bound.run_with_poison(&batch, poison).to_bytes();
+            assert_eq!(clean, poisoned, "b={b} poison={poison} leaked into the output");
+        }
+    }
+}
+
+#[test]
+fn fused_arena_is_no_larger() {
+    let config = toy_config().with_ffns();
+    let spec = implicit_spec();
+    let model = LiPFormer::new(config.clone(), &spec, 9);
+    let fused = compile_inference(&model, &spec).unwrap();
+    let unfused = compile_inference_unfused(&model, &spec).unwrap();
+    for &b in &[1usize, 4, 32] {
+        assert!(
+            fused.bind(b).arena_bytes() <= unfused.bind(b).arena_bytes(),
+            "b={b}: fusion grew the arena"
+        );
+    }
+}

@@ -47,6 +47,8 @@
 //! assert_eq!(sum(1).to_bits(), sum(8).to_bits());
 //! ```
 
+#![warn(missing_docs)]
+
 mod chunk;
 mod pool;
 

@@ -13,10 +13,18 @@
 //!
 //! Every kernel short-circuits on a zero-numel output, so empty views never
 //! reach the chunk-size arithmetic or the density `debug_assert!`s.
+//!
+//! The matmul core ([`matmul_packed_into`]) is register-tiled: output
+//! columns are processed [`MATMUL_TILE_N`] at a time with a fixed-width
+//! accumulator array, the lhs is read through arbitrary strides, and the
+//! rhs needs only unit-stride rows ([`matmul_rows_dense`]) — so packing is
+//! the exception, not the rule. The per-element accumulation order (and
+//! with it the `lip-par` bit-identity contract) is documented on the
+//! function itself.
 
 use lip_par::{par_chunks_mut, ELEMWISE_CHUNK, MATMUL_CHUNK_MACS};
 
-use crate::shape::{broadcast_shapes, broadcast_strides, is_row_major, numel, split_at_axis, Odometer2};
+use crate::shape::{broadcast_shapes, is_row_major, numel, split_at_axis, Odometer2};
 
 /// A borrowed strided view over raw storage: everything a kernel needs to
 /// read one operand, with no ownership and no refcount traffic.
@@ -191,80 +199,144 @@ pub fn zip_into(
     });
 }
 
-/// Batched matmul over dense row-major operands of rank ≥ 2 (leading axes
-/// broadcast). Zeroes `out` itself — arena slots may hold stale bytes — then
-/// row-partitions exactly like `Tensor::matmul`.
+/// Column-tile width of the register-blocked matmul micro-kernel: each
+/// inner loop accumulates this many output columns in a fixed-size array,
+/// which rustc autovectorizes (one broadcast load of `a`, one dense 8-lane
+/// load of `b`, one vector multiply-add — no stride generality, no
+/// reassociation).
+pub const MATMUL_TILE_N: usize = 8;
+
+/// Can `v`'s innermost rows be streamed densely by the matmul micro-kernel?
+/// True when the last axis is unit-stride (or trivially short): outer axes
+/// may be arbitrarily strided or broadcast, only row interiors must be
+/// dense. Operands failing this must be packed before the kernel runs.
+pub fn matmul_rows_dense(v: &ViewRef<'_>) -> bool {
+    let r = v.shape.len();
+    r >= 2 && (v.shape[r - 1] <= 1 || v.strides[r - 1] == 1)
+}
+
+/// Batched tiled matmul over strided rank ≥ 2 operands (leading axes
+/// broadcast): `out[.., i, j] = epilogue(Σ_p a[.., i, p] · b[.., p, j])`.
+///
+/// The lhs is read through its own strides — a transposed, sliced,
+/// broadcast, or overlapping-window (`sliding_window`) lhs never has to be
+/// packed. The rhs only needs dense *rows* ([`matmul_rows_dense`]); its
+/// batch and row axes may be strided, so a shared weight matrix or a
+/// permuted-but-row-dense value tensor is likewise read in place. Each
+/// rhs panel is therefore packed (by the caller) at most once per call and
+/// reused across the whole batch/row extent here, instead of the old
+/// materialize-everything-per-call pipeline.
+///
+/// Tiling: work is row-partitioned exactly like before (chunk size a pure
+/// function of `(k, n)` — the `lip-par` bit-identity contract), and inside
+/// a chunk the column-tile loop is outermost so one `k ×`
+/// [`MATMUL_TILE_N`] rhs panel stays cache-hot across every row of the
+/// chunk while the accumulators live in registers.
+///
+/// Bit-identity: every output element is still produced by the exact
+/// per-element accumulation of the original i-k-j kernel — `p` strictly
+/// increasing, zero-lhs terms skipped, one f32 add per surviving term —
+/// so results are byte-identical to the pre-tiling kernel at any thread
+/// count. `epilogue` is applied once per element at store time (identity
+/// for a plain matmul; a fused elementwise chain for the executor).
 pub fn matmul_packed_into(
-    a: &[f32],
-    a_shape: &[usize],
-    b: &[f32],
-    b_shape: &[usize],
+    a: ViewRef<'_>,
+    b: ViewRef<'_>,
     out: &mut [f32],
+    epilogue: impl Fn(f32) -> f32 + Sync,
 ) {
-    let (ar, br) = (a_shape.len(), b_shape.len());
+    let (ar, br) = (a.shape.len(), b.shape.len());
     assert!(ar >= 2 && br >= 2, "matmul_packed_into wants rank >= 2 operands");
-    let (m, ka) = (a_shape[ar - 2], a_shape[ar - 1]);
-    let (kb, n) = (b_shape[br - 2], b_shape[br - 1]);
+    let (m, ka) = (a.shape[ar - 2], a.shape[ar - 1]);
+    let (kb, n) = (b.shape[br - 2], b.shape[br - 1]);
     debug_assert_eq!(ka, kb, "inner dims diverged from matmul_shapes");
     let k = ka;
+    assert!(
+        matmul_rows_dense(&b),
+        "matmul rhs rows must be unit-stride (shape {:?}, strides {:?}); pack first",
+        b.shape,
+        b.strides
+    );
+    let (a_rs, a_cs) = (a.strides[ar - 2], a.strides[ar - 1]);
+    let b_rs = b.strides[br - 2];
 
-    let batch_a = &a_shape[..ar - 2];
-    let batch_b = &b_shape[..br - 2];
-    let batch_shape =
-        broadcast_shapes(batch_a, batch_b).unwrap_or_else(|e| panic!("matmul batch axes: {e}"));
+    let batch_shape = broadcast_shapes(&a.shape[..ar - 2], &b.shape[..br - 2])
+        .unwrap_or_else(|e| panic!("matmul batch axes: {e}"));
     let batches = numel(&batch_shape);
+    debug_assert_eq!(out.len(), batches * m * n);
+    if out.is_empty() {
+        return;
+    }
 
-    // Flat offsets of each batch's matrix in the two buffers.
-    let sa: Vec<usize> = broadcast_strides(batch_a, &batch_shape)
-        .iter()
-        .map(|s| s * m * k)
-        .collect();
-    let sb: Vec<usize> = broadcast_strides(batch_b, &batch_shape)
-        .iter()
-        .map(|s| s * k * n)
-        .collect();
+    // Flat element offset of each batch's matrix, through the operands'
+    // actual strides (0 on broadcast axes).
+    let sa = strides_for_broadcast(&a.shape[..ar - 2], &a.strides[..ar - 2], &batch_shape);
+    let sb = strides_for_broadcast(&b.shape[..br - 2], &b.strides[..br - 2], &batch_shape);
     let offsets: Vec<(usize, usize)> = Odometer2::new(&batch_shape, sa, sb).collect();
     debug_assert_eq!(offsets.len(), batches);
-    debug_assert_eq!(out.len(), batches * m * n);
 
-    out.fill(0.0);
-    if m > 0 && n > 0 && batches > 0 {
-        // Partition over flattened output rows (batches * m of them),
-        // ~MATMUL_CHUNK_MACS multiply-accumulates per chunk. Row count per
-        // chunk depends only on (k, n), so the split is a pure function of
-        // the problem shape.
-        let rows_per_chunk = (MATMUL_CHUNK_MACS / (k * n).max(1)).max(1);
-        par_chunks_mut(out, rows_per_chunk * n, |_, start, dst| {
-            let row0 = start / n;
-            for (ri, o_row) in dst.chunks_mut(n).enumerate() {
+    let (a_data, b_data) = (a.data, b.data);
+    let (a_base, b_base) = (a.offset, b.offset);
+    // Partition over flattened output rows (batches * m of them),
+    // ~MATMUL_CHUNK_MACS multiply-accumulates per chunk. Row count per
+    // chunk depends only on (k, n), so the split is a pure function of
+    // the problem shape.
+    let rows_per_chunk = (MATMUL_CHUNK_MACS / (k * n).max(1)).max(1);
+    par_chunks_mut(out, rows_per_chunk * n, |_, start, dst| {
+        let row0 = start / n;
+        let rows = dst.len() / n;
+        // Column tiles outermost: the k × MATMUL_TILE_N rhs panel at j0 is
+        // reused across every row of the chunk before moving right.
+        let mut j0 = 0usize;
+        while j0 < n {
+            let w = (n - j0).min(MATMUL_TILE_N);
+            for ri in 0..rows {
                 let row = row0 + ri;
                 let (bi, i) = (row / m, row % m);
                 let (oa, ob) = offsets[bi];
-                let a_row = &a[oa + i * k..oa + (i + 1) * k];
-                let b_mat = &b[ob..ob + k * n];
-                matmul_row(a_row, b_mat, n, o_row);
+                let a_row = a_base + oa + i * a_rs;
+                let b_mat = b_base + ob;
+                let o = &mut dst[ri * n + j0..ri * n + j0 + w];
+                if w == MATMUL_TILE_N {
+                    // full-width tile: fixed-size accumulator array, no
+                    // stride generality — rustc turns the u-loop into one
+                    // vector multiply-add
+                    let mut acc = [0.0f32; MATMUL_TILE_N];
+                    for p in 0..k {
+                        let av = a_data[a_row + p * a_cs];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b_data[b_mat + p * b_rs + j0..b_mat + p * b_rs + j0 + MATMUL_TILE_N];
+                        for (au, &bv) in acc.iter_mut().zip(brow) {
+                            *au += av * bv;
+                        }
+                    }
+                    for (ou, &au) in o.iter_mut().zip(&acc) {
+                        *ou = epilogue(au);
+                    }
+                } else {
+                    // remainder columns (< MATMUL_TILE_N): same accumulation
+                    // order, scalar tail
+                    let mut acc = [0.0f32; MATMUL_TILE_N];
+                    for p in 0..k {
+                        let av = a_data[a_row + p * a_cs];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b_data[b_mat + p * b_rs + j0..b_mat + p * b_rs + j0 + w];
+                        for (au, &bv) in acc[..w].iter_mut().zip(brow) {
+                            *au += av * bv;
+                        }
+                    }
+                    for (ou, &au) in o.iter_mut().zip(&acc[..w]) {
+                        *ou = epilogue(au);
+                    }
+                }
             }
-        });
-    }
-}
-
-/// One output row: `out[n] = a_row[k] @ b[k,n]`, row-major, `out` zeroed.
-/// The k-then-j accumulation order (with the zero-skip) is the unit of
-/// bit-identity: every thread count produces each row through this exact
-/// loop.
-#[inline]
-fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
-    debug_assert_eq!(b.len(), a_row.len() * n);
-    debug_assert_eq!(out.len(), n);
-    for (p, &av) in a_row.iter().enumerate() {
-        if av == 0.0 {
-            continue;
+            j0 += w;
         }
-        let b_row = &b[p * n..(p + 1) * n];
-        for (o, &bv) in out.iter_mut().zip(b_row.iter()) {
-            *o += av * bv;
-        }
-    }
+    });
 }
 
 /// Axis reduction over dense row-major `data` of `shape`:

@@ -1,18 +1,21 @@
 //! Batched matrix multiplication with broadcasting over leading axes.
 //!
 //! The inner kernel ([`crate::kernel::matmul_packed_into`], shared with the
-//! compiled executor) is a cache-friendly i-k-j loop over row-major operands.
-//! Work is row-partitioned over the `batches * m` output rows through
-//! `lip-par` — chunk boundaries depend only on the problem sizes, every
-//! output row is produced by the unchanged serial i-k-j accumulation, and so
-//! results are bit-identical at any thread count. Partitioning over rows
-//! (not batches) also means a single large `[m, k] × [k, n]` product
-//! parallelizes just as well as a batched one.
+//! compiled executor) is a cache-blocked, register-tiled loop over strided
+//! operands. Work is row-partitioned over the `batches * m` output rows
+//! through `lip-par` — chunk boundaries depend only on the problem sizes,
+//! every output element is produced by the unchanged serial per-element
+//! accumulation, and so results are bit-identical at any thread count.
+//! Partitioning over rows (not batches) also means a single large
+//! `[m, k] × [k, n]` product parallelizes just as well as a batched one.
 //!
-//! Strided operands (a transposed K, a sliced batch, …) are packed into
-//! dense row-major buffers via [`Tensor::contiguous`] before the kernel
-//! runs; the pack gathers in logical order, so packed bytes — and therefore
-//! products — match the old materialize-on-layout pipeline exactly.
+//! The lhs is read directly through its strides — transposed, sliced, or
+//! sliding-window lhs views are never packed. The rhs is packed via
+//! [`Tensor::contiguous`] only when its innermost rows are not unit-stride
+//! (e.g. a transposed K in attention); a permuted-but-row-dense rhs is read
+//! in place. When a pack does happen it gathers in logical order, so the
+//! packed bytes — and therefore products — match the old
+//! materialize-everything pipeline exactly.
 
 use crate::kernel;
 use crate::shape::numel;
@@ -49,16 +52,19 @@ impl Tensor {
             rhs.clone()
         };
         assert!(a.rank() >= 2 && b.rank() >= 2);
-        // Pack strided views into dense row-major buffers: the i-k-j kernel
-        // and the flat batch-offset arithmetic below index raw storage.
-        let a = a.contiguous();
-        let b = b.contiguous();
+        // The kernel reads the lhs through its strides; only a rhs whose
+        // rows are not unit-stride must be packed dense first.
+        let b = if kernel::matmul_rows_dense(&b.view_ref()) {
+            b
+        } else {
+            b.contiguous()
+        };
 
         // The promoted shapes and the validated output shape describe the
-        // same element count (squeezed axes have extent 1), so the packed
-        // kernel can fill the output buffer directly.
+        // same element count (squeezed axes have extent 1), so the kernel
+        // can fill the output buffer directly.
         let mut out = vec![0.0f32; numel(&out_shape)];
-        kernel::matmul_packed_into(a.data(), a.shape(), b.data(), b.shape(), &mut out);
+        kernel::matmul_packed_into(a.view_ref(), b.view_ref(), &mut out, |v| v);
         Tensor::from_vec(out, &out_shape)
     }
 }

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline (warnings are errors)"
 RUSTFLAGS="-D warnings" cargo build --release --offline
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors; missing docs fail lip-par/lip-exec)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline
+
 echo "==> cargo test -q --offline (host-default thread budget)"
 cargo test -q --offline
 
@@ -36,6 +39,26 @@ if grep -E '"violations": *\[ *"' BENCH_pr5.json; then
   exit 1
 fi
 
+echo "==> perf_suite (tiled-kernel perf suite; regression-gated vs committed BENCH_pr7.json)"
+# the bin enforces: four-way byte parity (tape/exec × serial/parallel),
+# fused_ops >= 1 and pack_copied <= the post-tiling ceiling on every
+# benchmark, per-dataset counters never above the committed BENCH_pr7.json,
+# and the nine-dataset CPU-time totals within LIP_PERF_TOL (default 10%)
+# of it. The fresh run goes to a scratch file so the committed baseline
+# stays the comparison anchor.
+cargo run -q --release --offline -p lip-bench --bin perf_suite BENCH_pr7_check.json BENCH_pr7.json
+rm -f BENCH_pr7_check.json
+
+echo "==> verify: BENCH_pr7.json itself respects the pack ceiling and fused-op floor"
+if grep -E '"pack_copied": *(4[5-9][0-9]{4}|[5-9][0-9]{5}|[0-9]{7,})' BENCH_pr7.json; then
+  echo "FAIL: committed BENCH_pr7.json has pack_copied above the 450000 B ceiling" >&2
+  exit 1
+fi
+if grep -E '"fused_ops": *0' BENCH_pr7.json; then
+  echo "FAIL: committed BENCH_pr7.json records a benchmark with zero fused ops" >&2
+  exit 1
+fi
+
 echo "==> lip-exec bench smoke (compiled executor vs tape; fails on byte divergence)"
 # the executor differential sweep itself runs inside both cargo test passes
 # above (crates/exec/tests); this exercises the binary end-to-end and checks
@@ -55,6 +78,8 @@ if grep -rhE '^[a-zA-Z0-9_-]+ *= *[{"]' Cargo.toml crates/*/Cargo.toml \
 fi
 
 echo "OK: offline build + double test run green (LIP_THREADS=1 and default),"
+echo "    rustdoc clean under -D warnings,"
 echo "    parallel/serial bit-identical, zero layout-copy allocations,"
+echo "    perf suite within tolerance (pack ceiling, fused-op floor, timings),"
 echo "    compiled executor byte-identical to the tape on all nine benchmarks,"
 echo "    zero external dependencies"
