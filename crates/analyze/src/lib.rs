@@ -19,6 +19,9 @@
 //!   lints — the engine behind the `lip-analyze` binary and the
 //!   `scripts/verify.sh` gate.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod harness;
 pub mod infer;
 pub mod lint;
@@ -26,6 +29,7 @@ pub mod plan;
 pub mod rules;
 pub mod schedule;
 pub mod sym;
+pub mod verify;
 
 pub use harness::{check_model, synthetic_batch, CheckReport};
 pub use infer::{validate_graph, TapeSummary, Violation};
@@ -36,3 +40,7 @@ pub use plan::{
 };
 pub use schedule::{FusedStage, InferenceSchedule, Step, Storage};
 pub use sym::{eval_shape, fixed_shape, shape_to_string, SymDim, SymPoly, SymShape};
+pub use verify::{
+    audit_kernel_source, check_chunk_ranges, verify_partition_bounded, verify_partition_symbolic,
+    verify_schedule, CheckClass, VerifyFinding,
+};

@@ -5,6 +5,7 @@
 //! lip-analyze --lint                      # tape lints over recorded graphs
 //! lip-analyze --check-model               # full check, nine-benchmark sweep
 //! lip-analyze --check-model conf.json     # full check of one configuration
+//! lip-analyze --verify-plan               # static schedule + race verification
 //! ```
 //!
 //! Exit code 0 means zero findings; 1 means at least one finding; 2 means a
@@ -16,7 +17,11 @@ use std::process::ExitCode;
 use lip_analyze::harness::{check_models, synthetic_batch};
 use lip_analyze::lint::lint_graphs;
 use lip_analyze::plan::plan_forward_loss;
+use lip_analyze::schedule::InferenceSchedule;
 use lip_analyze::sym::shape_to_string;
+use lip_analyze::verify::{
+    audit_kernel_source, verify_partition_bounded, verify_partition_symbolic, verify_schedule,
+};
 use lipformer::analysis::{record_contrastive, record_forward_loss};
 use lipformer::{LiPFormer, LiPFormerConfig};
 use lip_data::pipeline::{prepare, CovariateSpec};
@@ -25,7 +30,8 @@ use lip_data::{generate, DatasetName, GeneratorConfig};
 
 const USAGE: &str = "\
 usage:
-  lip-analyze [--plan] [--lint] [--check-model [CONFIG.json]] [--batch N]
+  lip-analyze [--plan] [--lint] [--check-model [CONFIG.json]] [--verify-plan]
+              [--batch N]
 
 modes (combine freely; at least one is required):
   --plan                 print the symbolic shape/MAC plan, batch size B
@@ -35,6 +41,14 @@ modes (combine freely; at least one is required):
                          the NaN/Inf sanitizer. FILE is a LiPFormerConfig
                          JSON; without it the nine synthetic benchmarks
                          are swept with their standard (48, 24) setup.
+  --verify-plan          static schedule verification: prove def-before-use,
+                         slot liveness, arena bounds (symbolic, all B >= 1),
+                         and fusion legality over the nine benchmarks x
+                         architecture variants x both covariate policies x
+                         fused/unfused; prove lip-par chunk partitions
+                         pairwise disjoint (symbolic proof + bounded sweep);
+                         audit tensor kernel sources for mutation outside
+                         the disjoint-chunk API. Exit 1 on any finding.
 options:
   --batch N              batch size for recorded tapes (default 2, min 2)";
 
@@ -48,6 +62,7 @@ struct Options {
     plan: bool,
     lint: bool,
     check: bool,
+    verify: bool,
     config_path: Option<String>,
     batch: usize,
 }
@@ -57,6 +72,7 @@ fn parse_args() -> Options {
         plan: false,
         lint: false,
         check: false,
+        verify: false,
         config_path: None,
         batch: 2,
     };
@@ -65,6 +81,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--plan" => opts.plan = true,
             "--lint" => opts.lint = true,
+            "--verify-plan" => opts.verify = true,
             "--check-model" => {
                 opts.check = true;
                 if let Some(next) = it.peek() {
@@ -89,8 +106,8 @@ fn parse_args() -> Options {
             other => die(&format!("unknown argument '{other}'")),
         }
     }
-    if !(opts.plan || opts.lint || opts.check) {
-        die("pick at least one of --plan, --lint, --check-model");
+    if !(opts.plan || opts.lint || opts.check || opts.verify) {
+        die("pick at least one of --plan, --lint, --check-model, --verify-plan");
     }
     opts
 }
@@ -179,6 +196,122 @@ fn lint_only(t: &Target) -> usize {
     findings.len()
 }
 
+/// A named architecture tweak applied on top of a dataset's base config.
+type ConfigVariant = fn(LiPFormerConfig) -> LiPFormerConfig;
+
+/// `--verify-plan`: the full static verification sweep. Every finding is
+/// printed; the count feeds the exit code. Entirely static — no tensor
+/// data, no model weights; datasets are generated only for their channel
+/// counts.
+fn verify_plan_sweep() -> usize {
+    let mut findings = 0usize;
+
+    // -- schedules: nine benchmarks x variants x policies x fused/unfused --
+    let variants: [(&str, ConfigVariant); 7] = [
+        ("default", |c| c),
+        ("ln", LiPFormerConfig::with_ln),
+        ("ffn", LiPFormerConfig::with_ffns),
+        ("ln+ffn", |c| c.with_ln().with_ffns()),
+        ("no-cross", LiPFormerConfig::without_cross_patch),
+        ("no-inter", LiPFormerConfig::without_inter_patch),
+        ("linear-only", |c| c.without_cross_patch().without_inter_patch()),
+    ];
+    let policies = [
+        ("implicit", CovariateSpec { numerical: 0, cardinalities: vec![], time_features: 4 }),
+        ("explicit", CovariateSpec { numerical: 2, cardinalities: vec![5, 3], time_features: 4 }),
+    ];
+    let mut verified = 0usize;
+    for name in DatasetName::all() {
+        let ds = generate(name, GeneratorConfig::test(3));
+        let prep = prepare(&ds, 48, 24);
+        let base = LiPFormerConfig::small(48, 24, prep.channels);
+        for (vlabel, variant) in &variants {
+            let config = variant(base.clone());
+            for (plabel, spec) in &policies {
+                let label = format!("{name:?}/{vlabel}/{plabel}");
+                let plan = match plan_forward_loss(&config, spec, false) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        println!("{label}: plan rejected: {e}");
+                        findings += 1;
+                        continue;
+                    }
+                };
+                for (slabel, sched) in [
+                    ("fused", InferenceSchedule::build(&plan)),
+                    ("unfused", InferenceSchedule::build_unfused(&plan)),
+                ] {
+                    match sched {
+                        Ok(sched) => {
+                            for f in verify_schedule(&plan, &sched) {
+                                println!("{label}/{slabel}: {f}");
+                                findings += 1;
+                            }
+                            verified += 1;
+                        }
+                        Err(e) => {
+                            println!("{label}/{slabel}: schedule rejected: {e}");
+                            findings += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "schedules: {verified} verified (def-before-use, liveness, arena bounds \
+         for all B >= 1, fusion legality)"
+    );
+
+    // -- partition disjointness: symbolic proof + bounded real-code sweep --
+    for f in verify_partition_symbolic() {
+        println!("partition: {f}");
+        findings += 1;
+    }
+    for f in verify_partition_bounded(1024, 40) {
+        println!("partition: {f}");
+        findings += 1;
+    }
+    println!(
+        "partition: chunk windows pairwise disjoint and exactly covering \
+         (symbolic proof for all n, c; Partition::ranges() swept to n <= 1024)"
+    );
+
+    // -- kernel-source audit: mutation only through the disjoint-chunk API --
+    let tensor_src = concat!(env!("CARGO_MANIFEST_DIR"), "/../tensor/src");
+    let mut mutating_sites = 0usize;
+    for file in ["elementwise.rs", "kernel.rs", "reduce.rs", "matmul.rs"] {
+        let path = format!("{tensor_src}/{file}");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let (sites, audit) = audit_kernel_source(file, &text);
+                mutating_sites += sites;
+                for f in audit {
+                    println!("kernel audit: {f}");
+                    findings += 1;
+                }
+            }
+            Err(e) => {
+                println!("kernel audit: cannot read {path}: {e}");
+                findings += 1;
+            }
+        }
+    }
+    if mutating_sites == 0 {
+        println!(
+            "kernel audit: no par_chunks_mut call site found — parallel mutation \
+             moved off the audited API?"
+        );
+        findings += 1;
+    } else {
+        println!(
+            "kernel audit: {mutating_sites} par_chunks_mut site(s); no unsafe, \
+             no raw threads, no direct for_each_chunk in tensor kernels"
+        );
+    }
+    findings
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let targets = targets(&opts);
@@ -223,6 +356,11 @@ fn main() -> ExitCode {
         for t in &targets {
             findings += lint_only(t);
         }
+    }
+
+    if opts.verify {
+        println!("== static plan verification (schedules, partitions, kernels) ==");
+        findings += verify_plan_sweep();
     }
 
     if findings == 0 {

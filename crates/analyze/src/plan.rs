@@ -47,7 +47,14 @@ pub enum NodeAttr {
     /// `SumAxis` / `MeanAxis` / `Concat` axis.
     Axis(usize),
     /// `SliceAxis` range.
-    Slice { axis: usize, start: usize, end: usize },
+    Slice {
+        /// Axis being sliced.
+        axis: usize,
+        /// First kept index along `axis`.
+        start: usize,
+        /// One past the last kept index along `axis`.
+        end: usize,
+    },
     /// `Leaf` role: which runtime batch tensor feeds this input
     /// (`"x"`, `"covariate"`, `"target"`, `"y"`, or the generic `"leaf"`).
     Label(&'static str),
@@ -357,13 +364,13 @@ pub fn validate_config(config: &LiPFormerConfig) -> Result<(), PlanError> {
     if config.seq_len == 0 || config.pred_len == 0 || config.channels == 0 {
         return Err(c("seq_len, pred_len and channels must be positive".into()));
     }
-    if config.patch_len == 0 || config.seq_len % config.patch_len != 0 {
+    if config.patch_len == 0 || !config.seq_len.is_multiple_of(config.patch_len) {
         return Err(c(format!(
             "patch_len {} must evenly divide seq_len {} (paper §IV-A2)",
             config.patch_len, config.seq_len
         )));
     }
-    if config.hidden == 0 || config.heads == 0 || config.hidden % config.heads != 0 {
+    if config.hidden == 0 || config.heads == 0 || !config.hidden.is_multiple_of(config.heads) {
         return Err(c(format!(
             "hidden {} must divide by heads {}",
             config.hidden, config.heads
@@ -441,7 +448,7 @@ fn sym_mhsa(t: &mut SymTape, x: PlanVar, dim: usize, heads: usize) -> Result<Pla
             format!("expects [batch, seq, dim], got {}", shape_to_string(&shape)),
         ));
     }
-    if heads == 0 || dim % heads != 0 {
+    if heads == 0 || !dim.is_multiple_of(heads) {
         return Err(PlanError::new(
             "attention",
             format!("dim {dim} not divisible by heads {heads}"),

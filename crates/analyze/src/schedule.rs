@@ -101,6 +101,7 @@ pub struct Step {
     pub inputs: Vec<usize>,
     /// Compile-time attribute carried over from the plan (the head's).
     pub attr: NodeAttr,
+    /// Where the step's value lives in the arena.
     pub storage: Storage,
     /// Elementwise stages fused onto this step's head op, applied in order
     /// at store time. Empty for an ordinary step.
@@ -113,6 +114,7 @@ pub struct Step {
 /// A liveness-scheduled inference program over symbolic shapes.
 #[derive(Debug)]
 pub struct InferenceSchedule {
+    /// Emitted steps, in execution order.
     pub steps: Vec<Step>,
     /// Candidate symbolic element counts per physical slot: its extent at
     /// batch `b` is the max of `eval(b)` over the candidates (each owner the
@@ -311,7 +313,9 @@ impl InferenceSchedule {
                     Storage::Slot(id)
                 }
             } else {
-                let st = storage[i].expect("kept node without storage class");
+                let st = storage[i].ok_or_else(|| {
+                    err(format!("kept node {i} ({}) has no storage class", node.op))
+                })?;
                 if let Storage::Param(_) = st {
                     param_seen += 1;
                 }
@@ -319,7 +323,9 @@ impl InferenceSchedule {
             };
             let mut dies_after = Vec::new();
             for &owner in &dies_at[i] {
-                let id = phys[owner].expect("dying owner was never assigned a slot");
+                let id = phys[owner].ok_or_else(|| {
+                    err(format!("node {owner} dies at node {i} but was never assigned a slot"))
+                })?;
                 free.push(id);
                 dies_after.push(id);
             }
@@ -327,10 +333,14 @@ impl InferenceSchedule {
                 .iter()
                 .map(|&s| FusedStage { node: s, op: nodes[s].op, attr: nodes[s].attr.clone() })
                 .collect();
-            debug_assert!(
-                fused.last().is_none_or(|f| f.node == i),
-                "fused chain must end at the emitted tail"
-            );
+            if let Some(f) = fused.last() {
+                if f.node != i {
+                    return Err(err(format!(
+                        "fused chain into node {i} ends at node {} instead of the emitted tail",
+                        f.node
+                    )));
+                }
+            }
             steps.push(Step {
                 node: i,
                 op: head.op,
@@ -342,7 +352,11 @@ impl InferenceSchedule {
                 dies_after,
             });
         }
-        debug_assert_eq!(param_seen, params);
+        if param_seen != params {
+            return Err(err(format!(
+                "parameter segment mismatch: {param_seen} emitted vs {params} counted"
+            )));
+        }
 
         Ok(InferenceSchedule {
             steps,

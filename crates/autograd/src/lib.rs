@@ -31,6 +31,8 @@
 //! assert_eq!(grads.for_param(w).unwrap().item(), 3.0); // dy/dw = x
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod backward;
 pub mod gradcheck;
 mod graph;

@@ -50,7 +50,7 @@ impl Autoformer {
     pub fn new(seq_len: usize, pred_len: usize, channels: usize, dim: usize, seed: u64) -> Self {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
-        let heads = if dim % 8 == 0 { 8 } else { 4 };
+        let heads = if dim.is_multiple_of(8) { 8 } else { 4 };
         let embed = Linear::new(&mut store, "autoformer.embed", channels, dim, true, &mut rng);
         let blocks = (0..2)
             .map(|i| DecompBlock::new(&mut store, &format!("autoformer.block{i}"), dim, heads, &mut rng))

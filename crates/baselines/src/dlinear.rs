@@ -89,6 +89,9 @@ impl Forecaster for DLinear {
 }
 
 #[cfg(test)]
+use lip_rng::Rng;
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use lip_tensor::Tensor;
@@ -176,6 +179,3 @@ mod tests {
         assert!(fin < initial * 0.2, "ramp fit failed: {initial} → {fin}");
     }
 }
-
-#[cfg(test)]
-use lip_rng::Rng;

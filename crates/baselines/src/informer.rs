@@ -36,10 +36,10 @@ pub struct Informer {
 impl Informer {
     /// Build with width `dim` and two encoder layers around one distill step.
     pub fn new(seq_len: usize, pred_len: usize, channels: usize, dim: usize, seed: u64) -> Self {
-        assert!(seq_len % 2 == 0, "Informer distillation needs an even length");
+        assert!(seq_len.is_multiple_of(2), "Informer distillation needs an even length");
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
-        let heads = if dim % 8 == 0 { 8 } else { 4 };
+        let heads = if dim.is_multiple_of(8) { 8 } else { 4 };
         let value_embed = Linear::new(&mut store, "informer.value", channels, dim, true, &mut rng);
         let time_embed = Linear::new(
             &mut store,

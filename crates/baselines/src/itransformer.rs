@@ -37,7 +37,7 @@ impl ITransformer {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
         let embed = Linear::new(&mut store, "itransformer.embed", seq_len, dim, true, &mut rng);
-        let heads = if dim % 8 == 0 { 8 } else { 4 };
+        let heads = if dim.is_multiple_of(8) { 8 } else { 4 };
         let layers = (0..depth)
             .map(|i| {
                 EncoderLayer::new(

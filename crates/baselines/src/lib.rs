@@ -19,6 +19,8 @@
 //! All models implement [`lipformer::Forecaster`], train under the same
 //! [`lipformer::Trainer`], and accept the same batches.
 
+#![forbid(unsafe_code)]
+
 pub mod autoformer;
 pub mod common;
 pub mod dlinear;

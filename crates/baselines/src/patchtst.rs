@@ -43,12 +43,12 @@ impl PatchTst {
         let patch_len = lipformer::config::preferred_patch_len(seq_len).min(16);
         let patch_len = (1..=seq_len)
             .rev()
-            .find(|pl| seq_len % pl == 0 && *pl <= patch_len)
+            .find(|pl| seq_len.is_multiple_of(*pl) && *pl <= patch_len)
             .unwrap_or(1);
         let num_patches = seq_len / patch_len;
         let embed = Linear::new(&mut store, "patchtst.embed", patch_len, dim, true, &mut rng);
         let pe = LearnedPositionalEncoding::new(&mut store, "patchtst", num_patches, dim, &mut rng);
-        let heads = if dim % 8 == 0 { 8 } else { 4 };
+        let heads = if dim.is_multiple_of(8) { 8 } else { 4 };
         let layers = (0..depth)
             .map(|i| EncoderLayer::new(&mut store, &format!("patchtst.layer{i}"), dim, heads, 0.1, &mut rng))
             .collect();

@@ -39,7 +39,7 @@ impl TimeMixer {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut branches = Vec::new();
         for factor in [1usize, 2, 4] {
-            if seq_len % factor != 0 || seq_len / factor < 4 {
+            if !seq_len.is_multiple_of(factor) || seq_len / factor < 4 {
                 continue;
             }
             let scale_len = seq_len / factor;

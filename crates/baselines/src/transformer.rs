@@ -45,7 +45,7 @@ impl VanillaTransformer {
         let mut rng = StdRng::seed_from_u64(seed);
         let embed = Linear::new(&mut store, "transformer.embed", channels, dim, true, &mut rng);
         let pe = SinusoidalPositionalEncoding::new(seq_len.max(1024), dim);
-        let heads = if dim % 8 == 0 { 8 } else { 4 };
+        let heads = if dim.is_multiple_of(8) { 8 } else { 4 };
         let layers = (0..depth)
             .map(|i| {
                 EncoderLayer::new(

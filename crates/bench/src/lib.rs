@@ -14,6 +14,8 @@
 //!
 //! Shared fixtures live here.
 
+#![forbid(unsafe_code)]
+
 pub mod timing;
 
 pub use timing::{BenchRecord, Bencher, BenchmarkGroup, BenchmarkId, Criterion};

@@ -116,12 +116,12 @@ impl LiPFormerConfig {
     pub fn validate(&self) {
         assert!(self.seq_len > 0 && self.pred_len > 0 && self.channels > 0);
         assert!(
-            self.patch_len > 0 && self.seq_len % self.patch_len == 0,
+            self.patch_len > 0 && self.seq_len.is_multiple_of(self.patch_len),
             "patch_len {} must evenly divide seq_len {} (paper §IV-A2)",
             self.patch_len,
             self.seq_len
         );
-        assert!(self.hidden % self.heads == 0, "hidden must divide by heads");
+        assert!(self.hidden.is_multiple_of(self.heads), "hidden must divide by heads");
         assert!((0.0..1.0).contains(&self.dropout));
         assert!(self.smooth_l1_beta > 0.0);
     }
@@ -155,11 +155,11 @@ impl LiPFormerConfig {
 /// `seq_len`, falling back to any divisor.
 pub fn preferred_patch_len(seq_len: usize) -> usize {
     for pl in [48, 24, 12, 6] {
-        if seq_len % pl == 0 {
+        if seq_len.is_multiple_of(pl) {
             return pl;
         }
     }
-    (1..=seq_len).rev().find(|pl| seq_len % pl == 0).unwrap_or(1)
+    (1..=seq_len).rev().find(|pl| seq_len.is_multiple_of(*pl)).unwrap_or(1)
 }
 
 /// The largest of the paper's patch lengths {6, 12, 24, 48} that divides
@@ -167,7 +167,7 @@ pub fn preferred_patch_len(seq_len: usize) -> usize {
 /// [`preferred_patch_len`] when none does.
 pub fn patch_len_for_tokens(seq_len: usize, min_tokens: usize) -> usize {
     for pl in [48, 24, 12, 6] {
-        if seq_len % pl == 0 && seq_len / pl >= min_tokens {
+        if seq_len.is_multiple_of(pl) && seq_len / pl >= min_tokens {
             return pl;
         }
     }

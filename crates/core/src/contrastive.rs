@@ -40,6 +40,9 @@ impl WeakEnriching {
     /// Register the enriching parameters for a `(L, c)` task described by
     /// `spec`. Uses explicit covariates when the spec has them, otherwise
     /// implicit temporal features.
+    // The signature mirrors the paper's hyperparameter list one-for-one; a
+    // params struct would just rename the same eight knobs.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
         name: &str,

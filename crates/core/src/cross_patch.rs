@@ -37,6 +37,9 @@ impl CrossPatch {
     /// Build for `n = num_patches` trend length, `pl = patch_len` trend
     /// count and output width `hidden`. `use_attention = false` selects the
     /// ablation variant.
+    // The signature mirrors the paper's hyperparameter list one-for-one; a
+    // params struct would just rename the same knobs.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
         name: &str,
@@ -113,7 +116,7 @@ impl CrossPatch {
 pub fn compatible_heads(dim: usize, preferred: usize) -> usize {
     (1..=preferred.max(1))
         .rev()
-        .find(|h| dim % h == 0)
+        .find(|h| dim.is_multiple_of(*h))
         .unwrap_or(1)
 }
 
@@ -166,7 +169,7 @@ mod tests {
         let cp = CrossPatch::new(&mut store, "cp", 4, 3, 8, 2, true, &mut rng);
         let base = Tensor::zeros(&[1, 4, 3]);
         let mut spiked = base.clone();
-        spiked.data_mut()[0 * 3 + 1] = 5.0; // patch 0, position 1
+        spiked.data_mut()[1] = 5.0; // patch 0, position 1
         let run = |input: Tensor| {
             let mut g = Graph::new(&store);
             let x = g.constant(input);

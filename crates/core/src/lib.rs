@@ -38,6 +38,8 @@
 //! assert!(report.best_val_loss.is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod base_predictor;
 pub mod checkpoint;

@@ -35,7 +35,7 @@ fn small_param(store: &mut ParamStore, name: &str, shape: &[usize], seed: u64) -
 #[test]
 fn mean_backward_through_chunked_tree_sum() {
     lip_par::with_threads(4, || {
-        assert!(8192 * 4 > lip_par::REDUCE_CHUNK);
+        const { assert!(8192 * 4 > lip_par::REDUCE_CHUNK) };
         let mut store = ParamStore::new();
         let w = small_param(&mut store, "w", &[4], 21);
         let x = big_constant(&[8192, 4], 210);
@@ -60,7 +60,7 @@ fn mean_backward_through_chunked_tree_sum() {
 #[test]
 fn softmax_backward_through_row_chunks() {
     lip_par::with_threads(4, || {
-        assert!(4096 * 16 > lip_par::ELEMWISE_CHUNK);
+        const { assert!(4096 * 16 > lip_par::ELEMWISE_CHUNK) };
         let mut store = ParamStore::new();
         let b = small_param(&mut store, "bias", &[16], 22);
         let x = big_constant(&[4096, 16], 220);

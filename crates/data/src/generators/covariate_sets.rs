@@ -74,7 +74,7 @@ pub fn electri_price(config: GeneratorConfig) -> BenchmarkDataset {
         .collect();
 
     // --- targets [len, 4]: price, load, wind, solar (realized) -------------
-    let channels = config.channels_for(name).min(4).max(1);
+    let channels = config.channels_for(name).clamp(1, 4);
     let target_cols: [&[f32]; 4] = [&price, &load, &wind, &pv];
     let mut values = vec![0.0f32; len * channels];
     for t in 0..len {
@@ -226,7 +226,7 @@ pub fn cycle(config: GeneratorConfig) -> BenchmarkDataset {
         })
         .collect();
 
-    let channels = config.channels_for(name).min(2).max(1);
+    let channels = config.channels_for(name).clamp(1, 2);
     let mut values = vec![0.0f32; len * channels];
     for t in 0..len {
         for ch in 0..channels {
@@ -311,14 +311,14 @@ mod tests {
         let cal = ds.series.calendar;
         // compare 8am weekday ridership on dry vs wet hours
         let (mut dry, mut wet) = (Vec::new(), Vec::new());
-        for t in 0..cov.len() {
+        for (t, &count) in counts.iter().enumerate().take(cov.len()) {
             let d = cal.at(t);
             if d.hour == 8 && d.weekday < 5 {
                 let precip = cov.numerical.data()[t * c_n + 7];
                 if precip > 0.2 {
-                    wet.push(counts[t]);
+                    wet.push(count);
                 } else if precip == 0.0 {
-                    dry.push(counts[t]);
+                    dry.push(count);
                 }
             }
         }

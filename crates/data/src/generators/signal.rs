@@ -216,7 +216,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let s = b.regime_shifts(5, 2.0, &mut rng);
         let changes = s.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(changes >= 1 && changes <= 20, "changes {changes}");
+        assert!((1..=20).contains(&changes), "changes {changes}");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   *causally drive* the target — the substitution documented in DESIGN.md,
 //! * simple CSV import/export.
 
+#![forbid(unsafe_code)]
+
 pub mod calendar;
 pub mod csv;
 pub mod dataset;

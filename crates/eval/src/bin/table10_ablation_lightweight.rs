@@ -21,6 +21,8 @@ struct AblationResult {
 
 lip_serde::json_struct!(AblationResult { variant, dataset, pred_len, mse, mae, params });
 
+type ConfigVariant = fn(LiPFormerConfig) -> LiPFormerConfig;
+
 fn main() {
     let scale = RunScale::from_env(2030);
     println!(
@@ -28,7 +30,7 @@ fn main() {
         scale.name, scale.horizons
     );
 
-    let variants: [(&str, fn(LiPFormerConfig) -> LiPFormerConfig); 4] = [
+    let variants: [(&str, ConfigVariant); 4] = [
         ("LiPFormer", |c| c),
         ("+FFNs", LiPFormerConfig::with_ffns),
         ("+LN", LiPFormerConfig::with_ln),

@@ -19,6 +19,8 @@ struct AttnAblation {
 
 lip_serde::json_struct!(AttnAblation { variant, dataset, mse, mae });
 
+type ConfigVariant = fn(LiPFormerConfig) -> LiPFormerConfig;
+
 fn main() {
     let scale = RunScale::from_env(2031);
     let h = scale.horizons[0];
@@ -27,7 +29,7 @@ fn main() {
         scale.name
     );
 
-    let variants: [(&str, fn(LiPFormerConfig) -> LiPFormerConfig); 4] = [
+    let variants: [(&str, ConfigVariant); 4] = [
         ("w/o Cross-Patch", LiPFormerConfig::without_cross_patch),
         ("w/o Inter-Patch", LiPFormerConfig::without_inter_patch),
         ("Neither", |c| c.without_cross_patch().without_inter_patch()),

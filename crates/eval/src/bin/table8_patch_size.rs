@@ -24,7 +24,7 @@ fn main() {
     let h = scale.horizons[0];
     let patch_lens: Vec<usize> = [6usize, 12, 24, 48]
         .into_iter()
-        .filter(|pl| scale.seq_len % pl == 0 && scale.seq_len / pl >= 2)
+        .filter(|pl| scale.seq_len.is_multiple_of(*pl) && scale.seq_len / pl >= 2)
         .collect();
     println!(
         "Table VIII reproduction — patch sizes {patch_lens:?}, scale '{}' (T={}, L={h})\n",

@@ -12,6 +12,8 @@
 //! * [`table`] — paper-style table rendering plus JSON result persistence,
 //! * [`heatmap`] — PGM/ASCII dumps for the Figure 7 logits matrices.
 
+#![forbid(unsafe_code)]
+
 pub mod heatmap;
 pub mod registry;
 pub mod runner;

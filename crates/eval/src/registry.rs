@@ -79,8 +79,8 @@ impl ModelKind {
 /// A constructed model: LiPFormer variants keep their concrete type so the
 /// trainer can drive contrastive pre-training.
 pub enum AnyModel {
-    Lip(LiPFormer),
-    Plugin(WithCovariateEncoder<Box<dyn Forecaster>>),
+    Lip(Box<LiPFormer>),
+    Plugin(Box<WithCovariateEncoder<Box<dyn Forecaster>>>),
     Plain(Box<dyn Forecaster>),
 }
 
@@ -101,13 +101,13 @@ impl AnyModel {
                 let mut cfg = LiPFormerConfig::small(seq_len, pred_len, channels);
                 cfg.hidden = hd;
                 cfg.encoder_hidden = scale.encoder_hidden;
-                AnyModel::Lip(LiPFormer::new(cfg, spec, seed))
+                AnyModel::Lip(Box::new(LiPFormer::new(cfg, spec, seed)))
             }
             ModelKind::LiPFormerBase => {
                 let mut cfg = LiPFormerConfig::small(seq_len, pred_len, channels);
                 cfg.hidden = hd;
                 cfg.encoder_hidden = scale.encoder_hidden;
-                AnyModel::Lip(LiPFormer::without_enriching(cfg, seed))
+                AnyModel::Lip(Box::new(LiPFormer::without_enriching(cfg, seed)))
             }
             ModelKind::ITransformer => AnyModel::Plain(Box::new(ITransformer::new(
                 seq_len, pred_len, channels, hd, 2, seed,
@@ -149,14 +149,14 @@ impl AnyModel {
         seed: u64,
     ) -> AnyModel {
         match self {
-            AnyModel::Plain(inner) => AnyModel::Plugin(WithCovariateEncoder::new(
+            AnyModel::Plain(inner) => AnyModel::Plugin(Box::new(WithCovariateEncoder::new(
                 inner,
                 spec,
                 pred_len,
                 channels,
                 encoder_hidden,
                 seed,
-            )),
+            ))),
             other => other,
         }
     }
@@ -164,8 +164,8 @@ impl AnyModel {
     /// View as a `Forecaster`.
     pub fn forecaster(&self) -> &dyn Forecaster {
         match self {
-            AnyModel::Lip(m) => m,
-            AnyModel::Plugin(m) => m,
+            AnyModel::Lip(m) => m.as_ref(),
+            AnyModel::Plugin(m) => m.as_ref(),
             AnyModel::Plain(m) => m.as_ref(),
         }
     }
@@ -179,12 +179,14 @@ impl AnyModel {
     ) -> TrainReport {
         match self {
             AnyModel::Lip(m) => {
+                let m = m.as_mut();
                 if m.has_enriching() && trainer.config().pretrain_epochs > 0 {
                     trainer.pretrain(m, train);
                 }
                 trainer.fit(m, train, val)
             }
             AnyModel::Plugin(m) => {
+                let m = m.as_mut();
                 if trainer.config().pretrain_epochs > 0 {
                     trainer.pretrain(m, train);
                 }

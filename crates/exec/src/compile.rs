@@ -9,8 +9,8 @@
 //! producing an executor that silently diverges from the tape.
 
 use lip_analyze::{
-    eval_shape, plan_forward_loss, synthetic_batch, InferenceSchedule, NodeAttr, PlanError,
-    Storage,
+    eval_shape, plan_forward_loss, synthetic_batch, verify_schedule, InferenceSchedule, NodeAttr,
+    PlanError, Storage,
 };
 use lip_autograd::Op;
 use lip_data::CovariateSpec;
@@ -26,6 +26,9 @@ pub enum CompileError {
     Unsupported(String),
     /// The plan disagreed with a tape recorded from the same model.
     Parity(String),
+    /// The static verifier (`lip_analyze::verify_schedule`) found the
+    /// schedule unsound — each string is one `[class] message` finding.
+    Invariant(Vec<String>),
 }
 
 impl std::fmt::Display for CompileError {
@@ -34,6 +37,9 @@ impl std::fmt::Display for CompileError {
             CompileError::Plan(e) => write!(f, "compile: {e}"),
             CompileError::Unsupported(m) => write!(f, "compile: unsupported: {m}"),
             CompileError::Parity(m) => write!(f, "compile: plan/tape parity: {m}"),
+            CompileError::Invariant(findings) => {
+                write!(f, "compile: schedule failed static verification: {}", findings.join("; "))
+            }
         }
     }
 }
@@ -99,29 +105,25 @@ fn check_attrs(
         // the runtime Op drops AddScalar's immediate; the plan is the
         // authoritative carrier, so there is nothing to cross-check
         (Op::AddScalar(_), NodeAttr::Scalar(_)) => {}
-        (Op::MulScalar(_, s), NodeAttr::Scalar(p)) => {
-            if s.to_bits() != p.to_bits() {
+        (Op::MulScalar(_, s), NodeAttr::Scalar(p))
+            if s.to_bits() != p.to_bits() => {
                 return parity(format!("MulScalar planned {p} but recorded {s}"));
             }
-        }
-        (Op::Permute(_, axes), NodeAttr::Axes(p)) => {
-            if axes != p {
+        (Op::Permute(_, axes), NodeAttr::Axes(p))
+            if axes != p => {
                 return parity(format!("Permute planned {p:?} but recorded {axes:?}"));
             }
-        }
-        (Op::SliceAxis(_, ax, s, e), NodeAttr::Slice { axis, start, end }) => {
-            if (ax, s, e) != (axis, start, end) {
+        (Op::SliceAxis(_, ax, s, e), NodeAttr::Slice { axis, start, end })
+            if (ax, s, e) != (axis, start, end) => {
                 return parity(format!(
                     "SliceAxis planned ({axis}, {start}, {end}) but recorded ({ax}, {s}, {e})"
                 ));
             }
-        }
         (Op::Concat(_, ax), NodeAttr::Axis(a)) | (Op::SumAxis(_, ax), NodeAttr::Axis(a))
-        | (Op::MeanAxis(_, ax), NodeAttr::Axis(a)) => {
-            if ax != a {
+        | (Op::MeanAxis(_, ax), NodeAttr::Axis(a))
+            if ax != a => {
                 return parity(format!("{} planned axis {a} but recorded {ax}", op.name()));
             }
-        }
         (Op::GatherRows(_, indices), _) => {
             // the executor will feed batch.cov_categorical[channel] — the
             // recorded tape must have gathered with exactly those indices
@@ -180,6 +182,17 @@ fn compile_with(
     } else {
         InferenceSchedule::build_unfused(&plan)?
     };
+
+    // Static verification: prove def-before-use, slot liveness, symbolic
+    // arena bounds (all B >= 1), and fusion legality before trusting the
+    // schedule with an arena. A bad scheduler change is a typed error here,
+    // not a runtime abort in lip-serve.
+    let findings = verify_schedule(&plan, &schedule);
+    if !findings.is_empty() {
+        return Err(CompileError::Invariant(
+            findings.iter().map(|f| f.to_string()).collect(),
+        ));
+    }
 
     for step in &schedule.steps {
         if !SUPPORTED.contains(&step.op) {
@@ -264,7 +277,12 @@ fn compile_with(
     let mut param_ranges = Vec::with_capacity(schedule.params);
     for step in &schedule.steps {
         if let Storage::Param(k) = step.storage {
-            debug_assert_eq!(k, param_ranges.len(), "params must pack in step order");
+            if k != param_ranges.len() {
+                return Err(CompileError::Invariant(vec![format!(
+                    "[arena-bounds] parameter {k} packed out of step order (expected {})",
+                    param_ranges.len()
+                )]));
+            }
             let value = g.value(g.var(step.node)).contiguous();
             let start = params.len();
             params.extend_from_slice(value.data());

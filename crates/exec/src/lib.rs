@@ -36,6 +36,7 @@
 //! [`compile_inference_unfused`] compiles with fusion off so differential
 //! tests can prove that equality (`tests/fusion.rs`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compile;

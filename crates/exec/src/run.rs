@@ -37,6 +37,9 @@ use lip_tensor::{gelu_scalar, Tensor};
 
 use crate::compile::CompiledModel;
 
+/// A half-open element span `[start, end)` in the arena.
+type Span = (usize, usize);
+
 /// A resolved operand: concrete shape and strides plus its absolute offset
 /// and owning storage span in the arena. `range` is what liveness and the
 /// split-borrow reason about; `offset` is where logical element 0 lives.
@@ -45,7 +48,7 @@ struct Desc {
     shape: Vec<usize>,
     strides: Vec<usize>,
     offset: usize,
-    range: (usize, usize),
+    range: Span,
 }
 
 impl Desc {
@@ -190,6 +193,11 @@ pub struct BoundModel {
     steps: Vec<Exec>,
     pred: Desc,
     params_end: usize,
+    /// End of the pooled-slot segment (scratch begins here). The shadow
+    /// checker uses it to tell slot writes (allocation events, must hit
+    /// non-live storage) from scratch writes (freely reused every step).
+    #[cfg_attr(not(any(debug_assertions, feature = "shadow-writes")), allow(dead_code))]
+    slots_end: usize,
     explicit: bool,
     batch_size: usize,
 }
@@ -411,7 +419,15 @@ impl CompiledModel {
         let pred = descs[sched.pred].clone().expect("pred scheduled");
         let mut arena = vec![0.0f32; slots_end + scratch_peak];
         arena[..params_end].copy_from_slice(&self.params);
-        BoundModel { arena, steps, pred, params_end, explicit: self.explicit, batch_size: b }
+        BoundModel {
+            arena,
+            steps,
+            pred,
+            params_end,
+            slots_end,
+            explicit: self.explicit,
+            batch_size: b,
+        }
     }
 }
 
@@ -684,15 +700,15 @@ impl BoundModel {
     /// step). The split-borrow in `write_out` would panic at run time; this
     /// makes the property checkable without running a batch.
     pub fn assert_no_aliasing(&self) {
-        fn disjoint(a: (usize, usize), b: (usize, usize)) -> bool {
+        fn disjoint(a: Span, b: Span) -> bool {
             a.1 <= b.0 || b.1 <= a.0
         }
-        let check = |out: (usize, usize), reads: &[(usize, usize)]| {
+        let check = |out: Span, reads: &[Span]| {
             for &r in reads {
                 assert!(disjoint(out, r), "write span {out:?} aliases read span {r:?}");
             }
         };
-        let packs = |check: &dyn Fn((usize, usize), &[(usize, usize)]), p: &PackedOperand| {
+        let packs = |check: &dyn Fn(Span, &[Span]), p: &PackedOperand| {
             if p.packed {
                 check(p.dense.range, &[p.src.range]);
             }
@@ -720,5 +736,140 @@ impl BoundModel {
                 BoundStep::GatherRows { table, dst, .. } => check(dst.range, &[table.range]),
             }
         }
+    }
+}
+
+/// Per-element arena state tracked by the dynamic shadow-writes checker.
+#[cfg(any(debug_assertions, feature = "shadow-writes"))]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Shadow {
+    /// Never written since bind (or since its slot was last freed and the
+    /// new owner has not written yet — the checker distinguishes via Dead).
+    Undef,
+    /// Holds a value some later step may read.
+    Live,
+    /// Freed by `dies_after`; reading it is use-after-free.
+    Dead,
+}
+
+#[cfg(any(debug_assertions, feature = "shadow-writes"))]
+impl BoundModel {
+    /// Dynamic shadow-writes checker (debug builds and the `shadow-writes`
+    /// feature only): replay the bound step list over a per-element shadow
+    /// arena — `Undef | Live | Dead` — and validate at this concrete `B`
+    /// exactly the claims `lip_analyze::verify_schedule` proves symbolically
+    /// for all `B`:
+    ///
+    /// * every element a step reads is **live** (def-before-use, no
+    ///   use-after-free) — parameters are live from bind time;
+    /// * every **slot** write lands on non-live storage (the pool never
+    ///   clobbers a live value; scratch, by contrast, is freely reused);
+    /// * no step's write span overlaps one of its read spans;
+    /// * the prediction is fully live when the walk ends.
+    ///
+    /// Returns one message per violation; the differential tests assert the
+    /// result is empty for every compiled variant, tying the static verifier
+    /// to the bytes the executor actually touches.
+    pub fn shadow_check(&self) -> Vec<String> {
+        let mut shadow = vec![Shadow::Undef; self.arena.len()];
+        shadow[..self.params_end].fill(Shadow::Live);
+        let mut violations = Vec::new();
+
+        for (k, exec) in self.steps.iter().enumerate() {
+            // (reads, write) spans per sub-action, in execution order:
+            // packs gather strided operands into scratch before the kernel.
+            let mut actions: Vec<(Vec<Span>, Option<Span>)> = Vec::new();
+            let pack = |actions: &mut Vec<_>, p: &PackedOperand| {
+                if p.packed {
+                    actions.push((vec![p.src.range], Some(p.dense.range)));
+                }
+            };
+            match &exec.step {
+                BoundStep::Nop => {}
+                BoundStep::LoadX { dst } | BoundStep::LoadCovariate { dst } => {
+                    actions.push((vec![], Some(dst.range)));
+                }
+                BoundStep::Materialize { src, dst } => {
+                    actions.push((vec![src.range], Some(dst.range)));
+                }
+                BoundStep::Map { src, dst, .. } => {
+                    actions.push((vec![src.range], Some(dst.range)));
+                }
+                BoundStep::Zip { a, b, dst, .. } => {
+                    actions.push((vec![a.range, b.range], Some(dst.range)));
+                }
+                BoundStep::MatMul { a, b, dst, .. } => {
+                    pack(&mut actions, b);
+                    actions.push((vec![a.range, b.dense.range], Some(dst.range)));
+                }
+                BoundStep::Softmax { src, dst, .. } | BoundStep::Reduce { src, dst, .. } => {
+                    pack(&mut actions, src);
+                    actions.push((vec![src.dense.range], Some(dst.range)));
+                }
+                BoundStep::Concat { parts, dst, .. } => {
+                    let mut reads = Vec::with_capacity(parts.len());
+                    for p in parts {
+                        pack(&mut actions, p);
+                        reads.push(p.dense.range);
+                    }
+                    actions.push((reads, Some(dst.range)));
+                }
+                BoundStep::GatherRows { table, dst, .. } => {
+                    actions.push((vec![table.range], Some(dst.range)));
+                }
+            }
+
+            for (reads, write) in actions {
+                for &(s, e) in &reads {
+                    if let Some(i) = (s..e).find(|&i| shadow[i] != Shadow::Live) {
+                        violations.push(format!(
+                            "step {k}: reads [{s}, {e}) but element {i} is {:?}",
+                            shadow[i]
+                        ));
+                    }
+                    if let Some((ws, we)) = write {
+                        if s < we && ws < e {
+                            violations.push(format!(
+                                "step {k}: read span [{s}, {e}) overlaps write span [{ws}, {we})"
+                            ));
+                        }
+                    }
+                }
+                if let Some((ws, we)) = write {
+                    if ws < self.params_end {
+                        violations.push(format!(
+                            "step {k}: write span [{ws}, {we}) clobbers the parameter segment"
+                        ));
+                    } else if we <= self.slots_end {
+                        // slot write = the pool handing this span to a new
+                        // value: nothing in it may still be live
+                        if let Some(i) = (ws..we).find(|&i| shadow[i] == Shadow::Live) {
+                            violations.push(format!(
+                                "step {k}: slot write [{ws}, {we}) clobbers live element {i}"
+                            ));
+                        }
+                    }
+                    shadow[ws..we].fill(Shadow::Live);
+                }
+            }
+
+            // Mark dying spans dead. No double-free rule here: a pooled span
+            // recycled between two view-only `Reshape` owners is freed twice
+            // without an intervening write, which is legitimate — double-free
+            // detection needs slot identity and generations, and lives in the
+            // static verifier (`lip_analyze::verify_schedule`).
+            for &(s, e) in &exec.dies {
+                shadow[s..e].fill(Shadow::Dead);
+            }
+        }
+
+        let (ps, pe) = self.pred.range;
+        if let Some(i) = (ps..pe).find(|&i| shadow[i] != Shadow::Live) {
+            violations.push(format!(
+                "prediction span [{ps}, {pe}) has non-live element {i}: {:?}",
+                shadow[i]
+            ));
+        }
+        violations
     }
 }

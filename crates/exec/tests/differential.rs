@@ -74,6 +74,10 @@ fn nine_benchmarks_byte_identical_across_batch_sizes_and_threads() {
             let indices: Vec<usize> = (0..b).collect();
             let batch = prep.train.batch(&indices);
             let mut bound = compiled.bind(b);
+            // the dynamic shadow-writes checker must agree with the static
+            // verifier's claims at this concrete B
+            let shadow = bound.shadow_check();
+            assert!(shadow.is_empty(), "{name:?}: b={b} shadow violations: {shadow:?}");
             let want = fnv1a(&lip_par::with_threads(1, || tape_pred_bytes(&model, &batch)));
             for &t in &[1usize, 8] {
                 let got = fnv1a(&lip_par::with_threads(t, || bound.run(&batch).to_bytes()));
@@ -103,6 +107,12 @@ fn architecture_variants_byte_identical_for_both_covariate_policies() {
             for &b in &[1usize, 7] {
                 let batch = synthetic_batch(config, &spec, b);
                 let mut bound = compiled.bind(b);
+                let shadow = bound.shadow_check();
+                assert!(
+                    shadow.is_empty(),
+                    "{label} (explicit={}) b={b} shadow violations: {shadow:?}",
+                    spec.has_explicit()
+                );
                 let want =
                     fnv1a(&lip_par::with_threads(1, || tape_pred_bytes(&model, &batch)));
                 for &t in &[1usize, 2, 3, 8] {

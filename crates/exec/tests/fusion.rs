@@ -94,6 +94,11 @@ fn fused_equals_unfused_across_variants_batches_and_threads() {
                 let mut bu = unfused.bind(b);
                 bf.assert_no_aliasing();
                 bu.assert_no_aliasing();
+                // dynamic shadow-writes checker: fused and unfused programs
+                // must both uphold the statically verified span discipline
+                let (sf, su) = (bf.shadow_check(), bu.shadow_check());
+                assert!(sf.is_empty(), "{label} b={b} fused shadow violations: {sf:?}");
+                assert!(su.is_empty(), "{label} b={b} unfused shadow violations: {su:?}");
                 let want =
                     fnv1a(&lip_par::with_threads(1, || tape_pred_bytes(&model, &batch)));
                 for &t in &[1usize, 2, 3, 8] {

@@ -34,7 +34,7 @@ impl MultiHeadSelfAttention {
         heads: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        assert!(heads > 0 && dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
         MultiHeadSelfAttention {
             wq: Linear::new(store, &format!("{name}.wq"), dim, dim, false, rng),
             wk: Linear::new(store, &format!("{name}.wk"), dim, dim, false, rng),

@@ -12,6 +12,8 @@
 //! the tape. Stochastic layers (dropout) additionally take an explicit RNG
 //! and a `training` flag so runs are reproducible end-to-end.
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod attention;
 pub mod dropout;

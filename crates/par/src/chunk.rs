@@ -55,6 +55,15 @@ impl Partition {
         let start = i * self.chunk;
         start..(start + self.chunk).min(self.len)
     }
+
+    /// Every chunk range in index order — the introspection surface the
+    /// static race checker in `lip-analyze` sweeps to prove that the ranges
+    /// handed to [`par_chunks_mut`] windows are pairwise disjoint and cover
+    /// `0..len` exactly. This iterator IS the window arithmetic: each window
+    /// a parallel region mutates is `out[range]` for exactly one of these.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.n_chunks()).map(|i| self.range(i))
+    }
 }
 
 /// Run `body(chunk_index, item_range)` for every chunk, fanning chunks out
@@ -132,7 +141,15 @@ pub fn reduce_chunks<T: Send>(
 /// Raw pointer that may cross threads; soundness is the caller's obligation
 /// (here: every chunk writes a disjoint region).
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced inside `par_chunks_mut`, where
+// each thread derives a window from a `Partition::range` that is disjoint
+// from every other chunk's (see the static race checker in lip-analyze) —
+// no two threads ever touch the same element, so crossing threads is sound
+// whenever `T: Send`.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared references to `SendPtr` only ever read the pointer value
+// itself (to call `.add` with a chunk-disjoint offset); the pointee is
+// accessed exclusively through the per-chunk disjoint windows above.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Split `out` into `chunk`-sized disjoint windows and run
@@ -149,8 +166,10 @@ pub fn par_chunks_mut<T: Send>(
     let base = &base;
     for_each_chunk(part, |i, range| {
         // SAFETY: `range` values for distinct `i` never overlap and stay
-        // within `out` (Partition::range guarantees both), and `out` is
-        // exclusively borrowed for the duration of the region.
+        // within `out` (`Partition::range` guarantees both — the property
+        // `lip-analyze`'s partition checker proves symbolically for every
+        // length), and `out` is exclusively borrowed for the duration of
+        // the region, so each window is a unique `&mut` into `out`.
         let window =
             unsafe { std::slice::from_raw_parts_mut(base.0.add(range.start), range.len()) };
         body(i, range.start, window);

@@ -48,6 +48,12 @@
 //! ```
 
 #![warn(missing_docs)]
+// The ONLY crate in the workspace allowed to use `unsafe` (every other crate
+// carries `#![forbid(unsafe_code)]`): the five sites below this root are the
+// disjoint-window fan-out in `chunk.rs` and the scoped-lifetime erasure in
+// `pool.rs`, each with a `// SAFETY:` argument, and each covered by the
+// static race checker in `lip-analyze --verify-plan`.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod chunk;
 mod pool;

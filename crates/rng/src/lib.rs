@@ -19,6 +19,8 @@
 //! The [`prop`] module hosts the in-tree property-testing harness (the
 //! [`prop_check!`] macro) used by the `proptest_*.rs` suites.
 
+#![forbid(unsafe_code)]
+
 pub mod prop;
 pub mod seq;
 

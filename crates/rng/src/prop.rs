@@ -173,9 +173,9 @@ mod tests {
         let mut ran = 0usize;
         crate::prop_check!(cases = 20, seed = 4, |g| {
             let n = g.usize_in(0, 10);
-            crate::prop_assume!(n % 2 == 0);
+            crate::prop_assume!(n.is_multiple_of(2));
             ran += 1;
-            assert!(n % 2 == 0);
+            assert!(n.is_multiple_of(2));
         });
         assert!(ran > 0 && ran < 20, "some cases skipped, some ran: {ran}");
     }

@@ -18,27 +18,22 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
-    /// The next value of the stream.
+    /// Derive an independent sub-stream seed: mixes `salt` into the base
+    /// seed far enough that adjacent salts give uncorrelated streams.
+    pub fn derive(seed: u64, salt: u64) -> u64 {
+        let mut s = SplitMix64::new(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        s.next_u64()
+    }
+}
+
+impl Rng for SplitMix64 {
     #[inline]
-    pub fn next(&mut self) -> u64 {
+    fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
-    }
-
-    /// Derive an independent sub-stream seed: mixes `salt` into the base
-    /// seed far enough that adjacent salts give uncorrelated streams.
-    pub fn derive(seed: u64, salt: u64) -> u64 {
-        let mut s = SplitMix64::new(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        s.next()
-    }
-}
-
-impl Rng for SplitMix64 {
-    fn next_u64(&mut self) -> u64 {
-        self.next()
     }
 }
 
@@ -57,9 +52,9 @@ mod tests {
         // first three outputs for seed 1234567, from the public-domain
         // reference implementation by Sebastiano Vigna
         let mut s = SplitMix64::new(1234567);
-        assert_eq!(s.next(), 6457827717110365317);
-        assert_eq!(s.next(), 3203168211198807973);
-        assert_eq!(s.next(), 9817491932198370423);
+        assert_eq!(s.next_u64(), 6457827717110365317);
+        assert_eq!(s.next_u64(), 3203168211198807973);
+        assert_eq!(s.next_u64(), 9817491932198370423);
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl SeedableRng for Xoshiro256StarStar {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
         Xoshiro256StarStar {
-            s: [sm.next(), sm.next(), sm.next(), sm.next()],
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
         }
     }
 }

@@ -19,6 +19,8 @@
 //! and decoding is strict about types but lenient about extra object keys —
 //! the forward-compatibility behaviour checkpoints rely on.
 
+#![forbid(unsafe_code)]
+
 mod parse;
 mod write;
 
@@ -460,7 +462,7 @@ mod tests {
         assert_eq!(to_string(&-7i32), "-7");
         assert_eq!(to_string(&1.5f64), "1.5");
         assert_eq!(to_string(&"hi"), "\"hi\"");
-        assert_eq!(from_str::<bool>("false").unwrap(), false);
+        assert!(!from_str::<bool>("false").unwrap());
         assert_eq!(from_str::<usize>("123").unwrap(), 123);
         assert_eq!(from_str::<f32>("0.25").unwrap(), 0.25);
         assert_eq!(from_str::<String>("\"x\\ny\"").unwrap(), "x\ny");

@@ -31,12 +31,11 @@ impl Tensor {
     /// rhs-scalar cases keep `self.shape`, the lhs-scalar case keeps
     /// `rhs.shape`, and the general case broadcasts.
     pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
-        let out_shape: Vec<usize> = if self.shape == rhs.shape
+        let out_shape: Vec<usize> = if (self.shape == rhs.shape
             && self.is_contiguous()
-            && rhs.is_contiguous()
+            && rhs.is_contiguous())
+            || rhs.numel() == 1
         {
-            self.shape.clone()
-        } else if rhs.numel() == 1 {
             self.shape.clone()
         } else if self.numel() == 1 {
             rhs.shape.clone()
@@ -213,13 +212,13 @@ impl Tensor {
 /// (which must apply the byte-identical scalar function).
 #[inline]
 pub fn gelu_scalar(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
 }
 
 /// Derivative of the tanh-approximated GELU, exposed for the autograd crate.
 pub fn gelu_grad_scalar(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     let inner = SQRT_2_OVER_PI * (x + 0.044715 * x * x * x);
     let t = inner.tanh();
     let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x * x);

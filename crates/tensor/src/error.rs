@@ -5,11 +5,26 @@ use std::fmt;
 #[derive(Debug)]
 pub enum TensorError {
     /// Two shapes cannot be broadcast together.
-    BroadcastMismatch { lhs: Vec<usize>, rhs: Vec<usize> },
+    BroadcastMismatch {
+        /// Left operand's shape.
+        lhs: Vec<usize>,
+        /// Right operand's shape.
+        rhs: Vec<usize>,
+    },
     /// Matmul operands whose inner (contraction) dimensions disagree.
-    MatMulMismatch { lhs: Vec<usize>, rhs: Vec<usize> },
+    MatMulMismatch {
+        /// Left operand's shape.
+        lhs: Vec<usize>,
+        /// Right operand's shape.
+        rhs: Vec<usize>,
+    },
     /// An element count did not match the requested shape.
-    ShapeMismatch { expected: usize, got: usize },
+    ShapeMismatch {
+        /// Elements the shape implies.
+        expected: usize,
+        /// Elements actually provided.
+        got: usize,
+    },
     /// A serialized buffer was malformed.
     Corrupt(String),
     /// Underlying I/O failure.

@@ -34,15 +34,19 @@ pub struct ViewRef<'a> {
     pub data: &'a [f32],
     /// Flat offset of the view's first logical element.
     pub offset: usize,
+    /// Logical extents per axis.
     pub shape: &'a [usize],
+    /// Storage stride per axis, in elements.
     pub strides: &'a [usize],
 }
 
 impl ViewRef<'_> {
+    /// Logical element count (the product of `shape`).
     pub fn numel(&self) -> usize {
         numel(self.shape)
     }
 
+    /// Whether the view is dense row-major (readable as one flat slice).
     pub fn is_contiguous(&self) -> bool {
         is_row_major(self.shape, self.strides)
     }
@@ -162,7 +166,7 @@ pub fn zip_into(
     {
         let block = b.numel();
         debug_assert!(
-            block > 0 && numel(a.shape) % block == 0,
+            block > 0 && numel(a.shape).is_multiple_of(block),
             "suffix block {block} does not tile {:?}",
             a.shape
         );

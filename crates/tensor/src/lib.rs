@@ -40,6 +40,9 @@
 //! assert_eq!(d.shape(), &[2, 2]);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod elementwise;
 mod error;
 mod init;

@@ -11,7 +11,9 @@ const MAGIC: u32 = 0x4C49_5054; // "LIPT"
 /// JSON-compatible mirror of [`Tensor`] (owned shape + flat data).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TensorRepr {
+    /// Logical extents per axis.
     pub shape: Vec<usize>,
+    /// Row-major element data (`shape` product elements).
     pub data: Vec<f32>,
 }
 

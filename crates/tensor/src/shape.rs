@@ -91,7 +91,7 @@ pub fn view_strides(
                 out[new_d] = stride; // unconstrained
                 continue;
             }
-            if rem % dim != 0 {
+            if !rem.is_multiple_of(dim) {
                 return None; // new axis straddles a chunk boundary
             }
             out[new_d] = stride;
@@ -116,10 +116,10 @@ pub fn view_strides(
 pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>, TensorError> {
     let rank = lhs.len().max(rhs.len());
     let mut out = vec![0usize; rank];
-    for i in 0..rank {
+    for (i, slot) in out.iter_mut().enumerate() {
         let l = padded_dim(lhs, rank, i);
         let r = padded_dim(rhs, rank, i);
-        out[i] = if l == r || r == 1 {
+        *slot = if l == r || r == 1 {
             l
         } else if l == 1 {
             r
@@ -209,6 +209,8 @@ pub struct Odometer2 {
 }
 
 impl Odometer2 {
+    /// Walk `out_shape` in row-major order, tracking flat offsets into two
+    /// operands with the given per-axis strides.
     pub fn new(out_shape: &[usize], strides_a: Vec<usize>, strides_b: Vec<usize>) -> Self {
         Odometer2 {
             shape: out_shape.to_vec(),

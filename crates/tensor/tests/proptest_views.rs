@@ -106,7 +106,7 @@ fn random_view_op(g: &mut Gen, t: &Tensor, trace: &mut String) -> Tensor {
             let n = t.numel();
             let new_shape = if n == 0 {
                 vec![0, 1]
-            } else if n % 2 == 0 {
+            } else if n.is_multiple_of(2) {
                 vec![2, n / 2]
             } else {
                 vec![n, 1]

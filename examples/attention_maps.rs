@@ -38,7 +38,6 @@ struct Probe {
     store: ParamStore,
     trend_attn: MultiHeadSelfAttention,
     patch_attn: MultiHeadSelfAttention,
-    n: usize,
     pl: usize,
 }
 
@@ -54,7 +53,6 @@ impl Probe {
             store,
             trend_attn,
             patch_attn,
-            n,
             pl,
         }
     }

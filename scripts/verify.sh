@@ -8,8 +8,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline (warnings are errors)"
 RUSTFLAGS="-D warnings" cargo build --release --offline
 
-echo "==> cargo doc --no-deps (rustdoc warnings are errors; missing docs fail lip-par/lip-exec)"
+echo "==> cargo doc --no-deps (rustdoc warnings are errors; missing docs fail lip-par/lip-exec/lip-analyze/lip-tensor)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline
+
+echo "==> cargo clippy --all-targets (lints are errors, workspace-wide)"
+cargo clippy -q --all-targets --offline -- -D warnings
 
 echo "==> cargo test -q --offline (host-default thread budget)"
 cargo test -q --offline
@@ -19,6 +22,11 @@ LIP_THREADS=1 cargo test -q --offline
 
 echo "==> lip-analyze --lint --check-model (static graph gate)"
 cargo run -q --release --offline -p lip-analyze -- --lint --check-model
+
+echo "==> lip-analyze --verify-plan (static schedule verifier: def-before-use,"
+echo "    liveness, symbolic arena bounds, fusion legality, partition proof,"
+echo "    kernel-source audit — exit 1 on any finding)"
+cargo run -q --release --offline -p lip-analyze -- --verify-plan
 
 echo "==> par_baseline bench smoke (serial vs parallel; fails on divergence)"
 cargo run -q --release --offline -p lip-bench --bin par_baseline BENCH_pr4.json
@@ -78,7 +86,8 @@ if grep -rhE '^[a-zA-Z0-9_-]+ *= *[{"]' Cargo.toml crates/*/Cargo.toml \
 fi
 
 echo "OK: offline build + double test run green (LIP_THREADS=1 and default),"
-echo "    rustdoc clean under -D warnings,"
+echo "    rustdoc clean under -D warnings, clippy clean under -D warnings,"
+echo "    static plan verifier zero findings (schedules, partitions, kernels),"
 echo "    parallel/serial bit-identical, zero layout-copy allocations,"
 echo "    perf suite within tolerance (pack ceiling, fused-op floor, timings),"
 echo "    compiled executor byte-identical to the tape on all nine benchmarks,"
