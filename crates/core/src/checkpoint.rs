@@ -89,6 +89,13 @@ pub fn save(
 /// Read a checkpoint's header and parameter tensors.
 pub fn load(path: &Path) -> Result<(CheckpointHeader, Vec<Tensor>), CheckpointError> {
     let raw = std::fs::read(path)?;
+    load_bytes(&raw)
+}
+
+/// Decode a checkpoint already in memory. Takes `&[u8]`, so concurrent
+/// readers can decode one shared buffer (the serving cache does; the
+/// shared-cache concurrency tests race it).
+pub fn load_bytes(raw: &[u8]) -> Result<(CheckpointHeader, Vec<Tensor>), CheckpointError> {
     let mut cursor = 0usize;
     let take = |cursor: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
         if *cursor + n > raw.len() {

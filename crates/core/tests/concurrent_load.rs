@@ -1,0 +1,89 @@
+//! Concurrent-reader guarantees: many threads decoding one checkpoint
+//! (from the same path or one shared byte buffer) and parsing one shared
+//! JSON document must all succeed and agree — the serving cache leans on
+//! this when requests race a first load.
+
+use std::sync::Arc;
+
+use lip_data::CovariateSpec;
+use lipformer::checkpoint::{self, load_bytes};
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+
+fn spec() -> CovariateSpec {
+    CovariateSpec { numerical: 0, cardinalities: vec![], time_features: 4 }
+}
+
+fn fixture(name: &str) -> (std::path::PathBuf, LiPFormerConfig) {
+    let cfg = LiPFormerConfig::small(24, 8, 2);
+    let model = LiPFormer::new(cfg.clone(), &spec(), 11);
+    let dir = std::env::temp_dir()
+        .join("lipformer_concurrent_load")
+        .join(std::process::id().to_string());
+    std::fs::create_dir_all(&dir).expect("fixture dir");
+    let path = dir.join(name);
+    checkpoint::save(&path, &cfg, model.store()).expect("save");
+    (path, cfg)
+}
+
+#[test]
+fn threads_racing_load_model_on_one_file_all_succeed() {
+    let (path, cfg) = fixture("race_file.ckpt");
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let model = checkpoint::load_model(&path, &spec()).expect("load_model");
+                (model.num_parameters(), model.store().ids().count())
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("reader")).collect();
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "readers disagree: {results:?}");
+    assert_eq!(cfg.seq_len, 24);
+}
+
+#[test]
+fn threads_decoding_one_shared_buffer_agree_bytewise() {
+    let (path, _) = fixture("race_bytes.ckpt");
+    let raw: Arc<Vec<u8>> = Arc::new(std::fs::read(&path).expect("read"));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let raw = Arc::clone(&raw);
+            std::thread::spawn(move || {
+                let (header, tensors) = load_bytes(&raw).expect("load_bytes");
+                let bytes: Vec<u8> =
+                    tensors.iter().flat_map(|t| t.to_bytes()).collect();
+                (header.param_names.clone(), bytes)
+            })
+        })
+        .collect();
+    let mut results = handles.into_iter().map(|h| h.join().expect("decoder"));
+    let first = results.next().expect("at least one reader");
+    for (i, r) in results.enumerate() {
+        assert_eq!(r.0, first.0, "reader {i} names diverge");
+        assert_eq!(r.1, first.1, "reader {i} tensor bytes diverge");
+    }
+}
+
+#[test]
+fn threads_parsing_one_shared_json_document_agree() {
+    // the serving path parses request JSON on many worker threads; pin
+    // that lip-serde parsing is a pure function of the input bytes
+    let cfg = LiPFormerConfig::small(48, 24, 3);
+    let doc: Arc<String> = Arc::new(lip_serde::to_string_pretty(&cfg));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let doc = Arc::clone(&doc);
+            std::thread::spawn(move || {
+                let parsed: LiPFormerConfig =
+                    lip_serde::from_str(&doc).expect("parse shared config");
+                lip_serde::to_string(&parsed)
+            })
+        })
+        .collect();
+    let rendered: Vec<String> = handles.into_iter().map(|h| h.join().expect("parser")).collect();
+    assert!(
+        rendered.windows(2).all(|w| w[0] == w[1]),
+        "concurrent parses rendered differently"
+    );
+}

@@ -21,6 +21,8 @@ pub struct CovariateSpec {
     pub time_features: usize,
 }
 
+lip_serde::json_struct!(CovariateSpec { numerical, cardinalities, time_features });
+
 impl CovariateSpec {
     /// Whether explicit covariates exist.
     pub fn has_explicit(&self) -> bool {

@@ -1,0 +1,208 @@
+//! Leaderless micro-batching: concurrent submitters coalesce into one
+//! batched run without a dedicated batcher thread.
+//!
+//! The first submitter to find no active leader becomes the **leader**: it
+//! waits (on the condvar) until the queue holds [`BatchPolicy::max_batch`]
+//! items or [`BatchPolicy::max_wait`] has elapsed, drains the oldest
+//! `max_batch` items, releases the lock, and executes the batch runner. It
+//! keeps leading — draining whatever queued while it was running — until
+//! the queue is empty, then steps down. Followers just enqueue and block on
+//! their private result channel.
+//!
+//! Invariants the unit suite pins down:
+//!
+//! * **FIFO de-interleaving** — results return to submitters in submission
+//!   order; a batch of `[a, b, c]` answers `a` with `run(batch)[0]`, …;
+//! * **flush rules** — a batch flushes the moment it reaches `max_batch`
+//!   (never grows past it), or when `max_wait` expires with a partial
+//!   batch (a lone request with `max_wait = 0` runs immediately at `B = 1`);
+//! * **no wedging** — a panicking runner is caught; every submitter in the
+//!   batch gets a typed error, leadership is released, and the next batch
+//!   runs normally (`leader` can never stay stuck on an unwind path).
+//!
+//! The invariant `leader == false ⇒ queue is empty` holds because enqueue
+//! and leader-claim happen in one critical section, and a leader only steps
+//! down after seeing an empty queue.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// When a pending micro-batch flushes.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Flush immediately at this many queued requests (also the cap).
+    pub max_batch: usize,
+    /// Flush a partial batch once the leader has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_batch: 16, max_wait: Duration::from_millis(2) }
+    }
+}
+
+/// What each submitter gets back.
+pub type BatchResult<R> = Result<R, String>;
+
+struct Inner<T, R> {
+    queue: VecDeque<(T, mpsc::Sender<BatchResult<R>>)>,
+    leader: bool,
+}
+
+/// A coalescing queue: `submit` blocks until the item's batch has run.
+pub struct Batcher<T, R> {
+    inner: Mutex<Inner<T, R>>,
+    cv: Condvar,
+    policy: BatchPolicy,
+    /// Cumulative count of batches executed (for stats and tests).
+    batches: std::sync::atomic::AtomicU64,
+}
+
+/// Clears the leader flag even if the submit thread unwinds, so a panic
+/// can never leave the batcher leaderless-but-locked-out forever.
+struct LeaderGuard<'a, T, R> {
+    batcher: &'a Batcher<T, R>,
+    armed: bool,
+}
+
+impl<T, R> Drop for LeaderGuard<'_, T, R> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.batcher.lock();
+            inner.leader = false;
+        }
+    }
+}
+
+impl<T, R> Batcher<T, R> {
+    /// A new batcher with the given flush policy (`max_batch` is clamped to
+    /// at least 1).
+    pub fn new(policy: BatchPolicy) -> Self {
+        let policy = BatchPolicy { max_batch: policy.max_batch.max(1), ..policy };
+        Batcher {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), leader: false }),
+            cv: Condvar::new(),
+            policy,
+            batches: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Batches executed so far.
+    pub fn batches_run(&self) -> u64 {
+        self.batches.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T, R>> {
+        // a poisoned lock means some holder panicked; the state itself
+        // (a queue and a flag) is always valid, so serving beats dying
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Submit one item and block until its batch has run. `run` maps a
+    /// drained batch to one result per item, in order; it only executes on
+    /// the thread that happens to lead the batch.
+    ///
+    /// Returns `Err` when the runner failed (or panicked) for the whole
+    /// batch, or when the result channel was severed.
+    pub fn submit(&self, item: T, run: impl Fn(Vec<T>) -> Vec<BatchResult<R>>) -> BatchResult<R> {
+        let (tx, rx) = mpsc::channel();
+        let lead = {
+            let mut inner = self.lock();
+            inner.queue.push_back((item, tx));
+            if inner.leader {
+                self.cv.notify_all();
+                false
+            } else {
+                inner.leader = true;
+                true
+            }
+        };
+        if lead {
+            self.lead(&run);
+        }
+        match rx.recv() {
+            Ok(r) => r,
+            Err(_) => Err("batch runner dropped the response channel".into()),
+        }
+    }
+
+    /// Leader loop: flush batches until the queue drains.
+    fn lead(&self, run: &impl Fn(Vec<T>) -> Vec<BatchResult<R>>) {
+        let mut guard = LeaderGuard { batcher: self, armed: true };
+        loop {
+            let batch: Vec<(T, mpsc::Sender<BatchResult<R>>)> = {
+                let mut inner = self.lock();
+                let deadline = Instant::now() + self.policy.max_wait;
+                while inner.queue.len() < self.policy.max_batch {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (g, t) = self
+                        .cv
+                        .wait_timeout(inner, deadline - now)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    inner = g;
+                    if t.timed_out() {
+                        break;
+                    }
+                }
+                let n = inner.queue.len().min(self.policy.max_batch);
+                inner.queue.drain(..n).collect()
+            };
+
+            if !batch.is_empty() {
+                self.run_batch(batch, run);
+            }
+
+            let mut inner = self.lock();
+            if inner.queue.is_empty() {
+                inner.leader = false;
+                guard.armed = false;
+                return;
+            }
+            // more arrived while we ran: keep leading with a fresh window
+        }
+    }
+
+    fn run_batch(
+        &self,
+        batch: Vec<(T, mpsc::Sender<BatchResult<R>>)>,
+        run: &impl Fn(Vec<T>) -> Vec<BatchResult<R>>,
+    ) {
+        self.batches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (items, senders): (Vec<T>, Vec<mpsc::Sender<BatchResult<R>>>) =
+            batch.into_iter().unzip();
+        let n = items.len();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(items)));
+        match outcome {
+            Ok(results) if results.len() == n => {
+                for (s, r) in senders.iter().zip(results) {
+                    let _ = s.send(r);
+                }
+            }
+            Ok(results) => {
+                let msg =
+                    format!("batch runner returned {} results for {n} items", results.len());
+                for s in &senders {
+                    let _ = s.send(Err(msg.clone()));
+                }
+            }
+            Err(payload) => {
+                let what = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                let msg = format!("batch runner panicked: {what}");
+                for s in &senders {
+                    let _ = s.send(Err(msg.clone()));
+                }
+            }
+        }
+    }
+}

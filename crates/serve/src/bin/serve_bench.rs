@@ -1,0 +1,503 @@
+//! `serve_bench` — the regression-gated serving benchmark
+//! (recorded as `BENCH_serve.json`).
+//!
+//! One in-process [`lip_serve::Server`] serves all nine synthetic benchmark
+//! datasets; for each dataset the harness saves a checkpoint under
+//! `target/serve_bench/`, precomputes **golden per-window forecast hashes**
+//! with a direct `lip-exec` forward, then drives the server with concurrent
+//! keep-alive clients. Every response is parity-checked byte-for-byte
+//! against its golden hash — the bench is a correctness gate first and a
+//! stopwatch second.
+//!
+//! Recorded per dataset: request/error counts, parity, wall-clock
+//! throughput (forecasts/sec), **process CPU seconds** for the load phase
+//! (the gating statistic — wall clock is hopeless on shared hosts), client
+//! p50/p99 latency, the largest coalesced batch observed, and a histogram
+//! of the `batched` sizes responses rode in.
+//!
+//! ```text
+//! cargo run --release -p lip-serve --bin serve_bench [OUT.json] [BASELINE.json]
+//! ```
+//!
+//! Structural gates (always on): zero errors, parity on every dataset, and
+//! at least one multi-request coalesced batch somewhere in the run (a
+//! barrier-synced probe retries until the batcher demonstrably engages).
+//! With a `BASELINE.json` (the committed `BENCH_serve.json`), the
+//! nine-dataset **total CPU seconds** must stay within `LIP_SERVE_TOL`
+//! (default 0.50 = 50%) of the baseline total — serving times carry more
+//! scheduler noise than kernel benches, hence the loose default; per-run
+//! drift of the total is far smaller than per-dataset jitter.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use lip_data::pipeline::prepare;
+use lip_data::{generate, DatasetName, GeneratorConfig};
+use lip_exec::compile_inference;
+use lip_serve::batcher::BatchPolicy;
+use lip_serve::proto::ForecastRequest;
+use lip_serve::session::SessionOptions;
+use lip_serve::{fnv1a, Server, ServerConfig};
+use lipformer::{checkpoint, Forecaster, LiPFormer, LiPFormerConfig};
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+const WINDOWS: usize = 16;
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 32;
+
+/// One dataset's serving measurements.
+struct ServeRecord {
+    dataset: String,
+    requests: u64,
+    errors: u64,
+    parity_ok: bool,
+    /// Wall-clock forecasts per second over the load phase.
+    throughput_rps: f64,
+    /// Process CPU seconds consumed by the load phase (client + server
+    /// threads — everything lives in this process). The gated statistic.
+    cpu_s: f64,
+    /// Client-observed latency quantiles, microseconds.
+    p50_us: u64,
+    p99_us: u64,
+    /// Largest coalesced batch any response reported.
+    coalesced_max: u64,
+    /// `[batch_size, responses]` pairs over the whole load phase.
+    batch_hist: Vec<Vec<u64>>,
+}
+
+lip_serde::json_struct!(ServeRecord {
+    dataset,
+    requests,
+    errors,
+    parity_ok,
+    throughput_rps,
+    cpu_s,
+    p50_us,
+    p99_us,
+    coalesced_max,
+    batch_hist,
+});
+
+/// Whole-process CPU seconds (utime + stime from `/proc/self/stat`),
+/// falling back to wall clock where procfs is unavailable.
+fn cpu_seconds(wall_anchor: Instant) -> f64 {
+    if let Ok(stat) = std::fs::read_to_string("/proc/self/stat") {
+        if let Some(rest) = stat.rsplit(") ").next() {
+            let mut it = rest.split_ascii_whitespace().skip(11);
+            if let (Some(ut), Some(st)) = (it.next(), it.next()) {
+                if let (Ok(ut), Ok(st)) = (ut.parse::<u64>(), st.parse::<u64>()) {
+                    return (ut + st) as f64 / 100.0;
+                }
+            }
+        }
+    }
+    wall_anchor.elapsed().as_secs_f64()
+}
+
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn row_hash(row: &[f32]) -> u64 {
+    let mut bytes = Vec::with_capacity(row.len() * 4);
+    for v in row {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// A per-dataset serving fixture: checkpoint on disk, request bodies and
+/// golden hashes for `WINDOWS` windows.
+struct Fixture {
+    name: String,
+    bodies: Vec<String>,
+    golden: Vec<u64>,
+}
+
+fn build_fixture(name: DatasetName, dir: &std::path::Path) -> Fixture {
+    let ds = generate(name, GeneratorConfig::test(3));
+    let prep = prepare(&ds, 48, 24);
+    let config = LiPFormerConfig::small(48, 24, prep.channels);
+    let model = LiPFormer::new(config.clone(), &prep.spec, 7);
+    let ckpt = dir.join(format!("{name:?}.ckpt"));
+    checkpoint::save(&ckpt, &config, model.store()).unwrap_or_else(|e| {
+        eprintln!("{name:?}: cannot save checkpoint: {e}");
+        std::process::exit(2);
+    });
+
+    let windows = WINDOWS.min(prep.train.len());
+    // golden hashes from one direct batched forward (per-row results are
+    // batch-size invariant, which the differential tests pin down)
+    let compiled = compile_inference(&model, &prep.spec).unwrap_or_else(|e| {
+        eprintln!("{name:?}: compile failed: {e}");
+        std::process::exit(2);
+    });
+    let indices: Vec<usize> = (0..windows).collect();
+    let batch = prep.train.batch(&indices);
+    let mut bound = compiled.bind(windows);
+    let pred = bound.run(&batch).contiguous();
+    let per = config.pred_len * prep.channels;
+    let golden: Vec<u64> = (0..windows)
+        .map(|i| row_hash(&pred.data()[i * per..(i + 1) * per]))
+        .collect();
+
+    let ckpt_str = ckpt.to_string_lossy().to_string();
+    let bodies: Vec<String> = (0..windows)
+        .map(|w| {
+            let one = prep.train.batch(&[w]);
+            let rows = |t: &lip_tensor::Tensor, width: usize| -> Vec<Vec<f32>> {
+                t.contiguous().data().chunks(width).map(<[f32]>::to_vec).collect()
+            };
+            let req = ForecastRequest {
+                checkpoint: ckpt_str.clone(),
+                spec: prep.spec.clone(),
+                x: rows(&one.x, prep.channels),
+                time_feats: rows(&one.time_feats, prep.spec.time_features),
+                cov_numerical: one
+                    .cov_numerical
+                    .as_ref()
+                    .map(|t| rows(t, prep.spec.numerical)),
+                cov_categorical: one.cov_categorical.clone(),
+            };
+            lip_serde::to_string(&req)
+        })
+        .collect();
+    Fixture { name: format!("{name:?}"), bodies, golden }
+}
+
+// ---- minimal blocking client --------------------------------------------
+
+fn write_request(stream: &mut TcpStream, body: &str, keep_alive: bool) -> std::io::Result<()> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    // one write: head+body split across two small packets triggers
+    // Nagle/delayed-ACK stalls (~40 ms per request)
+    let mut req = format!(
+        "POST /forecast HTTP/1.1\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body.as_bytes());
+    stream.write_all(&req)?;
+    stream.flush()
+}
+
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let header_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length").then(|| v.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok((status, String::from_utf8_lossy(&body).to_string()))
+}
+
+/// `(hash of forecast bits, batched)` from a 200 body.
+fn decode(body: &str) -> Option<(u64, u64)> {
+    let json = lip_serde::from_str::<lip_serde::Json>(body).ok()?;
+    let rows: Vec<Vec<f32>> = json.field("forecast").ok()?;
+    let batched: u64 = json.field("batched").ok()?;
+    let flat: Vec<f32> = rows.into_iter().flatten().collect();
+    Some((row_hash(&flat), batched))
+}
+
+/// Drive `CLIENTS` keep-alive connections through the dataset's windows.
+/// Returns `(latencies_us, batched sizes, parity failures, io errors)`.
+fn load_phase(addr: SocketAddr, fx: &Fixture) -> (Vec<u64>, Vec<u64>, u64, u64) {
+    let parity_failures = Arc::new(AtomicU64::new(0));
+    let io_errors = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let bodies = fx.bodies.clone();
+            let golden = fx.golden.clone();
+            let parity_failures = Arc::clone(&parity_failures);
+            let io_errors = Arc::clone(&io_errors);
+            std::thread::spawn(move || {
+                let mut lats = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                let mut batched = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                let Ok(mut stream) = TcpStream::connect(addr) else {
+                    io_errors.fetch_add(REQUESTS_PER_CLIENT as u64, Ordering::Relaxed);
+                    return (lats, batched);
+                };
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                let _ = stream.set_nodelay(true);
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let w = (c * REQUESTS_PER_CLIENT + i) % bodies.len();
+                    let started = Instant::now();
+                    let ok = write_request(&mut stream, &bodies[w], true).is_ok();
+                    let resp = if ok { read_response(&mut stream).ok() } else { None };
+                    match resp {
+                        Some((200, body)) => {
+                            lats.push(started.elapsed().as_micros() as u64);
+                            match decode(&body) {
+                                Some((hash, b)) if hash == golden[w] => batched.push(b),
+                                _ => {
+                                    parity_failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        _ => {
+                            io_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                (lats, batched)
+            })
+        })
+        .collect();
+    let mut lats = Vec::new();
+    let mut batched = Vec::new();
+    for h in handles {
+        let (l, b) = h.join().expect("client thread");
+        lats.extend(l);
+        batched.extend(b);
+    }
+    (
+        lats,
+        batched,
+        parity_failures.load(Ordering::Relaxed),
+        io_errors.load(Ordering::Relaxed),
+    )
+}
+
+/// Barrier-release `CLIENTS` one-shot posts at once and return the largest
+/// coalesced batch reported — retried by the caller until > 1.
+fn coalesce_probe(addr: SocketAddr, fx: &Fixture) -> u64 {
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let max = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let body = fx.bodies[c % fx.bodies.len()].clone();
+            let barrier = Arc::clone(&barrier);
+            let max = Arc::clone(&max);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let Ok(mut stream) = TcpStream::connect(addr) else { return };
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                let _ = stream.set_nodelay(true);
+                if write_request(&mut stream, &body, false).is_err() {
+                    return;
+                }
+                if let Ok((200, body)) = read_response(&mut stream) {
+                    if let Some((_, b)) = decode(&body) {
+                        max.fetch_max(b as usize, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    max.load(Ordering::Relaxed) as u64
+}
+
+fn load_baseline(path: &str) -> Option<Vec<ServeRecord>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match lip_serde::from_str::<Vec<ServeRecord>>(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("cannot parse baseline {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let baseline = std::env::args().nth(2).and_then(|p| {
+        let b = load_baseline(&p);
+        if b.is_none() {
+            eprintln!("note: baseline {p} not found; recording without gating");
+        }
+        b
+    });
+    let tol: f64 = std::env::var("LIP_SERVE_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.50);
+
+    let dir = std::path::Path::new("target").join("serve_bench");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    });
+
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 8,
+        session: SessionOptions {
+            batch: BatchPolicy { max_batch: 8, max_wait: Duration::from_millis(2) },
+            forward_threads: None,
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind server: {e}");
+        std::process::exit(2);
+    });
+    let addr = server.addr();
+    println!(
+        "serve_bench: nine-dataset serving sweep on {addr} \
+         ({CLIENTS} clients × {REQUESTS_PER_CLIENT} requests, tolerance {:.0}%)",
+        tol * 100.0
+    );
+
+    let mut records: Vec<ServeRecord> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for name in DatasetName::all() {
+        let fx = build_fixture(name, &dir);
+
+        // warm the session (first load compiles) outside the timed phase
+        let probe0 = coalesce_probe(addr, &fx);
+
+        let anchor = Instant::now();
+        let cpu_before = cpu_seconds(anchor);
+        let wall = Instant::now();
+        let (mut lats, batched, parity_failures, io_errors) = load_phase(addr, &fx);
+        let wall_s = wall.elapsed().as_secs_f64().max(1e-9);
+        let cpu_s = cpu_seconds(anchor) - cpu_before;
+
+        // coalescing must be observable: retry the barrier probe a few
+        // times (scheduling-dependent), also counting the load phase itself
+        let mut coalesced_max = probe0.max(batched.iter().copied().max().unwrap_or(0));
+        for _ in 0..5 {
+            if coalesced_max > 1 {
+                break;
+            }
+            coalesced_max = coalesced_max.max(coalesce_probe(addr, &fx));
+        }
+
+        let requests = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+        let errors = parity_failures + io_errors;
+        let parity_ok = parity_failures == 0;
+        lats.sort_unstable();
+        let mut hist: Vec<(u64, u64)> = Vec::new();
+        for &b in &batched {
+            match hist.iter_mut().find(|(size, _)| *size == b) {
+                Some((_, n)) => *n += 1,
+                None => hist.push((b, 1)),
+            }
+        }
+        hist.sort_unstable();
+
+        let record = ServeRecord {
+            dataset: fx.name.clone(),
+            requests,
+            errors,
+            parity_ok,
+            throughput_rps: requests as f64 / wall_s,
+            cpu_s,
+            p50_us: nearest_rank(&lats, 0.50),
+            p99_us: nearest_rank(&lats, 0.99),
+            coalesced_max,
+            batch_hist: hist.iter().map(|&(b, n)| vec![b, n]).collect(),
+        };
+        println!(
+            "  {:>13}  {:>7.0} req/s  cpu {:>6.2} s  p50 {:>6} us  p99 {:>6} us  \
+             maxB {:>2}  err {}",
+            record.dataset,
+            record.throughput_rps,
+            record.cpu_s,
+            record.p50_us,
+            record.p99_us,
+            record.coalesced_max,
+            record.errors,
+        );
+
+        if errors > 0 {
+            failures.push(format!(
+                "{}: {io_errors} transport errors, {parity_failures} parity failures",
+                fx.name
+            ));
+        }
+        records.push(record);
+    }
+
+    // the batcher must have demonstrably engaged somewhere in the run
+    let best_batch = records.iter().map(|r| r.coalesced_max).max().unwrap_or(0);
+    if best_batch <= 1 {
+        failures.push(format!(
+            "no coalesced batch larger than 1 anywhere in the run (best {best_batch})"
+        ));
+    }
+
+    // server integrity after the full sweep
+    if server.panics() != 0 {
+        failures.push(format!("server caught {} worker panics", server.panics()));
+    }
+    if server.alive_workers() != server.workers() {
+        failures.push(format!(
+            "{} of {} workers died during the run",
+            server.workers() - server.alive_workers(),
+            server.workers()
+        ));
+    }
+    server.shutdown();
+
+    // baseline gate on the nine-dataset CPU total
+    if let Some(base) = baseline.as_ref() {
+        let new: f64 = records.iter().map(|r| r.cpu_s).sum();
+        let old: f64 = base.iter().map(|r| r.cpu_s).sum();
+        if new > old * (1.0 + tol) {
+            failures.push(format!(
+                "total serving cpu_s regressed {old:.2} s → {new:.2} s \
+                 (> {:.0}% tolerance)",
+                tol * 100.0
+            ));
+        }
+    }
+
+    let json = lip_serde::to_string_pretty(&records);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("suite → {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,60 @@
+//! # lip-serve
+//!
+//! A hermetic, std-only forecast server for compiled LiPFormer models: a
+//! multi-threaded `TcpListener` front end speaking a minimal HTTP/1.1 +
+//! JSON protocol (`lip-serde`, zero external crates) over the `lip-exec`
+//! arena executor.
+//!
+//! The serving pipeline is:
+//!
+//! 1. **Session cache** ([`session`]) — checkpoints load once through
+//!    `lipformer::checkpoint` into a cache keyed by a content hash covering
+//!    the checkpoint's configuration, covariate spec and parameter bytes.
+//!    Every configuration is validated with `lip_analyze::validate_config`
+//!    *before* any model is constructed, so a malformed checkpoint yields a
+//!    typed error response, never a panic. Concurrent first loads coalesce:
+//!    exactly one thread compiles, the rest block on the same slot.
+//! 2. **Micro-batching** ([`batcher`]) — concurrent requests for the same
+//!    session are coalesced into one `CompiledModel::bind(B)` +
+//!    `BoundModel::run` forward (flushed at `max_batch` requests or after
+//!    `max_wait`), then de-interleaved back to each requester in submission
+//!    order. Because the executor's kernels compute every output row with a
+//!    batch-size-independent accumulation order, a coalesced forecast is
+//!    bit-identical to serving the same request alone — the differential
+//!    tests enforce this byte-for-byte.
+//! 3. **Stats** ([`stats`]) — per-model request counts, batch-size
+//!    histograms and p50/p99 service latency, exposed at `GET /stats`.
+//!
+//! Endpoints: `POST /forecast` (see [`proto`] for the schema),
+//! `GET /stats`, `GET /healthz`. Every failure path — oversized or
+//! truncated bodies, slow writers, garbage bytes, bad configs, shape
+//! mismatches — maps to a typed [`error::ServeError`] with an HTTP status
+//! and a JSON body; the fault-injection test battery asserts the server
+//! never panics and never wedges a worker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod error;
+pub mod http;
+pub mod proto;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use batcher::{BatchPolicy, Batcher};
+pub use error::ServeError;
+pub use proto::{ForecastRequest, ForecastResponse};
+pub use server::{Server, ServerConfig};
+
+/// fnv1a-64 over arbitrary bytes: the workspace's standard content hash
+/// (same constants as the golden-hash differential tests).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,184 @@
+//! The request/response JSON schema for `POST /forecast`.
+//!
+//! A request carries **one** forecasting window; the server coalesces
+//! concurrent windows into micro-batches internally. Row-major nested
+//! arrays keep the schema human-writable:
+//!
+//! ```json
+//! {
+//!   "checkpoint": "models/etth1.ckpt",
+//!   "spec": {"numerical": 0, "cardinalities": [], "time_features": 4},
+//!   "x": [[…c floats…] × seq_len],
+//!   "time_feats": [[…time_features floats…] × pred_len],
+//!   "cov_numerical": [[…numerical floats…] × pred_len],   // optional
+//!   "cov_categorical": [[…pred_len codes…] × channels]    // optional
+//! }
+//! ```
+//!
+//! `spec`, `cov_numerical` and `cov_categorical` may be omitted (or null).
+//! The response returns the forecast with the batch it rode in:
+//!
+//! ```json
+//! {"forecast": [[…c floats…] × pred_len], "model": "9f…", "batched": 4,
+//!  "queue_us": 180, "run_us": 950}
+//! ```
+//!
+//! Floats cross the wire through `lip-serde`'s shortest-round-trip `f32`
+//! encoding, so a decoded forecast is **bit-identical** to the tensor the
+//! executor produced — the differential tests compare raw bit patterns.
+
+use lip_data::CovariateSpec;
+use lip_serde::{FromJson, Json, JsonError, ToJson};
+
+use crate::error::ServeError;
+
+/// One forecast request: a checkpoint reference plus one window of inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastRequest {
+    /// Path of the checkpoint to serve (loaded once, then cached).
+    pub checkpoint: String,
+    /// Covariate layout the checkpoint was trained with. Defaults to
+    /// implicit-only (`numerical: 0`, no categoricals, 4 time features).
+    pub spec: CovariateSpec,
+    /// History window, `seq_len` rows of `channels` floats.
+    pub x: Vec<Vec<f32>>,
+    /// Future implicit temporal features, `pred_len` rows of
+    /// `spec.time_features` floats.
+    pub time_feats: Vec<Vec<f32>>,
+    /// Future explicit numerical covariates, `pred_len` rows of
+    /// `spec.numerical` floats (required iff `spec.numerical > 0`).
+    pub cov_numerical: Option<Vec<Vec<f32>>>,
+    /// Future categorical covariate codes, one row of `pred_len` codes per
+    /// categorical channel (required iff `spec.cardinalities` non-empty).
+    pub cov_categorical: Option<Vec<Vec<usize>>>,
+}
+
+fn default_spec() -> CovariateSpec {
+    CovariateSpec { numerical: 0, cardinalities: vec![], time_features: 4 }
+}
+
+impl ToJson for ForecastRequest {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("checkpoint".to_string(), self.checkpoint.to_json()),
+            ("spec".to_string(), self.spec.to_json()),
+            ("x".to_string(), self.x.to_json()),
+            ("time_feats".to_string(), self.time_feats.to_json()),
+        ];
+        if let Some(n) = &self.cov_numerical {
+            pairs.push(("cov_numerical".to_string(), n.to_json()));
+        }
+        if let Some(c) = &self.cov_categorical {
+            pairs.push(("cov_categorical".to_string(), c.to_json()));
+        }
+        Json::Object(pairs)
+    }
+}
+
+impl FromJson for ForecastRequest {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let optional = |key: &str| -> Option<&Json> {
+            v.get(key).filter(|j| !matches!(j, Json::Null))
+        };
+        let spec = match optional("spec") {
+            Some(j) => CovariateSpec::from_json(j).map_err(|e| e.with_context("field 'spec'"))?,
+            None => default_spec(),
+        };
+        let cov_numerical = match optional("cov_numerical") {
+            Some(j) => Some(
+                Vec::<Vec<f32>>::from_json(j)
+                    .map_err(|e| e.with_context("field 'cov_numerical'"))?,
+            ),
+            None => None,
+        };
+        let cov_categorical = match optional("cov_categorical") {
+            Some(j) => Some(
+                Vec::<Vec<usize>>::from_json(j)
+                    .map_err(|e| e.with_context("field 'cov_categorical'"))?,
+            ),
+            None => None,
+        };
+        Ok(ForecastRequest {
+            checkpoint: v.field("checkpoint")?,
+            spec,
+            x: v.field("x")?,
+            time_feats: v.field("time_feats")?,
+            cov_numerical,
+            cov_categorical,
+        })
+    }
+}
+
+impl ForecastRequest {
+    /// Decode a request body, mapping parse failures to a typed 400 that
+    /// keeps `lip-serde`'s line:column position.
+    pub fn parse(body: &[u8]) -> Result<ForecastRequest, ServeError> {
+        let req: ForecastRequest = lip_serde::from_slice(body)?;
+        req.check_rectangular()?;
+        Ok(req)
+    }
+
+    /// Reject ragged rows early with a typed error: tensors need uniform
+    /// widths, and a precise message beats an opaque shape mismatch later.
+    fn check_rectangular(&self) -> Result<(), ServeError> {
+        let uniform = |name: &str, rows: &[Vec<f32>]| -> Result<(), ServeError> {
+            if let Some(first) = rows.first() {
+                if let Some((i, r)) = rows
+                    .iter()
+                    .enumerate()
+                    .find(|(_, r)| r.len() != first.len())
+                {
+                    return Err(ServeError::BadRequest {
+                        message: format!(
+                            "'{name}' row {i} has {} values, row 0 has {}",
+                            r.len(),
+                            first.len()
+                        ),
+                        position: None,
+                    });
+                }
+            }
+            Ok(())
+        };
+        uniform("x", &self.x)?;
+        uniform("time_feats", &self.time_feats)?;
+        if let Some(n) = &self.cov_numerical {
+            uniform("cov_numerical", n)?;
+        }
+        if self.x.is_empty() || self.x[0].is_empty() {
+            return Err(ServeError::BadRequest {
+                message: "'x' must be a non-empty [seq_len][channels] array".into(),
+                position: None,
+            });
+        }
+        Ok(())
+    }
+
+    /// Row-major flattening of a `[rows][width]` array.
+    pub fn flatten(rows: &[Vec<f32>]) -> Vec<f32> {
+        rows.iter().flat_map(|r| r.iter().copied()).collect()
+    }
+}
+
+/// One forecast response (see the module docs for the JSON layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastResponse {
+    /// The `[pred_len][channels]` forecast.
+    pub forecast: Vec<Vec<f32>>,
+    /// Hex content hash of the session that served this (cache key).
+    pub model: String,
+    /// Size of the coalesced batch this window rode in (1 = ran alone).
+    pub batched: usize,
+    /// Microseconds spent queued before its batch flushed.
+    pub queue_us: u64,
+    /// Microseconds of the batched forward (shared by the whole batch).
+    pub run_us: u64,
+}
+
+lip_serde::json_struct!(ForecastResponse {
+    forecast,
+    model,
+    batched,
+    queue_us,
+    run_us,
+});

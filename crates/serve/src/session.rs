@@ -1,0 +1,381 @@
+//! Checkpoint sessions: validated, compiled models cached by content hash,
+//! each owning a micro-batcher over the `lip-exec` executor.
+//!
+//! Loading order is chosen so nothing can panic on hostile input:
+//!
+//! 1. read the checkpoint file and decode it (`checkpoint::load_bytes`) —
+//!    corrupt bundles return typed `CheckpointError`s;
+//! 2. validate the decoded configuration with
+//!    `lip_analyze::validate_config` — the Result-typed mirror of
+//!    `LiPFormerConfig::validate`, so a checkpoint whose header asks for an
+//!    impossible architecture is rejected *before* `LiPFormer::new` (which
+//!    asserts) ever runs;
+//! 3. restore parameters (name/shape checked) and compile through
+//!    `lip_exec::compile_inference`, which replays the symbolic plan
+//!    against a recorded tape and the static schedule verifier before
+//!    trusting it.
+//!
+//! The cache key is the fnv1a mix of the config JSON, the covariate-spec
+//! JSON **and the raw checkpoint bytes** — two checkpoints that share a
+//! configuration but differ in weights never collide. Concurrent first
+//! requests for one checkpoint coalesce on a per-key `OnceLock`: exactly
+//! one thread compiles, everyone else blocks and shares the result (the
+//! shared-cache race test pins this to `compiles == 1`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use lip_data::pipeline::CovariateSpec;
+use lip_data::window::{Batch, BatchContract};
+use lip_exec::{compile_inference, CompiledModel};
+use lip_tensor::Tensor;
+use lipformer::checkpoint;
+use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
+
+use crate::batcher::{BatchPolicy, BatchResult, Batcher};
+use crate::error::ServeError;
+use crate::fnv1a;
+use crate::proto::ForecastRequest;
+use crate::stats::{ModelStats, StatsRegistry};
+
+/// One window's inputs, flattened and validated, ready to coalesce.
+pub struct Job {
+    /// `[seq_len * channels]` history, row-major.
+    pub x: Vec<f32>,
+    /// `[pred_len * time_features]` future implicit features.
+    pub time_feats: Vec<f32>,
+    /// `[pred_len * numerical]` future numerical covariates, if the spec
+    /// has any.
+    pub cov_numerical: Option<Vec<f32>>,
+    /// `[channels][pred_len]` categorical codes, if the spec has any.
+    pub cov_categorical: Option<Vec<Vec<usize>>>,
+    /// When the job entered the batcher (for `queue_us`).
+    pub enqueued: Instant,
+}
+
+/// One window's forecast plus its batching telemetry.
+pub struct JobOut {
+    /// `[pred_len * channels]` forecast, row-major.
+    pub rows: Vec<f32>,
+    /// Coalesced batch size this job rode in.
+    pub batched: usize,
+    /// Microseconds queued before the batch flushed.
+    pub queue_us: u64,
+    /// Microseconds of the shared bind+run.
+    pub run_us: u64,
+}
+
+/// A compiled checkpoint being served.
+pub struct Session {
+    /// Hex rendering of the cache key.
+    pub key_hex: String,
+    /// The checkpoint's configuration.
+    pub config: LiPFormerConfig,
+    /// The covariate layout it serves.
+    pub spec: CovariateSpec,
+    /// Per-request shape contract (`B = 1`).
+    pub contract: BatchContract,
+    /// Per-model counters.
+    pub stats: Arc<ModelStats>,
+    compiled: CompiledModel,
+    batcher: Batcher<Job, JobOut>,
+    forward_threads: Option<usize>,
+}
+
+impl Session {
+    /// Validate one request against this session's contract and flatten it
+    /// into a [`Job`]. Every shape or code-range violation is a typed
+    /// error — nothing downstream can assert on request data.
+    pub fn validate_request(&self, req: &ForecastRequest) -> Result<Job, ServeError> {
+        let x = ForecastRequest::flatten(&req.x);
+        let tf = ForecastRequest::flatten(&req.time_feats);
+        let cov_numerical = req.cov_numerical.as_ref().map(|n| ForecastRequest::flatten(n));
+        let cov_categorical = req.cov_categorical.clone();
+
+        let batch = assemble(
+            &self.contract,
+            1,
+            x.clone(),
+            tf.clone(),
+            cov_numerical.clone(),
+            cov_categorical.as_ref().map(|chans| {
+                chans.iter().map(|c| c.to_vec()).collect::<Vec<_>>()
+            }),
+        )?;
+        self.contract
+            .check(&batch)
+            .map_err(|message| ServeError::Contract { message })?;
+        Ok(Job {
+            x,
+            time_feats: tf,
+            cov_numerical,
+            cov_categorical,
+            enqueued: Instant::now(),
+        })
+    }
+
+    /// Submit a job to the micro-batcher and wait for its forecast.
+    pub fn forecast(self: &Arc<Self>, job: Job) -> Result<JobOut, ServeError> {
+        let this = Arc::clone(self);
+        self.batcher
+            .submit(job, move |jobs| this.run_batch(jobs))
+            .map_err(|message| ServeError::Internal { message })
+    }
+
+    /// Batches executed so far (test hook).
+    pub fn batches_run(&self) -> u64 {
+        self.batcher.batches_run()
+    }
+
+    /// Coalesce `jobs` into one `[B, …]` batch, bind the compiled plan at
+    /// `B`, run one forward, and de-interleave the prediction rows back to
+    /// per-job outputs in submission order.
+    fn run_batch(&self, jobs: Vec<Job>) -> Vec<BatchResult<JobOut>> {
+        let b = jobs.len();
+        let started = Instant::now();
+        let queue_us: Vec<u64> = jobs
+            .iter()
+            .map(|j| j.enqueued.elapsed().as_micros() as u64)
+            .collect();
+
+        let mut x = Vec::with_capacity(b * self.contract.seq_len * self.contract.channels);
+        let mut tf = Vec::with_capacity(b * self.contract.pred_len * self.contract.time_features);
+        let mut cov_n: Option<Vec<f32>> = self.spec.numerical.gt(&0).then(Vec::new);
+        let mut cov_c: Option<Vec<Vec<usize>>> = (!self.spec.cardinalities.is_empty())
+            .then(|| vec![Vec::new(); self.spec.cardinalities.len()]);
+        for job in &jobs {
+            x.extend_from_slice(&job.x);
+            tf.extend_from_slice(&job.time_feats);
+            if let (Some(dst), Some(src)) = (cov_n.as_mut(), job.cov_numerical.as_ref()) {
+                dst.extend_from_slice(src);
+            }
+            if let (Some(dst), Some(src)) = (cov_c.as_mut(), job.cov_categorical.as_ref()) {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    d.extend_from_slice(s);
+                }
+            }
+        }
+        let batch = match assemble(&self.contract, b, x, tf, cov_n, cov_c) {
+            Ok(batch) => batch,
+            Err(e) => {
+                let msg = format!("batch assembly: {e}");
+                return jobs.iter().map(|_| Err(msg.clone())).collect();
+            }
+        };
+        // belt and braces: per-request validation makes this unfailable,
+        // and checking keeps `BoundModel::run`'s asserts unreachable
+        if let Err(message) = self.contract.check_batch(&batch, b) {
+            return jobs.iter().map(|_| Err(message.clone())).collect();
+        }
+
+        let mut bound = match self.forward_threads {
+            Some(t) => lip_par::with_threads(t, || self.compiled.bind(b)),
+            None => self.compiled.bind(b),
+        };
+        let pred = match self.forward_threads {
+            Some(t) => lip_par::with_threads(t, || bound.run(&batch)),
+            None => bound.run(&batch),
+        };
+        let run_us = started.elapsed().as_micros() as u64;
+        self.stats.batch(b);
+
+        let per = self.contract.pred_len * self.contract.channels;
+        let dense = pred.contiguous();
+        let data = dense.data();
+        (0..b)
+            .map(|i| {
+                Ok(JobOut {
+                    rows: data[i * per..(i + 1) * per].to_vec(),
+                    batched: b,
+                    queue_us: queue_us[i],
+                    run_us,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Build a `Batch` from flattened row-major buffers; length mismatches are
+/// typed errors (the contract check reports shape detail afterwards).
+fn assemble(
+    contract: &BatchContract,
+    b: usize,
+    x: Vec<f32>,
+    tf: Vec<f32>,
+    cov_numerical: Option<Vec<f32>>,
+    cov_categorical: Option<Vec<Vec<usize>>>,
+) -> Result<Batch, ServeError> {
+    let tensor = |name: &str, data: Vec<f32>, shape: [usize; 3]| -> Result<Tensor, ServeError> {
+        let want: usize = shape.iter().product();
+        if data.len() != want {
+            return Err(ServeError::Contract {
+                message: format!(
+                    "'{name}' has {} values, the model's contract wants {:?}",
+                    data.len(),
+                    shape
+                ),
+            });
+        }
+        Ok(Tensor::from_vec(data, &shape))
+    };
+    let c = contract.channels;
+    let x = tensor("x", x, [b, contract.seq_len, c])?;
+    let y = Tensor::zeros(&[b, contract.pred_len, c]);
+    let time_feats = tensor("time_feats", tf, [b, contract.pred_len, contract.time_features])?;
+    let cov_numerical = match cov_numerical {
+        Some(n) => Some(tensor("cov_numerical", n, [b, contract.pred_len, contract.numerical])?),
+        None => None,
+    };
+    Ok(Batch { x, y, time_feats, cov_numerical, cov_categorical })
+}
+
+/// `BatchContract::check` wrapper used by the batch runner (distinct name so
+/// profiles attribute it).
+trait CheckBatch {
+    fn check_batch(&self, batch: &Batch, b: usize) -> Result<(), String>;
+}
+
+impl CheckBatch for BatchContract {
+    fn check_batch(&self, batch: &Batch, b: usize) -> Result<(), String> {
+        if batch.x.shape()[0] != b {
+            return Err(format!("assembled {} rows for {b} jobs", batch.x.shape()[0]));
+        }
+        self.check(batch)
+    }
+}
+
+/// How sessions run their forwards.
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// Micro-batch flush policy.
+    pub batch: BatchPolicy,
+    /// `lip-par` budget for each batched forward (`None` = process
+    /// default). Results are bit-identical either way; this is a
+    /// throughput/latency knob.
+    pub forward_threads: Option<usize>,
+}
+
+type Slot = Arc<OnceLock<Result<Arc<Session>, ServeError>>>;
+
+/// `(file len, mtime nanos, cache key)` for the hot-path map.
+type PathKey = (u64, u128, u64);
+
+/// The checkpoint → compiled-session cache.
+pub struct SessionCache {
+    slots: Mutex<HashMap<u64, Slot>>,
+    /// `(path, spec JSON) → (file len, mtime nanos, key)` fast path so hot
+    /// requests skip re-reading and re-hashing the checkpoint file.
+    path_keys: Mutex<HashMap<(String, String), PathKey>>,
+    compiles: AtomicU64,
+    options: SessionOptions,
+}
+
+impl SessionCache {
+    /// An empty cache serving with `options`.
+    pub fn new(options: SessionOptions) -> Self {
+        SessionCache {
+            slots: Mutex::new(HashMap::new()),
+            path_keys: Mutex::new(HashMap::new()),
+            compiles: AtomicU64::new(0),
+            options,
+        }
+    }
+
+    /// Model compilations performed (the race test asserts one per
+    /// checkpoint, however many clients raced the first load).
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Resolve the session serving `(checkpoint, spec)`, loading, validating
+    /// and compiling it on first use.
+    pub fn get(
+        &self,
+        path: &str,
+        spec: &CovariateSpec,
+        registry: &StatsRegistry,
+    ) -> Result<Arc<Session>, ServeError> {
+        let spec_json = lip_serde::to_string(spec);
+        let meta = std::fs::metadata(path).map_err(|e| ServeError::Checkpoint {
+            message: format!("checkpoint '{path}': {e}"),
+        })?;
+        let len = meta.len();
+        let mtime = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map_or(0, |d| d.as_nanos());
+
+        let fast_key = {
+            let keys = lock(&self.path_keys);
+            keys.get(&(path.to_string(), spec_json.clone()))
+                .filter(|(l, m, _)| *l == len && *m == mtime)
+                .map(|&(_, _, k)| k)
+        };
+        if let Some(key) = fast_key {
+            let slot = lock(&self.slots).get(&key).cloned();
+            if let Some(slot) = slot {
+                if let Some(res) = slot.get() {
+                    return res.clone();
+                }
+            }
+            // the fast map is only populated after init, so this is
+            // unreachable; fall through to the full path regardless
+        }
+
+        let raw = std::fs::read(path).map_err(|e| ServeError::Checkpoint {
+            message: format!("checkpoint '{path}': {e}"),
+        })?;
+        let (header, tensors) =
+            checkpoint::load_bytes(&raw).map_err(|e| ServeError::Checkpoint {
+                message: format!("checkpoint '{path}': {e}"),
+            })?;
+        // typed validation BEFORE LiPFormer::new — a hostile header must
+        // never reach the constructor's asserts
+        lip_analyze::validate_config(&header.config)
+            .map_err(|e| ServeError::Config { message: e.to_string() })?;
+
+        let config_json = lip_serde::to_string(&header.config);
+        let key = fnv1a(config_json.as_bytes())
+            ^ fnv1a(spec_json.as_bytes()).rotate_left(21)
+            ^ fnv1a(&raw).rotate_left(42);
+
+        let slot: Slot = {
+            let mut slots = lock(&self.slots);
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let res = slot.get_or_init(|| {
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            let key_hex = format!("{key:016x}");
+            let mut model = LiPFormer::new(header.config.clone(), spec, 0);
+            checkpoint::restore_into(&header, &tensors, model.store_mut()).map_err(|e| {
+                ServeError::Checkpoint { message: format!("checkpoint '{path}': {e}") }
+            })?;
+            let compiled = compile_inference(&model, spec)
+                .map_err(|e| ServeError::Compile { message: e.to_string() })?;
+            let contract =
+                spec.batch_contract(header.config.seq_len, header.config.pred_len, header.config.channels);
+            Ok(Arc::new(Session {
+                key_hex: key_hex.clone(),
+                config: header.config.clone(),
+                spec: spec.clone(),
+                contract,
+                stats: registry.model(&key_hex),
+                compiled,
+                batcher: Batcher::new(self.options.batch),
+                forward_threads: self.options.forward_threads,
+            }))
+        });
+        if res.is_ok() {
+            lock(&self.path_keys)
+                .insert((path.to_string(), spec_json), (len, mtime, key));
+        }
+        res.clone()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

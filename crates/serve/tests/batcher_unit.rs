@@ -1,0 +1,186 @@
+//! Unit suite for the leader-based micro-batcher: flush rules, FIFO
+//! de-interleaving, and panic recovery — pure, no sockets or models.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use lip_serve::batcher::{BatchPolicy, Batcher};
+
+type Recorded = Arc<Mutex<Vec<Vec<u32>>>>;
+
+/// A runner that records every batch it executes and answers `item * 10`.
+fn recording_runner(log: &Recorded) -> impl Fn(Vec<u32>) -> Vec<Result<u32, String>> + '_ {
+    move |items: Vec<u32>| {
+        log.lock().unwrap().push(items.clone());
+        items.into_iter().map(|i| Ok(i * 10)).collect()
+    }
+}
+
+#[test]
+fn lone_submit_runs_immediately_at_b1() {
+    let batcher = Batcher::new(BatchPolicy { max_batch: 8, max_wait: Duration::ZERO });
+    let log: Recorded = Arc::default();
+    let out = batcher.submit(7u32, recording_runner(&log));
+    assert_eq!(out, Ok(70));
+    assert_eq!(batcher.batches_run(), 1);
+    assert_eq!(*log.lock().unwrap(), vec![vec![7]]);
+}
+
+#[test]
+fn results_deinterleave_to_their_submitters() {
+    let batcher = Arc::new(Batcher::new(BatchPolicy {
+        max_batch: 8,
+        max_wait: Duration::from_millis(100),
+    }));
+    let log: Recorded = Arc::default();
+    let barrier = Arc::new(Barrier::new(8));
+    let handles: Vec<_> = (0..8u32)
+        .map(|i| {
+            let batcher = Arc::clone(&batcher);
+            let log = Arc::clone(&log);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let out = batcher.submit(i, |items: Vec<u32>| {
+                    log.lock().unwrap().push(items.clone());
+                    items.into_iter().map(|x| Ok(x * 10)).collect()
+                });
+                assert_eq!(out, Ok(i * 10), "submitter {i} got someone else's result");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("submitter");
+    }
+    // every item ran exactly once, whatever the batch split was
+    let mut seen: Vec<u32> = log.lock().unwrap().iter().flatten().copied().collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn batches_never_exceed_max_batch() {
+    let max_batch = 3usize;
+    let batcher = Arc::new(Batcher::new(BatchPolicy {
+        max_batch,
+        max_wait: Duration::from_millis(40),
+    }));
+    let log: Recorded = Arc::default();
+    let barrier = Arc::new(Barrier::new(10));
+    let handles: Vec<_> = (0..10u32)
+        .map(|i| {
+            let batcher = Arc::clone(&batcher);
+            let log = Arc::clone(&log);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                batcher.submit(i, |items: Vec<u32>| {
+                    log.lock().unwrap().push(items.clone());
+                    // slow runner so followers pile up while the leader works
+                    std::thread::sleep(Duration::from_millis(10));
+                    items.into_iter().map(|x| Ok(x * 10)).collect()
+                })
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().expect("submitter").is_ok());
+    }
+    let log = log.lock().unwrap();
+    assert!(
+        log.iter().all(|b| b.len() <= max_batch && !b.is_empty()),
+        "batch sizes: {:?}",
+        log.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    assert_eq!(log.iter().map(Vec::len).sum::<usize>(), 10, "items lost or duplicated");
+}
+
+#[test]
+fn max_wait_flushes_a_partial_batch() {
+    // two submitters, max_batch 8: the flush can only come from max_wait
+    let batcher = Arc::new(Batcher::new(BatchPolicy {
+        max_batch: 8,
+        max_wait: Duration::from_millis(30),
+    }));
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = (0..2u32)
+        .map(|i| {
+            let batcher = Arc::clone(&batcher);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                batcher.submit(i, |items: Vec<u32>| {
+                    items.into_iter().map(|x| Ok(x + 100)).collect()
+                })
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.join().expect("submitter"), Ok(i as u32 + 100));
+    }
+    let n = batcher.batches_run();
+    assert!((1..=2).contains(&n), "expected 1-2 partial batches, ran {n}");
+}
+
+#[test]
+fn panicking_runner_fails_the_batch_without_wedging() {
+    let batcher = Batcher::new(BatchPolicy { max_batch: 4, max_wait: Duration::ZERO });
+    let out = batcher.submit(13u32, |_items: Vec<u32>| -> Vec<Result<u32, String>> {
+        panic!("kernel exploded");
+    });
+    let err = out.expect_err("panicking runner must surface an error");
+    assert!(err.contains("panicked"), "error: {err}");
+    assert!(err.contains("kernel exploded"), "panic payload lost: {err}");
+
+    // the batcher is still serviceable: leadership was released on unwind
+    let out = batcher.submit(2u32, |items: Vec<u32>| {
+        items.into_iter().map(|x| Ok(x * 10)).collect()
+    });
+    assert_eq!(out, Ok(20));
+}
+
+#[test]
+fn wrong_arity_runner_is_a_typed_error() {
+    let batcher = Batcher::new(BatchPolicy { max_batch: 4, max_wait: Duration::ZERO });
+    let out = batcher.submit(1u32, |_items: Vec<u32>| vec![]);
+    let err = out.expect_err("arity mismatch must fail");
+    assert!(err.contains("0 results for 1 items"), "error: {err}");
+    // and again: still serviceable
+    assert_eq!(
+        batcher.submit(3u32, |items: Vec<u32>| items.into_iter().map(Ok).collect()),
+        Ok(3)
+    );
+}
+
+#[test]
+fn sustained_concurrency_conserves_every_result() {
+    // hammer the batcher from many threads in waves; every submission gets
+    // exactly its own answer back
+    let batcher = Arc::new(Batcher::new(BatchPolicy {
+        max_batch: 5,
+        max_wait: Duration::from_millis(2),
+    }));
+    let total = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let batcher = Arc::clone(&batcher);
+            let total = Arc::clone(&total);
+            std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    let item = t * 1000 + i;
+                    let out = batcher.submit(item, |items: Vec<u32>| {
+                        items.into_iter().map(|x| Ok(x ^ 0xABCD)).collect()
+                    });
+                    assert_eq!(out, Ok(item ^ 0xABCD));
+                    total.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("wave thread");
+    }
+    assert_eq!(total.load(Ordering::Relaxed), 300);
+    assert!(batcher.batches_run() <= 300);
+}

@@ -1,0 +1,116 @@
+//! Shared-cache concurrency: clients racing the first load of one
+//! checkpoint must trigger exactly one compile, and everyone gets a
+//! correct answer.
+
+mod common;
+
+use std::sync::{Arc, Barrier};
+
+use lip_data::DatasetName;
+use lip_serve::ServerConfig;
+
+#[test]
+fn racing_first_loads_compile_once() {
+    let fx = common::fixture(DatasetName::Traffic, "cache-race");
+    let server = common::start(ServerConfig { workers: 8, ..ServerConfig::default() });
+    let addr = server.addr();
+
+    let clients = 6usize;
+    let barrier = Arc::new(Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let body = common::request_body(&fx, 0);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let resp = common::post(addr, "/forecast", &body);
+                assert_eq!(resp.status, 200, "client {i}: {}", resp.body);
+                resp.body
+            })
+        })
+        .collect();
+    let bodies: Vec<String> = handles.into_iter().map(|h| h.join().expect("client")).collect();
+
+    // one compile despite six concurrent first loads
+    assert_eq!(server.compiles(), 1, "the OnceLock slot must compile exactly once");
+    // identical windows → byte-identical forecasts for every racer
+    let rows0 = common::forecast_rows(&bodies[0]);
+    for (i, b) in bodies.iter().enumerate().skip(1) {
+        assert_eq!(common::forecast_rows(b), rows0, "client {i} got different bytes");
+    }
+    assert_eq!(server.panics(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn distinct_checkpoints_get_distinct_sessions() {
+    // same config, different weights: the content-hash key must separate
+    // them even though their config JSON is identical
+    let fx_a = common::fixture(DatasetName::ETTh2, "cache-a");
+    let dir = fx_a.ckpt.parent().expect("dir").to_path_buf();
+    // a second checkpoint with identical architecture but different bytes
+    let other = {
+        use lipformer::{Forecaster, LiPFormer};
+        let model = LiPFormer::new(fx_a.config.clone(), &fx_a.prep.spec, 99);
+        let path = dir.join("other-seed.ckpt");
+        lipformer::checkpoint::save(&path, &fx_a.config, model.store()).expect("save");
+        path
+    };
+
+    let server = common::start(ServerConfig::default());
+    let addr = server.addr();
+    let body_a = common::request_body(&fx_a, 0);
+    let body_b = body_a.replace(
+        &fx_a.ckpt.to_string_lossy().to_string(),
+        &other.to_string_lossy(),
+    );
+
+    let ra = common::post(addr, "/forecast", &body_a);
+    let rb = common::post(addr, "/forecast", &body_b);
+    assert_eq!(ra.status, 200, "{}", ra.body);
+    assert_eq!(rb.status, 200, "{}", rb.body);
+    assert_eq!(server.compiles(), 2, "different weights must not share a session");
+    assert_ne!(
+        ra.json().field::<String>("model"),
+        rb.json().field::<String>("model"),
+        "distinct checkpoints reported the same session key"
+    );
+    assert_ne!(
+        common::forecast_rows(&ra.body),
+        common::forecast_rows(&rb.body),
+        "different weights produced identical forecasts"
+    );
+
+    // hot path: repeating a request must not add compiles
+    let again = common::post(addr, "/forecast", &body_a);
+    assert_eq!(again.status, 200);
+    assert_eq!(server.compiles(), 2, "cached session recompiled");
+    assert_eq!(common::forecast_rows(&again.body), common::forecast_rows(&ra.body));
+
+    server.shutdown();
+}
+
+#[test]
+fn failed_load_is_cached_per_request_not_poisoned() {
+    // a bad checkpoint never wedges the slot map: requests keep getting
+    // typed errors, and a good checkpoint still loads afterwards
+    let fx = common::fixture(DatasetName::Cycle, "cache-bad");
+    let dir = fx.ckpt.parent().expect("dir");
+    let bad = dir.join("not-a-checkpoint.ckpt");
+    std::fs::write(&bad, b"garbage bytes").expect("write bad");
+
+    let server = common::start(ServerConfig::default());
+    let addr = server.addr();
+    let bad_body = common::request_body(&fx, 0)
+        .replace(&fx.ckpt.to_string_lossy().to_string(), &bad.to_string_lossy());
+
+    for _ in 0..3 {
+        let resp = common::post(addr, "/forecast", &bad_body);
+        assert_eq!(resp.status, 422);
+        assert_eq!(resp.error_code(), "bad_checkpoint");
+    }
+    let good = common::post(addr, "/forecast", &common::request_body(&fx, 0));
+    assert_eq!(good.status, 200, "{}", good.body);
+    assert_eq!(server.panics(), 0);
+    server.shutdown();
+}

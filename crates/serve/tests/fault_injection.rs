@@ -1,0 +1,345 @@
+//! The fault-injection battery: every hostile client behaviour the server
+//! claims to survive, driven over real sockets against a live server.
+//!
+//! After **every** scenario the same three invariants are re-asserted:
+//! zero caught panics, every worker thread still alive, and a subsequent
+//! well-formed request answered 200 — i.e. the fault neither crashed nor
+//! wedged anything.
+
+mod common;
+
+use std::io::Write;
+use std::net::Shutdown;
+use std::time::Duration;
+
+use lip_data::DatasetName;
+use lip_serve::http::Limits;
+use lip_serve::{Server, ServerConfig};
+use lipformer::LiPFormerConfig;
+
+/// Short timeouts so the slow-writer scenarios finish in milliseconds.
+fn fast_limits() -> Limits {
+    Limits {
+        max_header: 2 * 1024,
+        max_body: 64 * 1024,
+        read_timeout: Duration::from_millis(150),
+        request_deadline: Duration::from_millis(600),
+    }
+}
+
+struct Battery {
+    server: Server,
+    fx: common::Fixture,
+    good_body: String,
+}
+
+impl Battery {
+    fn new(tag: &str) -> Battery {
+        let fx = common::fixture(DatasetName::ETTh1, tag);
+        let server = common::start(ServerConfig {
+            workers: 4,
+            limits: fast_limits(),
+            ..ServerConfig::default()
+        });
+        let good_body = common::request_body(&fx, 0);
+        Battery { server, fx, good_body }
+    }
+
+    /// The post-scenario health check: no panics, all workers alive, and
+    /// the server still answers a good request.
+    fn assert_healthy(&self, scenario: &str) {
+        assert_eq!(self.server.panics(), 0, "{scenario}: worker panicked");
+        assert_eq!(
+            self.server.alive_workers(),
+            self.server.workers(),
+            "{scenario}: a worker thread died"
+        );
+        let resp = common::post(self.server.addr(), "/forecast", &self.good_body);
+        assert_eq!(resp.status, 200, "{scenario}: good request failed: {}", resp.body);
+    }
+}
+
+#[test]
+fn disconnects_and_truncation() {
+    let b = Battery::new("faults-disconnect");
+    let addr = b.server.addr();
+
+    // disconnect mid-headers: write half a request line, vanish
+    let mut s = common::connect(addr);
+    s.write_all(b"POST /fore").expect("partial write");
+    s.shutdown(Shutdown::Both).expect("shutdown");
+    drop(s);
+    b.assert_healthy("mid-header disconnect");
+
+    // disconnect mid-body: full headers, a quarter of the declared body
+    let mut s = common::connect(addr);
+    let head = format!(
+        "POST /forecast HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        b.good_body.len()
+    );
+    s.write_all(head.as_bytes()).expect("head");
+    s.write_all(&b.good_body.as_bytes()[..b.good_body.len() / 4]).expect("partial body");
+    s.shutdown(Shutdown::Write).expect("shutdown write");
+    // server answers 400 (closed mid-body) or just closes — both are clean
+    let _ = common::read_response(&mut s);
+    drop(s);
+    b.assert_healthy("mid-body disconnect");
+
+    // truncated body with the connection held open: the read times out
+    let mut s = common::connect(addr);
+    s.write_all(head.as_bytes()).expect("head");
+    s.write_all(b"{\"checkpoint").expect("stub body");
+    let resp = common::read_response(&mut s).expect("timeout response");
+    assert_eq!(resp.status, 408, "body: {}", resp.body);
+    assert_eq!(resp.error_code(), "timeout");
+    b.assert_healthy("truncated body");
+
+    b.server.shutdown();
+}
+
+#[test]
+fn oversized_payloads() {
+    let b = Battery::new("faults-oversize");
+    let addr = b.server.addr();
+    let limits = fast_limits();
+
+    // declared body over the cap: refused from the Content-Length alone,
+    // before a single body byte is read
+    let mut s = common::connect(addr);
+    let head = format!(
+        "POST /forecast HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        limits.max_body + 1
+    );
+    s.write_all(head.as_bytes()).expect("head");
+    let resp = common::read_response(&mut s).expect("413 response");
+    assert_eq!(resp.status, 413, "body: {}", resp.body);
+    assert_eq!(resp.error_code(), "payload_too_large");
+    b.assert_healthy("oversized declared body");
+
+    // header block over the cap
+    let mut s = common::connect(addr);
+    s.write_all(b"POST /forecast HTTP/1.1\r\n").expect("line");
+    let filler = format!("X-Pad: {}\r\n", "a".repeat(900));
+    for _ in 0..4 {
+        if s.write_all(filler.as_bytes()).is_err() {
+            break; // server may already have refused and closed
+        }
+    }
+    if let Ok(resp) = common::read_response(&mut s) {
+        assert_eq!(resp.status, 413, "body: {}", resp.body);
+    }
+    b.assert_healthy("oversized headers");
+
+    b.server.shutdown();
+}
+
+#[test]
+fn slow_writers_hit_timeouts() {
+    let b = Battery::new("faults-slow");
+    let addr = b.server.addr();
+
+    // slow loris on the headers: one byte, then silence past read_timeout
+    let mut s = common::connect(addr);
+    s.write_all(b"P").expect("one byte");
+    let resp = common::read_response(&mut s).expect("408 response");
+    assert_eq!(resp.status, 408, "body: {}", resp.body);
+    assert_eq!(resp.error_code(), "timeout");
+    b.assert_healthy("header slow-loris");
+
+    // byte-at-a-time writer that keeps resetting the per-read timeout but
+    // trips the whole-request deadline
+    let mut s = common::connect(addr);
+    let head = b"POST /forecast HTTP/1.1\r\nContent-Length: 4\r\n\r\n";
+    let mut clean = true;
+    for &byte in head.iter() {
+        if s.write_all(&[byte]).is_err() {
+            clean = false;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    if clean {
+        if let Ok(resp) = common::read_response(&mut s) {
+            assert_eq!(resp.status, 408, "body: {}", resp.body);
+        }
+    }
+    b.assert_healthy("drip-feed deadline");
+
+    b.server.shutdown();
+}
+
+#[test]
+fn garbage_and_malformed_requests() {
+    let b = Battery::new("faults-garbage");
+    let addr = b.server.addr();
+
+    // garbage bytes where a request line should be
+    let mut s = common::connect(addr);
+    s.write_all(b"\x00\xffnot http at all\r\n\r\n").expect("garbage");
+    let resp = common::read_response(&mut s).expect("400 response");
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    assert_eq!(resp.error_code(), "bad_request");
+    b.assert_healthy("binary garbage request line");
+
+    // well-framed request whose body is garbage bytes before valid JSON:
+    // the parser reports a position instead of panicking
+    let body = format!("\x01\x02garbage{}", b.good_body);
+    let resp = common::post(addr, "/forecast", &body);
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    assert_eq!(resp.error_code(), "bad_request");
+    assert!(
+        resp.json().get("line").is_some(),
+        "JSON errors carry a position: {}",
+        resp.body
+    );
+    b.assert_healthy("garbage before JSON");
+
+    // chunked encoding is a typed refusal, not a desync
+    let mut s = common::connect(addr);
+    s.write_all(b"POST /forecast HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .expect("chunked");
+    let resp = common::read_response(&mut s).expect("400 response");
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    b.assert_healthy("transfer-encoding refused");
+
+    // bytes after the declared Content-Length break framing → typed 400
+    let mut s = common::connect(addr);
+    let head = "POST /forecast HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}EXTRA";
+    s.write_all(head.as_bytes()).expect("overshoot");
+    let resp = common::read_response(&mut s).expect("400 response");
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    b.assert_healthy("bytes past Content-Length");
+
+    // structurally valid JSON of the wrong shape: typed 400 with context
+    let resp = common::post(addr, "/forecast", r#"{"checkpoint": 42}"#);
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    b.assert_healthy("wrong-typed JSON");
+
+    // x rows of the wrong width: typed 422 from the batch contract
+    let wrong = b.good_body.replacen("[", "[[0.0],", 1);
+    let resp = common::post(addr, "/forecast", &wrong);
+    assert!(
+        resp.status == 400 || resp.status == 422,
+        "ragged x must be a typed error: {} {}",
+        resp.status,
+        resp.body
+    );
+    b.assert_healthy("ragged x rows");
+
+    // one history row short: the batch contract reports it as a typed 422
+    let mut json = lip_serde::from_str::<lip_serde::Json>(&b.good_body).expect("good body");
+    if let lip_serde::Json::Object(pairs) = &mut json {
+        for (k, v) in pairs.iter_mut() {
+            if k == "x" {
+                if let lip_serde::Json::Array(rows) = v {
+                    rows.pop();
+                }
+            }
+        }
+    }
+    let resp = common::post(addr, "/forecast", &json.dump());
+    assert_eq!(resp.status, 422, "body: {}", resp.body);
+    assert_eq!(resp.error_code(), "bad_batch");
+    b.assert_healthy("short x");
+
+    b.server.shutdown();
+}
+
+#[test]
+fn hostile_checkpoints() {
+    let b = Battery::new("faults-checkpoints");
+    let addr = b.server.addr();
+    let dir = b.fx.ckpt.parent().expect("fixture dir");
+
+    // missing file
+    let body = b
+        .good_body
+        .replace(&b.fx.ckpt.to_string_lossy().to_string(), "/nonexistent/nope.ckpt");
+    let resp = common::post(addr, "/forecast", &body);
+    assert_eq!(resp.status, 422, "body: {}", resp.body);
+    assert_eq!(resp.error_code(), "bad_checkpoint");
+    b.assert_healthy("missing checkpoint");
+
+    // truncated file
+    let mut raw = std::fs::read(&b.fx.ckpt).expect("read fixture checkpoint");
+    raw.truncate(raw.len() / 3);
+    let trunc = dir.join("truncated.ckpt");
+    std::fs::write(&trunc, raw).expect("write truncated");
+    let body = b
+        .good_body
+        .replace(&b.fx.ckpt.to_string_lossy().to_string(), &trunc.to_string_lossy());
+    let resp = common::post(addr, "/forecast", &body);
+    assert_eq!(resp.status, 422, "body: {}", resp.body);
+    assert_eq!(resp.error_code(), "bad_checkpoint");
+    b.assert_healthy("truncated checkpoint");
+
+    // a structurally valid bundle whose header asks for an impossible
+    // architecture: `patch_len` does not divide `seq_len`. The config
+    // validator must reject it with a typed error BEFORE the model
+    // constructor (which would assert) ever runs.
+    let mut bad_config = LiPFormerConfig::small(48, 24, b.fx.prep.channels);
+    bad_config.patch_len = 7; // 48 % 7 != 0
+    let header = lip_serde::Json::Object(vec![
+        ("version".into(), lip_serde::Json::Num(lip_serde::Num::U(1))),
+        ("config".into(), lip_serde::ToJson::to_json(&bad_config)),
+        ("param_names".into(), lip_serde::Json::Array(vec![])),
+        ("frozen".into(), lip_serde::Json::Array(vec![])),
+    ]);
+    let header_bytes = header.dump().into_bytes();
+    let mut bundle = Vec::new();
+    bundle.extend_from_slice(&0x4C49_5043u32.to_le_bytes()); // "LIPC"
+    bundle.extend_from_slice(&(header_bytes.len() as u32).to_le_bytes());
+    bundle.extend_from_slice(&header_bytes);
+    let evil = dir.join("bad_config.ckpt");
+    std::fs::write(&evil, bundle).expect("write hostile checkpoint");
+    let body = b
+        .good_body
+        .replace(&b.fx.ckpt.to_string_lossy().to_string(), &evil.to_string_lossy());
+    let resp = common::post(addr, "/forecast", &body);
+    assert_eq!(resp.status, 422, "body: {}", resp.body);
+    assert_eq!(resp.error_code(), "bad_config", "body: {}", resp.body);
+    b.assert_healthy("hostile config checkpoint");
+
+    b.server.shutdown();
+}
+
+#[test]
+fn fault_storm_leaves_no_casualties() {
+    // every scenario class in quick succession from many client threads,
+    // then the standard health check — the server's worker pool must come
+    // out intact with zero panics
+    let b = Battery::new("faults-storm");
+    let addr = b.server.addr();
+
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            let good = b.good_body.clone();
+            std::thread::spawn(move || {
+                let mut s = common::connect(addr);
+                match i % 4 {
+                    0 => {
+                        let _ = s.write_all(b"GET /st");
+                    }
+                    1 => {
+                        let _ = s.write_all(b"\xde\xad\xbe\xef\r\n\r\n");
+                        let _ = common::read_response(&mut s);
+                    }
+                    2 => {
+                        common::write_request(&mut s, "POST", "/forecast", "{broken", false);
+                        let _ = common::read_response(&mut s);
+                    }
+                    _ => {
+                        common::write_request(&mut s, "POST", "/forecast", &good, false);
+                        let r = common::read_response(&mut s).expect("good response");
+                        assert_eq!(r.status, 200, "storm good request: {}", r.body);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("storm client");
+    }
+    b.assert_healthy("fault storm");
+    b.server.shutdown();
+}

@@ -1,0 +1,124 @@
+//! Property tests for the request parser: randomly generated requests
+//! round-trip bit-exactly, and arbitrary byte mutations of valid request
+//! bodies are always answered with `Ok` or a typed error — never a panic.
+
+mod common;
+
+use lip_data::pipeline::CovariateSpec;
+use lip_rng::prop_check;
+use lip_serve::proto::ForecastRequest;
+use lip_serve::ServeError;
+
+/// Generate a random but structurally valid request. (All `usize_in`
+/// bounds are half-open.)
+fn arbitrary_request(g: &mut lip_rng::prop::Gen) -> ForecastRequest {
+    let channels = g.usize_in(1, 5);
+    let seq = g.usize_in(1, 7);
+    let pred = g.usize_in(1, 5);
+    let tf = g.usize_in(1, 5);
+    let numerical = g.usize_in(0, 3);
+    let n_cats = g.usize_in(0, 3);
+    let cardinalities = g.vec_usize(n_cats, 2, 6);
+    let rows = |g: &mut lip_rng::prop::Gen, n: usize, w: usize| -> Vec<Vec<f32>> {
+        (0..n).map(|_| g.vec_f32(w, -1e6, 1e6)).collect()
+    };
+    ForecastRequest {
+        checkpoint: format!("ckpt-{}.bin", g.u64_in(0, u64::MAX)),
+        spec: CovariateSpec {
+            numerical,
+            cardinalities: cardinalities.clone(),
+            time_features: tf,
+        },
+        x: rows(g, seq, channels),
+        time_feats: rows(g, pred, tf),
+        cov_numerical: (numerical > 0).then(|| rows(g, pred, numerical)),
+        cov_categorical: (!cardinalities.is_empty()).then(|| {
+            cardinalities.iter().map(|&c| g.vec_usize(pred, 0, c)).collect()
+        }),
+    }
+}
+
+#[test]
+fn prop_roundtrip_is_bit_exact() {
+    prop_check!(cases = 200, seed = 0x5e41_0001, |g| {
+        let req = arbitrary_request(g);
+        let json = lip_serde::to_string(&req);
+        let back = ForecastRequest::parse(json.as_bytes())
+            .unwrap_or_else(|e| panic!("valid request failed to parse: {e}\n{json}"));
+        // serializing the parse result reproduces the exact bytes: field
+        // order is fixed and f32 encoding is shortest-roundtrip
+        assert_eq!(lip_serde::to_string(&back), json);
+    });
+}
+
+#[test]
+fn prop_byte_mutations_never_panic() {
+    prop_check!(cases = 400, seed = 0x5e41_0002, |g| {
+        let req = arbitrary_request(g);
+        let mut bytes = lip_serde::to_string(&req).into_bytes();
+        let flips = g.usize_in(1, 4);
+        for _ in 0..flips {
+            let at = g.usize_in(0, bytes.len());
+            bytes[at] = g.u64_in(0, 256) as u8;
+        }
+        match ForecastRequest::parse(&bytes) {
+            // mutation kept it valid (e.g. a digit changed): fine
+            Ok(_) => {}
+            // a parse failure must be the typed 400 — with a position
+            // whenever tokenization itself broke
+            Err(ServeError::BadRequest { message, .. }) => {
+                assert!(!message.is_empty(), "error without a message");
+            }
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn prop_truncations_never_panic() {
+    prop_check!(cases = 300, seed = 0x5e41_0003, |g| {
+        let req = arbitrary_request(g);
+        let bytes = lip_serde::to_string(&req).into_bytes();
+        let keep = g.usize_in(0, bytes.len());
+        match ForecastRequest::parse(&bytes[..keep]) {
+            Ok(_) => panic!("a strict prefix of a request parsed as complete"),
+            Err(ServeError::BadRequest { .. }) => {}
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    // a concrete anchor for the positioned-error property: break the JSON
+    // at a known line and the reported location lands there
+    let garbage = b"{\n  \"checkpoint\": \"a\",\n  !!!\n}";
+    match ForecastRequest::parse(garbage) {
+        Err(ServeError::BadRequest { position: Some((line, col)), .. }) => {
+            assert_eq!(line, 3, "line of the '!!!'");
+            assert!(col >= 1);
+        }
+        other => panic!("wanted a positioned BadRequest, got {other:?}"),
+    }
+}
+
+#[test]
+fn ragged_rows_are_typed_errors() {
+    prop_check!(cases = 100, seed = 0x5e41_0004, |g| {
+        let mut req = arbitrary_request(g);
+        // ensure at least two rows, then grow one so widths disagree
+        if req.x.len() == 1 {
+            let clone = req.x[0].clone();
+            req.x.push(clone);
+        }
+        let at = g.usize_in(0, req.x.len());
+        req.x[at].push(g.f32_in(-1.0, 1.0));
+        let json = lip_serde::to_string(&req);
+        match ForecastRequest::parse(json.as_bytes()) {
+            Err(ServeError::BadRequest { message, .. }) => {
+                assert!(message.contains("row"), "message: {message}");
+            }
+            other => panic!("ragged x must be rejected, got {other:?}"),
+        }
+    });
+}

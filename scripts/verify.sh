@@ -77,6 +77,36 @@ echo "==> lip-exec bench smoke under LIP_THREADS=1"
 # …and again on the serial budget: parity must hold at any thread count
 LIP_THREADS=1 cargo run -q --release --offline -p lip-exec BENCH_exec_serial.json
 
+echo "==> serve_bench (micro-batching server sweep; regression-gated vs committed BENCH_serve.json)"
+# the bin starts a live lip-serve server and, per benchmark dataset, runs
+# 4 keep-alive clients x 32 requests, checking every socket response
+# byte-for-byte against a direct lip-exec forward (fnv1a-64 row hashes).
+# It exits non-zero on any parity break, request error, worker death, no
+# observed coalescing, or a nine-dataset CPU total more than
+# LIP_SERVE_TOL (default 50%) above the committed baseline. The fresh
+# run goes to a scratch file so the committed baseline stays the anchor.
+cargo run -q --release --offline -p lip-serve --bin serve_bench BENCH_serve_check.json BENCH_serve.json
+rm -f BENCH_serve_check.json
+
+echo "==> serve_bench under LIP_THREADS=1 (structural gates only: parity, errors,"
+echo "    coalescing, worker health — serial CPU totals are not baseline-comparable)"
+LIP_THREADS=1 cargo run -q --release --offline -p lip-serve --bin serve_bench BENCH_serve_serial.json
+rm -f BENCH_serve_serial.json
+
+echo "==> verify: BENCH_serve.json itself records parity, zero errors, and coalescing"
+if grep -E '"errors": *[1-9]' BENCH_serve.json; then
+  echo "FAIL: committed BENCH_serve.json records request errors" >&2
+  exit 1
+fi
+if grep -E '"parity_ok": *false' BENCH_serve.json; then
+  echo "FAIL: committed BENCH_serve.json records a served/direct parity break" >&2
+  exit 1
+fi
+if grep -E '"coalesced_max": *[01],' BENCH_serve.json; then
+  echo "FAIL: committed BENCH_serve.json shows no micro-batch coalescing" >&2
+  exit 1
+fi
+
 echo "==> verify: only lip-* path dependencies in Cargo.tomls"
 if grep -rhE '^[a-zA-Z0-9_-]+ *= *[{"]' Cargo.toml crates/*/Cargo.toml \
     | grep -vE '^(lip-[a-z]+|lipformer) *=' \
@@ -91,4 +121,5 @@ echo "    static plan verifier zero findings (schedules, partitions, kernels),"
 echo "    parallel/serial bit-identical, zero layout-copy allocations,"
 echo "    perf suite within tolerance (pack ceiling, fused-op floor, timings),"
 echo "    compiled executor byte-identical to the tape on all nine benchmarks,"
+echo "    serving sweep byte-identical to direct execution with coalescing live,"
 echo "    zero external dependencies"
