@@ -276,6 +276,18 @@ mod tests {
     }
 
     #[test]
+    fn every_registered_composition_checks_clean() {
+        // node-for-node plan ↔ runtime parity for every stage composition
+        let spec = implicit_spec();
+        for (label, stages) in lipformer::registered_compositions() {
+            let config = LiPFormerConfig::small(48, 24, 2).with_stages(stages);
+            let batch = synthetic_batch(&config, &spec, 2);
+            let report = check_model(&config, &spec, &batch, label);
+            assert!(report.clean(), "{label}: {:#?}", report.findings);
+        }
+    }
+
+    #[test]
     fn bad_patch_len_is_a_config_finding() {
         let mut config = LiPFormerConfig::small(48, 24, 2);
         config.patch_len += 1;

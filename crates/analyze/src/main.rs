@@ -14,7 +14,7 @@
 
 use std::process::ExitCode;
 
-use lip_analyze::harness::{check_models, synthetic_batch};
+use lip_analyze::harness::{check_model, check_models, synthetic_batch};
 use lip_analyze::lint::lint_graphs;
 use lip_analyze::plan::plan_forward_loss;
 use lip_analyze::schedule::InferenceSchedule;
@@ -261,6 +261,57 @@ fn verify_plan_sweep() -> usize {
     println!(
         "schedules: {verified} verified (def-before-use, liveness, arena bounds \
          for all B >= 1, fusion legality)"
+    );
+
+    // -- stage compositions: every registered stage triple, both policies --
+    // Each composition gets the full treatment: recorded-tape parity
+    // (check_model) plus fused/unfused schedule verification, so a stage
+    // pair that plans but cannot compile — or whose plan diverges from the
+    // runtime tape — is a finding, not a surprise at serving time.
+    let mut comp_verified = 0usize;
+    let compositions = lipformer::registered_compositions();
+    for (clabel, stages) in &compositions {
+        let config = LiPFormerConfig::small(48, 24, 3).with_stages(*stages);
+        for (plabel, spec) in &policies {
+            let label = format!("stages/{clabel}/{plabel}");
+            let batch = synthetic_batch(&config, spec, 2);
+            let report = check_model(&config, spec, &batch, &label);
+            for f in &report.findings {
+                println!("{label}: {f}");
+            }
+            findings += report.findings.len();
+            let plan = match plan_forward_loss(&config, spec, false) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("{label}: plan rejected: {e}");
+                    findings += 1;
+                    continue;
+                }
+            };
+            for (slabel, sched) in [
+                ("fused", InferenceSchedule::build(&plan)),
+                ("unfused", InferenceSchedule::build_unfused(&plan)),
+            ] {
+                match sched {
+                    Ok(sched) => {
+                        for f in verify_schedule(&plan, &sched) {
+                            println!("{label}/{slabel}: {f}");
+                            findings += 1;
+                        }
+                        comp_verified += 1;
+                    }
+                    Err(e) => {
+                        println!("{label}/{slabel}: schedule rejected: {e}");
+                        findings += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "stage compositions: {comp_verified} schedule(s) verified across {} \
+         registered compositions (plan/runtime parity + fused/unfused)",
+        compositions.len()
     );
 
     // -- partition disjointness: symbolic proof + bounded real-code sweep --

@@ -7,7 +7,7 @@
 //! the failing stage named.
 
 use lipformer::cross_patch::compatible_heads;
-use lipformer::LiPFormerConfig;
+use lipformer::{ExtractKind, LiPFormerConfig, ProjKind, ReprKind};
 use lip_data::CovariateSpec;
 
 use crate::rules;
@@ -385,6 +385,9 @@ pub fn validate_config(config: &LiPFormerConfig) -> Result<(), PlanError> {
     if config.encoder_hidden == 0 {
         return Err(c("encoder_hidden must be positive".into()));
     }
+    if config.stages.depth == 0 {
+        return Err(c("stages.depth must be >= 1".into()));
+    }
     Ok(())
 }
 
@@ -560,54 +563,98 @@ fn sym_covariate_encoder(
     sym_trunk(t, lifted, horizon, hidden)
 }
 
-/// Plan the complete `LiPFormer::forward` + Smooth-L1 graph (the tape
-/// `Trainer::fit` differentiates). `training` plans the dropout nodes the
-/// runtime records when `dropout > 0`.
-pub fn plan_forward_loss(
+/// Symbolic mirror of `lipformer::stages::NormState`: the normalization
+/// nodes a planned representation saves for the projection's inverse.
+#[derive(Debug, Clone, Copy)]
+enum SymNorm {
+    /// Last-value anchor `[B, 1, c]`.
+    LastValue {
+        /// The sliced anchor node.
+        anchor: PlanVar,
+    },
+    /// Per-window statistics `[B, 1, c]`.
+    MeanStd {
+        /// Channel means.
+        mean: PlanVar,
+        /// Channel standard deviations.
+        std: PlanVar,
+    },
+}
+
+impl SymNorm {
+    /// Mirror of `NormState::denormalize` on a `[B, L, c]` prediction.
+    fn denormalize(self, t: &mut SymTape, y: PlanVar) -> Result<PlanVar, PlanError> {
+        match self {
+            SymNorm::LastValue { anchor } => t.add(y, anchor),
+            SymNorm::MeanStd { mean, std } => {
+                let scaled = t.mul(y, std)?;
+                t.add(scaled, mean)
+            }
+        }
+    }
+}
+
+/// Representation stage plan (`Representation::forward`): normalize
+/// `[B, tl, c]` and patch into `[B·c, n, pl]` channel-independent tokens.
+fn sym_representation(
+    t: &mut SymTape,
+    x: PlanVar,
     config: &LiPFormerConfig,
-    spec: &CovariateSpec,
-    training: bool,
-) -> Result<ForwardPlan, PlanError> {
-    validate_config(config)?;
-    let (tl, c, pl, hd) = (
-        config.seq_len,
-        config.channels,
-        config.patch_len,
-        config.hidden,
-    );
+) -> Result<(PlanVar, SymNorm), PlanError> {
+    let (tl, c, pl) = (config.seq_len, config.channels, config.patch_len);
     let n = tl / pl;
-    let nt = config.pred_len.div_ceil(pl);
-    let l = config.pred_len;
-    let bc = SymDim::batch_times(c);
-
-    let mut t = SymTape::new();
-    let x = t.leaf_labeled("x", vec![SymDim::batch(), f(tl), f(c)]);
-
-    // ---- instance normalization
-    t.stage("instance_norm");
-    let last = t.slice_axis(x, 1, tl - 1, tl)?;
-    let normed = t.sub(x, last)?;
-
-    // ---- channel independence + patching
+    let norm;
+    let normed = match config.stages.representation {
+        ReprKind::LastValue => {
+            t.stage("instance_norm");
+            let last = t.slice_axis(x, 1, tl - 1, tl)?;
+            norm = SymNorm::LastValue { anchor: last };
+            t.sub(x, last)?
+        }
+        ReprKind::MeanStd => {
+            t.stage("mean_std_norm");
+            let mean = t.mean_axis(x, 1)?;
+            let centered = t.sub(x, mean)?;
+            let sq = t.square(centered);
+            let var = t.mean_axis(sq, 1)?;
+            let var_eps = t.add_scalar(var, 1e-5); // MeanStdRepr's eps
+            let std = t.sqrt(var_eps);
+            norm = SymNorm::MeanStd { mean, std };
+            t.div(centered, std)?
+        }
+    };
     t.stage("patching");
     let per_channel = t.permute(normed, &[0, 2, 1])?;
-    let patched = t.reshape(per_channel, vec![bc, f(n), f(pl)])?;
+    let tokens = t.reshape(per_channel, vec![SymDim::batch_times(c), f(n), f(pl)])?;
+    Ok((tokens, norm))
+}
+
+/// `LipAttentionExtraction::forward`: Cross-Patch trend mixing →
+/// Inter-Patch attention, with the Table X LN/FFN ablation inserts.
+fn sym_lip_attention(
+    t: &mut SymTape,
+    tokens: PlanVar,
+    config: &LiPFormerConfig,
+    training: bool,
+) -> Result<PlanVar, PlanError> {
+    let (pl, hd) = (config.patch_len, config.hidden);
+    let n = config.seq_len / pl;
 
     // ---- Cross-Patch trend mixing
     t.stage("cross_patch");
-    let trends = t.transpose(patched, 1, 2)?;
+    let trends = t.transpose(tokens, 1, 2)?;
     let mixed = if config.use_cross_patch {
         let heads = compatible_heads(n, config.heads);
-        sym_mhsa(&mut t, trends, n, heads)?
+        sym_mhsa(t, trends, n, heads)?
     } else {
-        sym_linear(&mut t, trends, n, n, true)?
+        sym_linear(t, trends, n, n, true)?
     };
     let residual = t.add(mixed, trends)?;
     let patches = t.transpose(residual, 1, 2)?;
-    let mut h = sym_linear(&mut t, patches, pl, hd, true)?;
+    let mut h = sym_linear(t, patches, pl, hd, true)?;
     if config.with_layer_norm {
         t.stage("layer_norm_cross");
-        h = sym_layer_norm(&mut t, h, hd)?;
+        h = sym_layer_norm(t, h, hd)?;
     }
     let apply_dropout = training && config.dropout > 0.0;
     if apply_dropout {
@@ -618,37 +665,139 @@ pub fn plan_forward_loss(
     t.stage("inter_patch");
     let mixed = if config.use_inter_patch {
         let heads = compatible_heads(hd, config.heads);
-        sym_mhsa(&mut t, h, hd, heads)?
+        sym_mhsa(t, h, hd, heads)?
     } else {
-        sym_linear(&mut t, h, hd, hd, true)?
+        sym_linear(t, h, hd, hd, true)?
     };
     let mut h = t.add(mixed, h)?;
     if config.with_ffn {
         t.stage("ffn");
-        let up = sym_linear(&mut t, h, hd, 4 * hd, true)?;
+        let up = sym_linear(t, h, hd, 4 * hd, true)?;
         let act = t.gelu(up);
-        let down = sym_linear(&mut t, act, 4 * hd, hd, true)?;
+        let down = sym_linear(t, act, 4 * hd, hd, true)?;
         h = t.add(down, h)?;
     }
     if config.with_layer_norm {
         t.stage("layer_norm_inter");
-        h = sym_layer_norm(&mut t, h, hd)?;
+        h = sym_layer_norm(t, h, hd)?;
     }
     if apply_dropout {
         h = t.dropout(h);
     }
+    Ok(h)
+}
 
-    // ---- two single-layer MLP heads
+/// `TransformerExtraction::forward`: patch embedding + learned positional
+/// encoding + `stages.depth` post-norm encoder blocks (`EncoderBlock`).
+fn sym_transformer_encoder(
+    t: &mut SymTape,
+    tokens: PlanVar,
+    config: &LiPFormerConfig,
+    training: bool,
+) -> Result<PlanVar, PlanError> {
+    let (pl, hd) = (config.patch_len, config.hidden);
+    let n = config.seq_len / pl;
+    let heads = compatible_heads(hd, config.heads);
+    let apply_dropout = training && config.dropout > 0.0;
+
+    t.stage("patch_embed");
+    let mut h = sym_linear(t, tokens, pl, hd, true)?;
+    // LearnedPositionalEncoding::forward: table → first-n rows → add
+    let table = t.param(&[n, hd]);
+    let pe = t.slice_axis(table, 0, 0, n)?;
+    h = t.add(h, pe)?;
+
+    for i in 0..config.stages.depth {
+        t.stage(&format!("encoder_layer{i}"));
+        // EncoderBlock::forward: post-norm attention and FFN sublayers
+        let a = sym_mhsa(t, h, hd, heads)?;
+        let a = if apply_dropout { t.dropout(a) } else { a };
+        let r1 = t.add(h, a)?;
+        let hn = sym_layer_norm(t, r1, hd)?;
+        let up = sym_linear(t, hn, hd, 4 * hd, true)?;
+        let act = t.gelu(up);
+        let down = sym_linear(t, act, 4 * hd, hd, true)?;
+        let down = if apply_dropout { t.dropout(down) } else { down };
+        let r2 = t.add(hn, down)?;
+        h = sym_layer_norm(t, r2, hd)?;
+    }
+    Ok(h)
+}
+
+/// Extraction stage plan (`Extraction::forward`): `[B·c, n, pl]` tokens to
+/// `[B·c, n, hd]` features.
+fn sym_extraction(
+    t: &mut SymTape,
+    tokens: PlanVar,
+    config: &LiPFormerConfig,
+    training: bool,
+) -> Result<PlanVar, PlanError> {
+    match config.stages.extraction {
+        ExtractKind::LipAttention => sym_lip_attention(t, tokens, config, training),
+        ExtractKind::PatchTst => sym_transformer_encoder(t, tokens, config, training),
+    }
+}
+
+/// Projection stage plan (`Projection::forward`): `[B·c, n, hd]` features to
+/// a de-normalized `[B, L, c]` forecast.
+fn sym_projection(
+    t: &mut SymTape,
+    h: PlanVar,
+    config: &LiPFormerConfig,
+    norm: SymNorm,
+) -> Result<PlanVar, PlanError> {
+    let (c, pl, hd, l) = (
+        config.channels,
+        config.patch_len,
+        config.hidden,
+        config.pred_len,
+    );
+    let n = config.seq_len / pl;
+    let bc = SymDim::batch_times(c);
     t.stage("head");
-    let swapped = t.transpose(h, 1, 2)?;
-    let tokens = sym_linear(&mut t, swapped, n, nt, true)?;
-    let back = t.transpose(tokens, 1, 2)?;
-    let patches_out = sym_linear(&mut t, back, hd, pl, true)?;
-    let flat = t.reshape(patches_out, vec![bc, f(nt * pl)])?;
-    let trimmed = t.slice_axis(flat, 1, 0, l)?;
+    let trimmed = match config.stages.projection {
+        ProjKind::PatchHead => {
+            // two single-layer MLP heads: token axis n→nt, feature axis hd→pl
+            let nt = l.div_ceil(pl);
+            let swapped = t.transpose(h, 1, 2)?;
+            let tokens = sym_linear(t, swapped, n, nt, true)?;
+            let back = t.transpose(tokens, 1, 2)?;
+            let patches_out = sym_linear(t, back, hd, pl, true)?;
+            let flat = t.reshape(patches_out, vec![bc, f(nt * pl)])?;
+            t.slice_axis(flat, 1, 0, l)?
+        }
+        ProjKind::FlattenLinear => {
+            // PatchTST flatten head: [B·c, n·hd] → [B·c, L]
+            let flat = t.reshape(h, vec![bc, f(n * hd)])?;
+            sym_linear(t, flat, n * hd, l, true)?
+        }
+    };
+    // Patching::merge_channels, then the representation's inverse
     let split = t.reshape(trimmed, vec![SymDim::batch(), f(c), f(l)])?;
     let merged = t.permute(split, &[0, 2, 1])?;
-    let y_base = t.add(merged, last)?;
+    norm.denormalize(t, merged)
+}
+
+/// Plan the complete `LiPFormer::forward` + Smooth-L1 graph (the tape
+/// `Trainer::fit` differentiates) for whatever stage composition
+/// `config.stages` selects — mirroring `ComposedForecaster::forward` stage
+/// by stage. `training` plans the dropout nodes the runtime records when
+/// `dropout > 0`.
+pub fn plan_forward_loss(
+    config: &LiPFormerConfig,
+    spec: &CovariateSpec,
+    training: bool,
+) -> Result<ForwardPlan, PlanError> {
+    validate_config(config)?;
+    let (l, c) = (config.pred_len, config.channels);
+
+    let mut t = SymTape::new();
+    let x = t.leaf_labeled("x", vec![SymDim::batch(), f(config.seq_len), f(c)]);
+
+    // ---- stage pipeline: representation → extraction → projection
+    let (tokens, norm) = sym_representation(&mut t, x, config)?;
+    let h = sym_extraction(&mut t, tokens, config, training)?;
+    let y_base = sym_projection(&mut t, h, config, norm)?;
 
     // ---- weak-data enriching guide (Eq. 8)
     let v_c = sym_covariate_encoder(
@@ -789,5 +938,61 @@ mod tests {
         };
         assert_eq!(dropouts(&eval_plan), 0);
         assert_eq!(dropouts(&train_plan), 2, "backbone has two dropout sites");
+    }
+
+    #[test]
+    fn every_registered_composition_plans() {
+        for (label, stages) in lipformer::registered_compositions() {
+            let config = LiPFormerConfig::small(48, 24, 3).with_stages(stages);
+            for training in [false, true] {
+                let plan = plan_forward_loss(&config, &implicit_spec(), training)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_eq!(
+                    eval_shape(plan.tape.shape(plan.pred), 4),
+                    vec![4, 24, 3],
+                    "{label}"
+                );
+                assert!(plan.tape.shape(plan.loss).is_empty(), "{label}");
+                let m1 = plan.tape.macs().eval(1);
+                assert_eq!(plan.tape.macs().eval(2), 2 * m1, "{label}: linear in B");
+            }
+        }
+    }
+
+    #[test]
+    fn transformer_extraction_plans_dropout_per_layer() {
+        let config = LiPFormerConfig::small(48, 24, 2).with_stages(lipformer::StageSpec {
+            representation: lipformer::ReprKind::MeanStd,
+            extraction: ExtractKind::PatchTst,
+            projection: ProjKind::FlattenLinear,
+            depth: 2,
+        });
+        let eval_plan = plan_forward_loss(&config, &implicit_spec(), false).unwrap();
+        let train_plan = plan_forward_loss(&config, &implicit_spec(), true).unwrap();
+        let dropouts = |p: &ForwardPlan| {
+            p.tape.nodes().iter().filter(|n| n.op == "Dropout").count()
+        };
+        assert_eq!(dropouts(&eval_plan), 0);
+        assert_eq!(
+            dropouts(&train_plan),
+            4,
+            "two dropout sites per encoder layer"
+        );
+        // the flatten head plans no horizon trim
+        assert!(
+            !eval_plan.tape.nodes().iter().any(|n| {
+                n.op == "SliceAxis" && matches!(n.attr, NodeAttr::Slice { axis: 1, .. })
+            }),
+            "flatten head should not slice the horizon"
+        );
+    }
+
+    #[test]
+    fn zero_stage_depth_rejected_statically() {
+        let mut config = LiPFormerConfig::small(48, 24, 2);
+        config.stages.depth = 0;
+        let err = plan_forward_loss(&config, &implicit_spec(), false).unwrap_err();
+        assert_eq!(err.stage, "config");
+        assert!(err.message.contains("depth"), "{}", err.message);
     }
 }

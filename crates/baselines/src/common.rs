@@ -3,54 +3,17 @@
 //! instance normalization (RevIN without affine), and moving-average series
 //! decomposition.
 
-use lip_autograd::{Graph, ParamStore, Var};
-use lip_nn::{Activation, Dropout, FeedForward, LayerNorm, MultiHeadSelfAttention};
+use lip_autograd::{Graph, Var};
 use lip_tensor::Tensor;
-use lip_rng::rngs::StdRng;
-use lip_rng::Rng;
 
 /// A post-norm Transformer encoder layer:
 /// `h = LN(x + Attn(x)); out = LN(h + FFN(h))`.
-#[derive(Debug, Clone)]
-pub struct EncoderLayer {
-    attn: MultiHeadSelfAttention,
-    ln1: LayerNorm,
-    ffn: FeedForward,
-    ln2: LayerNorm,
-    dropout: Dropout,
-}
-
-impl EncoderLayer {
-    /// Standard layer with 4× FFN expansion.
-    pub fn new(
-        store: &mut ParamStore,
-        name: &str,
-        dim: usize,
-        heads: usize,
-        dropout: f32,
-        rng: &mut impl Rng,
-    ) -> Self {
-        EncoderLayer {
-            attn: MultiHeadSelfAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
-            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
-            ffn: FeedForward::new(store, &format!("{name}.ffn"), dim, 4, Activation::Gelu, rng),
-            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
-            dropout: Dropout::new(dropout),
-        }
-    }
-
-    /// Apply to `[b, seq, dim]`.
-    pub fn forward(&self, g: &mut Graph, x: Var, training: bool, rng: &mut StdRng) -> Var {
-        let a = self.attn.forward(g, x);
-        let a = self.dropout.forward(g, a, rng, training);
-        let r1 = g.add(x, a);
-        let h = self.ln1.forward(g, r1);
-        let f = self.ffn.forward(g, h);
-        let f = self.dropout.forward(g, f, rng, training);
-        let r2 = g.add(h, f);
-        self.ln2.forward(g, r2)
-    }
-}
+///
+/// Since the stage decomposition this is the core crate's
+/// [`lipformer::stages::EncoderBlock`] — one definition serves the baseline
+/// Transformers and the `PatchTst` extraction stage alike (identical
+/// registration order and recorded tape).
+pub use lipformer::stages::EncoderBlock as EncoderLayer;
 
 /// Statistical instance normalization (RevIN without affine parameters):
 /// normalize each window by its per-channel mean/std, and invert after
@@ -159,6 +122,7 @@ pub fn dft_matrices(n: usize) -> (Tensor, Tensor) {
 mod tests {
     use super::*;
     use lip_autograd::ParamStore;
+    use lip_rng::rngs::StdRng;
     use lip_rng::SeedableRng;
 
     #[test]

@@ -5,20 +5,22 @@
 
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_data::window::Batch;
-use lip_nn::positional::LearnedPositionalEncoding;
 use lip_nn::Linear;
+use lipformer::stages::{Extraction, TransformerExtraction};
 use lipformer::Forecaster;
 use lip_rng::rngs::StdRng;
 use lip_rng::SeedableRng;
 
-use crate::common::{EncoderLayer, RevIn};
+use crate::common::RevIn;
 
-/// PatchTST with non-overlapping patches.
+/// PatchTST with non-overlapping patches. The encoder (patch embedding +
+/// learned positional encoding + post-norm layers) is the core crate's
+/// [`TransformerExtraction`] stage — the same module `config.stages` can
+/// drop into a `ComposedForecaster`; parameter names and registration order
+/// are unchanged from the pre-decomposition baseline.
 pub struct PatchTst {
     store: ParamStore,
-    embed: Linear,
-    pe: LearnedPositionalEncoding,
-    layers: Vec<EncoderLayer>,
+    extraction: TransformerExtraction,
     head: Linear,
     seq_len: usize,
     pred_len: usize,
@@ -46,12 +48,18 @@ impl PatchTst {
             .find(|pl| seq_len.is_multiple_of(*pl) && *pl <= patch_len)
             .unwrap_or(1);
         let num_patches = seq_len / patch_len;
-        let embed = Linear::new(&mut store, "patchtst.embed", patch_len, dim, true, &mut rng);
-        let pe = LearnedPositionalEncoding::new(&mut store, "patchtst", num_patches, dim, &mut rng);
         let heads = if dim.is_multiple_of(8) { 8 } else { 4 };
-        let layers = (0..depth)
-            .map(|i| EncoderLayer::new(&mut store, &format!("patchtst.layer{i}"), dim, heads, 0.1, &mut rng))
-            .collect();
+        let extraction = TransformerExtraction::new(
+            &mut store,
+            "patchtst",
+            patch_len,
+            dim,
+            heads,
+            depth,
+            num_patches,
+            0.1,
+            &mut rng,
+        );
         let head = Linear::new(
             &mut store,
             "patchtst.head",
@@ -62,9 +70,7 @@ impl PatchTst {
         );
         PatchTst {
             store,
-            embed,
-            pe,
-            layers,
+            extraction,
             head,
             seq_len,
             pred_len,
@@ -110,13 +116,8 @@ impl Forecaster for PatchTst {
         let per_channel = g.permute(normed, &[0, 2, 1]);
         let patched = g.reshape(per_channel, &[b * c, self.num_patches, self.patch_len]);
 
-        // patch embedding + learned positional encoding
-        let mut h = self.embed.forward(g, patched);
-        h = self.pe.forward(g, h);
-
-        for layer in &self.layers {
-            h = layer.forward(g, h, training, rng);
-        }
+        // patch embedding + positional encoding + encoder stack (one stage)
+        let h = self.extraction.forward(g, patched, training, rng);
 
         // flatten head: [b·c, n·d] → [b·c, L]
         let flat = g.reshape(h, &[b * c, self.num_patches * self.dim]);

@@ -1,0 +1,289 @@
+//! `pretrain_zoo` — the cross-dataset pretrain → fine-tune transfer study
+//! the stage decomposition exists to support.
+//!
+//! One channel-independent backbone (extraction + projection stages of the
+//! default composition, base-only — no enriching module) is pretrained
+//! *sequentially* across all nine synthetic benchmarks on a shared
+//! `(48, 12)` task, checkpointed after each dataset. Because the stages
+//! operate on `[b·c, n, pl]` patch tokens, the same parameters serve any
+//! channel count, and `checkpoint::restore_stage` moves them into a fresh
+//! model for any dataset. Per dataset the study then reports:
+//!
+//! * **zero-shot** — restore the backbone, evaluate the test split untouched;
+//! * **few-shot** — restore the backbone, freeze the extraction stage, and
+//!   fine-tune the head on ≤ 10 % of the training windows;
+//! * **from-scratch** — train a fresh model on the same ≤ 10 % subset.
+//!
+//! Everything here is deterministic (seeded shuffles/dropout, thread-count
+//! invariant kernels), so the report is byte-stable and `scripts/verify.sh`
+//! gates it bit-for-bit against the committed `BENCH_pr10.json`.
+//!
+//! ```text
+//! cargo run --release -p lip-bench --bin pretrain_zoo [OUT.json [BASELINE.json]]
+//! ```
+
+use std::path::PathBuf;
+
+use lip_data::pipeline::{prepare, PreparedData};
+use lip_data::{generate, DatasetName, GeneratorConfig};
+use lipformer::checkpoint::{self, CheckpointHeader, Stage};
+use lipformer::{
+    Forecaster, ForecastMetrics, LiPFormer, LiPFormerConfig, TrainConfig, Trainer,
+};
+use lip_tensor::Tensor;
+
+const SEQ_LEN: usize = 48;
+const PRED_LEN: usize = 12;
+const PRETRAIN_EPOCHS: usize = 2;
+const FINETUNE_EPOCHS: usize = 3;
+const GEN_SEED: u64 = 3;
+
+/// One dataset's transfer measurements.
+struct ZooRecord {
+    dataset: String,
+    channels: usize,
+    total_windows: usize,
+    few_shot_windows: usize,
+    zero_shot_mse: f32,
+    few_shot_mse: f32,
+    scratch_mse: f32,
+    /// `scratch_mse − few_shot_mse`: positive means the pretrained backbone
+    /// beat from-scratch training on the same data budget.
+    transfer_gain: f32,
+}
+
+lip_serde::json_struct!(ZooRecord {
+    dataset,
+    channels,
+    total_windows,
+    few_shot_windows,
+    zero_shot_mse,
+    few_shot_mse,
+    scratch_mse,
+    transfer_gain,
+});
+
+/// The full report written to `BENCH_pr10.json`.
+struct ZooReport {
+    seq_len: usize,
+    pred_len: usize,
+    hidden: usize,
+    pretrain_epochs: usize,
+    finetune_epochs: usize,
+    records: Vec<ZooRecord>,
+}
+
+lip_serde::json_struct!(ZooReport {
+    seq_len,
+    pred_len,
+    hidden,
+    pretrain_epochs,
+    finetune_epochs,
+    records,
+});
+
+/// The shared backbone configuration for a dataset's channel count. Only
+/// `channels` varies across datasets; the stage parameters it produces are
+/// channel-independent, so every model hosts the same backbone shapes.
+fn zoo_config(channels: usize) -> LiPFormerConfig {
+    let mut cfg = LiPFormerConfig::small(SEQ_LEN, PRED_LEN, channels);
+    cfg.hidden = 16;
+    cfg.encoder_hidden = 16;
+    cfg
+}
+
+fn train_config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        pretrain_epochs: 0,
+        batch_size: 64,
+        lr: 2e-3,
+        patience: epochs, // no early stop: keep the run length deterministic
+        ..TrainConfig::fast()
+    }
+}
+
+/// Restore extraction + projection from the backbone checkpoint into `model`.
+fn restore_backbone(header: &CheckpointHeader, tensors: &[Tensor], model: &mut LiPFormer) {
+    for stage in [Stage::Extraction, Stage::Projection] {
+        let n = checkpoint::restore_stage(header, tensors, model.store_mut(), stage)
+            .unwrap_or_else(|e| panic!("restore {stage:?}: {e}"));
+        assert!(n > 0, "{stage:?} restored no parameters");
+    }
+}
+
+/// Freeze every extraction-stage parameter of `model` (name-matched through
+/// the checkpoint's stage layout), leaving the head trainable.
+fn freeze_extraction(header: &CheckpointHeader, model: &mut LiPFormer) {
+    let layout = header.stage_layout.as_ref().expect("loaded headers carry a layout");
+    let names = layout.names(Stage::Extraction).to_vec();
+    let store = model.store_mut();
+    let ids: Vec<_> = store.ids().collect();
+    for name in &names {
+        let id = ids
+            .iter()
+            .copied()
+            .find(|&id| store.name(id) == name)
+            .unwrap_or_else(|| panic!("model lacks extraction parameter '{name}'"));
+        store.freeze(id);
+    }
+}
+
+fn test_mse(model: &LiPFormer, prep: &PreparedData) -> f32 {
+    ForecastMetrics::evaluate(model, &prep.test, 64).mse
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_pr10.json".to_string());
+    let baseline_path = args.next();
+
+    println!(
+        "pretrain_zoo: sequential backbone pretrain over {} benchmarks, \
+         ({SEQ_LEN}, {PRED_LEN}) task, hidden 16",
+        DatasetName::all().len()
+    );
+
+    let prepared: Vec<(DatasetName, PreparedData)> = DatasetName::all()
+        .into_iter()
+        .map(|name| {
+            let ds = generate(name, GeneratorConfig::test(GEN_SEED));
+            (name, prepare(&ds, SEQ_LEN, PRED_LEN))
+        })
+        .collect();
+
+    // Phase 1 — sequential pretrain: one backbone visits every dataset in
+    // order. Each round starts a fresh base-only model for the dataset's
+    // channel count, inherits the running backbone, trains on the full train
+    // split, and re-checkpoints.
+    let ckpt_path: PathBuf = std::env::temp_dir().join("lip_pretrain_zoo_backbone.ckpt");
+    let mut backbone: Option<(CheckpointHeader, Vec<Tensor>)> = None;
+    for (name, prep) in &prepared {
+        let config = zoo_config(prep.channels);
+        let mut model = LiPFormer::without_enriching(config.clone(), 5);
+        if let Some((header, tensors)) = &backbone {
+            restore_backbone(header, tensors, &mut model);
+        }
+        let mut trainer = Trainer::new(train_config(PRETRAIN_EPOCHS));
+        let report = trainer.fit(&mut model, &prep.train, &prep.val);
+        checkpoint::save(&ckpt_path, &config, model.store())
+            .unwrap_or_else(|e| panic!("checkpoint save: {e}"));
+        backbone = Some(checkpoint::load(&ckpt_path).unwrap_or_else(|e| panic!("reload: {e}")));
+        println!(
+            "  pretrain {name:>13?}  {} windows  val mse {:.4}",
+            prep.train.len(),
+            report.best_val_loss
+        );
+    }
+    let (header, tensors) = backbone.expect("nine pretrain rounds ran");
+
+    // Phase 2 — per-dataset transfer: zero-shot, few-shot (≤ 10 % of the
+    // train windows, extraction frozen), and from-scratch on the same subset.
+    let mut records = Vec::new();
+    for (name, prep) in &prepared {
+        let config = zoo_config(prep.channels);
+        let total_windows = prep.train.len();
+        let few_shot_windows = (total_windows / 10).max(2);
+        let subset = prep.train.truncated(few_shot_windows);
+
+        let mut zero_shot = LiPFormer::without_enriching(config.clone(), 11);
+        restore_backbone(&header, &tensors, &mut zero_shot);
+        let zero_shot_mse = test_mse(&zero_shot, prep);
+
+        let mut few_shot = LiPFormer::without_enriching(config.clone(), 11);
+        restore_backbone(&header, &tensors, &mut few_shot);
+        freeze_extraction(&header, &mut few_shot);
+        Trainer::new(train_config(FINETUNE_EPOCHS)).fit(&mut few_shot, &subset, &prep.val);
+        let few_shot_mse = test_mse(&few_shot, prep);
+
+        let mut scratch = LiPFormer::without_enriching(config, 11);
+        Trainer::new(train_config(FINETUNE_EPOCHS)).fit(&mut scratch, &subset, &prep.val);
+        let scratch_mse = test_mse(&scratch, prep);
+
+        println!(
+            "  transfer {name:>13?}  zero-shot {zero_shot_mse:.4}   few-shot({few_shot_windows}) \
+             {few_shot_mse:.4}   scratch {scratch_mse:.4}"
+        );
+        records.push(ZooRecord {
+            dataset: format!("{name:?}"),
+            channels: prep.channels,
+            total_windows,
+            few_shot_windows,
+            zero_shot_mse,
+            few_shot_mse,
+            scratch_mse,
+            transfer_gain: scratch_mse - few_shot_mse,
+        });
+    }
+
+    let helped = records.iter().filter(|r| r.transfer_gain > 0.0).count();
+    println!(
+        "pretrained backbone beat from-scratch on {helped}/{} datasets",
+        records.len()
+    );
+
+    let report = ZooReport {
+        seq_len: SEQ_LEN,
+        pred_len: PRED_LEN,
+        hidden: 16,
+        pretrain_epochs: PRETRAIN_EPOCHS,
+        finetune_epochs: FINETUNE_EPOCHS,
+        records,
+    };
+    let json = lip_serde::to_string_pretty(&report);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("transfer report → {out_path}");
+
+    // Baseline gate: the run is deterministic, so every numeric field must
+    // match the committed report bit-for-bit.
+    if let Some(baseline_path) = baseline_path {
+        let raw = std::fs::read(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline: ZooReport = lip_serde::from_slice(&raw).unwrap_or_else(|e| {
+            eprintln!("cannot decode baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let mut failed = false;
+        if baseline.records.len() != report.records.len() {
+            eprintln!(
+                "baseline has {} records, run produced {}",
+                baseline.records.len(),
+                report.records.len()
+            );
+            failed = true;
+        }
+        for (got, want) in report.records.iter().zip(&baseline.records) {
+            let same = got.dataset == want.dataset
+                && got.channels == want.channels
+                && got.total_windows == want.total_windows
+                && got.few_shot_windows == want.few_shot_windows
+                && got.zero_shot_mse.to_bits() == want.zero_shot_mse.to_bits()
+                && got.few_shot_mse.to_bits() == want.few_shot_mse.to_bits()
+                && got.scratch_mse.to_bits() == want.scratch_mse.to_bits();
+            if !same {
+                eprintln!(
+                    "{}: diverges from baseline (zero-shot {} vs {}, few-shot {} vs {}, \
+                     scratch {} vs {})",
+                    got.dataset,
+                    got.zero_shot_mse,
+                    want.zero_shot_mse,
+                    got.few_shot_mse,
+                    want.few_shot_mse,
+                    got.scratch_mse,
+                    want.scratch_mse
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            eprintln!("FAILED: transfer report diverges from {baseline_path}");
+            std::process::exit(1);
+        }
+        println!("transfer report matches {baseline_path} bit-for-bit");
+    }
+}

@@ -3,160 +3,71 @@
 //! Inter-Patch attention → two single-layer MLP heads. No Positional
 //! Encoding, no Layer Normalization, no Feed-Forward Networks — unless the
 //! Table X ablation switches re-insert the latter two.
+//!
+//! Since the stage decomposition this is a thin concrete assembly of the
+//! canonical stage triple ([`crate::stages::LastValueRepr`] →
+//! [`crate::stages::LipAttentionExtraction`] →
+//! [`crate::stages::PatchHeadProjection`]); registration order and the
+//! recorded tape are byte-identical to the pre-decomposition monolith.
 
 use lip_autograd::{Graph, ParamStore, Var};
-use lip_nn::{Activation, Dropout, FeedForward, LayerNorm, Linear};
 use lip_rng::rngs::StdRng;
 use lip_rng::Rng;
 
 use crate::config::LiPFormerConfig;
-use crate::cross_patch::CrossPatch;
-use crate::inter_patch::InterPatch;
-use crate::patching::Patching;
-use crate::revin::InstanceNorm;
+use crate::stages::{
+    Extraction, LastValueRepr, LipAttentionExtraction, PatchHeadProjection, Projection,
+    Representation,
+};
 
 /// LiPFormer's autoregressive backbone producing `Ŷ_base`.
 #[derive(Debug, Clone)]
 pub struct BasePredictor {
     config: LiPFormerConfig,
-    patching: Patching,
-    cross: CrossPatch,
-    inter: InterPatch,
-    /// Head stage 1: token axis `n → nt`.
-    head_tokens: Linear,
-    /// Head stage 2: feature axis `hd → pl`.
-    head_features: Linear,
-    dropout: Dropout,
-    /// Table X "+LN" ablation.
-    ln_cross: Option<LayerNorm>,
-    ln_inter: Option<LayerNorm>,
-    /// Table X "+FFNs" ablation.
-    ffn: Option<FeedForward>,
+    repr: LastValueRepr,
+    extract: LipAttentionExtraction,
+    project: PatchHeadProjection,
 }
 
 impl BasePredictor {
     /// Register all backbone parameters in `store`.
     pub fn new(store: &mut ParamStore, name: &str, config: &LiPFormerConfig, rng: &mut impl Rng) -> Self {
         config.validate();
-        let n = config.num_patches();
-        let nt = config.num_target_patches();
-        let cross = CrossPatch::new(
-            store,
-            &format!("{name}.cross"),
-            n,
-            config.patch_len,
-            config.hidden,
-            config.heads,
-            config.use_cross_patch,
-            rng,
-        );
-        let inter = InterPatch::new(
-            store,
-            &format!("{name}.inter"),
-            config.hidden,
-            config.heads,
-            config.use_inter_patch,
-            rng,
-        );
-        let head_tokens = Linear::new(store, &format!("{name}.head_tokens"), n, nt, true, rng);
-        let head_features = Linear::new(
-            store,
-            &format!("{name}.head_features"),
-            config.hidden,
-            config.patch_len,
-            true,
-            rng,
-        );
-        // Damp the output projection: with last-value instance normalization
-        // a near-zero head makes the initial forecast the "repeat last
-        // value" naive predictor, a far better starting point than a random
-        // projection of random attention features.
-        for id in head_features.param_ids() {
-            let damped = store.value(id).mul_scalar(0.05);
-            store.set_value(id, damped);
-        }
-        let ln_cross = config
-            .with_layer_norm
-            .then(|| LayerNorm::new(store, &format!("{name}.ln_cross"), config.hidden));
-        let ln_inter = config
-            .with_layer_norm
-            .then(|| LayerNorm::new(store, &format!("{name}.ln_inter"), config.hidden));
-        let ffn = config.with_ffn.then(|| {
-            FeedForward::new(
-                store,
-                &format!("{name}.ffn"),
-                config.hidden,
-                4,
-                Activation::Gelu,
-                rng,
-            )
-        });
+        let repr = LastValueRepr::new(config);
+        // Legacy registration order: cross → inter → head_tokens →
+        // head_features → ln_cross → ln_inter → ffn. The projection head is
+        // interleaved between the extraction's attention and LN/FFN halves
+        // so parameter ids and RNG draws match the pre-refactor monolith.
+        let parts = LipAttentionExtraction::begin(store, name, config, rng);
+        let project = PatchHeadProjection::new(store, name, config, rng);
+        let extract = LipAttentionExtraction::finish(parts, store, name, config, rng);
         BasePredictor {
-            patching: Patching {
-                patch_len: config.patch_len,
-            },
-            cross,
-            inter,
-            head_tokens,
-            head_features,
-            dropout: Dropout::new(config.dropout),
-            ln_cross,
-            ln_inter,
-            ffn,
             config: config.clone(),
+            repr,
+            extract,
+            project,
         }
     }
 
     /// `x: [b, T, c] → Ŷ_base: [b, L, c]`.
     pub fn forward(&self, g: &mut Graph, x: Var, training: bool, rng: &mut StdRng) -> Var {
-        let shape = g.shape(x).to_vec();
-        let (b, c) = (shape[0], shape[2]);
-        assert_eq!(shape[1], self.config.seq_len, "input length mismatch");
-        assert_eq!(c, self.config.channels, "channel count mismatch");
-
-        // instance normalization (re-added at the end)
-        let (normed, anchor) = InstanceNorm.normalize(g, x);
-
-        // channel independence + patching: [b·c, n, pl]
-        let patched = self.patching.apply(g, normed);
-
-        // Cross-Patch trend mixing → [b·c, n, hd]
-        let mut h = self.cross.forward(g, patched);
-        if let Some(ln) = &self.ln_cross {
-            h = ln.forward(g, h);
-        }
-        h = self.dropout.forward(g, h, rng, training);
-
-        // Inter-Patch attention (residual) → [b·c, n, hd]
-        let mut h = self.inter.forward(g, h);
-        if let Some(ffn) = &self.ffn {
-            let f = ffn.forward(g, h);
-            h = g.add(f, h);
-        }
-        if let Some(ln) = &self.ln_inter {
-            h = ln.forward(g, h);
-        }
-        h = self.dropout.forward(g, h, rng, training);
-
-        // head: [b·c, n, hd] → [b·c, hd, n] → n→nt → [b·c, nt, hd] → hd→pl
-        let swapped = g.transpose(h, 1, 2);
-        let tokens = self.head_tokens.forward(g, swapped); // [b·c, hd, nt]
-        let back = g.transpose(tokens, 1, 2); // [b·c, nt, hd]
-        let patches_out = self.head_features.forward(g, back); // [b·c, nt, pl]
-
-        // flatten target patches and trim the horizon
-        let nt = self.config.num_target_patches();
-        let flat = g.reshape(patches_out, &[b * c, nt * self.config.patch_len]);
-        let trimmed = g.slice_axis(flat, 1, 0, self.config.pred_len);
-
-        // back to [b, L, c] and denormalize
-        let merged = self.patching.merge_channels(g, trimmed, b, c);
-        InstanceNorm.denormalize(g, merged, anchor)
+        let repr = self.repr.forward(g, x);
+        let h = self.extract.forward(g, repr.tokens, training, rng);
+        self.project.forward(g, h, &repr)
     }
 
     /// The configuration this backbone was built with.
     pub fn config(&self) -> &LiPFormerConfig {
         &self.config
+    }
+
+    /// Split into boxed stage objects (for `ComposedForecaster`).
+    pub fn into_stages(self) -> crate::stages::StageSet {
+        crate::stages::StageSet {
+            repr: Box::new(self.repr),
+            extract: Box::new(self.extract),
+            project: Box::new(self.project),
+        }
     }
 }
 

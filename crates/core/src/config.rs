@@ -37,24 +37,136 @@ pub struct LiPFormerConfig {
     pub with_layer_norm: bool,
     /// Ablation: re-insert Feed-Forward Networks (Table X).
     pub with_ffn: bool,
+    /// Stage composition (representation / extraction / projection).
+    /// Defaults to the paper's canonical pipeline.
+    pub stages: StageSpec,
 }
 
-lip_serde::json_struct!(LiPFormerConfig {
-    seq_len,
-    pred_len,
-    channels,
-    patch_len,
-    hidden,
-    heads,
-    dropout,
-    smooth_l1_beta,
-    encoder_hidden,
-    categorical_embed,
-    use_cross_patch,
-    use_inter_patch,
-    with_layer_norm,
-    with_ffn,
+/// Which representation stage normalizes and patches the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReprKind {
+    /// Last-value instance normalization (the paper's §III-C1 anchor).
+    LastValue,
+    /// Mean/std statistical normalization (RevIN without affine).
+    MeanStd,
+}
+
+/// Which information-extraction stage maps patch tokens to features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractKind {
+    /// The paper's Cross-Patch + Inter-Patch attention backbone.
+    LipAttention,
+    /// A PatchTST-style Transformer encoder (PE + LN + FFN stack).
+    PatchTst,
+}
+
+/// Which projection stage maps features to the de-normalized forecast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProjKind {
+    /// The paper's two single-layer MLP heads (`n → nt`, `hd → pl`).
+    PatchHead,
+    /// PatchTST's flatten head (`[n·hd] → L` in one linear layer).
+    FlattenLinear,
+}
+
+lip_serde::json_unit_enum!(ReprKind { LastValue, MeanStd });
+lip_serde::json_unit_enum!(ExtractKind { LipAttention, PatchTst });
+lip_serde::json_unit_enum!(ProjKind { PatchHead, FlattenLinear });
+
+/// A stage composition: one representation, one extraction, one projection.
+/// The default is the canonical LiPFormer pipeline, byte-identical to the
+/// pre-refactor monolith.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Normalization + patching choice.
+    pub representation: ReprKind,
+    /// Token-to-feature backbone choice.
+    pub extraction: ExtractKind,
+    /// Feature-to-forecast head choice.
+    pub projection: ProjKind,
+    /// Encoder depth for the `PatchTst` extraction (ignored otherwise).
+    pub depth: usize,
+}
+
+lip_serde::json_struct!(StageSpec {
+    representation,
+    extraction,
+    projection,
+    depth,
 });
+
+impl Default for StageSpec {
+    fn default() -> Self {
+        StageSpec {
+            representation: ReprKind::LastValue,
+            extraction: ExtractKind::LipAttention,
+            projection: ProjKind::PatchHead,
+            depth: 2,
+        }
+    }
+}
+
+impl StageSpec {
+    /// Whether this is the canonical (pre-refactor monolith) composition.
+    pub fn is_canonical(&self) -> bool {
+        self.representation == ReprKind::LastValue
+            && self.extraction == ExtractKind::LipAttention
+            && self.projection == ProjKind::PatchHead
+    }
+}
+
+// Hand-written (rather than `json_struct!`) so configs written before the
+// stage decomposition — v1 checkpoints, committed bench baselines — still
+// parse: a missing `stages` field means the canonical composition.
+impl lip_serde::ToJson for LiPFormerConfig {
+    fn to_json(&self) -> lip_serde::Json {
+        lip_serde::Json::Object(vec![
+            ("seq_len".into(), self.seq_len.to_json()),
+            ("pred_len".into(), self.pred_len.to_json()),
+            ("channels".into(), self.channels.to_json()),
+            ("patch_len".into(), self.patch_len.to_json()),
+            ("hidden".into(), self.hidden.to_json()),
+            ("heads".into(), self.heads.to_json()),
+            ("dropout".into(), self.dropout.to_json()),
+            ("smooth_l1_beta".into(), self.smooth_l1_beta.to_json()),
+            ("encoder_hidden".into(), self.encoder_hidden.to_json()),
+            ("categorical_embed".into(), self.categorical_embed.to_json()),
+            ("use_cross_patch".into(), self.use_cross_patch.to_json()),
+            ("use_inter_patch".into(), self.use_inter_patch.to_json()),
+            ("with_layer_norm".into(), self.with_layer_norm.to_json()),
+            ("with_ffn".into(), self.with_ffn.to_json()),
+            ("stages".into(), self.stages.to_json()),
+        ])
+    }
+}
+
+impl lip_serde::FromJson for LiPFormerConfig {
+    fn from_json(v: &lip_serde::Json) -> Result<Self, lip_serde::JsonError> {
+        let stages = match v.get("stages") {
+            Some(j) if !matches!(j, lip_serde::Json::Null) => {
+                lip_serde::FromJson::from_json(j)?
+            }
+            _ => StageSpec::default(),
+        };
+        Ok(LiPFormerConfig {
+            seq_len: v.field("seq_len")?,
+            pred_len: v.field("pred_len")?,
+            channels: v.field("channels")?,
+            patch_len: v.field("patch_len")?,
+            hidden: v.field("hidden")?,
+            heads: v.field("heads")?,
+            dropout: v.field("dropout")?,
+            smooth_l1_beta: v.field("smooth_l1_beta")?,
+            encoder_hidden: v.field("encoder_hidden")?,
+            categorical_embed: v.field("categorical_embed")?,
+            use_cross_patch: v.field("use_cross_patch")?,
+            use_inter_patch: v.field("use_inter_patch")?,
+            with_layer_norm: v.field("with_layer_norm")?,
+            with_ffn: v.field("with_ffn")?,
+            stages,
+        })
+    }
+}
 
 impl LiPFormerConfig {
     /// The paper's default configuration for a `(T=720, L, c)` task.
@@ -74,6 +186,7 @@ impl LiPFormerConfig {
             use_inter_patch: true,
             with_layer_norm: false,
             with_ffn: false,
+            stages: StageSpec::default(),
         }
     }
 
@@ -98,6 +211,7 @@ impl LiPFormerConfig {
             use_inter_patch: true,
             with_layer_norm: false,
             with_ffn: false,
+            stages: StageSpec::default(),
         }
     }
 
@@ -124,6 +238,16 @@ impl LiPFormerConfig {
         assert!(self.hidden.is_multiple_of(self.heads), "hidden must divide by heads");
         assert!((0.0..1.0).contains(&self.dropout));
         assert!(self.smooth_l1_beta > 0.0);
+        assert!(
+            self.stages.depth >= 1,
+            "stage composition needs encoder depth >= 1"
+        );
+    }
+
+    /// Builder: swap the stage composition.
+    pub fn with_stages(mut self, stages: StageSpec) -> Self {
+        self.stages = stages;
+        self
     }
 
     /// Ablation variant: re-add Layer Normalization (Table X "+LN").
@@ -229,6 +353,34 @@ mod tests {
         assert_eq!(c.num_target_patches(), 2);
         c.pred_len = 97;
         assert_eq!(c.num_target_patches(), 3);
+    }
+
+    #[test]
+    fn config_json_roundtrips_with_stages() {
+        let mut c = LiPFormerConfig::small(96, 24, 3);
+        c.stages = StageSpec {
+            representation: ReprKind::MeanStd,
+            extraction: ExtractKind::PatchTst,
+            projection: ProjKind::FlattenLinear,
+            depth: 3,
+        };
+        let json = lip_serde::to_string(&c);
+        let back: LiPFormerConfig = lip_serde::from_str(&json).unwrap();
+        assert_eq!(back.stages, c.stages);
+        assert_eq!(back.seq_len, c.seq_len);
+    }
+
+    #[test]
+    fn pre_stage_config_json_defaults_to_canonical() {
+        // Configs serialized before the stage decomposition (v1 checkpoints,
+        // committed bench baselines) have no `stages` field.
+        let c = LiPFormerConfig::small(96, 24, 3);
+        let json = lip_serde::to_string(&c);
+        let legacy = json.replace(",\"stages\":", ",\"_ignored\":");
+        assert!(!legacy.contains("\"stages\""), "test setup failed");
+        let back: LiPFormerConfig = lip_serde::from_str(&legacy).unwrap();
+        assert!(back.stages.is_canonical());
+        assert_eq!(back.stages, StageSpec::default());
     }
 
     #[test]

@@ -54,16 +54,18 @@ pub mod model;
 pub mod patching;
 pub mod plugin;
 pub mod revin;
+pub mod stages;
 pub mod target_encoder;
 pub mod trainer;
 
 pub use base_predictor::BasePredictor;
-pub use config::LiPFormerConfig;
+pub use config::{ExtractKind, LiPFormerConfig, ProjKind, ReprKind, StageSpec};
 pub use contrastive::WeakEnriching;
 pub use covariate_encoder::CovariateEncoder;
 pub use forecaster::{Forecaster, WeaklySupervised};
 pub use metrics::{mae, mse, ForecastMetrics};
-pub use model::LiPFormer;
+pub use model::{ComposedForecaster, LiPFormer};
+pub use stages::{registered_compositions, Extraction, Projection, Representation};
 pub use plugin::WithCovariateEncoder;
 pub use target_encoder::TargetEncoder;
 pub use trainer::{TrainConfig, TrainReport, Trainer};

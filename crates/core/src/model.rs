@@ -1,5 +1,10 @@
-//! The full **LiPFormer** model: Base Predictor + optional weak-data
-//! enriching (Eq. 8: `Ŷ = Ŷ_base + MLP(F_PreTrain)`).
+//! The full **LiPFormer** model: a stage composition (representation →
+//! extraction → projection) plus optional weak-data enriching (Eq. 8:
+//! `Ŷ = Ŷ_base + MLP(F_PreTrain)`).
+//!
+//! [`ComposedForecaster`] is the general form; [`LiPFormer`] is the same
+//! type, whose default `stages` config is the paper's canonical composition
+//! (byte-identical to the pre-decomposition monolith — golden-hash pinned).
 
 use lip_autograd::{Graph, ParamStore, Var};
 use lip_data::window::Batch;
@@ -8,26 +13,36 @@ use lip_tensor::Tensor;
 use lip_rng::rngs::StdRng;
 use lip_rng::SeedableRng;
 
-use crate::base_predictor::BasePredictor;
 use crate::config::LiPFormerConfig;
 use crate::contrastive::WeakEnriching;
 use crate::forecaster::{Forecaster, WeaklySupervised};
+use crate::stages::{build_stages, Extraction, Projection, Representation};
 
-/// LiPFormer (paper Fig. 1).
-pub struct LiPFormer {
+/// A forecaster assembled from swappable pipeline stages (paper Fig. 1 is
+/// the canonical composition). Which stages are built is decided by
+/// `config.stages`, so models reconstructed from a checkpointed config —
+/// in `lip-serve`, `lip-exec`, the eval registry — pick up the right
+/// composition automatically.
+pub struct ComposedForecaster {
     store: ParamStore,
-    base: BasePredictor,
+    config: LiPFormerConfig,
+    repr: Box<dyn Representation>,
+    extract: Box<dyn Extraction>,
+    project: Box<dyn Projection>,
     enrich: Option<WeakEnriching>,
     name: String,
 }
 
-impl LiPFormer {
+/// LiPFormer (paper Fig. 1) — the canonical stage composition.
+pub type LiPFormer = ComposedForecaster;
+
+impl ComposedForecaster {
     /// Full model with weak-data enriching: explicit covariates when `spec`
     /// has them, implicit temporal features otherwise.
     pub fn new(config: LiPFormerConfig, spec: &CovariateSpec, seed: u64) -> Self {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
-        let base = BasePredictor::new(&mut store, "base", &config, &mut rng);
+        let stages = build_stages(&mut store, "base", &config, &mut rng);
         let enrich = WeakEnriching::new(
             &mut store,
             "enrich",
@@ -38,25 +53,31 @@ impl LiPFormer {
             config.categorical_embed,
             &mut rng,
         );
-        LiPFormer {
+        ComposedForecaster {
             store,
-            base,
+            repr: stages.repr,
+            extract: stages.extract,
+            project: stages.project,
             enrich: Some(enrich),
             name: "LiPFormer".into(),
+            config,
         }
     }
 
-    /// Base Predictor only — the "without pre-train" ablation of Table VI
+    /// Stage composition only — the "without pre-train" ablation of Table VI
     /// and the "w/o enc" ablation of Figure 6.
     pub fn without_enriching(config: LiPFormerConfig, seed: u64) -> Self {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
-        let base = BasePredictor::new(&mut store, "base", &config, &mut rng);
-        LiPFormer {
+        let stages = build_stages(&mut store, "base", &config, &mut rng);
+        ComposedForecaster {
             store,
-            base,
+            repr: stages.repr,
+            extract: stages.extract,
+            project: stages.project,
             enrich: None,
             name: "LiPFormer-base".into(),
+            config,
         }
     }
 
@@ -73,7 +94,7 @@ impl LiPFormer {
 
     /// The backbone configuration.
     pub fn config(&self) -> &LiPFormerConfig {
-        self.base.config()
+        &self.config
     }
 
     /// The `[b, b]` contrastive logits for `batch` (Figure 7).
@@ -88,7 +109,7 @@ impl LiPFormer {
     }
 }
 
-impl Forecaster for LiPFormer {
+impl Forecaster for ComposedForecaster {
     fn name(&self) -> &str {
         &self.name
     }
@@ -103,7 +124,9 @@ impl Forecaster for LiPFormer {
 
     fn forward(&self, g: &mut Graph, batch: &Batch, training: bool, rng: &mut StdRng) -> Var {
         let x = g.constant(batch.x.clone());
-        let y_base = self.base.forward(g, x, training, rng);
+        let repr = self.repr.forward(g, x);
+        let h = self.extract.forward(g, repr.tokens, training, rng);
+        let y_base = self.project.forward(g, h, &repr);
         match &self.enrich {
             Some(enrich) => enrich.guide(g, y_base, batch),
             None => y_base,
@@ -111,7 +134,7 @@ impl Forecaster for LiPFormer {
     }
 }
 
-impl WeaklySupervised for LiPFormer {
+impl WeaklySupervised for ComposedForecaster {
     fn contrastive_loss(&self, g: &mut Graph, batch: &Batch) -> Var {
         self.enrich
             .as_ref()
@@ -129,6 +152,8 @@ impl WeaklySupervised for LiPFormer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{ExtractKind, ProjKind, ReprKind, StageSpec};
+    use crate::stages::registered_compositions;
 
     fn spec_implicit() -> CovariateSpec {
         CovariateSpec {
@@ -225,5 +250,58 @@ mod tests {
         let b = toy_batch(5, &mut rng);
         let logits = model.logits_matrix(&b);
         assert_eq!(logits.shape(), &[5, 5]);
+    }
+
+    #[test]
+    fn every_registered_composition_forwards_with_enriching() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let b = toy_batch(3, &mut rng);
+        for (label, stages) in registered_compositions() {
+            let model = LiPFormer::new(small_cfg().with_stages(stages), &spec_implicit(), 10);
+            let mut g = Graph::new(model.store());
+            let y = model.forward(&mut g, &b, false, &mut rng);
+            assert_eq!(g.shape(y), &[3, 8, 2], "{label}");
+            assert!(!g.value(y).has_non_finite(), "{label}: non-finite forecast");
+        }
+    }
+
+    #[test]
+    fn canonical_composition_matches_base_predictor_bytes() {
+        // The composed model and the concrete BasePredictor assembly must
+        // record the same tape bit-for-bit.
+        let cfg = small_cfg();
+        let model = LiPFormer::without_enriching(cfg.clone(), 11);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let bp = crate::base_predictor::BasePredictor::new(&mut store, "base", &cfg, &mut rng);
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let b = toy_batch(2, &mut rng_b);
+        let mut rng1 = StdRng::seed_from_u64(0);
+        let mut g1 = Graph::new(model.store());
+        let y1 = model.forward(&mut g1, &b, false, &mut rng1);
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let mut g2 = Graph::new(&store);
+        let xv = g2.constant(b.x.clone());
+        let y2 = bp.forward(&mut g2, xv, false, &mut rng2);
+        let v1 = g1.value(y1).to_vec();
+        let v2 = g2.value(y2).to_vec();
+        assert_eq!(
+            v1.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            v2.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn alternative_composition_changes_params_not_interface() {
+        let tst = StageSpec {
+            representation: ReprKind::MeanStd,
+            extraction: ExtractKind::PatchTst,
+            projection: ProjKind::FlattenLinear,
+            depth: 2,
+        };
+        let default = LiPFormer::without_enriching(small_cfg(), 13);
+        let swapped = LiPFormer::without_enriching(small_cfg().with_stages(tst), 13);
+        assert_ne!(default.num_parameters(), swapped.num_parameters());
+        assert_eq!(default.config().seq_len, swapped.config().seq_len);
     }
 }

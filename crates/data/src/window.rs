@@ -219,6 +219,27 @@ impl WindowDataset {
         }
     }
 
+    /// A few-shot view of this split: only the first `n` complete windows
+    /// remain samplable (everything if `n >= len()`). Used by the transfer
+    /// zoo to fine-tune on a small fraction of a dataset's training windows.
+    pub fn truncated(&self, n: usize) -> WindowDataset {
+        let keep = n.min(self.len());
+        let end = if keep == 0 {
+            self.start
+        } else {
+            self.start + self.seq_len + self.pred_len - 1 + keep
+        };
+        WindowDataset {
+            values: self.values.clone(),
+            time_feats: self.time_feats.clone(),
+            covariates: self.covariates.clone(),
+            seq_len: self.seq_len,
+            pred_len: self.pred_len,
+            start: self.start,
+            end,
+        }
+    }
+
     /// Window indices for one epoch, optionally shuffled.
     pub fn epoch_order(&self, shuffle: bool, rng: &mut impl Rng) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.len()).collect();
@@ -401,6 +422,18 @@ mod tests {
         contract.cardinalities = vec![2];
         let msg = contract.check(&batch).unwrap_err();
         assert!(msg.contains("cardinality"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_keeps_a_prefix_of_windows() {
+        let ds = toy();
+        let few = ds.truncated(3);
+        assert_eq!(few.len(), 3);
+        // same windows, same contents
+        assert_eq!(few.batch(&[2]).x.to_vec(), ds.batch(&[2]).x.to_vec());
+        // n >= len keeps everything; n = 0 empties the split
+        assert_eq!(ds.truncated(100).len(), ds.len());
+        assert!(ds.truncated(0).is_empty());
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub enum ModelKind {
     LiPFormer,
     /// LiPFormer without the weak-enriching module (Table VI / Fig. 6).
     LiPFormerBase,
+    /// The `revin` registered composition (mean/std representation).
+    LiPFormerRevIn,
+    /// The `flat-head` registered composition (flatten-linear projection).
+    LiPFormerFlatHead,
+    /// The `tst` registered composition (PatchTST-style stage triple).
+    LiPFormerTst,
     ITransformer,
     TimeMixer,
     Fgnn,
@@ -33,6 +39,9 @@ pub enum ModelKind {
 lip_serde::json_unit_enum!(ModelKind {
     LiPFormer,
     LiPFormerBase,
+    LiPFormerRevIn,
+    LiPFormerFlatHead,
+    LiPFormerTst,
     ITransformer,
     TimeMixer,
     Fgnn,
@@ -63,6 +72,9 @@ impl ModelKind {
         match self {
             ModelKind::LiPFormer => "LiPFormer",
             ModelKind::LiPFormerBase => "LiPFormer-base",
+            ModelKind::LiPFormerRevIn => "LiPFormer[revin]",
+            ModelKind::LiPFormerFlatHead => "LiPFormer[flat-head]",
+            ModelKind::LiPFormerTst => "LiPFormer[tst]",
             ModelKind::ITransformer => "iTransformer",
             ModelKind::TimeMixer => "TimeMixer",
             ModelKind::Fgnn => "FGNN",
@@ -96,6 +108,21 @@ impl AnyModel {
         seed: u64,
     ) -> AnyModel {
         let hd = scale.hidden;
+        // a registered stage composition under the enriching module
+        let composed = |label: &str| {
+            let stages = lipformer::registered_compositions()
+                .into_iter()
+                .find(|(l, _)| *l == label)
+                .unwrap_or_else(|| panic!("composition '{label}' not registered"))
+                .1;
+            let mut cfg =
+                LiPFormerConfig::small(seq_len, pred_len, channels).with_stages(stages);
+            cfg.hidden = hd;
+            cfg.encoder_hidden = scale.encoder_hidden;
+            AnyModel::Lip(Box::new(
+                LiPFormer::new(cfg, spec, seed).with_name(format!("LiPFormer[{label}]")),
+            ))
+        };
         match kind {
             ModelKind::LiPFormer => {
                 let mut cfg = LiPFormerConfig::small(seq_len, pred_len, channels);
@@ -109,6 +136,9 @@ impl AnyModel {
                 cfg.encoder_hidden = scale.encoder_hidden;
                 AnyModel::Lip(Box::new(LiPFormer::without_enriching(cfg, seed)))
             }
+            ModelKind::LiPFormerRevIn => composed("revin"),
+            ModelKind::LiPFormerFlatHead => composed("flat-head"),
+            ModelKind::LiPFormerTst => composed("tst"),
             ModelKind::ITransformer => AnyModel::Plain(Box::new(ITransformer::new(
                 seq_len, pred_len, channels, hd, 2, seed,
             ))),
@@ -215,6 +245,9 @@ mod tests {
         for kind in [
             ModelKind::LiPFormer,
             ModelKind::LiPFormerBase,
+            ModelKind::LiPFormerRevIn,
+            ModelKind::LiPFormerFlatHead,
+            ModelKind::LiPFormerTst,
             ModelKind::ITransformer,
             ModelKind::TimeMixer,
             ModelKind::Fgnn,

@@ -170,6 +170,38 @@ fn main() {
         });
     }
 
+    // Stage-composition smoke: every registered composition must compile
+    // and stay byte-identical to tape at one thread and at the full budget.
+    // Parity-only (no timing records): the JSON schema stays the nine
+    // benchmarks the perf gate diffs against.
+    for (label, stages) in lipformer::registered_compositions() {
+        let config = LiPFormerConfig::small(48, 24, 3).with_stages(stages);
+        let spec = lip_data::CovariateSpec {
+            numerical: 0,
+            cardinalities: vec![],
+            time_features: 4,
+        };
+        let model = LiPFormer::new(config.clone(), &spec, 7);
+        let compiled = match compile_inference(&model, &spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("stages/{label}: COMPILE FAILED: {e}");
+                std::process::exit(1);
+            }
+        };
+        let batch = lip_analyze::synthetic_batch(&config, &spec, 8);
+        let mut bound = compiled.bind(8);
+        let (tape_serial, _) = lip_par::with_threads(1, || tape_forward(&model, &batch));
+        let exec_serial = lip_par::with_threads(1, || bound.run(&batch).to_bytes());
+        let exec_full = lip_par::with_threads(threads, || bound.run(&batch).to_bytes());
+        if exec_serial != tape_serial || exec_full != tape_serial {
+            eprintln!("stages/{label}: EXECUTOR OUTPUT DIVERGES FROM TAPE");
+            failed = true;
+        } else {
+            println!("  stages/{label:<15} byte-identical to tape (1 and {threads} threads)");
+        }
+    }
+
     let json = lip_serde::to_string_pretty(&records);
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");

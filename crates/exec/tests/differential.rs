@@ -130,6 +130,39 @@ fn architecture_variants_byte_identical_for_both_covariate_policies() {
 }
 
 #[test]
+fn every_registered_composition_compiles_byte_identical() {
+    for (label, stages) in lipformer::registered_compositions() {
+        let config = toy_config().with_stages(stages);
+        for spec in [implicit_spec(), explicit_spec()] {
+            let model = LiPFormer::new(config.clone(), &spec, 23);
+            let compiled = compile_inference(&model, &spec)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            for &b in &[1usize, 7] {
+                let batch = synthetic_batch(&config, &spec, b);
+                let mut bound = compiled.bind(b);
+                let shadow = bound.shadow_check();
+                assert!(
+                    shadow.is_empty(),
+                    "{label} (explicit={}) b={b} shadow violations: {shadow:?}",
+                    spec.has_explicit()
+                );
+                let want =
+                    fnv1a(&lip_par::with_threads(1, || tape_pred_bytes(&model, &batch)));
+                for &t in &[1usize, 4] {
+                    let got =
+                        fnv1a(&lip_par::with_threads(t, || bound.run(&batch).to_bytes()));
+                    assert_eq!(
+                        got, want,
+                        "{label} (explicit={}) b={b} threads={t} diverged",
+                        spec.has_explicit()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn checkpointed_model_compiles_byte_identical() {
     let config = toy_config();
     let spec = explicit_spec();

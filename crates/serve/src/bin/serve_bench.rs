@@ -165,6 +165,7 @@ fn build_fixture(name: DatasetName, dir: &std::path::Path) -> Fixture {
                     .as_ref()
                     .map(|t| rows(t, prep.spec.numerical)),
                 cov_categorical: one.cov_categorical.clone(),
+                windows: None,
             };
             lip_serde::to_string(&req)
         })

@@ -22,7 +22,7 @@ use lip_serde::Json;
 
 use crate::error::ServeError;
 use crate::http::{self, Limits, ReadOutcome, Request};
-use crate::proto::{ForecastRequest, ForecastResponse};
+use crate::proto::{BatchForecastResponse, ForecastRequest, ForecastResponse};
 use crate::session::{SessionCache, SessionOptions};
 use crate::stats::StatsRegistry;
 
@@ -248,33 +248,46 @@ fn forecast(req: &Request, shared: &Arc<Shared>, started: Instant) -> Result<Str
     let path = resolve_checkpoint(&parsed.checkpoint, shared)?;
     let session = shared.cache.get(&path, &parsed.spec, &shared.stats)?;
     session.stats.request();
-    let job = match session.validate_request(&parsed) {
-        Ok(j) => j,
-        Err(e) => {
-            session.stats.error();
-            return Err(e);
-        }
+    let fail = |e: ServeError| {
+        session.stats.error();
+        e
     };
-    let out = match session.forecast(job) {
-        Ok(o) => o,
-        Err(e) => {
-            session.stats.error();
-            return Err(e);
-        }
-    };
-    session.stats.latency(started.elapsed().as_micros() as u64);
+    let multi = parsed.windows.is_some();
+    let jobs = parsed
+        .into_windows()
+        .iter()
+        .map(|w| session.validate_window(w))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(fail)?;
 
     let c = session.contract.channels;
-    let forecast: Vec<Vec<f32>> =
-        out.rows.chunks(c).map(<[f32]>::to_vec).collect();
-    let response = ForecastResponse {
-        forecast,
-        model: session.key_hex.clone(),
-        batched: out.batched,
-        queue_us: out.queue_us,
-        run_us: out.run_us,
+    let rows_of = |out: &crate::session::JobOut| -> Vec<Vec<f32>> {
+        out.rows.chunks(c).map(<[f32]>::to_vec).collect()
     };
-    Ok(lip_serde::to_string(&response))
+    let body = if multi {
+        // an explicit batch: one bind(B) forward, no coalescing wait
+        let outs = session.forecast_many(jobs).map_err(fail)?;
+        let response = BatchForecastResponse {
+            batched: outs.len(),
+            run_us: outs.first().map_or(0, |o| o.run_us),
+            forecasts: outs.iter().map(rows_of).collect(),
+            model: session.key_hex.clone(),
+        };
+        lip_serde::to_string(&response)
+    } else {
+        let job = jobs.into_iter().next().expect("legacy form is one window");
+        let out = session.forecast(job).map_err(fail)?;
+        let response = ForecastResponse {
+            forecast: rows_of(&out),
+            model: session.key_hex.clone(),
+            batched: out.batched,
+            queue_us: out.queue_us,
+            run_us: out.run_us,
+        };
+        lip_serde::to_string(&response)
+    };
+    session.stats.latency(started.elapsed().as_micros() as u64);
+    Ok(body)
 }
 
 /// Apply the optional checkpoint-root jail.

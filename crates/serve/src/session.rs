@@ -37,7 +37,7 @@ use lipformer::{Forecaster, LiPFormer, LiPFormerConfig};
 use crate::batcher::{BatchPolicy, BatchResult, Batcher};
 use crate::error::ServeError;
 use crate::fnv1a;
-use crate::proto::ForecastRequest;
+use crate::proto::{ForecastRequest, ForecastWindow};
 use crate::stats::{ModelStats, StatsRegistry};
 
 /// One window's inputs, flattened and validated, ready to coalesce.
@@ -85,10 +85,10 @@ pub struct Session {
 }
 
 impl Session {
-    /// Validate one request against this session's contract and flatten it
+    /// Validate one window against this session's contract and flatten it
     /// into a [`Job`]. Every shape or code-range violation is a typed
     /// error — nothing downstream can assert on request data.
-    pub fn validate_request(&self, req: &ForecastRequest) -> Result<Job, ServeError> {
+    pub fn validate_window(&self, req: &ForecastWindow) -> Result<Job, ServeError> {
         let x = ForecastRequest::flatten(&req.x);
         let tf = ForecastRequest::flatten(&req.time_feats);
         let cov_numerical = req.cov_numerical.as_ref().map(|n| ForecastRequest::flatten(n));
@@ -121,6 +121,17 @@ impl Session {
         let this = Arc::clone(self);
         self.batcher
             .submit(job, move |jobs| this.run_batch(jobs))
+            .map_err(|message| ServeError::Internal { message })
+    }
+
+    /// Run an explicit multi-window batch as **one** `bind(B)` forward,
+    /// bypassing the micro-batcher: the request already is a batch, so
+    /// waiting for strangers to coalesce with would only add latency.
+    /// Outputs come back in job order.
+    pub fn forecast_many(&self, jobs: Vec<Job>) -> Result<Vec<JobOut>, ServeError> {
+        self.run_batch(jobs)
+            .into_iter()
+            .collect::<Result<Vec<_>, String>>()
             .map_err(|message| ServeError::Internal { message })
     }
 

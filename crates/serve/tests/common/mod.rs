@@ -65,6 +65,7 @@ pub fn batch_request_json(ckpt: &str, fx: &Fixture, batch: &Batch) -> String {
             .as_ref()
             .map(|t| rows(t, fx.prep.spec.numerical)),
         cov_categorical: batch.cov_categorical.clone(),
+        windows: None,
     };
     lip_serde::to_string(&req)
 }

@@ -1,0 +1,155 @@
+//! Multi-window requests: a `windows` array must run as **one** `bind(B)`
+//! forward and return forecasts byte-identical to submitting the same
+//! windows sequentially as single-window requests (and to direct
+//! `lip-exec` execution).
+
+mod common;
+
+use lip_data::DatasetName;
+use lip_exec::compile_inference;
+use lip_serve::proto::{ForecastRequest, ForecastWindow, MAX_WINDOWS};
+use lip_serve::ServerConfig;
+use lipformer::checkpoint;
+
+/// The fixture's window `w` as a per-window request object.
+fn window_of(fx: &common::Fixture, w: usize) -> ForecastWindow {
+    let batch = fx.prep.train.batch(&[w]);
+    let rows = |t: &lip_tensor::Tensor, width: usize| -> Vec<Vec<f32>> {
+        t.contiguous().data().chunks(width).map(<[f32]>::to_vec).collect()
+    };
+    ForecastWindow {
+        x: rows(&batch.x, fx.prep.channels),
+        time_feats: rows(&batch.time_feats, fx.prep.spec.time_features),
+        cov_numerical: batch
+            .cov_numerical
+            .as_ref()
+            .map(|t| rows(t, fx.prep.spec.numerical)),
+        cov_categorical: batch.cov_categorical.clone(),
+    }
+}
+
+/// A `windows`-form request body over the fixture's windows `0..count`.
+fn multi_window_body(fx: &common::Fixture, count: usize) -> String {
+    let req = ForecastRequest {
+        checkpoint: fx.ckpt.to_string_lossy().into_owned(),
+        spec: fx.prep.spec.clone(),
+        x: vec![],
+        time_feats: vec![],
+        cov_numerical: None,
+        cov_categorical: None,
+        windows: Some((0..count).map(|w| window_of(fx, w)).collect()),
+    };
+    lip_serde::to_string(&req)
+}
+
+/// Per-window hashes of a multi-window 200 body, asserting the single-batch
+/// contract on the way.
+fn multi_hashes(body: &str, want: usize) -> Vec<u64> {
+    let json = lip_serde::from_str::<lip_serde::Json>(body).expect("JSON body");
+    let batched = json.field::<u64>("batched").expect("batched field") as usize;
+    assert_eq!(batched, want, "windows did not ride one batch: {body}");
+    assert!(
+        json.get("forecast").is_none(),
+        "multi-window response must not carry a single 'forecast': {body}"
+    );
+    let forecasts = json
+        .field::<Vec<Vec<Vec<f32>>>>("forecasts")
+        .expect("forecasts field");
+    assert_eq!(forecasts.len(), want);
+    forecasts
+        .into_iter()
+        .map(|rows| {
+            let flat: Vec<f32> = rows.into_iter().flatten().collect();
+            common::row_hash(&flat)
+        })
+        .collect()
+}
+
+#[test]
+fn multi_window_equals_sequential_equals_direct() {
+    let fx = common::fixture(DatasetName::ETTh1, "multi-diff");
+    let count = 5usize;
+
+    // direct lip-exec golden hashes for the same windows
+    let model = checkpoint::load_model(&fx.ckpt, &fx.prep.spec).expect("load checkpoint");
+    let compiled = compile_inference(&model, &fx.prep.spec).expect("compile");
+    let indices: Vec<usize> = (0..count).collect();
+    let batch = fx.prep.train.batch(&indices);
+    let mut bound = compiled.bind(count);
+    let pred = lip_par::with_threads(1, || bound.run(&batch));
+    let dense = pred.contiguous();
+    let per = fx.config.pred_len * fx.prep.channels;
+    let golden: Vec<u64> = (0..count)
+        .map(|i| common::row_hash(&dense.data()[i * per..(i + 1) * per]))
+        .collect();
+
+    let server = common::start(ServerConfig::default());
+
+    // sequential single-window submissions over one connection
+    let mut stream = common::connect(server.addr());
+    let sequential: Vec<u64> = (0..count)
+        .map(|w| {
+            let body = common::request_body(&fx, w);
+            common::write_request(&mut stream, "POST", "/forecast", &body, true);
+            let resp = common::read_response(&mut stream).expect("response");
+            assert_eq!(resp.status, 200, "window {w}: {}", resp.body);
+            let rows = common::forecast_rows(&resp.body);
+            let flat: Vec<f32> = rows.into_iter().flatten().collect();
+            common::row_hash(&flat)
+        })
+        .collect();
+    assert_eq!(sequential, golden, "sequential serving diverged from direct");
+
+    // the same windows in one multi-window body
+    let resp = common::post(server.addr(), "/forecast", &multi_window_body(&fx, count));
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let multi = multi_hashes(&resp.body, count);
+    assert_eq!(
+        multi, sequential,
+        "multi-window batch diverged from sequential submission"
+    );
+
+    assert_eq!(server.panics(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_multi_window_bodies_are_rejected() {
+    let fx = common::fixture(DatasetName::ETTh2, "multi-bad");
+    let server = common::start(ServerConfig::default());
+    let ckpt = fx.ckpt.to_string_lossy().into_owned();
+
+    // empty windows array
+    let body = format!(r#"{{"checkpoint": "{ckpt}", "windows": []}}"#);
+    let resp = common::post(server.addr(), "/forecast", &body);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    // both a windows array and a top-level window
+    let one = lip_serde::to_string(&window_of(&fx, 0));
+    let body = format!(
+        r#"{{"checkpoint": "{ckpt}", "windows": [{one}], "x": [[1.0]], "time_feats": []}}"#
+    );
+    let resp = common::post(server.addr(), "/forecast", &body);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    // over the per-request window cap
+    let tiny = r#"{"x": [[1.0]], "time_feats": []}"#;
+    let many = vec![tiny; MAX_WINDOWS + 1].join(",");
+    let body = format!(r#"{{"checkpoint": "{ckpt}", "windows": [{many}]}}"#);
+    let resp = common::post(server.addr(), "/forecast", &body);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    // a ragged window inside the array is named in the error
+    let ragged = r#"{"x": [[1.0, 2.0], [3.0]], "time_feats": []}"#;
+    let body = format!(r#"{{"checkpoint": "{ckpt}", "windows": [{one}, {ragged}]}}"#);
+    let resp = common::post(server.addr(), "/forecast", &body);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(
+        resp.body.contains("windows[1]"),
+        "error should name the offending window: {}",
+        resp.body
+    );
+
+    assert_eq!(server.panics(), 0);
+    server.shutdown();
+}

@@ -35,6 +35,7 @@ fn arbitrary_request(g: &mut lip_rng::prop::Gen) -> ForecastRequest {
         cov_categorical: (!cardinalities.is_empty()).then(|| {
             cardinalities.iter().map(|&c| g.vec_usize(pred, 0, c)).collect()
         }),
+        windows: None,
     }
 }
 

@@ -25,7 +25,9 @@ cargo run -q --release --offline -p lip-analyze -- --lint --check-model
 
 echo "==> lip-analyze --verify-plan (static schedule verifier: def-before-use,"
 echo "    liveness, symbolic arena bounds, fusion legality, partition proof,"
-echo "    kernel-source audit — exit 1 on any finding)"
+echo "    kernel-source audit, and every registered stage composition swept"
+echo "    through plan/runtime parity + fused/unfused schedule verification"
+echo "    — exit 1 on any finding)"
 cargo run -q --release --offline -p lip-analyze -- --verify-plan
 
 echo "==> par_baseline bench smoke (serial vs parallel; fails on divergence)"
@@ -67,7 +69,8 @@ if grep -E '"fused_ops": *0' BENCH_pr7.json; then
   exit 1
 fi
 
-echo "==> lip-exec bench smoke (compiled executor vs tape; fails on byte divergence)"
+echo "==> lip-exec bench smoke (compiled executor vs tape; fails on byte divergence,"
+echo "    including every registered stage composition)"
 # the executor differential sweep itself runs inside both cargo test passes
 # above (crates/exec/tests); this exercises the binary end-to-end and checks
 # the arena-undercuts-tape-peak contract at the default thread budget…
@@ -76,6 +79,15 @@ cargo run -q --release --offline -p lip-exec BENCH_exec.json
 echo "==> lip-exec bench smoke under LIP_THREADS=1"
 # …and again on the serial budget: parity must hold at any thread count
 LIP_THREADS=1 cargo run -q --release --offline -p lip-exec BENCH_exec_serial.json
+
+echo "==> pretrain_zoo (cross-dataset transfer study; bit-gated vs committed BENCH_pr10.json)"
+# sequential backbone pretrain over the nine benchmarks, then per-dataset
+# zero-shot / few-shot / from-scratch MSE. The run is deterministic, so
+# every numeric field must reproduce the committed report bit-for-bit; the
+# fresh run goes to a scratch file so the committed baseline stays the
+# comparison anchor.
+cargo run -q --release --offline -p lip-bench --bin pretrain_zoo BENCH_pr10_check.json BENCH_pr10.json
+rm -f BENCH_pr10_check.json
 
 echo "==> serve_bench (micro-batching server sweep; regression-gated vs committed BENCH_serve.json)"
 # the bin starts a live lip-serve server and, per benchmark dataset, runs
@@ -120,6 +132,8 @@ echo "    rustdoc clean under -D warnings, clippy clean under -D warnings,"
 echo "    static plan verifier zero findings (schedules, partitions, kernels),"
 echo "    parallel/serial bit-identical, zero layout-copy allocations,"
 echo "    perf suite within tolerance (pack ceiling, fused-op floor, timings),"
-echo "    compiled executor byte-identical to the tape on all nine benchmarks,"
+echo "    compiled executor byte-identical to the tape on all nine benchmarks"
+echo "    and on every registered stage composition,"
+echo "    transfer zoo bit-identical to the committed BENCH_pr10.json,"
 echo "    serving sweep byte-identical to direct execution with coalescing live,"
 echo "    zero external dependencies"

@@ -147,7 +147,11 @@ fn lying_header_length_is_rejected_cleanly() {
 fn checkpoint_api_roundtrips_bit_exactly() {
     let (path, _) = valid_checkpoint("roundtrip_api.ckpt");
     let (header, tensors) = checkpoint::load(&path).unwrap();
-    assert_eq!(header.version, 1);
+    assert_eq!(header.version, checkpoint::FORMAT_VERSION);
+    assert!(
+        header.stage_layout.is_some(),
+        "a freshly saved checkpoint must carry its stage layout"
+    );
     assert_eq!(header.param_names.len(), tensors.len());
 
     let spec = CovariateSpec {

@@ -1,0 +1,190 @@
+//! Stage-decomposition parity: the default `Representation` / `Extraction` /
+//! `Projection` composition is the *same model* as the pre-refactor
+//! monolith — pinned with the golden fnv1a hashes captured on pre-refactor
+//! `main`, across thread budgets {1, 4}. Alternative compositions must
+//! change the bytes (they are different models) without changing shapes.
+
+use lip_data::pipeline::prepare;
+use lip_data::window::Batch;
+use lip_data::{generate, CovariateSpec, DatasetName, GeneratorConfig};
+use lip_rng::rngs::StdRng;
+use lip_rng::SeedableRng;
+use lip_tensor::Tensor;
+use lipformer::{
+    registered_compositions, Forecaster, ForecastMetrics, LiPFormer, LiPFormerConfig, StageSpec,
+    TrainConfig, Trainer,
+};
+
+/// FNV-1a over a byte stream — the golden-hash currency of this repo.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The registered stage triple named `label`.
+fn composition(label: &str) -> StageSpec {
+    registered_compositions()
+        .into_iter()
+        .find(|(l, _)| *l == label)
+        .unwrap_or_else(|| panic!("composition '{label}' not registered"))
+        .1
+}
+
+fn spec() -> CovariateSpec {
+    CovariateSpec {
+        numerical: 0,
+        cardinalities: vec![],
+        time_features: 4,
+    }
+}
+
+/// The reproducibility suite's forward fixture, built through an explicit
+/// `with_stages` composition instead of the implicit default.
+fn forward_fixture() -> (LiPFormerConfig, Batch) {
+    let mut cfg = LiPFormerConfig::small(24, 8, 2).with_stages(composition("default"));
+    cfg.hidden = 16;
+    cfg.encoder_hidden = 16;
+    let batch = {
+        let mut rng = StdRng::seed_from_u64(3);
+        Batch {
+            x: Tensor::randn(&[4, 24, 2], &mut rng),
+            y: Tensor::randn(&[4, 8, 2], &mut rng),
+            time_feats: Tensor::randn(&[4, 8, 4], &mut rng).mul_scalar(0.2),
+            cov_numerical: None,
+            cov_categorical: None,
+        }
+    };
+    (cfg, batch)
+}
+
+fn forward_bytes(cfg: &LiPFormerConfig, batch: &Batch) -> Vec<u8> {
+    let model = LiPFormer::new(cfg.clone(), &spec(), 1234);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut g = lip_autograd::Graph::new(model.store());
+    let y = model.forward(&mut g, batch, false, &mut rng);
+    g.value(y).to_bytes()
+}
+
+/// Forward logits of the explicitly composed default pipeline must match
+/// the hash captured on pre-refactor `main` — on 1 thread and on 4.
+#[test]
+fn composed_default_forward_matches_pre_refactor_golden_hash() {
+    let (cfg, batch) = forward_fixture();
+    for threads in [1usize, 4] {
+        let bytes = lip_par::with_threads(threads, || forward_bytes(&cfg, &batch));
+        assert_eq!(bytes.len(), 288, "fixture shape drifted ({threads} threads)");
+        assert_eq!(
+            fnv1a(&bytes),
+            0x9f40_8c68_9529_80e1,
+            "composed default forward diverged from the pre-refactor monolith \
+             ({threads} threads)"
+        );
+    }
+}
+
+/// Two epochs of training through the explicitly composed default pipeline
+/// must reproduce the pre-refactor parameter bytes and test-MSE bits — on
+/// 1 thread and on 4.
+#[test]
+fn composed_default_training_matches_pre_refactor_golden_hash() {
+    let train = || {
+        let ds = generate(DatasetName::ETTh1, GeneratorConfig::test(74));
+        let prep = prepare(&ds, 48, 12);
+        let mut cfg =
+            LiPFormerConfig::small(48, 12, prep.channels).with_stages(composition("default"));
+        cfg.hidden = 16;
+        cfg.encoder_hidden = 16;
+        cfg.dropout = 0.2;
+        let mut model = LiPFormer::new(cfg, &prep.spec, 7);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            pretrain_epochs: 0,
+            ..TrainConfig::fast()
+        });
+        trainer.fit(&mut model, &prep.train, &prep.val);
+        let store = model.store();
+        let mut bytes = Vec::new();
+        for id in store.ids() {
+            bytes.extend_from_slice(store.name(id).as_bytes());
+            bytes.extend_from_slice(&store.value(id).to_bytes());
+        }
+        (bytes, ForecastMetrics::evaluate(&model, &prep.test, 64).mse)
+    };
+    for threads in [1usize, 4] {
+        let (bytes, mse) = lip_par::with_threads(threads, train);
+        assert_eq!(bytes.len(), 37563, "parameter inventory drifted ({threads} threads)");
+        assert_eq!(
+            fnv1a(&bytes),
+            0xb30b_11c1_130d_44d5,
+            "composed default training diverged from the pre-refactor monolith \
+             ({threads} threads)"
+        );
+        assert_eq!(
+            mse.to_bits(),
+            0x3f6c_572f,
+            "post-training test MSE diverged ({threads} threads)"
+        );
+    }
+}
+
+/// `with_stages(default)` and the stages-free constructor must build the
+/// exact same model: identical parameter inventory and forward bytes.
+#[test]
+fn explicit_default_stages_equal_implicit_construction() {
+    let (cfg_explicit, batch) = forward_fixture();
+    let mut cfg_implicit = LiPFormerConfig::small(24, 8, 2);
+    cfg_implicit.hidden = 16;
+    cfg_implicit.encoder_hidden = 16;
+
+    let param_bytes = |cfg: &LiPFormerConfig| {
+        let model = LiPFormer::new(cfg.clone(), &spec(), 1234);
+        let store = model.store();
+        let mut bytes = Vec::new();
+        for id in store.ids() {
+            bytes.extend_from_slice(store.name(id).as_bytes());
+            bytes.extend_from_slice(&store.value(id).to_bytes());
+        }
+        bytes
+    };
+    assert_eq!(
+        param_bytes(&cfg_explicit),
+        param_bytes(&cfg_implicit),
+        "explicit default composition changed the parameter inventory"
+    );
+    assert_eq!(
+        forward_bytes(&cfg_explicit, &batch),
+        forward_bytes(&cfg_implicit, &batch),
+        "explicit default composition changed the forward bytes"
+    );
+}
+
+/// Every non-default registered composition is a genuinely different model:
+/// same `[b, pred_len, c]` output shape, different logits.
+#[test]
+fn alternative_compositions_change_bytes_but_not_shapes() {
+    let (cfg_default, batch) = forward_fixture();
+    let default_bytes = forward_bytes(&cfg_default, &batch);
+    for (label, stages) in registered_compositions() {
+        let mut cfg = LiPFormerConfig::small(24, 8, 2).with_stages(stages);
+        cfg.hidden = 16;
+        cfg.encoder_hidden = 16;
+        let model = LiPFormer::new(cfg.clone(), &spec(), 1234);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = lip_autograd::Graph::new(model.store());
+        let y = model.forward(&mut g, &batch, false, &mut rng);
+        assert_eq!(g.shape(y), &[4, 8, 2], "composition '{label}' broke the output shape");
+        let bytes = g.value(y).to_bytes();
+        if label == "default" {
+            assert_eq!(bytes, default_bytes, "registered default drifted");
+        } else {
+            assert_ne!(
+                bytes, default_bytes,
+                "composition '{label}' should not reproduce the default model"
+            );
+        }
+    }
+}
